@@ -1,0 +1,160 @@
+// Command dassim runs one key-value store simulation and prints the
+// request-completion-time summary — the workhorse for ad-hoc scheduling
+// experiments beyond the canned dasbench tables.
+//
+// Example:
+//
+//	dassim -policy das -load 0.8 -servers 32 -requests 50000 \
+//	       -fanout zipf:20:1.0 -demand exp:1ms -skew 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/daskv/daskv/internal/cli"
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sim"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dassim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		policyName = flag.String("policy", "das", "scheduling policy: "+fmt.Sprint(cli.PolicyNames()))
+		load       = flag.Float64("load", 0.7, "offered load (utilization of the nominal cluster)")
+		servers    = flag.Int("servers", 16, "cluster size")
+		workers    = flag.Int("workers", 1, "worker threads per server")
+		requests   = flag.Int("requests", 30000, "requests to simulate")
+		keys       = flag.Int("keys", 100000, "keyspace size")
+		skew       = flag.Float64("skew", 0.9, "Zipf exponent of key popularity")
+		preset     = flag.String("preset", "", "workload preset ("+strings.Join(workload.PresetNames(), "|")+"); overrides fanout/demand/skew/keys")
+		fanoutSpec = flag.String("fanout", "zipf:20:1.0", "fanout distribution (const:N | unif:LO:HI | zipf:MAX:S | geom:MEAN)")
+		demandSpec = flag.String("demand", "exp:1ms", "demand distribution (exp:M | det:V | unif:LO:HI | bimodal:S:L:P | pareto:LO:HI:A | lognorm:M:SIGMA)")
+		netDelay   = flag.Duration("net", 50*time.Microsecond, "one-way network delay")
+		warmup     = flag.Duration("warmup", time.Second, "measurement warmup")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		alpha      = flag.Float64("das-alpha", core.DefaultOptions().Alpha, "DAS aging weight")
+		beta       = flag.Float64("das-beta", core.DefaultOptions().Beta, "DAS slack-demotion weight")
+		maxDelay   = flag.Duration("das-maxdelay", core.DefaultOptions().MaxDelay, "DAS starvation bound (0 = off)")
+		cdf        = flag.Bool("cdf", false, "also print the RCT CDF")
+		record     = flag.String("record", "", "write the generated request trace to this file")
+		replay     = flag.String("replay", "", "replay a recorded trace instead of generating (workload flags ignored)")
+	)
+	flag.Parse()
+
+	policy, err := cli.ParsePolicy(*policyName, core.Options{Alpha: *alpha, Beta: *beta, MaxDelay: *maxDelay})
+	if err != nil {
+		return err
+	}
+	fanout, err := cli.ParseFanout(*fanoutSpec)
+	if err != nil {
+		return err
+	}
+	demand, err := cli.ParseDemand(*demandSpec)
+	if err != nil {
+		return err
+	}
+	if *preset != "" {
+		pcfg, err := workload.Preset(*preset)
+		if err != nil {
+			return err
+		}
+		fanout, demand = pcfg.Fanout, pcfg.Demand
+		*skew = pcfg.KeySkew
+		*keys = pcfg.Keys
+	}
+	rate, err := workload.RateForLoad(*load, *servers, 1.0, fanout.Mean(), demand.Mean())
+	if err != nil {
+		return err
+	}
+	// Cap warmup at a fifth of the expected run so fast workloads still
+	// record measurements.
+	if expected := time.Duration(float64(*requests) / rate * float64(time.Second)); *warmup > expected/5 {
+		*warmup = expected / 5
+	}
+	cfg := sim.Config{
+		Servers:  *servers,
+		Workers:  *workers,
+		Policy:   policy.Factory,
+		Adaptive: policy.Adaptive,
+		Workload: workload.Config{
+			Keys:       *keys,
+			KeySkew:    *skew,
+			Fanout:     fanout,
+			Demand:     demand,
+			RatePerSec: rate,
+		},
+		Requests: *requests,
+		Warmup:   *warmup,
+		NetDelay: dist.Deterministic{V: *netDelay},
+		Seed:     *seed,
+	}
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		trace, err := workload.ReadTrace(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Trace = trace
+		cfg.Requests = 0
+		fmt.Printf("replaying %d requests from %s\n", len(trace), *replay)
+	case *record != "":
+		gen, err := workload.NewGenerator(cfg.Workload, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		trace := gen.Take(*requests)
+		f, err := os.Create(*record)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		if err := workload.WriteTrace(f, trace); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close trace: %w", err)
+		}
+		cfg.Trace = trace
+		fmt.Printf("recorded %d requests to %s\n", len(trace), *record)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy        %s\n", res.Policy)
+	fmt.Printf("load          %.2f  (rate %.1f req/s, %d servers)\n", *load, rate, *servers)
+	fmt.Printf("requests      %d completed of %d (ops %d)\n",
+		res.Completed, res.GeneratedRequests, res.GeneratedOps)
+	fmt.Printf("simulated     %v\n", res.SimulatedTime.Round(time.Millisecond))
+	fmt.Printf("mean RCT      %v\n", res.RCT.Mean().Round(time.Microsecond))
+	fmt.Printf("p50 / p95 / p99   %v / %v / %v\n",
+		res.RCT.P50().Round(time.Microsecond),
+		res.RCT.P95().Round(time.Microsecond),
+		res.RCT.P99().Round(time.Microsecond))
+	fmt.Printf("op queue wait mean %v, mean queue length %.1f\n",
+		res.QueueWait.Mean().Round(time.Microsecond), res.MeanQueueLen)
+	if *cdf {
+		fmt.Println("fraction  rct")
+		for _, pt := range res.RCT.CDF(21) {
+			fmt.Printf("%.2f      %v\n", pt.Fraction, pt.Value.Round(time.Microsecond))
+		}
+	}
+	return nil
+}

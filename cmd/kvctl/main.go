@@ -1,0 +1,277 @@
+// Command kvctl is the client tool for the live store: single-key
+// operations, multigets, and a closed-loop latency benchmark.
+//
+// Cluster addresses are given as id=host:port pairs:
+//
+//	kvctl -servers 0=127.0.0.1:7100,1=127.0.0.1:7101 put greeting hello
+//	kvctl -servers 0=127.0.0.1:7100,1=127.0.0.1:7101 get greeting
+//	kvctl -servers ...                              mget k1 k2 k3
+//	kvctl -servers ...                              bench -clients 16 -seconds 10
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/cli"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		serversFlag = flag.String("servers", "0=127.0.0.1:7100", "comma-separated id=addr pairs")
+		clusterFile = flag.String("cluster", "", "JSON cluster file (overrides -servers)")
+		adaptive    = flag.Bool("adaptive", true, "tag requests with DAS feedback estimates")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|cas|stats|fill|watch|bench> [args]")
+	}
+
+	var servers map[sched.ServerID]string
+	var err error
+	if *clusterFile != "" {
+		servers, err = cli.LoadCluster(*clusterFile)
+	} else {
+		servers, err = cli.ParseServers(*serversFlag)
+	}
+	if err != nil {
+		return err
+	}
+	client, err := kv.NewClient(kv.ClientConfig{Servers: servers, Adaptive: *adaptive})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: kvctl get KEY")
+		}
+		v, err := client.Get(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(v))
+		return nil
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: kvctl put KEY VALUE")
+		}
+		return client.Put(ctx, args[1], []byte(args[2]))
+	case "del":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: kvctl del KEY")
+		}
+		return client.Delete(ctx, args[1])
+	case "mget":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: kvctl mget KEY...")
+		}
+		res, err := client.MGet(ctx, args[1:])
+		if err != nil {
+			return err
+		}
+		for _, k := range args[1:] {
+			if v, ok := res[k]; ok {
+				fmt.Printf("%s = %s\n", k, v)
+			} else {
+				fmt.Printf("%s   (not found)\n", k)
+			}
+		}
+		return nil
+	case "stats":
+		fmt.Printf("%-7s %-10s %8s %8s %12s %8s %8s %10s\n",
+			"server", "policy", "served", "queue", "backlog", "speed", "keys", "uptime")
+		for _, id := range client.Servers() {
+			st, err := client.Stats(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7d %-10s %8d %8d %12v %8.2f %8d %10v\n",
+				st.Server, st.Policy, st.Served, st.QueueLen,
+				time.Duration(st.BacklogNanos).Round(time.Microsecond),
+				st.Speed, st.Keys,
+				time.Duration(st.UptimeNanos).Round(time.Second))
+		}
+		return nil
+	case "cas":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: kvctl cas KEY OLD NEW (OLD of '-' means expect-absent)")
+		}
+		var old []byte
+		if args[2] != "-" {
+			old = []byte(args[2])
+		}
+		if err := client.CompareAndSwap(ctx, args[1], old, []byte(args[3])); err != nil {
+			return err
+		}
+		fmt.Println("swapped")
+		return nil
+	case "fill":
+		return fillCmd(client, args[1:])
+	case "watch":
+		return watchCmd(client, args[1:])
+	case "bench":
+		return benchCmd(client, args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// fillCmd bulk-loads synthetic keys.
+func fillCmd(client *kv.Client, args []string) error {
+	fs := flag.NewFlagSet("fill", flag.ContinueOnError)
+	var (
+		keys      = fs.Int("keys", 10000, "number of keys to load")
+		valueSize = fs.Int("value", 64, "value size in bytes")
+		prefix    = fs.String("prefix", "bench-", "key prefix")
+		batch     = fs.Int("batch", 128, "keys per MSet batch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	value := bytes.Repeat([]byte("x"), *valueSize)
+	ctx := context.Background()
+	start := time.Now()
+	for base := 0; base < *keys; base += *batch {
+		n := *batch
+		if base+n > *keys {
+			n = *keys - base
+		}
+		pairs := make(map[string][]byte, n)
+		for i := 0; i < n; i++ {
+			pairs[fmt.Sprintf("%s%06d", *prefix, base+i)] = value
+		}
+		if err := client.MSet(ctx, pairs); err != nil {
+			return fmt.Errorf("fill at key %d: %w", base, err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("loaded %d keys (%d B values) in %v (%.0f keys/s)\n",
+		*keys, *valueSize, elapsed.Round(time.Millisecond),
+		float64(*keys)/elapsed.Seconds())
+	return nil
+}
+
+// watchCmd polls cluster stats until interrupted.
+func watchCmd(client *kv.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	var (
+		interval = fs.Duration("interval", 2*time.Second, "poll interval")
+		count    = fs.Int("count", 0, "iterations (0 = forever)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		fmt.Printf("-- %s --\n", time.Now().Format(time.TimeOnly))
+		for _, id := range client.Servers() {
+			ctx, cancel := context.WithTimeout(context.Background(), *interval)
+			st, err := client.Stats(ctx, id)
+			cancel()
+			if err != nil {
+				fmt.Printf("server %d: %v\n", id, err)
+				continue
+			}
+			fmt.Printf("server %d: served=%d queue=%d backlog=%v speed=%.2f keys=%d\n",
+				st.Server, st.Served, st.QueueLen,
+				time.Duration(st.BacklogNanos).Round(time.Microsecond), st.Speed, st.Keys)
+		}
+	}
+	return nil
+}
+
+// benchCmd drives closed-loop multigets and prints latency stats.
+func benchCmd(client *kv.Client, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		clients = fs.Int("clients", 16, "concurrent closed-loop clients")
+		seconds = fs.Int("seconds", 10, "run duration")
+		keys    = fs.Int("keys", 5000, "keyspace size (preloaded)")
+		fanout  = fs.Int("fanout", 5, "max keys per multiget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	fmt.Printf("preloading %d keys...\n", *keys)
+	names := make([]string, *keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%06d", i)
+		if err := client.Put(ctx, names[i], []byte("v")); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("running %d clients for %ds...\n", *clients, *seconds)
+	var (
+		mu    sync.Mutex
+		sum   = metrics.NewSummary(0)
+		count uint64
+	)
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	var wg sync.WaitGroup
+	errCh := make(chan error, *clients)
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := dist.NewRand(uint64(c) + 1)
+			for time.Now().Before(deadline) {
+				k := 1 + rng.IntN(*fanout)
+				batch := make([]string, k)
+				for i := range batch {
+					batch[i] = names[rng.IntN(len(names))]
+				}
+				start := time.Now()
+				if _, err := client.MGet(ctx, batch); err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				sum.Observe(time.Since(start))
+				count++
+				mu.Unlock()
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	for c := 0; c < *clients; c++ {
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	fmt.Printf("requests  %d (%.0f req/s)\n", count, float64(count)/float64(*seconds))
+	fmt.Printf("mean      %v\n", sum.Mean().Round(time.Microsecond))
+	fmt.Printf("p50/p95/p99  %v / %v / %v\n",
+		sum.P50().Round(time.Microsecond),
+		sum.P95().Round(time.Microsecond),
+		sum.P99().Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command kvserver runs one live key-value node with a pluggable
+// scheduling policy in front of its worker pool.
+//
+// Example — a two-node cluster on one machine:
+//
+//	kvserver -id 0 -addr 127.0.0.1:7100 -policy das &
+//	kvserver -id 1 -addr 127.0.0.1:7101 -policy das -speed 0.5 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/daskv/daskv/internal/cli"
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id         = flag.Int("id", 0, "server identity on the cluster ring")
+		addr       = flag.String("addr", "127.0.0.1:7100", "listen address")
+		policyName = flag.String("policy", "das", "scheduling policy: "+fmt.Sprint(cli.PolicyNames()))
+		workers    = flag.Int("workers", 1, "worker pool size")
+		baseCost   = flag.Duration("cost", 0, "synthetic per-op service cost (0 = none); value bytes add cost/KiB")
+		speed      = flag.Float64("speed", 1.0, "speed factor (0.5 = half-speed server)")
+		dataPath   = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
+		metrics    = flag.String("metrics", "", "optional HTTP listen address for /stats, /metrics, /healthz")
+	)
+	flag.Parse()
+
+	policy, err := cli.ParsePolicy(*policyName, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	var cost kv.CostModel
+	if *baseCost > 0 {
+		base := *baseCost
+		cost = func(_ wire.OpType, _, valueLen int) time.Duration {
+			return base + base*time.Duration(valueLen)/1024
+		}
+	}
+	srv, err := kv.NewServer(kv.ServerConfig{
+		ID:          sched.ServerID(*id),
+		Addr:        *addr,
+		Policy:      policy.Factory,
+		Workers:     *workers,
+		Cost:        cost,
+		SpeedFactor: *speed,
+		DataPath:    *dataPath,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kvserver %d listening on %s (policy=%s workers=%d speed=%.2f)\n",
+		*id, srv.Addr(), policy.Name, *workers, *speed)
+
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		metricsSrv = &http.Server{Addr: *metrics, Handler: kv.NewMetricsHandler(srv)}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "kvserver: metrics listener:", err)
+			}
+		}()
+		fmt.Printf("kvserver %d metrics on http://%s/metrics\n", *id, *metrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("kvserver %d shutting down after %d ops\n", *id, srv.Served())
+	if metricsSrv != nil {
+		_ = metricsSrv.Close()
+	}
+	return srv.Close()
+}

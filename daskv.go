@@ -1,0 +1,246 @@
+// Package daskv is the public API of the DAS key-value scheduling
+// library: a reproduction of "Cutting the Request Completion Time in
+// Key-value Stores with Distributed Adaptive Scheduler" (ICDCS 2021).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - scheduling policies (FCFS, SJF, Rein-SBF, Rein-ML, LRPT,
+//     least-slack, and the paper's DAS) behind one Policy interface;
+//   - the client-side DAS machinery (Estimator, Tag) that turns
+//     piggybacked feedback into scheduling tags;
+//   - the discrete-event cluster simulator used for the paper's
+//     evaluation;
+//   - a live TCP key-value store (server + multiget client) running the
+//     same policies on real sockets;
+//   - workload generation (Zipf popularity, fan-out and demand
+//     distributions, time-varying load profiles).
+//
+// Start with RunSim for simulation studies or NewServer/NewClient for
+// the live store; see examples/ for complete programs.
+package daskv
+
+import (
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/optimal"
+	"github.com/daskv/daskv/internal/queueing"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sim"
+	"github.com/daskv/daskv/internal/topology"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// Scheduling primitives.
+type (
+	// Policy orders the pending operations of one server; every
+	// scheduler in this library implements it.
+	Policy = sched.Policy
+	// PolicyFactory builds one Policy instance per server.
+	PolicyFactory = sched.Factory
+	// Op is one key-value access operation in a server queue.
+	Op = sched.Op
+	// Tags is the client-attached scheduling metadata on an Op.
+	Tags = sched.Tags
+	// ServerID identifies a server on the cluster ring.
+	ServerID = sched.ServerID
+	// RequestID identifies an end-user multiget request.
+	RequestID = sched.RequestID
+)
+
+// Baseline policy factories.
+var (
+	// FCFS is first-come-first-served, the deployed-store default.
+	FCFS = sched.FCFSFactory
+	// SJF is shortest-own-demand-first.
+	SJF = sched.SJFFactory
+	// ReinSBF is Rein's shortest-bottleneck-first (EuroSys 2017).
+	ReinSBF = sched.ReinSBFFactory
+	// LRPT is largest-bottleneck-first (an ablation endpoint).
+	LRPT = sched.LRPTFactory
+	// LeastSlack serves minimum-slack operations first.
+	LeastSlack = sched.LeastSlackFactory
+	// RandomPolicy serves a uniformly random pending operation.
+	RandomPolicy = sched.RandomFactory
+)
+
+// ReinML builds Rein's multilevel-queue approximation of SBF with the
+// given base bottleneck threshold.
+var ReinML = sched.ReinMLFactory
+
+// DAS — the paper's contribution.
+type (
+	// DASOptions tunes the DAS policy (SRPT-first + LRPT-last slack
+	// demotion + starvation controls).
+	DASOptions = core.Options
+	// DAS is the Distributed Adaptive Scheduler queue.
+	DAS = core.DAS
+	// Estimator is the client-side per-server load/speed view built
+	// from piggybacked feedback.
+	Estimator = core.Estimator
+	// EstimatorConfig tunes the estimator.
+	EstimatorConfig = core.EstimatorConfig
+	// Feedback is the server snapshot piggybacked on responses.
+	Feedback = core.Feedback
+)
+
+// DAS constructors and helpers.
+var (
+	// NewDAS builds a DAS queue with the given options.
+	NewDAS = core.New
+	// DASFactory adapts DASOptions into a PolicyFactory.
+	DASFactory = core.Factory
+	// DefaultDASOptions are the evaluation defaults.
+	DefaultDASOptions = core.DefaultOptions
+	// NewEstimator builds a feedback estimator.
+	NewEstimator = core.NewEstimator
+	// DefaultEstimatorConfig are the evaluation defaults.
+	DefaultEstimatorConfig = core.DefaultEstimatorConfig
+	// TagRequest stamps a request's operations with DAS metadata.
+	TagRequest = core.Tag
+)
+
+// Simulation.
+type (
+	// SimConfig describes one simulated cluster run.
+	SimConfig = sim.Config
+	// SimResult is the measured outcome.
+	SimResult = sim.Result
+	// SpeedProfile is a server's speed over virtual time.
+	SpeedProfile = sim.SpeedProfile
+	// ConstantSpeed, StepSpeed and SquareSpeed are canned profiles.
+	ConstantSpeed = sim.ConstantSpeed
+	// StepSpeed switches speed once at a set instant.
+	StepSpeed = sim.StepSpeed
+	// SquareSpeed oscillates between two speeds.
+	SquareSpeed = sim.SquareSpeed
+)
+
+// RunSim executes one simulation run.
+var RunSim = sim.Run
+
+// Workload generation.
+type (
+	// WorkloadConfig describes a multiget request stream.
+	WorkloadConfig = workload.Config
+	// WorkloadGenerator produces the stream deterministically.
+	WorkloadGenerator = workload.Generator
+	// Request is one generated multiget.
+	WorkloadRequest = workload.Request
+)
+
+// Workload helpers.
+var (
+	// NewWorkload builds a generator.
+	NewWorkload = workload.NewGenerator
+	// RateForLoad converts a target utilization into a request rate.
+	RateForLoad = workload.RateForLoad
+	// WorkloadPreset returns a named canned workload shape
+	// (social / cache / analytics / uniform).
+	WorkloadPreset = workload.Preset
+	// WorkloadPresets lists the preset names.
+	WorkloadPresets = workload.PresetNames
+	// WriteTrace and ReadTrace archive request streams as JSON lines.
+	WriteTrace = workload.WriteTrace
+	// ReadTrace parses an archived request stream.
+	ReadTrace = workload.ReadTrace
+)
+
+// Replica selection in the simulator.
+const (
+	// PrimaryReplica reads the ring primary.
+	PrimaryReplica = sim.PrimaryReplica
+	// RandomReplica spreads reads uniformly over replicas.
+	RandomReplica = sim.RandomReplica
+	// FastestReplica reads the estimator-fastest replica.
+	FastestReplica = sim.FastestReplica
+)
+
+// Live store.
+type (
+	// ServerConfig configures a live key-value node.
+	ServerConfig = kv.ServerConfig
+	// Server is a live node.
+	Server = kv.Server
+	// ClientConfig configures a cluster client.
+	ClientConfig = kv.ClientConfig
+	// Client is a partition-aware multiget client.
+	Client = kv.Client
+	// CostModel prices an operation's service demand server-side.
+	CostModel = kv.CostModel
+	// DemandModel estimates demands client-side for tagging.
+	DemandModel = kv.DemandModel
+)
+
+// Live-store constructors and sentinel errors.
+var (
+	// NewServer starts a live node.
+	NewServer = kv.NewServer
+	// NewClient connects to a cluster.
+	NewClient = kv.NewClient
+	// ErrNotFound reports a missing key.
+	ErrNotFound = kv.ErrNotFound
+	// NewMetricsHandler exposes a live server over HTTP
+	// (/stats, /metrics, /healthz).
+	NewMetricsHandler = kv.NewMetricsHandler
+)
+
+// Live-store read routing.
+const (
+	// PrimaryRead reads the ring primary.
+	PrimaryRead = kv.PrimaryRead
+	// FastestRead reads the estimator-fastest replica.
+	FastestRead = kv.FastestRead
+)
+
+// Measurement and distributions (for building custom studies).
+type (
+	// Summary is a streaming latency summary (mean + percentiles).
+	Summary = metrics.Summary
+	// DurationDist samples service demands or delays.
+	DurationDist = dist.Duration
+	// DiscreteDist samples request fan-outs.
+	DiscreteDist = dist.Discrete
+	// LoadProfile modulates offered load over time.
+	LoadProfile = dist.LoadProfile
+	// Ring is the consistent-hash key-to-server mapping.
+	Ring = topology.Ring
+)
+
+// NewSummary builds a latency summary with the given reservoir size
+// (0 = default).
+var NewSummary = metrics.NewSummary
+
+// NewRing builds a consistent-hash ring over the given servers.
+var NewRing = topology.NewRing
+
+// Offline ground truth (the paper's NP-hard formalization).
+type (
+	// OfflineInstance is a static scheduling problem: requests already
+	// queued, per-server orders to be chosen jointly.
+	OfflineInstance = optimal.Instance
+	// OfflineRequest is one multiget of an offline instance.
+	OfflineRequest = optimal.Request
+	// OfflineOp is one operation of an offline request.
+	OfflineOp = optimal.Op
+)
+
+// Offline solvers.
+var (
+	// ExactOptimal enumerates the joint schedule space of a small
+	// offline instance and returns the minimum mean RCT.
+	ExactOptimal = optimal.Exact
+	// EvaluateOffline runs a queueing policy on an offline instance.
+	EvaluateOffline = optimal.Evaluate
+)
+
+// Queueing-theory references (substrate validation).
+var (
+	// MM1MeanSojourn is the exact M/M/1 mean time in system.
+	MM1MeanSojourn = queueing.MM1MeanSojourn
+	// MG1MeanSojourn is the exact Pollaczek-Khinchine mean sojourn.
+	MG1MeanSojourn = queueing.MG1MeanSojourn
+	// MD1MeanSojourn is the exact M/D/1 mean sojourn.
+	MD1MeanSojourn = queueing.MD1MeanSojourn
+)

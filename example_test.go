@@ -1,0 +1,143 @@
+package daskv_test
+
+import (
+	"fmt"
+	"time"
+
+	daskv "github.com/daskv/daskv"
+	"github.com/daskv/daskv/internal/dist"
+)
+
+// ExampleNewDAS shows the DAS queue ordering directly: SRPT-first across
+// requests, slack demotion within a request, FIFO ties.
+func ExampleNewDAS() {
+	q, err := daskv.NewDAS(daskv.DefaultDASOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Request 1 has 40ms of bottleneck work left; request 2 only 5ms.
+	q.Push(&daskv.Op{Request: 1, Demand: time.Millisecond,
+		Tags: daskv.Tags{RemainingTime: 40 * time.Millisecond}}, 0)
+	q.Push(&daskv.Op{Request: 2, Demand: time.Millisecond,
+		Tags: daskv.Tags{RemainingTime: 5 * time.Millisecond}}, 0)
+	for q.Len() > 0 {
+		fmt.Println("serve request", q.Pop(0).Request)
+	}
+	// Output:
+	// serve request 2
+	// serve request 1
+}
+
+// ExampleTagRequest shows client-side tagging with an adaptive view:
+// the estimator has learned that server 1 runs at half speed, flipping
+// the request's bottleneck away from the statically larger op.
+func ExampleTagRequest() {
+	est, err := daskv.NewEstimator(daskv.DefaultEstimatorConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	est.Observe(daskv.Feedback{Server: 1, Speed: 0.5})
+
+	ops := []*daskv.Op{
+		{Server: 0, Demand: 6 * time.Millisecond},
+		{Server: 1, Demand: 4 * time.Millisecond},
+	}
+	daskv.TagRequest(ops, est, 0)
+	fmt.Println("static bottleneck:", ops[0].Tags.DemandBottleneck)
+	fmt.Println("adaptive remaining:", ops[0].Tags.RemainingTime)
+	// Output:
+	// static bottleneck: 6ms
+	// adaptive remaining: 8ms
+}
+
+// ExampleRunSim compares FCFS and DAS on a small simulated cluster.
+func ExampleRunSim() {
+	fanout := dist.UniformInt{Lo: 1, Hi: 7}
+	demand := dist.Exponential{M: time.Millisecond}
+	rate, err := daskv.RateForLoad(0.8, 8, 1.0, fanout.Mean(), demand.Mean())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mean := func(factory daskv.PolicyFactory, adaptive bool) time.Duration {
+		res, err := daskv.RunSim(daskv.SimConfig{
+			Servers:  8,
+			Policy:   factory,
+			Adaptive: adaptive,
+			Workload: daskv.WorkloadConfig{
+				Keys: 10_000, KeySkew: 0.9,
+				Fanout: fanout, Demand: demand, RatePerSec: rate,
+			},
+			Requests: 5000,
+			Seed:     1,
+		})
+		if err != nil {
+			return 0
+		}
+		return res.RCT.Mean()
+	}
+	fcfs := mean(daskv.FCFS, false)
+	das := mean(daskv.DASFactory(daskv.DefaultDASOptions()), true)
+	fmt.Println("DAS beats FCFS on mean RCT:", das < fcfs)
+	// Output:
+	// DAS beats FCFS on mean RCT: true
+}
+
+// ExampleExactOptimal checks a policy against the exact optimum of a
+// tiny offline instance of the paper's NP-hard scheduling problem.
+func ExampleExactOptimal() {
+	inst := daskv.OfflineInstance{
+		Servers: 2,
+		Requests: []daskv.OfflineRequest{
+			{Ops: []daskv.OfflineOp{{Server: 0, Demand: 3 * time.Millisecond}}},
+			{Ops: []daskv.OfflineOp{{Server: 0, Demand: 1 * time.Millisecond}, {Server: 1, Demand: 2 * time.Millisecond}}},
+		},
+	}
+	opt, err := daskv.ExactOptimal(inst)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rein, err := daskv.EvaluateOffline(inst, daskv.ReinSBF)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("optimal mean RCT:", opt)
+	fmt.Println("Rein-SBF matches optimum:", rein == opt)
+	// Output:
+	// optimal mean RCT: 3ms
+	// Rein-SBF matches optimum: true
+}
+
+// ExampleMM1MeanSojourn shows the queueing-theory helpers used to
+// validate the simulator.
+func ExampleMM1MeanSojourn() {
+	// A server handling 1ms requests at 50% utilization.
+	t, err := daskv.MM1MeanSojourn(500, time.Millisecond)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("mean time in system:", t)
+	// Output:
+	// mean time in system: 2ms
+}
+
+// ExampleNewRing shows consistent-hash key routing.
+func ExampleNewRing() {
+	ring, err := daskv.NewRing([]daskv.ServerID{0, 1, 2, 3}, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	owner := ring.Lookup("user:42")
+	replicas := ring.LookupN("user:42", 3)
+	fmt.Println("stable owner:", owner == replicas[0])
+	fmt.Println("replica count:", len(replicas))
+	// Output:
+	// stable owner: true
+	// replica count: 3
+}

@@ -1,0 +1,81 @@
+// Quickstart: simulate a 16-server key-value cluster at 80% load and
+// compare the default FCFS scheduling against the paper's DAS.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	daskv "github.com/daskv/daskv"
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		servers  = 16
+		load     = 0.8
+		requests = 20000
+	)
+	fanout := dist.UniformInt{Lo: 1, Hi: 9}         // 1-9 keys per request
+	demand := dist.Exponential{M: time.Millisecond} // ~1ms per op
+
+	rate, err := daskv.RateForLoad(load, servers, 1.0, fanout.Mean(), demand.Mean())
+	if err != nil {
+		return err
+	}
+	baseCfg := daskv.SimConfig{
+		Servers: servers,
+		Workload: daskv.WorkloadConfig{
+			Keys:       50_000,
+			KeySkew:    0.9,
+			Fanout:     fanout,
+			Demand:     demand,
+			RatePerSec: rate,
+		},
+		Requests: requests,
+		Warmup:   time.Second,
+		Seed:     42,
+	}
+
+	fmt.Printf("simulating %d requests on %d servers at %.0f%% load...\n\n",
+		requests, servers, load*100)
+	fmt.Printf("%-8s %12s %12s %12s\n", "policy", "mean RCT", "p50", "p99")
+
+	var fcfsMean time.Duration
+	for _, pol := range []struct {
+		name     string
+		factory  daskv.PolicyFactory
+		adaptive bool
+	}{
+		{"FCFS", daskv.FCFS, false},
+		{"DAS", daskv.DASFactory(daskv.DefaultDASOptions()), true},
+	} {
+		cfg := baseCfg
+		cfg.Policy = pol.factory
+		cfg.Adaptive = pol.adaptive
+		res, err := daskv.RunSim(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %12v %12v %12v\n", pol.name,
+			res.RCT.Mean().Round(time.Microsecond),
+			res.RCT.P50().Round(time.Microsecond),
+			res.RCT.P99().Round(time.Microsecond))
+		if pol.name == "FCFS" {
+			fcfsMean = res.RCT.Mean()
+		} else {
+			fmt.Printf("\nDAS cut the mean request completion time by %.1f%%.\n",
+				(1-float64(res.RCT.Mean())/float64(fcfsMean))*100)
+		}
+	}
+	return nil
+}

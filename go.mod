@@ -1,0 +1,3 @@
+module github.com/daskv/daskv
+
+go 1.24

@@ -1,0 +1,449 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/plot"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sim"
+)
+
+// runE1 prints the default-scenario summary across all policies.
+func runE1(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E1", "Default-scenario summary",
+		fmt.Sprintf("servers=%d load=0.7 fanout=zipf(20) demand=exp(1ms) skew=0.9 (all times ms)", p.Servers))
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %12s\n",
+		"policy", "mean", "p50", "p95", "p99", "queue", "vs FCFS")
+	sc := defaultScenario(p, 0.7)
+	var fcfsMean time.Duration
+	for _, pc := range standardPolicies() {
+		agg, err := sc.run(pc)
+		if err != nil {
+			return err
+		}
+		if pc.name == "FCFS" {
+			fcfsMean = agg.mean
+		}
+		fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10.1f %12s\n",
+			pc.name, ms(agg.mean), ms(agg.p50), ms(agg.p95), ms(agg.p99),
+			agg.meanQueue, gain(fcfsMean, agg.mean))
+	}
+	return nil
+}
+
+// loadSweep renders one metric across the load axis as a table plus an
+// ASCII figure.
+func loadSweep(p Params, w io.Writer, ylabel string, metric func(aggregate) time.Duration) error {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	policies := standardPolicies()
+	curves := make([]plot.Series, len(policies))
+	for i, pc := range policies {
+		curves[i].Name = pc.name
+	}
+	fmt.Fprintf(w, "%-6s", "load")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %10s", pc.name)
+	}
+	fmt.Fprintf(w, " %12s %12s\n", "DAS/FCFS", "DAS/SBF")
+	for _, rho := range loads {
+		sc := defaultScenario(p, rho)
+		vals := make(map[string]time.Duration, len(policies))
+		for i, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			vals[pc.name] = metric(agg)
+			curves[i].Points = append(curves[i].Points, plot.Point{
+				X: rho, Y: float64(vals[pc.name]) / float64(time.Millisecond),
+			})
+		}
+		fmt.Fprintf(w, "%-6.1f", rho)
+		for _, pc := range policies {
+			fmt.Fprintf(w, " %10s", ms(vals[pc.name]))
+		}
+		fmt.Fprintf(w, " %12s %12s\n",
+			gain(vals["FCFS"], vals["DAS"]), gain(vals["Rein-SBF"], vals["DAS"]))
+	}
+	fmt.Fprintln(w)
+	return plot.Render(w, ylabel+" vs load", curves, plot.Options{
+		LogY: true, XLabel: "offered load", YLabel: ylabel + " (ms)",
+	})
+}
+
+// runE2 is the headline figure: mean RCT vs offered load.
+func runE2(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E2", "Mean RCT (ms) vs load",
+		"paper claim: DAS cuts mean RCT 15-50%+ vs FCFS, growing with load")
+	return loadSweep(p, w, "mean RCT", func(a aggregate) time.Duration { return a.mean })
+}
+
+// runE3 is the tail-latency companion sweep.
+func runE3(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E3", "p99 RCT (ms) vs load", "")
+	return loadSweep(p, w, "p99 RCT", func(a aggregate) time.Duration { return a.p99 })
+}
+
+// runE4 prints the RCT CDF at load 0.8.
+func runE4(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E4", "RCT CDF at load 0.8 (ms at each percentile)", "")
+	sc := defaultScenario(p, 0.8)
+	policies := corePolicies()
+	cdfs := make(map[string][]cdfPoint, len(policies))
+	for _, pc := range policies {
+		agg, err := sc.run(pc)
+		if err != nil {
+			return err
+		}
+		cdfs[pc.name] = agg.cdf
+	}
+	fmt.Fprintf(w, "%-10s", "fraction")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %12s", pc.name)
+	}
+	fmt.Fprintln(w)
+	n := len(cdfs[policies[0].name])
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%-10.2f", cdfs[policies[0].name][i].fraction)
+		for _, pc := range policies {
+			fmt.Fprintf(w, " %12s", ms(cdfs[pc.name][i].value))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runE5 sweeps the multiget width.
+func runE5(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E5", "Mean RCT (ms) vs mean fan-out at load 0.7",
+		"fanout ~ uniform[1, 2m-1] so the mean is m")
+	policies := corePolicies()
+	fmt.Fprintf(w, "%-8s", "fanout")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %10s", pc.name)
+	}
+	fmt.Fprintf(w, " %12s\n", "DAS/FCFS")
+	for _, mean := range []int{2, 4, 8, 16, 32} {
+		sc := defaultScenario(p, 0.7)
+		sc.fanout = dist.UniformInt{Lo: 1, Hi: 2*mean - 1}
+		vals := map[string]time.Duration{}
+		for _, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			vals[pc.name] = agg.mean
+		}
+		fmt.Fprintf(w, "%-8d", mean)
+		for _, pc := range policies {
+			fmt.Fprintf(w, " %10s", ms(vals[pc.name]))
+		}
+		fmt.Fprintf(w, " %12s\n", gain(vals["FCFS"], vals["DAS"]))
+	}
+	return nil
+}
+
+// runE6 compares service-demand distributions at equal mean.
+func runE6(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E6", "Mean / p99 RCT (ms) across demand distributions at load 0.7",
+		"all distributions share a 1ms mean")
+	demands := []dist.Duration{
+		dist.Exponential{M: time.Millisecond},
+		dist.Bimodal{Small: 500 * time.Microsecond, Large: 5500 * time.Microsecond, PSmall: 0.9},
+		dist.BoundedPareto{Lo: 320 * time.Microsecond, Hi: 100 * time.Millisecond, Alpha: 1.48},
+		dist.Lognormal{M: time.Millisecond, Sigma: 1.5},
+	}
+	policies := corePolicies()
+	fmt.Fprintf(w, "%-28s", "demand")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %22s", pc.name+" mean/p99")
+	}
+	fmt.Fprintln(w)
+	for _, d := range demands {
+		sc := defaultScenario(p, 0.7)
+		sc.demand = d
+		fmt.Fprintf(w, "%-28s", d.String())
+		for _, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %22s", ms(agg.mean)+"/"+ms(agg.p99))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runE7 sweeps key-popularity skew.
+func runE7(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E7", "Mean RCT (ms) vs key-popularity skew at load 0.6",
+		"higher skew concentrates load on hot partitions (theta > ~1.0 overloads the hottest server)")
+	policies := corePolicies()
+	fmt.Fprintf(w, "%-7s", "theta")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %10s", pc.name)
+	}
+	fmt.Fprintf(w, " %12s\n", "DAS/FCFS")
+	for _, theta := range []float64{0, 0.3, 0.6, 0.9, 1.0} {
+		sc := defaultScenario(p, 0.6)
+		sc.keySkew = theta
+		vals := map[string]time.Duration{}
+		for _, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			vals[pc.name] = agg.mean
+		}
+		fmt.Fprintf(w, "%-7.1f", theta)
+		for _, pc := range policies {
+			fmt.Fprintf(w, " %10s", ms(vals[pc.name]))
+		}
+		fmt.Fprintf(w, " %12s\n", gain(vals["FCFS"], vals["DAS"]))
+	}
+	return nil
+}
+
+// hetPolicies adds the static-tag DAS to isolate adaptivity.
+func hetPolicies() []policyChoice {
+	return []policyChoice{
+		{name: "FCFS", factory: sched.FCFSFactory},
+		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
+		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+		{name: "DAS-static", factory: core.Factory(core.DefaultOptions())},
+	}
+}
+
+// runE8 measures heterogeneous clusters: a fraction of servers at half
+// speed, load kept stable for the slowest server.
+func runE8(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E8", "Mean RCT (ms) with slow servers (0.5x speed) at load 0.45",
+		"only adaptive DAS re-estimates per-server speed; Rein-SBF tags are static")
+	policies := hetPolicies()
+	fmt.Fprintf(w, "%-9s", "slowFrac")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %11s", pc.name)
+	}
+	fmt.Fprintf(w, " %12s\n", "DAS/SBF")
+	for _, frac := range []float64{0.1, 0.2, 0.3} {
+		slow := int(float64(p.Servers) * frac)
+		sc := defaultScenario(p, 0.45)
+		sc.meanSpeed = (float64(p.Servers-slow) + 0.5*float64(slow)) / float64(p.Servers)
+		sc.speedFor = func(id sched.ServerID) sim.SpeedProfile {
+			if int(id) < slow {
+				return sim.ConstantSpeed{V: 0.5}
+			}
+			return sim.ConstantSpeed{V: 1}
+		}
+		vals := map[string]time.Duration{}
+		for _, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			vals[pc.name] = agg.mean
+		}
+		fmt.Fprintf(w, "%-9.1f", frac)
+		for _, pc := range policies {
+			fmt.Fprintf(w, " %11s", ms(vals[pc.name]))
+		}
+		fmt.Fprintf(w, " %12s\n", gain(vals["Rein-SBF"], vals["DAS"]))
+	}
+	return nil
+}
+
+// runE9 exercises time variation: oscillating server speeds and a
+// square-wave load profile, reporting windowed mean RCT over time.
+func runE9(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E9", "Time-varying conditions",
+		"(a) quarter of servers oscillate 0.3x/1.0x speed; (b) square-wave offered load")
+
+	// (a) oscillating speeds.
+	fmt.Fprintln(w, "-- E9a: oscillating server speeds (period 4s), load 0.65 --")
+	policies := hetPolicies()
+	fmt.Fprintf(w, "%-11s %10s %10s\n", "policy", "mean(ms)", "p99(ms)")
+	for _, pc := range policies {
+		sc := defaultScenario(p, 0.65)
+		sc.meanSpeed = (float64(p.Servers)*3/4 + 0.65*float64(p.Servers)/4) / float64(p.Servers)
+		sc.speedFor = func(id sched.ServerID) sim.SpeedProfile {
+			if int(id)%4 == 0 {
+				return sim.SquareSpeed{Lo: 0.3, Hi: 1.0, Period: 4 * time.Second}
+			}
+			return sim.ConstantSpeed{V: 1}
+		}
+		agg, err := sc.run(pc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-11s %10s %10s\n", pc.name, ms(agg.mean), ms(agg.p99))
+	}
+
+	// (b) square-wave load: windowed series.
+	fmt.Fprintln(w, "-- E9b: square-wave load 0.4/1.0 of base 0.65 (period 4s), windowed mean RCT (ms) --")
+	series := map[string][]seriesPoint{}
+	order := []string{}
+	for _, pc := range corePolicies() {
+		sc := defaultScenario(p, 0.65)
+		sc.profile = dist.SquareWaveLoad{Low: 0.4, High: 1.0, Period: 4 * time.Second}
+		sc.series = 500 * time.Millisecond
+		agg, err := sc.run(pc)
+		if err != nil {
+			return err
+		}
+		series[pc.name] = agg.series
+		order = append(order, pc.name)
+	}
+	fmt.Fprintf(w, "%-8s", "t(s)")
+	for _, name := range order {
+		fmt.Fprintf(w, " %10s", name)
+	}
+	fmt.Fprintln(w)
+	n := len(series[order[0]])
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%-8.1f", series[order[0]][i].start.Seconds())
+		for _, name := range order {
+			if i < len(series[name]) {
+				fmt.Fprintf(w, " %10s", ms(series[name][i].mean))
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	curves := make([]plot.Series, 0, len(order))
+	for _, name := range order {
+		s := plot.Series{Name: name}
+		for _, pt := range series[name] {
+			s.Points = append(s.Points, plot.Point{
+				X: pt.start.Seconds(), Y: float64(pt.mean) / float64(time.Millisecond),
+			})
+		}
+		curves = append(curves, s)
+	}
+	return plot.Render(w, "windowed mean RCT under square-wave load", curves, plot.Options{
+		XLabel: "time (s)", YLabel: "mean RCT (ms)",
+	})
+}
+
+// runE10 is the ablation over DAS's design choices.
+func runE10(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E10", "DAS ablation",
+		"homogeneous load 0.8 and heterogeneous load 0.45 (20% servers at 0.5x)")
+	variants := []policyChoice{
+		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+		{name: "no-slack", factory: core.Factory(core.Options{Beta: 0}), adaptive: true},
+		{name: "no-feedback", factory: core.Factory(core.DefaultOptions())},
+		{name: "aging.01", factory: core.Factory(core.Options{Alpha: 0.01, Beta: 0.1}), adaptive: true},
+		{name: "maxdelay1s", factory: core.Factory(core.Options{Beta: 0.1, MaxDelay: time.Second}), adaptive: true},
+		{name: "FCFS", factory: sched.FCFSFactory},
+	}
+	homog := defaultScenario(p, 0.8)
+	slow := p.Servers / 5
+	het := defaultScenario(p, 0.45)
+	het.meanSpeed = (float64(p.Servers-slow) + 0.5*float64(slow)) / float64(p.Servers)
+	het.speedFor = func(id sched.ServerID) sim.SpeedProfile {
+		if int(id) < slow {
+			return sim.ConstantSpeed{V: 0.5}
+		}
+		return sim.ConstantSpeed{V: 1}
+	}
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %14s\n",
+		"variant", "homog mean", "homog p99", "het mean", "het p99")
+	for _, pc := range variants {
+		h, err := homog.run(pc)
+		if err != nil {
+			return err
+		}
+		e, err := het.run(pc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %14s %14s %14s %14s\n",
+			pc.name, ms(h.mean), ms(h.p99), ms(e.mean), ms(e.p99))
+	}
+	return nil
+}
+
+// runE11 measures raw scheduling cost per operation at several queue
+// depths: the deployability argument.
+func runE11(p Params, w io.Writer) error {
+	header(w, "E11", "Scheduling overhead: push+pop cost per op",
+		"steady-state queue of the given depth; time.Now-based measurement")
+	policies := []policyChoice{
+		{name: "FCFS", factory: sched.FCFSFactory},
+		{name: "SJF", factory: sched.SJFFactory},
+		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
+		{name: "Rein-ML", factory: sched.ReinMLFactory(2 * time.Millisecond)},
+		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+	}
+	depths := []int{16, 256, 4096, 65536}
+	fmt.Fprintf(w, "%-10s", "policy")
+	for _, d := range depths {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("depth %d", d))
+	}
+	fmt.Fprintln(w)
+	for _, pc := range policies {
+		fmt.Fprintf(w, "%-10s", pc.name)
+		for _, depth := range depths {
+			fmt.Fprintf(w, " %10.0fns", measurePolicyNsPerOp(pc.factory, depth))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// measurePolicyNsPerOp times one push+pop at a steady queue depth.
+func measurePolicyNsPerOp(f sched.Factory, depth int) float64 {
+	q := f(1)
+	ops := make([]*sched.Op, depth)
+	for i := range ops {
+		ops[i] = benchOp(i)
+		q.Push(ops[i], time.Duration(i))
+	}
+	const rounds = 20000
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		op := q.Pop(time.Duration(i))
+		q.Push(op, time.Duration(i))
+	}
+	elapsed := time.Since(start)
+	// Drain so the measurement isn't polluted by leftover state on
+	// repeated calls.
+	for q.Len() > 0 {
+		q.Pop(0)
+	}
+	return float64(elapsed.Nanoseconds()) / rounds
+}
+
+// benchOp builds a representative tagged op.
+func benchOp(i int) *sched.Op {
+	d := time.Duration(1+i%7) * time.Millisecond
+	return &sched.Op{
+		Request: sched.RequestID(i),
+		Demand:  d,
+		Tags: sched.Tags{
+			DemandBottleneck: d * 2,
+			ScaledDemand:     d,
+			RemainingTime:    d * 2,
+			ExpectedFinish:   time.Duration(i) * time.Microsecond,
+			RequestFinish:    time.Duration(i)*time.Microsecond + d,
+			Fanout:           4,
+		},
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// liveCost derives a per-op service demand from the key length so client
+// and server agree on demands without a side channel: keys are padded by
+// the workload driver to encode 1..6ms.
+func liveCost(_ wire.OpType, keyLen, _ int) time.Duration {
+	demand := time.Duration(keyLen%11+2) * 500 * time.Microsecond
+	return demand
+}
+
+// runE12 validates the scheduler outside simulation: a loopback cluster
+// with CPU-cost-modeled operations, closed-loop multiget clients, FCFS
+// versus DAS.
+func runE12(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E12", "Live-store validation (beyond the paper)",
+		fmt.Sprintf("4 loopback servers, 1 worker each, 24 closed-loop multiget clients, %v per policy", p.Live))
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s\n", "policy", "requests", "mean(ms)", "p50(ms)", "p99(ms)")
+	for _, pc := range []struct {
+		name     string
+		factory  sched.Factory
+		adaptive bool
+	}{
+		{name: "FCFS", factory: sched.FCFSFactory},
+		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
+		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+	} {
+		sum, n, err := runLiveOnce(pc.factory, pc.adaptive, p.Live)
+		if err != nil {
+			return fmt.Errorf("bench: live %s: %w", pc.name, err)
+		}
+		fmt.Fprintf(w, "%-10s %10d %10s %10s %10s\n",
+			pc.name, n, ms(sum.Mean()), ms(sum.P50()), ms(sum.P99()))
+	}
+	return nil
+}
+
+// runLiveOnce drives one policy on a fresh loopback cluster.
+func runLiveOnce(factory sched.Factory, adaptive bool, runFor time.Duration) (*metrics.Summary, uint64, error) {
+	const (
+		servers   = 4
+		clients   = 24
+		keyspace  = 2000
+		maxFanout = 6
+	)
+	srvs := make([]*kv.Server, 0, servers)
+	addrs := make(map[sched.ServerID]string, servers)
+	defer func() {
+		for _, s := range srvs {
+			_ = s.Close()
+		}
+	}()
+	for i := 0; i < servers; i++ {
+		srv, err := kv.NewServer(kv.ServerConfig{
+			ID:     sched.ServerID(i),
+			Addr:   "127.0.0.1:0",
+			Policy: factory,
+			Cost:   liveCost,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		srvs = append(srvs, srv)
+		addrs[srv.ID()] = srv.Addr()
+	}
+	client, err := kv.NewClient(kv.ClientConfig{
+		Servers:  addrs,
+		Adaptive: adaptive,
+		Demand:   kv.DemandModel(liveCost),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() { _ = client.Close() }()
+
+	// Preload the keyspace. Key padding encodes the op demand.
+	ctx := context.Background()
+	keys := make([]string, keyspace)
+	rng := dist.NewRand(7)
+	for i := range keys {
+		pad := rng.IntN(11)
+		keys[i] = fmt.Sprintf("key-%04d-%s", i, "xxxxxxxxxxx"[:pad])
+		if err := client.Put(ctx, keys[i], []byte("value")); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	sum := metrics.NewSummary(0)
+	var mu sync.Mutex
+	var count uint64
+	deadline := time.Now().Add(runFor)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crng := dist.NewRand(uint64(c) + 100)
+			for time.Now().Before(deadline) {
+				k := 1 + crng.IntN(maxFanout)
+				batch := make([]string, k)
+				for i := range batch {
+					batch[i] = keys[crng.IntN(keyspace)]
+				}
+				start := time.Now()
+				if _, err := client.MGet(ctx, batch); err != nil {
+					errCh <- err
+					return
+				}
+				rct := time.Since(start)
+				mu.Lock()
+				sum.Observe(rct)
+				count++
+				mu.Unlock()
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			return nil, 0, err
+		}
+	}
+	return sum, count, nil
+}

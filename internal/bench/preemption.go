@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sim"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// runE18 quantifies what non-preemptive service forgoes: the same
+// policies with and without in-service preemption. Deployed key-value
+// servers do not preempt (an operation mid-read cannot cheaply yield);
+// if the delta is small at KV operation granularity, the restriction is
+// justified.
+func runE18(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E18", "Preemption ablation",
+		"identical policies, preemptive vs non-preemptive service; default workload")
+	policies := []policyChoice{
+		{name: "SJF", factory: sched.SJFFactory},
+		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
+		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+	}
+	fmt.Fprintf(w, "%-10s %6s %14s %14s %10s\n",
+		"policy", "load", "nonpre mean", "preempt mean", "delta")
+	for _, rho := range []float64{0.7, 0.9} {
+		for _, pc := range policies {
+			plain, err := runPreempt(p, pc, rho, false)
+			if err != nil {
+				return err
+			}
+			pre, err := runPreempt(p, pc, rho, true)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %6.1f %14s %14s %10s\n",
+				pc.name, rho, ms(plain), ms(pre), gain(plain, pre))
+		}
+	}
+	fmt.Fprintln(w, "positive delta = preemption helps; at millisecond operation granularity")
+	fmt.Fprintln(w, "the bulk of the scheduling benefit needs no preemption at all.")
+	return nil
+}
+
+func runPreempt(p Params, pc policyChoice, rho float64, preemptive bool) (time.Duration, error) {
+	sc := defaultScenario(p, rho)
+	rate, err := workload.RateForLoad(sc.rho, p.Servers, 1.0, sc.fanout.Mean(), sc.demand.Mean())
+	if err != nil {
+		return 0, fmt.Errorf("bench: %w", err)
+	}
+	var mean time.Duration
+	for s := 0; s < p.Seeds; s++ {
+		res, err := sim.Run(sim.Config{
+			Servers:    p.Servers,
+			Policy:     pc.factory,
+			Adaptive:   pc.adaptive,
+			Preemptive: preemptive,
+			Workload: workload.Config{
+				Keys: 100_000, KeySkew: sc.keySkew,
+				Fanout: sc.fanout, Demand: sc.demand, RatePerSec: rate,
+			},
+			Requests: p.Requests,
+			Warmup:   time.Second,
+			Seed:     p.Seed + uint64(s)*1000003,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("bench: %s preempt=%v: %w", pc.name, preemptive, err)
+		}
+		mean += res.RCT.Mean() / time.Duration(p.Seeds)
+	}
+	return mean, nil
+}

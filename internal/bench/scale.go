@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// runE14 sweeps cluster size at constant per-server load, showing that
+// DAS's gains persist at scale with no central coordination point — the
+// deployability argument against centralized schedulers.
+func runE14(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E14", "Mean RCT (ms) vs cluster size at load 0.7",
+		"per-server load held constant; requests scale with the cluster.\n"+
+			"key skew fixed at 0.6: with a fixed keyspace, hotter skews overload the\n"+
+			"top key's server as the aggregate op rate grows (E7 covers skew itself)")
+	policies := corePolicies()
+	fmt.Fprintf(w, "%-9s", "servers")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %10s", pc.name)
+	}
+	fmt.Fprintf(w, " %12s\n", "DAS/FCFS")
+	baseRequests := p.Requests
+	for _, n := range []int{8, 16, 32, 64} {
+		sp := p
+		sp.Servers = n
+		// Hold simulated duration roughly constant across sizes.
+		sp.Requests = baseRequests * n / 16
+		sc := defaultScenario(sp, 0.7)
+		sc.keySkew = 0.6
+		vals := map[string]time.Duration{}
+		for _, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			vals[pc.name] = agg.mean
+		}
+		fmt.Fprintf(w, "%-9d", n)
+		for _, pc := range policies {
+			fmt.Fprintf(w, " %10s", ms(vals[pc.name]))
+		}
+		fmt.Fprintf(w, " %12s\n", gain(vals["FCFS"], vals["DAS"]))
+	}
+	return nil
+}
+
+// runE15 compares workload presets at load 0.7: the same policies over
+// the canned social / cache / analytics / uniform shapes.
+func runE15(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E15", "Workload presets at load 0.7",
+		"canned shapes from the multiget literature (internal/workload presets)")
+	policies := corePolicies()
+	fmt.Fprintf(w, "%-11s", "preset")
+	for _, pc := range policies {
+		fmt.Fprintf(w, " %22s", pc.name+" mean/p99")
+	}
+	fmt.Fprintln(w)
+	for _, name := range presetNamesForBench() {
+		sc, err := presetScenario(p, name, 0.7)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-11s", name)
+		for _, pc := range policies {
+			agg, err := sc.run(pc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %22s", ms(agg.mean)+"/"+ms(agg.p99))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// presetNamesForBench returns the preset sweep order.
+func presetNamesForBench() []string { return workload.PresetNames() }
+
+// presetScenario adapts a workload preset into a bench scenario.
+func presetScenario(p Params, name string, rho float64) (scenario, error) {
+	cfg, err := workload.Preset(name)
+	if err != nil {
+		return scenario{}, fmt.Errorf("bench: %w", err)
+	}
+	sc := defaultScenario(p, rho)
+	sc.fanout = cfg.Fanout
+	sc.demand = cfg.Demand
+	sc.keySkew = cfg.KeySkew
+	return sc, nil
+}

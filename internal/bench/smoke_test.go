@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEveryExperimentSmoke runs each registered experiment end-to-end at
+// reduced scale, asserting it completes and emits its table. This is
+// the regression net for the whole harness.
+func TestEveryExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short")
+	}
+	p := Params{Servers: 8, Requests: 1200, Seeds: 1, Seed: 1, Live: 400 * time.Millisecond}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(p, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "== "+e.ID+":") {
+				t.Fatalf("%s output missing header:\n%s", e.ID, out)
+			}
+			if len(out) < 200 {
+				t.Fatalf("%s output suspiciously short (%d bytes)", e.ID, len(out))
+			}
+		})
+	}
+}

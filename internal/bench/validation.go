@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/queueing"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sim"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// runE16 validates the simulation substrate against closed-form
+// queueing theory: M/M/1, M/D/1 and M/G/1 (Pollaczek-Khinchine) mean
+// sojourns at several loads, plus the fork-join bracketing for
+// multigets. All other experiments inherit their credibility from this
+// table.
+func runE16(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E16", "Simulator validation against queueing theory",
+		"single FCFS server, fanout 1; theory columns are exact closed forms")
+	requests := p.Requests * 2
+	mean := time.Millisecond
+	bim := dist.Bimodal{Small: 500 * time.Microsecond, Large: 5500 * time.Microsecond, PSmall: 0.9}
+	type row struct {
+		name   string
+		demand dist.Duration
+		theory func(lambda float64) (time.Duration, error)
+	}
+	rows := []row{
+		{"M/M/1 exp(1ms)", dist.Exponential{M: mean}, func(l float64) (time.Duration, error) {
+			return queueing.MM1MeanSojourn(l, mean)
+		}},
+		{"M/D/1 det(1ms)", dist.Deterministic{V: mean}, func(l float64) (time.Duration, error) {
+			return queueing.MD1MeanSojourn(l, mean)
+		}},
+		{"M/G/1 bimodal", bim, func(l float64) (time.Duration, error) {
+			return queueing.MG1MeanSojourn(l, bim.Mean(),
+				queueing.BimodalSecondMoment(bim.Small, bim.Large, bim.PSmall))
+		}},
+	}
+	fmt.Fprintf(w, "%-16s %6s %12s %12s %8s\n", "system", "rho", "theory(ms)", "sim(ms)", "error")
+	for _, r := range rows {
+		for _, rho := range []float64{0.3, 0.5, 0.7, 0.9} {
+			lambda := rho / r.demand.Mean().Seconds()
+			theory, err := r.theory(lambda)
+			if err != nil {
+				return fmt.Errorf("bench: %s theory: %w", r.name, err)
+			}
+			got, err := singleQueueSojourn(r.demand, lambda, requests, p.Seed)
+			if err != nil {
+				return err
+			}
+			rel := math.Abs(float64(got-theory)) / float64(theory) * 100
+			fmt.Fprintf(w, "%-16s %6.1f %12s %12s %7.1f%%\n",
+				r.name, rho, ms(theory), ms(got), rel)
+		}
+	}
+	// Fork-join bracketing.
+	fmt.Fprintln(w, "-- fork-join multiget (k dedicated-rate servers, rho 0.5) --")
+	fmt.Fprintf(w, "%-4s %14s %14s %14s\n", "k", "single(ms)", "sim(ms)", "indep-max(ms)")
+	for _, k := range []int{2, 4, 8} {
+		lambda := 500.0
+		single, err := queueing.MM1MeanSojourn(lambda, mean)
+		if err != nil {
+			return err
+		}
+		upper, err := queueing.ForkJoinIndependent(k, single)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Config{
+			Servers:  k,
+			Policy:   sched.FCFSFactory,
+			NetDelay: dist.Deterministic{V: 0},
+			Workload: workload.Config{
+				Keys:       100_000,
+				Fanout:     dist.ConstInt{N: k},
+				Demand:     dist.Exponential{M: mean},
+				RatePerSec: lambda,
+			},
+			Requests: requests,
+			Warmup:   2 * time.Second,
+			Seed:     p.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: fork-join sim: %w", err)
+		}
+		fmt.Fprintf(w, "%-4d %14s %14s %14s\n", k, ms(single), ms(res.RCT.Mean()), ms(upper))
+	}
+	fmt.Fprintln(w, "sim means sit between the single-queue sojourn and (collisions aside)")
+	fmt.Fprintln(w, "the independent-exponential maximum, as fork-join theory requires.")
+	return nil
+}
+
+// singleQueueSojourn runs a one-server fanout-1 FCFS simulation.
+func singleQueueSojourn(demand dist.Duration, lambda float64, requests int, seed uint64) (time.Duration, error) {
+	res, err := sim.Run(sim.Config{
+		Servers:  1,
+		Policy:   sched.FCFSFactory,
+		NetDelay: dist.Deterministic{V: 0},
+		Workload: workload.Config{
+			Keys:       1000,
+			Fanout:     dist.ConstInt{N: 1},
+			Demand:     demand,
+			RatePerSec: lambda,
+		},
+		Requests: requests,
+		Warmup:   2 * time.Second,
+		Seed:     seed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("bench: validation sim: %w", err)
+	}
+	return res.RCT.Mean(), nil
+}

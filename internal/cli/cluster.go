@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// ClusterFile is the on-disk cluster description shared by kvserver and
+// kvctl: a JSON document listing every node's identity and address.
+//
+//	{"servers": [{"id": 0, "addr": "10.0.0.1:7100"},
+//	             {"id": 1, "addr": "10.0.0.2:7100"}]}
+type ClusterFile struct {
+	Servers []ClusterNode `json:"servers"`
+}
+
+// ClusterNode is one entry of a ClusterFile.
+type ClusterNode struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// LoadCluster reads and validates a cluster file, returning the
+// id -> address map the live-store client expects.
+func LoadCluster(path string) (map[sched.ServerID]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cli: read cluster file: %w", err)
+	}
+	var cf ClusterFile
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		return nil, fmt.Errorf("cli: parse cluster file %s: %w", path, err)
+	}
+	if len(cf.Servers) == 0 {
+		return nil, fmt.Errorf("cli: cluster file %s lists no servers", path)
+	}
+	out := make(map[sched.ServerID]string, len(cf.Servers))
+	for _, n := range cf.Servers {
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cli: cluster file %s: server %d has no address", path, n.ID)
+		}
+		id := sched.ServerID(n.ID)
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("cli: cluster file %s: duplicate server id %d", path, n.ID)
+		}
+		out[id] = n.Addr
+	}
+	return out, nil
+}

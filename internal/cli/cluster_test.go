@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadCluster(t *testing.T) {
+	p := writeTemp(t, `{"servers":[{"id":0,"addr":"a:1"},{"id":3,"addr":"b:2"}]}`)
+	got, err := LoadCluster(p)
+	if err != nil {
+		t.Fatalf("LoadCluster: %v", err)
+	}
+	if len(got) != 2 || got[0] != "a:1" || got[3] != "b:2" {
+		t.Fatalf("LoadCluster = %v", got)
+	}
+}
+
+func TestLoadClusterErrors(t *testing.T) {
+	if _, err := LoadCluster(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	for _, content := range []string{
+		`{bad json`,
+		`{"servers":[]}`,
+		`{"servers":[{"id":1}]}`,
+		`{"servers":[{"id":1,"addr":"a"},{"id":1,"addr":"b"}]}`,
+	} {
+		p := writeTemp(t, content)
+		if _, err := LoadCluster(p); err == nil {
+			t.Fatalf("content %q should error", content)
+		}
+	}
+}

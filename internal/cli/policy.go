@@ -1,0 +1,220 @@
+// Package cli holds helpers shared by the command-line tools: policy
+// name parsing and duration-distribution construction from flag values.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// ParseServers decodes a cluster spec of the form
+// "0=host:port,1=host:port" into the id -> address map the live-store
+// client expects.
+func ParseServers(spec string) (map[sched.ServerID]string, error) {
+	out := make(map[sched.ServerID]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("cli: bad server spec %q (want id=addr)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad server id %q: %w", id, err)
+		}
+		if addr = strings.TrimSpace(addr); addr == "" {
+			return nil, fmt.Errorf("cli: empty address for server %d", n)
+		}
+		if _, dup := out[sched.ServerID(n)]; dup {
+			return nil, fmt.Errorf("cli: duplicate server id %d", n)
+		}
+		out[sched.ServerID(n)] = addr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: no servers in %q", spec)
+	}
+	return out, nil
+}
+
+// Policy is a named scheduling configuration selectable from the CLIs.
+type Policy struct {
+	// Name is the canonical CLI spelling.
+	Name string
+	// Factory builds per-server queues.
+	Factory sched.Factory
+	// Adaptive marks policies that want DAS feedback tagging.
+	Adaptive bool
+}
+
+// ParsePolicy resolves a CLI policy name. DAS options apply to the das
+// variants only.
+func ParsePolicy(name string, opts core.Options) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "fcfs":
+		return Policy{Name: "fcfs", Factory: sched.FCFSFactory}, nil
+	case "random":
+		return Policy{Name: "random", Factory: sched.RandomFactory}, nil
+	case "sjf":
+		return Policy{Name: "sjf", Factory: sched.SJFFactory}, nil
+	case "sbf", "rein", "rein-sbf":
+		return Policy{Name: "sbf", Factory: sched.ReinSBFFactory}, nil
+	case "reinml", "rein-ml":
+		return Policy{Name: "reinml", Factory: sched.ReinMLFactory(2 * time.Millisecond)}, nil
+	case "lrpt":
+		return Policy{Name: "lrpt", Factory: sched.LRPTFactory}, nil
+	case "slack", "leastslack":
+		return Policy{Name: "slack", Factory: sched.LeastSlackFactory, Adaptive: true}, nil
+	case "das":
+		if _, err := core.New(opts); err != nil {
+			return Policy{}, fmt.Errorf("cli: %w", err)
+		}
+		return Policy{Name: "das", Factory: core.Factory(opts), Adaptive: true}, nil
+	case "das-static":
+		if _, err := core.New(opts); err != nil {
+			return Policy{}, fmt.Errorf("cli: %w", err)
+		}
+		return Policy{Name: "das-static", Factory: core.Factory(opts)}, nil
+	default:
+		return Policy{}, fmt.Errorf("cli: unknown policy %q (want one of %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// PolicyNames lists the accepted canonical policy names.
+func PolicyNames() []string {
+	names := []string{"fcfs", "random", "sjf", "sbf", "reinml", "lrpt", "slack", "das", "das-static"}
+	sort.Strings(names)
+	return names
+}
+
+// ParseDemand builds a demand distribution from a CLI spec:
+//
+//	exp:MEAN | det:VALUE | unif:LO:HI | bimodal:SMALL:LARGE:PSMALL |
+//	pareto:LO:HI:ALPHA | lognorm:MEAN:SIGMA
+//
+// Durations use Go syntax (e.g. 1ms, 500us).
+func ParseDemand(spec string) (dist.Duration, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (dist.Duration, error) {
+		return nil, fmt.Errorf("cli: bad demand spec %q", spec)
+	}
+	d := func(s string) (time.Duration, bool) {
+		v, err := time.ParseDuration(s)
+		return v, err == nil && v > 0
+	}
+	switch parts[0] {
+	case "exp":
+		if len(parts) != 2 {
+			return bad()
+		}
+		if m, ok := d(parts[1]); ok {
+			return dist.Exponential{M: m}, nil
+		}
+	case "det":
+		if len(parts) != 2 {
+			return bad()
+		}
+		if m, ok := d(parts[1]); ok {
+			return dist.Deterministic{V: m}, nil
+		}
+	case "unif":
+		if len(parts) != 3 {
+			return bad()
+		}
+		lo, ok1 := d(parts[1])
+		hi, ok2 := d(parts[2])
+		if ok1 && ok2 && hi >= lo {
+			return dist.Uniform{Lo: lo, Hi: hi}, nil
+		}
+	case "bimodal":
+		if len(parts) != 4 {
+			return bad()
+		}
+		small, ok1 := d(parts[1])
+		large, ok2 := d(parts[2])
+		var p float64
+		if _, err := fmt.Sscanf(parts[3], "%f", &p); err == nil && ok1 && ok2 && p >= 0 && p <= 1 {
+			return dist.Bimodal{Small: small, Large: large, PSmall: p}, nil
+		}
+	case "pareto":
+		if len(parts) != 4 {
+			return bad()
+		}
+		lo, ok1 := d(parts[1])
+		hi, ok2 := d(parts[2])
+		var a float64
+		if _, err := fmt.Sscanf(parts[3], "%f", &a); err == nil && ok1 && ok2 && a > 0 {
+			return dist.BoundedPareto{Lo: lo, Hi: hi, Alpha: a}, nil
+		}
+	case "lognorm":
+		if len(parts) != 3 {
+			return bad()
+		}
+		m, ok := d(parts[1])
+		var sig float64
+		if _, err := fmt.Sscanf(parts[2], "%f", &sig); err == nil && ok && sig > 0 {
+			return dist.Lognormal{M: m, Sigma: sig}, nil
+		}
+	}
+	return bad()
+}
+
+// ParseFanout builds a fan-out distribution from a CLI spec:
+//
+//	const:N | unif:LO:HI | zipf:MAX:S | geom:MEAN
+func ParseFanout(spec string) (dist.Discrete, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (dist.Discrete, error) {
+		return nil, fmt.Errorf("cli: bad fanout spec %q", spec)
+	}
+	switch parts[0] {
+	case "const":
+		var n int
+		if len(parts) == 2 {
+			if _, err := fmt.Sscanf(parts[1], "%d", &n); err == nil && n > 0 {
+				return dist.ConstInt{N: n}, nil
+			}
+		}
+	case "unif":
+		var lo, hi int
+		if len(parts) == 3 {
+			_, err1 := fmt.Sscanf(parts[1], "%d", &lo)
+			_, err2 := fmt.Sscanf(parts[2], "%d", &hi)
+			if err1 == nil && err2 == nil && lo > 0 && hi >= lo {
+				return dist.UniformInt{Lo: lo, Hi: hi}, nil
+			}
+		}
+	case "zipf":
+		var maxV int
+		var s float64
+		if len(parts) == 3 {
+			_, err1 := fmt.Sscanf(parts[1], "%d", &maxV)
+			_, err2 := fmt.Sscanf(parts[2], "%f", &s)
+			if err1 == nil && err2 == nil && maxV > 0 && s >= 0 {
+				z, err := dist.NewZipfInt(maxV, s)
+				if err != nil {
+					return nil, fmt.Errorf("cli: %w", err)
+				}
+				return z, nil
+			}
+		}
+	case "geom":
+		var m float64
+		if len(parts) == 2 {
+			if _, err := fmt.Sscanf(parts[1], "%f", &m); err == nil && m >= 1 {
+				return dist.GeometricInt{M: m}, nil
+			}
+		}
+	}
+	return bad()
+}

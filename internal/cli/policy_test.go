@@ -1,0 +1,141 @@
+package cli
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func TestParsePolicyAll(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Factory == nil {
+			t.Fatalf("ParsePolicy(%q): nil factory", name)
+		}
+		q := p.Factory(1)
+		if q == nil {
+			t.Fatalf("ParsePolicy(%q): factory returned nil", name)
+		}
+	}
+}
+
+func TestParsePolicyAliases(t *testing.T) {
+	for _, alias := range []string{"rein", "rein-sbf", "SBF", "Rein-ML", "leastslack"} {
+		if _, err := ParsePolicy(alias, core.DefaultOptions()); err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+	}
+}
+
+func TestParsePolicyUnknown(t *testing.T) {
+	if _, err := ParsePolicy("nope", core.DefaultOptions()); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestParsePolicyBadDASOptions(t *testing.T) {
+	if _, err := ParsePolicy("das", core.Options{Alpha: -1}); err == nil {
+		t.Fatal("invalid DAS options should error")
+	}
+}
+
+func TestParsePolicyAdaptiveFlags(t *testing.T) {
+	das, _ := ParsePolicy("das", core.DefaultOptions())
+	if !das.Adaptive {
+		t.Fatal("das should be adaptive")
+	}
+	static, _ := ParsePolicy("das-static", core.DefaultOptions())
+	if static.Adaptive {
+		t.Fatal("das-static should not be adaptive")
+	}
+	fcfs, _ := ParsePolicy("fcfs", core.DefaultOptions())
+	if fcfs.Adaptive {
+		t.Fatal("fcfs should not be adaptive")
+	}
+}
+
+func TestParseDemand(t *testing.T) {
+	cases := map[string]time.Duration{
+		"exp:1ms":                  time.Millisecond,
+		"det:2ms":                  2 * time.Millisecond,
+		"unif:1ms:3ms":             2 * time.Millisecond,
+		"bimodal:500us:5500us:0.9": time.Millisecond,
+		"lognorm:1ms:1.5":          time.Millisecond,
+	}
+	for spec, wantMean := range cases {
+		d, err := ParseDemand(spec)
+		if err != nil {
+			t.Fatalf("ParseDemand(%q): %v", spec, err)
+		}
+		if got := d.Mean(); got < wantMean*99/100 || got > wantMean*101/100 {
+			t.Fatalf("ParseDemand(%q).Mean() = %v, want ~%v", spec, got, wantMean)
+		}
+	}
+	if d, err := ParseDemand("pareto:320us:100ms:1.48"); err != nil || d == nil {
+		t.Fatalf("pareto spec rejected: %v", err)
+	}
+}
+
+func TestParseDemandBad(t *testing.T) {
+	for _, spec := range []string{"", "exp", "exp:zzz", "exp:-1ms", "unif:3ms:1ms",
+		"bimodal:1ms:2ms:2", "magic:1ms", "lognorm:1ms:-1"} {
+		if _, err := ParseDemand(spec); err == nil {
+			t.Fatalf("ParseDemand(%q) should error", spec)
+		}
+	}
+}
+
+func TestParseFanout(t *testing.T) {
+	cases := map[string]float64{
+		"const:4":  4,
+		"unif:1:7": 4,
+		"geom:5":   5,
+	}
+	for spec, wantMean := range cases {
+		f, err := ParseFanout(spec)
+		if err != nil {
+			t.Fatalf("ParseFanout(%q): %v", spec, err)
+		}
+		if got := f.Mean(); got != wantMean {
+			t.Fatalf("ParseFanout(%q).Mean() = %v, want %v", spec, got, wantMean)
+		}
+	}
+	z, err := ParseFanout("zipf:20:1.0")
+	if err != nil {
+		t.Fatalf("zipf spec: %v", err)
+	}
+	if _, ok := z.(*dist.ZipfInt); !ok {
+		t.Fatalf("zipf spec built %T", z)
+	}
+}
+
+func TestParseFanoutBad(t *testing.T) {
+	for _, spec := range []string{"", "const:0", "unif:7:1", "zipf:0:1", "geom:0.5", "what:3"} {
+		if _, err := ParseFanout(spec); err == nil {
+			t.Fatalf("ParseFanout(%q) should error", spec)
+		}
+	}
+}
+
+func TestParseServers(t *testing.T) {
+	got, err := ParseServers("0=127.0.0.1:7100, 1=host:7101")
+	if err != nil {
+		t.Fatalf("ParseServers: %v", err)
+	}
+	if len(got) != 2 || got[0] != "127.0.0.1:7100" || got[1] != "host:7101" {
+		t.Fatalf("ParseServers = %v", got)
+	}
+}
+
+func TestParseServersErrors(t *testing.T) {
+	for _, spec := range []string{"", "noequals", "x=addr", "1=", "1=a,1=b", ","} {
+		if _, err := ParseServers(spec); err == nil {
+			t.Fatalf("ParseServers(%q) should error", spec)
+		}
+	}
+}

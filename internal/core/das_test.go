@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func mustDAS(t *testing.T, opts Options) *DAS {
+	t.Helper()
+	q, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return q
+}
+
+// dasOp builds an op with the given SRPT key and slack.
+func dasOp(req sched.RequestID, remaining, slack time.Duration) *sched.Op {
+	return &sched.Op{
+		Request: req,
+		Demand:  time.Millisecond,
+		Tags: sched.Tags{
+			RemainingTime:  remaining,
+			ExpectedFinish: 100 * time.Millisecond,
+			RequestFinish:  100*time.Millisecond + slack,
+		},
+	}
+}
+
+func TestDASOptionsValidation(t *testing.T) {
+	if _, err := New(Options{Alpha: -0.1}); err == nil {
+		t.Fatal("negative alpha should error")
+	}
+	if _, err := New(Options{Alpha: 1.1}); err == nil {
+		t.Fatal("alpha > 1 should error")
+	}
+	if _, err := New(Options{Beta: -1}); err == nil {
+		t.Fatal("negative beta should error")
+	}
+	if _, err := New(Options{MaxDelay: -time.Second}); err == nil {
+		t.Fatal("negative MaxDelay should error")
+	}
+	if _, err := New(DefaultOptions()); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
+func TestDASSRPTFirstOrdering(t *testing.T) {
+	q := mustDAS(t, Options{})
+	q.Push(dasOp(1, 100*time.Millisecond, 0), 0)
+	q.Push(dasOp(2, 10*time.Millisecond, 0), 0)
+	q.Push(dasOp(3, 50*time.Millisecond, 0), 0)
+	want := []sched.RequestID{2, 3, 1}
+	for _, w := range want {
+		if got := q.Pop(0).Request; got != w {
+			t.Fatalf("pop = request %d, want %d (SRPT order)", got, w)
+		}
+	}
+}
+
+func TestDASSlackDemotionFiresAboveThreshold(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 1})
+	// Request 1's op is stuck behind a queue elsewhere far longer than
+	// its whole remaining processing time (slack 50ms > remaining
+	// 20ms): key = 20 + 1*20 = 40ms, demoted past the 21ms request.
+	q.Push(dasOp(1, 20*time.Millisecond, 50*time.Millisecond), 0)
+	q.Push(dasOp(2, 21*time.Millisecond, 0), 0)
+	if got := q.Pop(0).Request; got != 2 {
+		t.Fatalf("first pop = request %d, want 2 (high-slack op demoted)", got)
+	}
+}
+
+func TestDASSlackBelowThresholdIgnored(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 1})
+	// Slack 10ms <= remaining 20ms: below the demotion threshold, so
+	// pure SRPT order holds and the smaller remaining time wins.
+	q.Push(dasOp(1, 20*time.Millisecond, 10*time.Millisecond), 0)
+	q.Push(dasOp(2, 21*time.Millisecond, 0), 0)
+	if got := q.Pop(0).Request; got != 1 {
+		t.Fatalf("first pop = request %d, want 1 (small slack must not perturb SRPT)", got)
+	}
+}
+
+func TestDASSlackDemotionCapped(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 1})
+	// Huge slack demotes by at most Beta*RemainingTime: key = 10+10 =
+	// 20ms, which still beats a 25ms zero-slack request.
+	q.Push(dasOp(1, 10*time.Millisecond, time.Hour), 0)
+	q.Push(dasOp(2, 25*time.Millisecond, 0), 0)
+	if got := q.Pop(0).Request; got != 1 {
+		t.Fatalf("first pop = request %d, want 1 (demotion capped)", got)
+	}
+}
+
+func TestDASNoSlackTermWhenBetaZero(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 0})
+	q.Push(dasOp(1, 20*time.Millisecond, time.Hour), 0)
+	q.Push(dasOp(2, 21*time.Millisecond, 0), 0)
+	if got := q.Pop(0).Request; got != 1 {
+		t.Fatalf("first pop = request %d, want 1 (beta=0 ignores slack)", got)
+	}
+}
+
+func TestDASContinuousAging(t *testing.T) {
+	q := mustDAS(t, Options{Alpha: 0.5})
+	// Old large request vs newer slightly-smaller request:
+	// key(1) = 100ms + 0.5*0 = 100ms; key(2) = 90ms + 0.5*60ms = 120ms.
+	q.Push(dasOp(1, 100*time.Millisecond, 0), 0)
+	q.Push(dasOp(2, 90*time.Millisecond, 0), 60*time.Millisecond)
+	if got := q.Pop(60 * time.Millisecond).Request; got != 1 {
+		t.Fatalf("first pop = request %d, want 1 (aging)", got)
+	}
+}
+
+func TestDASNoAgingWhenAlphaZero(t *testing.T) {
+	q := mustDAS(t, Options{})
+	q.Push(dasOp(1, 100*time.Millisecond, 0), 0)
+	q.Push(dasOp(2, 90*time.Millisecond, 0), 60*time.Millisecond)
+	if got := q.Pop(60 * time.Millisecond).Request; got != 2 {
+		t.Fatalf("first pop = request %d, want 2 (no aging)", got)
+	}
+}
+
+func TestDASMaxDelayPromotesOldest(t *testing.T) {
+	q := mustDAS(t, Options{MaxDelay: 10 * time.Millisecond})
+	// A large request queued at t=0, small ones arriving later.
+	q.Push(dasOp(1, time.Second, 0), 0)
+	q.Push(dasOp(2, time.Millisecond, 0), 5*time.Millisecond)
+	q.Push(dasOp(3, time.Millisecond, 0), 6*time.Millisecond)
+	// Before the bound: SRPT order.
+	if got := q.Pop(8 * time.Millisecond).Request; got != 2 {
+		t.Fatalf("pop before bound = request %d, want 2", got)
+	}
+	// Past the bound: the starving op jumps the queue.
+	if got := q.Pop(11 * time.Millisecond).Request; got != 1 {
+		t.Fatalf("pop past bound = request %d, want 1 (promoted)", got)
+	}
+	if got := q.Pop(11 * time.Millisecond).Request; got != 3 {
+		t.Fatalf("final pop = request %d, want 3", got)
+	}
+	if q.Len() != 0 || q.BacklogDemand() != 0 {
+		t.Fatalf("queue not drained: len=%d backlog=%v", q.Len(), q.BacklogDemand())
+	}
+}
+
+func TestDASMaxDelayHeapStaysConsistent(t *testing.T) {
+	q := mustDAS(t, Options{MaxDelay: time.Millisecond})
+	rng := dist.NewRand(5)
+	now := time.Duration(0)
+	pushed, popped := 0, 0
+	seen := map[sched.RequestID]bool{}
+	for i := 0; i < 2000; i++ {
+		now += time.Duration(rng.Int64N(int64(time.Millisecond)))
+		if rng.IntN(2) == 0 || q.Len() == 0 {
+			pushed++
+			q.Push(dasOp(sched.RequestID(pushed), time.Duration(rng.Int64N(int64(time.Second))), 0), now)
+			continue
+		}
+		op := q.Pop(now)
+		if op == nil {
+			t.Fatal("nil pop with work queued")
+		}
+		if seen[op.Request] {
+			t.Fatalf("request %d served twice", op.Request)
+		}
+		seen[op.Request] = true
+		popped++
+	}
+	for q.Len() > 0 {
+		op := q.Pop(now)
+		if op == nil || seen[op.Request] {
+			t.Fatal("drain inconsistency")
+		}
+		seen[op.Request] = true
+		popped++
+	}
+	if popped != pushed {
+		t.Fatalf("popped %d, pushed %d", popped, pushed)
+	}
+	if q.BacklogDemand() != 0 {
+		t.Fatalf("backlog = %v after drain", q.BacklogDemand())
+	}
+}
+
+func TestDASFIFOTieBreak(t *testing.T) {
+	q := mustDAS(t, Options{})
+	for i := 1; i <= 10; i++ {
+		q.Push(dasOp(sched.RequestID(i), time.Second, 0), 0)
+	}
+	for i := 1; i <= 10; i++ {
+		if got := q.Pop(0).Request; got != sched.RequestID(i) {
+			t.Fatalf("tie order broken at %d: got %d", i, got)
+		}
+	}
+}
+
+func TestDASEmptyPop(t *testing.T) {
+	q := mustDAS(t, DefaultOptions())
+	if q.Pop(0) != nil {
+		t.Fatal("Pop on empty should be nil")
+	}
+	if q.Len() != 0 || q.BacklogDemand() != 0 {
+		t.Fatal("empty queue should report zero length and backlog")
+	}
+}
+
+func TestDASBacklogTracking(t *testing.T) {
+	q := mustDAS(t, DefaultOptions())
+	a := dasOp(1, time.Second, 0)
+	a.Demand = 2 * time.Millisecond
+	b := dasOp(2, time.Second, 0)
+	b.Demand = 3 * time.Millisecond
+	q.Push(a, 0)
+	q.Push(b, 0)
+	if q.BacklogDemand() != 5*time.Millisecond {
+		t.Fatalf("backlog = %v, want 5ms", q.BacklogDemand())
+	}
+	q.Pop(0)
+	q.Pop(0)
+	if q.BacklogDemand() != 0 {
+		t.Fatalf("backlog after drain = %v, want 0", q.BacklogDemand())
+	}
+}
+
+func TestDASDrainsAllQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := dist.NewRand(seed)
+		q := mustDAS(t, DefaultOptions())
+		const n = 200
+		for i := 0; i < n; i++ {
+			rem := time.Duration(rng.Int64N(int64(time.Second)))
+			slack := time.Duration(rng.Int64N(int64(time.Second)))
+			q.Push(dasOp(sched.RequestID(i), rem, slack), time.Duration(i)*time.Microsecond)
+		}
+		seen := map[sched.RequestID]bool{}
+		prevKey := -1.0
+		for q.Len() > 0 {
+			k := q.keys[0]
+			if k < prevKey {
+				return false
+			}
+			prevKey = k
+			op := q.Pop(0)
+			if op == nil || seen[op.Request] {
+				return false
+			}
+			seen[op.Request] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDASFactoryFallsBackOnBadOptions(t *testing.T) {
+	p := Factory(Options{Alpha: -5})(0)
+	if p == nil || p.Name() != "DAS" {
+		t.Fatal("factory should fall back to defaults")
+	}
+}
+
+func TestDASName(t *testing.T) {
+	if mustDAS(t, DefaultOptions()).Name() != "DAS" {
+		t.Fatal("Name should be DAS")
+	}
+}
+
+func TestDASSlackThresholdConfigurable(t *testing.T) {
+	// With threshold 3, slack of 2.5x remaining must NOT demote.
+	q := mustDAS(t, Options{Beta: 1, SlackThreshold: 3})
+	q.Push(dasOp(1, 20*time.Millisecond, 50*time.Millisecond), 0)
+	q.Push(dasOp(2, 21*time.Millisecond, 0), 0)
+	if got := q.Pop(0).Request; got != 1 {
+		t.Fatalf("first pop = request %d, want 1 (below threshold)", got)
+	}
+	// Negative threshold is rejected.
+	if _, err := New(Options{SlackThreshold: -1}); err == nil {
+		t.Fatal("negative threshold should error")
+	}
+}

@@ -1,0 +1,187 @@
+// Package core implements the paper's contribution: the Distributed
+// Adaptive Scheduler (DAS) for multiget requests in distributed
+// key-value stores.
+//
+// DAS has three cooperating pieces, all in this package:
+//
+//   - Estimator — the client-side view of every server's current load and
+//     speed, maintained purely from feedback piggybacked on responses (no
+//     central coordinator, no extra messages).
+//   - Tag — the client-side tagger that, at dispatch time, stamps each
+//     operation of a request with its expected finish time and the
+//     request's expected bottleneck finish time.
+//   - DAS — the server-side queueing policy combining SRPT-first across
+//     requests with LRPT-last slack demotion within requests, plus
+//     anti-starvation aging.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Feedback is the load/performance snapshot a server piggybacks on every
+// response. It is deliberately tiny (two numbers and a timestamp) because
+// the paper's premise is that centralized information is too expensive —
+// everything DAS learns rides on traffic that flows anyway.
+type Feedback struct {
+	Server sched.ServerID
+	// QueueLen is the number of operations pending at the server.
+	QueueLen int
+	// Backlog is the total unserved service demand queued at the
+	// server, including the remaining demand of the op in service.
+	Backlog time.Duration
+	// Speed is the server's recent processing speed in demand-units
+	// per unit time (1.0 = nominal).
+	Speed float64
+	// At is the server-side generation instant.
+	At time.Duration
+}
+
+// EstimatorConfig tunes the client-side view.
+type EstimatorConfig struct {
+	// Gain is the EWMA weight of a fresh observation in (0, 1].
+	Gain float64
+	// StaleAfter is the age beyond which a view's backlog information
+	// is considered fully drained and only the speed estimate is kept.
+	StaleAfter time.Duration
+	// DefaultSpeed seeds the speed estimate for servers never heard
+	// from (1.0 = nominal hardware).
+	DefaultSpeed float64
+}
+
+// DefaultEstimatorConfig returns the parameters used throughout the
+// evaluation.
+func DefaultEstimatorConfig() EstimatorConfig {
+	return EstimatorConfig{
+		Gain:         0.3,
+		StaleAfter:   5 * time.Second,
+		DefaultSpeed: 1.0,
+	}
+}
+
+func (c EstimatorConfig) validate() error {
+	if c.Gain <= 0 || c.Gain > 1 {
+		return fmt.Errorf("estimator: gain %v outside (0,1]", c.Gain)
+	}
+	if c.StaleAfter <= 0 {
+		return fmt.Errorf("estimator: StaleAfter %v must be positive", c.StaleAfter)
+	}
+	if c.DefaultSpeed <= 0 {
+		return fmt.Errorf("estimator: DefaultSpeed %v must be positive", c.DefaultSpeed)
+	}
+	return nil
+}
+
+type serverView struct {
+	speed     float64
+	backlog   time.Duration
+	updatedAt time.Duration
+	known     bool
+}
+
+// Estimator maintains per-server load and speed views from piggybacked
+// feedback. It is safe for concurrent use: in the live store many client
+// goroutines share one estimator.
+type Estimator struct {
+	cfg EstimatorConfig
+
+	mu    sync.Mutex
+	views map[sched.ServerID]*serverView
+}
+
+// NewEstimator returns an estimator with the given configuration.
+func NewEstimator(cfg EstimatorConfig) (*Estimator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: cfg, views: make(map[sched.ServerID]*serverView)}, nil
+}
+
+// Observe folds one piece of piggybacked feedback into the view.
+func (e *Estimator) Observe(fb Feedback) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[fb.Server]
+	if !ok {
+		v = &serverView{speed: e.cfg.DefaultSpeed}
+		e.views[fb.Server] = v
+	}
+	if fb.Speed > 0 {
+		if v.known {
+			v.speed += e.cfg.Gain * (fb.Speed - v.speed)
+		} else {
+			v.speed = fb.Speed
+		}
+	}
+	// Keep the freshest backlog snapshot; feedback can arrive out of
+	// order over different connections.
+	if fb.At >= v.updatedAt {
+		v.backlog = fb.Backlog
+		v.updatedAt = fb.At
+	}
+	v.known = true
+}
+
+// Speed returns the current speed estimate for a server.
+func (e *Estimator) Speed(server sched.ServerID) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.views[server]; ok && v.known {
+		return v.speed
+	}
+	return e.cfg.DefaultSpeed
+}
+
+// ExpectedWait estimates the queueing delay a new operation would see at
+// the server at virtual time now. The last backlog snapshot is drained
+// forward at the estimated speed; views older than StaleAfter contribute
+// no wait (the backlog has surely turned over).
+func (e *Estimator) ExpectedWait(server sched.ServerID, now time.Duration) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[server]
+	if !ok || !v.known {
+		return 0
+	}
+	age := now - v.updatedAt
+	if age < 0 {
+		age = 0
+	}
+	if age > e.cfg.StaleAfter {
+		return 0
+	}
+	speed := v.speed
+	if speed <= 0 {
+		speed = e.cfg.DefaultSpeed
+	}
+	wait := time.Duration(float64(v.backlog)/speed) - age
+	if wait < 0 {
+		return 0
+	}
+	return wait
+}
+
+// ExpectedFinish estimates the absolute completion instant of an
+// operation with the given demand dispatched to server at time now:
+// now + expected queueing wait + demand scaled by the speed estimate.
+func (e *Estimator) ExpectedFinish(server sched.ServerID, demand, now time.Duration) time.Duration {
+	wait := e.ExpectedWait(server, now)
+	speed := e.Speed(server)
+	return now + wait + time.Duration(float64(demand)/speed)
+}
+
+// Snapshot returns a copy of the current view of one server for
+// introspection and tests. ok is false if the server was never observed.
+func (e *Estimator) Snapshot(server sched.ServerID) (speed float64, backlog time.Duration, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, exists := e.views[server]
+	if !exists || !v.known {
+		return e.cfg.DefaultSpeed, 0, false
+	}
+	return v.speed, v.backlog, true
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func mustEstimator(t *testing.T, cfg EstimatorConfig) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(cfg)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	return e
+}
+
+func TestEstimatorConfigValidation(t *testing.T) {
+	bad := []EstimatorConfig{
+		{Gain: 0, StaleAfter: time.Second, DefaultSpeed: 1},
+		{Gain: 1.5, StaleAfter: time.Second, DefaultSpeed: 1},
+		{Gain: 0.5, StaleAfter: 0, DefaultSpeed: 1},
+		{Gain: 0.5, StaleAfter: time.Second, DefaultSpeed: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEstimator(cfg); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if _, err := NewEstimator(DefaultEstimatorConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestEstimatorUnknownServerDefaults(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	if got := e.Speed(5); got != 1.0 {
+		t.Fatalf("Speed(unknown) = %v, want 1.0", got)
+	}
+	if got := e.ExpectedWait(5, time.Second); got != 0 {
+		t.Fatalf("ExpectedWait(unknown) = %v, want 0", got)
+	}
+	now := 10 * time.Second
+	if got := e.ExpectedFinish(5, 3*time.Millisecond, now); got != now+3*time.Millisecond {
+		t.Fatalf("ExpectedFinish(unknown) = %v, want now+demand", got)
+	}
+	if _, _, ok := e.Snapshot(5); ok {
+		t.Fatal("Snapshot of unknown server should report ok=false")
+	}
+}
+
+func TestEstimatorFirstObservationAdoptsSpeed(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	e.Observe(Feedback{Server: 1, Speed: 0.5, At: time.Second})
+	if got := e.Speed(1); got != 0.5 {
+		t.Fatalf("Speed = %v, want 0.5 (first observation adopted outright)", got)
+	}
+}
+
+func TestEstimatorEWMAConverges(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	e.Observe(Feedback{Server: 1, Speed: 1.0, At: 0})
+	for i := 1; i <= 50; i++ {
+		e.Observe(Feedback{Server: 1, Speed: 0.25, At: time.Duration(i) * time.Millisecond})
+	}
+	if got := e.Speed(1); got < 0.24 || got > 0.27 {
+		t.Fatalf("Speed = %v, want converged near 0.25", got)
+	}
+}
+
+func TestEstimatorZeroSpeedFeedbackIgnored(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	e.Observe(Feedback{Server: 1, Speed: 0.8, At: 0})
+	e.Observe(Feedback{Server: 1, Speed: 0, At: time.Millisecond})
+	if got := e.Speed(1); got != 0.8 {
+		t.Fatalf("Speed = %v, want 0.8 (zero-speed feedback skipped)", got)
+	}
+}
+
+func TestEstimatorBacklogDrainsForward(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	e.Observe(Feedback{Server: 1, Speed: 1.0, Backlog: 10 * time.Millisecond, At: 0})
+	if got := e.ExpectedWait(1, 0); got != 10*time.Millisecond {
+		t.Fatalf("wait at t=0 = %v, want 10ms", got)
+	}
+	if got := e.ExpectedWait(1, 4*time.Millisecond); got != 6*time.Millisecond {
+		t.Fatalf("wait at t=4ms = %v, want 6ms (drained)", got)
+	}
+	if got := e.ExpectedWait(1, 20*time.Millisecond); got != 0 {
+		t.Fatalf("wait past backlog = %v, want 0", got)
+	}
+}
+
+func TestEstimatorSlowServerScalesWait(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	e.Observe(Feedback{Server: 1, Speed: 0.5, Backlog: 10 * time.Millisecond, At: 0})
+	// 10ms of demand at speed 0.5 takes 20ms of wall time.
+	if got := e.ExpectedWait(1, 0); got != 20*time.Millisecond {
+		t.Fatalf("wait = %v, want 20ms", got)
+	}
+	finish := e.ExpectedFinish(1, 5*time.Millisecond, 0)
+	if finish != 30*time.Millisecond { // 20ms wait + 5ms/0.5 processing
+		t.Fatalf("ExpectedFinish = %v, want 30ms", finish)
+	}
+}
+
+func TestEstimatorStaleViewDropsBacklog(t *testing.T) {
+	cfg := DefaultEstimatorConfig()
+	cfg.StaleAfter = 100 * time.Millisecond
+	e := mustEstimator(t, cfg)
+	e.Observe(Feedback{Server: 1, Speed: 1.0, Backlog: time.Hour, At: 0})
+	if got := e.ExpectedWait(1, 200*time.Millisecond); got != 0 {
+		t.Fatalf("stale wait = %v, want 0", got)
+	}
+	// Speed survives staleness.
+	if got := e.Speed(1); got != 1.0 {
+		t.Fatalf("stale Speed = %v, want 1.0", got)
+	}
+}
+
+func TestEstimatorOutOfOrderFeedbackKeepsFreshest(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	e.Observe(Feedback{Server: 1, Speed: 1, Backlog: 5 * time.Millisecond, At: 10 * time.Millisecond})
+	e.Observe(Feedback{Server: 1, Speed: 1, Backlog: 50 * time.Millisecond, At: 2 * time.Millisecond})
+	_, backlog, ok := e.Snapshot(1)
+	if !ok || backlog != 5*time.Millisecond {
+		t.Fatalf("backlog = %v ok=%v, want 5ms from the fresher snapshot", backlog, ok)
+	}
+}
+
+func TestEstimatorConcurrentAccess(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sid := sched.ServerID(i % 16)
+				e.Observe(Feedback{Server: sid, Speed: 1, Backlog: time.Millisecond, At: time.Duration(g*1000 + i)})
+				e.ExpectedFinish(sid, time.Millisecond, time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

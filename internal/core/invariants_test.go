@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/schedtest"
+)
+
+// TestDASInvariants runs the shared policy conformance suite over DAS
+// in every option configuration the experiments use.
+func TestDASInvariants(t *testing.T) {
+	cases := map[string]core.Options{
+		"default":     core.DefaultOptions(),
+		"pure-srpt":   {},
+		"aging":       {Alpha: 0.25, Beta: 0.1},
+		"maxdelay":    {Beta: 0.1, MaxDelay: 5 * time.Millisecond},
+		"everything":  {Alpha: 0.1, Beta: 0.5, MaxDelay: 2 * time.Millisecond, SlackThreshold: 2},
+		"big-beta":    {Beta: 3},
+		"fcfs-ward":   {Alpha: 1},
+		"threshold-0": {Beta: 0.1, SlackThreshold: 0.5},
+	}
+	for name, opts := range cases {
+		schedtest.RunInvariants(t, name, core.Factory(opts))
+	}
+}

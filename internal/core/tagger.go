@@ -1,0 +1,69 @@
+package core
+
+import (
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Tag stamps the operations of one request with DAS scheduling metadata
+// at dispatch time now. It fills, per operation:
+//
+//   - Tags.DemandBottleneck — the maximum sibling demand (the static
+//     bottleneck Rein-SBF orders by, shared so baselines reuse tagging);
+//   - Tags.ScaledDemand — the op's demand scaled by the estimated speed
+//     of its server;
+//   - Tags.RemainingTime — the maximum sibling ScaledDemand: the
+//     request's bottleneck processing time adjusted for server speeds.
+//     This is DAS's SRPT-first key. Queueing waits are deliberately left
+//     out: wait estimates are noisy, stale by the time an op is served,
+//     and largely shared across co-queued requests, so including them
+//     drowns the request-size signal (verified in simulation — it
+//     pushes DAS toward FCFS behavior);
+//   - Tags.ExpectedFinish / Tags.RequestFinish — absolute completion
+//     estimates *including* expected queueing waits. Their difference,
+//     Tags.Slack, is how long this op can be deferred before it delays
+//     its request: the LRPT-last demotion signal. Waits matter here —
+//     an op whose sibling sits behind a 500ms backlog genuinely has
+//     hundreds of milliseconds of slack.
+//
+// With est == nil (the DAS-static ablation and the Rein baselines) all
+// servers look idle at nominal speed, so RemainingTime degenerates to
+// the static demand bottleneck (exactly Rein-SBF's information) and
+// Slack to the within-request demand gap.
+func Tag(ops []*sched.Op, est *Estimator, now time.Duration) {
+	if len(ops) == 0 {
+		return
+	}
+	var maxDemand time.Duration
+	for _, op := range ops {
+		if op.Demand > maxDemand {
+			maxDemand = op.Demand
+		}
+	}
+	var maxScaled time.Duration
+	var requestFinish time.Duration
+	for _, op := range ops {
+		scaled := op.Demand
+		var wait time.Duration
+		if est != nil {
+			scaled = time.Duration(float64(op.Demand) / est.Speed(op.Server))
+			wait = est.ExpectedWait(op.Server, now)
+		}
+		op.Tags.ScaledDemand = scaled
+		op.Tags.ExpectedFinish = now + wait + scaled
+		if scaled > maxScaled {
+			maxScaled = scaled
+		}
+		if op.Tags.ExpectedFinish > requestFinish {
+			requestFinish = op.Tags.ExpectedFinish
+		}
+	}
+	for _, op := range ops {
+		op.Tags.IssuedAt = now
+		op.Tags.Fanout = len(ops)
+		op.Tags.DemandBottleneck = maxDemand
+		op.Tags.RemainingTime = maxScaled
+		op.Tags.RequestFinish = requestFinish
+	}
+}

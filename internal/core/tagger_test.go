@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func TestTagEmptyNoop(t *testing.T) {
+	Tag(nil, nil, 0) // must not panic
+}
+
+func TestTagStaticFallback(t *testing.T) {
+	ops := []*sched.Op{
+		{Request: 1, Index: 0, Server: 0, Demand: 3 * time.Millisecond},
+		{Request: 1, Index: 1, Server: 1, Demand: 7 * time.Millisecond},
+	}
+	now := 100 * time.Millisecond
+	Tag(ops, nil, now)
+	for _, op := range ops {
+		if op.Tags.DemandBottleneck != 7*time.Millisecond {
+			t.Fatalf("DemandBottleneck = %v, want 7ms", op.Tags.DemandBottleneck)
+		}
+		// Static tagging: RemainingTime degenerates to the demand
+		// bottleneck (Rein-SBF's information).
+		if op.Tags.RemainingTime != 7*time.Millisecond {
+			t.Fatalf("RemainingTime = %v, want 7ms", op.Tags.RemainingTime)
+		}
+		if op.Tags.RequestFinish != now+7*time.Millisecond {
+			t.Fatalf("RequestFinish = %v, want now+7ms", op.Tags.RequestFinish)
+		}
+		if op.Tags.IssuedAt != now || op.Tags.Fanout != 2 {
+			t.Fatalf("IssuedAt/Fanout = %v/%d", op.Tags.IssuedAt, op.Tags.Fanout)
+		}
+	}
+	if ops[0].Tags.ScaledDemand != 3*time.Millisecond {
+		t.Fatalf("op0 ScaledDemand = %v, want 3ms", ops[0].Tags.ScaledDemand)
+	}
+	if got := ops[0].Tags.Slack(); got != 4*time.Millisecond {
+		t.Fatalf("op0 Slack = %v, want 4ms", got)
+	}
+	if got := ops[1].Tags.Slack(); got != 0 {
+		t.Fatalf("op1 (bottleneck) Slack = %v, want 0", got)
+	}
+}
+
+func TestTagAdaptiveScalesBySpeed(t *testing.T) {
+	est := mustEstimator(t, DefaultEstimatorConfig())
+	// Server 1 runs at half speed; server 0 is nominal.
+	est.Observe(Feedback{Server: 1, Speed: 0.5, At: 0})
+	ops := []*sched.Op{
+		{Request: 1, Index: 0, Server: 0, Demand: 6 * time.Millisecond},
+		{Request: 1, Index: 1, Server: 1, Demand: 4 * time.Millisecond},
+	}
+	Tag(ops, est, 0)
+	// Statically op0 (6ms) is the bottleneck; adaptively op1 takes
+	// 4ms/0.5 = 8ms and the bottleneck flips.
+	if ops[1].Tags.ScaledDemand != 8*time.Millisecond {
+		t.Fatalf("op1 ScaledDemand = %v, want 8ms", ops[1].Tags.ScaledDemand)
+	}
+	for _, op := range ops {
+		if op.Tags.RemainingTime != 8*time.Millisecond {
+			t.Fatalf("RemainingTime = %v, want 8ms (speed-scaled bottleneck)", op.Tags.RemainingTime)
+		}
+		if op.Tags.DemandBottleneck != 6*time.Millisecond {
+			t.Fatalf("DemandBottleneck = %v, want static 6ms", op.Tags.DemandBottleneck)
+		}
+	}
+}
+
+func TestTagAdaptiveWaitsEnterSlackNotRemaining(t *testing.T) {
+	est := mustEstimator(t, DefaultEstimatorConfig())
+	// Server 1 has a 10ms backlog at nominal speed.
+	est.Observe(Feedback{Server: 1, Speed: 1.0, Backlog: 10 * time.Millisecond, At: 0})
+	ops := []*sched.Op{
+		{Request: 1, Index: 0, Server: 0, Demand: 2 * time.Millisecond},
+		{Request: 1, Index: 1, Server: 1, Demand: 3 * time.Millisecond},
+	}
+	Tag(ops, est, 0)
+	// RemainingTime ignores waits: max scaled demand = 3ms.
+	if ops[0].Tags.RemainingTime != 3*time.Millisecond {
+		t.Fatalf("RemainingTime = %v, want 3ms", ops[0].Tags.RemainingTime)
+	}
+	// ExpectedFinish includes waits: op1 = 10ms wait + 3ms = 13ms.
+	if ops[1].Tags.ExpectedFinish != 13*time.Millisecond {
+		t.Fatalf("op1 ExpectedFinish = %v, want 13ms", ops[1].Tags.ExpectedFinish)
+	}
+	// op0 finishes at 2ms, request at 13ms: 11ms of deferral headroom.
+	if got := ops[0].Tags.Slack(); got != 11*time.Millisecond {
+		t.Fatalf("op0 Slack = %v, want 11ms", got)
+	}
+	if got := ops[1].Tags.Slack(); got != 0 {
+		t.Fatalf("op1 Slack = %v, want 0 (it is the bottleneck)", got)
+	}
+}
+
+func TestTagSingleOp(t *testing.T) {
+	ops := []*sched.Op{{Request: 9, Server: 2, Demand: time.Millisecond}}
+	Tag(ops, nil, 0)
+	if ops[0].Tags.Slack() != 0 {
+		t.Fatal("single op should have zero slack")
+	}
+	if ops[0].Tags.Fanout != 1 {
+		t.Fatal("fanout should be 1")
+	}
+	if ops[0].Tags.RemainingTime != time.Millisecond {
+		t.Fatal("RemainingTime should equal own demand")
+	}
+}

@@ -1,0 +1,198 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events fire in timestamp order; ties are broken by scheduling
+// order, which makes runs fully deterministic for a fixed seed and event
+// program. All simulated instants and intervals are expressed as
+// time.Duration offsets from the simulation start.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrHalted is returned by Run when the simulation was stopped explicitly
+// via Halt before reaching the requested horizon.
+var ErrHalted = errors.New("simulation halted")
+
+// Timer is a handle to a scheduled event. It can be used to cancel the
+// event before it fires.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	index   int // heap index, -1 once fired or canceled
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending:
+// false means the event already fired or was already stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && !t.stopped && t.index >= 0
+}
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() time.Duration { return t.at }
+
+// Engine is a single-threaded discrete-event executor. The zero value is
+// ready to use. Engine is not safe for concurrent use; a simulation is a
+// sequential program over virtual time.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	halted  bool
+	stepped uint64
+}
+
+// New returns an engine with its clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// Len returns the number of pending (non-canceled) events.
+func (e *Engine) Len() int {
+	n := 0
+	for _, t := range e.events {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay units of virtual time. A negative delay is
+// treated as zero (fire at the current instant, after already-queued
+// events for that instant).
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute virtual time at. Times in the past are
+// clamped to the current instant.
+func (e *Engine) At(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, t)
+	return t
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		t, ok := heap.Pop(&e.events).(*Timer)
+		if !ok {
+			return false
+		}
+		t.index = -1
+		if t.stopped {
+			continue
+		}
+		e.now = t.at
+		e.stepped++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the event queue is empty, the clock passes
+// horizon, or Halt is called. A zero horizon means run until idle.
+// It returns ErrHalted if stopped via Halt, nil otherwise. On return the
+// clock is at the time of the last executed event (or at horizon if the
+// horizon was reached with events still pending).
+func (e *Engine) Run(horizon time.Duration) error {
+	e.halted = false
+	for {
+		if e.halted {
+			return ErrHalted
+		}
+		next, ok := e.peek()
+		if !ok {
+			return nil
+		}
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+}
+
+// peek returns the next non-canceled event without executing it.
+func (e *Engine) peek() (*Timer, bool) {
+	for len(e.events) > 0 {
+		t := e.events[0]
+		if !t.stopped {
+			return t, true
+		}
+		popped, _ := heap.Pop(&e.events).(*Timer)
+		if popped != nil {
+			popped.index = -1
+		}
+	}
+	return nil, false
+}
+
+// eventHeap orders timers by (at, seq).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		return
+	}
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,94 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineWhenAndPendingLifecycle(t *testing.T) {
+	e := New()
+	tm := e.Schedule(3*time.Second, func() {})
+	if tm.When() != 3*time.Second {
+		t.Fatalf("When = %v, want 3s", tm.When())
+	}
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before run")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tm.Pending() {
+		t.Fatal("timer should not be pending after firing")
+	}
+	if tm.When() != 3*time.Second {
+		t.Fatal("When should still report the fire time")
+	}
+}
+
+func TestEngineResumeAfterHalt(t *testing.T) {
+	e := New()
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1); e.Halt() })
+	e.Schedule(2*time.Second, func() { fired = append(fired, 2) })
+	if err := e.Run(0); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	// Resuming picks up where the halt left off.
+	if err := e.Run(0); err != nil {
+		t.Fatalf("resume Run: %v", err)
+	}
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+}
+
+func TestEngineCancelDuringEvent(t *testing.T) {
+	e := New()
+	var later *Timer
+	canceled := false
+	e.Schedule(time.Second, func() {
+		canceled = later.Stop()
+	})
+	later = e.Schedule(2*time.Second, func() {
+		t.Error("canceled event fired")
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !canceled {
+		t.Fatal("Stop from within an event should succeed")
+	}
+}
+
+func TestEngineStopNilTimer(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("Stop on nil timer should be false")
+	}
+	if tm.Pending() {
+		t.Fatal("nil timer should not be pending")
+	}
+}
+
+func TestEngineHeavyCancelChurn(t *testing.T) {
+	e := New()
+	fired := 0
+	var timers []*Timer
+	for i := 0; i < 2000; i++ {
+		d := time.Duration(i%97+1) * time.Millisecond
+		timers = append(timers, e.Schedule(d, func() { fired++ }))
+	}
+	// Cancel every third timer.
+	canceled := 0
+	for i := 0; i < len(timers); i += 3 {
+		if timers[i].Stop() {
+			canceled++
+		}
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2000-canceled {
+		t.Fatalf("fired %d, want %d", fired, 2000-canceled)
+	}
+}

@@ -1,0 +1,236 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineZeroValueReady(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(time.Second, func() { fired = true })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if got, want := e.Now(), time.Second; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var at []time.Duration
+	e.Schedule(time.Second, func() {
+		at = append(at, e.Now())
+		e.Schedule(time.Second, func() {
+			at = append(at, e.Now())
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(at) != 2 || at[0] != time.Second || at[1] != 2*time.Second {
+		t.Fatalf("fire times = %v, want [1s 2s]", at)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Hour, func() {
+			if e.Now() != time.Second {
+				t.Errorf("clamped event fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineAtPastClamped(t *testing.T) {
+	e := New()
+	e.Schedule(2*time.Second, func() {
+		e.At(time.Second, func() {
+			if e.Now() != 2*time.Second {
+				t.Errorf("past event fired at %v, want 2s", e.Now())
+			}
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := New()
+	tm := e.Schedule(time.Second, func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer should not be pending")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(10*time.Second, func() { fired++ })
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if got := e.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s (clock advanced to horizon)", got)
+	}
+	// The remaining event still fires if we keep running.
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(time.Second, func() {
+		fired++
+		e.Halt()
+	})
+	e.Schedule(2*time.Second, func() { fired++ })
+	if err := e.Run(0); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestEngineStepAndCounts(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	if !e.Step() {
+		t.Fatal("Step should execute an event")
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", e.Steps())
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", e.Len())
+	}
+	if !e.Step() {
+		t.Fatal("Step should execute the second event")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestEngineLenExcludesStopped(t *testing.T) {
+	e := New()
+	tm := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	tm.Stop()
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after cancel", e.Len())
+	}
+}
+
+func TestEngineManyEventsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		e := New()
+		var fired []time.Duration
+		// Interleave a deterministic but shuffled-looking schedule.
+		for i := 0; i < 1000; i++ {
+			d := time.Duration((i*7919)%997) * time.Millisecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("lengths = %d, %d, want 1000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("time went backwards at %d: %v after %v", i, a[i], a[i-1])
+		}
+	}
+}

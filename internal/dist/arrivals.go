@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// LoadProfile maps virtual time to a multiplier on the base arrival rate,
+// modeling time-varying offered load. A profile must stay within
+// [0, Peak()] for correctness of the thinning sampler.
+type LoadProfile interface {
+	// At returns the rate multiplier at time t (>= 0).
+	At(t time.Duration) float64
+	// Peak returns an upper bound on At over all t.
+	Peak() float64
+	String() string
+}
+
+// ConstantLoad holds the multiplier fixed at Level.
+type ConstantLoad struct{ Level float64 }
+
+var _ LoadProfile = ConstantLoad{}
+
+// At implements LoadProfile.
+func (p ConstantLoad) At(time.Duration) float64 { return p.Level }
+
+// Peak implements LoadProfile.
+func (p ConstantLoad) Peak() float64 { return p.Level }
+
+func (p ConstantLoad) String() string { return fmt.Sprintf("const(%.2f)", p.Level) }
+
+// SquareWaveLoad alternates between Low and High with the given Period
+// (half period at each level), modeling diurnal-style load swings.
+type SquareWaveLoad struct {
+	Low, High float64
+	Period    time.Duration
+}
+
+var _ LoadProfile = SquareWaveLoad{}
+
+// At implements LoadProfile.
+func (p SquareWaveLoad) At(t time.Duration) float64 {
+	if p.Period <= 0 {
+		return p.High
+	}
+	phase := t % p.Period
+	if phase < p.Period/2 {
+		return p.Low
+	}
+	return p.High
+}
+
+// Peak implements LoadProfile.
+func (p SquareWaveLoad) Peak() float64 { return math.Max(p.Low, p.High) }
+
+func (p SquareWaveLoad) String() string {
+	return fmt.Sprintf("square(%.2f/%.2f,T=%v)", p.Low, p.High, p.Period)
+}
+
+// SineLoad oscillates around Base with the given Amplitude and Period.
+type SineLoad struct {
+	Base, Amplitude float64
+	Period          time.Duration
+}
+
+var _ LoadProfile = SineLoad{}
+
+// At implements LoadProfile.
+func (p SineLoad) At(t time.Duration) float64 {
+	if p.Period <= 0 {
+		return p.Base
+	}
+	v := p.Base + p.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(p.Period))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Peak implements LoadProfile.
+func (p SineLoad) Peak() float64 { return p.Base + math.Abs(p.Amplitude) }
+
+func (p SineLoad) String() string {
+	return fmt.Sprintf("sine(%.2f±%.2f,T=%v)", p.Base, p.Amplitude, p.Period)
+}
+
+// BurstLoad is Base most of the time, jumping to Burst for BurstLen every
+// Every interval — a flash-crowd model.
+type BurstLoad struct {
+	Base, Burst float64
+	Every       time.Duration
+	BurstLen    time.Duration
+}
+
+var _ LoadProfile = BurstLoad{}
+
+// At implements LoadProfile.
+func (p BurstLoad) At(t time.Duration) float64 {
+	if p.Every <= 0 {
+		return p.Base
+	}
+	if t%p.Every < p.BurstLen {
+		return p.Burst
+	}
+	return p.Base
+}
+
+// Peak implements LoadProfile.
+func (p BurstLoad) Peak() float64 { return math.Max(p.Base, p.Burst) }
+
+func (p BurstLoad) String() string {
+	return fmt.Sprintf("burst(%.2f→%.2f,every=%v,len=%v)", p.Base, p.Burst, p.Every, p.BurstLen)
+}
+
+// Poisson generates arrival instants of a (possibly non-homogeneous)
+// Poisson process with base rate Rate (events per second) modulated by
+// Profile, using Lewis-Shedler thinning against the profile peak.
+type Poisson struct {
+	Rate    float64 // base events/sec at multiplier 1.0
+	Profile LoadProfile
+}
+
+// NewPoisson returns a process with a constant unit profile if profile is
+// nil.
+func NewPoisson(rate float64, profile LoadProfile) (*Poisson, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("poisson: rate %v must be positive and finite", rate)
+	}
+	if profile == nil {
+		profile = ConstantLoad{Level: 1}
+	}
+	if profile.Peak() <= 0 {
+		return nil, fmt.Errorf("poisson: profile peak %v must be positive", profile.Peak())
+	}
+	return &Poisson{Rate: rate, Profile: profile}, nil
+}
+
+// Next returns the first arrival instant strictly after t.
+func (p *Poisson) Next(t time.Duration, rng *rand.Rand) time.Duration {
+	peak := p.Rate * p.Profile.Peak()
+	for {
+		// Candidate from the homogeneous envelope process.
+		gap := rng.ExpFloat64() / peak
+		t += time.Duration(gap * float64(time.Second))
+		accept := p.Rate * p.Profile.At(t) / peak
+		if rng.Float64() < accept {
+			return t
+		}
+	}
+}

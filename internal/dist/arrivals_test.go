@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPoissonConstantRate(t *testing.T) {
+	p, err := NewPoisson(1000, nil) // 1000 req/s
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	rng := NewRand(31)
+	var tm time.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		next := p.Next(tm, rng)
+		if next <= tm {
+			t.Fatalf("arrival did not advance: %v -> %v", tm, next)
+		}
+		tm = next
+	}
+	rate := float64(n) / tm.Seconds()
+	if math.Abs(rate-1000)/1000 > 0.02 {
+		t.Fatalf("empirical rate %.1f, want 1000", rate)
+	}
+}
+
+func TestNewPoissonErrors(t *testing.T) {
+	if _, err := NewPoisson(0, nil); err == nil {
+		t.Fatal("zero rate should error")
+	}
+	if _, err := NewPoisson(-1, nil); err == nil {
+		t.Fatal("negative rate should error")
+	}
+	if _, err := NewPoisson(math.Inf(1), nil); err == nil {
+		t.Fatal("infinite rate should error")
+	}
+	if _, err := NewPoisson(100, ConstantLoad{Level: 0}); err == nil {
+		t.Fatal("zero-peak profile should error")
+	}
+}
+
+func TestPoissonSquareWaveModulation(t *testing.T) {
+	profile := SquareWaveLoad{Low: 0.2, High: 1.0, Period: 2 * time.Second}
+	p, err := NewPoisson(1000, profile)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	rng := NewRand(37)
+	var tm time.Duration
+	lowCount, highCount := 0, 0
+	for tm < 100*time.Second {
+		tm = p.Next(tm, rng)
+		if profile.At(tm) == 0.2 {
+			lowCount++
+		} else {
+			highCount++
+		}
+	}
+	ratio := float64(highCount) / float64(lowCount)
+	if math.Abs(ratio-5) > 0.6 {
+		t.Fatalf("high/low arrival ratio = %.2f, want ~5", ratio)
+	}
+}
+
+func TestSquareWaveLoad(t *testing.T) {
+	p := SquareWaveLoad{Low: 0.3, High: 0.9, Period: 10 * time.Second}
+	if got := p.At(time.Second); got != 0.3 {
+		t.Fatalf("At(1s) = %v, want 0.3", got)
+	}
+	if got := p.At(6 * time.Second); got != 0.9 {
+		t.Fatalf("At(6s) = %v, want 0.9", got)
+	}
+	if got := p.At(11 * time.Second); got != 0.3 {
+		t.Fatalf("At(11s) = %v, want 0.3 (wrapped)", got)
+	}
+	if p.Peak() != 0.9 {
+		t.Fatalf("Peak = %v, want 0.9", p.Peak())
+	}
+}
+
+func TestSquareWaveZeroPeriod(t *testing.T) {
+	p := SquareWaveLoad{Low: 0.3, High: 0.9}
+	if p.At(5*time.Second) != 0.9 {
+		t.Fatal("zero period should return High")
+	}
+}
+
+func TestSineLoad(t *testing.T) {
+	p := SineLoad{Base: 0.5, Amplitude: 0.4, Period: 4 * time.Second}
+	if got := p.At(time.Second); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("At(T/4) = %v, want 0.9", got)
+	}
+	if got := p.At(3 * time.Second); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("At(3T/4) = %v, want 0.1", got)
+	}
+	if p.Peak() != 0.9 {
+		t.Fatalf("Peak = %v, want 0.9", p.Peak())
+	}
+}
+
+func TestSineLoadClampsNegative(t *testing.T) {
+	p := SineLoad{Base: 0.1, Amplitude: 0.5, Period: 4 * time.Second}
+	if got := p.At(3 * time.Second); got != 0 {
+		t.Fatalf("At = %v, want clamp to 0", got)
+	}
+}
+
+func TestBurstLoad(t *testing.T) {
+	p := BurstLoad{Base: 0.4, Burst: 1.2, Every: 10 * time.Second, BurstLen: 2 * time.Second}
+	if got := p.At(time.Second); got != 1.2 {
+		t.Fatalf("At(1s) = %v, want burst 1.2", got)
+	}
+	if got := p.At(5 * time.Second); got != 0.4 {
+		t.Fatalf("At(5s) = %v, want base 0.4", got)
+	}
+	if got := p.At(11 * time.Second); got != 1.2 {
+		t.Fatalf("At(11s) = %v, want burst (wrapped)", got)
+	}
+	if p.Peak() != 1.2 {
+		t.Fatalf("Peak = %v, want 1.2", p.Peak())
+	}
+}
+
+func TestConstantLoad(t *testing.T) {
+	p := ConstantLoad{Level: 0.7}
+	if p.At(0) != 0.7 || p.At(time.Hour) != 0.7 || p.Peak() != 0.7 {
+		t.Fatal("ConstantLoad broken")
+	}
+}

@@ -1,0 +1,316 @@
+// Package dist provides the random-variate machinery used by the workload
+// generator and the simulator: service-demand distributions, discrete
+// fan-out distributions, Zipf key popularity, and (possibly time-varying)
+// Poisson arrival processes.
+//
+// Everything is driven by an explicit *rand.Rand so simulations are
+// reproducible from a single seed; nothing in this package touches global
+// randomness.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// NewRand returns a deterministic PCG-backed generator for the seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Duration samples positive time intervals, e.g. service demands or
+// network delays.
+type Duration interface {
+	// Sample draws one value. Implementations must return a
+	// non-negative duration.
+	Sample(rng *rand.Rand) time.Duration
+	// Mean returns the distribution mean, used for load calibration.
+	Mean() time.Duration
+	// String describes the distribution for logs and experiment tables.
+	String() string
+}
+
+// Discrete samples positive integers, e.g. request fan-out.
+type Discrete interface {
+	Sample(rng *rand.Rand) int
+	Mean() float64
+	String() string
+}
+
+// --- Duration distributions -----------------------------------------
+
+// Deterministic always returns V.
+type Deterministic struct{ V time.Duration }
+
+var _ Duration = Deterministic{}
+
+// Sample implements Duration.
+func (d Deterministic) Sample(*rand.Rand) time.Duration { return d.V }
+
+// Mean implements Duration.
+func (d Deterministic) Mean() time.Duration { return d.V }
+
+func (d Deterministic) String() string { return fmt.Sprintf("det(%v)", d.V) }
+
+// Exponential has the given mean. The classic M/G/1 "exponential service
+// time" used as the default demand distribution in the Rein literature.
+type Exponential struct{ M time.Duration }
+
+var _ Duration = Exponential{}
+
+// Sample implements Duration.
+func (d Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(d.M))
+}
+
+// Mean implements Duration.
+func (d Exponential) Mean() time.Duration { return d.M }
+
+func (d Exponential) String() string { return fmt.Sprintf("exp(%v)", d.M) }
+
+// Uniform is uniform on [Lo, Hi].
+type Uniform struct{ Lo, Hi time.Duration }
+
+var _ Duration = Uniform{}
+
+// Sample implements Duration.
+func (d Uniform) Sample(rng *rand.Rand) time.Duration {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	return d.Lo + time.Duration(rng.Int64N(int64(d.Hi-d.Lo)+1))
+}
+
+// Mean implements Duration.
+func (d Uniform) Mean() time.Duration { return (d.Lo + d.Hi) / 2 }
+
+func (d Uniform) String() string { return fmt.Sprintf("unif(%v,%v)", d.Lo, d.Hi) }
+
+// Lognormal is parameterized by its mean and the sigma of the underlying
+// normal; larger Sigma gives a heavier tail at the same mean.
+type Lognormal struct {
+	M     time.Duration
+	Sigma float64
+}
+
+var _ Duration = Lognormal{}
+
+// Sample implements Duration.
+func (d Lognormal) Sample(rng *rand.Rand) time.Duration {
+	// mean of lognormal = exp(mu + sigma^2/2)  =>  mu = ln(M) - sigma^2/2.
+	mu := math.Log(float64(d.M)) - d.Sigma*d.Sigma/2
+	v := math.Exp(mu + d.Sigma*rng.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	return time.Duration(v)
+}
+
+// Mean implements Duration.
+func (d Lognormal) Mean() time.Duration { return d.M }
+
+func (d Lognormal) String() string { return fmt.Sprintf("lognorm(%v,s=%.2f)", d.M, d.Sigma) }
+
+// BoundedPareto is a heavy-tailed distribution on [Lo, Hi] with shape
+// Alpha (smaller Alpha = heavier tail). It models the highly variable
+// value sizes seen in production key-value traces.
+type BoundedPareto struct {
+	Lo, Hi time.Duration
+	Alpha  float64
+}
+
+var _ Duration = BoundedPareto{}
+
+// Sample implements Duration.
+func (d BoundedPareto) Sample(rng *rand.Rand) time.Duration {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	l, h, a := float64(d.Lo), float64(d.Hi), d.Alpha
+	u := rng.Float64()
+	// Inverse CDF of the bounded Pareto.
+	num := u*math.Pow(h, a) - u*math.Pow(l, a) - math.Pow(h, a)
+	x := math.Pow(-num/(math.Pow(l, a)*math.Pow(h, a)), -1/a)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return time.Duration(x)
+}
+
+// Mean implements Duration.
+func (d BoundedPareto) Mean() time.Duration {
+	l, h, a := float64(d.Lo), float64(d.Hi), d.Alpha
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	if a == 1 {
+		m := (h * l / (h - l)) * math.Log(h/l)
+		return time.Duration(m)
+	}
+	m := math.Pow(l, a) / (1 - math.Pow(l/h, a)) * (a / (a - 1)) *
+		(1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+	return time.Duration(m)
+}
+
+func (d BoundedPareto) String() string {
+	return fmt.Sprintf("bpareto(%v,%v,a=%.2f)", d.Lo, d.Hi, d.Alpha)
+}
+
+// Bimodal returns Small with probability PSmall, else Large: the classic
+// "mice and elephants" mix.
+type Bimodal struct {
+	Small, Large time.Duration
+	PSmall       float64
+}
+
+var _ Duration = Bimodal{}
+
+// Sample implements Duration.
+func (d Bimodal) Sample(rng *rand.Rand) time.Duration {
+	if rng.Float64() < d.PSmall {
+		return d.Small
+	}
+	return d.Large
+}
+
+// Mean implements Duration.
+func (d Bimodal) Mean() time.Duration {
+	return time.Duration(d.PSmall*float64(d.Small) + (1-d.PSmall)*float64(d.Large))
+}
+
+func (d Bimodal) String() string {
+	return fmt.Sprintf("bimodal(%v@%.2f,%v)", d.Small, d.PSmall, d.Large)
+}
+
+// Empirical samples uniformly from a fixed set of observed values, for
+// trace replay.
+type Empirical struct{ Values []time.Duration }
+
+var _ Duration = Empirical{}
+
+// NewEmpirical copies values so the caller's slice stays independent.
+func NewEmpirical(values []time.Duration) Empirical {
+	v := make([]time.Duration, len(values))
+	copy(v, values)
+	return Empirical{Values: v}
+}
+
+// Sample implements Duration.
+func (d Empirical) Sample(rng *rand.Rand) time.Duration {
+	if len(d.Values) == 0 {
+		return 0
+	}
+	return d.Values[rng.IntN(len(d.Values))]
+}
+
+// Mean implements Duration.
+func (d Empirical) Mean() time.Duration {
+	if len(d.Values) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.Values {
+		sum += v
+	}
+	return sum / time.Duration(len(d.Values))
+}
+
+func (d Empirical) String() string { return fmt.Sprintf("empirical(n=%d)", len(d.Values)) }
+
+// --- Discrete distributions ------------------------------------------
+
+// ConstInt always returns N (bare single-key gets when N==1).
+type ConstInt struct{ N int }
+
+var _ Discrete = ConstInt{}
+
+// Sample implements Discrete.
+func (d ConstInt) Sample(*rand.Rand) int { return d.N }
+
+// Mean implements Discrete.
+func (d ConstInt) Mean() float64 { return float64(d.N) }
+
+func (d ConstInt) String() string { return fmt.Sprintf("const(%d)", d.N) }
+
+// UniformInt is uniform on [Lo, Hi].
+type UniformInt struct{ Lo, Hi int }
+
+var _ Discrete = UniformInt{}
+
+// Sample implements Discrete.
+func (d UniformInt) Sample(rng *rand.Rand) int {
+	if d.Hi <= d.Lo {
+		return d.Lo
+	}
+	return d.Lo + rng.IntN(d.Hi-d.Lo+1)
+}
+
+// Mean implements Discrete.
+func (d UniformInt) Mean() float64 { return float64(d.Lo+d.Hi) / 2 }
+
+func (d UniformInt) String() string { return fmt.Sprintf("unif(%d,%d)", d.Lo, d.Hi) }
+
+// GeometricInt is a shifted geometric on {1, 2, ...} with the given mean
+// (>= 1): most requests touch few keys, a few touch many, matching the
+// multiget width profile reported for social-network workloads.
+type GeometricInt struct{ M float64 }
+
+var _ Discrete = GeometricInt{}
+
+// Sample implements Discrete.
+func (d GeometricInt) Sample(rng *rand.Rand) int {
+	if d.M <= 1 {
+		return 1
+	}
+	p := 1 / d.M
+	// Inverse transform for geometric on {1,2,...}.
+	u := rng.Float64()
+	k := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Mean implements Discrete.
+func (d GeometricInt) Mean() float64 {
+	if d.M <= 1 {
+		return 1
+	}
+	return d.M
+}
+
+func (d GeometricInt) String() string { return fmt.Sprintf("geom(mean=%.1f)", d.M) }
+
+// ZipfInt samples fan-outs from a truncated Zipf over {1..Max} with
+// exponent S: many narrow requests, rare very wide ones.
+type ZipfInt struct {
+	Max int
+	S   float64
+
+	z *Zipf
+}
+
+var _ Discrete = (*ZipfInt)(nil)
+
+// NewZipfInt precomputes the sampler table.
+func NewZipfInt(maxV int, s float64) (*ZipfInt, error) {
+	z, err := NewZipf(maxV, s)
+	if err != nil {
+		return nil, fmt.Errorf("zipf fanout: %w", err)
+	}
+	return &ZipfInt{Max: maxV, S: s, z: z}, nil
+}
+
+// Sample implements Discrete.
+func (d *ZipfInt) Sample(rng *rand.Rand) int { return d.z.Sample(rng) + 1 }
+
+// Mean implements Discrete.
+func (d *ZipfInt) Mean() float64 { return d.z.Mean() + 1 }
+
+func (d *ZipfInt) String() string { return fmt.Sprintf("zipf(max=%d,s=%.2f)", d.Max, d.S) }

@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// checkMean samples n draws and verifies the empirical mean is within
+// relTol of the declared mean.
+func checkMean(t *testing.T, d Duration, n int, relTol float64) {
+	t.Helper()
+	rng := NewRand(42)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 0 {
+			t.Fatalf("%s: negative sample %v", d, v)
+		}
+		sum += float64(v)
+	}
+	got := sum / float64(n)
+	want := float64(d.Mean())
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s: mean = %v, want 0", d, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/want > relTol {
+		t.Fatalf("%s: empirical mean %v vs declared %v (tol %.2f)",
+			d, time.Duration(got), time.Duration(want), relTol)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{V: 5 * time.Millisecond}
+	rng := NewRand(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(rng); got != 5*time.Millisecond {
+			t.Fatalf("Sample = %v, want 5ms", got)
+		}
+	}
+	checkMean(t, d, 100, 0)
+}
+
+func TestExponentialMean(t *testing.T) {
+	checkMean(t, Exponential{M: time.Millisecond}, 200000, 0.02)
+}
+
+func TestUniformMeanAndBounds(t *testing.T) {
+	d := Uniform{Lo: time.Millisecond, Hi: 3 * time.Millisecond}
+	rng := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(rng)
+		if v < d.Lo || v > d.Hi {
+			t.Fatalf("sample %v outside [%v,%v]", v, d.Lo, d.Hi)
+		}
+	}
+	checkMean(t, d, 100000, 0.02)
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	d := Uniform{Lo: time.Millisecond, Hi: time.Millisecond}
+	if got := d.Sample(NewRand(1)); got != time.Millisecond {
+		t.Fatalf("Sample = %v, want 1ms", got)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	checkMean(t, Lognormal{M: 2 * time.Millisecond, Sigma: 1.0}, 400000, 0.05)
+}
+
+func TestBoundedParetoMeanAndBounds(t *testing.T) {
+	d := BoundedPareto{Lo: 100 * time.Microsecond, Hi: 100 * time.Millisecond, Alpha: 1.3}
+	rng := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(rng)
+		if v < d.Lo || v > d.Hi {
+			t.Fatalf("sample %v outside [%v,%v]", v, d.Lo, d.Hi)
+		}
+	}
+	checkMean(t, d, 500000, 0.05)
+}
+
+func TestBoundedParetoAlphaOne(t *testing.T) {
+	d := BoundedPareto{Lo: time.Millisecond, Hi: 10 * time.Millisecond, Alpha: 1}
+	checkMean(t, d, 500000, 0.05)
+}
+
+func TestBimodal(t *testing.T) {
+	d := Bimodal{Small: time.Millisecond, Large: 10 * time.Millisecond, PSmall: 0.9}
+	rng := NewRand(3)
+	small, large := 0, 0
+	for i := 0; i < 100000; i++ {
+		switch d.Sample(rng) {
+		case time.Millisecond:
+			small++
+		case 10 * time.Millisecond:
+			large++
+		default:
+			t.Fatal("bimodal returned a third value")
+		}
+	}
+	frac := float64(small) / 100000
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("small fraction = %.3f, want 0.9", frac)
+	}
+	checkMean(t, d, 100000, 0.02)
+}
+
+func TestEmpirical(t *testing.T) {
+	vals := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	d := NewEmpirical(vals)
+	vals[0] = time.Hour // must not affect the copy
+	rng := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v != time.Millisecond && v != 2*time.Millisecond && v != 3*time.Millisecond {
+			t.Fatalf("sample %v not in source set", v)
+		}
+	}
+	if d.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v, want 2ms", d.Mean())
+	}
+}
+
+func TestEmpiricalEmpty(t *testing.T) {
+	d := Empirical{}
+	if d.Sample(NewRand(1)) != 0 || d.Mean() != 0 {
+		t.Fatal("empty empirical should sample 0 with mean 0")
+	}
+}
+
+func TestConstInt(t *testing.T) {
+	d := ConstInt{N: 4}
+	if d.Sample(NewRand(1)) != 4 || d.Mean() != 4 {
+		t.Fatal("ConstInt broken")
+	}
+}
+
+func TestUniformInt(t *testing.T) {
+	d := UniformInt{Lo: 2, Hi: 6}
+	rng := NewRand(9)
+	seen := map[int]bool{}
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 2 || v > 6 {
+			t.Fatalf("sample %d outside [2,6]", v)
+		}
+		seen[v] = true
+		sum += v
+	}
+	if len(seen) != 5 {
+		t.Fatalf("saw %d distinct values, want 5", len(seen))
+	}
+	if mean := float64(sum) / n; math.Abs(mean-4) > 0.05 {
+		t.Fatalf("mean = %.3f, want 4", mean)
+	}
+}
+
+func TestGeometricIntMean(t *testing.T) {
+	d := GeometricInt{M: 5}
+	rng := NewRand(13)
+	sum := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 1 {
+			t.Fatalf("sample %d < 1", v)
+		}
+		sum += v
+	}
+	if mean := float64(sum) / n; math.Abs(mean-5)/5 > 0.02 {
+		t.Fatalf("mean = %.3f, want 5", mean)
+	}
+}
+
+func TestGeometricIntDegenerate(t *testing.T) {
+	d := GeometricInt{M: 0.5}
+	if d.Sample(NewRand(1)) != 1 || d.Mean() != 1 {
+		t.Fatal("mean <= 1 should degenerate to constant 1")
+	}
+}
+
+func TestZipfIntRange(t *testing.T) {
+	d, err := NewZipfInt(20, 1.1)
+	if err != nil {
+		t.Fatalf("NewZipfInt: %v", err)
+	}
+	rng := NewRand(17)
+	counts := make([]int, 21)
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(rng)
+		if v < 1 || v > 20 {
+			t.Fatalf("sample %d outside [1,20]", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[10] {
+		t.Fatalf("zipf not skewed: count[1]=%d count[10]=%d", counts[1], counts[10])
+	}
+}

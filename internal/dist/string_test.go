@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStringDescriptions pins the human-readable forms used in
+// experiment tables.
+func TestStringDescriptions(t *testing.T) {
+	zi, err := NewZipfInt(20, 1.0)
+	if err != nil {
+		t.Fatalf("NewZipfInt: %v", err)
+	}
+	cases := []struct {
+		got  string
+		want string
+	}{
+		{Deterministic{V: time.Millisecond}.String(), "det(1ms)"},
+		{Exponential{M: time.Millisecond}.String(), "exp(1ms)"},
+		{Uniform{Lo: time.Millisecond, Hi: 2 * time.Millisecond}.String(), "unif(1ms,2ms)"},
+		{Lognormal{M: time.Millisecond, Sigma: 1.5}.String(), "lognorm(1ms,s=1.50)"},
+		{BoundedPareto{Lo: time.Millisecond, Hi: time.Second, Alpha: 1.4}.String(), "bpareto(1ms,1s,a=1.40)"},
+		{Bimodal{Small: time.Millisecond, Large: time.Second, PSmall: 0.9}.String(), "bimodal(1ms@0.90,1s)"},
+		{NewEmpirical([]time.Duration{1, 2}).String(), "empirical(n=2)"},
+		{ConstInt{N: 3}.String(), "const(3)"},
+		{UniformInt{Lo: 1, Hi: 7}.String(), "unif(1,7)"},
+		{GeometricInt{M: 5}.String(), "geom(mean=5.0)"},
+		{zi.String(), "zipf(max=20,s=1.00)"},
+		{ConstantLoad{Level: 0.7}.String(), "const(0.70)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+	// Profiles with embedded durations: check shape, not exact text.
+	for _, s := range []string{
+		SquareWaveLoad{Low: 0.3, High: 0.9, Period: time.Second}.String(),
+		SineLoad{Base: 0.5, Amplitude: 0.2, Period: time.Second}.String(),
+		BurstLoad{Base: 0.4, Burst: 1.2, Every: time.Second, BurstLen: time.Millisecond}.String(),
+	} {
+		if !strings.Contains(s, "(") {
+			t.Fatalf("profile String %q lacks parameters", s)
+		}
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	d := BoundedPareto{Lo: time.Millisecond, Hi: time.Millisecond, Alpha: 1.2}
+	if d.Sample(NewRand(1)) != time.Millisecond || d.Mean() != time.Millisecond {
+		t.Fatal("degenerate bounded pareto should return Lo")
+	}
+}
+
+func TestSineLoadZeroPeriod(t *testing.T) {
+	p := SineLoad{Base: 0.4, Amplitude: 0.2}
+	if p.At(time.Hour) != 0.4 {
+		t.Fatal("zero period should return base")
+	}
+}
+
+func TestBurstLoadZeroEvery(t *testing.T) {
+	p := BurstLoad{Base: 0.4, Burst: 1.2}
+	if p.At(time.Hour) != 0.4 {
+		t.Fatal("zero interval should return base")
+	}
+}
+
+func TestZipfIntConstructorError(t *testing.T) {
+	if _, err := NewZipfInt(0, 1); err == nil {
+		t.Fatal("max=0 should error")
+	}
+}

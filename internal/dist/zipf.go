@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Zipf samples ranks 0..N-1 with P(rank=k) proportional to 1/(k+1)^S.
+// S == 0 degenerates to the uniform distribution. The sampler precomputes
+// the cumulative distribution and draws by binary search, which is exact
+// and needs no rejection loop; construction is O(N), sampling O(log N).
+type Zipf struct {
+	n   int
+	s   float64
+	cdf []float64
+	mu  float64 // mean rank
+}
+
+// NewZipf builds a sampler over n ranks with exponent s >= 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, errors.New("zipf: n must be positive")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, errors.New("zipf: exponent must be finite and non-negative")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	mu := 0.0
+	prev := 0.0
+	for k := 0; k < n; k++ {
+		p := (cdf[k] - prev) / sum
+		mu += float64(k) * p
+		prev = cdf[k]
+	}
+	// Normalize.
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against FP drift
+	return &Zipf{n: n, s: s, cdf: cdf, mu: mu}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Mean returns the mean rank.
+func (z *Zipf) Mean() float64 { return z.mu }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns P(rank = k).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= z.n {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

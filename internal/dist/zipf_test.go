@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZipfErrors(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := NewZipf(-5, 1); err == nil {
+		t.Fatal("negative n should error")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatal("negative exponent should error")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Fatal("NaN exponent should error")
+	}
+	if _, err := NewZipf(10, math.Inf(1)); err == nil {
+		t.Fatal("Inf exponent should error")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(10, 0)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	for k := 0; k < 10; k++ {
+		if p := z.Prob(k); math.Abs(p-0.1) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want 0.1", k, p)
+		}
+	}
+	if math.Abs(z.Mean()-4.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 4.5", z.Mean())
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 0.9, 1.0, 1.5} {
+		z, err := NewZipf(1000, s)
+		if err != nil {
+			t.Fatalf("NewZipf: %v", err)
+		}
+		sum := 0.0
+		for k := 0; k < 1000; k++ {
+			sum += z.Prob(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%v: probs sum to %v, want 1", s, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneProbs(t *testing.T) {
+	z, err := NewZipf(100, 0.99)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	for k := 1; k < 100; k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-15 {
+			t.Fatalf("Prob not monotone at %d: %v > %v", k, z.Prob(k), z.Prob(k-1))
+		}
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z, err := NewZipf(50, 1.0)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	rng := NewRand(23)
+	const n = 500000
+	counts := make([]int, 50)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for k := 0; k < 10; k++ { // head ranks have tight estimates
+		got := float64(counts[k]) / n
+		want := z.Prob(k)
+		if math.Abs(got-want) > 0.004 {
+			t.Fatalf("rank %d: freq %.4f vs prob %.4f", k, got, want)
+		}
+	}
+}
+
+func TestZipfSampleInRangeQuick(t *testing.T) {
+	z, err := NewZipf(137, 0.8)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	f := func(seed uint64) bool {
+		rng := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			k := z.Sample(rng)
+			if k < 0 || k >= 137 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z, err := NewZipf(5, 1)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	if z.Prob(-1) != 0 || z.Prob(5) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}

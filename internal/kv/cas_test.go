@@ -1,0 +1,139 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func TestStoreCAS(t *testing.T) {
+	s := NewStore()
+	// Create-if-absent.
+	if !s.CompareAndSwap("k", nil, []byte("v1")) {
+		t.Fatal("CAS on absent key with empty old should succeed")
+	}
+	// Wrong old value.
+	if s.CompareAndSwap("k", []byte("nope"), []byte("v2")) {
+		t.Fatal("CAS with wrong old value should fail")
+	}
+	// Correct old value.
+	if !s.CompareAndSwap("k", []byte("v1"), []byte("v2")) {
+		t.Fatal("CAS with matching old value should succeed")
+	}
+	v, _ := s.Get("k")
+	if !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("value = %q, want v2", v)
+	}
+	// Create-if-absent fails when present.
+	if s.CompareAndSwap("k", nil, []byte("v3")) {
+		t.Fatal("CAS expecting absent should fail on a live key")
+	}
+}
+
+func TestStoreCASExpiredCountsAsAbsent(t *testing.T) {
+	s, clk := newClockedStore()
+	s.PutTTL("k", []byte("old"), 1e9)
+	clk.advance(2e9)
+	if !s.CompareAndSwap("k", nil, []byte("new")) {
+		t.Fatal("CAS should treat an expired key as absent")
+	}
+}
+
+func TestClientCASEndToEnd(t *testing.T) {
+	client, _ := startCluster(t, 1, nil, nil)
+	ctx := context.Background()
+	if err := client.CompareAndSwap(ctx, "counter", nil, []byte("1")); err != nil {
+		t.Fatalf("initial CAS: %v", err)
+	}
+	if err := client.CompareAndSwap(ctx, "counter", []byte("1"), []byte("2")); err != nil {
+		t.Fatalf("CAS 1->2: %v", err)
+	}
+	if err := client.CompareAndSwap(ctx, "counter", []byte("1"), []byte("3")); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("stale CAS = %v, want ErrCASMismatch", err)
+	}
+	v, err := client.Get(ctx, "counter")
+	if err != nil || string(v) != "2" {
+		t.Fatalf("counter = %q, %v", v, err)
+	}
+}
+
+func TestClientCASConcurrentIncrement(t *testing.T) {
+	client, _ := startCluster(t, 1, nil, nil)
+	ctx := context.Background()
+	if err := client.Put(ctx, "n", []byte("0")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	const workers, perWorker = 6, 15
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					cur, err := client.Get(ctx, "n")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					var n int
+					if _, err := fmt.Sscanf(string(cur), "%d", &n); err != nil {
+						errCh <- err
+						return
+					}
+					next := []byte(fmt.Sprintf("%d", n+1))
+					err = client.CompareAndSwap(ctx, "n", cur, next)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrCASMismatch) {
+						errCh <- err
+						return
+					}
+					// Lost the race; retry.
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := client.Get(ctx, "n")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	want := fmt.Sprintf("%d", workers*perWorker)
+	if string(v) != want {
+		t.Fatalf("counter = %s, want %s (lost updates)", v, want)
+	}
+}
+
+func TestClientCASRejectsReplication(t *testing.T) {
+	servers := make(map[sched.ServerID]string, 2)
+	for i := 0; i < 2; i++ {
+		srv, err := NewServer(ServerConfig{ID: sched.ServerID(i), Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		servers[srv.ID()] = srv.Addr()
+	}
+	client, err := NewClient(ClientConfig{Servers: servers, Replicas: 2})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	if err := client.CompareAndSwap(context.Background(), "k", nil, []byte("v")); err == nil {
+		t.Fatal("CAS with replication should be rejected")
+	}
+}

@@ -1,0 +1,671 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/topology"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// Errors returned by the client.
+var (
+	ErrNotFound     = errors.New("kv: key not found")
+	ErrClientClosed = errors.New("kv: client closed")
+)
+
+// DemandModel estimates an operation's service demand client-side, used
+// for scheduling tags. It should approximate the server's CostModel.
+type DemandModel func(op wire.OpType, keyLen, valueLen int) time.Duration
+
+// ReadPolicy selects which replica serves a read when Replicas > 1.
+type ReadPolicy int
+
+// Read-routing strategies.
+const (
+	// PrimaryRead always reads the ring primary.
+	PrimaryRead ReadPolicy = iota
+	// FastestRead reads the replica with the earliest estimated finish
+	// per the client's adaptive view (falls back to the primary when
+	// tagging is static).
+	FastestRead
+)
+
+// ClientConfig configures a cluster client.
+type ClientConfig struct {
+	// Servers maps ring identities to dial addresses.
+	Servers map[sched.ServerID]string
+	// Vnodes per server on the ring (topology.DefaultVnodes if 0).
+	Vnodes int
+	// Adaptive enables DAS tagging from piggybacked feedback
+	// (static demand tags otherwise).
+	Adaptive bool
+	// Estimator configures the adaptive view (defaults if zero).
+	Estimator core.EstimatorConfig
+	// Demand estimates operation demands (a small constant if nil).
+	Demand DemandModel
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// Replicas is how many servers hold each key (default 1). Writes
+	// go synchronously to every replica; reads to one, per ReadFrom.
+	// Replication here is availability-free write fan-out — there is
+	// no failover or read-repair protocol.
+	Replicas int
+	// ReadFrom picks the serving replica for reads (default primary).
+	ReadFrom ReadPolicy
+	// ReconnectBackoff is the minimum gap between redial attempts to a
+	// dead server (default 500ms). Operations targeting a dead server
+	// inside the backoff window fail fast.
+	ReconnectBackoff time.Duration
+}
+
+// Client is a partition-aware key-value client: single-key operations
+// plus the multiget that the scheduling work is all about.
+type Client struct {
+	cfg   ClientConfig
+	ring  *topology.Ring
+	est   *core.Estimator
+	start time.Time
+
+	mu       sync.Mutex
+	conns    map[sched.ServerID]*clientConn
+	redialAt map[sched.ServerID]time.Time
+	closed   bool
+
+	nextID atomic.Uint64
+}
+
+// defaultDemand is the fallback client-side demand estimate.
+func defaultDemand(wire.OpType, int, int) time.Duration { return 100 * time.Microsecond }
+
+// NewClient connects to every server in cfg.Servers.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("kv: client needs at least one server")
+	}
+	if cfg.Demand == nil {
+		cfg.Demand = defaultDemand
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if (cfg.Estimator == core.EstimatorConfig{}) {
+		cfg.Estimator = core.DefaultEstimatorConfig()
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas < 0 || cfg.Replicas > len(cfg.Servers) {
+		return nil, fmt.Errorf("kv: replicas %d must be within [1, %d servers]",
+			cfg.Replicas, len(cfg.Servers))
+	}
+	if cfg.ReadFrom < PrimaryRead || cfg.ReadFrom > FastestRead {
+		return nil, fmt.Errorf("kv: unknown read policy %d", cfg.ReadFrom)
+	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 500 * time.Millisecond
+	}
+	ids := make([]sched.ServerID, 0, len(cfg.Servers))
+	for id := range cfg.Servers {
+		ids = append(ids, id)
+	}
+	ring, err := topology.NewRing(ids, cfg.Vnodes)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	est, err := core.NewEstimator(cfg.Estimator)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	c := &Client{
+		cfg:      cfg,
+		ring:     ring,
+		est:      est,
+		start:    time.Now(),
+		conns:    make(map[sched.ServerID]*clientConn, len(cfg.Servers)),
+		redialAt: make(map[sched.ServerID]time.Time, len(cfg.Servers)),
+	}
+	for id, addr := range cfg.Servers {
+		cc, err := c.dial(id, addr)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.conns[id] = cc
+	}
+	return c, nil
+}
+
+func (c *Client) now() time.Duration { return time.Since(c.start) }
+
+// Close tears down all connections; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*clientConn, 0, len(c.conns))
+	for _, cc := range c.conns {
+		conns = append(conns, cc)
+	}
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.shutdown(ErrClientClosed)
+	}
+	return nil
+}
+
+// Get fetches one key.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := c.MGet(ctx, []string{key})
+	if err != nil {
+		return nil, err
+	}
+	v, ok := res[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Put stores one key on every replica (synchronous write fan-out).
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	return c.PutTTL(ctx, key, value, 0)
+}
+
+// PutTTL stores one key on every replica, expiring after ttl (0 =
+// never).
+func (c *Client) PutTTL(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	if ttl < 0 {
+		return fmt.Errorf("kv: negative ttl %v", ttl)
+	}
+	_, err := c.fanoutWrite(ctx, wire.OpPut, key, value, ttl)
+	return err
+}
+
+// ErrCASMismatch reports a CompareAndSwap whose expected value did not
+// match.
+var ErrCASMismatch = errors.New("kv: compare-and-swap mismatch")
+
+// CompareAndSwap atomically replaces key's value iff its current value
+// equals oldValue (empty oldValue = "expect absent"). It returns
+// ErrCASMismatch when the comparison fails. CAS is restricted to
+// single-replica configurations: with write fan-out there is no
+// cross-replica atomicity to offer.
+func (c *Client) CompareAndSwap(ctx context.Context, key string, oldValue, newValue []byte) error {
+	if c.cfg.Replicas > 1 {
+		return fmt.Errorf("kv: CAS requires a single-replica configuration (have %d)", c.cfg.Replicas)
+	}
+	resp, err := c.doCAS(ctx, key, oldValue, newValue)
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusCASMismatch:
+		return ErrCASMismatch
+	default:
+		return fmt.Errorf("kv: CAS on %q failed", key)
+	}
+}
+
+// MSet stores many keys in parallel (each replicated per the client's
+// Replicas setting). It fails on the first transport error; on error
+// some writes may have been applied.
+func (c *Client) MSet(ctx context.Context, pairs map[string][]byte) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	errs := make(chan error, len(pairs))
+	for k, v := range pairs {
+		k, v := k, v
+		go func() { errs <- c.Put(ctx, k, v) }()
+	}
+	var firstErr error
+	for range pairs {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Delete removes one key from every replica. Deleting a key absent from
+// all replicas returns ErrNotFound.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	found, err := c.fanoutWrite(ctx, wire.OpDelete, key, nil, 0)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// fanoutWrite sends a write to every replica holder and waits for all.
+// It reports whether any replica answered StatusOK.
+func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, value []byte, ttl time.Duration) (bool, error) {
+	replicas := c.ring.LookupN(key, c.cfg.Replicas)
+	if len(replicas) == 1 {
+		resp, err := c.doTTL(ctx, typ, key, value, replicas[0], ttl)
+		if err != nil {
+			return false, err
+		}
+		return resp.Status == wire.StatusOK, nil
+	}
+	type outcome struct {
+		ok  bool
+		err error
+	}
+	results := make(chan outcome, len(replicas))
+	for _, server := range replicas {
+		server := server
+		go func() {
+			resp, err := c.doTTL(ctx, typ, key, value, server, ttl)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			results <- outcome{ok: resp.Status == wire.StatusOK}
+		}()
+	}
+	anyOK := false
+	var firstErr error
+	for range replicas {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		anyOK = anyOK || r.ok
+	}
+	if firstErr != nil {
+		return anyOK, firstErr
+	}
+	return anyOK, nil
+}
+
+// readReplica picks the serving replica for a read of key at time now.
+func (c *Client) readReplica(key string, demand, now time.Duration) sched.ServerID {
+	if c.cfg.Replicas <= 1 {
+		return c.ring.Lookup(key)
+	}
+	cands := c.ring.LookupN(key, c.cfg.Replicas)
+	if c.cfg.ReadFrom == FastestRead && c.cfg.Adaptive {
+		best := cands[0]
+		bestFinish := c.est.ExpectedFinish(best, demand, now)
+		for _, s := range cands[1:] {
+			if f := c.est.ExpectedFinish(s, demand, now); f < bestFinish {
+				best, bestFinish = s, f
+			}
+		}
+		return best
+	}
+	return cands[0]
+}
+
+// MGet fetches many keys in parallel — the end-user request whose
+// completion time DAS schedules for. Missing keys are absent from the
+// result map; any transport failure fails the call.
+func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
+	}
+	now := c.now()
+	ops := make([]*sched.Op, len(keys))
+	for i, k := range keys {
+		demand := c.cfg.Demand(wire.OpGet, len(k), 0)
+		ops[i] = &sched.Op{
+			Server: c.readReplica(k, demand, now),
+			Key:    k,
+			Demand: demand,
+		}
+	}
+	var est *core.Estimator
+	if c.cfg.Adaptive {
+		est = c.est
+	}
+	core.Tag(ops, est, now)
+
+	type slot struct {
+		key  string
+		ch   chan wire.Response
+		conn *clientConn
+		id   uint64
+	}
+	slots := make([]slot, len(ops))
+	for i, op := range ops {
+		cc, err := c.conn(op.Server)
+		if err != nil {
+			return nil, err
+		}
+		id := c.nextID.Add(1)
+		ch := cc.register(id)
+		req := wire.Request{
+			ID:   id,
+			Type: wire.OpGet,
+			Key:  op.Key,
+			Tags: wireTags(op),
+		}
+		if err := cc.writeRequest(&req); err != nil {
+			cc.unregister(id)
+			return nil, fmt.Errorf("kv: send to server %d: %w", op.Server, err)
+		}
+		slots[i] = slot{key: op.Key, ch: ch, conn: cc, id: id}
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, sl := range slots {
+		select {
+		case resp, ok := <-sl.ch:
+			if !ok {
+				return nil, fmt.Errorf("kv: connection lost waiting for %q", sl.key)
+			}
+			switch resp.Status {
+			case wire.StatusOK:
+				out[sl.key] = resp.Value
+			case wire.StatusNotFound:
+				// absent from result map
+			default:
+				return nil, fmt.Errorf("kv: server error for key %q", sl.key)
+			}
+		case <-ctx.Done():
+			for _, rest := range slots {
+				rest.conn.unregister(rest.id)
+			}
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// do executes one single-key operation against a specific server with
+// fresh tags.
+func (c *Client) do(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID) (*wire.Response, error) {
+	return c.doTTL(ctx, typ, key, value, server, 0)
+}
+
+// doCAS sends one compare-and-swap to the key's primary.
+func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byte) (*wire.Response, error) {
+	now := c.now()
+	server := c.ring.Lookup(key)
+	op := &sched.Op{
+		Server: server,
+		Key:    key,
+		Demand: c.cfg.Demand(wire.OpCAS, len(key), len(newValue)),
+	}
+	var est *core.Estimator
+	if c.cfg.Adaptive {
+		est = c.est
+	}
+	core.Tag([]*sched.Op{op}, est, now)
+	cc, err := c.conn(server)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := cc.register(id)
+	req := wire.Request{
+		ID: id, Type: wire.OpCAS, Key: key, Value: newValue,
+		OldValue: oldValue, Tags: wireTags(op),
+	}
+	if err := cc.writeRequest(&req); err != nil {
+		cc.unregister(id)
+		return nil, fmt.Errorf("kv: send to server %d: %w", server, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("kv: connection to server %d lost", server)
+		}
+		return &resp, nil
+	case <-ctx.Done():
+		cc.unregister(id)
+		return nil, ctx.Err()
+	}
+}
+
+// doTTL is do with an expiry for PUT operations.
+func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID, ttl time.Duration) (*wire.Response, error) {
+	now := c.now()
+	op := &sched.Op{
+		Server: server,
+		Key:    key,
+		Demand: c.cfg.Demand(typ, len(key), len(value)),
+	}
+	var est *core.Estimator
+	if c.cfg.Adaptive {
+		est = c.est
+	}
+	core.Tag([]*sched.Op{op}, est, now)
+	cc, err := c.conn(op.Server)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := cc.register(id)
+	req := wire.Request{ID: id, Type: typ, Key: key, Value: value, Tags: wireTags(op), TTLNanos: int64(ttl)}
+	if err := cc.writeRequest(&req); err != nil {
+		cc.unregister(id)
+		return nil, fmt.Errorf("kv: send to server %d: %w", op.Server, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("kv: connection to server %d lost", op.Server)
+		}
+		if resp.Status == wire.StatusError {
+			return nil, fmt.Errorf("kv: server error for key %q", key)
+		}
+		return &resp, nil
+	case <-ctx.Done():
+		cc.unregister(id)
+		return nil, ctx.Err()
+	}
+}
+
+// Stats fetches one server's statistics document. The stats request
+// travels through the server's scheduling queue like any operation.
+func (c *Client) Stats(ctx context.Context, server sched.ServerID) (wire.ServerStats, error) {
+	var stats wire.ServerStats
+	resp, err := c.do(ctx, wire.OpStats, "", nil, server)
+	if err != nil {
+		return stats, err
+	}
+	if resp.Status != wire.StatusOK {
+		return stats, fmt.Errorf("kv: stats request to server %d failed", server)
+	}
+	if err := json.Unmarshal(resp.Value, &stats); err != nil {
+		return stats, fmt.Errorf("kv: decode stats from server %d: %w", server, err)
+	}
+	return stats, nil
+}
+
+// Servers returns the configured server identities in ascending order.
+func (c *Client) Servers() []sched.ServerID {
+	return c.ring.Servers()
+}
+
+// wireTags converts tagged scheduling metadata to its wire form.
+func wireTags(op *sched.Op) wire.Tags {
+	return wire.Tags{
+		RemainingNanos:  int64(op.Tags.RemainingTime),
+		SlackNanos:      int64(op.Tags.Slack()),
+		BottleneckNanos: int64(op.Tags.DemandBottleneck),
+		DemandNanos:     int64(op.Demand),
+		Fanout:          uint32(op.Tags.Fanout),
+	}
+}
+
+// conn returns a live connection to the server, redialing a dead one
+// outside the backoff window. Concurrent callers during a redial fail
+// fast rather than queueing behind the dial.
+func (c *Client) conn(id sched.ServerID) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	cc, ok := c.conns[id]
+	if ok && !cc.isDead() {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	addr, known := c.cfg.Servers[id]
+	if !known {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("kv: no connection for server %d", id)
+	}
+	if until := c.redialAt[id]; time.Now().Before(until) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("kv: server %d unavailable (reconnect backoff)", id)
+	}
+	c.redialAt[id] = time.Now().Add(c.cfg.ReconnectBackoff)
+	c.mu.Unlock()
+
+	fresh, err := c.dial(id, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		fresh.shutdown(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if cur, ok := c.conns[id]; ok && !cur.isDead() && cur != fresh {
+		// Another goroutine won the race; keep its connection.
+		fresh.shutdown(ErrClientClosed)
+		return cur, nil
+	}
+	c.conns[id] = fresh
+	return fresh, nil
+}
+
+// clientConn is one client-server connection: serialized writes, a
+// reader goroutine fanning responses out to waiters, and feedback
+// observation into the shared estimator.
+type clientConn struct {
+	client *Client
+	server sched.ServerID
+	conn   net.Conn
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response
+	dead    bool
+}
+
+func (c *Client) dial(id sched.ServerID, addr string) (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("kv: dial server %d at %s: %w", id, addr, err)
+	}
+	cc := &clientConn{
+		client:  c,
+		server:  id,
+		conn:    conn,
+		w:       wire.NewWriter(conn),
+		pending: make(map[uint64]chan wire.Response),
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+func (cc *clientConn) writeRequest(req *wire.Request) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return cc.w.WriteRequest(req)
+}
+
+func (cc *clientConn) register(id uint64) chan wire.Response {
+	ch := make(chan wire.Response, 1)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead {
+		close(ch)
+		return ch
+	}
+	cc.pending[id] = ch
+	return ch
+}
+
+func (cc *clientConn) unregister(id uint64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	delete(cc.pending, id)
+}
+
+func (cc *clientConn) readLoop() {
+	r := wire.NewReader(cc.conn)
+	var resp wire.Response
+	for {
+		if err := r.ReadResponse(&resp); err != nil {
+			cc.shutdown(err)
+			return
+		}
+		// The reader's value buffer is reused; hand waiters a copy.
+		value := make([]byte, len(resp.Value))
+		copy(value, resp.Value)
+		delivery := wire.Response{
+			ID: resp.ID, Status: resp.Status, Value: value, Feedback: resp.Feedback,
+		}
+		if cc.client.cfg.Adaptive {
+			cc.client.est.Observe(core.Feedback{
+				Server:   cc.server,
+				QueueLen: int(resp.Feedback.QueueLen),
+				Backlog:  time.Duration(resp.Feedback.BacklogNanos),
+				Speed:    float64(resp.Feedback.SpeedMilli) / 1000,
+				// Feedback freshness is tracked on the client clock at
+				// receipt; one-way delay skews all servers about
+				// equally, so comparisons stay meaningful.
+				At: cc.client.now(),
+			})
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ID]
+		if ok {
+			delete(cc.pending, resp.ID)
+		}
+		cc.mu.Unlock()
+		if ok {
+			ch <- delivery
+		}
+	}
+}
+
+// isDead reports whether the connection has been torn down.
+func (cc *clientConn) isDead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.dead
+}
+
+// shutdown closes the socket and fails all waiters.
+func (cc *clientConn) shutdown(error) {
+	_ = cc.conn.Close()
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	pending := cc.pending
+	cc.pending = make(map[uint64]chan wire.Response)
+	cc.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}

@@ -1,0 +1,51 @@
+package kv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// NewMetricsHandler exposes a server's operational state over HTTP:
+//
+//	GET /stats    — the full statistics document as JSON
+//	GET /metrics  — Prometheus-style plain-text gauges
+//	GET /healthz  — 200 once serving
+//
+// Mount it on a side listener (see cmd/kvserver's -metrics flag) so
+// observability traffic never competes with the data path's scheduler.
+func NewMetricsHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.StatsSnapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		st := s.StatsSnapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP kv_ops_served_total Operations completed since start.\n")
+		fmt.Fprintf(w, "# TYPE kv_ops_served_total counter\n")
+		fmt.Fprintf(w, "kv_ops_served_total{server=%q} %d\n", itoa(st.Server), st.Served)
+		fmt.Fprintf(w, "# HELP kv_queue_length Operations waiting in the scheduling queue.\n")
+		fmt.Fprintf(w, "# TYPE kv_queue_length gauge\n")
+		fmt.Fprintf(w, "kv_queue_length{server=%q} %d\n", itoa(st.Server), st.QueueLen)
+		fmt.Fprintf(w, "# HELP kv_backlog_seconds Queued service demand in seconds.\n")
+		fmt.Fprintf(w, "# TYPE kv_backlog_seconds gauge\n")
+		fmt.Fprintf(w, "kv_backlog_seconds{server=%q} %g\n", itoa(st.Server), float64(st.BacklogNanos)/1e9)
+		fmt.Fprintf(w, "# HELP kv_speed_ratio Measured speed relative to nominal.\n")
+		fmt.Fprintf(w, "# TYPE kv_speed_ratio gauge\n")
+		fmt.Fprintf(w, "kv_speed_ratio{server=%q} %g\n", itoa(st.Server), st.Speed)
+		fmt.Fprintf(w, "# HELP kv_keys Live keys stored.\n")
+		fmt.Fprintf(w, "# TYPE kv_keys gauge\n")
+		fmt.Fprintf(w, "kv_keys{server=%q} %d\n", itoa(st.Server), st.Keys)
+	})
+	return mux
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,90 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+func metricsFixture(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{ID: 3, Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := NewClient(ClientConfig{Servers: map[sched.ServerID]string{3: srv.Addr()}})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return srv, client
+}
+
+func TestMetricsHealthz(t *testing.T) {
+	srv, _ := metricsFixture(t)
+	h := NewMetricsHandler(srv)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMetricsStatsJSON(t *testing.T) {
+	srv, client := metricsFixture(t)
+	if err := client.Put(context.Background(), "m", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	h := NewMetricsHandler(srv)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var st wire.ServerStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Server != 3 || st.Served == 0 || st.Keys != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	srv, client := metricsFixture(t)
+	if err := client.Put(context.Background(), "m", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	h := NewMetricsHandler(srv)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"kv_ops_served_total{server=\"3\"}",
+		"kv_queue_length{server=\"3\"}",
+		"kv_backlog_seconds",
+		"kv_speed_ratio",
+		"kv_keys{server=\"3\"} 1",
+		"# TYPE kv_ops_served_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsUnknownPath(t *testing.T) {
+	srv, _ := metricsFixture(t)
+	h := NewMetricsHandler(srv)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown path status = %d, want 404", rec.Code)
+	}
+}

@@ -1,0 +1,473 @@
+package kv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// CostModel estimates the service demand of one operation; the live
+// server busy-waits this long per operation (scaled by SpeedFactor) so
+// scheduling experiments have meaningful service times, mirroring CPU-
+// or storage-bound backends. A nil model means operations cost only
+// their actual map access.
+type CostModel func(op wire.OpType, keyLen, valueLen int) time.Duration
+
+// ServerConfig configures one live key-value server.
+type ServerConfig struct {
+	// ID is the server's identity on the cluster ring.
+	ID sched.ServerID
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Policy builds the scheduling queue fronting the workers
+	// (FCFS when nil).
+	Policy sched.Factory
+	// Workers is the service concurrency (default 1).
+	Workers int
+	// Cost simulates per-operation service demand (nil = none).
+	Cost CostModel
+	// SpeedFactor scales service speed: 0.5 halves throughput,
+	// emulating a degraded server (default 1.0).
+	SpeedFactor float64
+	// DataPath, when set, loads a snapshot at startup (if the file
+	// exists) and writes one on Close.
+	DataPath string
+	// SweepInterval is how often expired keys are reclaimed in the
+	// background (default 30s; negative disables the janitor).
+	SweepInterval time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Policy == nil {
+		c.Policy = sched.FCFSFactory
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.SpeedFactor <= 0 {
+		c.SpeedFactor = 1
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 30 * time.Second
+	}
+	return c
+}
+
+// Server is one live key-value node: an accept loop feeding a
+// policy-ordered operation queue drained by a worker pool.
+type Server struct {
+	cfg   ServerConfig
+	store *Store
+	ln    net.Listener
+	start time.Time
+
+	mu        sync.Mutex
+	queue     sched.Policy
+	closed    bool
+	conns     map[net.Conn]bool
+	speedEWMA float64
+	served    uint64
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// pendingOp carries a queued operation's connection context.
+type pendingOp struct {
+	conn     *serverConn
+	typ      wire.OpType
+	key      string
+	value    []byte
+	id       uint64
+	ttl      time.Duration
+	oldValue []byte
+}
+
+// serverConn serializes response writes per connection.
+type serverConn struct {
+	conn net.Conn
+	mu   sync.Mutex
+	w    *wire.Writer
+}
+
+func (c *serverConn) writeResponse(r *wire.Response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.WriteResponse(r)
+}
+
+// NewServer starts listening and serving on cfg.Addr.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("kv: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     NewStore(),
+		ln:        ln,
+		start:     time.Now(),
+		queue:     cfg.Policy(uint64(cfg.ID)),
+		conns:     make(map[net.Conn]bool),
+		speedEWMA: cfg.SpeedFactor,
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	if cfg.DataPath != "" {
+		if err := s.loadSnapshot(); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if cfg.SweepInterval > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return s, nil
+}
+
+// janitor reclaims expired keys periodically until shutdown.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.store.Sweep()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ID returns the server's ring identity.
+func (s *Server) ID() sched.ServerID { return s.cfg.ID }
+
+// Store exposes the backing store (for tests and tooling).
+func (s *Server) Store() *Store { return s.store }
+
+// Served returns the number of operations completed.
+func (s *Server) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// QueueLen returns the number of operations waiting.
+func (s *Server) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// StatsSnapshot returns the server's current statistics document.
+func (s *Server) StatsSnapshot() wire.ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// statsLocked builds the stats document; s.mu must be held.
+func (s *Server) statsLocked() wire.ServerStats {
+	return wire.ServerStats{
+		Server:       int(s.cfg.ID),
+		Served:       s.served,
+		QueueLen:     s.queue.Len(),
+		BacklogNanos: int64(s.queue.BacklogDemand()),
+		Speed:        s.speedEWMA,
+		Keys:         s.store.Len(),
+		UptimeNanos:  int64(time.Since(s.start)),
+		Policy:       s.queue.Name(),
+	}
+}
+
+// Close stops accepting, disconnects clients, and waits for workers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	close(s.done)
+	s.wg.Wait()
+	if s.cfg.DataPath != "" {
+		if serr := s.saveSnapshot(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// loadSnapshot restores the store from DataPath; a missing file is a
+// fresh start, not an error.
+func (s *Server) loadSnapshot() error {
+	f, err := os.Open(s.cfg.DataPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("kv: open snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := s.store.LoadFrom(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// saveSnapshot writes the store to DataPath atomically (temp + rename).
+func (s *Server) saveSnapshot() error {
+	tmp := s.cfg.DataPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kv: create snapshot: %w", err)
+	}
+	if err := s.store.SaveTo(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("kv: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.cfg.DataPath); err != nil {
+		return fmt.Errorf("kv: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+func (s *Server) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	sc := &serverConn{conn: conn, w: wire.NewWriter(conn)}
+	r := wire.NewReader(conn)
+	var req wire.Request
+	for {
+		if err := r.ReadRequest(&req); err != nil {
+			return // EOF, peer reset, or protocol error: drop the conn
+		}
+		s.enqueue(sc, &req)
+	}
+}
+
+// minDemand floors operation demand so queue backlog stays meaningful
+// even for un-costed operations.
+const minDemand = time.Microsecond
+
+func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
+	demand := time.Duration(req.Tags.DemandNanos)
+	if s.cfg.Cost != nil {
+		if d := s.cfg.Cost(req.Type, len(req.Key), len(req.Value)); d > demand {
+			demand = d
+		}
+	}
+	if demand < minDemand {
+		demand = minDemand
+	}
+	value := make([]byte, len(req.Value))
+	copy(value, req.Value)
+	now := s.now()
+	op := &sched.Op{
+		Server: s.cfg.ID,
+		Key:    req.Key,
+		Demand: demand,
+		Tags: sched.Tags{
+			IssuedAt:         now,
+			Fanout:           int(req.Tags.Fanout),
+			DemandBottleneck: time.Duration(req.Tags.BottleneckNanos),
+			ScaledDemand:     demand,
+			RemainingTime:    time.Duration(req.Tags.RemainingNanos),
+			ExpectedFinish:   now,
+			RequestFinish:    now + time.Duration(req.Tags.SlackNanos),
+		},
+		Payload: &pendingOp{
+			conn: sc, typ: req.Type, key: req.Key, value: value,
+			id: req.ID, ttl: time.Duration(req.TTLNanos),
+			oldValue: append([]byte(nil), req.OldValue...),
+		},
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue.Push(op, now)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+var errServerClosed = errors.New("kv: server closed")
+
+// popNext blocks until an operation is available or the server closes.
+func (s *Server) popNext() (*sched.Op, error) {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, errServerClosed
+		}
+		op := s.queue.Pop(s.now())
+		s.mu.Unlock()
+		if op != nil {
+			return op, nil
+		}
+		select {
+		case <-s.wake:
+		case <-s.done:
+			return nil, errServerClosed
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		op, err := s.popNext()
+		if err != nil {
+			return
+		}
+		s.serve(op)
+		// Chain wakeups: more work may be queued while all workers
+		// were busy and the wake token was consumed.
+		s.mu.Lock()
+		pending := s.queue.Len() > 0
+		s.mu.Unlock()
+		if pending {
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// serve executes one operation and writes its response with feedback.
+func (s *Server) serve(op *sched.Op) {
+	p, ok := op.Payload.(*pendingOp)
+	if !ok {
+		return
+	}
+	began := time.Now()
+	resp := wire.Response{ID: p.id, Status: wire.StatusOK}
+	switch p.typ {
+	case wire.OpGet:
+		if v, found := s.store.Get(p.key); found {
+			resp.Value = v
+		} else {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpPut:
+		s.store.PutTTL(p.key, p.value, p.ttl)
+	case wire.OpDelete:
+		if !s.store.Delete(p.key) {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpCAS:
+		if !s.store.CompareAndSwap(p.key, p.oldValue, p.value) {
+			resp.Status = wire.StatusCASMismatch
+		}
+	case wire.OpStats:
+		// Filled below under the stats lock.
+	default:
+		resp.Status = wire.StatusError
+	}
+	if s.cfg.Cost != nil {
+		s.burn(time.Duration(float64(s.cfg.Cost(p.typ, len(p.key), len(p.value))) / s.cfg.SpeedFactor))
+	}
+	elapsed := time.Since(began)
+
+	s.mu.Lock()
+	if s.cfg.Cost != nil && elapsed > 0 {
+		observed := float64(op.Demand) / float64(elapsed)
+		s.speedEWMA += 0.2 * (observed - s.speedEWMA)
+	}
+	resp.Feedback = wire.Feedback{
+		QueueLen:     uint32(s.queue.Len()),
+		BacklogNanos: int64(s.queue.BacklogDemand()),
+		SpeedMilli:   uint32(s.speedEWMA * 1000),
+	}
+	s.served++
+	if p.typ == wire.OpStats {
+		if b, err := json.Marshal(s.statsLocked()); err == nil {
+			resp.Value = b
+		} else {
+			resp.Status = wire.StatusError
+		}
+	}
+	s.mu.Unlock()
+
+	// A write error means the client is gone; the op's effect on the
+	// store stands either way.
+	_ = p.conn.writeResponse(&resp)
+}
+
+// burn consumes about d of wall time. Sleeping models I/O-bound
+// backends; granularity is fine for the millisecond-scale demands the
+// experiments use.
+func (s *Server) burn(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+}

@@ -1,0 +1,255 @@
+// Package kv is a live distributed key-value store built around the same
+// scheduling machinery the simulator evaluates: servers front their
+// worker pools with a pluggable sched.Policy queue, clients tag multiget
+// operations with DAS metadata, and every response piggybacks the
+// feedback that drives the adaptive estimator.
+//
+// This package goes beyond the paper (whose evaluation is simulation
+// only): it demonstrates the scheduler on real sockets and real
+// goroutines with the identical policy implementations.
+package kv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"sync"
+	"time"
+)
+
+// storeShards is the shard count of the in-memory store; a power of two
+// keeps the index computation a mask.
+const storeShards = 64
+
+// entry is one stored value with optional expiry.
+type entry struct {
+	value     []byte
+	expiresAt time.Time // zero = never
+}
+
+func (e entry) expired(now time.Time) bool {
+	return !e.expiresAt.IsZero() && !now.Before(e.expiresAt)
+}
+
+// Store is a sharded in-memory key-value map with optional per-key TTL,
+// safe for concurrent use. Expired keys are hidden immediately and
+// reclaimed lazily on access or via Sweep.
+type Store struct {
+	seed   maphash.Seed
+	now    func() time.Time
+	shards [storeShards]storeShard
+}
+
+type storeShard struct {
+	mu sync.RWMutex
+	m  map[string]entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{seed: maphash.MakeSeed(), now: time.Now}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]entry)
+	}
+	return s
+}
+
+func (s *Store) shard(key string) *storeShard {
+	h := maphash.String(s.seed, key)
+	return &s.shards[h&(storeShards-1)]
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	now := s.now()
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	if !ok || e.expired(now) {
+		sh.mu.RUnlock()
+		return nil, false
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	sh.mu.RUnlock()
+	return out, true
+}
+
+// Put stores a copy of value under key with no expiry.
+func (s *Store) Put(key string, value []byte) {
+	s.PutTTL(key, value, 0)
+}
+
+// PutTTL stores a copy of value under key, expiring after ttl
+// (0 = never).
+func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	var exp time.Time
+	if ttl > 0 {
+		exp = s.now().Add(ttl)
+	}
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.m[key] = entry{value: v, expiresAt: exp}
+	sh.mu.Unlock()
+}
+
+// CompareAndSwap atomically replaces key's value with newValue iff the
+// current live value equals oldValue. An empty/nil oldValue means
+// "expect the key to be absent (or expired)". It reports whether the
+// swap happened. A successful swap clears any TTL.
+func (s *Store) CompareAndSwap(key string, oldValue, newValue []byte) bool {
+	now := s.now()
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[key]
+	live := ok && !e.expired(now)
+	if len(oldValue) == 0 {
+		if live && len(e.value) > 0 {
+			return false
+		}
+	} else {
+		if !live || !bytesEqual(e.value, oldValue) {
+			return false
+		}
+	}
+	v := make([]byte, len(newValue))
+	copy(v, newValue)
+	sh.m[key] = entry{value: v}
+	return true
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes key, reporting whether a live (non-expired) entry
+// existed.
+func (s *Store) Delete(key string) bool {
+	now := s.now()
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[key]
+	delete(sh.m, key)
+	return ok && !e.expired(now)
+}
+
+// Len returns the number of live keys (expired-but-unswept keys are
+// excluded).
+func (s *Store) Len() int {
+	now := s.now()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.m {
+			if !e.expired(now) {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Sweep removes expired entries, returning how many were reclaimed.
+func (s *Store) Sweep() int {
+	now := s.now()
+	reclaimed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if e.expired(now) {
+				delete(sh.m, k)
+				reclaimed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return reclaimed
+}
+
+// snapshotRecord is one persisted key-value pair (value base64-encoded
+// by encoding/json's []byte handling). ExpiresAtUnixNano is 0 for keys
+// without TTL.
+type snapshotRecord struct {
+	Key               string `json:"k"`
+	Value             []byte `json:"v"`
+	ExpiresAtUnixNano int64  `json:"exp,omitempty"`
+}
+
+// SaveTo writes a point-in-time snapshot as JSON lines. Expired entries
+// are skipped. Shards are locked one at a time, so the snapshot is
+// per-shard consistent.
+func (s *Store) SaveTo(w io.Writer) error {
+	now := s.now()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.m {
+			if e.expired(now) {
+				continue
+			}
+			rec := snapshotRecord{Key: k, Value: e.value}
+			if !e.expiresAt.IsZero() {
+				rec.ExpiresAtUnixNano = e.expiresAt.UnixNano()
+			}
+			if err := enc.Encode(rec); err != nil {
+				sh.mu.RUnlock()
+				return fmt.Errorf("kv: snapshot encode: %w", err)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("kv: snapshot flush: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom replays a snapshot into the store (existing keys are
+// overwritten; records already expired at load time are dropped).
+func (s *Store) LoadFrom(r io.Reader) error {
+	now := s.now()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	n := 0
+	for {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("kv: snapshot record %d: %w", n+1, err)
+		}
+		n++
+		var exp time.Time
+		if rec.ExpiresAtUnixNano != 0 {
+			exp = time.Unix(0, rec.ExpiresAtUnixNano)
+			if !now.Before(exp) {
+				continue
+			}
+		}
+		v := make([]byte, len(rec.Value))
+		copy(v, rec.Value)
+		sh := s.shard(rec.Key)
+		sh.mu.Lock()
+		sh.m[rec.Key] = entry{value: v, expiresAt: exp}
+		sh.mu.Unlock()
+	}
+}

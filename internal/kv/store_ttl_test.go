@@ -1,0 +1,153 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// fakeClock lets TTL tests control time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newClockedStore() (*Store, *fakeClock) {
+	s := NewStore()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s.now = clk.now
+	return s, clk
+}
+
+func TestPutTTLExpires(t *testing.T) {
+	s, clk := newClockedStore()
+	s.PutTTL("session", []byte("token"), time.Minute)
+	if _, ok := s.Get("session"); !ok {
+		t.Fatal("fresh TTL key should be visible")
+	}
+	clk.advance(59 * time.Second)
+	if _, ok := s.Get("session"); !ok {
+		t.Fatal("key expired early")
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := s.Get("session"); ok {
+		t.Fatal("key should be expired")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 (expired hidden)", s.Len())
+	}
+}
+
+func TestPutWithoutTTLNeverExpires(t *testing.T) {
+	s, clk := newClockedStore()
+	s.Put("forever", []byte("v"))
+	clk.advance(1000 * time.Hour)
+	if _, ok := s.Get("forever"); !ok {
+		t.Fatal("no-TTL key expired")
+	}
+}
+
+func TestDeleteExpiredReportsNotFound(t *testing.T) {
+	s, clk := newClockedStore()
+	s.PutTTL("k", []byte("v"), time.Second)
+	clk.advance(2 * time.Second)
+	if s.Delete("k") {
+		t.Fatal("deleting an expired key should report false")
+	}
+}
+
+func TestSweepReclaims(t *testing.T) {
+	s, clk := newClockedStore()
+	for i := 0; i < 10; i++ {
+		s.PutTTL(KeyFor(i), []byte("v"), time.Second)
+	}
+	s.Put("keeper", []byte("v"))
+	clk.advance(2 * time.Second)
+	if got := s.Sweep(); got != 10 {
+		t.Fatalf("Sweep reclaimed %d, want 10", got)
+	}
+	if got := s.Sweep(); got != 0 {
+		t.Fatalf("second Sweep reclaimed %d, want 0", got)
+	}
+	if _, ok := s.Get("keeper"); !ok {
+		t.Fatal("Sweep removed a live key")
+	}
+}
+
+func TestOverwriteClearsTTL(t *testing.T) {
+	s, clk := newClockedStore()
+	s.PutTTL("k", []byte("v1"), time.Second)
+	s.Put("k", []byte("v2")) // plain put removes expiry
+	clk.advance(time.Hour)
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v2" {
+		t.Fatalf("overwritten key = %q/%v", v, ok)
+	}
+}
+
+func TestSnapshotPreservesTTL(t *testing.T) {
+	s, clk := newClockedStore()
+	s.PutTTL("short", []byte("v"), time.Minute)
+	s.PutTTL("gone", []byte("v"), time.Second)
+	s.Put("stable", []byte("v"))
+	clk.advance(2 * time.Second) // "gone" expires before the save
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+	restored, clk2 := newClockedStore()
+	clk2.t = clk.t
+	if err := restored.LoadFrom(&buf); err != nil {
+		t.Fatalf("LoadFrom: %v", err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d live keys, want 2", restored.Len())
+	}
+	clk2.advance(2 * time.Minute)
+	if _, ok := restored.Get("short"); ok {
+		t.Fatal("restored TTL did not survive the round trip")
+	}
+	if _, ok := restored.Get("stable"); !ok {
+		t.Fatal("stable key lost")
+	}
+}
+
+// KeyFor formats a small test key.
+func KeyFor(i int) string { return "ttl-key-" + string(rune('a'+i)) }
+
+func TestClientPutTTLEndToEnd(t *testing.T) {
+	srv, err := NewServer(ServerConfig{ID: 0, Addr: "127.0.0.1:0", SweepInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := NewClient(ClientConfig{Servers: map[sched.ServerID]string{0: srv.Addr()}})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := context.Background()
+	if err := client.PutTTL(ctx, "ephemeral", []byte("v"), 50*time.Millisecond); err != nil {
+		t.Fatalf("PutTTL: %v", err)
+	}
+	if _, err := client.Get(ctx, "ephemeral"); err != nil {
+		t.Fatalf("fresh Get: %v", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, err := client.Get(ctx, "ephemeral")
+		if err == ErrNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TTL key never expired end-to-end")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := client.PutTTL(ctx, "bad", []byte("v"), -time.Second); err == nil {
+		t.Fatal("negative TTL should error")
+	}
+}

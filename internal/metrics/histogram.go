@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram is a fixed-memory logarithmic latency histogram in the style
+// of HDR histograms: buckets grow geometrically from Smallest so that the
+// relative quantile error is bounded by the per-octave subdivision.
+type Histogram struct {
+	smallest   time.Duration
+	growth     float64
+	buckets    []uint64
+	count      uint64
+	sum        time.Duration
+	overflow   uint64
+	maxTracked time.Duration
+}
+
+// NewHistogram covers [smallest, largest] with the given number of
+// buckets per factor-of-two; 16 sub-buckets bounds quantile error to
+// about 4%.
+func NewHistogram(smallest, largest time.Duration, perOctave int) *Histogram {
+	if smallest <= 0 {
+		smallest = time.Microsecond
+	}
+	if largest < smallest {
+		largest = smallest * 2
+	}
+	if perOctave <= 0 {
+		perOctave = 16
+	}
+	growth := math.Pow(2, 1/float64(perOctave))
+	n := int(math.Ceil(math.Log(float64(largest)/float64(smallest))/math.Log(growth))) + 1
+	return &Histogram{
+		smallest:   smallest,
+		growth:     growth,
+		buckets:    make([]uint64, n),
+		maxTracked: largest,
+	}
+}
+
+func (h *Histogram) index(v time.Duration) int {
+	if v <= h.smallest {
+		return 0
+	}
+	i := int(math.Log(float64(v)/float64(h.smallest)) / math.Log(h.growth))
+	if i >= len(h.buckets) {
+		return len(h.buckets) - 1
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v > h.maxTracked {
+		h.overflow++
+	}
+	h.buckets[h.index(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Overflow returns how many observations exceeded the tracked range
+// (they are clamped into the last bucket).
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Mean returns the exact running mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile using the upper edge of
+// the bucket containing the target rank.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return h.upperEdge(i)
+		}
+	}
+	return h.upperEdge(len(h.buckets) - 1)
+}
+
+func (h *Histogram) upperEdge(i int) time.Duration {
+	return time.Duration(float64(h.smallest) * math.Pow(h.growth, float64(i+1)))
+}

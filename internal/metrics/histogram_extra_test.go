@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	// Values at and below the smallest land in bucket 0.
+	h.Observe(0)
+	h.Observe(time.Microsecond)
+	if got := h.Quantile(0.5); got > 2*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want within the first bucket's edge", got)
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at %v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTimeSeriesWindowAccessor(t *testing.T) {
+	ts := NewTimeSeries(250*time.Millisecond, time.Second)
+	if ts.Window() != 250*time.Millisecond {
+		t.Fatalf("Window = %v", ts.Window())
+	}
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	for _, v := range []time.Duration{time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(v)
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v, want 2ms", h.Mean())
+	}
+}
+
+func TestHistogramQuantileBoundedError(t *testing.T) {
+	h := NewHistogram(10*time.Microsecond, 10*time.Second, 32)
+	rng := dist.NewRand(7)
+	d := dist.Exponential{M: 5 * time.Millisecond}
+	s := NewSummary(0)
+	for i := 0; i < 50000; i++ {
+		v := d.Sample(rng)
+		h.Observe(v)
+		s.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := float64(s.Quantile(q))
+		approx := float64(h.Quantile(q))
+		if exact == 0 {
+			continue
+		}
+		if math.Abs(approx-exact)/exact > 0.10 {
+			t.Fatalf("q=%v: histogram %v vs exact %v (>10%% error)",
+				q, time.Duration(approx), time.Duration(exact))
+		}
+	}
+}
+
+func TestHistogramOverflowClamped(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Millisecond, 8)
+	h.Observe(time.Hour)
+	if h.Overflow() != 1 {
+		t.Fatalf("Overflow = %d, want 1", h.Overflow())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if q := h.Quantile(1); q > 2*time.Millisecond {
+		// Clamped into last bucket; upper edge is near the range top.
+		t.Fatalf("Quantile(1) = %v, want clamped near 1ms", q)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	h.Observe(-time.Second)
+	if h.Count() != 1 {
+		t.Fatal("negative observation should still count")
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("Mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestHistogramDefaults(t *testing.T) {
+	h := NewHistogram(0, 0, 0) // all defaulted
+	h.Observe(time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("defaulted histogram should accept observations")
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	h.Observe(time.Millisecond)
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Fatal("out-of-range q should clamp, not zero")
+	}
+}

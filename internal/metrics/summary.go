@@ -1,0 +1,156 @@
+// Package metrics provides the measurement machinery for simulations and
+// the live store: streaming moment accumulators, percentile reservoirs,
+// logarithmic latency histograms, and windowed time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Summary accumulates durations with Welford's online algorithm for mean
+// and variance plus a bounded uniform reservoir for percentiles. Not safe
+// for concurrent use; wrap with a mutex or use one per goroutine.
+type Summary struct {
+	count    uint64
+	mean     float64
+	m2       float64
+	min, max time.Duration
+
+	cap  int
+	res  []time.Duration
+	rng  *rand.Rand
+	sort bool // res is sorted (cached)
+}
+
+// DefaultReservoirSize bounds percentile-reservoir memory; below this
+// count percentiles are exact.
+const DefaultReservoirSize = 100_000
+
+// NewSummary returns a summary with the given reservoir capacity
+// (DefaultReservoirSize if cap <= 0). Percentiles are exact until the
+// reservoir fills, then estimated by uniform sampling.
+func NewSummary(capacity int) *Summary {
+	if capacity <= 0 {
+		capacity = DefaultReservoirSize
+	}
+	return &Summary{
+		cap: capacity,
+		res: make([]time.Duration, 0, min(capacity, 1024)),
+		rng: rand.New(rand.NewPCG(0x5ca1ab1e, 0xdeadbeef)),
+		min: math.MaxInt64,
+	}
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v time.Duration) {
+	s.count++
+	delta := float64(v) - s.mean
+	s.mean += delta / float64(s.count)
+	s.m2 += delta * (float64(v) - s.mean)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sort = false
+	if len(s.res) < s.cap {
+		s.res = append(s.res, v)
+		return
+	}
+	// Vitter's algorithm R.
+	if j := s.rng.Uint64N(s.count); j < uint64(s.cap) {
+		s.res[j] = v
+	}
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.count }
+
+// Mean returns the running mean (0 when empty).
+func (s *Summary) Mean() time.Duration { return time.Duration(s.mean) }
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Summary) Stddev() time.Duration {
+	if s.count < 2 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(s.m2 / float64(s.count-1)))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation.
+func (s *Summary) Max() time.Duration { return s.max }
+
+// Quantile returns the q-quantile (0 <= q <= 1) from the reservoir using
+// nearest-rank interpolation. Returns 0 when empty.
+func (s *Summary) Quantile(q float64) time.Duration {
+	if len(s.res) == 0 {
+		return 0
+	}
+	if !s.sort {
+		sort.Slice(s.res, func(i, j int) bool { return s.res[i] < s.res[j] })
+		s.sort = true
+	}
+	if q <= 0 {
+		return s.res[0]
+	}
+	if q >= 1 {
+		return s.res[len(s.res)-1]
+	}
+	pos := q * float64(len(s.res)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.res[lo]
+	}
+	frac := pos - float64(lo)
+	return s.res[lo] + time.Duration(frac*float64(s.res[hi]-s.res[lo]))
+}
+
+// P50, P95, P99 are the common report percentiles.
+func (s *Summary) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 returns the 95th percentile.
+func (s *Summary) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 returns the 99th percentile.
+func (s *Summary) P99() time.Duration { return s.Quantile(0.99) }
+
+// CDF returns (value, cumulative-fraction) pairs at the given number of
+// evenly spaced quantiles, suitable for plotting the RCT CDF figure.
+func (s *Summary) CDF(points int) []CDFPoint {
+	if points < 2 || len(s.res) == 0 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		q := float64(i) / float64(points-1)
+		out = append(out, CDFPoint{Fraction: q, Value: s.Quantile(q)})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Fraction float64
+	Value    time.Duration
+}
+
+// String renders a one-line report.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.count, s.Mean(), s.P50(), s.P95(), s.P99(), s.Max())
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary(0)
+	if s.Count() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	if s.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestSummaryBasicStats(t *testing.T) {
+	s := NewSummary(0)
+	for _, v := range []time.Duration{1, 2, 3, 4, 5} {
+		s.Observe(v * time.Millisecond)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+	if s.Mean() != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", s.Mean())
+	}
+	if s.Min() != time.Millisecond || s.Max() != 5*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of 1..5 ms is sqrt(2.5) ms.
+	want := time.Duration(math.Sqrt(2.5) * float64(time.Millisecond))
+	if d := s.Stddev() - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("Stddev = %v, want ~%v", s.Stddev(), want)
+	}
+}
+
+func TestSummaryExactQuantilesSmall(t *testing.T) {
+	s := NewSummary(0)
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Quantile(0); got != time.Millisecond {
+		t.Fatalf("Q(0) = %v, want 1ms", got)
+	}
+	if got := s.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("Q(1) = %v, want 100ms", got)
+	}
+	if got := s.P50(); got < 50*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("P50 = %v, want ~50.5ms", got)
+	}
+	if got := s.P99(); got < 99*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("P99 = %v, want ~99ms", got)
+	}
+}
+
+func TestSummaryReservoirSampling(t *testing.T) {
+	s := NewSummary(1000)
+	rng := dist.NewRand(3)
+	d := dist.Exponential{M: time.Millisecond}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Observe(d.Sample(rng))
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+	// p50 of exp(1ms) is ln(2) ms ~ 0.693ms; reservoir estimate should
+	// be in the ballpark.
+	p50 := float64(s.P50())
+	want := math.Ln2 * float64(time.Millisecond)
+	if math.Abs(p50-want)/want > 0.15 {
+		t.Fatalf("reservoir P50 = %v, want ~%v", s.P50(), time.Duration(want))
+	}
+	// Mean is exact regardless of reservoir.
+	if mean := float64(s.Mean()); math.Abs(mean-float64(time.Millisecond))/float64(time.Millisecond) > 0.02 {
+		t.Fatalf("Mean = %v, want ~1ms", s.Mean())
+	}
+}
+
+func TestSummaryCDFMonotone(t *testing.T) {
+	s := NewSummary(0)
+	rng := dist.NewRand(5)
+	for i := 0; i < 10000; i++ {
+		s.Observe(dist.Exponential{M: time.Millisecond}.Sample(rng))
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("len(CDF) = %d, want 50", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value {
+			t.Fatalf("CDF values not monotone at %d", i)
+		}
+		if cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF fractions not increasing at %d", i)
+		}
+	}
+}
+
+func TestSummaryQuantileOrderedQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := NewSummary(0)
+		rng := dist.NewRand(seed)
+		for i := 0; i < 500; i++ {
+			s.Observe(time.Duration(rng.Int64N(int64(time.Second))))
+		}
+		return s.Quantile(0.1) <= s.Quantile(0.5) &&
+			s.Quantile(0.5) <= s.Quantile(0.9) &&
+			s.Quantile(0.9) <= s.Max() &&
+			s.Min() <= s.Quantile(0.1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSummary(0)
+	s.Observe(time.Millisecond)
+	if got := s.String(); got == "" {
+		t.Fatal("String should not be empty")
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import "time"
+
+// TimeSeries buckets observations into fixed windows and reports the
+// per-window mean, used for the time-varying-load figure where mean RCT
+// is plotted over simulation time.
+type TimeSeries struct {
+	window  time.Duration
+	sums    []float64
+	counts  []uint64
+	horizon time.Duration
+}
+
+// NewTimeSeries covers [0, horizon) with windows of the given width.
+func NewTimeSeries(window, horizon time.Duration) *TimeSeries {
+	if window <= 0 {
+		window = time.Second
+	}
+	n := int(horizon/window) + 1
+	if n < 1 {
+		n = 1
+	}
+	return &TimeSeries{
+		window:  window,
+		sums:    make([]float64, n),
+		counts:  make([]uint64, n),
+		horizon: horizon,
+	}
+}
+
+// Observe records a value at virtual time t. Out-of-range times clamp to
+// the last window.
+func (ts *TimeSeries) Observe(t time.Duration, v time.Duration) {
+	i := int(t / ts.window)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ts.sums) {
+		i = len(ts.sums) - 1
+	}
+	ts.sums[i] += float64(v)
+	ts.counts[i]++
+}
+
+// Window returns the configured window width.
+func (ts *TimeSeries) Window() time.Duration { return ts.window }
+
+// Points returns one (start-time, mean, count) tuple per non-empty
+// window in time order.
+type TimePoint struct {
+	Start time.Duration
+	Mean  time.Duration
+	Count uint64
+}
+
+// Points returns the series.
+func (ts *TimeSeries) Points() []TimePoint {
+	out := make([]TimePoint, 0, len(ts.sums))
+	for i := range ts.sums {
+		if ts.counts[i] == 0 {
+			continue
+		}
+		out = append(out, TimePoint{
+			Start: time.Duration(i) * ts.window,
+			Mean:  time.Duration(ts.sums[i] / float64(ts.counts[i])),
+			Count: ts.counts[i],
+		})
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries(time.Second, 10*time.Second)
+	ts.Observe(500*time.Millisecond, 10*time.Millisecond)
+	ts.Observe(700*time.Millisecond, 20*time.Millisecond)
+	ts.Observe(2500*time.Millisecond, 40*time.Millisecond)
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("len(Points) = %d, want 2", len(pts))
+	}
+	if pts[0].Start != 0 || pts[0].Mean != 15*time.Millisecond || pts[0].Count != 2 {
+		t.Fatalf("window 0 = %+v", pts[0])
+	}
+	if pts[1].Start != 2*time.Second || pts[1].Mean != 40*time.Millisecond {
+		t.Fatalf("window 2 = %+v", pts[1])
+	}
+}
+
+func TestTimeSeriesClampsOutOfRange(t *testing.T) {
+	ts := NewTimeSeries(time.Second, 2*time.Second)
+	ts.Observe(time.Hour, time.Millisecond)
+	ts.Observe(-time.Second, 3*time.Millisecond)
+	pts := ts.Points()
+	if len(pts) != 2 {
+		t.Fatalf("len(Points) = %d, want 2 (first and last windows)", len(pts))
+	}
+}
+
+func TestTimeSeriesDefaults(t *testing.T) {
+	ts := NewTimeSeries(0, 0)
+	ts.Observe(0, time.Millisecond)
+	if got := ts.Window(); got != time.Second {
+		t.Fatalf("Window = %v, want default 1s", got)
+	}
+	if len(ts.Points()) != 1 {
+		t.Fatal("defaulted series should hold the observation")
+	}
+}

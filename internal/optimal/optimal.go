@@ -1,0 +1,223 @@
+// Package optimal implements the paper's formalized offline scheduling
+// problem and an exact solver for tiny instances.
+//
+// The problem: a set of multiget requests is already queued; each
+// request consists of operations with known demands, each bound to one
+// server; every server serves its operations sequentially in some
+// order. A request completes when its last operation completes, and the
+// objective is the minimum mean request completion time. Choosing the
+// per-server orders jointly is NP-hard in general (the paper's
+// motivation for a heuristic) — the search space is the product of the
+// per-server permutations, and the max-coupling between servers defeats
+// the exchange arguments that make single-machine SRPT optimal.
+//
+// Exact enumerates that product for instances small enough to afford
+// it, giving ground truth to measure how far FCFS, SJF, Rein-SBF and
+// DAS land from the optimum (experiment E13).
+package optimal
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Op is one operation of an offline instance.
+type Op struct {
+	// Server is the op's serving server, in [0, Servers).
+	Server int
+	// Demand is the service time at unit speed.
+	Demand time.Duration
+}
+
+// Request is one multiget of an offline instance.
+type Request struct {
+	Ops []Op
+}
+
+// Instance is a static scheduling problem: all requests queued at t=0.
+type Instance struct {
+	Servers  int
+	Requests []Request
+}
+
+// Validate checks instance consistency.
+func (in Instance) Validate() error {
+	if in.Servers <= 0 {
+		return fmt.Errorf("optimal: servers %d must be positive", in.Servers)
+	}
+	if len(in.Requests) == 0 {
+		return fmt.Errorf("optimal: instance has no requests")
+	}
+	for r, req := range in.Requests {
+		if len(req.Ops) == 0 {
+			return fmt.Errorf("optimal: request %d has no ops", r)
+		}
+		for _, op := range req.Ops {
+			if op.Server < 0 || op.Server >= in.Servers {
+				return fmt.Errorf("optimal: request %d op on server %d outside [0,%d)", r, op.Server, in.Servers)
+			}
+			if op.Demand <= 0 {
+				return fmt.Errorf("optimal: request %d has non-positive demand", r)
+			}
+		}
+	}
+	return nil
+}
+
+// opRef identifies an op inside its instance.
+type opRef struct {
+	req, idx int
+}
+
+// perServer groups the instance's op references by server.
+func (in Instance) perServer() [][]opRef {
+	out := make([][]opRef, in.Servers)
+	for r, req := range in.Requests {
+		for i, op := range req.Ops {
+			out[op.Server] = append(out[op.Server], opRef{req: r, idx: i})
+		}
+	}
+	return out
+}
+
+// MeanRCT evaluates one schedule: orders[s] is the service order of
+// server s over its op references (as produced by perServer, permuted).
+func (in Instance) meanRCT(orders [][]opRef) time.Duration {
+	finish := make([]time.Duration, len(in.Requests))
+	for s := range orders {
+		var clock time.Duration
+		for _, ref := range orders[s] {
+			op := in.Requests[ref.req].Ops[ref.idx]
+			clock += op.Demand
+			if clock > finish[ref.req] {
+				finish[ref.req] = clock
+			}
+		}
+	}
+	var sum time.Duration
+	for _, f := range finish {
+		sum += f
+	}
+	return sum / time.Duration(len(in.Requests))
+}
+
+// MaxExactStates caps the schedule-space size Exact will enumerate.
+const MaxExactStates = 4_000_000
+
+// Exact returns the minimum mean RCT over all joint per-server orders.
+// It errors if the instance is invalid or too large to enumerate.
+func Exact(in Instance) (time.Duration, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	groups := in.perServer()
+	states := 1.0
+	for _, g := range groups {
+		states *= factorial(len(g))
+		if states > MaxExactStates {
+			return 0, fmt.Errorf("optimal: schedule space exceeds %d states", MaxExactStates)
+		}
+	}
+	best := time.Duration(math.MaxInt64)
+	orders := make([][]opRef, len(groups))
+	var rec func(s int)
+	rec = func(s int) {
+		if s == len(groups) {
+			if m := in.meanRCT(orders); m < best {
+				best = m
+			}
+			return
+		}
+		permute(groups[s], func(p []opRef) {
+			orders[s] = p
+			rec(s + 1)
+		})
+	}
+	rec(0)
+	return best, nil
+}
+
+// Evaluate runs a queueing policy on the instance: all operations are
+// pushed at t=0 (statically tagged, i.e. with the information the
+// policy would have without load feedback) and each server serves its
+// queue to exhaustion in popped order.
+func Evaluate(in Instance, factory sched.Factory) (time.Duration, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if factory == nil {
+		return 0, fmt.Errorf("optimal: nil policy factory")
+	}
+	queues := make([]sched.Policy, in.Servers)
+	for s := range queues {
+		queues[s] = factory(uint64(s) + 1)
+	}
+	for r, req := range in.Requests {
+		ops := make([]*sched.Op, len(req.Ops))
+		for i, op := range req.Ops {
+			ops[i] = &sched.Op{
+				Request: sched.RequestID(r + 1),
+				Index:   i,
+				Server:  sched.ServerID(op.Server),
+				Demand:  op.Demand,
+			}
+		}
+		core.Tag(ops, nil, 0)
+		for _, op := range ops {
+			queues[op.Server].Push(op, 0)
+		}
+	}
+	finish := make([]time.Duration, len(in.Requests))
+	for s, q := range queues {
+		var clock time.Duration
+		for q.Len() > 0 {
+			op := q.Pop(clock)
+			if op == nil {
+				return 0, fmt.Errorf("optimal: server %d queue returned nil with work pending", s)
+			}
+			clock += op.Demand
+			r := int(op.Request) - 1
+			if clock > finish[r] {
+				finish[r] = clock
+			}
+		}
+	}
+	var sum time.Duration
+	for _, f := range finish {
+		sum += f
+	}
+	return sum / time.Duration(len(in.Requests)), nil
+}
+
+// permute calls fn with every permutation of g (g is reordered in
+// place; fn must not retain the slice).
+func permute(g []opRef, fn func([]opRef)) {
+	var heapPerm func(k int)
+	heapPerm = func(k int) {
+		if k <= 1 {
+			fn(g)
+			return
+		}
+		for i := 0; i < k; i++ {
+			heapPerm(k - 1)
+			if k%2 == 0 {
+				g[i], g[k-1] = g[k-1], g[i]
+			} else {
+				g[0], g[k-1] = g[k-1], g[0]
+			}
+		}
+	}
+	heapPerm(len(g))
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

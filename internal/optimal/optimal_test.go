@@ -1,0 +1,201 @@
+package optimal
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestValidate(t *testing.T) {
+	bad := []Instance{
+		{Servers: 0, Requests: []Request{{Ops: []Op{{0, ms(1)}}}}},
+		{Servers: 1},
+		{Servers: 1, Requests: []Request{{}}},
+		{Servers: 1, Requests: []Request{{Ops: []Op{{Server: 5, Demand: ms(1)}}}}},
+		{Servers: 1, Requests: []Request{{Ops: []Op{{Server: 0, Demand: 0}}}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestExactSingleServerIsSJFOnRequests(t *testing.T) {
+	// One server, three single-op requests with demands 3,1,2:
+	// optimal mean completion = SPT order (1,2,3): (1+3+6)/3 ms.
+	in := Instance{
+		Servers: 1,
+		Requests: []Request{
+			{Ops: []Op{{0, ms(3)}}},
+			{Ops: []Op{{0, ms(1)}}},
+			{Ops: []Op{{0, ms(2)}}},
+		},
+	}
+	got, err := Exact(in)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	want := (ms(1) + ms(3) + ms(6)) / 3
+	if got != want {
+		t.Fatalf("Exact = %v, want %v", got, want)
+	}
+}
+
+func TestExactCouplingAcrossServers(t *testing.T) {
+	// Two servers. Request A has ops (s0:1ms, s1:4ms); request B has
+	// (s0:4ms). B's completion depends only on server 0's order, A's on
+	// the max of both. Serving A first on s0: A done at max(1,4)=4,
+	// B at 5 -> mean 4.5. Serving B first: A at max(5,4)=5, B at 4 ->
+	// mean 4.5. Either way 4.5ms.
+	in := Instance{
+		Servers: 2,
+		Requests: []Request{
+			{Ops: []Op{{0, ms(1)}, {1, ms(4)}}},
+			{Ops: []Op{{0, ms(4)}}},
+		},
+	}
+	got, err := Exact(in)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	want := ms(9) / 2
+	if got != want {
+		t.Fatalf("Exact = %v, want %v", got, want)
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	reqs := make([]Request, 12)
+	for i := range reqs {
+		reqs[i] = Request{Ops: []Op{{0, ms(1)}}}
+	}
+	if _, err := Exact(Instance{Servers: 1, Requests: reqs}); err == nil {
+		t.Fatal("12! states should exceed the enumeration cap")
+	}
+}
+
+func TestEvaluateFCFSSimple(t *testing.T) {
+	in := Instance{
+		Servers: 1,
+		Requests: []Request{
+			{Ops: []Op{{0, ms(3)}}},
+			{Ops: []Op{{0, ms(1)}}},
+		},
+	}
+	got, err := Evaluate(in, sched.FCFSFactory)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// FCFS: first request done at 3, second at 4 -> mean 3.5.
+	if got != ms(7)/2 {
+		t.Fatalf("Evaluate = %v, want 3.5ms", got)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	in := Instance{Servers: 1, Requests: []Request{{Ops: []Op{{0, ms(1)}}}}}
+	if _, err := Evaluate(in, nil); err == nil {
+		t.Fatal("nil factory should error")
+	}
+	if _, err := Evaluate(Instance{}, sched.FCFSFactory); err == nil {
+		t.Fatal("invalid instance should error")
+	}
+}
+
+// randomInstance builds a small random instance.
+func randomInstance(seed uint64) Instance {
+	rng := dist.NewRand(seed)
+	const servers = 3
+	n := 3 + rng.IntN(3) // 3-5 requests
+	reqs := make([]Request, n)
+	for r := range reqs {
+		k := 1 + rng.IntN(3)
+		ops := make([]Op, 0, k)
+		used := map[int]bool{}
+		for len(ops) < k {
+			s := rng.IntN(servers)
+			if used[s] {
+				continue
+			}
+			used[s] = true
+			ops = append(ops, Op{Server: s, Demand: time.Duration(1+rng.IntN(9)) * time.Millisecond})
+		}
+		reqs[r] = Request{Ops: ops}
+	}
+	return Instance{Servers: servers, Requests: reqs}
+}
+
+func TestExactLowerBoundsAllPoliciesQuick(t *testing.T) {
+	factories := map[string]sched.Factory{
+		"fcfs": sched.FCFSFactory,
+		"sjf":  sched.SJFFactory,
+		"sbf":  sched.ReinSBFFactory,
+		"das":  core.Factory(core.DefaultOptions()),
+	}
+	f := func(seed uint64) bool {
+		in := randomInstance(seed)
+		opt, err := Exact(in)
+		if err != nil {
+			return true // instance too large: skip
+		}
+		for name, factory := range factories {
+			got, err := Evaluate(in, factory)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, name, err)
+				return false
+			}
+			if got < opt {
+				t.Logf("seed %d: %s (%v) beat the optimum (%v)", seed, name, got, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBFNearOptimalOnAverage(t *testing.T) {
+	// Aggregate over many random instances: request-aware policies
+	// should land much closer to OPT than FCFS.
+	var optSum, fcfsSum, sbfSum float64
+	count := 0
+	for seed := uint64(1); seed <= 120; seed++ {
+		in := randomInstance(seed)
+		opt, err := Exact(in)
+		if err != nil {
+			continue
+		}
+		fcfs, err := Evaluate(in, sched.FCFSFactory)
+		if err != nil {
+			t.Fatalf("fcfs: %v", err)
+		}
+		sbf, err := Evaluate(in, sched.ReinSBFFactory)
+		if err != nil {
+			t.Fatalf("sbf: %v", err)
+		}
+		optSum += opt.Seconds()
+		fcfsSum += fcfs.Seconds()
+		sbfSum += sbf.Seconds()
+		count++
+	}
+	if count < 50 {
+		t.Fatalf("only %d instances solved", count)
+	}
+	fcfsRatio := fcfsSum / optSum
+	sbfRatio := sbfSum / optSum
+	if sbfRatio >= fcfsRatio {
+		t.Fatalf("SBF/OPT = %.3f should beat FCFS/OPT = %.3f", sbfRatio, fcfsRatio)
+	}
+	if sbfRatio > 1.15 {
+		t.Fatalf("SBF/OPT = %.3f, want within 15%% of optimal on small instances", sbfRatio)
+	}
+}

@@ -1,0 +1,190 @@
+// Package plot renders small ASCII line charts, letting the benchmark
+// harness draw the paper's figures directly in the terminal next to the
+// numeric tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%'}
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height of the plotting area in characters (default
+	// 64x16).
+	Width, Height int
+	// LogY plots the y axis in log10 scale (all y must be positive).
+	LogY bool
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	if o.Width < 16 {
+		o.Width = 16
+	}
+	if o.Height < 4 {
+		o.Height = 4
+	}
+	return o
+}
+
+// Render draws the chart. Series with no points are skipped; it errors
+// if nothing is drawable or if LogY is requested with non-positive
+// values.
+func Render(w io.Writer, title string, series []Series, opts Options) error {
+	opts = opts.withDefaults()
+	var xs, ys []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("plot: no points to draw")
+	}
+	yt := func(y float64) float64 { return y }
+	if opts.LogY {
+		for _, y := range ys {
+			if y <= 0 {
+				return fmt.Errorf("plot: log scale requires positive y, got %v", y)
+			}
+		}
+		yt = math.Log10
+	}
+	minX, maxX := minMax(xs)
+	var tys []float64
+	for _, y := range ys {
+		tys = append(tys, yt(y))
+	}
+	minY, maxY := minMax(tys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(opts.Width-1)))
+		return clamp(c, 0, opts.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yt(y) - minY) / (maxY - minY) * float64(opts.Height-1)))
+		return clamp(opts.Height-1-r, 0, opts.Height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Connect consecutive points with linear interpolation so the
+		// lines read as lines.
+		for i := 0; i < len(s.Points); i++ {
+			p := s.Points[i]
+			grid[row(p.Y)][col(p.X)] = m
+			if i == 0 {
+				continue
+			}
+			prev := s.Points[i-1]
+			steps := col(p.X) - col(prev.X)
+			for step := 1; step < steps; step++ {
+				frac := float64(step) / float64(steps)
+				x := prev.X + frac*(p.X-prev.X)
+				var y float64
+				if opts.LogY {
+					y = math.Pow(10, yt(prev.Y)+frac*(yt(p.Y)-yt(prev.Y)))
+				} else {
+					y = prev.Y + frac*(p.Y-prev.Y)
+				}
+				r, c := row(y), col(x)
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	scale := ""
+	if opts.LogY {
+		scale = " (log)"
+	}
+	// y-axis labels on the first, middle and last rows.
+	for r := 0; r < opts.Height; r++ {
+		label := strings.Repeat(" ", 10)
+		frac := float64(opts.Height-1-r) / float64(opts.Height-1)
+		switch r {
+		case 0, opts.Height / 2, opts.Height - 1:
+			v := minY + frac*(maxY-minY)
+			if opts.LogY {
+				v = math.Pow(10, v)
+			}
+			label = fmt.Sprintf("%9.3g ", v)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", opts.Width))
+	fmt.Fprintf(w, "%s%-*.3g%*.3g\n", strings.Repeat(" ", 11), opts.Width/2, minX, opts.Width/2, maxX)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(w, "%sx: %s   y: %s%s\n", strings.Repeat(" ", 11), opts.XLabel, opts.YLabel, scale)
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 11), strings.Join(legend, "   "))
+	return nil
+}
+
+func minMax(v []float64) (float64, float64) {
+	lo, hi := v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() []Series {
+	return []Series{
+		{Name: "FCFS", Points: []Point{{0.1, 2.6}, {0.5, 5.3}, {0.9, 871}}},
+		{Name: "DAS", Points: []Point{{0.1, 2.6}, {0.5, 4.8}, {0.9, 419}}},
+	}
+}
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "mean RCT vs load", sampleSeries(), Options{XLabel: "load", YLabel: "ms"}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mean RCT vs load", "* FCFS", "o DAS", "x: load", "y: ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 16 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "", sampleSeries(), Options{LogY: true}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(log)") && !strings.Contains(buf.String(), "*") {
+		t.Fatalf("log chart missing content:\n%s", buf.String())
+	}
+}
+
+func TestRenderLogYRejectsNonPositive(t *testing.T) {
+	s := []Series{{Name: "bad", Points: []Point{{0, 0}}}}
+	if err := Render(&bytes.Buffer{}, "", s, Options{LogY: true}); err == nil {
+		t.Fatal("log scale with zero y should error")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if err := Render(&bytes.Buffer{}, "", nil, Options{}); err == nil {
+		t.Fatal("empty chart should error")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := []Series{{Name: "p", Points: []Point{{1, 1}}}}
+	var buf bytes.Buffer
+	if err := Render(&buf, "", s, Options{}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestRenderMarkersWithinGrid(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{Width: 40, Height: 10}
+	if err := Render(&buf, "", sampleSeries(), opts); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			if len(line) > i+1+opts.Width {
+				t.Fatalf("row overflows plotting area: %q", line)
+			}
+		}
+	}
+}

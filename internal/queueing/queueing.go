@@ -1,0 +1,139 @@
+// Package queueing provides the closed-form queueing-theory results the
+// simulator is validated against (experiment E16): M/M/1 and M/G/1
+// (Pollaczek-Khinchine) sojourn times, and the independence
+// approximation for fork-join (multiget) completion times.
+//
+// A simulation-only evaluation is only as credible as its substrate;
+// matching textbook formulas to within sampling error is the strongest
+// cheap check available.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors shared by the validators.
+var (
+	// ErrUnstable reports an arrival rate at or beyond service capacity.
+	ErrUnstable = errors.New("queueing: utilization >= 1 (unstable queue)")
+)
+
+func utilization(lambda float64, meanService time.Duration) (float64, error) {
+	if lambda <= 0 {
+		return 0, fmt.Errorf("queueing: arrival rate %v must be positive", lambda)
+	}
+	if meanService <= 0 {
+		return 0, fmt.Errorf("queueing: mean service %v must be positive", meanService)
+	}
+	rho := lambda * meanService.Seconds()
+	if rho >= 1 {
+		return rho, ErrUnstable
+	}
+	return rho, nil
+}
+
+// MM1MeanSojourn returns the exact mean time in system of an M/M/1
+// queue: E[T] = E[S] / (1 - rho).
+func MM1MeanSojourn(lambda float64, meanService time.Duration) (time.Duration, error) {
+	rho, err := utilization(lambda, meanService)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(float64(meanService) / (1 - rho)), nil
+}
+
+// MG1MeanWait returns the exact Pollaczek-Khinchine mean queueing wait
+// of an M/G/1 queue given the first two moments of service time:
+//
+//	E[W] = lambda * E[S^2] / (2 * (1 - rho)).
+//
+// secondMomentSec2 is E[S^2] in seconds squared.
+func MG1MeanWait(lambda float64, meanService time.Duration, secondMomentSec2 float64) (time.Duration, error) {
+	rho, err := utilization(lambda, meanService)
+	if err != nil {
+		return 0, err
+	}
+	if secondMomentSec2 <= 0 {
+		return 0, fmt.Errorf("queueing: second moment %v must be positive", secondMomentSec2)
+	}
+	m1 := meanService.Seconds()
+	if secondMomentSec2 < m1*m1 {
+		return 0, fmt.Errorf("queueing: second moment %v below squared mean %v", secondMomentSec2, m1*m1)
+	}
+	waitSec := lambda * secondMomentSec2 / (2 * (1 - rho))
+	return time.Duration(waitSec * float64(time.Second)), nil
+}
+
+// MG1MeanSojourn is MG1MeanWait plus the service time itself.
+func MG1MeanSojourn(lambda float64, meanService time.Duration, secondMomentSec2 float64) (time.Duration, error) {
+	w, err := MG1MeanWait(lambda, meanService, secondMomentSec2)
+	if err != nil {
+		return 0, err
+	}
+	return w + meanService, nil
+}
+
+// MD1MeanSojourn returns the exact mean sojourn of an M/D/1 queue
+// (deterministic service): E[T] = E[S] * (1 + rho / (2 * (1 - rho))).
+func MD1MeanSojourn(lambda float64, service time.Duration) (time.Duration, error) {
+	rho, err := utilization(lambda, service)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(float64(service) * (1 + rho/(2*(1-rho)))), nil
+}
+
+// Second moments (in seconds squared) for the library's demand
+// distributions, for feeding MG1MeanWait.
+
+// ExponentialSecondMoment returns E[S^2] = 2 * mean^2.
+func ExponentialSecondMoment(mean time.Duration) float64 {
+	m := mean.Seconds()
+	return 2 * m * m
+}
+
+// DeterministicSecondMoment returns E[S^2] = v^2.
+func DeterministicSecondMoment(v time.Duration) float64 {
+	s := v.Seconds()
+	return s * s
+}
+
+// BimodalSecondMoment returns E[S^2] for a two-point distribution.
+func BimodalSecondMoment(small, large time.Duration, pSmall float64) float64 {
+	s, l := small.Seconds(), large.Seconds()
+	return pSmall*s*s + (1-pSmall)*l*l
+}
+
+// UniformSecondMoment returns E[S^2] for Uniform[lo, hi].
+func UniformSecondMoment(lo, hi time.Duration) float64 {
+	a, b := lo.Seconds(), hi.Seconds()
+	return (a*a + a*b + b*b) / 3
+}
+
+// HarmonicNumber returns H_k = sum_{i=1..k} 1/i.
+func HarmonicNumber(k int) float64 {
+	h := 0.0
+	for i := 1; i <= k; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// ForkJoinIndependent approximates the mean completion time of a k-way
+// fork-join over queues with exponential-ish sojourn time T as
+// T * H_k — the expected maximum of k independent exponentials. Queue
+// sojourns are positively correlated in a real fork-join system, and
+// actual sojourns are not exactly exponential, so this is an
+// approximation that upper-bounds the independent-exponential case; the
+// true mean lies between T (the k=1 case) and roughly this value.
+func ForkJoinIndependent(k int, sojourn time.Duration) (time.Duration, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("queueing: fork width %d must be positive", k)
+	}
+	if sojourn <= 0 {
+		return 0, fmt.Errorf("queueing: sojourn %v must be positive", sojourn)
+	}
+	return time.Duration(float64(sojourn) * HarmonicNumber(k)), nil
+}

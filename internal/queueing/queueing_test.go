@@ -1,0 +1,227 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sim"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	// rho=0.5, E[S]=1ms -> E[T]=2ms.
+	got, err := MM1MeanSojourn(500, time.Millisecond)
+	if err != nil {
+		t.Fatalf("MM1MeanSojourn: %v", err)
+	}
+	if got != 2*time.Millisecond {
+		t.Fatalf("E[T] = %v, want 2ms", got)
+	}
+	// rho=0.9 -> 10ms.
+	got, err = MM1MeanSojourn(900, time.Millisecond)
+	if err != nil {
+		t.Fatalf("MM1MeanSojourn: %v", err)
+	}
+	if got != 10*time.Millisecond {
+		t.Fatalf("E[T] = %v, want 10ms", got)
+	}
+}
+
+func TestStabilityErrors(t *testing.T) {
+	if _, err := MM1MeanSojourn(1000, time.Millisecond); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("rho=1 should be unstable, got %v", err)
+	}
+	if _, err := MM1MeanSojourn(-1, time.Millisecond); err == nil {
+		t.Fatal("negative rate should error")
+	}
+	if _, err := MM1MeanSojourn(100, 0); err == nil {
+		t.Fatal("zero service should error")
+	}
+}
+
+func TestMG1ReducesToMM1ForExponential(t *testing.T) {
+	lambda := 700.0
+	mean := time.Millisecond
+	mg1, err := MG1MeanSojourn(lambda, mean, ExponentialSecondMoment(mean))
+	if err != nil {
+		t.Fatalf("MG1MeanSojourn: %v", err)
+	}
+	mm1, err := MM1MeanSojourn(lambda, mean)
+	if err != nil {
+		t.Fatalf("MM1MeanSojourn: %v", err)
+	}
+	if d := math.Abs(float64(mg1 - mm1)); d > float64(time.Microsecond) {
+		t.Fatalf("M/G/1 with exponential moments %v != M/M/1 %v", mg1, mm1)
+	}
+}
+
+func TestMD1IsPKWithZeroVariance(t *testing.T) {
+	lambda := 600.0
+	v := time.Millisecond
+	md1, err := MD1MeanSojourn(lambda, v)
+	if err != nil {
+		t.Fatalf("MD1MeanSojourn: %v", err)
+	}
+	pk, err := MG1MeanSojourn(lambda, v, DeterministicSecondMoment(v))
+	if err != nil {
+		t.Fatalf("MG1MeanSojourn: %v", err)
+	}
+	if d := math.Abs(float64(md1 - pk)); d > float64(time.Microsecond) {
+		t.Fatalf("M/D/1 %v != P-K with zero variance %v", md1, pk)
+	}
+}
+
+func TestSecondMoments(t *testing.T) {
+	if got := ExponentialSecondMoment(time.Second); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("exp second moment = %v, want 2", got)
+	}
+	if got := DeterministicSecondMoment(2 * time.Second); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("det second moment = %v, want 4", got)
+	}
+	// Bimodal with p=1 degenerates to deterministic.
+	if got := BimodalSecondMoment(time.Second, 5*time.Second, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("bimodal p=1 = %v, want 1", got)
+	}
+	// Uniform[0,1s]: E[S^2] = 1/3.
+	if got := UniformSecondMoment(0, time.Second); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("uniform second moment = %v, want 1/3", got)
+	}
+}
+
+func TestHarmonicNumber(t *testing.T) {
+	if HarmonicNumber(1) != 1 {
+		t.Fatal("H_1 != 1")
+	}
+	if got := HarmonicNumber(4); math.Abs(got-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatalf("H_4 = %v", got)
+	}
+}
+
+func TestForkJoinIndependent(t *testing.T) {
+	got, err := ForkJoinIndependent(4, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("ForkJoinIndependent: %v", err)
+	}
+	want := time.Duration(float64(2*time.Millisecond) * HarmonicNumber(4))
+	if got != want {
+		t.Fatalf("fork-join = %v, want %v", got, want)
+	}
+	if _, err := ForkJoinIndependent(0, time.Millisecond); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := ForkJoinIndependent(3, 0); err == nil {
+		t.Fatal("zero sojourn should error")
+	}
+}
+
+// simSojourn runs the simulator as a single queue and returns the mean
+// sojourn, validating the simulation substrate against theory.
+func simSojourn(t *testing.T, demand dist.Duration, lambda float64, requests int) time.Duration {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		Servers:  1,
+		Policy:   sched.FCFSFactory,
+		NetDelay: dist.Deterministic{V: 0},
+		Workload: workload.Config{
+			Keys:       1000,
+			Fanout:     dist.ConstInt{N: 1},
+			Demand:     demand,
+			RatePerSec: lambda,
+		},
+		Requests: requests,
+		Warmup:   2 * time.Second,
+		Seed:     17,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res.RCT.Mean()
+}
+
+func TestSimulatorMatchesMM1(t *testing.T) {
+	mean := time.Millisecond
+	for _, lambda := range []float64{300, 600, 800} {
+		theory, err := MM1MeanSojourn(lambda, mean)
+		if err != nil {
+			t.Fatalf("theory: %v", err)
+		}
+		got := simSojourn(t, dist.Exponential{M: mean}, lambda, 80000)
+		if rel := math.Abs(float64(got-theory)) / float64(theory); rel > 0.08 {
+			t.Fatalf("lambda=%v: sim %v vs M/M/1 %v (%.1f%% off)", lambda, got, theory, rel*100)
+		}
+	}
+}
+
+func TestSimulatorMatchesMD1(t *testing.T) {
+	v := time.Millisecond
+	lambda := 700.0
+	theory, err := MD1MeanSojourn(lambda, v)
+	if err != nil {
+		t.Fatalf("theory: %v", err)
+	}
+	got := simSojourn(t, dist.Deterministic{V: v}, lambda, 60000)
+	if rel := math.Abs(float64(got-theory)) / float64(theory); rel > 0.05 {
+		t.Fatalf("sim %v vs M/D/1 %v (%.1f%% off)", got, theory, rel*100)
+	}
+}
+
+func TestSimulatorMatchesMG1Bimodal(t *testing.T) {
+	d := dist.Bimodal{Small: 500 * time.Microsecond, Large: 5500 * time.Microsecond, PSmall: 0.9}
+	lambda := 600.0
+	theory, err := MG1MeanSojourn(lambda, d.Mean(), BimodalSecondMoment(d.Small, d.Large, d.PSmall))
+	if err != nil {
+		t.Fatalf("theory: %v", err)
+	}
+	got := simSojourn(t, d, lambda, 80000)
+	if rel := math.Abs(float64(got-theory)) / float64(theory); rel > 0.08 {
+		t.Fatalf("sim %v vs P-K %v (%.1f%% off)", got, theory, rel*100)
+	}
+}
+
+func TestSimulatorForkJoinBracketed(t *testing.T) {
+	// k-way multiget over k dedicated servers: the sim's mean RCT must
+	// lie between the single-queue sojourn (lower bound) and the
+	// independent-exponential approximation (upper-ish).
+	const k = 4
+	mean := time.Millisecond
+	perServerLambda := 500.0 // rho 0.5 per server
+	single, err := MM1MeanSojourn(perServerLambda, mean)
+	if err != nil {
+		t.Fatalf("theory: %v", err)
+	}
+	upper, err := ForkJoinIndependent(k, single)
+	if err != nil {
+		t.Fatalf("theory: %v", err)
+	}
+	res, err := sim.Run(sim.Config{
+		Servers:  k,
+		Policy:   sched.FCFSFactory,
+		NetDelay: dist.Deterministic{V: 0},
+		Workload: workload.Config{
+			Keys:       100000,
+			Fanout:     dist.ConstInt{N: k},
+			Demand:     dist.Exponential{M: mean},
+			RatePerSec: perServerLambda, // each request puts 1 op on ~each server
+		},
+		Requests: 60000,
+		Warmup:   2 * time.Second,
+		Seed:     23,
+	})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	got := res.RCT.Mean()
+	if got <= single {
+		t.Fatalf("fork-join mean %v should exceed single-queue %v", got, single)
+	}
+	// Keys hash independently, so a 4-key multiget sometimes lands two
+	// ops on one server; those serialize, pushing the mean somewhat
+	// above the collision-free independence approximation.
+	if float64(got) > float64(upper)*1.4 {
+		t.Fatalf("fork-join mean %v far above independence approx %v", got, upper)
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"container/heap"
+	"time"
+)
+
+// keyFunc computes a static priority key for an operation; smaller keys
+// are served first. Keys must not depend on the current time so the heap
+// order stays valid (time-dependent policies fold time into the key
+// algebraically — see internal/core for how DAS does this).
+type keyFunc func(op *Op) float64
+
+// opHeap is a min-heap of operations ordered by (key, seq): equal keys
+// fall back to FIFO, which keeps every policy starvation-deterministic
+// under ties.
+type opHeap struct {
+	ops []*Op
+	key keyFunc
+	seq uint64
+
+	backlog time.Duration
+}
+
+func newOpHeap(key keyFunc) *opHeap { return &opHeap{key: key} }
+
+// keyOf exposes the heap's ordering key for sched.Keyer implementations.
+func (h *opHeap) keyOf(op *Op) float64 { return h.key(op) }
+
+func (h *opHeap) push(op *Op, now time.Duration) {
+	op.Enqueued = now
+	op.seq = h.seq
+	h.seq++
+	// Keys are static by contract, so compute once at admission instead
+	// of on every heap comparison.
+	op.prioKey = h.key(op)
+	h.backlog += op.Demand
+	heap.Push((*opHeapImpl)(h), op)
+}
+
+func (h *opHeap) pop() *Op {
+	if len(h.ops) == 0 {
+		return nil
+	}
+	op, ok := heap.Pop((*opHeapImpl)(h)).(*Op)
+	if !ok {
+		return nil
+	}
+	h.backlog -= op.Demand
+	return op
+}
+
+func (h *opHeap) len() int { return len(h.ops) }
+
+func (h *opHeap) backlogDemand() time.Duration { return h.backlog }
+
+// opHeapImpl adapts opHeap to heap.Interface.
+type opHeapImpl opHeap
+
+var _ heap.Interface = (*opHeapImpl)(nil)
+
+func (h *opHeapImpl) Len() int { return len(h.ops) }
+
+func (h *opHeapImpl) Less(i, j int) bool {
+	if h.ops[i].prioKey != h.ops[j].prioKey {
+		return h.ops[i].prioKey < h.ops[j].prioKey
+	}
+	return h.ops[i].seq < h.ops[j].seq
+}
+
+func (h *opHeapImpl) Swap(i, j int) {
+	h.ops[i], h.ops[j] = h.ops[j], h.ops[i]
+	h.ops[i].heapIndex = i
+	h.ops[j].heapIndex = j
+}
+
+func (h *opHeapImpl) Push(x any) {
+	op, ok := x.(*Op)
+	if !ok {
+		return
+	}
+	op.heapIndex = len(h.ops)
+	h.ops = append(h.ops, op)
+}
+
+func (h *opHeapImpl) Pop() any {
+	old := h.ops
+	n := len(old)
+	op := old[n-1]
+	old[n-1] = nil
+	h.ops = old[:n-1]
+	op.heapIndex = -1
+	return op
+}

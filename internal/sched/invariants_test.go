@@ -1,0 +1,26 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/schedtest"
+)
+
+// TestPolicyInvariants runs the shared conformance suite over every
+// baseline policy.
+func TestPolicyInvariants(t *testing.T) {
+	cases := map[string]sched.Factory{
+		"fcfs":       sched.FCFSFactory,
+		"random":     sched.RandomFactory,
+		"sjf":        sched.SJFFactory,
+		"rein-sbf":   sched.ReinSBFFactory,
+		"rein-ml":    sched.ReinMLFactory(2 * time.Millisecond),
+		"lrpt":       sched.LRPTFactory,
+		"leastslack": sched.LeastSlackFactory,
+	}
+	for name, factory := range cases {
+		schedtest.RunInvariants(t, name, factory)
+	}
+}

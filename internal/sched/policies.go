@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// --- FCFS --------------------------------------------------------------
+
+// FCFS serves operations in arrival order: the default policy of
+// deployed key-value stores and the paper's primary baseline.
+type FCFS struct {
+	ops     []*Op
+	head    int
+	backlog time.Duration
+}
+
+var _ Policy = (*FCFS)(nil)
+
+// NewFCFS returns an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// FCFSFactory builds FCFS queues.
+func FCFSFactory(uint64) Policy { return NewFCFS() }
+
+// Name implements Policy.
+func (q *FCFS) Name() string { return "FCFS" }
+
+// Push implements Policy.
+func (q *FCFS) Push(op *Op, now time.Duration) {
+	op.Enqueued = now
+	q.ops = append(q.ops, op)
+	q.backlog += op.Demand
+}
+
+// Pop implements Policy.
+func (q *FCFS) Pop(time.Duration) *Op {
+	if q.head >= len(q.ops) {
+		return nil
+	}
+	op := q.ops[q.head]
+	q.ops[q.head] = nil
+	q.head++
+	q.backlog -= op.Demand
+	// Compact once the dead prefix dominates, amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.ops) {
+		n := copy(q.ops, q.ops[q.head:])
+		for i := n; i < len(q.ops); i++ {
+			q.ops[i] = nil
+		}
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
+	return op
+}
+
+// Len implements Policy.
+func (q *FCFS) Len() int { return len(q.ops) - q.head }
+
+// BacklogDemand implements Policy.
+func (q *FCFS) BacklogDemand() time.Duration { return q.backlog }
+
+// --- Random ------------------------------------------------------------
+
+// Random serves a uniformly random pending operation: a sanity baseline
+// that separates "any reordering" effects from informed scheduling.
+type Random struct {
+	ops     []*Op
+	rng     *rand.Rand
+	backlog time.Duration
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom returns a Random queue seeded deterministically.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: rand.New(rand.NewPCG(seed, seed^0xabcdef12345))}
+}
+
+// RandomFactory builds Random queues.
+func RandomFactory(seed uint64) Policy { return NewRandom(seed) }
+
+// Name implements Policy.
+func (q *Random) Name() string { return "Random" }
+
+// Push implements Policy.
+func (q *Random) Push(op *Op, now time.Duration) {
+	op.Enqueued = now
+	q.ops = append(q.ops, op)
+	q.backlog += op.Demand
+}
+
+// Pop implements Policy.
+func (q *Random) Pop(time.Duration) *Op {
+	n := len(q.ops)
+	if n == 0 {
+		return nil
+	}
+	i := q.rng.IntN(n)
+	op := q.ops[i]
+	q.ops[i] = q.ops[n-1]
+	q.ops[n-1] = nil
+	q.ops = q.ops[:n-1]
+	q.backlog -= op.Demand
+	return op
+}
+
+// Len implements Policy.
+func (q *Random) Len() int { return len(q.ops) }
+
+// BacklogDemand implements Policy.
+func (q *Random) BacklogDemand() time.Duration { return q.backlog }
+
+// --- SJF ---------------------------------------------------------------
+
+// SJF serves the operation with the smallest own demand first: optimal
+// for mean *operation* latency on one server but oblivious to request
+// structure.
+type SJF struct{ h *opHeap }
+
+var _ Policy = (*SJF)(nil)
+
+// NewSJF returns an empty SJF queue.
+func NewSJF() *SJF {
+	return &SJF{h: newOpHeap(func(op *Op) float64 { return float64(op.Demand) })}
+}
+
+// SJFFactory builds SJF queues.
+func SJFFactory(uint64) Policy { return NewSJF() }
+
+// Name implements Policy.
+func (q *SJF) Name() string { return "SJF" }
+
+// Push implements Policy.
+func (q *SJF) Push(op *Op, now time.Duration) { q.h.push(op, now) }
+
+// Pop implements Policy.
+func (q *SJF) Pop(time.Duration) *Op { return q.h.pop() }
+
+// Len implements Policy.
+func (q *SJF) Len() int { return q.h.len() }
+
+// BacklogDemand implements Policy.
+func (q *SJF) BacklogDemand() time.Duration { return q.h.backlogDemand() }
+
+// Key implements Keyer.
+func (q *SJF) Key(op *Op) float64 { return q.h.keyOf(op) }
+
+var _ Keyer = (*SJF)(nil)
+
+// --- Rein SBF ----------------------------------------------------------
+
+// ReinSBF is Rein's shortest-bottleneck-first (EuroSys 2017): operations
+// are ordered by their request's *static* bottleneck demand — the largest
+// sibling demand, fixed at dispatch. It exploits request structure but
+// cannot react to queue state or server speed, which is exactly the gap
+// DAS targets.
+type ReinSBF struct{ h *opHeap }
+
+var _ Policy = (*ReinSBF)(nil)
+
+// NewReinSBF returns an empty Rein-SBF queue.
+func NewReinSBF() *ReinSBF {
+	return &ReinSBF{h: newOpHeap(func(op *Op) float64 {
+		return float64(op.Tags.DemandBottleneck)
+	})}
+}
+
+// ReinSBFFactory builds Rein-SBF queues.
+func ReinSBFFactory(uint64) Policy { return NewReinSBF() }
+
+// Name implements Policy.
+func (q *ReinSBF) Name() string { return "Rein-SBF" }
+
+// Push implements Policy.
+func (q *ReinSBF) Push(op *Op, now time.Duration) { q.h.push(op, now) }
+
+// Pop implements Policy.
+func (q *ReinSBF) Pop(time.Duration) *Op { return q.h.pop() }
+
+// Len implements Policy.
+func (q *ReinSBF) Len() int { return q.h.len() }
+
+// BacklogDemand implements Policy.
+func (q *ReinSBF) BacklogDemand() time.Duration { return q.h.backlogDemand() }
+
+// Key implements Keyer.
+func (q *ReinSBF) Key(op *Op) float64 { return q.h.keyOf(op) }
+
+var _ Keyer = (*ReinSBF)(nil)
+
+// --- LRPT --------------------------------------------------------------
+
+// LRPT serves the operation whose request has the *largest* bottleneck
+// demand first. On its own it is a poor mean-RCT policy (it starves short
+// requests); it exists because the paper's DAS is described as a
+// combination of LRPT-last and SRPT-first, and the ablation experiments
+// need the pure endpoint.
+type LRPT struct{ h *opHeap }
+
+var _ Policy = (*LRPT)(nil)
+
+// NewLRPT returns an empty LRPT queue.
+func NewLRPT() *LRPT {
+	return &LRPT{h: newOpHeap(func(op *Op) float64 {
+		return -float64(op.Tags.DemandBottleneck)
+	})}
+}
+
+// LRPTFactory builds LRPT queues.
+func LRPTFactory(uint64) Policy { return NewLRPT() }
+
+// Name implements Policy.
+func (q *LRPT) Name() string { return "LRPT" }
+
+// Push implements Policy.
+func (q *LRPT) Push(op *Op, now time.Duration) { q.h.push(op, now) }
+
+// Pop implements Policy.
+func (q *LRPT) Pop(time.Duration) *Op { return q.h.pop() }
+
+// Len implements Policy.
+func (q *LRPT) Len() int { return q.h.len() }
+
+// BacklogDemand implements Policy.
+func (q *LRPT) BacklogDemand() time.Duration { return q.h.backlogDemand() }
+
+// Key implements Keyer.
+func (q *LRPT) Key(op *Op) float64 { return q.h.keyOf(op) }
+
+var _ Keyer = (*LRPT)(nil)
+
+// --- Least slack -------------------------------------------------------
+
+// LeastSlack serves the operation with the smallest tagged slack first —
+// an EDF-flavored baseline that uses the adaptive tags but not the
+// request-SRPT term.
+type LeastSlack struct{ h *opHeap }
+
+var _ Policy = (*LeastSlack)(nil)
+
+// NewLeastSlack returns an empty least-slack queue.
+func NewLeastSlack() *LeastSlack {
+	return &LeastSlack{h: newOpHeap(func(op *Op) float64 {
+		return float64(op.Tags.Slack())
+	})}
+}
+
+// LeastSlackFactory builds least-slack queues.
+func LeastSlackFactory(uint64) Policy { return NewLeastSlack() }
+
+// Name implements Policy.
+func (q *LeastSlack) Name() string { return "LeastSlack" }
+
+// Push implements Policy.
+func (q *LeastSlack) Push(op *Op, now time.Duration) { q.h.push(op, now) }
+
+// Pop implements Policy.
+func (q *LeastSlack) Pop(time.Duration) *Op { return q.h.pop() }
+
+// Len implements Policy.
+func (q *LeastSlack) Len() int { return q.h.len() }
+
+// BacklogDemand implements Policy.
+func (q *LeastSlack) BacklogDemand() time.Duration { return q.h.backlogDemand() }
+
+// Key implements Keyer.
+func (q *LeastSlack) Key(op *Op) float64 { return q.h.keyOf(op) }
+
+var _ Keyer = (*LeastSlack)(nil)

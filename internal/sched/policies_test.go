@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func op(req RequestID, demand, bottleneck time.Duration) *Op {
+	return &Op{
+		Request: req,
+		Demand:  demand,
+		Tags: Tags{
+			DemandBottleneck: bottleneck,
+			ExpectedFinish:   time.Duration(req) * time.Millisecond,
+			RequestFinish:    bottleneck,
+		},
+	}
+}
+
+func drain(t *testing.T, p Policy) []RequestID {
+	t.Helper()
+	var out []RequestID
+	for p.Len() > 0 {
+		o := p.Pop(0)
+		if o == nil {
+			t.Fatal("Pop returned nil with Len > 0")
+		}
+		out = append(out, o.Request)
+	}
+	if p.Pop(0) != nil {
+		t.Fatal("Pop on empty should return nil")
+	}
+	return out
+}
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewFCFS()
+	for i := 1; i <= 5; i++ {
+		q.Push(op(RequestID(i), time.Millisecond, time.Millisecond), time.Duration(i))
+	}
+	got := drain(t, q)
+	for i, r := range got {
+		if r != RequestID(i+1) {
+			t.Fatalf("FCFS order = %v", got)
+		}
+	}
+}
+
+func TestFCFSEnqueuedStamped(t *testing.T) {
+	q := NewFCFS()
+	o := op(1, time.Millisecond, time.Millisecond)
+	q.Push(o, 42*time.Millisecond)
+	if o.Enqueued != 42*time.Millisecond {
+		t.Fatalf("Enqueued = %v, want 42ms", o.Enqueued)
+	}
+}
+
+func TestFCFSCompaction(t *testing.T) {
+	q := NewFCFS()
+	// Interleave pushes and pops past the compaction threshold.
+	next := RequestID(1)
+	for i := 0; i < 500; i++ {
+		q.Push(op(RequestID(i+1000), time.Millisecond, 0), 0)
+		if i%2 == 1 {
+			o := q.Pop(0)
+			if o.Request != RequestID(next+999) {
+				t.Fatalf("pop %d: got request %d, want %d", i, o.Request, next+999)
+			}
+			next++
+		}
+	}
+	if q.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", q.Len())
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	q := NewSJF()
+	q.Push(op(1, 3*time.Millisecond, 0), 0)
+	q.Push(op(2, 1*time.Millisecond, 0), 0)
+	q.Push(op(3, 2*time.Millisecond, 0), 0)
+	got := drain(t, q)
+	want := []RequestID{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SJF order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSJFTiesAreFIFO(t *testing.T) {
+	q := NewSJF()
+	for i := 1; i <= 10; i++ {
+		q.Push(op(RequestID(i), time.Millisecond, 0), 0)
+	}
+	got := drain(t, q)
+	for i := range got {
+		if got[i] != RequestID(i+1) {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestReinSBFOrder(t *testing.T) {
+	q := NewReinSBF()
+	q.Push(op(1, time.Millisecond, 9*time.Millisecond), 0)
+	q.Push(op(2, 5*time.Millisecond, 2*time.Millisecond), 0)
+	q.Push(op(3, time.Millisecond, 4*time.Millisecond), 0)
+	got := drain(t, q)
+	want := []RequestID{2, 3, 1} // ordered by bottleneck, not own demand
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SBF order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRPTOrder(t *testing.T) {
+	q := NewLRPT()
+	q.Push(op(1, time.Millisecond, 2*time.Millisecond), 0)
+	q.Push(op(2, time.Millisecond, 9*time.Millisecond), 0)
+	got := drain(t, q)
+	if got[0] != 2 || got[1] != 1 {
+		t.Fatalf("LRPT order = %v, want [2 1]", got)
+	}
+}
+
+func TestLeastSlackOrder(t *testing.T) {
+	q := NewLeastSlack()
+	a := op(1, time.Millisecond, 0)
+	a.Tags.ExpectedFinish = 2 * time.Millisecond
+	a.Tags.RequestFinish = 10 * time.Millisecond // slack 8ms
+	b := op(2, time.Millisecond, 0)
+	b.Tags.ExpectedFinish = 9 * time.Millisecond
+	b.Tags.RequestFinish = 10 * time.Millisecond // slack 1ms
+	q.Push(a, 0)
+	q.Push(b, 0)
+	got := drain(t, q)
+	if got[0] != 2 {
+		t.Fatalf("LeastSlack order = %v, want request 2 first", got)
+	}
+}
+
+func TestTagsSlackNonNegative(t *testing.T) {
+	tags := Tags{ExpectedFinish: 10 * time.Millisecond, RequestFinish: 5 * time.Millisecond}
+	if tags.Slack() != 0 {
+		t.Fatalf("Slack = %v, want clamped 0", tags.Slack())
+	}
+}
+
+func TestRandomServesAll(t *testing.T) {
+	q := NewRandom(1)
+	seen := map[RequestID]bool{}
+	for i := 1; i <= 100; i++ {
+		q.Push(op(RequestID(i), time.Millisecond, 0), 0)
+	}
+	for q.Len() > 0 {
+		seen[q.Pop(0).Request] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("served %d distinct, want 100", len(seen))
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	run := func() []RequestID {
+		q := NewRandom(7)
+		for i := 1; i <= 50; i++ {
+			q.Push(op(RequestID(i), time.Millisecond, 0), 0)
+		}
+		var out []RequestID
+		for q.Len() > 0 {
+			out = append(out, q.Pop(0).Request)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+}
+
+func TestBacklogDemandTracked(t *testing.T) {
+	policies := []Policy{NewFCFS(), NewRandom(1), NewSJF(), NewReinSBF(), NewLRPT(), NewLeastSlack()}
+	for _, p := range policies {
+		p.Push(op(1, 2*time.Millisecond, 0), 0)
+		p.Push(op(2, 3*time.Millisecond, 0), 0)
+		if got := p.BacklogDemand(); got != 5*time.Millisecond {
+			t.Fatalf("%s: backlog = %v, want 5ms", p.Name(), got)
+		}
+		p.Pop(0)
+		if got := p.BacklogDemand(); got >= 5*time.Millisecond || got <= 0 {
+			t.Fatalf("%s: backlog after pop = %v", p.Name(), got)
+		}
+		p.Pop(0)
+		if got := p.BacklogDemand(); got != 0 {
+			t.Fatalf("%s: backlog after drain = %v, want 0", p.Name(), got)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]Policy{
+		"FCFS":       NewFCFS(),
+		"Random":     NewRandom(1),
+		"SJF":        NewSJF(),
+		"Rein-SBF":   NewReinSBF(),
+		"LRPT":       NewLRPT(),
+		"LeastSlack": NewLeastSlack(),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Fatalf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewReinMLErrors(t *testing.T) {
+	if _, err := NewReinML(1, time.Millisecond, 4); err == nil {
+		t.Fatal("1 level should error")
+	}
+	if _, err := NewReinML(4, 0, 4); err == nil {
+		t.Fatal("zero base should error")
+	}
+	if _, err := NewReinML(4, time.Millisecond, 1); err == nil {
+		t.Fatal("factor 1 should error")
+	}
+}
+
+func TestReinMLLevelAssignment(t *testing.T) {
+	q, err := NewReinML(3, time.Millisecond, 4) // thresholds: 1ms, 4ms
+	if err != nil {
+		t.Fatalf("NewReinML: %v", err)
+	}
+	small := op(1, time.Millisecond, 500*time.Microsecond)
+	mid := op(2, time.Millisecond, 3*time.Millisecond)
+	large := op(3, time.Millisecond, 100*time.Millisecond)
+	// Push large first: strict FIFO would serve it first, levels won't.
+	q.Push(large, 0)
+	q.Push(mid, 0)
+	q.Push(small, 0)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if got := q.Pop(0).Request; got != 1 {
+		t.Fatalf("first pop = request %d, want 1 (smallest bottleneck level)", got)
+	}
+}
+
+func TestReinMLWeightedServiceAvoidsStarvation(t *testing.T) {
+	q, err := NewReinML(2, time.Millisecond, 4)
+	if err != nil {
+		t.Fatalf("NewReinML: %v", err)
+	}
+	// Keep the high-priority level saturated; the low level must still
+	// be served within a bounded number of pops.
+	for i := 0; i < 20; i++ {
+		q.Push(op(RequestID(100+i), time.Millisecond, 500*time.Microsecond), 0)
+	}
+	q.Push(op(1, time.Millisecond, time.Hour), 0) // low-priority op
+	servedLow := false
+	for i := 0; i < 21; i++ {
+		if q.Pop(0).Request == 1 {
+			servedLow = true
+			break
+		}
+	}
+	if !servedLow {
+		t.Fatal("low-priority operation starved across a full drain")
+	}
+}
+
+func TestReinMLDrainsEverything(t *testing.T) {
+	q, err := NewReinML(4, time.Millisecond, 4)
+	if err != nil {
+		t.Fatalf("NewReinML: %v", err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		b := time.Duration(i%50) * time.Millisecond
+		q.Push(op(RequestID(i), time.Millisecond, b), 0)
+	}
+	seen := map[RequestID]bool{}
+	for q.Len() > 0 {
+		o := q.Pop(0)
+		if o == nil {
+			t.Fatal("nil pop with work pending")
+		}
+		seen[o.Request] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d distinct ops, want %d", len(seen), n)
+	}
+	if q.BacklogDemand() != 0 {
+		t.Fatalf("backlog after drain = %v, want 0", q.BacklogDemand())
+	}
+	if q.Pop(0) != nil {
+		t.Fatal("Pop on empty should be nil")
+	}
+}
+
+func TestReinMLFactory(t *testing.T) {
+	p := ReinMLFactory(time.Millisecond)(0)
+	if p.Name() != "Rein-ML" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	p.Push(op(1, time.Millisecond, time.Millisecond), 0)
+	if p.Pop(0) == nil {
+		t.Fatal("factory-built queue should serve")
+	}
+}
+
+func TestReinMLBacklog(t *testing.T) {
+	q, err := NewReinML(2, time.Millisecond, 2)
+	if err != nil {
+		t.Fatalf("NewReinML: %v", err)
+	}
+	q.Push(op(1, 2*time.Millisecond, time.Microsecond), 0)
+	q.Push(op(2, 3*time.Millisecond, time.Hour), 0)
+	if q.BacklogDemand() != 5*time.Millisecond {
+		t.Fatalf("backlog = %v, want 5ms", q.BacklogDemand())
+	}
+}

@@ -1,0 +1,124 @@
+// Package sched defines the server-side operation-scheduling abstraction
+// shared by the simulator (internal/sim) and the live key-value store
+// (internal/kv), together with every baseline policy the paper's
+// evaluation compares against: FCFS, Random, SJF, LRPT, Rein's
+// shortest-bottleneck-first (SBF), Rein's multilevel-queue approximation,
+// and least-slack-first. The paper's contribution, DAS, implements the
+// same Policy interface in internal/core.
+//
+// A Policy instance orders the pending key-value access operations of one
+// server. Policies are not safe for concurrent use; callers (the
+// simulator event loop or a server's queue lock) serialize access.
+package sched
+
+import "time"
+
+// ServerID identifies one key-value server in the cluster.
+type ServerID int
+
+// RequestID identifies one end-user (multiget) request.
+type RequestID uint64
+
+// Op is one key-value access operation pending at a server. An end
+// request fans out into one Op per touched server; the request completes
+// when its last Op completes.
+type Op struct {
+	Request RequestID
+	Index   int           // position within the request's fan-out
+	Server  ServerID      // owning server
+	Key     string        // accessed key (informational for policies)
+	Demand  time.Duration // service demand at unit server speed
+
+	// Enqueued is stamped by the policy on Push with the caller's now.
+	Enqueued time.Duration
+
+	Tags Tags
+
+	// Payload carries caller context (e.g. the live store's pending
+	// connection state) through the queue untouched.
+	Payload any
+
+	heapIndex int
+	seq       uint64
+	prioKey   float64
+}
+
+// Tags is the scheduling metadata attached by the client-side tagger at
+// dispatch time. Absolute times are virtual-clock instants.
+type Tags struct {
+	// IssuedAt is when the request was dispatched.
+	IssuedAt time.Duration
+	// Fanout is the request's operation count.
+	Fanout int
+	// DemandBottleneck is the maximum sibling demand of the request:
+	// the static, load-oblivious bottleneck used by Rein-SBF.
+	DemandBottleneck time.Duration
+	// ExpectedFinish is the adaptive estimate of this operation's
+	// completion instant, from the client's per-server load/speed view.
+	ExpectedFinish time.Duration
+	// RequestFinish is max over siblings of ExpectedFinish: the
+	// adaptive estimate of when the whole request completes.
+	RequestFinish time.Duration
+	// ScaledDemand is this operation's demand scaled by the estimated
+	// speed of its server (demand at nominal speed when untagged).
+	ScaledDemand time.Duration
+	// RemainingTime is the request's remaining bottleneck *processing*
+	// time: the maximum sibling ScaledDemand (including this op's own).
+	// It is the speed-adaptive generalization of DemandBottleneck and
+	// the quantity DAS's SRPT-first term orders by. Queueing waits are
+	// deliberately excluded here — wait estimates are noisy and shared
+	// across co-queued requests, so folding them in drowns the size
+	// signal; waits influence scheduling through Slack instead.
+	RemainingTime time.Duration
+}
+
+// Slack is how long this operation could be delayed without (by current
+// estimates) delaying its request: the gap between the request's expected
+// completion and this operation's own.
+func (t Tags) Slack() time.Duration {
+	s := t.RequestFinish - t.ExpectedFinish
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// HeapIndex returns the op's position in the owning policy's internal
+// heap (-1 when not heap-resident). Together with SetHeapIndex it lets
+// policies outside this package (DAS in internal/core) implement
+// O(log n) removal of arbitrary elements. The owning policy maintains
+// these values while the op is queued; other code must not touch them.
+func (o *Op) HeapIndex() int { return o.heapIndex }
+
+// SetHeapIndex records the op's heap position; see HeapIndex.
+func (o *Op) SetHeapIndex(i int) { o.heapIndex = i }
+
+// Policy orders the pending operations of one server.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Push admits an operation at virtual time now.
+	Push(op *Op, now time.Duration)
+	// Pop removes and returns the next operation to serve, or nil when
+	// the queue is empty.
+	Pop(now time.Duration) *Op
+	// Len returns the number of pending operations.
+	Len() int
+	// BacklogDemand returns the total service demand currently queued,
+	// used in piggybacked feedback.
+	BacklogDemand() time.Duration
+}
+
+// Factory builds one policy instance per server. The seed lets
+// randomized policies stay deterministic while differing across servers.
+type Factory func(seed uint64) Policy
+
+// Keyer is implemented by policies whose service order is a static
+// numeric priority key (lower = served first). Exposing the key lets
+// the simulator compare a queued operation against operations already
+// in service, which is what preemptive scheduling needs. FCFS and
+// Random deliberately do not implement it.
+type Keyer interface {
+	// Key returns the priority key Push would order op by.
+	Key(op *Op) float64
+}

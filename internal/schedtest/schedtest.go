@@ -1,0 +1,174 @@
+// Package schedtest is a reusable conformance suite for sched.Policy
+// implementations: every queue in the repository — baselines and DAS
+// alike — must survive the same randomized push/pop schedules without
+// losing, duplicating, or corrupting operations.
+package schedtest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// RunInvariants drives the factory's queues through randomized
+// workloads and asserts the structural invariants every policy must
+// hold. Call it from the package that owns the policy.
+func RunInvariants(t *testing.T, name string, factory sched.Factory) {
+	t.Helper()
+	t.Run(name+"/empty", func(t *testing.T) { testEmpty(t, factory) })
+	t.Run(name+"/conservation", func(t *testing.T) { testConservation(t, factory) })
+	t.Run(name+"/interleaved", func(t *testing.T) { testInterleaved(t, factory) })
+	t.Run(name+"/backlog", func(t *testing.T) { testBacklog(t, factory) })
+	t.Run(name+"/reuse", func(t *testing.T) { testReuseAfterDrain(t, factory) })
+}
+
+func newOp(id int, rng interface{ Int64N(int64) int64 }) *sched.Op {
+	demand := time.Duration(1+rng.Int64N(int64(10*time.Millisecond))) * 1
+	remaining := demand + time.Duration(rng.Int64N(int64(20*time.Millisecond)))
+	return &sched.Op{
+		Request: sched.RequestID(id),
+		Demand:  demand,
+		Tags: sched.Tags{
+			DemandBottleneck: remaining,
+			ScaledDemand:     demand,
+			RemainingTime:    remaining,
+			ExpectedFinish:   remaining,
+			RequestFinish:    remaining + time.Duration(rng.Int64N(int64(time.Millisecond))),
+			Fanout:           int(1 + rng.Int64N(8)),
+		},
+	}
+}
+
+func testEmpty(t *testing.T, factory sched.Factory) {
+	q := factory(1)
+	if q.Pop(0) != nil {
+		t.Fatal("Pop on a fresh queue must return nil")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("fresh Len = %d", q.Len())
+	}
+	if q.BacklogDemand() != 0 {
+		t.Fatalf("fresh backlog = %v", q.BacklogDemand())
+	}
+	if q.Name() == "" {
+		t.Fatal("policy must have a name")
+	}
+}
+
+func testConservation(t *testing.T, factory sched.Factory) {
+	q := factory(2)
+	rng := dist.NewRand(11)
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.Push(newOp(i, rng), time.Duration(i)*time.Microsecond)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d after %d pushes", q.Len(), n)
+	}
+	seen := make(map[sched.RequestID]bool, n)
+	now := time.Duration(n) * time.Microsecond
+	for q.Len() > 0 {
+		op := q.Pop(now)
+		if op == nil {
+			t.Fatal("nil Pop with Len > 0")
+		}
+		if seen[op.Request] {
+			t.Fatalf("request %d served twice", op.Request)
+		}
+		seen[op.Request] = true
+		now += time.Microsecond
+	}
+	if len(seen) != n {
+		t.Fatalf("served %d ops, pushed %d", len(seen), n)
+	}
+	if q.Pop(now) != nil {
+		t.Fatal("Pop after drain must return nil")
+	}
+}
+
+func testInterleaved(t *testing.T, factory sched.Factory) {
+	q := factory(3)
+	rng := dist.NewRand(13)
+	pushed, popped := 0, 0
+	now := time.Duration(0)
+	seen := map[sched.RequestID]bool{}
+	for i := 0; i < 3000; i++ {
+		now += time.Duration(rng.Int64N(int64(time.Millisecond)))
+		if rng.Int64N(5) < 3 || q.Len() == 0 {
+			pushed++
+			q.Push(newOp(pushed, rng), now)
+			continue
+		}
+		op := q.Pop(now)
+		if op == nil {
+			t.Fatal("nil Pop with work queued")
+		}
+		if seen[op.Request] {
+			t.Fatalf("request %d served twice", op.Request)
+		}
+		seen[op.Request] = true
+		popped++
+		if q.Len() != pushed-popped {
+			t.Fatalf("Len = %d, want %d", q.Len(), pushed-popped)
+		}
+	}
+	for q.Len() > 0 {
+		if op := q.Pop(now); op == nil || seen[op.Request] {
+			t.Fatal("drain inconsistency")
+		} else {
+			seen[op.Request] = true
+			popped++
+		}
+	}
+	if popped != pushed {
+		t.Fatalf("popped %d != pushed %d", popped, pushed)
+	}
+}
+
+func testBacklog(t *testing.T, factory sched.Factory) {
+	q := factory(4)
+	rng := dist.NewRand(17)
+	var want time.Duration
+	ops := make(map[sched.RequestID]time.Duration)
+	for i := 0; i < 200; i++ {
+		op := newOp(i, rng)
+		ops[op.Request] = op.Demand
+		want += op.Demand
+		q.Push(op, 0)
+		if q.BacklogDemand() != want {
+			t.Fatalf("backlog = %v after push, want %v", q.BacklogDemand(), want)
+		}
+	}
+	for q.Len() > 0 {
+		op := q.Pop(time.Second)
+		want -= ops[op.Request]
+		if q.BacklogDemand() != want {
+			t.Fatalf("backlog = %v after pop, want %v", q.BacklogDemand(), want)
+		}
+	}
+	if q.BacklogDemand() != 0 {
+		t.Fatalf("final backlog = %v", q.BacklogDemand())
+	}
+}
+
+func testReuseAfterDrain(t *testing.T, factory sched.Factory) {
+	q := factory(5)
+	rng := dist.NewRand(19)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 50; i++ {
+			q.Push(newOp(round*100+i, rng), time.Duration(round)*time.Second)
+		}
+		count := 0
+		for q.Len() > 0 {
+			if q.Pop(time.Duration(round)*time.Second+time.Minute) == nil {
+				t.Fatal("nil pop mid-drain")
+			}
+			count++
+		}
+		if count != 50 {
+			t.Fatalf("round %d served %d, want 50", round, count)
+		}
+	}
+}

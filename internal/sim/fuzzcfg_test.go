@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// TestRandomConfigSpaceQuick sweeps random corners of the Config space
+// and asserts the global invariants: every request completes, runs are
+// deterministic, and no configuration panics or wedges.
+func TestRandomConfigSpaceQuick(t *testing.T) {
+	factories := []sched.Factory{
+		sched.FCFSFactory,
+		sched.RandomFactory,
+		sched.SJFFactory,
+		sched.ReinSBFFactory,
+		sched.ReinMLFactory(2 * time.Millisecond),
+		sched.LeastSlackFactory,
+		core.Factory(core.DefaultOptions()),
+	}
+	f := func(seed uint64) bool {
+		rng := dist.NewRand(seed)
+		servers := 2 + rng.IntN(12)
+		fanout := dist.UniformInt{Lo: 1, Hi: 1 + rng.IntN(9)}
+		demand := dist.Exponential{M: time.Duration(200+rng.IntN(2000)) * time.Microsecond}
+		rho := 0.2 + 0.6*rng.Float64()
+		rate, err := workload.RateForLoad(rho, servers, 1.0, fanout.Mean(), demand.Mean())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		cfg := Config{
+			Servers:  servers,
+			Policy:   factories[rng.IntN(len(factories))],
+			Adaptive: rng.IntN(2) == 0,
+			Workers:  1 + rng.IntN(3),
+			Clients:  1 + rng.IntN(4),
+			Workload: workload.Config{
+				Keys:    5000 + rng.IntN(50000),
+				KeySkew: rng.Float64(), // < 1: keeps the hottest key stable
+				Fanout:  fanout,
+				Demand:  demand, RatePerSec: rate,
+			},
+			Requests: 300 + rng.IntN(700),
+			Seed:     seed,
+		}
+		if rng.IntN(3) == 0 && servers >= 3 {
+			cfg.Replicas = 2 + rng.IntN(2) // 2..3, always <= servers
+			cfg.ReplicaSelect = ReplicaPolicy(rng.IntN(3))
+		}
+		if rng.IntN(4) == 0 {
+			cfg.Preemptive = true
+		}
+		if cfg.Replicas >= 2 && rng.IntN(3) == 0 {
+			cfg.HedgeDelay = time.Duration(1+rng.IntN(20)) * time.Millisecond
+		}
+		a, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if a.Completed != uint64(cfg.Requests) {
+			t.Logf("seed %d: completed %d of %d", seed, a.Completed, cfg.Requests)
+			return false
+		}
+		b, err := Run(cfg)
+		if err != nil || a.RCT.Mean() != b.RCT.Mean() {
+			t.Logf("seed %d: nondeterministic (%v vs %v, err %v)", seed, a.RCT.Mean(), b.RCT.Mean(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

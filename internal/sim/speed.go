@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// SpeedProfile gives a server's processing speed over virtual time, in
+// demand-units per unit time (1.0 = nominal hardware). Speed is sampled
+// when an operation starts service; demands are small relative to
+// profile changes, so the approximation error is negligible.
+type SpeedProfile interface {
+	At(t time.Duration) float64
+	String() string
+}
+
+// ConstantSpeed is a fixed speed.
+type ConstantSpeed struct{ V float64 }
+
+var _ SpeedProfile = ConstantSpeed{}
+
+// At implements SpeedProfile.
+func (s ConstantSpeed) At(time.Duration) float64 { return s.V }
+
+func (s ConstantSpeed) String() string { return fmt.Sprintf("const(%.2f)", s.V) }
+
+// StepSpeed switches from Before to After at instant Switch — a server
+// degrading (or recovering) mid-run, the scenario where adaptivity pays.
+type StepSpeed struct {
+	Before, After float64
+	Switch        time.Duration
+}
+
+var _ SpeedProfile = StepSpeed{}
+
+// At implements SpeedProfile.
+func (s StepSpeed) At(t time.Duration) float64 {
+	if t < s.Switch {
+		return s.Before
+	}
+	return s.After
+}
+
+func (s StepSpeed) String() string {
+	return fmt.Sprintf("step(%.2f→%.2f@%v)", s.Before, s.After, s.Switch)
+}
+
+// SquareSpeed alternates between Lo and Hi each half Period, modeling
+// periodic interference (co-located batch jobs, GC pauses at scale).
+type SquareSpeed struct {
+	Lo, Hi float64
+	Period time.Duration
+}
+
+var _ SpeedProfile = SquareSpeed{}
+
+// At implements SpeedProfile.
+func (s SquareSpeed) At(t time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.Hi
+	}
+	if t%s.Period < s.Period/2 {
+		return s.Lo
+	}
+	return s.Hi
+}
+
+func (s SquareSpeed) String() string {
+	return fmt.Sprintf("square(%.2f/%.2f,T=%v)", s.Lo, s.Hi, s.Period)
+}

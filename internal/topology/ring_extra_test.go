@@ -1,0 +1,65 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func TestLookupNWrapAroundStable(t *testing.T) {
+	r, err := NewRing(servers(5), 64)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("wrap-%d", i)
+		a := r.LookupN(k, 3)
+		b := r.LookupN(k, 3)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("LookupN unstable for %s: %v vs %v", k, a, b)
+			}
+		}
+	}
+}
+
+func TestLookupNPrefixConsistency(t *testing.T) {
+	// LookupN(k, 2) must be a prefix of LookupN(k, 4): replica sets
+	// grow, they don't reshuffle.
+	r, err := NewRing(servers(8), 64)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("prefix-%d", i)
+		two := r.LookupN(k, 2)
+		four := r.LookupN(k, 4)
+		for j := range two {
+			if two[j] != four[j] {
+				t.Fatalf("replica prefix broke for %s: %v vs %v", k, two, four)
+			}
+		}
+	}
+}
+
+func TestAddServerMovesOnlyNewOwnership(t *testing.T) {
+	r, err := NewRing(servers(6), 64)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	before := make(map[string]sched.ServerID)
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("mv-%d", i)
+		before[k] = r.Lookup(k)
+	}
+	if err := r.AddServer(42); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	for k, was := range before {
+		now := r.Lookup(k)
+		if now != was && now != 42 {
+			t.Fatalf("key %s moved %d -> %d, not to the new server", k, was, now)
+		}
+	}
+}

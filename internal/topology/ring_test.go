@@ -1,0 +1,201 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func servers(n int) []sched.ServerID {
+	out := make([]sched.ServerID, n)
+	for i := range out {
+		out[i] = sched.ServerID(i)
+	}
+	return out
+}
+
+func TestNewRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring should error")
+	}
+	if _, err := NewRing([]sched.ServerID{1, 1}, 0); err == nil {
+		t.Fatal("duplicate servers should error")
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r, err := NewRing(servers(10), 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r.Lookup(k) != r.Lookup(k) {
+			t.Fatal("Lookup not deterministic")
+		}
+	}
+}
+
+func TestLookupBalance(t *testing.T) {
+	const n = 20
+	r, err := NewRing(servers(n), 256)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	counts := make(map[sched.ServerID]int, n)
+	const keys = 100000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%08d", i))]++
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d servers own keys, want %d", len(counts), n)
+	}
+	want := keys / n
+	for s, c := range counts {
+		if c < want*2/5 || c > want*5/2 {
+			t.Fatalf("server %d owns %d keys, want within [%d,%d]", s, c, want*2/5, want*5/2)
+		}
+	}
+}
+
+func TestLookupNDistinct(t *testing.T) {
+	r, err := NewRing(servers(10), 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	got := r.LookupN("some-key", 3)
+	if len(got) != 3 {
+		t.Fatalf("LookupN returned %d servers, want 3", len(got))
+	}
+	seen := map[sched.ServerID]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Fatal("LookupN returned duplicate server")
+		}
+		seen[s] = true
+	}
+	if got[0] != r.Lookup("some-key") {
+		t.Fatal("first replica should be the primary")
+	}
+}
+
+func TestLookupNClampsToClusterSize(t *testing.T) {
+	r, err := NewRing(servers(3), 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if got := r.LookupN("k", 10); len(got) != 3 {
+		t.Fatalf("LookupN = %d servers, want clamp to 3", len(got))
+	}
+	if got := r.LookupN("k", 0); got != nil {
+		t.Fatal("LookupN(0) should be nil")
+	}
+}
+
+func TestAddRemoveServer(t *testing.T) {
+	r, err := NewRing(servers(3), 64)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if err := r.AddServer(99); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	if err := r.AddServer(99); err == nil {
+		t.Fatal("duplicate AddServer should error")
+	}
+	if r.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", r.Size())
+	}
+	owns := false
+	for i := 0; i < 10000; i++ {
+		if r.Lookup(fmt.Sprintf("key-%d", i)) == 99 {
+			owns = true
+			break
+		}
+	}
+	if !owns {
+		t.Fatal("added server owns no keys")
+	}
+	if err := r.RemoveServer(99); err != nil {
+		t.Fatalf("RemoveServer: %v", err)
+	}
+	if err := r.RemoveServer(99); err == nil {
+		t.Fatal("removing absent server should error")
+	}
+	for i := 0; i < 10000; i++ {
+		if r.Lookup(fmt.Sprintf("key-%d", i)) == 99 {
+			t.Fatal("removed server still owns keys")
+		}
+	}
+}
+
+func TestRemoveLastServerRefused(t *testing.T) {
+	r, err := NewRing(servers(1), 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if err := r.RemoveServer(0); err == nil {
+		t.Fatal("removing the last server should error")
+	}
+}
+
+func TestRemovalOnlyMovesAffectedKeys(t *testing.T) {
+	r, err := NewRing(servers(10), 128)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	before := make(map[string]sched.ServerID)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Lookup(k)
+	}
+	if err := r.RemoveServer(4); err != nil {
+		t.Fatalf("RemoveServer: %v", err)
+	}
+	moved := 0
+	for k, s := range before {
+		got := r.Lookup(k)
+		if s == 4 {
+			if got == 4 {
+				t.Fatal("key still maps to removed server")
+			}
+			continue
+		}
+		if got != s {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed server moved; consistent hashing should move none", moved)
+	}
+}
+
+func TestServersSorted(t *testing.T) {
+	r, err := NewRing([]sched.ServerID{5, 1, 3}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	got := r.Servers()
+	want := []sched.ServerID{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Servers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookupAlwaysMemberQuick(t *testing.T) {
+	r, err := NewRing(servers(7), 32)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	f := func(key string) bool {
+		s := r.Lookup(key)
+		return s >= 0 && s < 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// seedFrame builds a well-formed request frame to seed the fuzzers.
+func seedFrame(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	req := Request{
+		ID: 7, Type: OpPut, Key: "seed-key", Value: []byte("seed-value"),
+		Tags: Tags{RemainingNanos: 1000, SlackNanos: 10, BottleneckNanos: 900, DemandNanos: 500, Fanout: 3},
+	}
+	if err := w.WriteRequest(&req); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadRequest asserts the decoder never panics and never accepts a
+// frame it cannot fully parse.
+func FuzzReadRequest(f *testing.F) {
+	f.Add(seedFrame(f))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 3, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var req Request
+		for i := 0; i < 4; i++ {
+			if err := r.ReadRequest(&req); err != nil {
+				return // any error is acceptable; panics are not
+			}
+			if req.Type < OpGet || req.Type > OpCAS {
+				t.Fatalf("decoder accepted invalid op type %d", req.Type)
+			}
+		}
+	})
+}
+
+// FuzzReadResponse mirrors FuzzReadRequest for the response path.
+func FuzzReadResponse(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteResponse(&Response{ID: 9, Status: StatusOK, Value: []byte("x")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var resp Response
+		for i := 0; i < 4; i++ {
+			if err := r.ReadResponse(&resp); err != nil {
+				return
+			}
+			if resp.Status < StatusOK || resp.Status > StatusError {
+				t.Fatalf("decoder accepted invalid status %d", resp.Status)
+			}
+		}
+	})
+}
+
+// FuzzRequestRoundTrip checks that whatever the writer emits, the
+// reader returns intact.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "key", []byte("value"), int64(100), int64(5), uint32(3))
+	f.Add(uint64(0), "", []byte{}, int64(0), int64(0), uint32(0))
+	f.Fuzz(func(t *testing.T, id uint64, key string, value []byte, rem, slack int64, fanout uint32) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		want := Request{
+			ID: id, Type: OpGet, Key: key, Value: value,
+			Tags: Tags{RemainingNanos: rem, SlackNanos: slack, Fanout: fanout},
+		}
+		if err := w.WriteRequest(&want); err != nil {
+			t.Fatalf("WriteRequest: %v", err)
+		}
+		// Sanity: header length matches the body.
+		raw := buf.Bytes()
+		if binary.BigEndian.Uint32(raw[:4]) != uint32(len(raw)-4) {
+			t.Fatal("header length mismatch")
+		}
+		var got Request
+		if err := NewReader(&buf).ReadRequest(&got); err != nil {
+			t.Fatalf("ReadRequest: %v", err)
+		}
+		if got.ID != want.ID || got.Key != want.Key || !bytes.Equal(got.Value, want.Value) || got.Tags != want.Tags {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package wire defines the binary protocol of the live key-value store:
+// length-prefixed frames carrying per-operation requests (with DAS
+// scheduling tags) and responses (with piggybacked feedback).
+//
+// Frame layout: a 4-byte big-endian payload length, then the payload.
+// Payload fields use fixed-width big-endian integers and length-prefixed
+// byte strings; layouts are versioned by the leading protocol byte.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version byte.
+const Version = 1
+
+// MaxFrameSize bounds a frame payload (16 MiB) to protect servers from
+// malformed or hostile length prefixes.
+const MaxFrameSize = 16 << 20
+
+// Op codes.
+type OpType uint8
+
+// Operation types. PUT carries a value; GET and DELETE only a key;
+// STATS ignores the key and returns a JSON server-statistics document
+// in the response value; CAS carries both the expected old value
+// (OldValue) and the replacement (Value).
+const (
+	OpGet OpType = iota + 1
+	OpPut
+	OpDelete
+	OpStats
+	OpCAS
+)
+
+// Status codes.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	StatusError
+	// StatusCASMismatch reports a compare-and-swap whose expected old
+	// value did not match the stored one.
+	StatusCASMismatch
+)
+
+// Message kinds.
+const (
+	kindRequest  = 1
+	kindResponse = 2
+)
+
+// Errors surfaced by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrBadMessage    = errors.New("wire: malformed message")
+)
+
+// Tags is the scheduling metadata carried by every operation. Times are
+// durations (nanoseconds), deliberately clock-free so client and server
+// clocks never need to agree.
+type Tags struct {
+	// RemainingNanos is the request's speed-scaled bottleneck
+	// processing time (DAS's SRPT-first key).
+	RemainingNanos int64
+	// SlackNanos is how long this op can be deferred before delaying
+	// its request (DAS's LRPT-last key).
+	SlackNanos int64
+	// BottleneckNanos is the request's static demand bottleneck
+	// (Rein-SBF's key).
+	BottleneckNanos int64
+	// DemandNanos is this op's estimated service demand.
+	DemandNanos int64
+	// Fanout is the request's operation count.
+	Fanout uint32
+}
+
+// Request is one key-value operation sent to a server.
+type Request struct {
+	ID    uint64
+	Type  OpType
+	Key   string
+	Value []byte
+	Tags  Tags
+	// TTLNanos expires a PUT after this duration (0 = never).
+	TTLNanos int64
+	// OldValue is the expected current value for CAS operations (empty
+	// means "expect the key to be absent").
+	OldValue []byte
+}
+
+// Feedback is the server-state snapshot piggybacked on every response.
+type Feedback struct {
+	QueueLen     uint32
+	BacklogNanos int64
+	// SpeedMilli is the server's measured speed in thousandths of
+	// nominal (1000 = nominal).
+	SpeedMilli uint32
+}
+
+// Response answers one Request.
+type Response struct {
+	ID       uint64
+	Status   Status
+	Value    []byte
+	Feedback Feedback
+}
+
+// ServerStats is the JSON document returned for OpStats requests.
+type ServerStats struct {
+	Server       int     `json:"server"`
+	Served       uint64  `json:"served"`
+	QueueLen     int     `json:"queueLen"`
+	BacklogNanos int64   `json:"backlogNanos"`
+	Speed        float64 `json:"speed"`
+	Keys         int     `json:"keys"`
+	UptimeNanos  int64   `json:"uptimeNanos"`
+	Policy       string  `json:"policy"`
+}
+
+// Writer encodes frames onto an io.Writer. Not safe for concurrent use.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteRequest encodes and flushes one request frame.
+func (w *Writer) WriteRequest(r *Request) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, Version, kindRequest, byte(r.Type))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, r.ID)
+	w.buf = appendBytes(w.buf, []byte(r.Key))
+	w.buf = appendBytes(w.buf, r.Value)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.RemainingNanos))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.SlackNanos))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.BottleneckNanos))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.DemandNanos))
+	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Tags.Fanout)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.TTLNanos))
+	w.buf = appendBytes(w.buf, r.OldValue)
+	return w.flushFrame()
+}
+
+// WriteResponse encodes and flushes one response frame.
+func (w *Writer) WriteResponse(r *Response) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, Version, kindResponse, byte(r.Status))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, r.ID)
+	w.buf = appendBytes(w.buf, r.Value)
+	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.QueueLen)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Feedback.BacklogNanos))
+	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.SpeedMilli)
+	return w.flushFrame()
+}
+
+func (w *Writer) flushFrame() error {
+	if len(w.buf) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(w.buf)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes frames from an io.Reader. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// next reads one frame payload into the reusable buffer.
+func (r *Reader) next() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return buf, nil
+}
+
+// ReadRequest decodes the next frame as a Request.
+func (r *Reader) ReadRequest(req *Request) error {
+	buf, err := r.next()
+	if err != nil {
+		return err
+	}
+	d := decoder{buf: buf}
+	version, kind, op := d.byte(), d.byte(), d.byte()
+	if version != Version || kind != kindRequest {
+		return ErrBadMessage
+	}
+	req.Type = OpType(op)
+	if req.Type < OpGet || req.Type > OpCAS {
+		return ErrBadMessage
+	}
+	req.ID = d.u64()
+	req.Key = string(d.bytes())
+	req.Value = append(req.Value[:0], d.bytes()...)
+	req.Tags.RemainingNanos = int64(d.u64())
+	req.Tags.SlackNanos = int64(d.u64())
+	req.Tags.BottleneckNanos = int64(d.u64())
+	req.Tags.DemandNanos = int64(d.u64())
+	req.Tags.Fanout = d.u32()
+	req.TTLNanos = int64(d.u64())
+	req.OldValue = append(req.OldValue[:0], d.bytes()...)
+	if d.err != nil {
+		return ErrBadMessage
+	}
+	return nil
+}
+
+// ReadResponse decodes the next frame as a Response.
+func (r *Reader) ReadResponse(resp *Response) error {
+	buf, err := r.next()
+	if err != nil {
+		return err
+	}
+	d := decoder{buf: buf}
+	version, kind, status := d.byte(), d.byte(), d.byte()
+	if version != Version || kind != kindResponse {
+		return ErrBadMessage
+	}
+	resp.Status = Status(status)
+	if resp.Status < StatusOK || resp.Status > StatusCASMismatch {
+		return ErrBadMessage
+	}
+	resp.ID = d.u64()
+	resp.Value = append(resp.Value[:0], d.bytes()...)
+	resp.Feedback.QueueLen = d.u32()
+	resp.Feedback.BacklogNanos = int64(d.u64())
+	resp.Feedback.SpeedMilli = d.u32()
+	if d.err != nil {
+		return ErrBadMessage
+	}
+	return nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	if len(b) > math.MaxUint32 {
+		b = b[:math.MaxUint32]
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// decoder is a cursor over a frame payload that latches the first error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) remain() int { return len(d.buf) - d.off }
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.remain() < 1 {
+		d.err = ErrBadMessage
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.remain() < 4 {
+		d.err = ErrBadMessage
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.remain() < 8 {
+		d.err = ErrBadMessage
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || d.remain() < int(n) {
+		d.err = ErrBadMessage
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+// Preset returns a named canned workload shape, with RatePerSec unset —
+// callers size the rate via RateForLoad. The shapes follow the
+// multiget-workload characterizations in the Rein/memcached literature:
+//
+//	social     wide Zipf multigets over a social graph, bimodal records
+//	cache      memcached-style: mostly single-key, tiny fast lookups
+//	analytics  constant wide scans with heavy-tailed per-op work
+//	uniform    the synthetic baseline used by the E-series experiments
+func Preset(name string) (Config, error) {
+	switch name {
+	case "social":
+		fanout, err := dist.NewZipfInt(64, 1.05)
+		if err != nil {
+			return Config{}, fmt.Errorf("workload: preset social: %w", err)
+		}
+		return Config{
+			Keys:    200_000,
+			KeySkew: 0.8,
+			Fanout:  fanout,
+			Demand: dist.Bimodal{
+				Small: 600 * time.Microsecond, Large: 4600 * time.Microsecond, PSmall: 0.9,
+			},
+		}, nil
+	case "cache":
+		return Config{
+			Keys:    1_000_000,
+			KeySkew: 1.0,
+			Fanout:  dist.GeometricInt{M: 1.5},
+			Demand:  dist.Exponential{M: 300 * time.Microsecond},
+		}, nil
+	case "analytics":
+		return Config{
+			Keys:    500_000,
+			KeySkew: 0.3,
+			Fanout:  dist.ConstInt{N: 16},
+			Demand:  dist.BoundedPareto{Lo: 500 * time.Microsecond, Hi: 50 * time.Millisecond, Alpha: 1.4},
+		}, nil
+	case "uniform":
+		fanout, err := dist.NewZipfInt(20, 1.0)
+		if err != nil {
+			return Config{}, fmt.Errorf("workload: preset uniform: %w", err)
+		}
+		return Config{
+			Keys:    100_000,
+			KeySkew: 0.9,
+			Fanout:  fanout,
+			Demand:  dist.Exponential{M: time.Millisecond},
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("workload: unknown preset %q (want one of %v)", name, PresetNames())
+	}
+}
+
+// PresetNames lists the available presets.
+func PresetNames() []string {
+	names := []string{"social", "cache", "analytics", "uniform"}
+	sort.Strings(names)
+	return names
+}

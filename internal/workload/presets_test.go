@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPresetsAllBuildAndGenerate(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if cfg.RatePerSec != 0 {
+			t.Fatalf("%s: rate should be unset", name)
+		}
+		rate, err := RateForLoad(0.7, 16, 1.0, cfg.Fanout.Mean(), cfg.Demand.Mean())
+		if err != nil {
+			t.Fatalf("%s: RateForLoad: %v", name, err)
+		}
+		cfg.RatePerSec = rate
+		g, err := NewGenerator(cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: NewGenerator: %v", name, err)
+		}
+		reqs := g.Take(200)
+		if len(reqs) != 200 {
+			t.Fatalf("%s: generated %d requests", name, len(reqs))
+		}
+		for _, r := range reqs {
+			if r.Fanout() < 1 {
+				t.Fatalf("%s: empty request", name)
+			}
+			for _, op := range r.Ops {
+				if op.Demand <= 0 {
+					t.Fatalf("%s: non-positive demand %v", name, op.Demand)
+				}
+			}
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset should error")
+	}
+}
+
+func TestPresetShapesDiffer(t *testing.T) {
+	social, _ := Preset("social")
+	cache, _ := Preset("cache")
+	if social.Fanout.Mean() <= cache.Fanout.Mean() {
+		t.Fatal("social multigets should be wider than cache lookups")
+	}
+	if cache.Demand.Mean() >= time.Millisecond {
+		t.Fatal("cache ops should be sub-millisecond")
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func TestGeneratorHonorsLoadProfile(t *testing.T) {
+	cfg := Config{
+		Keys:       10000,
+		Fanout:     dist.ConstInt{N: 1},
+		Demand:     dist.Deterministic{V: time.Millisecond},
+		RatePerSec: 2000,
+		Profile:    dist.SquareWaveLoad{Low: 0.1, High: 1.0, Period: 2 * time.Second},
+	}
+	g, err := NewGenerator(cfg, 3)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	lowCount, highCount := 0, 0
+	for i := 0; i < 30000; i++ {
+		r := g.Next()
+		if cfg.Profile.At(r.Arrival) == 0.1 {
+			lowCount++
+		} else {
+			highCount++
+		}
+	}
+	ratio := float64(highCount) / float64(lowCount)
+	if ratio < 7 || ratio > 13 {
+		t.Fatalf("high/low arrival ratio = %.2f, want ~10", ratio)
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTrace serializes requests as JSON lines, one request per line, so
+// streams can be archived and replayed bit-exactly across policies.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			return fmt.Errorf("trace: encode request %d: %w", reqs[i].ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a JSON-lines trace back into requests.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var out []Request
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: decode line %d: %w", len(out)+1, err)
+		}
+		out = append(out, req)
+	}
+}

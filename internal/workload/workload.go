@@ -1,0 +1,192 @@
+// Package workload generates multiget request streams for the simulator
+// and the live-store load driver: Poisson (optionally time-varying)
+// arrivals, configurable fan-out, Zipf key popularity over a fixed
+// keyspace, and per-operation service demands. Generators are
+// deterministic for a given seed, and streams can be recorded to and
+// replayed from JSON-lines traces.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// OpSpec is one key access of a request before it is routed to a server.
+type OpSpec struct {
+	Key    string        `json:"key"`
+	Demand time.Duration `json:"demandNanos"`
+}
+
+// Request is one end-user multiget.
+type Request struct {
+	ID      sched.RequestID `json:"id"`
+	Arrival time.Duration   `json:"arrivalNanos"`
+	Ops     []OpSpec        `json:"ops"`
+}
+
+// Fanout returns the number of operations.
+func (r Request) Fanout() int { return len(r.Ops) }
+
+// MaxDemand returns the largest operation demand (the static bottleneck).
+func (r Request) MaxDemand() time.Duration {
+	var m time.Duration
+	for _, op := range r.Ops {
+		if op.Demand > m {
+			m = op.Demand
+		}
+	}
+	return m
+}
+
+// Config describes a request stream.
+type Config struct {
+	// Keys is the keyspace size; keys are named k0000000..k<Keys-1>.
+	Keys int
+	// KeySkew is the Zipf exponent of key popularity (0 = uniform).
+	KeySkew float64
+	// Fanout draws the number of distinct keys per request.
+	Fanout dist.Discrete
+	// Demand draws each operation's service demand.
+	Demand dist.Duration
+	// RatePerSec is the base request arrival rate.
+	RatePerSec float64
+	// Profile modulates the rate over time (nil = constant).
+	Profile dist.LoadProfile
+}
+
+func (c Config) validate() error {
+	if c.Keys <= 0 {
+		return fmt.Errorf("workload: keyspace size %d must be positive", c.Keys)
+	}
+	if c.Fanout == nil {
+		return fmt.Errorf("workload: fanout distribution required")
+	}
+	if c.Demand == nil {
+		return fmt.Errorf("workload: demand distribution required")
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("workload: rate %v must be positive", c.RatePerSec)
+	}
+	return nil
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *dist.Zipf
+	arrive  *dist.Poisson
+	nextID  sched.RequestID
+	lastArr time.Duration
+}
+
+// NewGenerator validates cfg and builds a generator for the seed.
+func NewGenerator(cfg Config, seed uint64) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	z, err := dist.NewZipf(cfg.Keys, cfg.KeySkew)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	p, err := dist.NewPoisson(cfg.RatePerSec, cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &Generator{
+		cfg:    cfg,
+		rng:    dist.NewRand(seed),
+		zipf:   z,
+		arrive: p,
+		nextID: 1,
+	}, nil
+}
+
+// Next returns the next request in arrival order.
+func (g *Generator) Next() Request {
+	g.lastArr = g.arrive.Next(g.lastArr, g.rng)
+	k := g.cfg.Fanout.Sample(g.rng)
+	if k < 1 {
+		k = 1
+	}
+	if k > g.cfg.Keys {
+		k = g.cfg.Keys
+	}
+	ops := make([]OpSpec, 0, k)
+	seen := make(map[int]bool, k)
+	for len(ops) < k {
+		rank := g.zipf.Sample(g.rng)
+		if seen[rank] {
+			// Resample; for pathological skew fall back to a linear
+			// probe so the loop terminates.
+			rank = g.probe(rank, seen)
+		}
+		seen[rank] = true
+		ops = append(ops, OpSpec{
+			Key:    KeyName(rank),
+			Demand: g.cfg.Demand.Sample(g.rng),
+		})
+	}
+	r := Request{ID: g.nextID, Arrival: g.lastArr, Ops: ops}
+	g.nextID++
+	return r
+}
+
+// probe finds the nearest unused rank when Zipf resampling keeps
+// colliding (extreme skew with wide fan-out).
+func (g *Generator) probe(rank int, seen map[int]bool) int {
+	for tries := 0; tries < 8; tries++ {
+		r := g.zipf.Sample(g.rng)
+		if !seen[r] {
+			return r
+		}
+	}
+	for i := 0; i < g.cfg.Keys; i++ {
+		r := (rank + i) % g.cfg.Keys
+		if !seen[r] {
+			return r
+		}
+	}
+	return rank
+}
+
+// Take returns the next n requests.
+func (g *Generator) Take(n int) []Request {
+	out := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// KeyName formats the canonical key string for a key rank.
+func KeyName(rank int) string { return "k" + pad7(rank) }
+
+func pad7(n int) string {
+	s := strconv.Itoa(n)
+	if len(s) >= 7 {
+		return s
+	}
+	const zeros = "0000000"
+	return zeros[:7-len(s)] + s
+}
+
+// RateForLoad returns the request arrival rate (req/s) that drives an
+// N-server cluster with aggregate speed capacity to utilization rho,
+// given the mean fan-out and mean per-operation demand:
+//
+//	lambda = rho * N * meanSpeed / (E[fanout] * E[demand]).
+func RateForLoad(rho float64, servers int, meanSpeed, meanFanout float64, meanDemand time.Duration) (float64, error) {
+	if rho <= 0 || servers <= 0 || meanSpeed <= 0 || meanFanout <= 0 || meanDemand <= 0 {
+		return 0, fmt.Errorf(
+			"workload: invalid load parameters rho=%v servers=%d speed=%v fanout=%v demand=%v",
+			rho, servers, meanSpeed, meanFanout, meanDemand)
+	}
+	opsPerSecCapacity := float64(servers) * meanSpeed / meanDemand.Seconds()
+	return rho * opsPerSecCapacity / meanFanout, nil
+}

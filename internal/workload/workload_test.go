@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func baseConfig() Config {
+	return Config{
+		Keys:       10000,
+		KeySkew:    0.9,
+		Fanout:     dist.UniformInt{Lo: 1, Hi: 8},
+		Demand:     dist.Exponential{M: time.Millisecond},
+		RatePerSec: 1000,
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Keys = 0 },
+		func(c *Config) { c.Fanout = nil },
+		func(c *Config) { c.Demand = nil },
+		func(c *Config) { c.RatePerSec = 0 },
+		func(c *Config) { c.KeySkew = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := NewGenerator(cfg, 1); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGeneratorArrivalsIncrease(t *testing.T) {
+	g, err := NewGenerator(baseConfig(), 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	var prev time.Duration
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.Arrival <= prev {
+			t.Fatalf("arrival %v not after %v", r.Arrival, prev)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestGeneratorIDsSequential(t *testing.T) {
+	g, err := NewGenerator(baseConfig(), 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for i := 1; i <= 100; i++ {
+		if r := g.Next(); int(r.ID) != i {
+			t.Fatalf("ID = %d, want %d", r.ID, i)
+		}
+	}
+}
+
+func TestGeneratorDistinctKeysPerRequest(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Fanout = dist.ConstInt{N: 20}
+	cfg.KeySkew = 1.2 // heavy collisions in the head
+	g, err := NewGenerator(cfg, 3)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		r := g.Next()
+		seen := map[string]bool{}
+		for _, op := range r.Ops {
+			if seen[op.Key] {
+				t.Fatalf("request %d has duplicate key %s", r.ID, op.Key)
+			}
+			seen[op.Key] = true
+		}
+		if len(r.Ops) != 20 {
+			t.Fatalf("fanout = %d, want 20", len(r.Ops))
+		}
+	}
+}
+
+func TestGeneratorFanoutClampedToKeyspace(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Keys = 5
+	cfg.Fanout = dist.ConstInt{N: 50}
+	g, err := NewGenerator(cfg, 3)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if r := g.Next(); len(r.Ops) != 5 {
+		t.Fatalf("fanout = %d, want clamp to keyspace 5", len(r.Ops))
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	run := func() []Request {
+		g, err := NewGenerator(baseConfig(), 77)
+		if err != nil {
+			t.Fatalf("NewGenerator: %v", err)
+		}
+		return g.Take(50)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || len(a[i].Ops) != len(b[i].Ops) {
+			t.Fatal("same seed produced different streams")
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				t.Fatal("same seed produced different ops")
+			}
+		}
+	}
+}
+
+func TestGeneratorKeySkewShowsUp(t *testing.T) {
+	cfg := baseConfig()
+	cfg.KeySkew = 1.0
+	cfg.Fanout = dist.ConstInt{N: 1}
+	g, err := NewGenerator(cfg, 5)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next().Ops[0].Key]++
+	}
+	if counts[KeyName(0)] <= counts[KeyName(100)] {
+		t.Fatalf("skew missing: k0=%d k100=%d", counts[KeyName(0)], counts[KeyName(100)])
+	}
+}
+
+func TestMaxDemand(t *testing.T) {
+	r := Request{Ops: []OpSpec{
+		{Key: "a", Demand: time.Millisecond},
+		{Key: "b", Demand: 5 * time.Millisecond},
+		{Key: "c", Demand: 2 * time.Millisecond},
+	}}
+	if r.MaxDemand() != 5*time.Millisecond {
+		t.Fatalf("MaxDemand = %v, want 5ms", r.MaxDemand())
+	}
+	if r.Fanout() != 3 {
+		t.Fatalf("Fanout = %d, want 3", r.Fanout())
+	}
+}
+
+func TestKeyName(t *testing.T) {
+	if got := KeyName(0); got != "k0000000" {
+		t.Fatalf("KeyName(0) = %q", got)
+	}
+	if got := KeyName(12345678); got != "k12345678" {
+		t.Fatalf("KeyName(12345678) = %q", got)
+	}
+}
+
+func TestRateForLoad(t *testing.T) {
+	// 10 servers at unit speed, 1ms mean demand => 10k ops/s capacity;
+	// mean fanout 5 => 2k req/s at rho=1, 1400 at rho=0.7.
+	got, err := RateForLoad(0.7, 10, 1.0, 5, time.Millisecond)
+	if err != nil {
+		t.Fatalf("RateForLoad: %v", err)
+	}
+	if math.Abs(got-1400) > 1e-9 {
+		t.Fatalf("rate = %v, want 1400", got)
+	}
+	if _, err := RateForLoad(0, 10, 1, 5, time.Millisecond); err == nil {
+		t.Fatal("rho=0 should error")
+	}
+	if _, err := RateForLoad(0.5, 0, 1, 5, time.Millisecond); err == nil {
+		t.Fatal("servers=0 should error")
+	}
+}
+
+func TestEmpiricalLoadMatchesTarget(t *testing.T) {
+	// Generate at the rate RateForLoad prescribes and verify offered
+	// demand per server-second is close to rho.
+	const rho, servers = 0.6, 8
+	meanFanout := 4.0
+	meanDemand := 2 * time.Millisecond
+	rate, err := RateForLoad(rho, servers, 1.0, meanFanout, meanDemand)
+	if err != nil {
+		t.Fatalf("RateForLoad: %v", err)
+	}
+	cfg := Config{
+		Keys:       100000,
+		Fanout:     dist.UniformInt{Lo: 1, Hi: 7}, // mean 4
+		Demand:     dist.Exponential{M: meanDemand},
+		RatePerSec: rate,
+	}
+	g, err := NewGenerator(cfg, 9)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	var totalDemand time.Duration
+	var last time.Duration
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		last = r.Arrival
+		for _, op := range r.Ops {
+			totalDemand += op.Demand
+		}
+	}
+	offered := totalDemand.Seconds() / (last.Seconds() * servers)
+	if math.Abs(offered-rho)/rho > 0.03 {
+		t.Fatalf("offered load = %.3f, want ~%.2f", offered, rho)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g, err := NewGenerator(baseConfig(), 21)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	reqs := g.Take(100)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i].ID != reqs[i].ID || got[i].Arrival != reqs[i].Arrival {
+			t.Fatalf("request %d differs after round trip", i)
+		}
+		for j := range reqs[i].Ops {
+			if got[i].Ops[j] != reqs[i].Ops[j] {
+				t.Fatalf("request %d op %d differs after round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestReadTraceBadInput(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("malformed trace should error")
+	}
+}
