@@ -210,3 +210,7 @@ func BenchmarkE17Hedging(b *testing.B) { runExperiment(b, "E17") }
 
 // BenchmarkE18Preemption regenerates the preemption ablation.
 func BenchmarkE18Preemption(b *testing.B) { runExperiment(b, "E18") }
+
+// BenchmarkE19Chaos runs the crash/restart resilience experiment
+// (shortened live run).
+func BenchmarkE19Chaos(b *testing.B) { runExperiment(b, "E19") }

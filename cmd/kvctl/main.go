@@ -12,6 +12,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,11 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "kvctl:", err)
+		if errors.Is(err, cli.ErrDegraded) {
+			// Partial results were already rendered; exit 2 so scripts
+			// can tell "degraded" from outright failure.
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -37,7 +43,8 @@ func run() error {
 		serversFlag = flag.String("servers", "0=127.0.0.1:7100", "comma-separated id=addr pairs")
 		clusterFile = flag.String("cluster", "", "JSON cluster file (overrides -servers)")
 		adaptive    = flag.Bool("adaptive", true, "tag requests with DAS feedback estimates")
-		timeout     = flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-operation deadline, forwarded to servers so they shed doomed work")
+		retries     = flag.Int("retries", 1, "extra attempts for idempotent reads after a transport failure")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -55,7 +62,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	client, err := kv.NewClient(kv.ClientConfig{Servers: servers, Adaptive: *adaptive})
+	client, err := kv.NewClient(kv.ClientConfig{
+		Servers:        servers,
+		Adaptive:       *adaptive,
+		RequestTimeout: *timeout,
+		ReadRetries:    *retries,
+	})
 	if err != nil {
 		return err
 	}
@@ -90,17 +102,7 @@ func run() error {
 			return fmt.Errorf("usage: kvctl mget KEY...")
 		}
 		res, err := client.MGet(ctx, args[1:])
-		if err != nil {
-			return err
-		}
-		for _, k := range args[1:] {
-			if v, ok := res[k]; ok {
-				fmt.Printf("%s = %s\n", k, v)
-			} else {
-				fmt.Printf("%s   (not found)\n", k)
-			}
-		}
-		return nil
+		return cli.RenderMGet(os.Stdout, args[1:], res, err)
 	case "stats":
 		fmt.Printf("%-7s %-10s %8s %8s %12s %8s %8s %10s\n",
 			"server", "policy", "served", "queue", "backlog", "speed", "keys", "uptime")

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -18,6 +19,7 @@ import (
 
 	"github.com/daskv/daskv/internal/cli"
 	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/fault"
 	"github.com/daskv/daskv/internal/kv"
 	"github.com/daskv/daskv/internal/sched"
 	"github.com/daskv/daskv/internal/wire"
@@ -40,12 +42,24 @@ func run() error {
 		speed      = flag.Float64("speed", 1.0, "speed factor (0.5 = half-speed server)")
 		dataPath   = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
 		metrics    = flag.String("metrics", "", "optional HTTP listen address for /stats, /metrics, /healthz")
+		faultSpec  = flag.String("fault", "", "inject a connection fault, MODE[:ARG][:PROB] — e.g. delay:5ms:0.5, corrupt, stall, drop:0.1")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
 	)
 	flag.Parse()
 
 	policy, err := cli.ParsePolicy(*policyName, core.DefaultOptions())
 	if err != nil {
 		return err
+	}
+	var wrapConn func(net.Conn) net.Conn
+	if *faultSpec != "" {
+		spec, serr := fault.ParseSpec(*faultSpec)
+		if serr != nil {
+			return serr
+		}
+		injector := fault.NewInjector(*faultSeed)
+		spec.Apply(injector)
+		wrapConn = injector.Conn
 	}
 	var cost kv.CostModel
 	if *baseCost > 0 {
@@ -62,12 +76,16 @@ func run() error {
 		Cost:        cost,
 		SpeedFactor: *speed,
 		DataPath:    *dataPath,
+		WrapConn:    wrapConn,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("kvserver %d listening on %s (policy=%s workers=%d speed=%.2f)\n",
 		*id, srv.Addr(), policy.Name, *workers, *speed)
+	if *faultSpec != "" {
+		fmt.Printf("kvserver %d injecting fault %q on every connection\n", *id, *faultSpec)
+	}
 
 	var metricsSrv *http.Server
 	if *metrics != "" {

@@ -84,6 +84,7 @@ func All() []Experiment {
 		{ID: "E16", Title: "Simulator validation vs queueing theory", Run: runE16},
 		{ID: "E17", Title: "Scheduling vs hedging vs replica selection", Run: runE17},
 		{ID: "E18", Title: "Preemption ablation", Run: runE18},
+		{ID: "E19", Title: "Chaos resilience: crash/restart under load (extension)", Run: runE19},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/daskv/daskv/internal/kv"
+)
+
+// ErrDegraded reports a multiget that returned partial results: some
+// keys resolved, others carry per-key errors. Command mains map it to a
+// distinct exit code (kvctl uses 2) so scripts can tell "some data,
+// degraded" apart from both success (0) and outright failure (1).
+var ErrDegraded = errors.New("degraded multiget")
+
+// RenderMGet writes one line per requested key — its value, a
+// not-found marker, or the per-key error of a degraded multiget — in
+// the caller's key order. It returns nil when every key resolved, an
+// ErrDegraded-wrapping error when some keys failed, and err itself
+// untouched (nothing rendered) when the multiget failed wholesale.
+func RenderMGet(w io.Writer, keys []string, res map[string][]byte, err error) error {
+	var perr *kv.PartialError
+	if err != nil && !errors.As(err, &perr) {
+		return err
+	}
+	for _, k := range keys {
+		if v, ok := res[k]; ok {
+			fmt.Fprintf(w, "%s = %s\n", k, v)
+			continue
+		}
+		if perr != nil {
+			if kerr, failed := perr.Errs[k]; failed {
+				fmt.Fprintf(w, "%s   ERROR %v\n", k, kerr)
+				continue
+			}
+		}
+		fmt.Fprintf(w, "%s   (not found)\n", k)
+	}
+	if perr != nil {
+		return fmt.Errorf("%w: %d of %d keys failed", ErrDegraded, len(perr.Errs), len(keys))
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/daskv/daskv/internal/kv"
+)
+
+func TestRenderMGetAllResolved(t *testing.T) {
+	var b strings.Builder
+	err := RenderMGet(&b, []string{"a", "b", "missing"},
+		map[string][]byte{"a": []byte("1"), "b": []byte("2")}, nil)
+	if err != nil {
+		t.Fatalf("RenderMGet: %v", err)
+	}
+	want := "a = 1\nb = 2\nmissing   (not found)\n"
+	if b.String() != want {
+		t.Fatalf("rendered %q, want %q", b.String(), want)
+	}
+}
+
+func TestRenderMGetPartial(t *testing.T) {
+	var b strings.Builder
+	perr := &kv.PartialError{Errs: map[string]error{
+		"dead": kv.ErrUnavailable,
+	}}
+	err := RenderMGet(&b, []string{"ok", "dead", "gone"},
+		map[string][]byte{"ok": []byte("v")}, perr)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("RenderMGet error %v, want ErrDegraded", err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"ok = v\n",
+		"dead   ERROR " + kv.ErrUnavailable.Error() + "\n",
+		"gone   (not found)\n",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("output %q missing line %q", out, line)
+		}
+	}
+	if !strings.Contains(err.Error(), "1 of 3 keys failed") {
+		t.Fatalf("summary %q lacks failure count", err)
+	}
+}
+
+func TestRenderMGetKeyOrderPreserved(t *testing.T) {
+	var b strings.Builder
+	res := map[string][]byte{"z": []byte("26"), "a": []byte("1"), "m": []byte("13")}
+	if err := RenderMGet(&b, []string{"z", "a", "m"}, res, nil); err != nil {
+		t.Fatalf("RenderMGet: %v", err)
+	}
+	if got, want := b.String(), "z = 26\na = 1\nm = 13\n"; got != want {
+		t.Fatalf("rendered %q, want caller order %q", got, want)
+	}
+}
+
+func TestRenderMGetWholesaleFailurePassesThrough(t *testing.T) {
+	var b strings.Builder
+	cause := errors.New("dial refused")
+	err := RenderMGet(&b, []string{"a"}, nil, cause)
+	if err != cause {
+		t.Fatalf("RenderMGet error %v, want the original %v", err, cause)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("rendered %q on wholesale failure, want nothing", b.String())
+	}
+}

@@ -51,6 +51,12 @@ type EstimatorConfig struct {
 	// DefaultSpeed seeds the speed estimate for servers never heard
 	// from (1.0 = nominal hardware).
 	DefaultSpeed float64
+	// ReviveAfter is how long a server marked down (MarkDown) stays
+	// quarantined before the estimator lets traffic probe it again.
+	// Until then ExpectedFinish carries a large penalty so replica
+	// selection routes around the corpse; fresh feedback (Observe)
+	// revives it immediately.
+	ReviveAfter time.Duration
 }
 
 // DefaultEstimatorConfig returns the parameters used throughout the
@@ -60,6 +66,7 @@ func DefaultEstimatorConfig() EstimatorConfig {
 		Gain:         0.3,
 		StaleAfter:   5 * time.Second,
 		DefaultSpeed: 1.0,
+		ReviveAfter:  2 * time.Second,
 	}
 }
 
@@ -73,6 +80,9 @@ func (c EstimatorConfig) validate() error {
 	if c.DefaultSpeed <= 0 {
 		return fmt.Errorf("estimator: DefaultSpeed %v must be positive", c.DefaultSpeed)
 	}
+	if c.ReviveAfter < 0 {
+		return fmt.Errorf("estimator: ReviveAfter %v must be non-negative", c.ReviveAfter)
+	}
 	return nil
 }
 
@@ -81,6 +91,8 @@ type serverView struct {
 	backlog   time.Duration
 	updatedAt time.Duration
 	known     bool
+	down      bool
+	downSince time.Duration
 }
 
 // Estimator maintains per-server load and speed views from piggybacked
@@ -124,7 +136,54 @@ func (e *Estimator) Observe(fb Feedback) {
 		v.updatedAt = fb.At
 	}
 	v.known = true
+	// A response is proof of life: revive a down-marked server.
+	v.down = false
 }
+
+// MarkDown records a server as unreachable at time at (a failed dial, a
+// torn connection, a request that died on the wire). While down —
+// until fresh feedback arrives or ReviveAfter elapses — ExpectedFinish
+// carries a large penalty so adaptive routing and tagging treat the
+// server as a last resort, and its stale backlog view is discarded.
+func (e *Estimator) MarkDown(server sched.ServerID, at time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[server]
+	if !ok {
+		v = &serverView{speed: e.cfg.DefaultSpeed}
+		e.views[server] = v
+	}
+	if !v.down {
+		v.downSince = at
+	}
+	v.down = true
+	v.known = true
+	// The backlog snapshot predates the failure; a restarted server
+	// comes back empty, and a hung one is unusable either way.
+	v.backlog = 0
+}
+
+// Down reports whether the server is inside its down quarantine at
+// time now. It ages out: after ReviveAfter the server is considered a
+// probe candidate again (and a fresh failure re-quarantines it).
+func (e *Estimator) Down(server sched.ServerID, now time.Duration) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.downLocked(server, now)
+}
+
+func (e *Estimator) downLocked(server sched.ServerID, now time.Duration) bool {
+	v, ok := e.views[server]
+	if !ok || !v.down || e.cfg.ReviveAfter <= 0 {
+		return false
+	}
+	return now-v.downSince < e.cfg.ReviveAfter
+}
+
+// downPenalty dominates any realistic finish estimate so a down server
+// loses every replica-selection comparison, while staying far from
+// overflow when added to now + scaled demand.
+const downPenalty = time.Hour
 
 // Speed returns the current speed estimate for a server.
 func (e *Estimator) Speed(server sched.ServerID) float64 {
@@ -171,7 +230,11 @@ func (e *Estimator) ExpectedWait(server sched.ServerID, now time.Duration) time.
 func (e *Estimator) ExpectedFinish(server sched.ServerID, demand, now time.Duration) time.Duration {
 	wait := e.ExpectedWait(server, now)
 	speed := e.Speed(server)
-	return now + wait + time.Duration(float64(demand)/speed)
+	finish := now + wait + time.Duration(float64(demand)/speed)
+	if e.Down(server, now) {
+		finish += downPenalty
+	}
+	return finish
 }
 
 // Snapshot returns a copy of the current view of one server for

@@ -8,20 +8,35 @@ import (
 	"github.com/daskv/daskv/internal/schedtest"
 )
 
+// dasCases is every option configuration the experiments use.
+var dasCases = map[string]core.Options{
+	"default":     core.DefaultOptions(),
+	"pure-srpt":   {},
+	"aging":       {Alpha: 0.25, Beta: 0.1},
+	"maxdelay":    {Beta: 0.1, MaxDelay: 5 * time.Millisecond},
+	"everything":  {Alpha: 0.1, Beta: 0.5, MaxDelay: 2 * time.Millisecond, SlackThreshold: 2},
+	"big-beta":    {Beta: 3},
+	"fcfs-ward":   {Alpha: 1},
+	"threshold-0": {Beta: 0.1, SlackThreshold: 0.5},
+}
+
 // TestDASInvariants runs the shared policy conformance suite over DAS
 // in every option configuration the experiments use.
 func TestDASInvariants(t *testing.T) {
-	cases := map[string]core.Options{
-		"default":     core.DefaultOptions(),
-		"pure-srpt":   {},
-		"aging":       {Alpha: 0.25, Beta: 0.1},
-		"maxdelay":    {Beta: 0.1, MaxDelay: 5 * time.Millisecond},
-		"everything":  {Alpha: 0.1, Beta: 0.5, MaxDelay: 2 * time.Millisecond, SlackThreshold: 2},
-		"big-beta":    {Beta: 3},
-		"fcfs-ward":   {Alpha: 1},
-		"threshold-0": {Beta: 0.1, SlackThreshold: 0.5},
-	}
-	for name, opts := range cases {
+	for name, opts := range dasCases {
 		schedtest.RunInvariants(t, name, core.Factory(opts))
+	}
+}
+
+// TestDASProperties runs the property suite over the same
+// configurations. DAS is SRPT-first, so the shorter-first monotonicity
+// claim holds for every configuration; configurations with a MaxDelay
+// additionally assert the anti-starvation bound.
+func TestDASProperties(t *testing.T) {
+	for name, opts := range dasCases {
+		schedtest.RunProperties(t, name, core.Factory(opts), schedtest.Properties{
+			ShorterFirst: true,
+			MaxDelay:     opts.MaxDelay,
+		})
 	}
 }

@@ -1,0 +1,376 @@
+// Package fault is the repository's fault-injection layer: a composable,
+// seed-deterministic Injector that corrupts, delays, stalls, drops, or
+// closes the byte streams of the live store (internal/kv), plus scripted
+// crash/recover speed schedules that plug into the simulator's server
+// speed profiles (internal/sim).
+//
+// The injector sits between a net.Conn and the wire codec, so every
+// failure it manufactures is one the store can encounter in production:
+// a frame truncated by a dying peer, bits flipped by a broken NIC, a
+// connection that hangs instead of failing, a server that silently
+// blackholes writes. Tests script faults against virtual or wall-clock
+// time and assert the client/server resilience machinery (deadlines,
+// retries, partial multigets, estimator dead-server aging) holds its
+// invariants.
+//
+// Determinism: all probabilistic decisions (which byte to flip, whether
+// to drop a write) derive from a PCG stream seeded at construction, so a
+// failing chaos run reproduces from its seed.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode is one fault class applied to a connection's I/O.
+type Mode int
+
+// Fault modes. None is the healthy state.
+const (
+	None Mode = iota
+	// Drop silently discards written bytes (a blackhole: the peer waits
+	// forever for frames that never arrive).
+	Drop
+	// Delay adds a fixed latency to every I/O completion.
+	Delay
+	// Stall blocks every I/O until the injector is healed or the
+	// connection is closed.
+	Stall
+	// Corrupt flips one random bit in each affected chunk of bytes.
+	Corrupt
+	// Close tears the connection down on the next I/O.
+	Close
+)
+
+// String names the mode for specs and logs.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Stall:
+		return "stall"
+	case Corrupt:
+		return "corrupt"
+	case Close:
+		return "close"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// parseMode is String's inverse.
+func parseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return None, nil
+	case "drop":
+		return Drop, nil
+	case "delay":
+		return Delay, nil
+	case "stall":
+		return Stall, nil
+	case "corrupt":
+		return Corrupt, nil
+	case "close":
+		return Close, nil
+	default:
+		return None, fmt.Errorf("fault: unknown mode %q", s)
+	}
+}
+
+// ErrInjectedClose reports a connection torn down by the injector's
+// Close mode.
+var ErrInjectedClose = errors.New("fault: injected connection close")
+
+// Injector is a shared fault state applied to every connection wrapped
+// through it. It is safe for concurrent use: chaos schedules flip the
+// active fault from a control goroutine while I/O goroutines run.
+//
+// The zero value is not usable; construct with NewInjector.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	mode  Mode
+	delay time.Duration
+	// prob is the probability an individual I/O call is affected, in
+	// (0, 1]. 1 = every call.
+	prob float64
+	// gen increments on every Set/Heal so stalled I/O knows to re-check.
+	gen    uint64
+	healed chan struct{}
+}
+
+// NewInjector returns a healthy injector whose random decisions derive
+// from seed.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		prob:   1,
+		healed: make(chan struct{}),
+	}
+}
+
+// Set activates a fault mode. prob is the per-I/O probability of the
+// fault firing (clamped to (0,1]; pass 1 for always). delay is used by
+// the Delay mode and ignored otherwise.
+func (in *Injector) Set(mode Mode, prob float64, delay time.Duration) {
+	if prob <= 0 || prob > 1 {
+		prob = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.mode = mode
+	in.prob = prob
+	in.delay = delay
+	in.gen++
+	// Wake stalled I/O so it re-evaluates against the new mode.
+	close(in.healed)
+	in.healed = make(chan struct{})
+}
+
+// Heal returns the injector to the healthy state, releasing any stalled
+// I/O.
+func (in *Injector) Heal() { in.Set(None, 1, 0) }
+
+// Mode returns the active fault mode.
+func (in *Injector) Mode() Mode {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.mode
+}
+
+// decide snapshots the active fault for one I/O call, consuming one
+// random draw when the mode is probabilistic.
+func (in *Injector) decide() (Mode, time.Duration, chan struct{}) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.mode == None {
+		return None, 0, in.healed
+	}
+	if in.prob < 1 && in.rng.Float64() >= in.prob {
+		return None, 0, in.healed
+	}
+	return in.mode, in.delay, in.healed
+}
+
+// flipBit corrupts one random bit of b in place (no-op on empty b).
+func (in *Injector) flipBit(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	in.mu.Lock()
+	i := in.rng.IntN(len(b))
+	bit := byte(1) << in.rng.IntN(8)
+	in.mu.Unlock()
+	b[i] ^= bit
+}
+
+// Conn wraps c so its reads and writes pass through the injector.
+// Faults apply to both directions; Close on the wrapped connection
+// always reaches the underlying socket (so tests can clean up even
+// while stalled).
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, in: in}
+}
+
+// Listener wraps ln so every accepted connection passes through the
+// injector — the hook internal/kv servers expose for chaos tests.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// faultConn applies the injector's active fault to one connection.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	mu      sync.Mutex
+	closed  bool
+	closeCh chan struct{}
+}
+
+// apply executes the fault protocol for one I/O call. It returns
+// proceed=false with an error when the call must fail, and mutate=true
+// when the caller should corrupt the buffer.
+func (c *faultConn) apply() (mutate bool, err error) {
+	for {
+		mode, delay, healed := c.in.decide()
+		switch mode {
+		case None:
+			return false, nil
+		case Delay:
+			time.Sleep(delay)
+			return false, nil
+		case Corrupt:
+			return true, nil
+		case Close:
+			_ = c.Conn.Close()
+			return false, ErrInjectedClose
+		case Drop:
+			return false, errDropped
+		case Stall:
+			// Block until healed or the connection is closed under us
+			// (the underlying read/write will then fail immediately).
+			select {
+			case <-healed:
+				continue
+			case <-c.closedCh():
+				return false, net.ErrClosed
+			}
+		default:
+			return false, nil
+		}
+	}
+}
+
+// errDropped is internal: Write swallows it, Read converts it to a
+// stall (a reader cannot "drop" bytes it never saw).
+var errDropped = errors.New("fault: dropped")
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	mutate, err := c.apply()
+	if err != nil {
+		if errors.Is(err, errDropped) {
+			// Dropping inbound traffic means the bytes never arrive;
+			// behave like a blackholed link: block until mode changes,
+			// then retry.
+			_, _, healed := c.in.decide()
+			select {
+			case <-healed:
+				return c.Read(b)
+			case <-c.closedCh():
+				return 0, net.ErrClosed
+			}
+		}
+		return 0, err
+	}
+	n, rerr := c.Conn.Read(b)
+	if mutate && n > 0 {
+		c.in.flipBit(b[:n])
+	}
+	return n, rerr
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	mutate, err := c.apply()
+	if err != nil {
+		if errors.Is(err, errDropped) {
+			return len(b), nil // blackhole: pretend success
+		}
+		return 0, err
+	}
+	if mutate && len(b) > 0 {
+		// Corrupt a copy; callers own their buffers.
+		dup := make([]byte, len(b))
+		copy(dup, b)
+		c.in.flipBit(dup)
+		return c.Conn.Write(dup)
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		if c.closeCh != nil {
+			close(c.closeCh)
+		}
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// closedCh lazily creates the close-notification channel; guarded by mu.
+func (c *faultConn) closedCh() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeCh == nil {
+		c.closeCh = make(chan struct{})
+		if c.closed {
+			close(c.closeCh)
+		}
+	}
+	return c.closeCh
+}
+
+// Spec is a parsed command-line fault description, e.g. from kvserver's
+// -fault flag:
+//
+//	corrupt              every I/O corrupted
+//	delay:5ms            5ms added to every I/O
+//	drop:0.1             10% of writes blackholed
+//	delay:2ms:0.5        2ms added to half the I/O calls
+//	stall                all I/O blocked until healed
+//
+// Grammar: MODE[:ARG][:PROB] where ARG is a duration for delay and PROB
+// a float in (0,1].
+type Spec struct {
+	Mode  Mode
+	Delay time.Duration
+	Prob  float64
+}
+
+// ParseSpec parses the MODE[:ARG][:PROB] grammar.
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) == 0 || parts[0] == "" {
+		return Spec{}, errors.New("fault: empty spec")
+	}
+	mode, err := parseMode(parts[0])
+	if err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{Mode: mode, Prob: 1}
+	rest := parts[1:]
+	if mode == Delay {
+		if len(rest) == 0 {
+			return Spec{}, errors.New("fault: delay spec needs a duration, e.g. delay:5ms")
+		}
+		d, derr := time.ParseDuration(rest[0])
+		if derr != nil || d < 0 {
+			return Spec{}, fmt.Errorf("fault: bad delay duration %q", rest[0])
+		}
+		spec.Delay = d
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		p, perr := strconv.ParseFloat(rest[0], 64)
+		if perr != nil || p <= 0 || p > 1 {
+			return Spec{}, fmt.Errorf("fault: bad probability %q (want (0,1])", rest[0])
+		}
+		spec.Prob = p
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		return Spec{}, fmt.Errorf("fault: trailing spec fields %v", rest)
+	}
+	return spec, nil
+}
+
+// Apply arms the injector with the spec's fault.
+func (s Spec) Apply(in *Injector) { in.Set(s.Mode, s.Prob, s.Delay) }

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one scripted state change of a server in a chaos schedule:
+// at At, the server's speed becomes Speed (0 = crashed/stalled, 1 =
+// nominal, fractions = brownout).
+type Event struct {
+	At    time.Duration
+	Speed float64
+}
+
+// Schedule is a piecewise-constant speed timeline built from crash,
+// recover, and brownout events. It implements the simulator's
+// SpeedProfile contract (At/String) structurally, so a chaos script
+// written once drives both internal/sim runs and live-store tests.
+//
+// Speed 0 means "crashed": the simulator floors service speed at a tiny
+// positive value, so operations dispatched to a crashed server stall
+// for effectively the rest of the run — the same observable behavior as
+// a hung process, which is exactly the condition adaptive scheduling
+// must route around.
+type Schedule struct {
+	// Base is the speed before the first event (default 1 if <= 0 and
+	// there are no events at t=0).
+	Base float64
+	// Events are the scripted changes; Normalize sorts them by time.
+	Events []Event
+}
+
+// NewSchedule returns a nominal-speed schedule with the given events,
+// sorted by time.
+func NewSchedule(events ...Event) *Schedule {
+	s := &Schedule{Base: 1, Events: events}
+	s.Normalize()
+	return s
+}
+
+// Crash appends a crash (speed 0) at t, returning the schedule for
+// chaining.
+func (s *Schedule) Crash(t time.Duration) *Schedule {
+	s.Events = append(s.Events, Event{At: t, Speed: 0})
+	s.Normalize()
+	return s
+}
+
+// Recover appends a recovery to nominal speed at t.
+func (s *Schedule) Recover(t time.Duration) *Schedule {
+	s.Events = append(s.Events, Event{At: t, Speed: 1})
+	s.Normalize()
+	return s
+}
+
+// Brownout appends a degradation to the given speed at t.
+func (s *Schedule) Brownout(t time.Duration, speed float64) *Schedule {
+	s.Events = append(s.Events, Event{At: t, Speed: speed})
+	s.Normalize()
+	return s
+}
+
+// Normalize sorts events by time (stable, so a later-appended event at
+// the same instant wins).
+func (s *Schedule) Normalize() {
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		return s.Events[i].At < s.Events[j].At
+	})
+}
+
+// At returns the scheduled speed at virtual time t.
+func (s *Schedule) At(t time.Duration) float64 {
+	speed := s.Base
+	if speed <= 0 {
+		speed = 1
+	}
+	for _, e := range s.Events {
+		if e.At > t {
+			break
+		}
+		speed = e.Speed
+	}
+	return speed
+}
+
+// String renders the timeline for reports.
+func (s *Schedule) String() string {
+	if len(s.Events) == 0 {
+		return fmt.Sprintf("const(%.2f)", s.Base)
+	}
+	parts := make([]string, 0, len(s.Events))
+	for _, e := range s.Events {
+		switch {
+		case e.Speed == 0:
+			parts = append(parts, fmt.Sprintf("crash@%v", e.At))
+		case e.Speed >= 1:
+			parts = append(parts, fmt.Sprintf("recover@%v", e.At))
+		default:
+			parts = append(parts, fmt.Sprintf("%.2fx@%v", e.Speed, e.At))
+		}
+	}
+	return "chaos(" + strings.Join(parts, ",") + ")"
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,7 +22,43 @@ import (
 var (
 	ErrNotFound     = errors.New("kv: key not found")
 	ErrClientClosed = errors.New("kv: client closed")
+	// ErrUnavailable classifies transport-level failures — failed
+	// dials, torn connections, redial backoff — the class the client
+	// retries for idempotent reads.
+	ErrUnavailable = errors.New("kv: server unavailable")
 )
+
+// PartialError reports a degraded multiget: the result map holds every
+// key that completed; Errs maps each failed key to its cause. It
+// unwraps to the per-key causes, so errors.Is(err,
+// context.DeadlineExceeded) and errors.Is(err, ErrUnavailable) answer
+// "did anything time out / did a server die" directly.
+type PartialError struct {
+	Errs map[string]error
+}
+
+// Error summarizes the failure; per-key detail is in Errs.
+func (e *PartialError) Error() string {
+	keys := make([]string, 0, len(e.Errs))
+	for k := range e.Errs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 1 {
+		return fmt.Sprintf("kv: degraded multiget: key %q: %v", keys[0], e.Errs[keys[0]])
+	}
+	return fmt.Sprintf("kv: degraded multiget: %d keys failed (first %q: %v)",
+		len(keys), keys[0], e.Errs[keys[0]])
+}
+
+// Unwrap exposes the per-key causes to errors.Is/As.
+func (e *PartialError) Unwrap() []error {
+	errs := make([]error, 0, len(e.Errs))
+	for _, err := range e.Errs {
+		errs = append(errs, err)
+	}
+	return errs
+}
 
 // DemandModel estimates an operation's service demand client-side, used
 // for scheduling tags. It should approximate the server's CostModel.
@@ -65,6 +103,27 @@ type ClientConfig struct {
 	// dead server (default 500ms). Operations targeting a dead server
 	// inside the backoff window fail fast.
 	ReconnectBackoff time.Duration
+	// RequestTimeout is the default per-request deadline applied when a
+	// caller's context carries none (0 = none). The remaining budget is
+	// forwarded on the wire so servers shed operations that can no
+	// longer meet it.
+	RequestTimeout time.Duration
+	// ReadRetries is how many extra attempts an idempotent read (Get /
+	// MGet operation) gets after a transport failure, each preceded by
+	// jittered exponential backoff and re-routed around servers marked
+	// down (default 0 = fail on first error). Writes are never retried.
+	ReadRetries int
+	// RetryBackoff is the base of the read-retry backoff: attempt n
+	// sleeps RetryBackoff * 2^n, jittered uniformly in [0.5x, 1.5x)
+	// (default 5ms when ReadRetries > 0).
+	RetryBackoff time.Duration
+	// Seed drives client-side randomness (retry jitter); 0 derives a
+	// seed from the clock. Fix it for reproducible chaos tests.
+	Seed uint64
+	// Dial, when set, replaces net.DialTimeout for server connections —
+	// the hook fault injection uses to corrupt or stall client-side
+	// traffic in tests.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // Client is a partition-aware key-value client: single-key operations
@@ -79,6 +138,9 @@ type Client struct {
 	conns    map[sched.ServerID]*clientConn
 	redialAt map[sched.ServerID]time.Time
 	closed   bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	nextID atomic.Uint64
 }
@@ -113,6 +175,24 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.ReconnectBackoff <= 0 {
 		cfg.ReconnectBackoff = 500 * time.Millisecond
 	}
+	if cfg.RequestTimeout < 0 {
+		return nil, fmt.Errorf("kv: negative request timeout %v", cfg.RequestTimeout)
+	}
+	if cfg.ReadRetries < 0 {
+		return nil, fmt.Errorf("kv: negative read retries %d", cfg.ReadRetries)
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
 	ids := make([]sched.ServerID, 0, len(cfg.Servers))
 	for id := range cfg.Servers {
 		ids = append(ids, id)
@@ -132,6 +212,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		start:    time.Now(),
 		conns:    make(map[sched.ServerID]*clientConn, len(cfg.Servers)),
 		redialAt: make(map[sched.ServerID]time.Time, len(cfg.Servers)),
+		rng:      rand.New(rand.NewPCG(seed, seed^0xda5c0def00d)),
 	}
 	for id, addr := range cfg.Servers {
 		cc, err := c.dial(id, addr)
@@ -145,6 +226,69 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 }
 
 func (c *Client) now() time.Duration { return time.Since(c.start) }
+
+// opCtx applies the configured default per-request deadline when the
+// caller's context carries none.
+func (c *Client) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.cfg.RequestTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.cfg.RequestTimeout)
+}
+
+// deadlineBudget converts a context deadline into the remaining-time
+// budget carried on the wire (0 = no deadline).
+func deadlineBudget(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return 1 // already expired; the server sheds it on arrival
+	}
+	return int64(rem)
+}
+
+// taggingEst returns the estimator used for tagging, nil when the
+// client runs static tags.
+func (c *Client) taggingEst() *core.Estimator {
+	if c.cfg.Adaptive {
+		return c.est
+	}
+	return nil
+}
+
+// noteServerFailure marks a server down in the adaptive view so
+// subsequent routing and tagging treat it as a last resort until it
+// answers again or its quarantine ages out.
+func (c *Client) noteServerFailure(id sched.ServerID) {
+	c.est.MarkDown(id, c.now())
+}
+
+// retrySleep waits one jittered exponential-backoff step before retry
+// attempt n (0-based): RetryBackoff * 2^n, scaled uniformly in
+// [0.5, 1.5), honoring context cancellation.
+func (c *Client) retrySleep(ctx context.Context, attempt int) error {
+	if attempt > 16 {
+		attempt = 16 // cap the exponent; backoff beyond ~5min is silly
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	d := time.Duration(float64(c.cfg.RetryBackoff<<uint(attempt)) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Close tears down all connections; in-flight calls fail.
 func (c *Client) Close() error {
@@ -206,6 +350,8 @@ func (c *Client) CompareAndSwap(ctx context.Context, key string, oldValue, newVa
 	if c.cfg.Replicas > 1 {
 		return fmt.Errorf("kv: CAS requires a single-replica configuration (have %d)", c.cfg.Replicas)
 	}
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	resp, err := c.doCAS(ctx, key, oldValue, newValue)
 	if err != nil {
 		return err
@@ -257,6 +403,8 @@ func (c *Client) Delete(ctx context.Context, key string) error {
 // fanoutWrite sends a write to every replica holder and waits for all.
 // It reports whether any replica answered StatusOK.
 func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, value []byte, ttl time.Duration) (bool, error) {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	replicas := c.ring.LookupN(key, c.cfg.Replicas)
 	if len(replicas) == 1 {
 		resp, err := c.doTTL(ctx, typ, key, value, replicas[0], ttl)
@@ -303,6 +451,8 @@ func (c *Client) readReplica(key string, demand, now time.Duration) sched.Server
 	}
 	cands := c.ring.LookupN(key, c.cfg.Replicas)
 	if c.cfg.ReadFrom == FastestRead && c.cfg.Adaptive {
+		// ExpectedFinish carries the down-server quarantine penalty, so
+		// this path routes around dead replicas automatically.
 		best := cands[0]
 		bestFinish := c.est.ExpectedFinish(best, demand, now)
 		for _, s := range cands[1:] {
@@ -312,16 +462,33 @@ func (c *Client) readReplica(key string, demand, now time.Duration) sched.Server
 		}
 		return best
 	}
+	// Primary read: still step past a primary currently marked down —
+	// dispatching to a known corpse only burns a retry.
+	for _, s := range cands {
+		if !c.est.Down(s, now) {
+			return s
+		}
+	}
 	return cands[0]
 }
 
 // MGet fetches many keys in parallel — the end-user request whose
 // completion time DAS schedules for. Missing keys are absent from the
-// result map; any transport failure fails the call.
+// result map.
+//
+// MGet degrades gracefully: when some operations fail (a server died
+// mid-request, a deadline expired), it still returns every key that
+// completed, alongside a *PartialError carrying the per-key causes. A
+// nil error means every key was resolved (present or definitively
+// absent). Transport failures on individual operations are retried up
+// to ReadRetries times with jittered backoff, re-routed around servers
+// the estimator has marked down.
 func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, error) {
 	if len(keys) == 0 {
 		return map[string][]byte{}, nil
 	}
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	now := c.now()
 	ops := make([]*sched.Op, len(keys))
 	for i, k := range keys {
@@ -332,61 +499,113 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 			Demand: demand,
 		}
 	}
-	var est *core.Estimator
-	if c.cfg.Adaptive {
-		est = c.est
-	}
-	core.Tag(ops, est, now)
+	core.Tag(ops, c.taggingEst(), now)
 
-	type slot struct {
-		key  string
-		ch   chan wire.Response
-		conn *clientConn
-		id   uint64
+	type keyResult struct {
+		key   string
+		value []byte
+		found bool
+		err   error
 	}
-	slots := make([]slot, len(ops))
-	for i, op := range ops {
-		cc, err := c.conn(op.Server)
-		if err != nil {
-			return nil, err
-		}
-		id := c.nextID.Add(1)
-		ch := cc.register(id)
-		req := wire.Request{
-			ID:   id,
-			Type: wire.OpGet,
-			Key:  op.Key,
-			Tags: wireTags(op),
-		}
-		if err := cc.writeRequest(&req); err != nil {
-			cc.unregister(id)
-			return nil, fmt.Errorf("kv: send to server %d: %w", op.Server, err)
-		}
-		slots[i] = slot{key: op.Key, ch: ch, conn: cc, id: id}
+	results := make(chan keyResult, len(ops))
+	for _, op := range ops {
+		op := op
+		go func() {
+			v, found, err := c.getOp(ctx, op)
+			results <- keyResult{key: op.Key, value: v, found: found, err: err}
+		}()
 	}
 	out := make(map[string][]byte, len(keys))
-	for _, sl := range slots {
-		select {
-		case resp, ok := <-sl.ch:
-			if !ok {
-				return nil, fmt.Errorf("kv: connection lost waiting for %q", sl.key)
+	var failed map[string]error
+	for range ops {
+		r := <-results
+		switch {
+		case r.err != nil:
+			if failed == nil {
+				failed = make(map[string]error)
 			}
-			switch resp.Status {
-			case wire.StatusOK:
-				out[sl.key] = resp.Value
-			case wire.StatusNotFound:
-				// absent from result map
-			default:
-				return nil, fmt.Errorf("kv: server error for key %q", sl.key)
-			}
-		case <-ctx.Done():
-			for _, rest := range slots {
-				rest.conn.unregister(rest.id)
-			}
-			return nil, ctx.Err()
+			failed[r.key] = r.err
+		case r.found:
+			out[r.key] = r.value
 		}
 	}
+	if failed != nil {
+		return out, &PartialError{Errs: failed}
+	}
 	return out, nil
+}
+
+// getOp resolves one read operation, retrying transport failures with
+// backoff and re-routing. found distinguishes "value exists" from a
+// definitive not-found.
+func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found bool, err error) {
+	for attempt := 0; ; attempt++ {
+		value, found, err = c.tryGet(ctx, op)
+		if err == nil {
+			return value, found, nil
+		}
+		if ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
+			return nil, false, err
+		}
+		if attempt >= c.cfg.ReadRetries || !errors.Is(err, ErrUnavailable) {
+			return nil, false, err
+		}
+		if serr := c.retrySleep(ctx, attempt); serr != nil {
+			return nil, false, err
+		}
+		// Re-route: the failed server is marked down now, so a
+		// replicated key lands on a healthy holder; re-stamp tags for
+		// the fresh dispatch.
+		rnow := c.now()
+		op.Server = c.readReplica(op.Key, op.Demand, rnow)
+		core.Tag([]*sched.Op{op}, c.taggingEst(), rnow)
+	}
+}
+
+// tryGet performs a single dispatch of one read operation.
+func (c *Client) tryGet(ctx context.Context, op *sched.Op) ([]byte, bool, error) {
+	cc, err := c.conn(op.Server)
+	if err != nil {
+		if errors.Is(err, ErrClientClosed) {
+			return nil, false, err
+		}
+		return nil, false, fmt.Errorf("%w: %w", ErrUnavailable, err)
+	}
+	id := c.nextID.Add(1)
+	ch := cc.register(id)
+	req := wire.Request{
+		ID:            id,
+		Type:          wire.OpGet,
+		Key:           op.Key,
+		Tags:          wireTags(op),
+		DeadlineNanos: deadlineBudget(ctx),
+	}
+	if err := cc.writeRequest(&req); err != nil {
+		cc.unregister(id)
+		c.noteServerFailure(op.Server)
+		return nil, false, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, false, fmt.Errorf("%w: connection to server %d lost awaiting %q",
+				ErrUnavailable, op.Server, op.Key)
+		}
+		switch resp.Status {
+		case wire.StatusOK:
+			return resp.Value, true, nil
+		case wire.StatusNotFound:
+			return nil, false, nil
+		case wire.StatusDeadlineExceeded:
+			return nil, false, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
+				op.Server, op.Key, context.DeadlineExceeded)
+		default:
+			return nil, false, fmt.Errorf("kv: server error for key %q", op.Key)
+		}
+	case <-ctx.Done():
+		cc.unregister(id)
+		return nil, false, ctx.Err()
+	}
 }
 
 // do executes one single-key operation against a specific server with
@@ -404,11 +623,7 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 		Key:    key,
 		Demand: c.cfg.Demand(wire.OpCAS, len(key), len(newValue)),
 	}
-	var est *core.Estimator
-	if c.cfg.Adaptive {
-		est = c.est
-	}
-	core.Tag([]*sched.Op{op}, est, now)
+	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
 	cc, err := c.conn(server)
 	if err != nil {
 		return nil, err
@@ -418,15 +633,21 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 	req := wire.Request{
 		ID: id, Type: wire.OpCAS, Key: key, Value: newValue,
 		OldValue: oldValue, Tags: wireTags(op),
+		DeadlineNanos: deadlineBudget(ctx),
 	}
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)
-		return nil, fmt.Errorf("kv: send to server %d: %w", server, err)
+		c.noteServerFailure(server)
+		return nil, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, server, err)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("kv: connection to server %d lost", server)
+			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, server)
+		}
+		if resp.Status == wire.StatusDeadlineExceeded {
+			return nil, fmt.Errorf("kv: server %d shed CAS on %q past its deadline: %w",
+				server, key, context.DeadlineExceeded)
 		}
 		return &resp, nil
 	case <-ctx.Done():
@@ -443,29 +664,33 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 		Key:    key,
 		Demand: c.cfg.Demand(typ, len(key), len(value)),
 	}
-	var est *core.Estimator
-	if c.cfg.Adaptive {
-		est = c.est
-	}
-	core.Tag([]*sched.Op{op}, est, now)
+	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
 	cc, err := c.conn(op.Server)
 	if err != nil {
 		return nil, err
 	}
 	id := c.nextID.Add(1)
 	ch := cc.register(id)
-	req := wire.Request{ID: id, Type: typ, Key: key, Value: value, Tags: wireTags(op), TTLNanos: int64(ttl)}
+	req := wire.Request{
+		ID: id, Type: typ, Key: key, Value: value, Tags: wireTags(op),
+		TTLNanos: int64(ttl), DeadlineNanos: deadlineBudget(ctx),
+	}
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)
-		return nil, fmt.Errorf("kv: send to server %d: %w", op.Server, err)
+		c.noteServerFailure(op.Server)
+		return nil, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("kv: connection to server %d lost", op.Server)
+			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, op.Server)
 		}
-		if resp.Status == wire.StatusError {
+		switch resp.Status {
+		case wire.StatusError:
 			return nil, fmt.Errorf("kv: server error for key %q", key)
+		case wire.StatusDeadlineExceeded:
+			return nil, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
+				op.Server, key, context.DeadlineExceeded)
 		}
 		return &resp, nil
 	case <-ctx.Done():
@@ -478,6 +703,8 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 // travels through the server's scheduling queue like any operation.
 func (c *Client) Stats(ctx context.Context, server sched.ServerID) (wire.ServerStats, error) {
 	var stats wire.ServerStats
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	resp, err := c.do(ctx, wire.OpStats, "", nil, server)
 	if err != nil {
 		return stats, err
@@ -528,7 +755,7 @@ func (c *Client) conn(id sched.ServerID) (*clientConn, error) {
 	}
 	if until := c.redialAt[id]; time.Now().Before(until) {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("kv: server %d unavailable (reconnect backoff)", id)
+		return nil, fmt.Errorf("%w: server %d in reconnect backoff", ErrUnavailable, id)
 	}
 	c.redialAt[id] = time.Now().Add(c.cfg.ReconnectBackoff)
 	c.mu.Unlock()
@@ -569,9 +796,10 @@ type clientConn struct {
 }
 
 func (c *Client) dial(id sched.ServerID, addr string) (*clientConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	conn, err := c.cfg.Dial(addr, c.cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("kv: dial server %d at %s: %w", id, addr, err)
+		c.noteServerFailure(id)
+		return nil, fmt.Errorf("%w: dial server %d at %s: %w", ErrUnavailable, id, addr, err)
 	}
 	cc := &clientConn{
 		client:  c,
@@ -653,8 +881,9 @@ func (cc *clientConn) isDead() bool {
 	return cc.dead
 }
 
-// shutdown closes the socket and fails all waiters.
-func (cc *clientConn) shutdown(error) {
+// shutdown closes the socket and fails all waiters. A cause other than
+// a deliberate client close marks the server down in the adaptive view.
+func (cc *clientConn) shutdown(cause error) {
 	_ = cc.conn.Close()
 	cc.mu.Lock()
 	if cc.dead {
@@ -665,6 +894,9 @@ func (cc *clientConn) shutdown(error) {
 	pending := cc.pending
 	cc.pending = make(map[uint64]chan wire.Response)
 	cc.mu.Unlock()
+	if !errors.Is(cause, ErrClientClosed) {
+		cc.client.noteServerFailure(cc.server)
+	}
 	for _, ch := range pending {
 		close(ch)
 	}

@@ -1,0 +1,243 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// countingDialer wraps the client's Dial hook with a call counter and
+// two switchable behaviors: refuse (fail immediately) and block (park
+// the dial until released), so tests can observe exactly when and how
+// often the reconnect path dials.
+type countingDialer struct {
+	dials   atomic.Int32
+	refuse  atomic.Bool
+	block   atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newCountingDialer() *countingDialer {
+	return &countingDialer{
+		entered: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (d *countingDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d.dials.Add(1)
+	if d.block.Load() {
+		d.entered <- struct{}{}
+		<-d.release
+		return nil, errors.New("injected dial failure")
+	}
+	if d.refuse.Load() {
+		return nil, errors.New("injected dial refusal")
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// reconnectFixture starts one server and a client whose dials route
+// through a countingDialer.
+func reconnectFixture(t *testing.T, cfg ClientConfig) (*Server, *Client, *countingDialer) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{ID: 0, Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	d := newCountingDialer()
+	cfg.Servers = map[sched.ServerID]string{0: srv.Addr()}
+	cfg.Dial = d.dial
+	cfg.Seed = 1
+	client, err := NewClient(cfg)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return srv, client, d
+}
+
+// TestConcurrentCallersDuringRedialFailFast pins the contract in
+// Client.conn: while one goroutine holds the in-flight redial, every
+// other caller targeting that server returns ErrUnavailable immediately
+// instead of queueing behind the dial.
+func TestConcurrentCallersDuringRedialFailFast(t *testing.T) {
+	srv, client, d := reconnectFixture(t, ClientConfig{
+		ReconnectBackoff: time.Hour, // one redial for the whole test
+	})
+	ctx := context.Background()
+	if err := client.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	_ = srv.Close()
+	d.block.Store(true)
+
+	// Drive calls until one lands in the (blocked) redial: the conn is
+	// only known-dead once the reader goroutine sees the close.
+	redialDone := make(chan struct{})
+	go func() {
+		defer close(redialDone)
+		for {
+			_, err := client.Get(ctx, "k")
+			if err == nil {
+				continue
+			}
+			select {
+			case <-d.entered: // our call is the one holding the dial
+				return
+			default: // lost conn noticed before redial; try again
+			}
+		}
+	}()
+	select {
+	case <-d.entered:
+		// Redial in flight; put the token back for the goroutine above.
+		d.entered <- struct{}{}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no redial attempt within 5s")
+	}
+	inFlight := d.dials.Load()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, err := client.Get(ctx, "k")
+			if err == nil {
+				t.Error("Get against dead server succeeded")
+				return
+			}
+			if !errors.Is(err, ErrUnavailable) {
+				t.Errorf("Get error %v, want ErrUnavailable", err)
+			}
+			if elapsed := time.Since(start); elapsed > 2*time.Second {
+				t.Errorf("caller blocked %v behind the in-flight redial", elapsed)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.dials.Load(); got != inFlight {
+		t.Fatalf("concurrent callers dialed: %d dials, want %d", got, inFlight)
+	}
+	close(d.release)
+	<-redialDone
+}
+
+// TestBackoffWindowRespected asserts no redial is attempted inside the
+// ReconnectBackoff window no matter how hard callers hammer, and that
+// the next attempt happens promptly once the window expires.
+func TestBackoffWindowRespected(t *testing.T) {
+	const window = 600 * time.Millisecond
+	srv, client, d := reconnectFixture(t, ClientConfig{ReconnectBackoff: window})
+	ctx := context.Background()
+	if err := client.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	initial := d.dials.Load()
+	_ = srv.Close()
+	d.refuse.Store(true)
+
+	// Wait for the first redial attempt (it opens the backoff window).
+	deadline := time.Now().Add(5 * time.Second)
+	for d.dials.Load() == initial {
+		if time.Now().After(deadline) {
+			t.Fatal("first redial never attempted")
+		}
+		_, _ = client.Get(ctx, "k")
+	}
+	opened := time.Now()
+	afterFirst := d.dials.Load()
+
+	// Hammer well inside the window: every call must fail fast with
+	// ErrUnavailable and none may dial.
+	for time.Since(opened) < window/2 {
+		start := time.Now()
+		_, err := client.Get(ctx, "k")
+		if err == nil {
+			t.Fatal("Get against dead server succeeded")
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("Get error %v, want ErrUnavailable", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatal("in-window call did not fail fast")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := d.dials.Load(); got != afterFirst {
+		t.Fatalf("dialed %d times inside the backoff window", got-afterFirst)
+	}
+
+	// Past the window the client must try again.
+	time.Sleep(window)
+	_, _ = client.Get(ctx, "k")
+	if got := d.dials.Load(); got == afterFirst {
+		t.Fatal("no redial after the backoff window expired")
+	}
+}
+
+// TestSuccessfulRedialResetsState asserts a redial that lands fully
+// restores the client: the fresh connection is reused (no per-call
+// dialing), and the server's down-quarantine in the adaptive view is
+// lifted by its first answer.
+func TestSuccessfulRedialResetsState(t *testing.T) {
+	srv, client, d := reconnectFixture(t, ClientConfig{
+		ReconnectBackoff: 20 * time.Millisecond,
+		Adaptive:         true,
+	})
+	addr := srv.Addr()
+	ctx := context.Background()
+	if err := client.Put(ctx, "k", []byte("v1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	_ = srv.Close()
+	// Burn a call so the failure is observed and the server marked down.
+	_, _ = client.Get(ctx, "k")
+	if !client.est.Down(0, client.now()) {
+		t.Fatal("dead server not marked down")
+	}
+	srv2 := restartServer(t, ServerConfig{ID: 0}, addr)
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := client.Put(ctx, "k", []byte("v2")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after server restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d.dials.Load() < 2 {
+		t.Fatalf("recovery without a redial? %d dials", d.dials.Load())
+	}
+
+	// Steady state: the re-established connection serves everything.
+	settled := d.dials.Load()
+	for i := 0; i < 20; i++ {
+		v, err := client.Get(ctx, "k")
+		if err != nil {
+			t.Fatalf("Get after recovery: %v", err)
+		}
+		if string(v) != "v2" {
+			t.Fatalf("Get = %q, want v2", v)
+		}
+	}
+	if got := d.dials.Load(); got != settled {
+		t.Fatalf("client kept dialing after recovery: %d extra dials", got-settled)
+	}
+	if client.est.Down(0, client.now()) {
+		t.Fatal("server still quarantined after answering")
+	}
+}

@@ -42,6 +42,10 @@ type ServerConfig struct {
 	// SweepInterval is how often expired keys are reclaimed in the
 	// background (default 30s; negative disables the janitor).
 	SweepInterval time.Duration
+	// WrapConn, when set, wraps every accepted connection — the hook
+	// fault injection (internal/fault) uses to corrupt, stall, or kill
+	// a server's traffic in chaos tests without touching the data path.
+	WrapConn func(net.Conn) net.Conn
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -89,6 +93,10 @@ type pendingOp struct {
 	id       uint64
 	ttl      time.Duration
 	oldValue []byte
+	// deadline is the server-clock instant after which the op is shed
+	// instead of served (0 = none), anchored at arrival from the
+	// client's remaining-budget duration.
+	deadline time.Duration
 }
 
 // serverConn serializes response writes per connection.
@@ -276,6 +284,9 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if s.cfg.WrapConn != nil {
+			conn = s.cfg.WrapConn(conn)
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -342,6 +353,7 @@ func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
 			conn: sc, typ: req.Type, key: req.Key, value: value,
 			id: req.ID, ttl: time.Duration(req.TTLNanos),
 			oldValue: append([]byte(nil), req.OldValue...),
+			deadline: arrivalDeadline(now, req.DeadlineNanos),
 		},
 	}
 	s.mu.Lock()
@@ -355,6 +367,15 @@ func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
 	case s.wake <- struct{}{}:
 	default:
 	}
+}
+
+// arrivalDeadline anchors a client-supplied remaining-time budget to
+// the server clock (0 budget = no deadline).
+func arrivalDeadline(now time.Duration, budgetNanos int64) time.Duration {
+	if budgetNanos <= 0 {
+		return 0
+	}
+	return now + time.Duration(budgetNanos)
 }
 
 var errServerClosed = errors.New("kv: server closed")
@@ -410,6 +431,14 @@ func (s *Server) serve(op *sched.Op) {
 	}
 	began := time.Now()
 	resp := wire.Response{ID: p.id, Status: wire.StatusOK}
+	if p.deadline > 0 && s.now() > p.deadline {
+		// The client has already given up on this op: shed it without
+		// touching the store or burning service time, so live capacity
+		// goes to requests that can still meet their deadlines.
+		resp.Status = wire.StatusDeadlineExceeded
+		s.finishResponse(p, &resp)
+		return
+	}
 	switch p.typ {
 	case wire.OpGet:
 		if v, found := s.store.Get(p.key); found {
@@ -442,13 +471,22 @@ func (s *Server) serve(op *sched.Op) {
 		observed := float64(op.Demand) / float64(elapsed)
 		s.speedEWMA += 0.2 * (observed - s.speedEWMA)
 	}
+	s.mu.Unlock()
+	s.finishResponse(p, &resp)
+}
+
+// finishResponse stamps piggybacked feedback, counts the op, and writes
+// the response. A write error means the client is gone; the op's effect
+// on the store stands either way.
+func (s *Server) finishResponse(p *pendingOp, resp *wire.Response) {
+	s.mu.Lock()
 	resp.Feedback = wire.Feedback{
 		QueueLen:     uint32(s.queue.Len()),
 		BacklogNanos: int64(s.queue.BacklogDemand()),
 		SpeedMilli:   uint32(s.speedEWMA * 1000),
 	}
 	s.served++
-	if p.typ == wire.OpStats {
+	if p.typ == wire.OpStats && resp.Status == wire.StatusOK {
 		if b, err := json.Marshal(s.statsLocked()); err == nil {
 			resp.Value = b
 		} else {
@@ -456,10 +494,7 @@ func (s *Server) serve(op *sched.Op) {
 		}
 	}
 	s.mu.Unlock()
-
-	// A write error means the client is gone; the op's effect on the
-	// store stands either way.
-	_ = p.conn.writeResponse(&resp)
+	_ = p.conn.writeResponse(resp)
 }
 
 // burn consumes about d of wall time. Sleeping models I/O-bound

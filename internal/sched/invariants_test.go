@@ -8,19 +8,36 @@ import (
 	"github.com/daskv/daskv/internal/schedtest"
 )
 
+// policyCases is the shared table: every baseline policy with the
+// property-suite knobs matching its semantics. LRPT intentionally
+// serves longest-first, so it is the one keyed policy without the
+// shorter-first monotonicity claim.
+var policyCases = map[string]struct {
+	factory sched.Factory
+	props   schedtest.Properties
+}{
+	"fcfs":       {factory: sched.FCFSFactory},
+	"random":     {factory: sched.RandomFactory},
+	"sjf":        {factory: sched.SJFFactory, props: schedtest.Properties{ShorterFirst: true}},
+	"rein-sbf":   {factory: sched.ReinSBFFactory, props: schedtest.Properties{ShorterFirst: true}},
+	"rein-ml":    {factory: sched.ReinMLFactory(2 * time.Millisecond)},
+	"lrpt":       {factory: sched.LRPTFactory},
+	"leastslack": {factory: sched.LeastSlackFactory, props: schedtest.Properties{ShorterFirst: true}},
+}
+
 // TestPolicyInvariants runs the shared conformance suite over every
 // baseline policy.
 func TestPolicyInvariants(t *testing.T) {
-	cases := map[string]sched.Factory{
-		"fcfs":       sched.FCFSFactory,
-		"random":     sched.RandomFactory,
-		"sjf":        sched.SJFFactory,
-		"rein-sbf":   sched.ReinSBFFactory,
-		"rein-ml":    sched.ReinMLFactory(2 * time.Millisecond),
-		"lrpt":       sched.LRPTFactory,
-		"leastslack": sched.LeastSlackFactory,
+	for name, tc := range policyCases {
+		schedtest.RunInvariants(t, name, tc.factory)
 	}
-	for name, factory := range cases {
-		schedtest.RunInvariants(t, name, factory)
+}
+
+// TestPolicyProperties runs the property-based suite (work
+// conservation, key stability, keyed pop order, priority monotonicity)
+// over the same table.
+func TestPolicyProperties(t *testing.T) {
+	for name, tc := range policyCases {
+		schedtest.RunProperties(t, name, tc.factory, tc.props)
 	}
 }

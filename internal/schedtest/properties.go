@@ -1,0 +1,220 @@
+package schedtest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Properties tunes the property suite to one policy's semantics; the
+// structural properties (work conservation, key stability) always run.
+type Properties struct {
+	// MaxDelay, when positive, asserts the starvation bound: no
+	// operation waits more than MaxDelay (plus one scheduling step)
+	// while strictly higher-priority work keeps arriving.
+	MaxDelay time.Duration
+	// ShorterFirst, when true, asserts priority monotonicity for
+	// SRPT-family policies: an operation that is smaller in every size
+	// dimension never gets a worse priority key.
+	ShorterFirst bool
+}
+
+// RunProperties drives the factory's queues through the property-based
+// invariant suite. Key-based properties skip automatically for policies
+// that do not expose a priority key (FCFS, Random). All randomness is
+// seeded; failures reproduce bit-exactly.
+func RunProperties(t *testing.T, name string, factory sched.Factory, props Properties) {
+	t.Helper()
+	t.Run(name+"/prop-conservation", func(t *testing.T) { testPropConservation(t, factory) })
+	t.Run(name+"/prop-key-stability", func(t *testing.T) { testKeyStability(t, factory) })
+	t.Run(name+"/prop-keyed-order", func(t *testing.T) { testKeyedOrder(t, factory) })
+	if props.ShorterFirst {
+		t.Run(name+"/prop-monotone", func(t *testing.T) { testPriorityMonotone(t, factory) })
+	}
+	if props.MaxDelay > 0 {
+		t.Run(name+"/prop-starvation-bound", func(t *testing.T) {
+			testStarvationBound(t, factory, props.MaxDelay)
+		})
+	}
+}
+
+// sizedOp builds an op whose every size dimension is d, with zero slack
+// (its own finish is the request bottleneck).
+func sizedOp(id int, d time.Duration) *sched.Op {
+	return &sched.Op{
+		Request: sched.RequestID(id),
+		Demand:  d,
+		Tags: sched.Tags{
+			DemandBottleneck: d,
+			ScaledDemand:     d,
+			RemainingTime:    d,
+			ExpectedFinish:   d,
+			RequestFinish:    d,
+			Fanout:           2,
+		},
+	}
+}
+
+// testPropConservation is work conservation as a randomized property:
+// whenever work is queued a Pop must yield it, nothing is lost or
+// duplicated, and the backlog accounting returns to zero — across
+// several independent seeds.
+func testPropConservation(t *testing.T, factory sched.Factory) {
+	for _, seed := range []uint64{23, 29, 31} {
+		q := factory(seed)
+		rng := dist.NewRand(seed)
+		pushed, popped := 0, 0
+		seen := map[sched.RequestID]bool{}
+		now := time.Duration(0)
+		for i := 0; i < 4000; i++ {
+			now += time.Duration(rng.Int64N(int64(time.Millisecond)))
+			if rng.Int64N(2) == 0 || q.Len() == 0 {
+				pushed++
+				q.Push(newOp(pushed, rng), now)
+			} else {
+				op := q.Pop(now)
+				if op == nil {
+					t.Fatalf("seed %d: Pop = nil with Len = %d", seed, q.Len())
+				}
+				if seen[op.Request] {
+					t.Fatalf("seed %d: request %d served twice", seed, op.Request)
+				}
+				seen[op.Request] = true
+				popped++
+			}
+		}
+		for q.Len() > 0 {
+			if q.Pop(now) == nil {
+				t.Fatalf("seed %d: nil Pop mid-drain", seed)
+			}
+			popped++
+		}
+		if popped != pushed {
+			t.Fatalf("seed %d: popped %d of %d pushed", seed, popped, pushed)
+		}
+		if q.BacklogDemand() != 0 {
+			t.Fatalf("seed %d: drained backlog = %v", seed, q.BacklogDemand())
+		}
+	}
+}
+
+// testKeyStability asserts an op's priority key never changes while it
+// is queued: the key recorded at push must equal the key at pop, no
+// matter how much virtual time passes or what else moves through the
+// queue. This is the property that lets DAS (and the heap baselines)
+// run on a binary heap without periodic re-sorting.
+func testKeyStability(t *testing.T, factory sched.Factory) {
+	q := factory(37)
+	keyer, ok := q.(sched.Keyer)
+	if !ok {
+		t.Skipf("%s exposes no priority key", q.Name())
+	}
+	rng := dist.NewRand(37)
+	atPush := map[*sched.Op]float64{}
+	now := time.Duration(0)
+	id := 0
+	for i := 0; i < 3000; i++ {
+		now += time.Duration(rng.Int64N(int64(time.Millisecond)))
+		if rng.Int64N(5) < 3 || q.Len() == 0 {
+			id++
+			op := newOp(id, rng)
+			q.Push(op, now)
+			atPush[op] = keyer.Key(op)
+		} else {
+			op := q.Pop(now)
+			want, known := atPush[op]
+			if !known {
+				t.Fatal("popped an op that was never pushed")
+			}
+			if got := keyer.Key(op); got != want {
+				t.Fatalf("key drifted while queued: pushed %v, popped %v", want, got)
+			}
+			delete(atPush, op)
+		}
+	}
+}
+
+// testKeyedOrder asserts that with time frozen (so neither aging nor a
+// starvation bound can fire), pops come out in nondecreasing key order —
+// the heap actually serves its priority.
+func testKeyedOrder(t *testing.T, factory sched.Factory) {
+	q := factory(41)
+	keyer, ok := q.(sched.Keyer)
+	if !ok {
+		t.Skipf("%s exposes no priority key", q.Name())
+	}
+	rng := dist.NewRand(41)
+	for i := 0; i < 400; i++ {
+		q.Push(newOp(i, rng), 0)
+	}
+	prev := math.Inf(-1)
+	for q.Len() > 0 {
+		op := q.Pop(0)
+		if op == nil {
+			t.Fatal("nil Pop with work queued")
+		}
+		k := keyer.Key(op)
+		if k < prev {
+			t.Fatalf("pop order violates priority: key %v after %v", k, prev)
+		}
+		prev = k
+	}
+}
+
+// testPriorityMonotone asserts SRPT-family monotonicity, table-driven
+// over size ratios: growing an op in every size dimension (demand,
+// bottleneck, remaining time) while holding slack at zero must never
+// improve its priority.
+func testPriorityMonotone(t *testing.T, factory sched.Factory) {
+	q := factory(43)
+	keyer, ok := q.(sched.Keyer)
+	if !ok {
+		t.Skipf("%s exposes no priority key", q.Name())
+	}
+	base := time.Millisecond
+	for _, scale := range []int{2, 10, 100, 1000} {
+		small := sizedOp(1, base)
+		big := sizedOp(2, base*time.Duration(scale))
+		// Push both at the same instant so enqueue-time terms cancel.
+		q.Push(small, 0)
+		q.Push(big, 0)
+		if ks, kb := keyer.Key(small), keyer.Key(big); ks > kb {
+			t.Fatalf("scale %d: smaller op keyed worse (%v > %v)", scale, ks, kb)
+		}
+		for q.Len() > 0 {
+			q.Pop(time.Hour)
+		}
+	}
+}
+
+// testStarvationBound asserts the MaxDelay promise: a low-priority op
+// facing an endless stream of higher-priority arrivals is still served
+// within MaxDelay plus one scheduling step.
+func testStarvationBound(t *testing.T, factory sched.Factory, maxDelay time.Duration) {
+	q := factory(47)
+	starved := sizedOp(1_000_000, time.Hour)
+	q.Push(starved, 0)
+	step := maxDelay / 4
+	if step <= 0 {
+		step = 1
+	}
+	now := time.Duration(0)
+	for i := 1; i <= 64; i++ {
+		now += step
+		q.Push(sizedOp(i, time.Microsecond), now)
+		op := q.Pop(now)
+		if op == nil {
+			t.Fatal("nil Pop with work queued")
+		}
+		if op == starved {
+			if wait := now - starved.Enqueued; wait > maxDelay+step {
+				t.Fatalf("starved op waited %v, bound is %v (+%v step)", wait, maxDelay, step)
+			}
+			return
+		}
+	}
+	t.Fatalf("op starved past %v despite the MaxDelay bound", maxDelay)
+}

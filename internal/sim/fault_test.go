@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/fault"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// A chaos schedule from internal/fault satisfies the simulator's speed
+// contract structurally — the same script drives sim runs and live
+// tests.
+var _ SpeedProfile = (*fault.Schedule)(nil)
+
+// faultConfig builds a 4-server run where server 0 follows the given
+// chaos schedule and everyone else runs at nominal speed.
+func faultConfig(t *testing.T, chaos *fault.Schedule) Config {
+	t.Helper()
+	const servers = 4
+	fanout := dist.UniformInt{Lo: 1, Hi: 4}
+	demand := dist.Exponential{M: time.Millisecond}
+	rate, err := workload.RateForLoad(0.6, servers, 1.0, fanout.Mean(), demand.Mean())
+	if err != nil {
+		t.Fatalf("RateForLoad: %v", err)
+	}
+	return Config{
+		Servers:  servers,
+		Policy:   core.Factory(core.DefaultOptions()),
+		Adaptive: true,
+		Workload: workload.Config{
+			Keys:       20000,
+			KeySkew:    0.9,
+			Fanout:     fanout,
+			Demand:     demand,
+			RatePerSec: rate,
+		},
+		Requests: 1500,
+		Seed:     42,
+		SpeedFor: func(id sched.ServerID) SpeedProfile {
+			if id == 0 && chaos != nil {
+				return chaos
+			}
+			return ConstantSpeed{V: 1}
+		},
+	}
+}
+
+func TestFaultScheduleDrivesSimulation(t *testing.T) {
+	baseline, err := Run(faultConfig(t, nil))
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	chaos := fault.NewSchedule().Crash(300 * time.Millisecond).Recover(600 * time.Millisecond)
+	faulty, err := Run(faultConfig(t, chaos))
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	// Work conservation survives the crash window: every request still
+	// completes once the server recovers.
+	if faulty.Completed != 1500 {
+		t.Fatalf("chaos run completed %d of 1500 requests", faulty.Completed)
+	}
+	// A 300ms outage on one of four servers must cost completion time.
+	if faulty.RCT.Mean() <= baseline.RCT.Mean() {
+		t.Fatalf("crash did not hurt: faulty mean %v <= baseline mean %v",
+			faulty.RCT.Mean(), baseline.RCT.Mean())
+	}
+}
+
+func TestBrownoutScheduleSlowsServer(t *testing.T) {
+	chaos := fault.NewSchedule().Brownout(0, 0.25)
+	res, err := Run(faultConfig(t, chaos))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed != 1500 {
+		t.Fatalf("completed %d of 1500", res.Completed)
+	}
+	// The browned-out server serves at quarter speed for the whole run,
+	// so it must log proportionally more busy time per op — visible as
+	// utilization well above the cluster's ~0.6 average.
+	slow := res.Servers[0].Utilization
+	if slow <= 0 {
+		t.Fatal("browned-out server never worked")
+	}
+	for _, s := range res.Servers[1:] {
+		if s.Utilization <= 0 {
+			t.Fatalf("server %d idle for the whole run", s.Server)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -57,8 +58,58 @@ func FuzzReadResponse(f *testing.F) {
 			if err := r.ReadResponse(&resp); err != nil {
 				return
 			}
-			if resp.Status < StatusOK || resp.Status > StatusError {
+			if resp.Status < StatusOK || resp.Status > StatusDeadlineExceeded {
 				t.Fatalf("decoder accepted invalid status %d", resp.Status)
+			}
+		}
+	})
+}
+
+// FuzzServerDecode exercises the server-side decode loop the way a
+// malfunctioning or malicious client would: a well-formed request
+// stream put through fuzz-chosen truncation, length-prefix inflation,
+// and a bit flip. The decoder must never panic, must reject any frame
+// claiming more than MaxFrameSize, and whatever it does accept must be
+// structurally valid.
+func FuzzServerDecode(f *testing.F) {
+	seed := seedFrame(f)
+	f.Add(seed, uint16(len(seed)), uint32(0), uint8(0))
+	f.Add(seed, uint16(4), uint32(0), uint8(0))             // header only
+	f.Add(seed, uint16(len(seed)), uint32(1<<31), uint8(0)) // absurd length claim
+	f.Add(seed, uint16(len(seed)), uint32(0), uint8(0x35))  // flipped mid-frame
+	f.Fuzz(func(t *testing.T, frame []byte, cut uint16, lenOverride uint32, flip uint8) {
+		data := append([]byte(nil), frame...)
+		if int(cut) < len(data) {
+			data = data[:cut] // truncate mid-frame
+		}
+		if len(data) >= 4 && lenOverride != 0 {
+			binary.BigEndian.PutUint32(data[:4], lenOverride) // lie about the size
+		}
+		if len(data) > 0 {
+			data[int(flip)%len(data)] ^= 1 << (flip % 8) // flip one bit
+		}
+		var wantTooLarge bool
+		if len(data) >= 4 {
+			wantTooLarge = binary.BigEndian.Uint32(data[:4]) > MaxFrameSize
+		}
+		r := NewReader(bytes.NewReader(data))
+		var req Request
+		for i := 0; i < 4; i++ {
+			err := r.ReadRequest(&req)
+			if err != nil {
+				if i == 0 && wantTooLarge && !errors.Is(err, ErrFrameTooLarge) {
+					t.Fatalf("oversized claim rejected as %v, want ErrFrameTooLarge", err)
+				}
+				return // errors are fine; panics and bad accepts are not
+			}
+			if i == 0 && wantTooLarge {
+				t.Fatal("decoder accepted a frame claiming more than MaxFrameSize")
+			}
+			if req.Type < OpGet || req.Type > OpCAS {
+				t.Fatalf("decoder accepted invalid op type %d", req.Type)
+			}
+			if len(req.Key)+len(req.Value)+len(req.OldValue) > MaxFrameSize {
+				t.Fatal("decoded fields exceed the frame bound")
 			}
 		}
 	})

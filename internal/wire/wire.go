@@ -49,6 +49,11 @@ const (
 	// StatusCASMismatch reports a compare-and-swap whose expected old
 	// value did not match the stored one.
 	StatusCASMismatch
+	// StatusDeadlineExceeded reports an operation the server shed
+	// without executing because its client-supplied deadline had
+	// already passed when it reached a worker (load shedding of doomed
+	// work).
+	StatusDeadlineExceeded
 )
 
 // Message kinds.
@@ -94,6 +99,12 @@ type Request struct {
 	// OldValue is the expected current value for CAS operations (empty
 	// means "expect the key to be absent").
 	OldValue []byte
+	// DeadlineNanos is the operation's remaining time budget at send
+	// time (0 = none). Carried as a duration, not an instant, so client
+	// and server clocks never need to agree; the server anchors it to
+	// its own arrival clock and sheds the op with
+	// StatusDeadlineExceeded if the budget is exhausted before service.
+	DeadlineNanos int64
 }
 
 // Feedback is the server-state snapshot piggybacked on every response.
@@ -150,6 +161,7 @@ func (w *Writer) WriteRequest(r *Request) error {
 	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Tags.Fanout)
 	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.TTLNanos))
 	w.buf = appendBytes(w.buf, r.OldValue)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.DeadlineNanos))
 	return w.flushFrame()
 }
 
@@ -239,6 +251,7 @@ func (r *Reader) ReadRequest(req *Request) error {
 	req.Tags.Fanout = d.u32()
 	req.TTLNanos = int64(d.u64())
 	req.OldValue = append(req.OldValue[:0], d.bytes()...)
+	req.DeadlineNanos = int64(d.u64())
 	if d.err != nil {
 		return ErrBadMessage
 	}
@@ -257,7 +270,7 @@ func (r *Reader) ReadResponse(resp *Response) error {
 		return ErrBadMessage
 	}
 	resp.Status = Status(status)
-	if resp.Status < StatusOK || resp.Status > StatusCASMismatch {
+	if resp.Status < StatusOK || resp.Status > StatusDeadlineExceeded {
 		return ErrBadMessage
 	}
 	resp.ID = d.u64()
