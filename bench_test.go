@@ -1,5 +1,5 @@
 // Benchmarks mirroring the paper's evaluation: one testing.B target per
-// reconstructed table/figure (E1-E12, see DESIGN.md), plus per-policy
+// reconstructed table/figure (E1-E20, see DESIGN.md), plus per-policy
 // scheduling micro-benchmarks. Each iteration executes a reduced-scale
 // version of the experiment; `cmd/dasbench` runs the full-scale tables.
 package daskv_test
@@ -214,3 +214,7 @@ func BenchmarkE18Preemption(b *testing.B) { runExperiment(b, "E18") }
 // BenchmarkE19Chaos runs the crash/restart resilience experiment
 // (shortened live run).
 func BenchmarkE19Chaos(b *testing.B) { runExperiment(b, "E19") }
+
+// BenchmarkE20Replication runs the replica-selection sweep and the live
+// crash-masking comparison (shortened live run).
+func BenchmarkE20Replication(b *testing.B) { runExperiment(b, "E20") }

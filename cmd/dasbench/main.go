@@ -1,5 +1,5 @@
 // Command dasbench regenerates the paper's evaluation tables and
-// figures (E1-E12, see DESIGN.md for the mapping).
+// figures (E1-E20, see DESIGN.md for the mapping).
 //
 // Usage:
 //
@@ -28,7 +28,7 @@ func main() {
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
 		servers  = flag.Int("servers", 16, "cluster size")
 		requests = flag.Int("requests", 30000, "requests per simulation run")
 		seeds    = flag.Int("seeds", 3, "independent seeds averaged per data point")

@@ -45,11 +45,13 @@ func run() error {
 		adaptive    = flag.Bool("adaptive", true, "tag requests with DAS feedback estimates")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-operation deadline, forwarded to servers so they shed doomed work")
 		retries     = flag.Int("retries", 1, "extra attempts for idempotent reads after a transport failure")
+		replicas    = flag.Int("replicas", 1, "how many servers hold each key (writes fan out, reads fail over)")
+		readFrom    = flag.String("read", "", "replica read routing: "+fmt.Sprint(cli.ReadPolicyNames()))
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|cas|stats|fill|watch|bench> [args]")
+		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|cas|stats|replicas|repair|fill|watch|bench> [args]")
 	}
 
 	var servers map[sched.ServerID]string
@@ -62,11 +64,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	readPolicy, err := cli.ParseReadPolicy(*readFrom)
+	if err != nil {
+		return err
+	}
 	client, err := kv.NewClient(kv.ClientConfig{
 		Servers:        servers,
 		Adaptive:       *adaptive,
 		RequestTimeout: *timeout,
 		ReadRetries:    *retries,
+		Replicas:       *replicas,
+		ReadFrom:       readPolicy,
 	})
 	if err != nil {
 		return err
@@ -131,6 +139,21 @@ func run() error {
 		}
 		fmt.Println("swapped")
 		return nil
+	case "replicas":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: kvctl replicas KEY")
+		}
+		return replicasCmd(client, args[1])
+	case "repair":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: kvctl repair KEY")
+		}
+		fixed, err := client.Repair(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repaired %d replica(s) of %q\n", fixed, args[1])
+		return nil
 	case "fill":
 		return fillCmd(client, args[1:])
 	case "watch":
@@ -140,6 +163,23 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// replicasCmd prints a key's replica placement and the selector's
+// current ranking of each holder.
+func replicasCmd(client *kv.Client, key string) error {
+	holders := client.KeyReplicas(key)
+	fmt.Printf("key %q -> %d replica(s), primary first: %v\n", key, len(holders), holders)
+	fmt.Printf("%-7s %6s %12s %12s %8s %12s %6s\n",
+		"rank", "server", "finish", "backlog", "speed", "outstanding", "down")
+	for i, sc := range client.ReplicaScores(key) {
+		fmt.Printf("%-7d %6d %12v %12v %8.2f %12d %6v\n",
+			i+1, sc.Server,
+			sc.Finish.Round(time.Microsecond),
+			sc.Backlog.Round(time.Microsecond),
+			sc.Speed, sc.Outstanding, sc.Down)
+	}
+	return nil
 }
 
 // fillCmd bulk-loads synthetic keys.

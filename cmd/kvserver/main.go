@@ -34,16 +34,17 @@ func main() {
 
 func run() error {
 	var (
-		id         = flag.Int("id", 0, "server identity on the cluster ring")
-		addr       = flag.String("addr", "127.0.0.1:7100", "listen address")
-		policyName = flag.String("policy", "das", "scheduling policy: "+fmt.Sprint(cli.PolicyNames()))
-		workers    = flag.Int("workers", 1, "worker pool size")
-		baseCost   = flag.Duration("cost", 0, "synthetic per-op service cost (0 = none); value bytes add cost/KiB")
-		speed      = flag.Float64("speed", 1.0, "speed factor (0.5 = half-speed server)")
-		dataPath   = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
-		metrics    = flag.String("metrics", "", "optional HTTP listen address for /stats, /metrics, /healthz")
-		faultSpec  = flag.String("fault", "", "inject a connection fault, MODE[:ARG][:PROB] — e.g. delay:5ms:0.5, corrupt, stall, drop:0.1")
-		faultSeed  = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
+		id          = flag.Int("id", 0, "server identity on the cluster ring")
+		addr        = flag.String("addr", "127.0.0.1:7100", "listen address")
+		policyName  = flag.String("policy", "das", "scheduling policy: "+fmt.Sprint(cli.PolicyNames()))
+		workers     = flag.Int("workers", 1, "worker pool size")
+		baseCost    = flag.Duration("cost", 0, "synthetic per-op service cost (0 = none); value bytes add cost/KiB")
+		speed       = flag.Float64("speed", 1.0, "speed factor (0.5 = half-speed server)")
+		dataPath    = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
+		replication = flag.Int("replication", 1, "replication factor the cluster runs with (informational; placement is client-side)")
+		metrics     = flag.String("metrics", "", "optional HTTP listen address for /stats, /metrics, /healthz")
+		faultSpec   = flag.String("fault", "", "inject a connection fault, MODE[:ARG][:PROB] — e.g. delay:5ms:0.5, corrupt, stall, drop:0.1")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
 	)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func run() error {
 		SpeedFactor: *speed,
 		DataPath:    *dataPath,
 		WrapConn:    wrapConn,
+		Replication: *replication,
 	})
 	if err != nil {
 		return err

@@ -153,8 +153,14 @@ const (
 	PrimaryReplica = sim.PrimaryReplica
 	// RandomReplica spreads reads uniformly over replicas.
 	RandomReplica = sim.RandomReplica
-	// FastestReplica reads the estimator-fastest replica.
+	// FastestReplica reads the estimator-fastest replica with in-flight
+	// compensation.
 	FastestReplica = sim.FastestReplica
+	// RoundRobinReplica rotates reads over the replica set.
+	RoundRobinReplica = sim.RoundRobinReplica
+	// LeastOutstandingReplica reads the replica with the fewest
+	// in-flight operations.
+	LeastOutstandingReplica = sim.LeastOutstandingReplica
 )
 
 // Live store.
@@ -190,8 +196,16 @@ var (
 const (
 	// PrimaryRead reads the ring primary.
 	PrimaryRead = kv.PrimaryRead
-	// FastestRead reads the estimator-fastest replica.
+	// FastestRead reads the estimator-fastest replica with in-flight
+	// compensation.
 	FastestRead = kv.FastestRead
+	// RoundRobinRead rotates reads over the replica set.
+	RoundRobinRead = kv.RoundRobinRead
+	// LeastOutstandingRead reads the replica with the fewest in-flight
+	// requests.
+	LeastOutstandingRead = kv.LeastOutstandingRead
+	// RandomRead spreads reads uniformly over the replica set.
+	RandomRead = kv.RandomRead
 )
 
 // Measurement and distributions (for building custom studies).

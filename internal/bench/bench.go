@@ -85,6 +85,7 @@ func All() []Experiment {
 		{ID: "E17", Title: "Scheduling vs hedging vs replica selection", Run: runE17},
 		{ID: "E18", Title: "Preemption ablation", Run: runE18},
 		{ID: "E19", Title: "Chaos resilience: crash/restart under load (extension)", Run: runE19},
+		{ID: "E20", Title: "Replication: adaptive replica selection and crash masking (extension)", Run: runE20},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sim"
+	"github.com/daskv/daskv/internal/wire"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// runE20 evaluates the replication subsystem on both rigs.
+//
+// Part A (simulator) sweeps replication factor x selector policy x load
+// under heterogeneous server speeds: with slow servers in the cluster,
+// oblivious routing (primary, random, round-robin) keeps paying for
+// them, while the adaptive selector's backlog/speed view routes around
+// them and the least-outstanding baseline lands in between.
+//
+// Part B (live loopback cluster) measures the availability side: one of
+// three servers crashes mid-run and stays down. With R=1 every multiget
+// touching its shard degrades to a PartialError; with R=3 reads fail
+// over to sibling holders and complete fully.
+func runE20(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E20", "Replication: adaptive replica selection and crash masking",
+		"part A: sim sweep of factor x selector x load, 25% of servers at 0.25x speed\n"+
+			"part B: live 3-server cluster, one server killed mid-run, R=1 vs R=3")
+	if err := runE20Selection(p, w); err != nil {
+		return err
+	}
+	return runE20CrashMasking(p, w)
+}
+
+// runE20Selection is part A: the simulated selector sweep.
+func runE20Selection(p Params, w io.Writer) error {
+	slow := p.Servers / 4
+	speedFor := func(id sched.ServerID) sim.SpeedProfile {
+		if int(id) < slow {
+			return sim.ConstantSpeed{V: 0.25}
+		}
+		return sim.ConstantSpeed{V: 1}
+	}
+	// Load is calibrated against the degraded cluster capacity so the
+	// slow quarter does not push the oblivious configurations past
+	// saturation.
+	meanSpeed := (float64(slow)*0.25 + float64(p.Servers-slow)) / float64(p.Servers)
+	fanout := defaultFanout()
+	demand := defaultDemand()
+	type variant struct {
+		name     string
+		replicas int
+		sel      sim.ReplicaPolicy
+	}
+	variants := []variant{
+		{name: "R=1 primary", replicas: 1, sel: sim.PrimaryReplica},
+		{name: "R=3 random", replicas: 3, sel: sim.RandomReplica},
+		{name: "R=3 round-robin", replicas: 3, sel: sim.RoundRobinReplica},
+		{name: "R=3 least-out", replicas: 3, sel: sim.LeastOutstandingReplica},
+		{name: "R=2 adaptive", replicas: 2, sel: sim.FastestReplica},
+		{name: "R=3 adaptive", replicas: 3, sel: sim.FastestReplica},
+	}
+	for _, rho := range []float64{0.3, 0.55} {
+		rate, err := workload.RateForLoad(rho, p.Servers, meanSpeed, fanout.Mean(), demand.Mean())
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		fmt.Fprintf(w, "\nload %.2f (DAS scheduling on every server)\n", rho)
+		fmt.Fprintf(w, "%-16s %12s %12s\n", "variant", "mean(ms)", "p99(ms)")
+		for _, v := range variants {
+			var mean, p99 time.Duration
+			for s := 0; s < p.Seeds; s++ {
+				res, err := sim.Run(sim.Config{
+					Servers:       p.Servers,
+					Policy:        core.Factory(core.DefaultOptions()),
+					Adaptive:      true,
+					SpeedFor:      speedFor,
+					Replicas:      v.replicas,
+					ReplicaSelect: v.sel,
+					Workload: workload.Config{
+						Keys: 100_000, KeySkew: 0.6,
+						Fanout: fanout, Demand: demand, RatePerSec: rate,
+					},
+					Requests: p.Requests,
+					Warmup:   time.Second,
+					Seed:     p.Seed + uint64(s)*1000003,
+				})
+				if err != nil {
+					return fmt.Errorf("bench: %s: %w", v.name, err)
+				}
+				mean += res.RCT.Mean() / time.Duration(p.Seeds)
+				p99 += res.RCT.P99() / time.Duration(p.Seeds)
+			}
+			fmt.Fprintf(w, "%-16s %12s %12s\n", v.name, ms(mean), ms(p99))
+		}
+	}
+	fmt.Fprintln(w, "\nthe adaptive selector routes around the slow quarter that oblivious")
+	fmt.Fprintln(w, "policies keep hitting; least-outstanding recovers part of the gap without")
+	fmt.Fprintln(w, "feedback, and going R=2 -> R=3 widens the set of fast escapes.")
+	return nil
+}
+
+// runE20CrashMasking is part B: replication as crash masking, live.
+func runE20CrashMasking(p Params, w io.Writer) error {
+	runFor := p.Live / 2
+	if runFor < 2*time.Second {
+		runFor = 2 * time.Second
+	}
+	fmt.Fprintf(w, "\ncrash masking (live, 3 servers, server 0 killed at t/3, %v per row)\n", runFor)
+	fmt.Fprintf(w, "%-18s %9s %9s %9s %8s\n", "config", "requests", "ok", "degraded", "errors")
+	for _, cfg := range []struct {
+		name     string
+		replicas int
+	}{
+		{name: "R=1", replicas: 1},
+		{name: "R=3 adaptive", replicas: 3},
+	} {
+		r, err := runCrashMaskingOnce(cfg.replicas, runFor)
+		if err != nil {
+			return fmt.Errorf("bench: crash masking %s: %w", cfg.name, err)
+		}
+		fmt.Fprintf(w, "%-18s %9d %9d %9d %8d\n",
+			cfg.name, r.ok+r.degraded+r.failed, r.ok, r.degraded, r.failed)
+	}
+	fmt.Fprintln(w, "with R=1 the dead server's shard degrades every multiget touching it;")
+	fmt.Fprintln(w, "with R=3 reads fail over to sibling holders and complete fully.")
+	return nil
+}
+
+// runCrashMaskingOnce drives one replication factor through a
+// kill-without-restart script on a live loopback cluster.
+func runCrashMaskingOnce(replicas int, runFor time.Duration) (*chaosResult, error) {
+	const (
+		servers   = 3
+		clients   = 8
+		keyspace  = 400
+		maxFanout = 6
+	)
+	// A flat modest cost keeps the survivors clear of the request
+	// deadline after the crash removes a third of the capacity, so the
+	// table isolates crash masking from deadline shedding.
+	flatCost := func(wire.OpType, int, int) time.Duration { return time.Millisecond }
+	srvs := make([]*kv.Server, servers)
+	addrs := make(map[sched.ServerID]string, servers)
+	defer func() {
+		for _, s := range srvs {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+	}()
+	for i := 0; i < servers; i++ {
+		srv, err := kv.NewServer(kv.ServerConfig{
+			ID:          sched.ServerID(i),
+			Addr:        "127.0.0.1:0",
+			Policy:      core.Factory(core.DefaultOptions()),
+			Cost:        flatCost,
+			Replication: replicas,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srvs[i] = srv
+		addrs[srv.ID()] = srv.Addr()
+	}
+	client, err := kv.NewClient(kv.ClientConfig{
+		Servers:  addrs,
+		Adaptive: true,
+		Demand:   kv.DemandModel(flatCost),
+		Replicas: replicas,
+		ReadFrom: kv.FastestRead,
+		// A generous budget keeps ambient scheduling stalls out of the
+		// degraded column: R=1 degradation comes from the dead shard
+		// being unreachable, which no deadline length repairs.
+		RequestTimeout:   time.Second,
+		ReadRetries:      2,
+		RetryBackoff:     5 * time.Millisecond,
+		ReconnectBackoff: 100 * time.Millisecond,
+		Seed:             13,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = client.Close() }()
+
+	ctx := context.Background()
+	keys := make([]string, keyspace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+		if err := client.Put(ctx, keys[i], []byte("value")); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &chaosResult{sum: metrics.NewSummary(0)}
+	var mu sync.Mutex
+	deadline := time.Now().Add(runFor)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crng := dist.NewRand(uint64(c) + 500)
+			for time.Now().Before(deadline) {
+				k := 1 + crng.IntN(maxFanout)
+				batch := make([]string, k)
+				for i := range batch {
+					batch[i] = keys[crng.IntN(keyspace)]
+				}
+				start := time.Now()
+				_, err := client.MGet(ctx, batch)
+				rct := time.Since(start)
+				var perr *kv.PartialError
+				mu.Lock()
+				switch {
+				case err == nil:
+					res.ok++
+				case errors.As(err, &perr):
+					res.degraded++
+				default:
+					res.failed++
+				}
+				res.sum.Observe(rct)
+				if rct > res.max {
+					res.max = rct
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Kill one server a third in; it stays dead for the rest of the run.
+	time.Sleep(runFor / 3)
+	_ = srvs[0].Close()
+	srvs[0] = nil
+	wg.Wait()
+	return res, nil
+}

@@ -1,0 +1,34 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/daskv/daskv/internal/kv"
+)
+
+// ParseReadPolicy resolves a replica read-routing name for the live
+// client. Names (and aliases) mirror the replica package's selection
+// policies; the empty string means primary.
+func ParseReadPolicy(name string) (kv.ReadPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "primary", "":
+		return kv.PrimaryRead, nil
+	case "adaptive", "fastest", "tars":
+		return kv.FastestRead, nil
+	case "round-robin", "roundrobin", "rr":
+		return kv.RoundRobinRead, nil
+	case "least-outstanding", "leastoutstanding", "lo":
+		return kv.LeastOutstandingRead, nil
+	case "random":
+		return kv.RandomRead, nil
+	default:
+		return 0, fmt.Errorf("cli: unknown read policy %q (want one of %s)",
+			name, strings.Join(ReadPolicyNames(), ", "))
+	}
+}
+
+// ReadPolicyNames lists the accepted canonical read-policy names.
+func ReadPolicyNames() []string {
+	return []string{"primary", "adaptive", "round-robin", "least-outstanding", "random"}
+}

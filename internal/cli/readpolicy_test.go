@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"testing"
+
+	"github.com/daskv/daskv/internal/kv"
+)
+
+func TestParseReadPolicy(t *testing.T) {
+	cases := map[string]kv.ReadPolicy{
+		"":                  kv.PrimaryRead,
+		"primary":           kv.PrimaryRead,
+		"Adaptive":          kv.FastestRead,
+		"fastest":           kv.FastestRead,
+		"tars":              kv.FastestRead,
+		"rr":                kv.RoundRobinRead,
+		"round-robin":       kv.RoundRobinRead,
+		"lo":                kv.LeastOutstandingRead,
+		"least-outstanding": kv.LeastOutstandingRead,
+		"random":            kv.RandomRead,
+	}
+	for in, want := range cases {
+		got, err := ParseReadPolicy(in)
+		if err != nil {
+			t.Fatalf("ParseReadPolicy(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseReadPolicy(%q) = %d, want %d", in, got, want)
+		}
+	}
+	if _, err := ParseReadPolicy("bogus"); err == nil {
+		t.Fatal("bogus read policy should error")
+	}
+	if len(ReadPolicyNames()) != 5 {
+		t.Fatalf("ReadPolicyNames = %v, want 5 entries", ReadPolicyNames())
+	}
+}

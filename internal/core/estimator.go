@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -247,4 +248,47 @@ func (e *Estimator) Snapshot(server sched.ServerID) (speed float64, backlog time
 		return e.cfg.DefaultSpeed, 0, false
 	}
 	return v.speed, v.backlog, true
+}
+
+// ServerSnapshot is one server's view copied out for replica selection
+// and debugging tooling.
+type ServerSnapshot struct {
+	Server sched.ServerID
+	// Speed and Backlog are the estimator's current view (the config
+	// defaults for servers never heard from).
+	Speed   float64
+	Backlog time.Duration
+	// Age is how stale the backlog snapshot is at the query instant
+	// (negative observation clocks clamp to zero).
+	Age time.Duration
+	// Known is false for servers never observed.
+	Known bool
+	// Down reports the failure quarantine at the query instant.
+	Down bool
+}
+
+// SnapshotAll returns the view of every server ever observed or marked
+// down, in ascending server order — one lock acquisition, cheap enough
+// for the selector and for per-request debug output.
+func (e *Estimator) SnapshotAll(now time.Duration) []ServerSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ServerSnapshot, 0, len(e.views))
+	for id, v := range e.views {
+		s := ServerSnapshot{
+			Server:  id,
+			Speed:   v.speed,
+			Backlog: v.backlog,
+			Known:   v.known,
+			Down:    e.downLocked(id, now),
+		}
+		if !v.known {
+			s.Speed, s.Backlog = e.cfg.DefaultSpeed, 0
+		} else if age := now - v.updatedAt; age > 0 {
+			s.Age = age
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
 }

@@ -147,3 +147,50 @@ func TestEstimatorConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestSnapshotAll(t *testing.T) {
+	e := mustEstimator(t, DefaultEstimatorConfig())
+	now := 10 * time.Millisecond
+	e.Observe(Feedback{Server: 2, Backlog: 4 * time.Millisecond, Speed: 0.5, At: now})
+	e.Observe(Feedback{Server: 1, Backlog: time.Millisecond, Speed: 1.5, At: now})
+	e.MarkDown(3, now)
+
+	snaps := e.SnapshotAll(now + 2*time.Millisecond)
+	if len(snaps) != 3 {
+		t.Fatalf("SnapshotAll returned %d views, want 3", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Server >= snaps[i].Server {
+			t.Fatalf("views not sorted by server: %+v", snaps)
+		}
+	}
+	s1, s2, s3 := snaps[0], snaps[1], snaps[2]
+	if s1.Server != 1 || !s1.Known || s1.Down {
+		t.Fatalf("server 1 view wrong: %+v", s1)
+	}
+	if s1.Speed != 1.5 || s1.Backlog != time.Millisecond {
+		t.Fatalf("server 1 speed/backlog wrong: %+v", s1)
+	}
+	if s1.Age != 2*time.Millisecond {
+		t.Fatalf("server 1 staleness %v, want 2ms", s1.Age)
+	}
+	if s2.Server != 2 || s2.Speed != 0.5 || s2.Backlog != 4*time.Millisecond {
+		t.Fatalf("server 2 view wrong: %+v", s2)
+	}
+	if s3.Server != 3 || !s3.Down || s3.Backlog != 0 {
+		t.Fatalf("server 3 should be down with discarded backlog: %+v", s3)
+	}
+	// Quarantine ages out in the snapshot view too.
+	later := now + DefaultEstimatorConfig().ReviveAfter + time.Millisecond
+	for _, s := range e.SnapshotAll(later) {
+		if s.Server == 3 && s.Down {
+			t.Fatalf("server 3 still down after ReviveAfter: %+v", s)
+		}
+	}
+	// A query clock behind the observation clock clamps staleness to 0.
+	for _, s := range e.SnapshotAll(0) {
+		if s.Age != 0 {
+			t.Fatalf("negative-age view leaked: %+v", s)
+		}
+	}
+}

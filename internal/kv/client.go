@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/replica"
 	"github.com/daskv/daskv/internal/sched"
 	"github.com/daskv/daskv/internal/topology"
 	"github.com/daskv/daskv/internal/wire"
@@ -65,17 +66,48 @@ func (e *PartialError) Unwrap() []error {
 type DemandModel func(op wire.OpType, keyLen, valueLen int) time.Duration
 
 // ReadPolicy selects which replica serves a read when Replicas > 1.
+// Each maps onto a replica.Selector policy; the simulator evaluates the
+// same selection code.
 type ReadPolicy int
 
 // Read-routing strategies.
 const (
-	// PrimaryRead always reads the ring primary.
+	// PrimaryRead reads the ring primary, stepping past holders the
+	// estimator has quarantined as down.
 	PrimaryRead ReadPolicy = iota
 	// FastestRead reads the replica with the earliest estimated finish
-	// per the client's adaptive view (falls back to the primary when
-	// tagging is static).
+	// per the client's adaptive view, with Tars-style in-flight
+	// compensation (falls back to primary order when tagging is
+	// static).
 	FastestRead
+	// RoundRobinRead rotates reads over the replica set.
+	RoundRobinRead
+	// LeastOutstandingRead reads the replica with the fewest of this
+	// client's requests in flight.
+	LeastOutstandingRead
+	// RandomRead spreads reads uniformly over the replica set.
+	RandomRead
 )
+
+// selectorPolicy maps the client's read policy onto the replica
+// package's selector, honoring the adaptive/static tagging mode.
+func (cfg ClientConfig) selectorPolicy() replica.Policy {
+	switch cfg.ReadFrom {
+	case FastestRead:
+		if cfg.Adaptive {
+			return replica.Adaptive
+		}
+		return replica.Primary
+	case RoundRobinRead:
+		return replica.RoundRobin
+	case LeastOutstandingRead:
+		return replica.LeastOutstanding
+	case RandomRead:
+		return replica.Random
+	default:
+		return replica.Primary
+	}
+}
 
 // ClientConfig configures a cluster client.
 type ClientConfig struct {
@@ -93,12 +125,18 @@ type ClientConfig struct {
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
 	// Replicas is how many servers hold each key (default 1). Writes
-	// go synchronously to every replica; reads to one, per ReadFrom.
-	// Replication here is availability-free write fan-out — there is
-	// no failover or read-repair protocol.
+	// fan out synchronously to every replica holder stamped with one
+	// last-writer-wins version; reads go to one holder per ReadFrom and
+	// fail over to siblings on transport errors (see ReadRetries).
+	// Failover reads trigger asynchronous read-repair so replicas that
+	// missed a write converge (disable with NoReadRepair).
 	Replicas int
 	// ReadFrom picks the serving replica for reads (default primary).
 	ReadFrom ReadPolicy
+	// NoReadRepair disables the automatic read-repair issued after a
+	// read had to fail over to a sibling replica. Explicit Repair calls
+	// still work.
+	NoReadRepair bool
 	// ReconnectBackoff is the minimum gap between redial attempts to a
 	// dead server (default 500ms). Operations targeting a dead server
 	// inside the backoff window fail fast.
@@ -129,10 +167,13 @@ type ClientConfig struct {
 // Client is a partition-aware key-value client: single-key operations
 // plus the multiget that the scheduling work is all about.
 type Client struct {
-	cfg   ClientConfig
-	ring  *topology.Ring
-	est   *core.Estimator
-	start time.Time
+	cfg    ClientConfig
+	ring   *topology.Ring
+	est    *core.Estimator
+	place  *replica.Placement
+	sel    *replica.Selector
+	vclock *replica.Clock
+	start  time.Time
 
 	mu       sync.Mutex
 	conns    map[sched.ServerID]*clientConn
@@ -141,6 +182,11 @@ type Client struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	repairMu     sync.Mutex
+	repairing    map[string]bool
+	repairClosed bool
+	repairWG     sync.WaitGroup
 
 	nextID atomic.Uint64
 }
@@ -169,7 +215,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("kv: replicas %d must be within [1, %d servers]",
 			cfg.Replicas, len(cfg.Servers))
 	}
-	if cfg.ReadFrom < PrimaryRead || cfg.ReadFrom > FastestRead {
+	if cfg.ReadFrom < PrimaryRead || cfg.ReadFrom > RandomRead {
 		return nil, fmt.Errorf("kv: unknown read policy %d", cfg.ReadFrom)
 	}
 	if cfg.ReconnectBackoff <= 0 {
@@ -205,14 +251,26 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kv: %w", err)
 	}
+	place, err := replica.NewPlacement(ring, cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	sel, err := replica.NewSelector(cfg.selectorPolicy(), est, seed^0x5e1ec7)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
 	c := &Client{
-		cfg:      cfg,
-		ring:     ring,
-		est:      est,
-		start:    time.Now(),
-		conns:    make(map[sched.ServerID]*clientConn, len(cfg.Servers)),
-		redialAt: make(map[sched.ServerID]time.Time, len(cfg.Servers)),
-		rng:      rand.New(rand.NewPCG(seed, seed^0xda5c0def00d)),
+		cfg:       cfg,
+		ring:      ring,
+		est:       est,
+		place:     place,
+		sel:       sel,
+		vclock:    replica.NewClock(nil),
+		start:     time.Now(),
+		conns:     make(map[sched.ServerID]*clientConn, len(cfg.Servers)),
+		redialAt:  make(map[sched.ServerID]time.Time, len(cfg.Servers)),
+		repairing: make(map[string]bool),
+		rng:       rand.New(rand.NewPCG(seed, seed^0xda5c0def00d)),
 	}
 	for id, addr := range cfg.Servers {
 		cc, err := c.dial(id, addr)
@@ -290,7 +348,8 @@ func (c *Client) retrySleep(ctx context.Context, attempt int) error {
 	}
 }
 
-// Close tears down all connections; in-flight calls fail.
+// Close tears down all connections; in-flight calls fail. Background
+// read-repair goroutines are drained before Close returns.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -306,6 +365,12 @@ func (c *Client) Close() error {
 	for _, cc := range conns {
 		cc.shutdown(ErrClientClosed)
 	}
+	// Refuse new repair launches, then wait out the in-flight ones —
+	// with the connections gone they fail fast.
+	c.repairMu.Lock()
+	c.repairClosed = true
+	c.repairMu.Unlock()
+	c.repairWG.Wait()
 	return nil
 }
 
@@ -401,13 +466,19 @@ func (c *Client) Delete(ctx context.Context, key string) error {
 }
 
 // fanoutWrite sends a write to every replica holder and waits for all.
-// It reports whether any replica answered StatusOK.
+// Replicated puts are stamped with one last-writer-wins version from
+// the client's clock, so partial fan-outs reconcile deterministically
+// under read-repair. It reports whether any replica answered StatusOK.
 func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, value []byte, ttl time.Duration) (bool, error) {
 	ctx, cancel := c.opCtx(ctx)
 	defer cancel()
-	replicas := c.ring.LookupN(key, c.cfg.Replicas)
+	var version uint64
+	if typ == wire.OpPut && c.cfg.Replicas > 1 {
+		version = uint64(c.vclock.Next())
+	}
+	replicas := c.place.For(key)
 	if len(replicas) == 1 {
-		resp, err := c.doTTL(ctx, typ, key, value, replicas[0], ttl)
+		resp, err := c.doTTL(ctx, typ, key, value, replicas[0], ttl, version)
 		if err != nil {
 			return false, err
 		}
@@ -421,7 +492,7 @@ func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, v
 	for _, server := range replicas {
 		server := server
 		go func() {
-			resp, err := c.doTTL(ctx, typ, key, value, server, ttl)
+			resp, err := c.doTTL(ctx, typ, key, value, server, ttl, version)
 			if err != nil {
 				results <- outcome{err: err}
 				return
@@ -444,32 +515,19 @@ func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, v
 	return anyOK, nil
 }
 
-// readReplica picks the serving replica for a read of key at time now.
-func (c *Client) readReplica(key string, demand, now time.Duration) sched.ServerID {
-	if c.cfg.Replicas <= 1 {
-		return c.ring.Lookup(key)
-	}
-	cands := c.ring.LookupN(key, c.cfg.Replicas)
-	if c.cfg.ReadFrom == FastestRead && c.cfg.Adaptive {
-		// ExpectedFinish carries the down-server quarantine penalty, so
-		// this path routes around dead replicas automatically.
-		best := cands[0]
-		bestFinish := c.est.ExpectedFinish(best, demand, now)
-		for _, s := range cands[1:] {
-			if f := c.est.ExpectedFinish(s, demand, now); f < bestFinish {
-				best, bestFinish = s, f
-			}
-		}
-		return best
-	}
-	// Primary read: still step past a primary currently marked down —
-	// dispatching to a known corpse only burns a retry.
-	for _, s := range cands {
-		if !c.est.Down(s, now) {
-			return s
-		}
-	}
-	return cands[0]
+// routeRead picks the serving replica for a read of key at time now and
+// records the dispatch in the selector's in-flight accounting; every
+// routeRead must be balanced by exactly one retireRead.
+func (c *Client) routeRead(key string, demand, now time.Duration) sched.ServerID {
+	s := c.sel.Pick(c.place.For(key), demand, now)
+	c.sel.OnDispatch(s)
+	return s
+}
+
+// retireRead retires one dispatched read (response arrived or the
+// attempt died).
+func (c *Client) retireRead(server sched.ServerID) {
+	c.sel.OnComplete(server)
 }
 
 // MGet fetches many keys in parallel — the end-user request whose
@@ -493,8 +551,11 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 	ops := make([]*sched.Op, len(keys))
 	for i, k := range keys {
 		demand := c.cfg.Demand(wire.OpGet, len(k), 0)
+		// Routing the batch sequentially lets the selector's in-flight
+		// accounting spread a wide multiget across replicas instead of
+		// dogpiling the holder that looked best a microsecond ago.
 		ops[i] = &sched.Op{
-			Server: c.readReplica(k, demand, now),
+			Server: c.routeRead(k, demand, now),
 			Key:    k,
 			Demand: demand,
 		}
@@ -536,12 +597,18 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 }
 
 // getOp resolves one read operation, retrying transport failures with
-// backoff and re-routing. found distinguishes "value exists" from a
-// definitive not-found.
+// backoff and re-routing to sibling replicas. found distinguishes
+// "value exists" from a definitive not-found. A read that succeeded
+// only after failing over schedules read-repair for the key: the
+// failed holder may have missed writes while unreachable.
 func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found bool, err error) {
 	for attempt := 0; ; attempt++ {
-		value, found, err = c.tryGet(ctx, op)
+		value, _, found, err = c.tryGet(ctx, op)
+		c.retireRead(op.Server)
 		if err == nil {
+			if attempt > 0 {
+				c.maybeRepair(op.Key)
+			}
 			return value, found, nil
 		}
 		if ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
@@ -557,19 +624,20 @@ func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found b
 		// replicated key lands on a healthy holder; re-stamp tags for
 		// the fresh dispatch.
 		rnow := c.now()
-		op.Server = c.readReplica(op.Key, op.Demand, rnow)
+		op.Server = c.routeRead(op.Key, op.Demand, rnow)
 		core.Tag([]*sched.Op{op}, c.taggingEst(), rnow)
 	}
 }
 
-// tryGet performs a single dispatch of one read operation.
-func (c *Client) tryGet(ctx context.Context, op *sched.Op) ([]byte, bool, error) {
+// tryGet performs a single dispatch of one read operation; the caller
+// owns the selector's in-flight accounting for op.Server.
+func (c *Client) tryGet(ctx context.Context, op *sched.Op) ([]byte, uint64, bool, error) {
 	cc, err := c.conn(op.Server)
 	if err != nil {
 		if errors.Is(err, ErrClientClosed) {
-			return nil, false, err
+			return nil, 0, false, err
 		}
-		return nil, false, fmt.Errorf("%w: %w", ErrUnavailable, err)
+		return nil, 0, false, fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 	id := c.nextID.Add(1)
 	ch := cc.register(id)
@@ -583,35 +651,148 @@ func (c *Client) tryGet(ctx context.Context, op *sched.Op) ([]byte, bool, error)
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)
 		c.noteServerFailure(op.Server)
-		return nil, false, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
+		return nil, 0, false, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, false, fmt.Errorf("%w: connection to server %d lost awaiting %q",
+			return nil, 0, false, fmt.Errorf("%w: connection to server %d lost awaiting %q",
 				ErrUnavailable, op.Server, op.Key)
 		}
 		switch resp.Status {
 		case wire.StatusOK:
-			return resp.Value, true, nil
+			return resp.Value, resp.Version, true, nil
 		case wire.StatusNotFound:
-			return nil, false, nil
+			return nil, 0, false, nil
 		case wire.StatusDeadlineExceeded:
-			return nil, false, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
+			return nil, 0, false, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
 				op.Server, op.Key, context.DeadlineExceeded)
 		default:
-			return nil, false, fmt.Errorf("kv: server error for key %q", op.Key)
+			return nil, 0, false, fmt.Errorf("kv: server error for key %q", op.Key)
 		}
 	case <-ctx.Done():
 		cc.unregister(id)
-		return nil, false, ctx.Err()
+		return nil, 0, false, ctx.Err()
 	}
+}
+
+// getFrom performs one direct versioned read against a specific replica
+// holder, bypassing selection (used by read-repair to audit every
+// holder).
+func (c *Client) getFrom(ctx context.Context, server sched.ServerID, key string) replica.ReadResult {
+	now := c.now()
+	op := &sched.Op{
+		Server: server,
+		Key:    key,
+		Demand: c.cfg.Demand(wire.OpGet, len(key), 0),
+	}
+	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
+	value, version, found, err := c.tryGet(ctx, op)
+	return replica.ReadResult{
+		Server: server, Value: value, Version: replica.Version(version),
+		Found: found, Err: err,
+	}
+}
+
+// readRepairTimeout bounds a background repair when the client has no
+// configured RequestTimeout.
+const readRepairTimeout = 5 * time.Second
+
+// Repair synchronously reconciles key's replica set: it reads every
+// holder, finds the newest version, and replays that write onto
+// reachable holders that missed it (last-writer-wins, so replaying is
+// idempotent). It returns how many replicas were brought up to date; a
+// non-nil error reports the first holder that could not be read or
+// repaired, alongside whatever repairs did land. With Replicas <= 1
+// there is nothing to reconcile.
+func (c *Client) Repair(ctx context.Context, key string) (int, error) {
+	if c.cfg.Replicas <= 1 {
+		return 0, nil
+	}
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
+	holders := c.place.For(key)
+	reads := make([]replica.ReadResult, len(holders))
+	var wg sync.WaitGroup
+	for i, server := range holders {
+		i, server := i, server
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reads[i] = c.getFrom(ctx, server, key)
+		}()
+	}
+	wg.Wait()
+	var firstErr error
+	for _, r := range reads {
+		if r.Err != nil {
+			firstErr = fmt.Errorf("kv: repair %q: read server %d: %w", key, r.Server, r.Err)
+			break
+		}
+	}
+	fixed := 0
+	for _, rep := range replica.Repairs(reads) {
+		resp, err := c.doTTL(ctx, wire.OpPut, key, rep.Value, rep.Server, 0, uint64(rep.Version))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("kv: repair %q: write server %d: %w", key, rep.Server, err)
+			}
+			continue
+		}
+		if resp.Status == wire.StatusOK {
+			fixed++
+		}
+	}
+	return fixed, firstErr
+}
+
+// maybeRepair launches one background repair for key, deduplicating
+// concurrent triggers and respecting NoReadRepair / single-replica
+// configurations.
+func (c *Client) maybeRepair(key string) {
+	if c.cfg.Replicas <= 1 || c.cfg.NoReadRepair {
+		return
+	}
+	c.repairMu.Lock()
+	if c.repairClosed || c.repairing[key] {
+		c.repairMu.Unlock()
+		return
+	}
+	c.repairing[key] = true
+	c.repairWG.Add(1)
+	c.repairMu.Unlock()
+	go func() {
+		defer c.repairWG.Done()
+		timeout := c.cfg.RequestTimeout
+		if timeout <= 0 {
+			timeout = readRepairTimeout
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		_, _ = c.Repair(ctx, key)
+		cancel()
+		c.repairMu.Lock()
+		delete(c.repairing, key)
+		c.repairMu.Unlock()
+	}()
+}
+
+// KeyReplicas returns key's replica holders in placement priority order
+// (the first is the ring primary).
+func (c *Client) KeyReplicas(key string) []sched.ServerID {
+	return c.place.For(key)
+}
+
+// ReplicaScores ranks key's replica holders by the selector's current
+// adaptive view, best first — the introspection behind kvctl's
+// `replicas` subcommand.
+func (c *Client) ReplicaScores(key string) []replica.Score {
+	return c.sel.Scores(c.place.For(key), c.cfg.Demand(wire.OpGet, len(key), 0), c.now())
 }
 
 // do executes one single-key operation against a specific server with
 // fresh tags.
 func (c *Client) do(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID) (*wire.Response, error) {
-	return c.doTTL(ctx, typ, key, value, server, 0)
+	return c.doTTL(ctx, typ, key, value, server, 0, 0)
 }
 
 // doCAS sends one compare-and-swap to the key's primary.
@@ -656,8 +837,9 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 	}
 }
 
-// doTTL is do with an expiry for PUT operations.
-func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID, ttl time.Duration) (*wire.Response, error) {
+// doTTL is do with an expiry and a last-writer-wins version tag for PUT
+// operations (version 0 = unversioned).
+func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID, ttl time.Duration, version uint64) (*wire.Response, error) {
 	now := c.now()
 	op := &sched.Op{
 		Server: server,
@@ -674,6 +856,7 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 	req := wire.Request{
 		ID: id, Type: typ, Key: key, Value: value, Tags: wireTags(op),
 		TTLNanos: int64(ttl), DeadlineNanos: deadlineBudget(ctx),
+		Version: version,
 	}
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)
@@ -848,7 +1031,8 @@ func (cc *clientConn) readLoop() {
 		value := make([]byte, len(resp.Value))
 		copy(value, resp.Value)
 		delivery := wire.Response{
-			ID: resp.ID, Status: resp.Status, Value: value, Feedback: resp.Feedback,
+			ID: resp.ID, Status: resp.Status, Value: value,
+			Feedback: resp.Feedback, Version: resp.Version,
 		}
 		if cc.client.cfg.Adaptive {
 			cc.client.est.Observe(core.Feedback{

@@ -1,0 +1,210 @@
+package kv
+
+// Replication chaos and smoke tests: with R-way placement the client
+// must mask a replica crash mid-multiget (no PartialError, unlike the
+// R=1 scenario in TestMultigetPartialOnServerCrash), and read-repair
+// must converge a replica that missed a write.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// startReplicatedCluster boots n loopback servers with the given per-op
+// cost and a client configured for R-way replication.
+func startReplicatedCluster(t *testing.T, n, replicas int, cost CostModel, cc ClientConfig) ([]*Server, *Client) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make(map[sched.ServerID]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(ServerConfig{
+			ID:          sched.ServerID(i),
+			Addr:        "127.0.0.1:0",
+			Cost:        cost,
+			Replication: replicas,
+		})
+		if err != nil {
+			t.Fatalf("NewServer %d: %v", i, err)
+		}
+		servers[i] = srv
+		addrs[srv.ID()] = srv.Addr()
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+	cc.Servers = addrs
+	cc.Replicas = replicas
+	client, err := NewClient(cc)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return servers, client
+}
+
+// TestReplicatedMGetMasksCrash is the replication headline: the same
+// kill-one-server-mid-multiget script that produces a PartialError at
+// R=1 must complete fully at R=3 — every op on the dead holder fails
+// over to a sibling replica.
+func TestReplicatedMGetMasksCrash(t *testing.T) {
+	cost := func(wire.OpType, int, int) time.Duration { return 10 * time.Millisecond }
+	servers, client := startReplicatedCluster(t, 3, 3, cost, ClientConfig{
+		Adaptive:         true,
+		ReadFrom:         FastestRead,
+		ReadRetries:      3,
+		RetryBackoff:     5 * time.Millisecond,
+		ReconnectBackoff: 50 * time.Millisecond,
+		Seed:             7,
+	})
+	ctx := context.Background()
+	keys := make([]string, 24)
+	values := make(map[string]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("masked-%03d", i)
+		values[keys[i]] = fmt.Sprintf("v%d", i)
+		if err := client.Put(ctx, keys[i], []byte(values[keys[i]])); err != nil {
+			t.Fatalf("Put %s: %v", keys[i], err)
+		}
+	}
+
+	mctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	type mgetResult struct {
+		res map[string][]byte
+		err error
+	}
+	done := make(chan mgetResult, 1)
+	go func() {
+		res, merr := client.MGet(mctx, keys)
+		done <- mgetResult{res, merr}
+	}()
+	// Kill one holder while the 10ms/op queue still has most of the
+	// batch pending; with every key held 3-way the client must finish
+	// the request from the survivors.
+	time.Sleep(30 * time.Millisecond)
+	if err := servers[0].Close(); err != nil {
+		t.Fatalf("kill server 0: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("replicated MGet must mask the crash, got %v", r.err)
+	}
+	for _, k := range keys {
+		if got := string(r.res[k]); got != values[k] {
+			t.Fatalf("key %s = %q, want %q", k, got, values[k])
+		}
+	}
+}
+
+// TestReplicatedSmoke is the CI smoke scenario: a 3-server loopback
+// cluster at R=2 serving versioned writes, failover-capable reads, and
+// placement introspection.
+func TestReplicatedSmoke(t *testing.T) {
+	_, client := startReplicatedCluster(t, 3, 2, nil, ClientConfig{
+		Adaptive:     true,
+		ReadFrom:     FastestRead,
+		ReadRetries:  1,
+		RetryBackoff: 5 * time.Millisecond,
+		Seed:         3,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const n = 50
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("smoke-%03d", i)
+		if err := client.Put(ctx, keys[i], []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	res, err := client.MGet(ctx, keys)
+	if err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	for i, k := range keys {
+		if got := string(res[k]); got != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %s = %q", k, got)
+		}
+	}
+	// Overwrites win: last writer's value is what reads return.
+	if err := client.Put(ctx, keys[0], []byte("v0-new")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if v, err := client.Get(ctx, keys[0]); err != nil || string(v) != "v0-new" {
+		t.Fatalf("after overwrite: %q, %v", v, err)
+	}
+	// Placement and selector introspection agree on the replica set.
+	holders := client.KeyReplicas(keys[0])
+	if len(holders) != 2 || holders[0] == holders[1] {
+		t.Fatalf("KeyReplicas = %v, want 2 distinct servers", holders)
+	}
+	scores := client.ReplicaScores(keys[0])
+	if len(scores) != 2 {
+		t.Fatalf("ReplicaScores returned %d entries, want 2", len(scores))
+	}
+	// A healthy, consistent key needs no repair.
+	if fixed, err := client.Repair(ctx, keys[0]); err != nil || fixed != 0 {
+		t.Fatalf("Repair on consistent key: fixed=%d err=%v", fixed, err)
+	}
+	// Deletes propagate to every holder.
+	if err := client.Delete(ctx, keys[1]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := client.Get(ctx, keys[1]); err != ErrNotFound {
+		t.Fatalf("Get after Delete: %v, want ErrNotFound", err)
+	}
+}
+
+// TestRepairConvergesDivergedReplica diverges one holder behind the
+// client's back (as a missed write during an outage would) and checks
+// that Repair pushes the newest version onto it.
+func TestRepairConvergesDivergedReplica(t *testing.T) {
+	servers, client := startReplicatedCluster(t, 2, 2, nil, ClientConfig{
+		Adaptive: true,
+		Seed:     5,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const key = "diverged"
+	if err := client.Put(ctx, key, []byte("new")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Roll one replica's copy back to an older version directly in its
+	// store: the replicated put stamped both holders with the same
+	// version, so halving it is strictly older.
+	holders := client.KeyReplicas(key)
+	var victim *Server
+	for _, srv := range servers {
+		if srv.ID() == holders[1] {
+			victim = srv
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no server for holder %v", holders[1])
+	}
+	_, cur, ok := victim.store.GetVersioned(key)
+	if !ok || cur == 0 {
+		t.Fatalf("victim copy missing or unversioned (ver=%d ok=%v)", cur, ok)
+	}
+	victim.store.Delete(key)
+	if applied, _ := victim.store.PutVersioned(key, []byte("old"), 0, cur/2); !applied {
+		t.Fatal("seeding the stale copy failed")
+	}
+
+	fixed, err := client.Repair(ctx, key)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if fixed != 1 {
+		t.Fatalf("Repair fixed %d replicas, want 1", fixed)
+	}
+	v, ver, ok := victim.store.GetVersioned(key)
+	if !ok || !bytes.Equal(v, []byte("new")) || ver != cur {
+		t.Fatalf("after repair victim holds %q ver=%d (ok=%v), want %q ver=%d", v, ver, ok, "new", cur)
+	}
+}

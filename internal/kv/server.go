@@ -46,6 +46,12 @@ type ServerConfig struct {
 	// fault injection (internal/fault) uses to corrupt, stall, or kill
 	// a server's traffic in chaos tests without touching the data path.
 	WrapConn func(net.Conn) net.Conn
+	// Replication is the cluster's intended replication factor,
+	// advertised in stats so operators and tooling can see what R the
+	// deployment was provisioned for (default 1). Placement itself is
+	// client-side; the server's only replication duty is the versioned
+	// store, which is always on.
+	Replication int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -60,6 +66,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = 30 * time.Second
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
 	}
 	return c
 }
@@ -93,6 +102,7 @@ type pendingOp struct {
 	id       uint64
 	ttl      time.Duration
 	oldValue []byte
+	version  uint64
 	// deadline is the server-clock instant after which the op is shed
 	// instead of served (0 = none), anchored at arrival from the
 	// client's remaining-budget duration.
@@ -205,6 +215,7 @@ func (s *Server) statsLocked() wire.ServerStats {
 		Keys:         s.store.Len(),
 		UptimeNanos:  int64(time.Since(s.start)),
 		Policy:       s.queue.Name(),
+		Replication:  s.cfg.Replication,
 	}
 }
 
@@ -354,6 +365,7 @@ func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
 			id: req.ID, ttl: time.Duration(req.TTLNanos),
 			oldValue: append([]byte(nil), req.OldValue...),
 			deadline: arrivalDeadline(now, req.DeadlineNanos),
+			version:  req.Version,
 		},
 	}
 	s.mu.Lock()
@@ -441,13 +453,17 @@ func (s *Server) serve(op *sched.Op) {
 	}
 	switch p.typ {
 	case wire.OpGet:
-		if v, found := s.store.Get(p.key); found {
+		if v, ver, found := s.store.GetVersioned(p.key); found {
 			resp.Value = v
+			resp.Version = ver
 		} else {
 			resp.Status = wire.StatusNotFound
 		}
 	case wire.OpPut:
-		s.store.PutTTL(p.key, p.value, p.ttl)
+		// A stale versioned put is not an error: last-writer-wins means
+		// the caller's write was simply superseded; the response carries
+		// the winning version either way.
+		_, resp.Version = s.store.PutVersioned(p.key, p.value, p.ttl, p.version)
 	case wire.OpDelete:
 		if !s.store.Delete(p.key) {
 			resp.Status = wire.StatusNotFound

@@ -23,9 +23,12 @@ import (
 // keeps the index computation a mask.
 const storeShards = 64
 
-// entry is one stored value with optional expiry.
+// entry is one stored value with optional expiry and its last-writer-
+// wins version tag (unversioned writes get small local monotonic tags;
+// replicated writes carry wall-anchored tags from replica.Clock).
 type entry struct {
 	value     []byte
+	version   uint64
 	expiresAt time.Time // zero = never
 }
 
@@ -85,16 +88,58 @@ func (s *Store) Put(key string, value []byte) {
 // PutTTL stores a copy of value under key, expiring after ttl
 // (0 = never).
 func (s *Store) PutTTL(key string, value []byte, ttl time.Duration) {
+	s.PutVersioned(key, value, ttl, 0)
+}
+
+// GetVersioned returns a copy of the value for key along with its
+// stored version tag (0 for entries written unversioned).
+func (s *Store) GetVersioned(key string) (value []byte, version uint64, ok bool) {
+	now := s.now()
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, exists := sh.m[key]
+	if !exists || e.expired(now) {
+		sh.mu.RUnlock()
+		return nil, 0, false
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	sh.mu.RUnlock()
+	return out, e.version, true
+}
+
+// PutVersioned stores a copy of value under key iff version is not
+// older than the version currently held — the last-writer-wins rule
+// that makes replicated write fan-out and read-repair idempotent and
+// convergent. version 0 means "unversioned": always applied, stamped
+// one past the stored version so a repair never clobbers it with an
+// equal tag. It reports whether the write was applied and the version
+// now stored (the winner's, either way).
+func (s *Store) PutVersioned(key string, value []byte, ttl time.Duration, version uint64) (applied bool, stored uint64) {
 	v := make([]byte, len(value))
 	copy(v, value)
+	now := s.now()
 	var exp time.Time
 	if ttl > 0 {
-		exp = s.now().Add(ttl)
+		exp = now.Add(ttl)
 	}
 	sh := s.shard(key)
 	sh.mu.Lock()
-	sh.m[key] = entry{value: v, expiresAt: exp}
-	sh.mu.Unlock()
+	defer sh.mu.Unlock()
+	e, exists := sh.m[key]
+	live := exists && !e.expired(now)
+	switch {
+	case version == 0:
+		if live {
+			version = e.version + 1
+		} else {
+			version = 1
+		}
+	case live && version < e.version:
+		return false, e.version // stale write loses
+	}
+	sh.m[key] = entry{value: v, version: version, expiresAt: exp}
+	return true, version
 }
 
 // CompareAndSwap atomically replaces key's value with newValue iff the
@@ -119,7 +164,7 @@ func (s *Store) CompareAndSwap(key string, oldValue, newValue []byte) bool {
 	}
 	v := make([]byte, len(newValue))
 	copy(v, newValue)
-	sh.m[key] = entry{value: v}
+	sh.m[key] = entry{value: v, version: e.version + 1}
 	return true
 }
 
@@ -190,6 +235,7 @@ type snapshotRecord struct {
 	Key               string `json:"k"`
 	Value             []byte `json:"v"`
 	ExpiresAtUnixNano int64  `json:"exp,omitempty"`
+	Version           uint64 `json:"ver,omitempty"`
 }
 
 // SaveTo writes a point-in-time snapshot as JSON lines. Expired entries
@@ -206,7 +252,7 @@ func (s *Store) SaveTo(w io.Writer) error {
 			if e.expired(now) {
 				continue
 			}
-			rec := snapshotRecord{Key: k, Value: e.value}
+			rec := snapshotRecord{Key: k, Value: e.value, Version: e.version}
 			if !e.expiresAt.IsZero() {
 				rec.ExpiresAtUnixNano = e.expiresAt.UnixNano()
 			}
@@ -249,7 +295,7 @@ func (s *Store) LoadFrom(r io.Reader) error {
 		copy(v, rec.Value)
 		sh := s.shard(rec.Key)
 		sh.mu.Lock()
-		sh.m[rec.Key] = entry{value: v, expiresAt: exp}
+		sh.m[rec.Key] = entry{value: v, version: rec.Version, expiresAt: exp}
 		sh.mu.Unlock()
 	}
 }

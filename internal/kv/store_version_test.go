@@ -1,0 +1,92 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPutVersionedLastWriterWins(t *testing.T) {
+	s := NewStore()
+	if applied, stored := s.PutVersioned("k", []byte("v20"), 0, 20); !applied || stored != 20 {
+		t.Fatalf("first versioned put: applied=%v stored=%d", applied, stored)
+	}
+	// A stale write loses and reports the winner.
+	if applied, stored := s.PutVersioned("k", []byte("v10"), 0, 10); applied || stored != 20 {
+		t.Fatalf("stale put: applied=%v stored=%d, want rejected at 20", applied, stored)
+	}
+	if v, ver, ok := s.GetVersioned("k"); !ok || ver != 20 || !bytes.Equal(v, []byte("v20")) {
+		t.Fatalf("after stale put: %q ver=%d ok=%v", v, ver, ok)
+	}
+	// An equal version re-applies (idempotent repair replay).
+	if applied, _ := s.PutVersioned("k", []byte("v20"), 0, 20); !applied {
+		t.Fatal("equal-version replay rejected")
+	}
+	// A newer write wins.
+	if applied, stored := s.PutVersioned("k", []byte("v30"), 0, 30); !applied || stored != 30 {
+		t.Fatalf("newer put: applied=%v stored=%d", applied, stored)
+	}
+}
+
+func TestPutUnversionedStampsMonotonically(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("a"))
+	_, v1, _ := s.GetVersioned("k")
+	if v1 == 0 {
+		t.Fatal("unversioned put left version 0")
+	}
+	s.Put("k", []byte("b"))
+	_, v2, _ := s.GetVersioned("k")
+	if v2 <= v1 {
+		t.Fatalf("unversioned overwrite did not advance version: %d then %d", v1, v2)
+	}
+	// A repair replaying the old version must not clobber the newer
+	// unversioned write.
+	if applied, _ := s.PutVersioned("k", []byte("a"), 0, v1); applied {
+		t.Fatal("stale repair clobbered a newer unversioned write")
+	}
+	if got, _ := s.Get("k"); !bytes.Equal(got, []byte("b")) {
+		t.Fatalf("value = %q, want %q", got, "b")
+	}
+}
+
+func TestCASAdvancesVersion(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("old"))
+	_, before, _ := s.GetVersioned("k")
+	if !s.CompareAndSwap("k", []byte("old"), []byte("new")) {
+		t.Fatal("CAS failed")
+	}
+	_, after, _ := s.GetVersioned("k")
+	if after <= before {
+		t.Fatalf("CAS did not advance version: %d then %d", before, after)
+	}
+}
+
+func TestVersionSurvivesSnapshot(t *testing.T) {
+	s := NewStore()
+	s.PutVersioned("k", []byte("v"), 0, 1234)
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+	restored := NewStore()
+	if err := restored.LoadFrom(&buf); err != nil {
+		t.Fatalf("LoadFrom: %v", err)
+	}
+	if _, ver, ok := restored.GetVersioned("k"); !ok || ver != 1234 {
+		t.Fatalf("restored version %d ok=%v, want 1234", ver, ok)
+	}
+}
+
+func TestVersionedPutOverExpiredEntry(t *testing.T) {
+	s := NewStore()
+	s.now = func() time.Time { return time.Unix(100, 0) }
+	s.PutVersioned("k", []byte("old"), time.Second, 50)
+	s.now = func() time.Time { return time.Unix(200, 0) }
+	// The stored entry expired: even an older version applies (the
+	// expired tag carries no authority).
+	if applied, stored := s.PutVersioned("k", []byte("new"), 0, 10); !applied || stored != 10 {
+		t.Fatalf("put over expired entry: applied=%v stored=%d", applied, stored)
+	}
+}

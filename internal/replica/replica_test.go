@@ -1,0 +1,317 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/topology"
+)
+
+func testRing(t *testing.T, n int) *topology.Ring {
+	t.Helper()
+	ids := make([]sched.ServerID, n)
+	for i := range ids {
+		ids[i] = sched.ServerID(i)
+	}
+	ring, err := topology.NewRing(ids, 64)
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	return ring
+}
+
+func TestPlacementDistinctAndStable(t *testing.T) {
+	ring := testRing(t, 5)
+	p, err := NewPlacement(ring, 3)
+	if err != nil {
+		t.Fatalf("placement: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		holders := p.For(key)
+		if len(holders) != 3 {
+			t.Fatalf("key %q: %d holders, want 3", key, len(holders))
+		}
+		seen := map[sched.ServerID]bool{}
+		for _, h := range holders {
+			if seen[h] {
+				t.Fatalf("key %q: duplicate holder %d in %v", key, h, holders)
+			}
+			seen[h] = true
+		}
+		if holders[0] != p.Primary(key) {
+			t.Fatalf("key %q: first holder %d != primary %d", key, holders[0], p.Primary(key))
+		}
+		again := p.For(key)
+		for j := range holders {
+			if holders[j] != again[j] {
+				t.Fatalf("key %q: placement not deterministic: %v vs %v", key, holders, again)
+			}
+		}
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	ring := testRing(t, 3)
+	if _, err := NewPlacement(ring, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if _, err := NewPlacement(ring, 4); err == nil {
+		t.Fatal("factor beyond cluster size accepted")
+	}
+	if _, err := NewPlacement(nil, 1); err == nil {
+		t.Fatal("nil ring accepted")
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("parse %q: %v", name, err)
+		}
+		if p.String() != name {
+			t.Fatalf("round trip %q -> %v -> %q", name, int(p), p.String())
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	sel, err := NewSelector(RoundRobin, nil, 1)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	cands := []sched.ServerID{3, 1, 4}
+	counts := map[sched.ServerID]int{}
+	for i := 0; i < 99; i++ {
+		counts[sel.Pick(cands, time.Millisecond, 0)]++
+	}
+	for _, c := range cands {
+		if counts[c] != 33 {
+			t.Fatalf("server %d picked %d times, want 33 (%v)", c, counts[c], counts)
+		}
+	}
+}
+
+func TestRandomCoversAllReplicas(t *testing.T) {
+	sel, err := NewSelector(Random, nil, 42)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	cands := []sched.ServerID{0, 1, 2}
+	counts := map[sched.ServerID]int{}
+	for i := 0; i < 300; i++ {
+		counts[sel.Pick(cands, time.Millisecond, 0)]++
+	}
+	for _, c := range cands {
+		if counts[c] < 50 {
+			t.Fatalf("server %d picked only %d/300 times", c, counts[c])
+		}
+	}
+}
+
+func TestLeastOutstandingAvoidsLoadedReplica(t *testing.T) {
+	sel, err := NewSelector(LeastOutstanding, nil, 1)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	cands := []sched.ServerID{0, 1, 2}
+	sel.OnDispatch(0)
+	sel.OnDispatch(0)
+	sel.OnDispatch(1)
+	if got := sel.Pick(cands, time.Millisecond, 0); got != 2 {
+		t.Fatalf("picked %d, want idle server 2", got)
+	}
+	sel.OnComplete(0)
+	sel.OnComplete(0)
+	if got := sel.Pick(cands, time.Millisecond, 0); got != 0 {
+		t.Fatalf("picked %d, want drained server 0 (ties break in placement order)", got)
+	}
+	// Completions never drive a counter negative.
+	sel.OnComplete(2)
+	if got := sel.Outstanding(2); got != 0 {
+		t.Fatalf("outstanding(2) = %d after spurious complete", got)
+	}
+}
+
+func TestAdaptivePrefersFastIdleReplica(t *testing.T) {
+	est, err := core.NewEstimator(core.DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatalf("estimator: %v", err)
+	}
+	sel, err := NewSelector(Adaptive, est, 1)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	now := 100 * time.Millisecond
+	// Server 0: deep backlog. Server 1: idle but half speed. Server 2:
+	// idle at nominal speed — the obvious winner.
+	est.Observe(core.Feedback{Server: 0, Backlog: 500 * time.Millisecond, Speed: 1, At: now})
+	est.Observe(core.Feedback{Server: 1, Backlog: 0, Speed: 0.5, At: now})
+	est.Observe(core.Feedback{Server: 2, Backlog: 0, Speed: 1, At: now})
+	cands := []sched.ServerID{0, 1, 2}
+	if got := sel.Pick(cands, 10*time.Millisecond, now); got != 2 {
+		t.Fatalf("picked %d, want idle nominal-speed server 2", got)
+	}
+}
+
+func TestAdaptiveInFlightCompensation(t *testing.T) {
+	est, err := core.NewEstimator(core.DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatalf("estimator: %v", err)
+	}
+	sel, err := NewSelector(Adaptive, est, 1)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	now := time.Millisecond
+	est.Observe(core.Feedback{Server: 0, Backlog: 0, Speed: 1, At: now})
+	est.Observe(core.Feedback{Server: 1, Backlog: 0, Speed: 1, At: now})
+	cands := []sched.ServerID{0, 1}
+	// Identical feedback: placement order wins.
+	if got := sel.Pick(cands, time.Millisecond, now); got != 0 {
+		t.Fatalf("picked %d, want primary 0 on identical views", got)
+	}
+	// Pile this client's own dispatches onto 0; the stale-free feedback
+	// still says "idle", but the compensation term must steer away.
+	for i := 0; i < 3; i++ {
+		sel.OnDispatch(0)
+	}
+	if got := sel.Pick(cands, time.Millisecond, now); got != 1 {
+		t.Fatalf("picked %d, want 1 once 0 has in-flight load", got)
+	}
+}
+
+func TestAdaptiveRoutesAroundDownReplica(t *testing.T) {
+	est, err := core.NewEstimator(core.DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatalf("estimator: %v", err)
+	}
+	sel, err := NewSelector(Adaptive, est, 1)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	now := time.Millisecond
+	est.Observe(core.Feedback{Server: 0, Backlog: 0, Speed: 1, At: now})
+	est.Observe(core.Feedback{Server: 1, Backlog: 200 * time.Millisecond, Speed: 1, At: now})
+	est.MarkDown(0, now)
+	if got := sel.Pick([]sched.ServerID{0, 1}, time.Millisecond, now); got != 1 {
+		t.Fatalf("picked %d, want healthy-but-loaded 1 over quarantined 0", got)
+	}
+	scores := sel.Scores([]sched.ServerID{0, 1}, time.Millisecond, now)
+	if scores[0].Server != 1 || scores[1].Server != 0 || !scores[1].Down {
+		t.Fatalf("scores not ranked healthy-first: %+v", scores)
+	}
+}
+
+func TestPrimaryStepsPastDownHolder(t *testing.T) {
+	est, err := core.NewEstimator(core.DefaultEstimatorConfig())
+	if err != nil {
+		t.Fatalf("estimator: %v", err)
+	}
+	sel, err := NewSelector(Primary, est, 1)
+	if err != nil {
+		t.Fatalf("selector: %v", err)
+	}
+	cands := []sched.ServerID{7, 8, 9}
+	if got := sel.Pick(cands, time.Millisecond, 0); got != 7 {
+		t.Fatalf("picked %d, want primary 7", got)
+	}
+	est.MarkDown(7, 0)
+	if got := sel.Pick(cands, time.Millisecond, 0); got != 8 {
+		t.Fatalf("picked %d, want first healthy successor 8", got)
+	}
+}
+
+func TestClockMonotonicAndWallAnchored(t *testing.T) {
+	wall := int64(1000)
+	c := NewClock(func() int64 { return wall })
+	v1 := c.Next()
+	if v1 != 1000 {
+		t.Fatalf("first version %d, want wall anchor 1000", v1)
+	}
+	// Wall stalls: versions still advance.
+	v2 := c.Next()
+	if v2 <= v1 {
+		t.Fatalf("version did not advance: %d then %d", v1, v2)
+	}
+	// Wall steps backwards: monotonic floor holds.
+	wall = 5
+	if v3 := c.Next(); v3 <= v2 {
+		t.Fatalf("version regressed with wall clock: %d then %d", v2, v3)
+	}
+	// Wall jumps ahead: versions follow.
+	wall = 50_000
+	if v4 := c.Next(); v4 != 50_000 {
+		t.Fatalf("version %d did not follow wall jump to 50000", v4)
+	}
+}
+
+func TestRepairsConvergeStaleAndMissingReplicas(t *testing.T) {
+	reads := []ReadResult{
+		{Server: 0, Value: []byte("new"), Version: 30, Found: true},
+		{Server: 1, Value: []byte("old"), Version: 10, Found: true},
+		{Server: 2, Found: false},
+		{Server: 3, Err: fmt.Errorf("down")},
+	}
+	newest, ok := Newest(reads)
+	if !ok || newest.Server != 0 || string(newest.Value) != "new" {
+		t.Fatalf("newest = %+v ok=%v, want server 0 'new'", newest, ok)
+	}
+	plan := Repairs(reads)
+	if len(plan) != 2 {
+		t.Fatalf("plan %+v, want repairs for servers 1 and 2", plan)
+	}
+	for _, r := range plan {
+		if r.Server != 1 && r.Server != 2 {
+			t.Fatalf("unexpected repair target %d", r.Server)
+		}
+		if string(r.Value) != "new" || r.Version != 30 {
+			t.Fatalf("repair %+v does not push the newest write", r)
+		}
+	}
+}
+
+func TestRepairsNoopWhenConverged(t *testing.T) {
+	reads := []ReadResult{
+		{Server: 0, Value: []byte("v"), Version: 7, Found: true},
+		{Server: 1, Value: []byte("v"), Version: 7, Found: true},
+	}
+	if plan := Repairs(reads); len(plan) != 0 {
+		t.Fatalf("converged replicas produced repairs: %+v", plan)
+	}
+	// All-missing: nothing to push, and deletes are never resurrected.
+	none := []ReadResult{{Server: 0}, {Server: 1}}
+	if plan := Repairs(none); len(plan) != 0 {
+		t.Fatalf("missing-everywhere produced repairs: %+v", plan)
+	}
+	// Unversioned values carry no order: leave them alone.
+	legacy := []ReadResult{
+		{Server: 0, Value: []byte("a"), Version: 0, Found: true},
+		{Server: 1, Found: false},
+	}
+	if plan := Repairs(legacy); len(plan) != 0 {
+		t.Fatalf("unversioned value produced repairs: %+v", plan)
+	}
+}
+
+func TestSelectorSingleCandidateFastPath(t *testing.T) {
+	for p := Primary; p <= Adaptive; p++ {
+		sel, err := NewSelector(p, nil, 1)
+		if err != nil {
+			t.Fatalf("selector %v: %v", p, err)
+		}
+		if got := sel.Pick([]sched.ServerID{5}, time.Millisecond, 0); got != 5 {
+			t.Fatalf("%v picked %d from single-candidate set", p, got)
+		}
+	}
+	if _, err := NewSelector(Policy(99), nil, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

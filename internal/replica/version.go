@@ -1,0 +1,116 @@
+package replica
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Version is a per-key last-writer-wins tag. Writers stamp every
+// replicated put with one version and fan it out; replicas apply a put
+// only if its version is not older than what they hold, so replays and
+// out-of-order repairs are idempotent and every replica converges to the
+// newest write. Zero means "unversioned" (the seed's single-copy write
+// path).
+type Version uint64
+
+// Clock issues monotonically increasing versions anchored to wall time:
+// each version is max(previous+1, now-nanos). Anchoring to the wall
+// clock makes versions comparable across client processes (within clock
+// skew — see the consistency caveats in docs/ARCHITECTURE.md), while
+// the monotonic floor keeps a single client strictly ordered even if
+// its wall clock steps backwards.
+type Clock struct {
+	now  func() int64
+	last atomic.Uint64
+}
+
+// NewClock returns a wall-anchored version clock. now may be nil (wall
+// time); tests inject a fake for determinism.
+func NewClock(now func() int64) *Clock {
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Clock{now: now}
+}
+
+// Next issues the next version.
+func (c *Clock) Next() Version {
+	wall := c.now()
+	if wall < 1 {
+		wall = 1
+	}
+	for {
+		prev := c.last.Load()
+		next := uint64(wall)
+		if next <= prev {
+			next = prev + 1
+		}
+		if c.last.CompareAndSwap(prev, next) {
+			return Version(next)
+		}
+	}
+}
+
+// ReadResult is one replica's answer to a versioned read, the input to
+// the read-repair planner.
+type ReadResult struct {
+	Server  sched.ServerID
+	Value   []byte
+	Version Version
+	// Found distinguishes "holds the key" from a definitive miss.
+	Found bool
+	// Err marks a replica that could not be read (crashed, timed out);
+	// it is never chosen as authoritative and never repaired.
+	Err error
+}
+
+// Newest returns the authoritative result among reads: the highest
+// version among found replicas. ok is false when no reachable replica
+// holds the key.
+func Newest(reads []ReadResult) (ReadResult, bool) {
+	var best ReadResult
+	ok := false
+	for _, r := range reads {
+		if r.Err != nil || !r.Found {
+			continue
+		}
+		if !ok || r.Version > best.Version {
+			best, ok = r, true
+		}
+	}
+	return best, ok
+}
+
+// Repair is one convergence write: push Value at Version to Server.
+type Repair struct {
+	Server  sched.ServerID
+	Value   []byte
+	Version Version
+}
+
+// Repairs plans the writes that converge stale replicas onto the newest
+// found version: every reachable replica that misses the key or holds an
+// older version gets the newest value re-pushed (version-guarded, so a
+// concurrent fresher write at the replica wins anyway). An empty plan
+// means the reachable replicas already agree (or none holds the key —
+// the planner never resurrects deletes).
+func Repairs(reads []ReadResult) []Repair {
+	newest, ok := Newest(reads)
+	if !ok || newest.Version == 0 {
+		// Unversioned values carry no order; rewriting them could
+		// clobber a newer unversioned write.
+		return nil
+	}
+	var plan []Repair
+	for _, r := range reads {
+		if r.Err != nil || r.Server == newest.Server {
+			continue
+		}
+		if !r.Found || r.Version < newest.Version {
+			plan = append(plan, Repair{Server: r.Server, Value: newest.Value, Version: newest.Version})
+		}
+	}
+	return plan
+}

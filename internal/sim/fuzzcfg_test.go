@@ -52,7 +52,7 @@ func TestRandomConfigSpaceQuick(t *testing.T) {
 		}
 		if rng.IntN(3) == 0 && servers >= 3 {
 			cfg.Replicas = 2 + rng.IntN(2) // 2..3, always <= servers
-			cfg.ReplicaSelect = ReplicaPolicy(rng.IntN(3))
+			cfg.ReplicaSelect = ReplicaPolicy(rng.IntN(5))
 		}
 		if rng.IntN(4) == 0 {
 			cfg.Preemptive = true

@@ -18,6 +18,7 @@ import (
 	"github.com/daskv/daskv/internal/des"
 	"github.com/daskv/daskv/internal/dist"
 	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/replica"
 	"github.com/daskv/daskv/internal/sched"
 	"github.com/daskv/daskv/internal/topology"
 	"github.com/daskv/daskv/internal/workload"
@@ -115,7 +116,9 @@ type Config struct {
 	SeriesWindow time.Duration
 }
 
-// ReplicaPolicy selects which replica serves a read.
+// ReplicaPolicy selects which replica serves a read. Each maps onto a
+// replica.Selector policy, so the simulator and the live client route
+// through identical selection code.
 type ReplicaPolicy int
 
 // Replica selection strategies.
@@ -126,10 +129,32 @@ const (
 	// RandomReplica spreads reads uniformly over the replica set.
 	RandomReplica
 	// FastestReplica reads the replica with the earliest estimated
-	// finish per the client's adaptive view — an extension combining
-	// DAS's estimator with load-aware replica selection.
+	// finish per the client's adaptive view, with Tars-style in-flight
+	// compensation — an extension combining DAS's estimator with
+	// load-aware replica selection.
 	FastestReplica
+	// RoundRobinReplica rotates reads over the replica set.
+	RoundRobinReplica
+	// LeastOutstandingReplica reads the replica with the fewest of the
+	// issuing client's operations in flight.
+	LeastOutstandingReplica
 )
+
+// selectorPolicy maps the simulator policy onto the replica package's.
+func (p ReplicaPolicy) selectorPolicy() replica.Policy {
+	switch p {
+	case RandomReplica:
+		return replica.Random
+	case FastestReplica:
+		return replica.Adaptive
+	case RoundRobinReplica:
+		return replica.RoundRobin
+	case LeastOutstandingReplica:
+		return replica.LeastOutstanding
+	default:
+		return replica.Primary
+	}
+}
 
 func (c Config) withDefaults() Config {
 	if c.Vnodes == 0 {
@@ -187,7 +212,7 @@ func (c Config) validate() error {
 	if c.ClosedLoop > 0 && len(c.Trace) > 0 {
 		return fmt.Errorf("sim: closed-loop mode cannot replay a trace (trace arrivals are open-loop)")
 	}
-	if c.ReplicaSelect < PrimaryReplica || c.ReplicaSelect > FastestReplica {
+	if c.ReplicaSelect < PrimaryReplica || c.ReplicaSelect > LeastOutstandingReplica {
 		return fmt.Errorf("sim: unknown replica policy %d", c.ReplicaSelect)
 	}
 	if c.HedgeDelay < 0 {
@@ -308,7 +333,19 @@ func Run(cfg Config) (*Result, error) {
 		if cerr != nil {
 			return nil, fmt.Errorf("sim: %w", cerr)
 		}
-		s.clients[i] = &client{sim: s, est: est}
+		// The selector only consults the estimator when the run is
+		// adaptive; otherwise FastestReplica degrades to primary order,
+		// matching the live client's static-tagging mode.
+		var selEst *core.Estimator
+		if cfg.Adaptive {
+			selEst = est
+		}
+		sel, serr := replica.NewSelector(cfg.ReplicaSelect.selectorPolicy(), selEst,
+			cfg.Seed^(uint64(i)*0x9e3779b9+0x5e1ec7))
+		if serr != nil {
+			return nil, fmt.Errorf("sim: %w", serr)
+		}
+		s.clients[i] = &client{sim: s, est: est, sel: sel}
 	}
 	if cfg.SeriesWindow > 0 {
 		// Horizon estimate, padded 2x for drain.
@@ -446,7 +483,7 @@ func (s *simulator) admit(wr workload.Request) {
 		ops[i] = &sched.Op{
 			Request: wr.ID,
 			Index:   i,
-			Server:  s.chooseReplica(spec.Key, spec.Demand, est, now),
+			Server:  cl.route(spec.Key, spec.Demand, now),
 			Key:     spec.Key,
 			Demand:  spec.Demand,
 			Payload: &opState{req: req},
@@ -485,6 +522,7 @@ func (s *simulator) armHedge(op *sched.Op) {
 		if alt == op.Server {
 			return
 		}
+		state.req.client.sel.OnDispatch(alt)
 		dup := &sched.Op{
 			Request: op.Request,
 			Index:   op.Index,
@@ -549,30 +587,19 @@ func (s *simulator) oracleTag(ops []*sched.Op, now time.Duration) {
 	}
 }
 
-// chooseReplica routes a key to one of its replica holders.
-func (s *simulator) chooseReplica(key string, demand time.Duration, est *core.Estimator, now time.Duration) sched.ServerID {
-	if s.cfg.Replicas <= 1 {
-		return s.ring.Lookup(key)
+// route picks the serving replica for one operation through the shared
+// replica.Selector (identical code to the live client) and records the
+// dispatch for in-flight accounting; every dispatch is retired in
+// onResponse.
+func (cl *client) route(key string, demand, now time.Duration) sched.ServerID {
+	var server sched.ServerID
+	if cl.sim.cfg.Replicas <= 1 {
+		server = cl.sim.ring.Lookup(key)
+	} else {
+		server = cl.sel.Pick(cl.sim.ring.LookupN(key, cl.sim.cfg.Replicas), demand, now)
 	}
-	cands := s.ring.LookupN(key, s.cfg.Replicas)
-	switch s.cfg.ReplicaSelect {
-	case RandomReplica:
-		return cands[s.net.IntN(len(cands))]
-	case FastestReplica:
-		if est == nil {
-			return cands[0]
-		}
-		best := cands[0]
-		bestFinish := est.ExpectedFinish(best, demand, now)
-		for _, c := range cands[1:] {
-			if f := est.ExpectedFinish(c, demand, now); f < bestFinish {
-				best, bestFinish = c, f
-			}
-		}
-		return best
-	default:
-		return cands[0]
-	}
+	cl.sel.OnDispatch(server)
+	return server
 }
 
 // server is one simulated key-value node.
@@ -718,10 +745,14 @@ func (sv *server) complete(op *sched.Op, speed float64) {
 type client struct {
 	sim *simulator
 	est *core.Estimator
+	sel *replica.Selector
 }
 
 func (cl *client) onResponse(state *opState, fb core.Feedback) {
 	now := cl.sim.eng.Now()
+	// Retire the dispatch against the answering server (hedged
+	// duplicates were each recorded, so each response balances one).
+	cl.sel.OnComplete(fb.Server)
 	if cl.sim.cfg.Adaptive {
 		cl.est.Observe(fb)
 	}

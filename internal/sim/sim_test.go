@@ -329,7 +329,10 @@ func TestRunReplicaValidation(t *testing.T) {
 }
 
 func TestRunReplicationCompletes(t *testing.T) {
-	for _, sel := range []ReplicaPolicy{PrimaryReplica, RandomReplica, FastestReplica} {
+	for _, sel := range []ReplicaPolicy{
+		PrimaryReplica, RandomReplica, FastestReplica,
+		RoundRobinReplica, LeastOutstandingReplica,
+	} {
 		cfg := testConfig(t, core.Factory(core.DefaultOptions()), true, 0.6, 1500)
 		cfg.Replicas = 3
 		cfg.ReplicaSelect = sel

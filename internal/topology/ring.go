@@ -93,7 +93,12 @@ func (r *Ring) Lookup(key string) sched.ServerID {
 }
 
 // LookupN returns up to n distinct servers for key, walking the ring
-// clockwise: the primary followed by replica holders.
+// clockwise: the primary followed by replica holders. Virtual nodes of
+// a server already collected are skipped, so the successor set never
+// contains the same physical server twice — the invariant replica
+// placement depends on. Deduplication scans the small result slice
+// instead of allocating a set: n is the replication factor (single
+// digits), and this sits on the per-operation routing path.
 func (r *Ring) LookupN(key string, n int) []sched.ServerID {
 	if n <= 0 {
 		return nil
@@ -102,14 +107,15 @@ func (r *Ring) LookupN(key string, n int) []sched.ServerID {
 		n = len(r.members)
 	}
 	out := make([]sched.ServerID, 0, n)
-	seen := make(map[sched.ServerID]bool, n)
 	start := r.search(hashString(key))
+walk:
 	for i := 0; len(out) < n && i < len(r.hashes); i++ {
 		s := r.owners[(start+i)%len(r.hashes)]
-		if seen[s] {
-			continue
+		for _, have := range out {
+			if have == s {
+				continue walk
+			}
 		}
-		seen[s] = true
 		out = append(out, s)
 	}
 	return out

@@ -63,3 +63,45 @@ func TestAddServerMovesOnlyNewOwnership(t *testing.T) {
 		}
 	}
 }
+
+// TestLookupNDistinctExhaustive is the regression net for successor-set
+// deduplication: with many virtual nodes per server, consecutive ring
+// positions frequently belong to the same server, and a dedup bug would
+// hand replica placement the same physical server twice. Checked for
+// every replication factor up to the cluster size, across membership
+// churn (vnode arrays are rebuilt on add/remove).
+func TestLookupNDistinctExhaustive(t *testing.T) {
+	r, err := NewRing(servers(6), 256)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	check := func(stage string, members int) {
+		t.Helper()
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("churn-key-%d", i)
+			for n := 1; n <= members; n++ {
+				set := r.LookupN(k, n)
+				if len(set) != n {
+					t.Fatalf("%s: LookupN(%q,%d) = %d servers", stage, k, n, len(set))
+				}
+				for a := 0; a < len(set); a++ {
+					for b := a + 1; b < len(set); b++ {
+						if set[a] == set[b] {
+							t.Fatalf("%s: LookupN(%q,%d) duplicate server %d in %v",
+								stage, k, n, set[a], set)
+						}
+					}
+				}
+			}
+		}
+	}
+	check("initial", 6)
+	if err := r.RemoveServer(sched.ServerID(2)); err != nil {
+		t.Fatalf("RemoveServer: %v", err)
+	}
+	check("after remove", 5)
+	if err := r.AddServer(sched.ServerID(9)); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	check("after add", 6)
+}

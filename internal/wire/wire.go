@@ -105,6 +105,11 @@ type Request struct {
 	// its own arrival clock and sheds the op with
 	// StatusDeadlineExceeded if the budget is exhausted before service.
 	DeadlineNanos int64
+	// Version is the last-writer-wins tag of a replicated PUT (0 =
+	// unversioned): the server applies the write only if it is not
+	// older than the version it holds, making write fan-out and
+	// read-repair idempotent and convergent.
+	Version uint64
 }
 
 // Feedback is the server-state snapshot piggybacked on every response.
@@ -122,6 +127,9 @@ type Response struct {
 	Status   Status
 	Value    []byte
 	Feedback Feedback
+	// Version is the stored version of the key a GET returned (or a
+	// PUT resulted in); 0 for unversioned entries and non-data ops.
+	Version uint64
 }
 
 // ServerStats is the JSON document returned for OpStats requests.
@@ -134,6 +142,9 @@ type ServerStats struct {
 	Keys         int     `json:"keys"`
 	UptimeNanos  int64   `json:"uptimeNanos"`
 	Policy       string  `json:"policy"`
+	// Replication is the replication factor the node was provisioned
+	// for (informational; placement is client-side).
+	Replication int `json:"replication,omitempty"`
 }
 
 // Writer encodes frames onto an io.Writer. Not safe for concurrent use.
@@ -162,6 +173,7 @@ func (w *Writer) WriteRequest(r *Request) error {
 	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.TTLNanos))
 	w.buf = appendBytes(w.buf, r.OldValue)
 	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.DeadlineNanos))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, r.Version)
 	return w.flushFrame()
 }
 
@@ -174,6 +186,7 @@ func (w *Writer) WriteResponse(r *Response) error {
 	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.QueueLen)
 	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Feedback.BacklogNanos))
 	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.SpeedMilli)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, r.Version)
 	return w.flushFrame()
 }
 
@@ -252,6 +265,7 @@ func (r *Reader) ReadRequest(req *Request) error {
 	req.TTLNanos = int64(d.u64())
 	req.OldValue = append(req.OldValue[:0], d.bytes()...)
 	req.DeadlineNanos = int64(d.u64())
+	req.Version = d.u64()
 	if d.err != nil {
 		return ErrBadMessage
 	}
@@ -278,6 +292,7 @@ func (r *Reader) ReadResponse(resp *Response) error {
 	resp.Feedback.QueueLen = d.u32()
 	resp.Feedback.BacklogNanos = int64(d.u64())
 	resp.Feedback.SpeedMilli = d.u32()
+	resp.Version = d.u64()
 	if d.err != nil {
 		return ErrBadMessage
 	}

@@ -24,6 +24,7 @@ func TestRequestRoundTrip(t *testing.T) {
 			DemandNanos:     800_000,
 			Fanout:          7,
 		},
+		Version: 1_722_000_000_123,
 	}
 	if err := w.WriteRequest(&want); err != nil {
 		t.Fatalf("WriteRequest: %v", err)
@@ -41,6 +42,9 @@ func TestRequestRoundTrip(t *testing.T) {
 	if got.Tags != want.Tags {
 		t.Fatalf("tags = %+v, want %+v", got.Tags, want.Tags)
 	}
+	if got.Version != want.Version {
+		t.Fatalf("version = %d, want %d", got.Version, want.Version)
+	}
 }
 
 func TestResponseRoundTrip(t *testing.T) {
@@ -55,6 +59,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			BacklogNanos: 9_000_000,
 			SpeedMilli:   850,
 		},
+		Version: 77,
 	}
 	if err := w.WriteResponse(&want); err != nil {
 		t.Fatalf("WriteResponse: %v", err)
@@ -68,6 +73,9 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if got.Feedback != want.Feedback {
 		t.Fatalf("feedback = %+v, want %+v", got.Feedback, want.Feedback)
+	}
+	if got.Version != want.Version {
+		t.Fatalf("version = %d, want %d", got.Version, want.Version)
 	}
 	if len(got.Value) != 0 {
 		t.Fatalf("value = %q, want empty", got.Value)
