@@ -150,6 +150,10 @@ func run() error {
 		res.RCT.P99().Round(time.Microsecond))
 	fmt.Printf("op queue wait mean %v, mean queue length %.1f\n",
 		res.QueueWait.Mean().Round(time.Microsecond), res.MeanQueueLen)
+	if d := res.Decisions; d != nil {
+		fmt.Printf("sched decisions   %d pushed: %d srpt-first, %d lrpt-last (%d near boundary), %d promoted\n",
+			d.Pushed, d.SRPTFirst, d.LRPTDemoted, d.NearBoundary, d.Promotions)
+	}
 	if *cdf {
 		fmt.Println("fraction  rct")
 		for _, pt := range res.RCT.CDF(21) {

@@ -6,7 +6,13 @@
 //	kvctl -servers 0=127.0.0.1:7100,1=127.0.0.1:7101 put greeting hello
 //	kvctl -servers 0=127.0.0.1:7100,1=127.0.0.1:7101 get greeting
 //	kvctl -servers ...                              mget k1 k2 k3
+//	kvctl -servers ...                              trace k1 k2 k3
 //	kvctl -servers ...                              bench -clients 16 -seconds 10
+//
+// `trace` runs a multiget and then renders its recorded per-operation
+// timeline — which replica served each key, queue wait vs service time,
+// scheduling class, and which op was the straggler that set the request
+// completion time (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -51,7 +57,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|cas|stats|replicas|repair|fill|watch|bench> [args]")
+		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|trace|cas|stats|replicas|repair|fill|watch|bench> [args]")
 	}
 
 	var servers map[sched.ServerID]string
@@ -111,16 +117,32 @@ func run() error {
 		}
 		res, err := client.MGet(ctx, args[1:])
 		return cli.RenderMGet(os.Stdout, args[1:], res, err)
+	case "trace":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: kvctl trace KEY...")
+		}
+		res, err := client.MGet(ctx, args[1:])
+		renderErr := cli.RenderMGet(os.Stdout, args[1:], res, err)
+		if renderErr != nil && !errors.Is(renderErr, cli.ErrDegraded) {
+			return renderErr
+		}
+		traces := client.Traces(1)
+		if len(traces) == 0 {
+			return fmt.Errorf("no trace recorded (tracing disabled?)")
+		}
+		fmt.Println()
+		cli.RenderTrace(os.Stdout, traces[0])
+		return renderErr
 	case "stats":
-		fmt.Printf("%-7s %-10s %8s %8s %12s %8s %8s %10s\n",
-			"server", "policy", "served", "queue", "backlog", "speed", "keys", "uptime")
+		fmt.Printf("%-7s %-10s %8s %8s %8s %8s %12s %8s %8s %10s\n",
+			"server", "policy", "served", "shed", "errors", "queue", "backlog", "speed", "keys", "uptime")
 		for _, id := range client.Servers() {
 			st, err := client.Stats(ctx, id)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-7d %-10s %8d %8d %12v %8.2f %8d %10v\n",
-				st.Server, st.Policy, st.Served, st.QueueLen,
+			fmt.Printf("%-7d %-10s %8d %8d %8d %8d %12v %8.2f %8d %10v\n",
+				st.Server, st.Policy, st.Served, st.Shed, st.Errors, st.QueueLen,
 				time.Duration(st.BacklogNanos).Round(time.Microsecond),
 				st.Speed, st.Keys,
 				time.Duration(st.UptimeNanos).Round(time.Second))

@@ -1,0 +1,69 @@
+// Command kvmetricslint checks a Prometheus text exposition for
+// structural problems: duplicate series, samples missing a TYPE
+// declaration, duplicate or malformed TYPE lines, and unparseable
+// values. CI's metrics-smoke job runs it against a live kvserver's
+// /metrics endpoint; it also reads files or stdin:
+//
+//	kvmetricslint http://127.0.0.1:7900/metrics
+//	kvmetricslint exposition.txt
+//	curl -s host:port/metrics | kvmetricslint
+//
+// It exits 0 on a clean exposition and 1 with one problem per line on
+// stderr otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/daskv/daskv/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kvmetricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: kvmetricslint [URL|FILE] (default stdin)")
+	}
+	var src io.Reader = os.Stdin
+	name := "stdin"
+	if len(args) == 1 {
+		name = args[0]
+		switch {
+		case strings.HasPrefix(name, "http://"), strings.HasPrefix(name, "https://"):
+			resp, err := http.Get(name)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = resp.Body.Close() }()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("%s: HTTP %s", name, resp.Status)
+			}
+			src = resp.Body
+		default:
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }()
+			src = f
+		}
+	}
+	problems := metrics.LintExposition(src)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s: %d problem(s)", name, len(problems))
+	}
+	fmt.Printf("%s: exposition clean\n", name)
+	return nil
+}

@@ -43,6 +43,7 @@ func run() error {
 		dataPath    = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
 		replication = flag.Int("replication", 1, "replication factor the cluster runs with (informational; placement is client-side)")
 		metrics     = flag.String("metrics", "", "optional HTTP listen address for /stats, /metrics, /healthz")
+		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -metrics listener")
 		faultSpec   = flag.String("fault", "", "inject a connection fault, MODE[:ARG][:PROB] — e.g. delay:5ms:0.5, corrupt, stall, drop:0.1")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
 	)
@@ -91,13 +92,19 @@ func run() error {
 
 	var metricsSrv *http.Server
 	if *metrics != "" {
-		metricsSrv = &http.Server{Addr: *metrics, Handler: kv.NewMetricsHandler(srv)}
+		handler := kv.NewMetricsHandlerWith(srv, kv.MetricsHandlerConfig{EnablePprof: *pprofOn})
+		metricsSrv = &http.Server{Addr: *metrics, Handler: handler}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "kvserver: metrics listener:", err)
 			}
 		}()
 		fmt.Printf("kvserver %d metrics on http://%s/metrics\n", *id, *metrics)
+		if *pprofOn {
+			fmt.Printf("kvserver %d pprof on http://%s/debug/pprof/\n", *id, *metrics)
+		}
+	} else if *pprofOn {
+		return fmt.Errorf("-pprof requires -metrics to name a listen address")
 	}
 
 	sig := make(chan os.Signal, 1)

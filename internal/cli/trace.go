@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/daskv/daskv/internal/kv"
+)
+
+// traceTimelineWidth is the character budget for the ASCII fan-out
+// timeline; each op's bar is scaled into it relative to the RCT.
+const traceTimelineWidth = 40
+
+// RenderTrace writes one multiget's end-to-end timeline: a summary
+// line, a per-operation table (server, attempts, wait/service split,
+// scheduling class), and an ASCII fan-out chart where each bar spans
+// the op's [Start, End] on the shared request clock. The straggler —
+// the op that set the request completion time — is flagged with `*` in
+// both views, which is where a tail-latency diagnosis starts (see
+// docs/OBSERVABILITY.md for a worked example).
+func RenderTrace(w io.Writer, tr kv.RequestTrace) {
+	fmt.Fprintf(w, "request #%d  fanout=%d  rct=%s", tr.Seq, tr.Fanout, fmtDur(tr.RCT))
+	if tr.Partial {
+		fmt.Fprint(w, "  PARTIAL")
+	}
+	fmt.Fprintln(w)
+	if len(tr.Ops) == 0 {
+		return
+	}
+
+	keyW := len("KEY")
+	for i := range tr.Ops {
+		if n := len(tr.Ops[i].Key); n > keyW {
+			keyW = n
+		}
+	}
+	fmt.Fprintf(w, "  %-*s  %-6s  %-3s  %-8s  %-8s  %-8s  %-8s  %-12s  %s\n",
+		keyW, "KEY", "SERVER", "TRY", "START", "END", "WAIT", "SERVICE", "CLASS", "NOTE")
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		fmt.Fprintf(w, "  %-*s  %-6s  %-3d  %-8s  %-8s  %-8s  %-8s  %-12s  %s\n",
+			keyW, op.Key, fmt.Sprintf("s%d", op.Server), op.Attempts,
+			fmtDur(op.Start), fmtDur(op.End), fmtDur(op.Wait), fmtDur(op.Service),
+			op.Class, opNote(op))
+	}
+
+	fmt.Fprintln(w)
+	span := tr.RCT
+	if span <= 0 {
+		span = 1
+	}
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		lead := int(int64(traceTimelineWidth) * int64(op.Start) / int64(span))
+		bar := int(int64(traceTimelineWidth)*int64(op.End)/int64(span)) - lead
+		if bar < 1 {
+			bar = 1
+		}
+		if lead+bar > traceTimelineWidth {
+			lead = traceTimelineWidth - bar
+			if lead < 0 {
+				lead = 0
+			}
+		}
+		mark := " "
+		if op.Straggler {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "  %-*s %s|%s%s| %s\n",
+			keyW, op.Key, mark,
+			strings.Repeat(" ", lead), strings.Repeat("=", bar), fmtDur(op.End))
+	}
+	if s := tr.Straggler(); s != nil {
+		fmt.Fprintf(w, "  * straggler: %s on s%d set the rct (net+client overhead %s of %s)\n",
+			s.Key, s.Server, fmtDur(s.End-s.Start-s.Wait-s.Service), fmtDur(s.End-s.Start))
+	}
+}
+
+// opNote summarizes an op's outcome for the trace table.
+func opNote(op *kv.OpTrace) string {
+	switch {
+	case op.Err != "":
+		return "ERROR " + op.Err
+	case !op.Found:
+		return "not found"
+	case op.Straggler:
+		return fmt.Sprintf("straggler, %dB", op.Bytes)
+	default:
+		return fmt.Sprintf("%dB", op.Bytes)
+	}
+}
+
+// fmtDur rounds a duration for column display (µs under 10ms, else
+// 10µs precision) so the table stays readable.
+func fmtDur(d time.Duration) string {
+	if d < 10*time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Microsecond).String()
+}

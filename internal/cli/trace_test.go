@@ -1,0 +1,89 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/kv"
+)
+
+func sampleTrace() kv.RequestTrace {
+	return kv.RequestTrace{
+		Seq:            7,
+		RCT:            4 * time.Millisecond,
+		Fanout:         3,
+		StragglerIndex: 1,
+		Ops: []kv.OpTrace{
+			{Index: 0, Key: "alpha", Server: 1, Replicas: 2, Attempts: 1,
+				Start: 10 * time.Microsecond, End: time.Millisecond,
+				Wait: 100 * time.Microsecond, Service: 400 * time.Microsecond,
+				Class: "srpt-first", Bytes: 12, Found: true},
+			{Index: 1, Key: "bravo", Server: 2, Replicas: 2, Attempts: 2,
+				Start: 15 * time.Microsecond, End: 4 * time.Millisecond,
+				Wait: 2 * time.Millisecond, Service: time.Millisecond,
+				Class: "lrpt-last", Bytes: 9000, Found: true, Straggler: true},
+			{Index: 2, Key: "charlie", Server: 3, Replicas: 2, Attempts: 1,
+				Start: 12 * time.Microsecond, End: 800 * time.Microsecond,
+				Class: "srpt-first", Found: false},
+		},
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	var sb strings.Builder
+	RenderTrace(&sb, sampleTrace())
+	out := sb.String()
+	for _, want := range []string{
+		"request #7",
+		"fanout=3",
+		"rct=4ms",
+		"alpha", "bravo", "charlie",
+		"s2", // straggler's server in the table
+		"lrpt-last",
+		"not found",
+		"* straggler: bravo on s2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	// The straggler's bar must be flagged and reach the full timeline
+	// width; the fast op's must not.
+	var straggler, fast string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && strings.Contains(line, "bravo") {
+			straggler = line
+		}
+		if strings.Contains(line, "|") && strings.Contains(line, "alpha") {
+			fast = line
+		}
+	}
+	if straggler == "" || fast == "" {
+		t.Fatalf("timeline rows missing:\n%s", out)
+	}
+	if !strings.Contains(straggler, "*|") {
+		t.Fatalf("straggler row not flagged: %q", straggler)
+	}
+	if strings.Count(straggler, "=") <= strings.Count(fast, "=") {
+		t.Fatalf("straggler bar (%d) not longer than fast bar (%d)",
+			strings.Count(straggler, "="), strings.Count(fast, "="))
+	}
+}
+
+func TestRenderTracePartialAndEmpty(t *testing.T) {
+	var sb strings.Builder
+	tr := sampleTrace()
+	tr.Partial = true
+	tr.Ops[2].Err = "boom"
+	RenderTrace(&sb, tr)
+	if out := sb.String(); !strings.Contains(out, "PARTIAL") || !strings.Contains(out, "ERROR boom") {
+		t.Fatalf("partial trace output:\n%s", out)
+	}
+
+	sb.Reset()
+	RenderTrace(&sb, kv.RequestTrace{Seq: 1, StragglerIndex: -1})
+	if out := sb.String(); strings.Contains(out, "KEY") {
+		t.Fatalf("empty trace should have no table:\n%s", out)
+	}
+}

@@ -94,6 +94,7 @@ type DAS struct {
 	fifoHead int
 
 	backlog time.Duration
+	stats   sched.DecisionStats
 }
 
 var _ sched.Policy = (*DAS)(nil)
@@ -143,20 +144,47 @@ var _ sched.Keyer = (*DAS)(nil)
 //     stale estimate into the request's permanent straggler.
 func (q *DAS) key(op *sched.Op) float64 {
 	k := float64(op.Tags.RemainingTime) + q.opts.Alpha*float64(op.Enqueued)
+	if fire, _ := q.demote(op); fire {
+		k += q.opts.Beta * float64(op.Tags.RemainingTime)
+	}
+	return k
+}
+
+// demote evaluates the LRPT-last firing rule for op: fire is whether
+// the slack demotion applies, near is whether the op's slack fell
+// within ±10% of the firing boundary — the band where queue-wait
+// estimate noise could have flipped the decision (counted in
+// DecisionStats.NearBoundary so the signal's margin is observable).
+func (q *DAS) demote(op *sched.Op) (fire, near bool) {
 	threshold := q.opts.SlackThreshold
 	if threshold == 0 {
 		threshold = 1
 	}
-	if float64(op.Tags.Slack()) > threshold*float64(op.Tags.RemainingTime) {
-		k += q.opts.Beta * float64(op.Tags.RemainingTime)
-	}
-	return k
+	slack := float64(op.Tags.Slack())
+	edge := threshold * float64(op.Tags.RemainingTime)
+	fire = slack > edge
+	near = edge > 0 && slack > 0.9*edge && slack < 1.1*edge
+	return fire, near
 }
 
 // Push implements sched.Policy.
 func (q *DAS) Push(op *sched.Op, now time.Duration) {
 	op.Enqueued = now
 	q.backlog += op.Demand
+	fire, near := q.demote(op)
+	q.stats.Pushed++
+	if near {
+		q.stats.NearBoundary++
+	}
+	// Beta 0 keeps the classification honest in the ablation: the
+	// slack term is disabled, so nothing is really demoted.
+	if fire && q.opts.Beta > 0 {
+		q.stats.LRPTDemoted++
+		op.Class = sched.ClassLRPTLast
+	} else {
+		q.stats.SRPTFirst++
+		op.Class = sched.ClassSRPTFirst
+	}
 	heap.Push((*dasHeap)(q), op)
 	if q.opts.MaxDelay > 0 {
 		q.fifo = append(q.fifo, op)
@@ -172,6 +200,8 @@ func (q *DAS) Pop(now time.Duration) *sched.Op {
 		q.fifoHead++
 		heap.Remove((*dasHeap)(q), dasHeapIndex(old))
 		q.backlog -= old.Demand
+		q.stats.Promotions++
+		old.Class = sched.ClassPromoted
 		return old
 	}
 	op, ok := heap.Pop((*dasHeap)(q)).(*sched.Op)
@@ -207,6 +237,13 @@ func (q *DAS) oldest() *sched.Op {
 	}
 	return nil
 }
+
+// Decisions implements sched.DecisionReporter: the queue's ordering
+// decision counters since construction. The caller serializes it with
+// Push/Pop like any Policy access.
+func (q *DAS) Decisions() sched.DecisionStats { return q.stats }
+
+var _ sched.DecisionReporter = (*DAS)(nil)
 
 // Len implements sched.Policy.
 func (q *DAS) Len() int { return len(q.ops) }

@@ -283,3 +283,57 @@ func TestDASSlackThresholdConfigurable(t *testing.T) {
 		t.Fatal("negative threshold should error")
 	}
 }
+
+func TestDASDecisionStats(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 1, MaxDelay: 10 * time.Millisecond})
+	// One plain SRPT push, one demoted push (slack beyond remaining).
+	srpt := dasOp(1, 20*time.Millisecond, 0)
+	demoted := dasOp(2, 20*time.Millisecond, 50*time.Millisecond)
+	q.Push(srpt, 0)
+	q.Push(demoted, 0)
+	d := q.Decisions()
+	if d.Pushed != 2 || d.SRPTFirst != 1 || d.LRPTDemoted != 1 {
+		t.Fatalf("decisions after pushes = %+v", d)
+	}
+	if srpt.Class != sched.ClassSRPTFirst || demoted.Class != sched.ClassLRPTLast {
+		t.Fatalf("classes = %v / %v", srpt.Class, demoted.Class)
+	}
+	// Let the demoted op exceed MaxDelay: it is promoted past priority.
+	if got := q.Pop(0); got.Request != 1 {
+		t.Fatalf("first pop = request %d, want 1", got.Request)
+	}
+	if got := q.Pop(20 * time.Millisecond); got.Request != 2 {
+		t.Fatalf("promoted pop = request %d, want 2", got.Request)
+	} else if got.Class != sched.ClassPromoted {
+		t.Fatalf("promoted op class = %v, want promoted", got.Class)
+	}
+	if d := q.Decisions(); d.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", d.Promotions)
+	}
+}
+
+func TestDASNearBoundaryCounted(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 1})
+	// Slack at 1.05x remaining falls inside the ±10% boundary band.
+	q.Push(dasOp(1, 20*time.Millisecond, 21*time.Millisecond), 0)
+	// Slack at 2.5x remaining is far from the boundary.
+	q.Push(dasOp(2, 20*time.Millisecond, 50*time.Millisecond), 0)
+	d := q.Decisions()
+	if d.NearBoundary != 1 {
+		t.Fatalf("near-boundary = %d, want 1 (stats %+v)", d.NearBoundary, d)
+	}
+}
+
+func TestDASBetaZeroClassifiesSRPT(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 0})
+	op := dasOp(1, 20*time.Millisecond, time.Hour)
+	q.Push(op, 0)
+	// With the slack term ablated nothing is really demoted, so the
+	// classification must stay honest.
+	if op.Class != sched.ClassSRPTFirst {
+		t.Fatalf("class = %v, want srpt-first under Beta=0", op.Class)
+	}
+	if d := q.Decisions(); d.LRPTDemoted != 0 || d.SRPTFirst != 1 {
+		t.Fatalf("decisions = %+v", d)
+	}
+}

@@ -16,6 +16,11 @@
 // Determinism: all probabilistic decisions (which byte to flip, whether
 // to drop a write) derive from a PCG stream seeded at construction, so a
 // failing chaos run reproduces from its seed.
+//
+// Injected faults surface in the observability layer like real ones:
+// shed operations count toward kv_deadline_shed_total, failed dispatches
+// toward the client's retry counter, and a fault-lengthened op shows up
+// as the straggler in `kvctl trace` (see docs/OBSERVABILITY.md).
 package fault
 
 import (

@@ -9,7 +9,7 @@ import (
 )
 
 func TestScheduleTimeline(t *testing.T) {
-	s := NewSchedule().Crash(100 * time.Millisecond).Recover(300 * time.Millisecond).
+	s := NewSchedule().Crash(100*time.Millisecond).Recover(300*time.Millisecond).
 		Brownout(500*time.Millisecond, 0.25)
 	cases := []struct {
 		at   time.Duration

@@ -162,7 +162,15 @@ type ClientConfig struct {
 	// the hook fault injection uses to corrupt or stall client-side
 	// traffic in tests.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// TraceDepth is how many recent multiget traces the client retains
+	// for Client.Traces and kvctl's `trace` subcommand (0 = the
+	// default of 64; negative disables tracing). Each retained trace
+	// costs one OpTrace per operation.
+	TraceDepth int
 }
+
+// DefaultTraceDepth is the trace ring size when TraceDepth is 0.
+const DefaultTraceDepth = 64
 
 // Client is a partition-aware key-value client: single-key operations
 // plus the multiget that the scheduling work is all about.
@@ -174,6 +182,8 @@ type Client struct {
 	sel    *replica.Selector
 	vclock *replica.Clock
 	start  time.Time
+	traces *traceRing
+	cm     *clientMetrics
 
 	mu       sync.Mutex
 	conns    map[sched.ServerID]*clientConn
@@ -267,10 +277,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		sel:       sel,
 		vclock:    replica.NewClock(nil),
 		start:     time.Now(),
+		cm:        newClientMetrics(),
 		conns:     make(map[sched.ServerID]*clientConn, len(cfg.Servers)),
 		redialAt:  make(map[sched.ServerID]time.Time, len(cfg.Servers)),
 		repairing: make(map[string]bool),
 		rng:       rand.New(rand.NewPCG(seed, seed^0xda5c0def00d)),
+	}
+	if cfg.TraceDepth >= 0 {
+		depth := cfg.TraceDepth
+		if depth == 0 {
+			depth = DefaultTraceDepth
+		}
+		c.traces = newTraceRing(depth)
 	}
 	for id, addr := range cfg.Servers {
 		cc, err := c.dial(id, addr)
@@ -547,8 +565,10 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 	}
 	ctx, cancel := c.opCtx(ctx)
 	defer cancel()
+	wallStart := time.Now()
 	now := c.now()
 	ops := make([]*sched.Op, len(keys))
+	scores := make([]time.Duration, len(keys))
 	for i, k := range keys {
 		demand := c.cfg.Demand(wire.OpGet, len(k), 0)
 		// Routing the batch sequentially lets the selector's in-flight
@@ -559,70 +579,130 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 			Key:    k,
 			Demand: demand,
 		}
+		scores[i] = c.sel.Scores([]sched.ServerID{ops[i].Server}, demand, now)[0].Finish - now
 	}
 	core.Tag(ops, c.taggingEst(), now)
 
 	type keyResult struct {
-		key   string
+		index int
 		value []byte
 		found bool
 		err   error
+		trace OpTrace
 	}
 	results := make(chan keyResult, len(ops))
-	for _, op := range ops {
-		op := op
+	for i, op := range ops {
+		i, op := i, op
 		go func() {
-			v, found, err := c.getOp(ctx, op)
-			results <- keyResult{key: op.Key, value: v, found: found, err: err}
+			start := c.now()
+			res := keyResult{index: i}
+			var tm wire.Timing
+			var attempts int
+			res.value, res.found, tm, attempts, res.err = c.getOp(ctx, op)
+			end := c.now()
+			res.trace = OpTrace{
+				Index:          i,
+				Key:            op.Key,
+				Server:         op.Server,
+				Replicas:       len(c.place.For(op.Key)),
+				Attempts:       attempts,
+				Start:          start - now,
+				End:            end - now,
+				ExpectedFinish: op.Tags.ExpectedFinish - now,
+				Score:          scores[i],
+				Wait:           time.Duration(tm.WaitNanos),
+				Service:        time.Duration(tm.ServiceNanos),
+				Class:          sched.Class(tm.SchedClass).String(),
+				Bytes:          len(res.value),
+				Found:          res.found,
+			}
+			if res.err != nil {
+				res.trace.Err = res.err.Error()
+			}
+			results <- res
 		}()
 	}
 	out := make(map[string][]byte, len(keys))
 	var failed map[string]error
+	traces := make([]OpTrace, len(ops))
 	for range ops {
 		r := <-results
+		traces[r.index] = r.trace
 		switch {
 		case r.err != nil:
 			if failed == nil {
 				failed = make(map[string]error)
 			}
-			failed[r.key] = r.err
+			failed[keys[r.index]] = r.err
 		case r.found:
-			out[r.key] = r.value
+			out[keys[r.index]] = r.value
 		}
 	}
+	c.recordRequest(wallStart, traces, failed != nil)
 	if failed != nil {
 		return out, &PartialError{Errs: failed}
 	}
 	return out, nil
 }
 
+// recordRequest finalizes a multiget's trace — flags the straggler,
+// feeds the client-local histograms — and retains it in the ring.
+func (c *Client) recordRequest(wallStart time.Time, traces []OpTrace, partial bool) {
+	straggler := -1
+	var rct time.Duration
+	for i := range traces {
+		if traces[i].End >= rct {
+			rct = traces[i].End
+			straggler = i
+		}
+	}
+	if straggler >= 0 {
+		traces[straggler].Straggler = true
+	}
+	c.cm.observeRequest(rct, traces, partial)
+	if c.traces == nil {
+		return
+	}
+	c.traces.add(RequestTrace{
+		Start:          wallStart,
+		RCT:            rct,
+		Fanout:         len(traces),
+		StragglerIndex: straggler,
+		Partial:        partial,
+		Ops:            traces,
+	})
+}
+
 // getOp resolves one read operation, retrying transport failures with
 // backoff and re-routing to sibling replicas. found distinguishes
-// "value exists" from a definitive not-found. A read that succeeded
-// only after failing over schedules read-repair for the key: the
-// failed holder may have missed writes while unreachable.
-func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found bool, err error) {
+// "value exists" from a definitive not-found; tm is the final
+// attempt's server-side timeline and attempts the dispatch count, for
+// tracing. A read that succeeded only after failing over schedules
+// read-repair for the key: the failed holder may have missed writes
+// while unreachable.
+func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found bool, tm wire.Timing, attempts int, err error) {
 	for attempt := 0; ; attempt++ {
-		value, _, found, err = c.tryGet(ctx, op)
+		value, _, found, tm, err = c.tryGet(ctx, op)
 		c.retireRead(op.Server)
 		if err == nil {
 			if attempt > 0 {
 				c.maybeRepair(op.Key)
 			}
-			return value, found, nil
+			return value, found, tm, attempt + 1, nil
 		}
 		if ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
-			return nil, false, err
+			return nil, false, tm, attempt + 1, err
 		}
 		if attempt >= c.cfg.ReadRetries || !errors.Is(err, ErrUnavailable) {
-			return nil, false, err
+			return nil, false, tm, attempt + 1, err
 		}
 		if serr := c.retrySleep(ctx, attempt); serr != nil {
-			return nil, false, err
+			return nil, false, tm, attempt + 1, err
 		}
 		// Re-route: the failed server is marked down now, so a
 		// replicated key lands on a healthy holder; re-stamp tags for
 		// the fresh dispatch.
+		c.cm.noteRetry()
 		rnow := c.now()
 		op.Server = c.routeRead(op.Key, op.Demand, rnow)
 		core.Tag([]*sched.Op{op}, c.taggingEst(), rnow)
@@ -630,14 +710,16 @@ func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found b
 }
 
 // tryGet performs a single dispatch of one read operation; the caller
-// owns the selector's in-flight accounting for op.Server.
-func (c *Client) tryGet(ctx context.Context, op *sched.Op) ([]byte, uint64, bool, error) {
+// owns the selector's in-flight accounting for op.Server. tm carries
+// the server-reported timeline whenever a response arrived (including
+// not-found and shed responses).
+func (c *Client) tryGet(ctx context.Context, op *sched.Op) (value []byte, version uint64, found bool, tm wire.Timing, err error) {
 	cc, err := c.conn(op.Server)
 	if err != nil {
 		if errors.Is(err, ErrClientClosed) {
-			return nil, 0, false, err
+			return nil, 0, false, tm, err
 		}
-		return nil, 0, false, fmt.Errorf("%w: %w", ErrUnavailable, err)
+		return nil, 0, false, tm, fmt.Errorf("%w: %w", ErrUnavailable, err)
 	}
 	id := c.nextID.Add(1)
 	ch := cc.register(id)
@@ -651,28 +733,29 @@ func (c *Client) tryGet(ctx context.Context, op *sched.Op) ([]byte, uint64, bool
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)
 		c.noteServerFailure(op.Server)
-		return nil, 0, false, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
+		return nil, 0, false, tm, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, 0, false, fmt.Errorf("%w: connection to server %d lost awaiting %q",
+			return nil, 0, false, tm, fmt.Errorf("%w: connection to server %d lost awaiting %q",
 				ErrUnavailable, op.Server, op.Key)
 		}
+		tm = resp.Timing
 		switch resp.Status {
 		case wire.StatusOK:
-			return resp.Value, resp.Version, true, nil
+			return resp.Value, resp.Version, true, tm, nil
 		case wire.StatusNotFound:
-			return nil, 0, false, nil
+			return nil, 0, false, tm, nil
 		case wire.StatusDeadlineExceeded:
-			return nil, 0, false, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
+			return nil, 0, false, tm, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
 				op.Server, op.Key, context.DeadlineExceeded)
 		default:
-			return nil, 0, false, fmt.Errorf("kv: server error for key %q", op.Key)
+			return nil, 0, false, tm, fmt.Errorf("kv: server error for key %q", op.Key)
 		}
 	case <-ctx.Done():
 		cc.unregister(id)
-		return nil, 0, false, ctx.Err()
+		return nil, 0, false, tm, ctx.Err()
 	}
 }
 
@@ -687,7 +770,7 @@ func (c *Client) getFrom(ctx context.Context, server sched.ServerID, key string)
 		Demand: c.cfg.Demand(wire.OpGet, len(key), 0),
 	}
 	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
-	value, version, found, err := c.tryGet(ctx, op)
+	value, version, found, _, err := c.tryGet(ctx, op)
 	return replica.ReadResult{
 		Server: server, Value: value, Version: replica.Version(version),
 		Found: found, Err: err,
@@ -1033,6 +1116,7 @@ func (cc *clientConn) readLoop() {
 		delivery := wire.Response{
 			ID: resp.ID, Status: resp.Status, Value: value,
 			Feedback: resp.Feedback, Version: resp.Version,
+			Timing: resp.Timing,
 		}
 		if cc.client.cfg.Adaptive {
 			cc.client.est.Observe(core.Feedback{

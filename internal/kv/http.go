@@ -2,19 +2,40 @@ package kv
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/daskv/daskv/internal/metrics"
 )
+
+// MetricsHandlerConfig configures the observability endpoint.
+type MetricsHandlerConfig struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints can stall a small server and leak
+	// internals, so they are opt-in (kvserver's -pprof flag).
+	EnablePprof bool
+}
 
 // NewMetricsHandler exposes a server's operational state over HTTP:
 //
-//	GET /stats    — the full statistics document as JSON
-//	GET /metrics  — Prometheus-style plain-text gauges
 //	GET /healthz  — 200 once serving
+//	GET /stats    — the full statistics document as JSON
+//	GET /metrics  — Prometheus text exposition: per-op-type service and
+//	                queue-wait latency histograms, operation/shed/error
+//	                counters, scheduler decision counters, the
+//	                demand-estimate error summary, and the queue gauges
 //
-// Mount it on a side listener (see cmd/kvserver's -metrics flag) so
+// Every metric is documented in docs/OBSERVABILITY.md. Mount the
+// handler on a side listener (cmd/kvserver's -metrics flag) so
 // observability traffic never competes with the data path's scheduler.
 func NewMetricsHandler(s *Server) http.Handler {
+	return NewMetricsHandlerWith(s, MetricsHandlerConfig{})
+}
+
+// NewMetricsHandlerWith is NewMetricsHandler with explicit options.
+func NewMetricsHandlerWith(s *Server, cfg MetricsHandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -27,25 +48,85 @@ func NewMetricsHandler(s *Server) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		st := s.StatsSnapshot()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "# HELP kv_ops_served_total Operations completed since start.\n")
-		fmt.Fprintf(w, "# TYPE kv_ops_served_total counter\n")
-		fmt.Fprintf(w, "kv_ops_served_total{server=%q} %d\n", itoa(st.Server), st.Served)
-		fmt.Fprintf(w, "# HELP kv_queue_length Operations waiting in the scheduling queue.\n")
-		fmt.Fprintf(w, "# TYPE kv_queue_length gauge\n")
-		fmt.Fprintf(w, "kv_queue_length{server=%q} %d\n", itoa(st.Server), st.QueueLen)
-		fmt.Fprintf(w, "# HELP kv_backlog_seconds Queued service demand in seconds.\n")
-		fmt.Fprintf(w, "# TYPE kv_backlog_seconds gauge\n")
-		fmt.Fprintf(w, "kv_backlog_seconds{server=%q} %g\n", itoa(st.Server), float64(st.BacklogNanos)/1e9)
-		fmt.Fprintf(w, "# HELP kv_speed_ratio Measured speed relative to nominal.\n")
-		fmt.Fprintf(w, "# TYPE kv_speed_ratio gauge\n")
-		fmt.Fprintf(w, "kv_speed_ratio{server=%q} %g\n", itoa(st.Server), st.Speed)
-		fmt.Fprintf(w, "# HELP kv_keys Live keys stored.\n")
-		fmt.Fprintf(w, "# TYPE kv_keys gauge\n")
-		fmt.Fprintf(w, "kv_keys{server=%q} %d\n", itoa(st.Server), st.Keys)
+		w.Header().Set("Content-Type", metrics.ExpositionContentType)
+		writeExposition(w, s)
 	})
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-func itoa(n int) string { return fmt.Sprintf("%d", n) }
+// writeExposition renders the server's full Prometheus exposition.
+// Metric names, labels, and units follow the conventions documented in
+// docs/OBSERVABILITY.md; LintExposition-clean by construction (one
+// Family declaration per metric, one sample per label set).
+func writeExposition(w http.ResponseWriter, s *Server) {
+	st := s.StatsSnapshot()
+	server := metrics.Label{Name: "server", Value: strconv.Itoa(st.Server)}
+	e := metrics.NewExpo(w)
+
+	e.Family("kv_info", "Static server identity; value is always 1.", "gauge")
+	e.IntSample("kv_info", []metrics.Label{server,
+		{Name: "policy", Value: st.Policy},
+		{Name: "replication", Value: strconv.Itoa(st.Replication)},
+	}, 1)
+
+	e.Family("kv_ops_served_total", "Operations completed since start, by operation type.", "counter")
+	snaps := s.metrics.snapshot()
+	for _, snap := range snaps {
+		e.IntSample("kv_ops_served_total",
+			[]metrics.Label{server, {Name: "op", Value: snap.Op.String()}}, snap.Served)
+	}
+	e.Family("kv_deadline_shed_total", "Operations dropped past their client deadline without service.", "counter")
+	e.IntSample("kv_deadline_shed_total", []metrics.Label{server}, st.Shed)
+	e.Family("kv_op_errors_total", "Operations answered with a server error status.", "counter")
+	e.IntSample("kv_op_errors_total", []metrics.Label{server}, st.Errors)
+
+	e.Family("kv_queue_length", "Operations waiting in the scheduling queue.", "gauge")
+	e.IntSample("kv_queue_length", []metrics.Label{server}, uint64(st.QueueLen))
+	e.Family("kv_backlog_seconds", "Queued service demand in seconds.", "gauge")
+	e.Sample("kv_backlog_seconds", []metrics.Label{server}, time.Duration(st.BacklogNanos).Seconds())
+	e.Family("kv_speed_ratio", "Measured speed relative to nominal.", "gauge")
+	e.Sample("kv_speed_ratio", []metrics.Label{server}, st.Speed)
+	e.Family("kv_keys", "Live keys stored.", "gauge")
+	e.IntSample("kv_keys", []metrics.Label{server}, uint64(st.Keys))
+	e.Family("kv_uptime_seconds", "Seconds since the server started.", "gauge")
+	e.Sample("kv_uptime_seconds", []metrics.Label{server}, time.Duration(st.UptimeNanos).Seconds())
+
+	e.Family("kv_op_service_seconds", "Service execution time per operation, by operation type.", "histogram")
+	for _, snap := range snaps {
+		e.Histogram("kv_op_service_seconds",
+			[]metrics.Label{server, {Name: "op", Value: snap.Op.String()}}, snap.Service)
+	}
+	e.Family("kv_op_queue_wait_seconds", "Time operations spent queued before service (sheds included), by operation type.", "histogram")
+	for _, snap := range snaps {
+		e.Histogram("kv_op_queue_wait_seconds",
+			[]metrics.Label{server, {Name: "op", Value: snap.Op.String()}}, snap.Wait)
+	}
+
+	e.Family("kv_demand_error_seconds", "Absolute error of the client-tagged demand estimate vs measured service time.", "summary")
+	s.metrics.summarizeDemandErr(func(sum *metrics.Summary) {
+		e.Summary("kv_demand_error_seconds", []metrics.Label{server}, sum, 0.5, 0.99)
+	})
+
+	if d, ok := s.decisionStats(); ok {
+		e.Family("kv_sched_decisions_total", "Scheduling policy ordering decisions, by decision class.", "counter")
+		for _, dc := range []struct {
+			class string
+			n     uint64
+		}{
+			{"srpt-first", d.SRPTFirst},
+			{"lrpt-last", d.LRPTDemoted},
+			{"near-boundary", d.NearBoundary},
+			{"promoted", d.Promotions},
+		} {
+			e.IntSample("kv_sched_decisions_total",
+				[]metrics.Label{server, {Name: "decision", Value: dc.class}}, dc.n)
+		}
+	}
+}

@@ -7,13 +7,15 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/metrics"
 	"github.com/daskv/daskv/internal/sched"
 	"github.com/daskv/daskv/internal/wire"
 )
 
 func metricsFixture(t *testing.T) (*Server, *Client) {
 	t.Helper()
-	srv, err := NewServer(ServerConfig{ID: 3, Addr: "127.0.0.1:0"})
+	srv, err := NewServer(ServerConfig{ID: 3, Addr: "127.0.0.1:0", Policy: core.Factory(core.DefaultOptions())})
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
@@ -58,24 +60,46 @@ func TestMetricsStatsJSON(t *testing.T) {
 
 func TestMetricsPrometheusFormat(t *testing.T) {
 	srv, client := metricsFixture(t)
-	if err := client.Put(context.Background(), "m", []byte("v")); err != nil {
+	ctx := context.Background()
+	if err := client.Put(ctx, "m", []byte("v")); err != nil {
 		t.Fatalf("Put: %v", err)
+	}
+	if _, err := client.Get(ctx, "m"); err != nil {
+		t.Fatalf("Get: %v", err)
 	}
 	h := NewMetricsHandler(srv)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != metrics.ExpositionContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, metrics.ExpositionContentType)
+	}
 	body := rec.Body.String()
 	for _, want := range []string{
-		"kv_ops_served_total{server=\"3\"}",
-		"kv_queue_length{server=\"3\"}",
+		`kv_ops_served_total{server="3",op="put"} 1`,
+		`kv_ops_served_total{server="3",op="get"} 1`,
+		`kv_queue_length{server="3"}`,
 		"kv_backlog_seconds",
 		"kv_speed_ratio",
-		"kv_keys{server=\"3\"} 1",
+		`kv_keys{server="3"} 1`,
+		"# HELP kv_ops_served_total ",
 		"# TYPE kv_ops_served_total counter",
+		"# TYPE kv_op_service_seconds histogram",
+		`kv_op_service_seconds_bucket{server="3",op="get",le="+Inf"} 1`,
+		`kv_op_service_seconds_count{server="3",op="put"} 1`,
+		"# TYPE kv_op_queue_wait_seconds histogram",
+		`kv_op_queue_wait_seconds_count{server="3",op="get"} 1`,
+		"# TYPE kv_demand_error_seconds summary",
+		`kv_demand_error_seconds{server="3",quantile="0.99"}`,
+		`kv_deadline_shed_total{server="3"} 0`,
+		`kv_op_errors_total{server="3"} 0`,
+		`decision="srpt-first"`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+	if problems := metrics.LintExposition(strings.NewReader(body)); len(problems) > 0 {
+		t.Fatalf("exposition lint problems: %v\n%s", problems, body)
 	}
 }
 

@@ -76,10 +76,11 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // Server is one live key-value node: an accept loop feeding a
 // policy-ordered operation queue drained by a worker pool.
 type Server struct {
-	cfg   ServerConfig
-	store *Store
-	ln    net.Listener
-	start time.Time
+	cfg     ServerConfig
+	store   *Store
+	ln      net.Listener
+	start   time.Time
+	metrics *serverMetrics
 
 	mu        sync.Mutex
 	queue     sched.Policy
@@ -134,6 +135,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		store:     NewStore(),
 		ln:        ln,
 		start:     time.Now(),
+		metrics:   newServerMetrics(),
 		queue:     cfg.Policy(uint64(cfg.ID)),
 		conns:     make(map[net.Conn]bool),
 		speedEWMA: cfg.SpeedFactor,
@@ -204,9 +206,11 @@ func (s *Server) StatsSnapshot() wire.ServerStats {
 	return s.statsLocked()
 }
 
-// statsLocked builds the stats document; s.mu must be held.
+// statsLocked builds the stats document; s.mu must be held. The
+// metrics state has its own lock, always acquired after s.mu (never
+// the reverse), so the nesting is deadlock-free.
 func (s *Server) statsLocked() wire.ServerStats {
-	return wire.ServerStats{
+	st := wire.ServerStats{
 		Server:       int(s.cfg.ID),
 		Served:       s.served,
 		QueueLen:     s.queue.Len(),
@@ -216,7 +220,34 @@ func (s *Server) statsLocked() wire.ServerStats {
 		UptimeNanos:  int64(time.Since(s.start)),
 		Policy:       s.queue.Name(),
 		Replication:  s.cfg.Replication,
+		ServedByOp:   s.metrics.servedByOp(),
+		Shed:         s.metrics.shed.Value(),
+		Errors:       s.metrics.errors.Value(),
+		DemandError:  s.metrics.demandErrorSummary(),
 	}
+	if dr, ok := s.queue.(sched.DecisionReporter); ok {
+		d := dr.Decisions()
+		st.Decisions = &wire.SchedDecisions{
+			Pushed:       d.Pushed,
+			SRPTFirst:    d.SRPTFirst,
+			LRPTDemoted:  d.LRPTDemoted,
+			NearBoundary: d.NearBoundary,
+			Promotions:   d.Promotions,
+		}
+	}
+	return st
+}
+
+// decisionStats returns the queue's scheduling decision counters (ok
+// false when the policy does not report them).
+func (s *Server) decisionStats() (sched.DecisionStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dr, ok := s.queue.(sched.DecisionReporter)
+	if !ok {
+		return sched.DecisionStats{}, false
+	}
+	return dr.Decisions(), true
 }
 
 // Close stops accepting, disconnects clients, and waits for workers.
@@ -435,19 +466,30 @@ func (s *Server) worker() {
 	}
 }
 
-// serve executes one operation and writes its response with feedback.
+// serve executes one operation and writes its response with feedback
+// and its server-side timeline (queue wait, service time, scheduling
+// class) for client-side straggler attribution.
 func (s *Server) serve(op *sched.Op) {
 	p, ok := op.Payload.(*pendingOp)
 	if !ok {
 		return
 	}
 	began := time.Now()
+	waited := s.now() - op.Enqueued
+	if waited < 0 {
+		waited = 0
+	}
 	resp := wire.Response{ID: p.id, Status: wire.StatusOK}
+	resp.Timing = wire.Timing{
+		WaitNanos:  int64(waited),
+		SchedClass: uint8(op.Class),
+	}
 	if p.deadline > 0 && s.now() > p.deadline {
 		// The client has already given up on this op: shed it without
 		// touching the store or burning service time, so live capacity
 		// goes to requests that can still meet their deadlines.
 		resp.Status = wire.StatusDeadlineExceeded
+		s.metrics.observeShed(p.typ, waited)
 		s.finishResponse(p, &resp)
 		return
 	}
@@ -481,6 +523,11 @@ func (s *Server) serve(op *sched.Op) {
 		s.burn(time.Duration(float64(s.cfg.Cost(p.typ, len(p.key), len(p.value))) / s.cfg.SpeedFactor))
 	}
 	elapsed := time.Since(began)
+	resp.Timing.ServiceNanos = int64(elapsed)
+	if resp.Status == wire.StatusError {
+		s.metrics.errors.Inc()
+	}
+	s.metrics.observe(p.typ, waited, elapsed, op.Demand)
 
 	s.mu.Lock()
 	if s.cfg.Cost != nil && elapsed > 0 {

@@ -1,0 +1,163 @@
+package kv
+
+import (
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// histSmallest/histLargest bound the server's latency histograms: 1µs
+// resolution up to 10s, 4 sub-buckets per octave (~19% relative
+// quantile error — plenty for operational dashboards, and small enough
+// that a full exposition stays a few KiB).
+const (
+	histSmallest  = time.Microsecond
+	histLargest   = 10 * time.Second
+	histPerOctave = 4
+)
+
+// demandErrReservoir bounds the demand-error summary's memory.
+const demandErrReservoir = 4096
+
+// serverMetrics is the server's measurement state: per-op-type service
+// and queue-wait latency histograms, shed/error counters, and the
+// demand-estimate error summary. It has its own lock, deliberately
+// separate from the server's queue lock, so observation cost never
+// extends scheduling critical sections; counters are atomic and free
+// of any lock.
+type serverMetrics struct {
+	shed   metrics.Counter
+	errors metrics.Counter
+
+	mu        sync.Mutex
+	service   map[wire.OpType]*metrics.Histogram
+	wait      map[wire.OpType]*metrics.Histogram
+	served    map[wire.OpType]uint64
+	demandErr *metrics.Summary
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		service:   make(map[wire.OpType]*metrics.Histogram),
+		wait:      make(map[wire.OpType]*metrics.Histogram),
+		served:    make(map[wire.OpType]uint64),
+		demandErr: metrics.NewSummary(demandErrReservoir),
+	}
+}
+
+func newOpHistogram() *metrics.Histogram {
+	return metrics.NewHistogram(histSmallest, histLargest, histPerOctave)
+}
+
+// observe records one served operation: its queue wait, service time,
+// and the absolute error of the tagged demand estimate against the
+// measured service time.
+func (m *serverMetrics) observe(op wire.OpType, waited, service, demand time.Duration) {
+	errAbs := service - demand
+	if errAbs < 0 {
+		errAbs = -errAbs
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.service[op]
+	if h == nil {
+		h = newOpHistogram()
+		m.service[op] = h
+	}
+	h.Observe(service)
+	w := m.wait[op]
+	if w == nil {
+		w = newOpHistogram()
+		m.wait[op] = w
+	}
+	w.Observe(waited)
+	m.served[op]++
+	m.demandErr.Observe(errAbs)
+}
+
+// observeShed records one operation dropped past its deadline: it
+// still waited in the queue (that wait is the evidence an operator
+// needs) but was never serviced.
+func (m *serverMetrics) observeShed(op wire.OpType, waited time.Duration) {
+	m.shed.Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.wait[op]
+	if w == nil {
+		w = newOpHistogram()
+		m.wait[op] = w
+	}
+	w.Observe(waited)
+}
+
+// opMetricsSnapshot is one op type's exported histograms.
+type opMetricsSnapshot struct {
+	Op      wire.OpType
+	Served  uint64
+	Service metrics.HistogramSnapshot
+	Wait    metrics.HistogramSnapshot
+}
+
+// snapshot copies the histogram state out for exposition, ordered by
+// op type so the output is deterministic.
+func (m *serverMetrics) snapshot() []opMetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]opMetricsSnapshot, 0, len(m.wait))
+	for op := wire.OpGet; op <= wire.OpCAS; op++ {
+		if m.service[op] == nil && m.wait[op] == nil {
+			continue
+		}
+		s := opMetricsSnapshot{Op: op, Served: m.served[op]}
+		if h := m.service[op]; h != nil {
+			s.Service = h.Snapshot()
+		}
+		if w := m.wait[op]; w != nil {
+			s.Wait = w.Snapshot()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// servedByOp copies the per-op-type served counts for the stats
+// document ("get" -> n, ...), nil when nothing was served yet.
+func (m *serverMetrics) servedByOp() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.served) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.served))
+	for op, n := range m.served {
+		out[op.String()] = n
+	}
+	return out
+}
+
+// demandErrorSummary exports the demand-estimate error distribution
+// for the stats document, nil before the first observation.
+func (m *serverMetrics) demandErrorSummary() *wire.DurationSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.demandErr.Count() == 0 {
+		return nil
+	}
+	return &wire.DurationSummary{
+		Count:     m.demandErr.Count(),
+		MeanNanos: int64(m.demandErr.Mean()),
+		P50Nanos:  int64(m.demandErr.P50()),
+		P99Nanos:  int64(m.demandErr.P99()),
+		MaxNanos:  int64(m.demandErr.Max()),
+	}
+}
+
+// summarizeDemandErr runs fn with the demand-error summary under the
+// metrics lock, for exposition (Summary is not concurrency-safe).
+func (m *serverMetrics) summarizeDemandErr(fn func(*metrics.Summary)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(m.demandErr)
+}

@@ -1,0 +1,256 @@
+package kv
+
+import (
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// OpTrace is one operation's timeline within a traced multiget. Start,
+// End, and ExpectedFinish are offsets from the request's dispatch
+// instant on the client clock; Wait and Service are the server's own
+// measurements reported on the response, so the gap
+// (End − Start) − Wait − Service is attributable to network and
+// client-side queueing.
+type OpTrace struct {
+	// Index is the op's position in the multiget's key order.
+	Index int
+	// Key is the accessed key.
+	Key string
+	// Server is the replica that served the final attempt.
+	Server sched.ServerID
+	// Replicas is how many holders the key's placement offered the
+	// selector.
+	Replicas int
+	// Attempts is how many dispatches the op took (1 = no retries).
+	Attempts int
+	// Start and End bound the op on the client clock (End covers the
+	// final attempt's completion, or the moment the op gave up).
+	Start, End time.Duration
+	// ExpectedFinish is the tagger's predicted completion offset at
+	// dispatch — compare against End to judge the estimator.
+	ExpectedFinish time.Duration
+	// Score is the selector's expected-finish score for the chosen
+	// replica at initial dispatch (offset from request dispatch,
+	// including the Tars-style in-flight compensation). The ranking the
+	// oblivious policies ignored is still recorded, so a trace shows
+	// what Adaptive would have thought of the pick.
+	Score time.Duration
+	// Wait and Service are the server-reported queue wait and service
+	// execution time of the final attempt (zero when the op never got
+	// a response).
+	Wait, Service time.Duration
+	// Class is the serving policy's scheduling classification of the
+	// final attempt ("srpt-first", "lrpt-last", "promoted", or
+	// "unknown" for policies that do not classify).
+	Class string
+	// Bytes is the returned value size.
+	Bytes int
+	// Found is whether the key existed.
+	Found bool
+	// Err is the op's failure, "" on success.
+	Err string
+	// Straggler marks the operation that finished last — the one that
+	// set the request's completion time.
+	Straggler bool
+}
+
+// RequestTrace is the end-to-end timeline of one multiget: one OpTrace
+// per key, with the straggler flagged. Traces of the last N requests
+// are kept in a ring buffer (ClientConfig.TraceDepth) and read with
+// Client.Traces; kvctl's `trace` subcommand renders them.
+type RequestTrace struct {
+	// Seq numbers traced requests on this client, starting at 1.
+	Seq uint64
+	// Start is the request's wall-clock dispatch time.
+	Start time.Time
+	// RCT is the request completion time (dispatch to last op done).
+	RCT time.Duration
+	// Fanout is the number of operations.
+	Fanout int
+	// StragglerIndex is the index into Ops of the last-finishing
+	// operation (-1 for an empty trace).
+	StragglerIndex int
+	// Partial is true when some operations failed.
+	Partial bool
+	// Ops holds the per-operation timelines in key order.
+	Ops []OpTrace
+}
+
+// Straggler returns the last-finishing op's trace (nil for an empty
+// trace).
+func (t *RequestTrace) Straggler() *OpTrace {
+	if t.StragglerIndex < 0 || t.StragglerIndex >= len(t.Ops) {
+		return nil
+	}
+	return &t.Ops[t.StragglerIndex]
+}
+
+// traceRing keeps the last N request traces. Safe for concurrent use.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []RequestTrace
+	n    int // traces ever added
+	size int
+}
+
+func newTraceRing(depth int) *traceRing {
+	return &traceRing{buf: make([]RequestTrace, depth), size: depth}
+}
+
+// add appends one trace, overwriting the oldest when full, and stamps
+// its sequence number.
+func (r *traceRing) add(tr RequestTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	tr.Seq = uint64(r.n)
+	r.buf[(r.n-1)%r.size] = tr
+}
+
+// last returns up to n of the most recent traces, newest first. The
+// returned traces are copies; Ops slices are shared but never mutated
+// after add.
+func (r *traceRing) last(n int) []RequestTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || r.n == 0 {
+		return nil
+	}
+	have := r.n
+	if have > r.size {
+		have = r.size
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]RequestTrace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(r.n-1-i)%r.size])
+	}
+	return out
+}
+
+// Traces returns up to n of the most recently completed multiget
+// traces, newest first. Tracing is on by default (the last
+// ClientConfig.TraceDepth requests are retained); it returns nil when
+// tracing is disabled or nothing has completed yet.
+func (c *Client) Traces(n int) []RequestTrace {
+	if c.traces == nil {
+		return nil
+	}
+	return c.traces.last(n)
+}
+
+// LatencySnapshot is a point-in-time summary of one client-local
+// latency distribution.
+type LatencySnapshot struct {
+	Count               uint64
+	Mean, P50, P95, P99 time.Duration
+	Max                 time.Duration
+}
+
+// ClientMetrics is a snapshot of the client's local measurement state:
+// request- and operation-level latency distributions plus the
+// estimator's prediction error — the feedback-signal quality the
+// paper's adaptive claims rest on.
+type ClientMetrics struct {
+	// Requests counts completed multigets (Get included).
+	Requests uint64
+	// Ops counts completed operations across all multigets.
+	Ops uint64
+	// Retries counts read re-dispatches after transport failures.
+	Retries uint64
+	// Partials counts multigets that returned a PartialError.
+	Partials uint64
+	// RCT is the request completion time distribution.
+	RCT LatencySnapshot
+	// OpLatency is the per-operation latency distribution.
+	OpLatency LatencySnapshot
+	// EstimatorError is the distribution of |predicted op completion −
+	// actual|: how well the piggybacked-feedback view anticipates
+	// reality. A drifting mean here degrades DAS tagging and adaptive
+	// replica selection before it shows anywhere else.
+	EstimatorError LatencySnapshot
+}
+
+// clientMetricsReservoir bounds the client summaries' memory.
+const clientMetricsReservoir = 4096
+
+// clientMetrics is the client's internal measurement state.
+type clientMetrics struct {
+	mu        sync.Mutex
+	requests  uint64
+	ops       uint64
+	retries   uint64
+	partials  uint64
+	rct       *metrics.Summary
+	opLatency *metrics.Summary
+	estErr    *metrics.Summary
+}
+
+func newClientMetrics() *clientMetrics {
+	return &clientMetrics{
+		rct:       metrics.NewSummary(clientMetricsReservoir),
+		opLatency: metrics.NewSummary(clientMetricsReservoir),
+		estErr:    metrics.NewSummary(clientMetricsReservoir),
+	}
+}
+
+func (m *clientMetrics) noteRetry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// observeRequest folds one completed multiget into the summaries.
+func (m *clientMetrics) observeRequest(rct time.Duration, ops []OpTrace, partial bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if partial {
+		m.partials++
+	}
+	m.rct.Observe(rct)
+	for i := range ops {
+		op := &ops[i]
+		m.ops++
+		m.opLatency.Observe(op.End - op.Start)
+		if op.Err == "" {
+			err := op.End - op.ExpectedFinish
+			if err < 0 {
+				err = -err
+			}
+			m.estErr.Observe(err)
+		}
+	}
+}
+
+func snapshotSummary(s *metrics.Summary) LatencySnapshot {
+	return LatencySnapshot{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		P50:   s.P50(),
+		P95:   s.P95(),
+		P99:   s.P99(),
+		Max:   s.Max(),
+	}
+}
+
+// Metrics returns a snapshot of the client's local measurements.
+func (c *Client) Metrics() ClientMetrics {
+	m := c.cm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ClientMetrics{
+		Requests:       m.requests,
+		Ops:            m.ops,
+		Retries:        m.retries,
+		Partials:       m.partials,
+		RCT:            snapshotSummary(m.rct),
+		OpLatency:      snapshotSummary(m.opLatency),
+		EstimatorError: snapshotSummary(m.estErr),
+	}
+}

@@ -1,0 +1,235 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func TestMGetTraceRecorded(t *testing.T) {
+	_, client := metricsFixture(t)
+	ctx := context.Background()
+	keys := []string{"ta", "tb", "tc"}
+	for _, k := range keys {
+		if err := client.Put(ctx, k, []byte("v-"+k)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if _, err := client.MGet(ctx, keys); err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+
+	traces := client.Traces(1)
+	if len(traces) != 1 {
+		t.Fatalf("Traces(1) returned %d traces", len(traces))
+	}
+	tr := traces[0]
+	if tr.Fanout != len(keys) || len(tr.Ops) != len(keys) {
+		t.Fatalf("trace fanout = %d ops = %d, want %d", tr.Fanout, len(tr.Ops), len(keys))
+	}
+	if tr.RCT <= 0 {
+		t.Fatalf("trace RCT = %v, want > 0", tr.RCT)
+	}
+	if tr.Partial {
+		t.Fatalf("trace marked partial for a clean multiget")
+	}
+	s := tr.Straggler()
+	if s == nil || !s.Straggler {
+		t.Fatalf("no straggler flagged: %+v", tr)
+	}
+	stragglers := 0
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Straggler {
+			stragglers++
+			if op.End < tr.Ops[(i+1)%len(tr.Ops)].End {
+				t.Fatalf("straggler %q did not finish last: %+v", op.Key, tr.Ops)
+			}
+		}
+		if op.Key != keys[op.Index] {
+			t.Fatalf("op %d key = %q, want %q", op.Index, op.Key, keys[op.Index])
+		}
+		if !op.Found || op.Err != "" {
+			t.Fatalf("op %q found=%v err=%q", op.Key, op.Found, op.Err)
+		}
+		if op.Bytes != len("v-"+op.Key) {
+			t.Fatalf("op %q bytes = %d", op.Key, op.Bytes)
+		}
+		if op.Attempts != 1 {
+			t.Fatalf("op %q attempts = %d, want 1", op.Key, op.Attempts)
+		}
+		if op.End <= op.Start || op.Start < 0 {
+			t.Fatalf("op %q timeline [%v, %v] invalid", op.Key, op.Start, op.End)
+		}
+		// A bare in-memory get can complete inside one clock tick, so
+		// only negative service/wait values are wrong.
+		if op.Service < 0 {
+			t.Fatalf("op %q server-reported service = %v", op.Key, op.Service)
+		}
+		if op.Wait < 0 {
+			t.Fatalf("op %q server-reported wait = %v", op.Key, op.Wait)
+		}
+		if op.Class != "srpt-first" && op.Class != "lrpt-last" && op.Class != "promoted" {
+			t.Fatalf("op %q class = %q, want a DAS classification", op.Key, op.Class)
+		}
+		if op.Replicas != 1 {
+			t.Fatalf("op %q replicas = %d, want 1", op.Key, op.Replicas)
+		}
+		if op.Score <= 0 {
+			t.Fatalf("op %q selector score = %v, want > 0", op.Key, op.Score)
+		}
+	}
+	if stragglers != 1 {
+		t.Fatalf("%d ops flagged straggler, want exactly 1", stragglers)
+	}
+
+	// Sequence numbers advance and newest comes first.
+	if _, err := client.MGet(ctx, keys[:1]); err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	both := client.Traces(10)
+	if len(both) != 2 || both[0].Seq <= both[1].Seq {
+		t.Fatalf("Traces order/seq wrong: %d traces, seqs %v",
+			len(both), []uint64{both[0].Seq, both[1].Seq})
+	}
+}
+
+func TestTraceNotFoundAndMetrics(t *testing.T) {
+	_, client := metricsFixture(t)
+	ctx := context.Background()
+	if err := client.Put(ctx, "present", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := client.MGet(ctx, []string{"present", "absent"}); err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	tr := client.Traces(1)[0]
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Key == "absent" && op.Found {
+			t.Fatalf("absent key reported found")
+		}
+		if op.Err != "" {
+			t.Fatalf("op %q unexpected error %q", op.Key, op.Err)
+		}
+	}
+
+	m := client.Metrics()
+	// Writes are not traced; the one MGet is the only request.
+	if m.Requests != 1 || m.Ops != 2 {
+		t.Fatalf("metrics requests/ops = %d/%d, want 1/2", m.Requests, m.Ops)
+	}
+	if m.Partials != 0 || m.Retries != 0 {
+		t.Fatalf("metrics partials/retries = %d/%d, want 0/0", m.Partials, m.Retries)
+	}
+	if m.RCT.Count != 1 || m.RCT.Max <= 0 || m.RCT.P99 < m.RCT.P50 {
+		t.Fatalf("RCT snapshot inconsistent: %+v", m.RCT)
+	}
+	if m.OpLatency.Count != 2 || m.OpLatency.Mean <= 0 {
+		t.Fatalf("OpLatency snapshot inconsistent: %+v", m.OpLatency)
+	}
+	if m.EstimatorError.Count == 0 {
+		t.Fatalf("EstimatorError never observed")
+	}
+}
+
+func TestTraceDepthDisablesTracing(t *testing.T) {
+	srv, _ := metricsFixture(t)
+	client, err := NewClient(ClientConfig{
+		Servers:    map[sched.ServerID]string{3: srv.Addr()},
+		TraceDepth: -1,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := context.Background()
+	if err := client.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := client.MGet(ctx, []string{"k"}); err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	if traces := client.Traces(1); traces != nil {
+		t.Fatalf("tracing disabled but Traces returned %+v", traces)
+	}
+	// Local metrics still accumulate with tracing off.
+	if m := client.Metrics(); m.Requests != 1 {
+		t.Fatalf("metrics requests = %d, want 1", m.Requests)
+	}
+}
+
+func TestTraceRingWrapAndConcurrency(t *testing.T) {
+	r := newTraceRing(8)
+	for i := 0; i < 20; i++ {
+		r.add(RequestTrace{RCT: time.Duration(i)})
+	}
+	got := r.last(100)
+	if len(got) != 8 {
+		t.Fatalf("ring returned %d traces, want 8", len(got))
+	}
+	if got[0].Seq != 20 || got[7].Seq != 13 {
+		t.Fatalf("ring order wrong: first seq %d last seq %d", got[0].Seq, got[7].Seq)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq-1 {
+			t.Fatalf("seqs not contiguous newest-first: %+v", got)
+		}
+	}
+	if r.last(0) != nil {
+		t.Fatalf("last(0) should be nil")
+	}
+
+	// Hammer the ring from many goroutines; run with -race.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.add(RequestTrace{Fanout: i})
+				_ = r.last(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if final := r.last(8); len(final) != 8 {
+		t.Fatalf("ring lost capacity under concurrency: %d", len(final))
+	}
+}
+
+func TestClientTracingConcurrent(t *testing.T) {
+	_, client := metricsFixture(t)
+	ctx := context.Background()
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ck%d", i)
+		if err := client.Put(ctx, keys[i], []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := client.MGet(ctx, keys); err != nil {
+					t.Errorf("MGet: %v", err)
+					return
+				}
+				_ = client.Traces(3)
+				_ = client.Metrics()
+			}
+		}()
+	}
+	wg.Wait()
+	m := client.Metrics()
+	if m.Requests < 40 {
+		t.Fatalf("metrics requests = %d, want >= 40", m.Requests)
+	}
+}

@@ -1,0 +1,17 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event count, safe for
+// concurrent use. The zero value is ready; embed it by value and take
+// its address to observe.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }

@@ -1,0 +1,277 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format this package emits.
+const ExpositionContentType = "text/plain; version=0.0.4"
+
+// Label is one name="value" pair attached to an exposition sample.
+// Values are escaped on output; names must be valid Prometheus label
+// names (the writer does not validate them).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Expo writes the Prometheus text exposition format (version 0.0.4):
+// HELP/TYPE headers, escaped labels, and the bucket/sum/count triplet
+// expansion for histograms and summaries. It exists so the live store
+// can export real metric families without an external client library;
+// LintExposition checks the invariants scrapers rely on.
+//
+// Usage: declare each family once with Family, then emit its samples.
+// Errors on the underlying writer are latched; check Err once at the
+// end. Not safe for concurrent use.
+type Expo struct {
+	w        io.Writer
+	err      error
+	declared map[string]string // family -> type
+}
+
+// NewExpo returns an exposition writer over w.
+func NewExpo(w io.Writer) *Expo {
+	return &Expo{w: w, declared: make(map[string]string)}
+}
+
+// Err returns the first write error encountered, if any.
+func (e *Expo) Err() error { return e.err }
+
+func (e *Expo) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Family declares one metric family: its HELP and TYPE lines. typ is
+// one of "counter", "gauge", "histogram", "summary", "untyped".
+// Redeclaring a family is a no-op so callers can emit per-entity loops
+// without tracking what they already declared.
+func (e *Expo) Family(name, help, typ string) {
+	if _, ok := e.declared[name]; ok {
+		return
+	}
+	e.declared[name] = typ
+	e.printf("# HELP %s %s\n", name, escapeHelp(help))
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line: name{labels} value.
+func (e *Expo) Sample(name string, labels []Label, value float64) {
+	e.printf("%s%s %s\n", name, formatLabels(labels), formatFloat(value))
+}
+
+// IntSample emits one sample line with an integer value (counters and
+// discrete gauges render without an exponent).
+func (e *Expo) IntSample(name string, labels []Label, value uint64) {
+	e.printf("%s%s %d\n", name, formatLabels(labels), value)
+}
+
+// Histogram expands one histogram snapshot into the conventional
+// cumulative series: name_bucket{...,le="u"} lines for every non-empty
+// bucket plus the +Inf bucket, then name_sum and name_count. Bucket
+// bounds and the sum are converted to seconds, the unit Prometheus
+// histograms conventionally carry. The family must have been declared
+// with type "histogram".
+func (e *Expo) Histogram(name string, labels []Label, snap HistogramSnapshot) {
+	for _, b := range snap.Buckets {
+		bl := append(append([]Label(nil), labels...),
+			Label{Name: "le", Value: formatFloat(b.UpperBound.Seconds())})
+		e.IntSample(name+"_bucket", bl, b.Count)
+	}
+	inf := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	e.IntSample(name+"_bucket", inf, snap.Count)
+	e.Sample(name+"_sum", labels, snap.Sum.Seconds())
+	e.IntSample(name+"_count", labels, snap.Count)
+}
+
+// Summary expands a quantile summary: name{...,quantile="q"} lines for
+// the given quantiles plus name_sum and name_count, in seconds. The
+// family must have been declared with type "summary". quantile
+// extraction runs against the summary's reservoir, so pass a stable
+// snapshot (hold the owner's lock while calling).
+func (e *Expo) Summary(name string, labels []Label, s *Summary, quantiles ...float64) {
+	for _, q := range quantiles {
+		ql := append(append([]Label(nil), labels...),
+			Label{Name: "quantile", Value: formatFloat(q)})
+		e.Sample(name, ql, s.Quantile(q).Seconds())
+	}
+	sum := float64(s.Mean()) * float64(s.Count()) / float64(time.Second)
+	e.Sample(name+"_sum", labels, sum)
+	e.IntSample(name+"_count", labels, s.Count())
+}
+
+// formatLabels renders {a="x",b="y"} ("" when empty).
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// LintExposition checks a text exposition for the mistakes that break
+// scrapers silently: duplicate series (same name and label set emitted
+// twice), samples whose family has no TYPE declaration, duplicate or
+// malformed TYPE lines, and unparseable sample values. It returns one
+// human-readable problem per finding (empty = clean). CI's
+// metrics-smoke step runs it against a live /metrics scrape via
+// cmd/kvmetricslint; the exposition golden test runs it in-process.
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	types := make(map[string]string)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line %q", lineNo, line))
+				continue
+			}
+			name, typ := fields[2], fields[3]
+			if _, dup := types[name]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE declaration for %s", lineNo, name))
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				problems = append(problems, fmt.Sprintf("line %d: unknown metric type %q for %s", lineNo, typ, name))
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		series, value, ok := splitSample(line)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("line %d: malformed sample %q", lineNo, line))
+			continue
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			problems = append(problems, fmt.Sprintf("line %d: unparseable value %q", lineNo, value))
+		}
+		if seen[series] {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate series %s", lineNo, series))
+		}
+		seen[series] = true
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if familyOf(name, types) == "" {
+			problems = append(problems, fmt.Sprintf("line %d: untyped series %s (no TYPE for its family)", lineNo, name))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+	return problems
+}
+
+// splitSample splits a sample line into its series (name plus label
+// set) and value text. Timestamps (a third field) are accepted and
+// ignored.
+func splitSample(line string) (series, value string, ok bool) {
+	// The value starts after the space that follows the name or the
+	// closing brace; label values may themselves contain spaces.
+	end := 0
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line[i:], '}')
+		if j < 0 {
+			return "", "", false
+		}
+		end = i + j + 1
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		end = i
+	} else {
+		return "", "", false
+	}
+	series = line[:end]
+	rest := strings.Fields(line[end:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", "", false
+	}
+	return series, rest[0], true
+}
+
+// familyOf resolves a sample name to its declared family, honoring the
+// _bucket/_sum/_count expansions of histograms and summaries.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		switch types[base] {
+		case "histogram":
+			return base
+		case "summary":
+			if suffix != "_bucket" {
+				return base
+			}
+		}
+	}
+	return ""
+}

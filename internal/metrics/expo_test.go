@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExpoGolden(t *testing.T) {
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Family("x_total", "A counter.", "counter")
+	e.IntSample("x_total", []Label{{Name: "op", Value: "get"}}, 3)
+	e.IntSample("x_total", []Label{{Name: "op", Value: "put"}}, 1)
+	e.Family("x_total", "redeclared — must be dropped", "counter")
+	e.Family("g", "A gauge.", "gauge")
+	e.Sample("g", nil, 0.25)
+	if err := e.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	want := "# HELP x_total A counter.\n" +
+		"# TYPE x_total counter\n" +
+		`x_total{op="get"} 3` + "\n" +
+		`x_total{op="put"} 1` + "\n" +
+		"# HELP g A gauge.\n" +
+		"# TYPE g gauge\n" +
+		"g 0.25\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpoLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Family("m", "has \\ and\nnewline", "gauge")
+	e.Sample("m", []Label{{Name: "k", Value: "a\"b\\c\nd"}}, 1)
+	out := sb.String()
+	if !strings.Contains(out, `# HELP m has \\ and\nnewline`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `m{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if problems := LintExposition(strings.NewReader(out)); len(problems) > 0 {
+		t.Fatalf("escaped exposition should lint clean: %v", problems)
+	}
+}
+
+// TestExpoHistogramRoundTrip drives observations through a Histogram,
+// exports the snapshot, and checks the exposition's cumulative-bucket
+// invariants numerically.
+func TestExpoHistogramRoundTrip(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 4)
+	obs := []time.Duration{
+		5 * time.Microsecond, 5 * time.Microsecond,
+		300 * time.Microsecond, 40 * time.Millisecond, 2 * time.Second,
+	}
+	var sum time.Duration
+	for _, d := range obs {
+		h.Observe(d)
+		sum += d
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(obs)) || snap.Sum != sum {
+		t.Fatalf("snapshot count/sum = %d/%v, want %d/%v", snap.Count, snap.Sum, len(obs), sum)
+	}
+	prev := uint64(0)
+	prevBound := time.Duration(-1)
+	for _, b := range snap.Buckets {
+		if b.Count < prev {
+			t.Fatalf("bucket counts not cumulative: %v", snap.Buckets)
+		}
+		if b.UpperBound <= prevBound {
+			t.Fatalf("bucket bounds not increasing: %v", snap.Buckets)
+		}
+		prev, prevBound = b.Count, b.UpperBound
+	}
+
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Family("lat_seconds", "Latency.", "histogram")
+	e.Histogram("lat_seconds", []Label{{Name: "op", Value: "get"}}, snap)
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{op="get",le="+Inf"} 5`,
+		`lat_seconds_count{op="get"} 5`,
+		`lat_seconds_sum{op="get"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	if problems := LintExposition(strings.NewReader(out)); len(problems) > 0 {
+		t.Fatalf("histogram exposition should lint clean: %v\n%s", problems, out)
+	}
+}
+
+func TestExpoSummary(t *testing.T) {
+	s := NewSummary(0)
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Family("err_seconds", "Error.", "summary")
+	e.Summary("err_seconds", nil, s, 0.5, 0.99)
+	out := sb.String()
+	for _, want := range []string{
+		`err_seconds{quantile="0.5"}`,
+		`err_seconds{quantile="0.99"}`,
+		"err_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary exposition missing %q:\n%s", want, out)
+		}
+	}
+	if problems := LintExposition(strings.NewReader(out)); len(problems) > 0 {
+		t.Fatalf("summary exposition should lint clean: %v\n%s", problems, out)
+	}
+}
+
+func TestLintExpositionFindsProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"duplicate series",
+			"# TYPE a counter\na 1\na 2\n", "duplicate series"},
+		{"untyped series",
+			"b 1\n", "untyped series"},
+		{"duplicate TYPE",
+			"# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"malformed TYPE",
+			"# TYPE a\n", "malformed TYPE"},
+		{"unknown type",
+			"# TYPE a zebra\na 1\n", "unknown metric type"},
+		{"unparseable value",
+			"# TYPE a gauge\na one\n", "unparseable value"},
+		{"summary must not have buckets",
+			"# TYPE a summary\na_bucket{le=\"1\"} 1\n", "untyped series"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintExposition(strings.NewReader(tc.in))
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want problem containing %q, got %v", tc.want, problems)
+			}
+		})
+	}
+	clean := "# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 2\n" +
+		"# TYPE s summary\ns{quantile=\"0.5\"} 0.1\ns_sum 0.2\ns_count 2\n" +
+		"# TYPE spaced gauge\nspaced{k=\"a b{c\"} 1\n"
+	if problems := LintExposition(strings.NewReader(clean)); len(problems) > 0 {
+		t.Fatalf("clean exposition flagged: %v", problems)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":      "plain",
+		`back\slash`: `back\\slash`,
+		`"quoted"`:   `\"quoted\"`,
+		"new\nline":  `new\nline`,
+	} {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -109,3 +109,40 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 func (h *Histogram) upperEdge(i int) time.Duration {
 	return time.Duration(float64(h.smallest) * math.Pow(h.growth, float64(i+1)))
 }
+
+// HistogramBucket is one cumulative exposition bucket: Count
+// observations were <= UpperBound (Prometheus "le" semantics).
+type HistogramBucket struct {
+	UpperBound time.Duration
+	Count      uint64
+}
+
+// HistogramSnapshot is an export-ready copy of a histogram: cumulative
+// non-empty buckets, total observation count, and exact sum. It is a
+// value type — safe to hand across goroutines once taken.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket
+	Count   uint64
+	Sum     time.Duration
+}
+
+// Snapshot copies the histogram into exposition form. Only buckets
+// whose cumulative count changed are emitted, so a sparse histogram
+// stays small on the wire; the implicit +Inf bucket (written by
+// Expo.Histogram) equals Count. The caller must serialize Snapshot
+// against concurrent Observe calls.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		snap.Buckets = append(snap.Buckets, HistogramBucket{
+			UpperBound: h.upperEdge(i),
+			Count:      cum,
+		})
+	}
+	return snap
+}

@@ -1,6 +1,12 @@
 // Package metrics provides the measurement machinery for simulations and
 // the live store: streaming moment accumulators, percentile reservoirs,
-// logarithmic latency histograms, and windowed time series.
+// logarithmic latency histograms, windowed time series, lock-free event
+// counters, and a dependency-free Prometheus text-exposition writer
+// (Expo) with a structural linter (LintExposition) that CI runs against
+// live scrapes.
+//
+// The live server's metric families built on this package are documented
+// in docs/OBSERVABILITY.md.
 package metrics
 
 import (

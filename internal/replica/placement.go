@@ -11,6 +11,11 @@
 // whose load the feedback cannot reflect yet. Both the simulator and the
 // live kv client route reads through a Selector, so the selection
 // policies are compared under identical scoring code.
+//
+// The selector's live decisions are observable: `kvctl replicas KEY`
+// prints the current Score ranking of a key's holders, and `kvctl
+// trace` shows which replica each multiget op landed on (see
+// docs/OBSERVABILITY.md).
 package replica
 
 import (

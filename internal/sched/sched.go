@@ -11,7 +11,10 @@
 // simulator event loop or a server's queue lock) serialize access.
 package sched
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // ServerID identifies one key-value server in the cluster.
 type ServerID int
@@ -33,6 +36,12 @@ type Op struct {
 	Enqueued time.Duration
 
 	Tags Tags
+
+	// Class records how the serving policy classified this operation
+	// when ordering it (ClassUnknown for policies that make no such
+	// distinction). The owning policy maintains it while the op is
+	// queued; the live server reports it back to clients for tracing.
+	Class Class
 
 	// Payload carries caller context (e.g. the live store's pending
 	// connection state) through the queue untouched.
@@ -112,6 +121,85 @@ type Policy interface {
 // Factory builds one policy instance per server. The seed lets
 // randomized policies stay deterministic while differing across servers.
 type Factory func(seed uint64) Policy
+
+// Class is a policy's classification of one queued operation — which
+// term of its priority function decided the op's place in line. DAS
+// assigns it on Push (and overrides it when the starvation bound fires
+// on Pop); simpler policies leave ClassUnknown.
+type Class uint8
+
+// Operation scheduling classes.
+const (
+	// ClassUnknown means the policy recorded no classification.
+	ClassUnknown Class = iota
+	// ClassSRPTFirst marks an op ordered purely by its request's
+	// remaining bottleneck processing time (DAS's SRPT-first term).
+	ClassSRPTFirst
+	// ClassLRPTLast marks an op demoted by the LRPT-last slack term:
+	// its request is confidently stuck behind a longer queue elsewhere,
+	// so serving it early would not speed the request up.
+	ClassLRPTLast
+	// ClassPromoted marks an op served out of priority order by the
+	// MaxDelay starvation bound.
+	ClassPromoted
+)
+
+// String returns the class's metric-label name.
+func (c Class) String() string {
+	switch c {
+	case ClassUnknown:
+		return "unknown"
+	case ClassSRPTFirst:
+		return "srpt-first"
+	case ClassLRPTLast:
+		return "lrpt-last"
+	case ClassPromoted:
+		return "promoted"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// DecisionStats counts the ordering decisions a scheduling policy has
+// made since construction, making the DAS heuristic's behavior
+// inspectable in both the simulator and the live store: how the
+// SRPT/LRPT split is trending, how often the slack signal sits near
+// its firing boundary (where estimate noise could flip the decision),
+// and how often the starvation bound overrides priority order.
+type DecisionStats struct {
+	// Pushed counts ops admitted to the queue.
+	Pushed uint64
+	// SRPTFirst counts ops queued on remaining time alone.
+	SRPTFirst uint64
+	// LRPTDemoted counts ops the LRPT-last slack term demoted.
+	LRPTDemoted uint64
+	// NearBoundary counts ops whose slack fell within ±10% of the
+	// demotion threshold — decisions that a small estimate error would
+	// have flipped. A high ratio of NearBoundary to Pushed means the
+	// slack signal is too noisy for the configured SlackThreshold.
+	NearBoundary uint64
+	// Promotions counts ops the MaxDelay starvation bound served ahead
+	// of their priority order.
+	Promotions uint64
+}
+
+// Add accumulates other into s (for aggregating across servers).
+func (s *DecisionStats) Add(other DecisionStats) {
+	s.Pushed += other.Pushed
+	s.SRPTFirst += other.SRPTFirst
+	s.LRPTDemoted += other.LRPTDemoted
+	s.NearBoundary += other.NearBoundary
+	s.Promotions += other.Promotions
+}
+
+// DecisionReporter is implemented by policies that count their
+// ordering decisions (DAS does; the oblivious baselines have no
+// decisions to count). Access follows the Policy locking contract:
+// the caller serializes Decisions with Push/Pop.
+type DecisionReporter interface {
+	// Decisions returns the counters accumulated since construction.
+	Decisions() DecisionStats
+}
 
 // Keyer is implemented by policies whose service order is a static
 // numeric priority key (lower = served first). Exposing the key lets

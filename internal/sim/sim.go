@@ -257,6 +257,11 @@ type Result struct {
 	// holds 5-8, ...). Narrow and wide requests respond very
 	// differently to scheduling; this exposes who pays for whose gain.
 	ByFanout map[int]*metrics.Summary
+	// Decisions aggregates the scheduling policy's ordering decisions
+	// across all servers — SRPT-first vs LRPT-last classifications,
+	// near-boundary pushes, and MaxDelay promotions. Nil when the
+	// policy does not implement sched.DecisionReporter (e.g. FCFS).
+	Decisions *sched.DecisionStats
 }
 
 // fanoutBucket rounds a fanout up to its power-of-two bucket.
@@ -382,6 +387,12 @@ func Run(cfg Config) (*Result, error) {
 			Server:      sv.id,
 			Served:      sv.served,
 			Utilization: util,
+		}
+		if dr, ok := sv.policy.(sched.DecisionReporter); ok {
+			if s.result.Decisions == nil {
+				s.result.Decisions = &sched.DecisionStats{}
+			}
+			s.result.Decisions.Add(dr.Decisions())
 		}
 	}
 	return s.result, nil

@@ -16,8 +16,9 @@ import (
 	"math"
 )
 
-// Version is the protocol version byte.
-const Version = 1
+// Version is the protocol version byte. Version 2 added per-operation
+// Timing (queue wait, service time, scheduling class) to responses.
+const Version = 2
 
 // MaxFrameSize bounds a frame payload (16 MiB) to protect servers from
 // malformed or hostile length prefixes.
@@ -37,6 +38,24 @@ const (
 	OpStats
 	OpCAS
 )
+
+// String returns the op's metric-label name ("get", "put", ...).
+func (t OpType) String() string {
+	switch t {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpStats:
+		return "stats"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(t))
+	}
+}
 
 // Status codes.
 type Status uint8
@@ -121,6 +140,23 @@ type Feedback struct {
 	SpeedMilli uint32
 }
 
+// Timing is the server-side timeline of one operation, reported on its
+// response so clients can attribute request latency to queueing versus
+// service — and flag the straggler of a multiget — without any extra
+// RPCs. Like Tags, the fields are durations, never instants, so client
+// and server clocks need not agree.
+type Timing struct {
+	// WaitNanos is how long the op sat in the scheduling queue
+	// (arrival to service start).
+	WaitNanos int64
+	// ServiceNanos is how long service execution took. Zero for shed
+	// operations (they never reach the store).
+	ServiceNanos int64
+	// SchedClass is the serving policy's classification of the op —
+	// values mirror sched.Class (0 = the policy reported none).
+	SchedClass uint8
+}
+
 // Response answers one Request.
 type Response struct {
 	ID       uint64
@@ -130,6 +166,8 @@ type Response struct {
 	// Version is the stored version of the key a GET returned (or a
 	// PUT resulted in); 0 for unversioned entries and non-data ops.
 	Version uint64
+	// Timing is the operation's server-side service timeline.
+	Timing Timing
 }
 
 // ServerStats is the JSON document returned for OpStats requests.
@@ -145,6 +183,40 @@ type ServerStats struct {
 	// Replication is the replication factor the node was provisioned
 	// for (informational; placement is client-side).
 	Replication int `json:"replication,omitempty"`
+	// ServedByOp breaks Served down by operation type ("get", "put",
+	// "delete", "stats", "cas").
+	ServedByOp map[string]uint64 `json:"servedByOp,omitempty"`
+	// Shed counts operations dropped past their client deadline
+	// without service (load shedding of doomed work).
+	Shed uint64 `json:"shed,omitempty"`
+	// Errors counts operations answered with StatusError.
+	Errors uint64 `json:"errors,omitempty"`
+	// Decisions summarizes the scheduling policy's decision counters
+	// (absent when the policy does not report them; only DAS does).
+	Decisions *SchedDecisions `json:"decisions,omitempty"`
+	// DemandError summarizes |actual service time − tagged demand
+	// estimate| per served op: how well the client-side demand model
+	// (the estimator's input) matches reality on this server.
+	DemandError *DurationSummary `json:"demandError,omitempty"`
+}
+
+// SchedDecisions mirrors sched.DecisionStats in the stats document.
+type SchedDecisions struct {
+	Pushed       uint64 `json:"pushed"`
+	SRPTFirst    uint64 `json:"srptFirst"`
+	LRPTDemoted  uint64 `json:"lrptDemoted"`
+	NearBoundary uint64 `json:"nearBoundary"`
+	Promotions   uint64 `json:"promotions"`
+}
+
+// DurationSummary is a compact latency-distribution summary carried in
+// the stats document (nanosecond units, JSON-friendly).
+type DurationSummary struct {
+	Count     uint64 `json:"count"`
+	MeanNanos int64  `json:"meanNanos"`
+	P50Nanos  int64  `json:"p50Nanos"`
+	P99Nanos  int64  `json:"p99Nanos"`
+	MaxNanos  int64  `json:"maxNanos"`
 }
 
 // Writer encodes frames onto an io.Writer. Not safe for concurrent use.
@@ -187,6 +259,9 @@ func (w *Writer) WriteResponse(r *Response) error {
 	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Feedback.BacklogNanos))
 	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.SpeedMilli)
 	w.buf = binary.BigEndian.AppendUint64(w.buf, r.Version)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Timing.WaitNanos))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Timing.ServiceNanos))
+	w.buf = append(w.buf, r.Timing.SchedClass)
 	return w.flushFrame()
 }
 
@@ -293,6 +368,9 @@ func (r *Reader) ReadResponse(resp *Response) error {
 	resp.Feedback.BacklogNanos = int64(d.u64())
 	resp.Feedback.SpeedMilli = d.u32()
 	resp.Version = d.u64()
+	resp.Timing.WaitNanos = int64(d.u64())
+	resp.Timing.ServiceNanos = int64(d.u64())
+	resp.Timing.SchedClass = d.byte()
 	if d.err != nil {
 		return ErrBadMessage
 	}

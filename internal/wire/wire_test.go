@@ -60,6 +60,11 @@ func TestResponseRoundTrip(t *testing.T) {
 			SpeedMilli:   850,
 		},
 		Version: 77,
+		Timing: Timing{
+			WaitNanos:    1_250_000,
+			ServiceNanos: 430_000,
+			SchedClass:   2,
+		},
 	}
 	if err := w.WriteResponse(&want); err != nil {
 		t.Fatalf("WriteResponse: %v", err)
@@ -76,6 +81,9 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if got.Version != want.Version {
 		t.Fatalf("version = %d, want %d", got.Version, want.Version)
+	}
+	if got.Timing != want.Timing {
+		t.Fatalf("timing = %+v, want %+v", got.Timing, want.Timing)
 	}
 	if len(got.Value) != 0 {
 		t.Fatalf("value = %q, want empty", got.Value)
