@@ -22,6 +22,7 @@ import (
 	"github.com/daskv/daskv/internal/fault"
 	"github.com/daskv/daskv/internal/kv"
 	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wal"
 	"github.com/daskv/daskv/internal/wire"
 )
 
@@ -41,6 +42,10 @@ func run() error {
 		baseCost    = flag.Duration("cost", 0, "synthetic per-op service cost (0 = none); value bytes add cost/KiB")
 		speed       = flag.Float64("speed", 1.0, "speed factor (0.5 = half-speed server)")
 		dataPath    = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
+		walDir      = flag.String("wal", "", "write-ahead-log directory: mutations are durable before acknowledgement, crash recovery replays at startup (mutually exclusive with -data)")
+		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always | batch[:<window>] | none")
+		walSegSize  = flag.Int64("wal-segment-size", 16<<20, "WAL segment size in bytes before rotation")
+		sweep       = flag.Duration("sweep", 30*time.Second, "how often expired keys are reclaimed (0 = default, negative = never)")
 		replication = flag.Int("replication", 1, "replication factor the cluster runs with (informational; placement is client-side)")
 		metrics     = flag.String("metrics", "", "optional HTTP listen address for /stats, /metrics, /healthz")
 		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -metrics listener")
@@ -70,22 +75,34 @@ func run() error {
 			return base + base*time.Duration(valueLen)/1024
 		}
 	}
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		return err
+	}
 	srv, err := kv.NewServer(kv.ServerConfig{
-		ID:          sched.ServerID(*id),
-		Addr:        *addr,
-		Policy:      policy.Factory,
-		Workers:     *workers,
-		Cost:        cost,
-		SpeedFactor: *speed,
-		DataPath:    *dataPath,
-		WrapConn:    wrapConn,
-		Replication: *replication,
+		ID:             sched.ServerID(*id),
+		Addr:           *addr,
+		Policy:         policy.Factory,
+		Workers:        *workers,
+		Cost:           cost,
+		SpeedFactor:    *speed,
+		DataPath:       *dataPath,
+		WALDir:         *walDir,
+		WALSync:        syncPolicy,
+		WALSegmentSize: *walSegSize,
+		SweepInterval:  *sweep,
+		WrapConn:       wrapConn,
+		Replication:    *replication,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("kvserver %d listening on %s (policy=%s workers=%d speed=%.2f)\n",
 		*id, srv.Addr(), policy.Name, *workers, *speed)
+	if rep := srv.WALRecovery(); rep != nil {
+		fmt.Printf("kvserver %d wal recovery: %s\n", *id, rep)
+		fmt.Printf("kvserver %d wal on %s (sync=%s segment=%d)\n", *id, *walDir, syncPolicy, *walSegSize)
+	}
 	if *faultSpec != "" {
 		fmt.Printf("kvserver %d injecting fault %q on every connection\n", *id, *faultSpec)
 	}

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// SyncFile is the durable-file surface the WAL writes through (see
+// wal.File); the injector wraps it to manufacture storage failures the
+// connection-level faults cannot: a write torn mid-record by a crash, a
+// disk that rejects writes, an fsync that fails — or one that lies.
+type SyncFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// Injected storage-fault errors.
+var (
+	// ErrInjectedTornWrite reports a write cut short by the injector;
+	// subsequent writes fail with it too (the device is gone).
+	ErrInjectedTornWrite = errors.New("fault: injected torn write")
+	// ErrInjectedSyncFail reports an fsync failed by the injector.
+	ErrInjectedSyncFail = errors.New("fault: injected fsync failure")
+)
+
+// FileInjector manufactures storage faults on files wrapped through it.
+// Like the connection Injector it is shared state, safe for concurrent
+// use, so a chaos schedule can arm a fault from a control goroutine
+// while the committer writes.
+//
+// The zero value is healthy and usable.
+type FileInjector struct {
+	mu sync.Mutex
+	// tornKeep >= 0 arms a torn write: the next write persists only its
+	// first tornKeep bytes and fails; later writes fail outright.
+	tornKeep int
+	torn     bool // armed or already fired
+	// failSync makes Sync return ErrInjectedSyncFail.
+	failSync bool
+	// dropSync makes Sync return success WITHOUT syncing — the lying
+	// fsync ("short fsync") of a broken controller: acknowledged
+	// durability that a power cut would reveal as fiction.
+	dropSync bool
+	// syncs counts Sync calls that reached the underlying file.
+	syncs uint64
+	// droppedSyncs counts Sync calls swallowed by dropSync.
+	droppedSyncs uint64
+}
+
+// NewFileInjector returns a healthy injector.
+func NewFileInjector() *FileInjector { return &FileInjector{} }
+
+// TearNextWrite arms a torn write: the next Write through the injector
+// persists only its first keep bytes, then the file fails sticky —
+// modeling a crash mid-append. keep may be 0 (nothing of the record
+// lands).
+func (fi *FileInjector) TearNextWrite(keep int) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.torn = true
+	fi.tornKeep = keep
+}
+
+// FailSync makes every Sync fail until healed.
+func (fi *FileInjector) FailSync() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.failSync = true
+}
+
+// DropSync makes every Sync report success without syncing until
+// healed (the lying-fsync fault).
+func (fi *FileInjector) DropSync() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.dropSync = true
+}
+
+// Heal returns the injector to the healthy state. A torn write that
+// already fired stays torn for files it hit (their device "died");
+// healing only disarms future faults.
+func (fi *FileInjector) Heal() {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.torn = false
+	fi.tornKeep = 0
+	fi.failSync = false
+	fi.dropSync = false
+}
+
+// Syncs reports how many Sync calls reached the underlying file and
+// how many the lying-fsync fault swallowed.
+func (fi *FileInjector) Syncs() (real, dropped uint64) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.syncs, fi.droppedSyncs
+}
+
+// Wrap passes f's I/O through the injector.
+func (fi *FileInjector) Wrap(f SyncFile) SyncFile {
+	return &faultFile{f: f, in: fi}
+}
+
+type faultFile struct {
+	f    SyncFile
+	in   *FileInjector
+	mu   sync.Mutex
+	dead bool // a torn write hit this file
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	if ff.dead {
+		ff.mu.Unlock()
+		return 0, ErrInjectedTornWrite
+	}
+	ff.in.mu.Lock()
+	tear, keep := ff.in.torn, ff.in.tornKeep
+	ff.in.mu.Unlock()
+	if tear {
+		ff.dead = true
+		ff.mu.Unlock()
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n, err := ff.f.Write(p[:keep])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedTornWrite
+	}
+	ff.mu.Unlock()
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.in.mu.Lock()
+	fail, drop := ff.in.failSync, ff.in.dropSync
+	if fail {
+		ff.in.mu.Unlock()
+		return ErrInjectedSyncFail
+	}
+	if drop {
+		ff.in.droppedSyncs++
+		ff.in.mu.Unlock()
+		return nil
+	}
+	ff.in.syncs++
+	ff.in.mu.Unlock()
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

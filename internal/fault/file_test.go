@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// memFile is an in-memory SyncFile recording writes and syncs.
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { m.closed = true; return nil }
+
+func TestFileInjectorHealthyPassThrough(t *testing.T) {
+	under := &memFile{}
+	f := NewFileInjector().Wrap(under)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if under.buf.String() != "hello" || under.syncs != 1 || !under.closed {
+		t.Fatalf("pass-through broke: %+v", under)
+	}
+}
+
+func TestFileInjectorTornWrite(t *testing.T) {
+	under := &memFile{}
+	fi := NewFileInjector()
+	f := fi.Wrap(under)
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatalf("healthy Write: %v", err)
+	}
+	fi.TearNextWrite(3)
+	n, err := f.Write([]byte("torn-record"))
+	if !errors.Is(err, ErrInjectedTornWrite) {
+		t.Fatalf("torn Write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn Write persisted %d bytes, want 3", n)
+	}
+	if got := under.buf.String(); got != "durable|tor" {
+		t.Fatalf("underlying bytes = %q", got)
+	}
+	// The file is dead after the tear, even once the injector heals.
+	fi.Heal()
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrInjectedTornWrite) {
+		t.Fatalf("write to torn file err = %v", err)
+	}
+	// A freshly wrapped file is healthy again.
+	under2 := &memFile{}
+	f2 := fi.Wrap(under2)
+	if _, err := f2.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-heal Write: %v", err)
+	}
+}
+
+func TestFileInjectorTornWriteKeepPastLength(t *testing.T) {
+	under := &memFile{}
+	fi := NewFileInjector()
+	f := fi.Wrap(under)
+	fi.TearNextWrite(100)
+	n, err := f.Write([]byte("short"))
+	if !errors.Is(err, ErrInjectedTornWrite) || n != 5 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestFileInjectorSyncFaults(t *testing.T) {
+	under := &memFile{}
+	fi := NewFileInjector()
+	f := fi.Wrap(under)
+
+	fi.FailSync()
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSyncFail) {
+		t.Fatalf("FailSync err = %v", err)
+	}
+	fi.Heal()
+
+	fi.DropSync()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("DropSync must lie with success, got %v", err)
+	}
+	if under.syncs != 0 {
+		t.Fatal("DropSync reached the underlying file")
+	}
+	fi.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("healed Sync: %v", err)
+	}
+	real, dropped := fi.Syncs()
+	if real != 1 || dropped != 1 {
+		t.Fatalf("Syncs() = %d real, %d dropped; want 1, 1", real, dropped)
+	}
+	if under.syncs != 1 {
+		t.Fatalf("underlying syncs = %d, want 1", under.syncs)
+	}
+}

@@ -114,6 +114,26 @@ func writeExposition(w http.ResponseWriter, s *Server) {
 		e.Summary("kv_demand_error_seconds", []metrics.Label{server}, sum, 0.5, 0.99)
 	})
 
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		e.Family("kv_wal_segments", "Live write-ahead-log segment files (sealed plus active).", "gauge")
+		e.IntSample("kv_wal_segments", []metrics.Label{server}, uint64(ws.Segments))
+		e.Family("kv_wal_bytes", "Bytes across live write-ahead-log segments.", "gauge")
+		e.IntSample("kv_wal_bytes", []metrics.Label{server}, uint64(ws.Bytes))
+		e.Family("kv_wal_last_seq", "Highest write-ahead-log sequence number assigned.", "gauge")
+		e.IntSample("kv_wal_last_seq", []metrics.Label{server}, ws.LastSeq)
+		e.Family("kv_wal_snapshot_seq", "Sequence number covered by the newest on-disk store snapshot.", "gauge")
+		e.IntSample("kv_wal_snapshot_seq", []metrics.Label{server}, ws.SnapshotSeq)
+		e.Family("kv_wal_records_total", "Records appended to the write-ahead log.", "counter")
+		e.IntSample("kv_wal_records_total", []metrics.Label{server}, ws.Appended)
+		e.Family("kv_wal_fsyncs_total", "Fsync calls on the write-ahead log's append path.", "counter")
+		e.IntSample("kv_wal_fsyncs_total", []metrics.Label{server}, ws.Fsyncs)
+		e.Family("kv_wal_fsync_seconds", "Write-ahead-log append-path fsync latency.", "histogram")
+		e.Histogram("kv_wal_fsync_seconds", []metrics.Label{server}, ws.FsyncLatency)
+		e.Family("kv_wal_batch_records", "Group-commit batch sizes: records persisted per committer write.", "histogram")
+		e.CountHistogram("kv_wal_batch_records", []metrics.Label{server}, ws.BatchRecords)
+	}
+
 	if d, ok := s.decisionStats(); ok {
 		e.Family("kv_sched_decisions_total", "Scheduling policy ordering decisions, by decision class.", "counter")
 		for _, dc := range []struct {

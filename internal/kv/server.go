@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sync"
 	"time"
 
 	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wal"
 	"github.com/daskv/daskv/internal/wire"
 )
 
@@ -39,6 +41,22 @@ type ServerConfig struct {
 	// DataPath, when set, loads a snapshot at startup (if the file
 	// exists) and writes one on Close.
 	DataPath string
+	// WALDir, when set, enables the durability subsystem: every applied
+	// mutation is appended to a segmented write-ahead log in this
+	// directory before the client is acknowledged (per WALSync), startup
+	// replays snapshot plus log, and a graceful Close compacts the log
+	// into a fresh snapshot. Mutually exclusive with DataPath — the
+	// log's own snapshots subsume it.
+	WALDir string
+	// WALSync is the log's fsync policy (zero value = fsync before
+	// every acknowledgement).
+	WALSync wal.SyncPolicy
+	// WALSegmentSize caps each log segment file (default 16 MiB).
+	WALSegmentSize int64
+	// WALWrapFile wraps every segment file the log opens — the hook
+	// torn-write and failed-fsync chaos tests (internal/fault) use to
+	// corrupt durability without touching real disks.
+	WALWrapFile func(wal.File) wal.File
 	// SweepInterval is how often expired keys are reclaimed in the
 	// background (default 30s; negative disables the janitor).
 	SweepInterval time.Duration
@@ -76,11 +94,13 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // Server is one live key-value node: an accept loop feeding a
 // policy-ordered operation queue drained by a worker pool.
 type Server struct {
-	cfg     ServerConfig
-	store   *Store
-	ln      net.Listener
-	start   time.Time
-	metrics *serverMetrics
+	cfg         ServerConfig
+	store       *Store
+	ln          net.Listener
+	start       time.Time
+	metrics     *serverMetrics
+	wal         *wal.WAL
+	walRecovery *wal.RecoveryReport
 
 	mu        sync.Mutex
 	queue     sched.Policy
@@ -126,6 +146,9 @@ func (c *serverConn) writeResponse(r *wire.Response) error {
 // NewServer starts listening and serving on cfg.Addr.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.WALDir != "" && cfg.DataPath != "" {
+		return nil, fmt.Errorf("kv: WALDir and DataPath are mutually exclusive (the log keeps its own snapshots)")
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("kv: listen %s: %w", cfg.Addr, err)
@@ -147,6 +170,29 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			_ = ln.Close()
 			return nil, err
 		}
+	}
+	if cfg.WALDir != "" {
+		w, werr := wal.Open(wal.Options{
+			Dir:         cfg.WALDir,
+			SegmentSize: cfg.WALSegmentSize,
+			Sync:        cfg.WALSync,
+			WrapFile:    cfg.WALWrapFile,
+		})
+		if werr != nil {
+			_ = ln.Close()
+			return nil, werr
+		}
+		rep, rerr := w.Recover(s.store.LoadFrom, func(rec wal.Record) error {
+			s.store.applyMutation(mutationFromRecord(rec))
+			return nil
+		})
+		if rerr != nil {
+			_ = w.Close()
+			_ = ln.Close()
+			return nil, rerr
+		}
+		s.wal, s.walRecovery = w, rep
+		s.store.SetMutationHook(s.logMutation)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -175,6 +221,46 @@ func (s *Server) janitor() {
 		}
 	}
 }
+
+// mutationFromRecord converts a logged record back into the store
+// mutation it captured.
+func mutationFromRecord(rec wal.Record) Mutation {
+	m := Mutation{
+		Key:     rec.Key,
+		Value:   rec.Value,
+		Version: rec.Version,
+		Delete:  rec.Op == wal.OpDelete,
+	}
+	if rec.ExpiresAtUnixNano != 0 {
+		m.ExpiresAt = time.Unix(0, rec.ExpiresAtUnixNano)
+	}
+	return m
+}
+
+// logMutation is the store's MutationHook when the WAL is enabled: it
+// enqueues the mutation — assigning its log sequence while the shard
+// lock is still held, so per-key order on disk matches apply order —
+// and returns the group-commit ack the store waits on before the
+// client sees success.
+func (s *Server) logMutation(m Mutation) func() error {
+	op := wal.OpPut
+	if m.Delete {
+		op = wal.OpDelete
+	}
+	var exp int64
+	if !m.ExpiresAt.IsZero() {
+		exp = m.ExpiresAt.UnixNano()
+	}
+	ack, err := s.wal.Append(op, m.Key, m.Value, m.Version, exp)
+	if err != nil {
+		return func() error { return err }
+	}
+	return ack
+}
+
+// WALRecovery returns the startup crash-recovery report (nil when the
+// server runs without a write-ahead log).
+func (s *Server) WALRecovery() *wal.RecoveryReport { return s.walRecovery }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -224,6 +310,20 @@ func (s *Server) statsLocked() wire.ServerStats {
 		Shed:         s.metrics.shed.Value(),
 		Errors:       s.metrics.errors.Value(),
 		DemandError:  s.metrics.demandErrorSummary(),
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &wire.WALStats{
+			Segments:     ws.Segments,
+			Bytes:        ws.Bytes,
+			LastSeq:      ws.LastSeq,
+			SnapshotSeq:  ws.SnapshotSeq,
+			Appended:     ws.Appended,
+			Fsyncs:       ws.Fsyncs,
+			Policy:       ws.Policy,
+			FsyncLatency: durationSummary(ws.FsyncLatency),
+			BatchRecords: valueSummary(ws.BatchRecords),
+		}
 	}
 	if dr, ok := s.queue.(sched.DecisionReporter); ok {
 		d := dr.Decisions()
@@ -275,7 +375,47 @@ func (s *Server) Close() error {
 			err = serr
 		}
 	}
+	if s.wal != nil {
+		// A graceful shutdown compacts the log into a snapshot — the
+		// next start loads one file instead of replaying every segment —
+		// then closes it, flushing and fsyncing whatever the group
+		// committer still holds.
+		if _, cerr := s.wal.Compact(s.store.SaveTo); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// Crash tears the server down like a kill -9: the write-ahead log is
+// abandoned (no flush, no final fsync — only bytes already handed to
+// the OS survive), connections drop, and no snapshot or compaction
+// runs. It exists so crash-recovery tests can exercise the real
+// recovery path in-process; production shutdown is Close.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Abandon() // unblocks workers waiting on group-commit acks
+	}
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	close(s.done)
+	s.wg.Wait()
 }
 
 // loadSnapshot restores the store from DataPath; a missing file is a
@@ -295,24 +435,37 @@ func (s *Server) loadSnapshot() error {
 	return nil
 }
 
-// saveSnapshot writes the store to DataPath atomically (temp + rename).
+// saveSnapshot writes the store to DataPath atomically.
 func (s *Server) saveSnapshot() error {
-	tmp := s.cfg.DataPath + ".tmp"
+	return writeFileAtomic(s.cfg.DataPath, s.store.SaveTo)
+}
+
+// writeFileAtomic publishes path via temp file, fsync, and rename: a
+// crash or write error mid-save never leaves a truncated or corrupt
+// file at path — the previous contents survive untouched.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("kv: create snapshot: %w", err)
+		return fmt.Errorf("kv: create %s: %w", tmp, err)
 	}
-	if err := s.store.SaveTo(f); err != nil {
+	if err := write(f); err != nil {
 		_ = f.Close()
 		_ = os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("kv: sync %s: %w", tmp, err)
+	}
 	if err := f.Close(); err != nil {
 		_ = os.Remove(tmp)
-		return fmt.Errorf("kv: close snapshot: %w", err)
+		return fmt.Errorf("kv: close %s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, s.cfg.DataPath); err != nil {
-		return fmt.Errorf("kv: publish snapshot: %w", err)
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("kv: publish %s: %w", path, err)
 	}
 	return nil
 }
@@ -518,6 +671,14 @@ func (s *Server) serve(op *sched.Op) {
 		// Filled below under the stats lock.
 	default:
 		resp.Status = wire.StatusError
+	}
+	if isMutation(p.typ) && resp.Status != wire.StatusError {
+		if derr := s.store.DurabilityErr(); derr != nil {
+			// Fail stop: some mutation's log append failed, so the map
+			// may be ahead of disk. Refuse every write from here on
+			// rather than acknowledge data a restart would lose.
+			resp.Status = wire.StatusError
+		}
 	}
 	if s.cfg.Cost != nil {
 		s.burn(time.Duration(float64(s.cfg.Cost(p.typ, len(p.key), len(p.value))) / s.cfg.SpeedFactor))

@@ -161,3 +161,38 @@ func (m *serverMetrics) summarizeDemandErr(fn func(*metrics.Summary)) {
 	defer m.mu.Unlock()
 	fn(m.demandErr)
 }
+
+// isMutation reports whether an op type writes the store.
+func isMutation(t wire.OpType) bool {
+	return t == wire.OpPut || t == wire.OpDelete || t == wire.OpCAS
+}
+
+// durationSummary compresses a latency histogram snapshot into the
+// stats document's nanosecond summary shape (nil when empty).
+func durationSummary(s metrics.HistogramSnapshot) *wire.DurationSummary {
+	if s.Count == 0 {
+		return nil
+	}
+	return &wire.DurationSummary{
+		Count:     s.Count,
+		MeanNanos: int64(s.Mean()),
+		P50Nanos:  int64(s.Quantile(0.5)),
+		P99Nanos:  int64(s.Quantile(0.99)),
+		MaxNanos:  int64(s.Max()),
+	}
+}
+
+// valueSummary is durationSummary for histograms whose observations are
+// unit-less counts (group-commit batch sizes), nil when empty.
+func valueSummary(s metrics.HistogramSnapshot) *wire.ValueSummary {
+	if s.Count == 0 {
+		return nil
+	}
+	return &wire.ValueSummary{
+		Count: s.Count,
+		Mean:  float64(s.Sum) / float64(s.Count),
+		P50:   float64(s.Quantile(0.5)),
+		P99:   float64(s.Quantile(0.99)),
+		Max:   float64(s.Max()),
+	}
+}

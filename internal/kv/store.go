@@ -16,6 +16,7 @@ import (
 	"hash/maphash"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,6 +37,29 @@ func (e entry) expired(now time.Time) bool {
 	return !e.expiresAt.IsZero() && !now.Before(e.expiresAt)
 }
 
+// Mutation describes one applied store mutation as a MutationHook sees
+// it: the exact state now held for the key (Delete true means the key
+// was removed). Version and ExpiresAt are the values the map stores, so
+// replaying mutations in per-key order reproduces the map exactly.
+// Value aliases the stored slice — hooks must use it synchronously and
+// never retain or modify it.
+type Mutation struct {
+	Key       string
+	Value     []byte
+	Version   uint64
+	ExpiresAt time.Time // zero = no TTL
+	Delete    bool
+}
+
+// MutationHook observes every applied mutation. It runs while the key's
+// shard lock is held — so a hook sees each key's mutations in apply
+// order, which is what lets the durability subsystem assign
+// write-ahead-log sequence numbers that match map state — and returns
+// an ack the store waits on after releasing the lock (nil = nothing to
+// wait for). Keep the locked portion short; the expensive part (fsync)
+// belongs in the ack.
+type MutationHook func(Mutation) func() error
+
 // Store is a sharded in-memory key-value map with optional per-key TTL,
 // safe for concurrent use. Expired keys are hidden immediately and
 // reclaimed lazily on access or via Sweep.
@@ -43,6 +67,11 @@ type Store struct {
 	seed   maphash.Seed
 	now    func() time.Time
 	shards [storeShards]storeShard
+
+	hook atomic.Pointer[MutationHook]
+
+	durMu  sync.Mutex
+	durErr error
 }
 
 type storeShard struct {
@@ -62,6 +91,70 @@ func NewStore() *Store {
 func (s *Store) shard(key string) *storeShard {
 	h := maphash.String(s.seed, key)
 	return &s.shards[h&(storeShards-1)]
+}
+
+// SetMutationHook installs h (nil removes the hook). Install before the
+// store starts serving traffic: mutations racing the change may miss
+// it.
+func (s *Store) SetMutationHook(h MutationHook) {
+	if h == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&h)
+}
+
+// notify invokes the mutation hook (if any); callers hold the key's
+// shard lock.
+func (s *Store) notify(m Mutation) func() error {
+	hp := s.hook.Load()
+	if hp == nil {
+		return nil
+	}
+	return (*hp)(m)
+}
+
+// awaitDurable waits on a mutation's ack outside the shard lock. The
+// first failure latches into DurabilityErr: the map is already mutated
+// when an ack fails, so the store keeps serving reads but the server
+// fails stop on further writes.
+func (s *Store) awaitDurable(ack func() error) {
+	if ack == nil {
+		return
+	}
+	if err := ack(); err != nil {
+		s.durMu.Lock()
+		if s.durErr == nil {
+			s.durErr = err
+		}
+		s.durMu.Unlock()
+	}
+}
+
+// DurabilityErr returns the sticky first error any mutation ack
+// reported (nil while healthy). Once set, the in-memory map may be
+// ahead of the log and writes must not be acknowledged as durable.
+func (s *Store) DurabilityErr() error {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	return s.durErr
+}
+
+// applyMutation replays one logged mutation verbatim — exact version
+// and expiry, no hook, no version arbitration (the log is already in
+// win order). A record whose expiry has passed by replay time removes
+// the key instead, matching what a live sweep would have done.
+func (s *Store) applyMutation(m Mutation) {
+	sh := s.shard(m.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m.Delete || (!m.ExpiresAt.IsZero() && !s.now().Before(m.ExpiresAt)) {
+		delete(sh.m, m.Key)
+		return
+	}
+	v := make([]byte, len(m.Value))
+	copy(v, m.Value)
+	sh.m[m.Key] = entry{value: v, version: m.Version, expiresAt: m.ExpiresAt}
 }
 
 // Get returns a copy of the value for key.
@@ -125,7 +218,6 @@ func (s *Store) PutVersioned(key string, value []byte, ttl time.Duration, versio
 	}
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	e, exists := sh.m[key]
 	live := exists && !e.expired(now)
 	switch {
@@ -136,9 +228,13 @@ func (s *Store) PutVersioned(key string, value []byte, ttl time.Duration, versio
 			version = 1
 		}
 	case live && version < e.version:
+		sh.mu.Unlock()
 		return false, e.version // stale write loses
 	}
 	sh.m[key] = entry{value: v, version: version, expiresAt: exp}
+	ack := s.notify(Mutation{Key: key, Value: v, Version: version, ExpiresAt: exp})
+	sh.mu.Unlock()
+	s.awaitDurable(ack)
 	return true, version
 }
 
@@ -150,21 +246,25 @@ func (s *Store) CompareAndSwap(key string, oldValue, newValue []byte) bool {
 	now := s.now()
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	e, ok := sh.m[key]
 	live := ok && !e.expired(now)
 	if len(oldValue) == 0 {
 		if live && len(e.value) > 0 {
+			sh.mu.Unlock()
 			return false
 		}
 	} else {
 		if !live || !bytesEqual(e.value, oldValue) {
+			sh.mu.Unlock()
 			return false
 		}
 	}
 	v := make([]byte, len(newValue))
 	copy(v, newValue)
 	sh.m[key] = entry{value: v, version: e.version + 1}
+	ack := s.notify(Mutation{Key: key, Value: v, Version: e.version + 1})
+	sh.mu.Unlock()
+	s.awaitDurable(ack)
 	return true
 }
 
@@ -186,9 +286,14 @@ func (s *Store) Delete(key string) bool {
 	now := s.now()
 	sh := s.shard(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	e, ok := sh.m[key]
-	delete(sh.m, key)
+	var ack func() error
+	if ok {
+		delete(sh.m, key)
+		ack = s.notify(Mutation{Key: key, Delete: true})
+	}
+	sh.mu.Unlock()
+	s.awaitDurable(ack)
 	return ok && !e.expired(now)
 }
 

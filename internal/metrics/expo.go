@@ -93,6 +93,22 @@ func (e *Expo) Histogram(name string, labels []Label, snap HistogramSnapshot) {
 	e.IntSample(name+"_count", labels, snap.Count)
 }
 
+// CountHistogram expands a histogram snapshot whose observations are
+// unit-less counts (e.g. group-commit batch sizes): bucket bounds and
+// the sum are emitted as raw numbers, not converted to seconds the way
+// Histogram does for latency distributions.
+func (e *Expo) CountHistogram(name string, labels []Label, snap HistogramSnapshot) {
+	for _, b := range snap.Buckets {
+		bl := append(append([]Label(nil), labels...),
+			Label{Name: "le", Value: formatFloat(float64(b.UpperBound))})
+		e.IntSample(name+"_bucket", bl, b.Count)
+	}
+	inf := append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"})
+	e.IntSample(name+"_bucket", inf, snap.Count)
+	e.Sample(name+"_sum", labels, float64(snap.Sum))
+	e.IntSample(name+"_count", labels, snap.Count)
+}
+
 // Summary expands a quantile summary: name{...,quantile="q"} lines for
 // the given quantiles plus name_sum and name_count, in seconds. The
 // family must have been declared with type "summary". quantile

@@ -176,3 +176,59 @@ func TestEscapeLabelValue(t *testing.T) {
 		}
 	}
 }
+
+func TestExpoCountHistogram(t *testing.T) {
+	// A histogram of counts (batch sizes), not durations: observations
+	// are raw integers smuggled through the Duration-typed API.
+	h := NewHistogram(1, 4096, 4)
+	for _, n := range []int{1, 1, 3, 17, 200} {
+		h.Observe(time.Duration(n))
+	}
+	var sb strings.Builder
+	e := NewExpo(&sb)
+	e.Family("batch_records", "Batch sizes.", "histogram")
+	e.CountHistogram("batch_records", []Label{{Name: "server", Value: "0"}}, h.Snapshot())
+	out := sb.String()
+	for _, want := range []string{
+		`batch_records_bucket{server="0",le="+Inf"} 5`,
+		`batch_records_count{server="0"} 5`,
+		`batch_records_sum{server="0"} 222`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("count-histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bounds are raw numbers, never seconds: no bound below 1 may
+	// appear (the seconds conversion would have produced e-06 bounds).
+	if strings.Contains(out, "e-0") {
+		t.Fatalf("count-histogram bounds look like seconds:\n%s", out)
+	}
+	if problems := LintExposition(strings.NewReader(out)); len(problems) > 0 {
+		t.Fatalf("count-histogram exposition should lint clean: %v\n%s", problems, out)
+	}
+}
+
+func TestHistogramSnapshotSummaryHelpers(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 4)
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+	if got, want := snap.Mean(), 22*time.Millisecond; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	p50 := snap.Quantile(0.5)
+	if p50 < 2*time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("P50 = %v, want about 3ms", p50)
+	}
+	if max := snap.Max(); max < 100*time.Millisecond {
+		t.Fatalf("Max = %v, want >= 100ms", max)
+	}
+	var empty HistogramSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.99) != 0 || empty.Max() != 0 {
+		t.Fatal("empty snapshot helpers must return 0")
+	}
+}

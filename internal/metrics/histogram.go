@@ -126,6 +126,47 @@ type HistogramSnapshot struct {
 	Sum     time.Duration
 }
 
+// Mean returns the snapshot's exact mean (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-quantile from the cumulative buckets, using
+// each bucket's upper edge (the same bound the live histogram reports).
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= target {
+			return b.UpperBound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
+// Max returns the highest bucket edge that saw observations — an upper
+// estimate of the true maximum (0 when empty).
+func (s HistogramSnapshot) Max() time.Duration {
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
 // Snapshot copies the histogram into exposition form. Only buckets
 // whose cumulative count changed are emitted, so a sparse histogram
 // stays small on the wire; the implicit +Inf bucket (written by

@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend sweeps the sync policies with concurrent
+// appenders, the shape the live server produces (many workers, one
+// committer). It is the durability-cost companion to the in-memory
+// store benchmarks in internal/kv: `always` pays a group-shared fsync
+// per batch, `batch` pays an OS write, `none` is the write-path floor.
+func BenchmarkWALAppend(b *testing.B) {
+	value := make([]byte, 128)
+	for _, policy := range []SyncPolicy{
+		{Mode: SyncAlways},
+		{Mode: SyncBatch, Window: 2 * time.Millisecond},
+		{Mode: SyncNone},
+	} {
+		b.Run(policy.String(), func(b *testing.B) {
+			w, err := Open(Options{Dir: b.TempDir(), Sync: policy})
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			defer func() { _ = w.Close() }()
+			b.SetBytes(int64(frameHeaderLen + recordFixedLen + 8 + len(value)))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					ack, aerr := w.Append(OpPut, fmt.Sprintf("key-%04d", i%8192), value, uint64(i), 0)
+					if aerr != nil {
+						b.Fatalf("Append: %v", aerr)
+					}
+					if aerr := ack(); aerr != nil {
+						b.Fatalf("ack: %v", aerr)
+					}
+				}
+			})
+		})
+	}
+}

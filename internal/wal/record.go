@@ -1,0 +1,170 @@
+// Package wal is the store's durability subsystem: a segmented,
+// CRC32C-framed append-only log with group commit, snapshot-plus-
+// truncate compaction, and crash recovery.
+//
+// Writers enqueue records and a single committer goroutine batches them
+// per write (and, under the "always" sync policy, per fsync), so the
+// per-operation durability cost on the scheduler's hot path is one
+// channel wait instead of one disk flush — the same keep-the-service-
+// time-small-and-predictable concern that motivates the DAS scheduler
+// itself. Segments are fixed-size files named by the sequence number of
+// their first record; compaction writes an atomic snapshot of the store
+// and drops every segment it fully covers; recovery loads the newest
+// snapshot and replays the records past it, tolerating a torn final
+// record (the expected artifact of crashing mid-append) and skipping-
+// and-reporting corrupt records in sealed segments.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op is a record's mutation kind.
+type Op uint8
+
+// Record operations. OpPut carries a value (and optional expiry);
+// OpDelete is a tombstone.
+const (
+	OpPut    Op = 1
+	OpDelete Op = 2
+)
+
+// String names the op for reports and tooling.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Record is one logged mutation. Seq is assigned by the WAL at append
+// time and is strictly monotonic across segments; Version is the
+// store's last-writer-wins tag, preserved exactly so replay reproduces
+// replication-visible state; ExpiresAtUnixNano is the absolute expiry
+// instant (0 = never) so TTLs survive restarts without clock games.
+type Record struct {
+	Seq               uint64
+	Op                Op
+	Key               string
+	Value             []byte
+	Version           uint64
+	ExpiresAtUnixNano int64
+}
+
+// Frame layout:
+//
+//	length  uint32   payload byte count
+//	crc     uint32   CRC32C (Castagnoli) over the payload
+//	payload          op(1) seq(8) version(8) expiresAt(8)
+//	                 keyLen(4) valueLen(4) key valueBytes
+//
+// All integers are big-endian, matching the wire codec's idiom. The
+// length field is outside the checksum, so a corrupt length is caught
+// by the frame failing to parse (or its CRC failing), not trusted
+// blindly: scanners bound it by maxRecordLen and the bytes remaining.
+const (
+	frameHeaderLen   = 8
+	recordFixedLen   = 1 + 8 + 8 + 8 + 4 + 4
+	maxRecordLen     = 1 << 28 // 256 MiB sanity bound on one record
+	maxKeyOrValueLen = maxRecordLen - recordFixedLen
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors surfaced by frame decoding.
+var (
+	// ErrShortFrame reports a frame cut off before its declared length —
+	// the signature of a torn final write.
+	ErrShortFrame = errors.New("wal: short frame")
+	// ErrBadCRC reports a frame whose payload fails its checksum.
+	ErrBadCRC = errors.New("wal: checksum mismatch")
+	// ErrBadRecord reports a payload that checksummed fine but does not
+	// parse as a record.
+	ErrBadRecord = errors.New("wal: malformed record")
+	// ErrFrameTooLarge reports a declared frame length past the sanity
+	// bound.
+	ErrFrameTooLarge = errors.New("wal: frame length exceeds sanity bound")
+)
+
+// appendFrame encodes r as one checksummed frame onto dst.
+func appendFrame(dst []byte, r *Record) []byte {
+	payloadLen := recordFixedLen + len(r.Key) + len(r.Value)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
+	crcAt := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // CRC placeholder
+	payloadAt := len(dst)
+	dst = append(dst, byte(r.Op))
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, r.Version)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.ExpiresAtUnixNano))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Key)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Value)))
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Value...)
+	crc := crc32.Checksum(dst[payloadAt:], castagnoli)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc)
+	return dst
+}
+
+// decodeFrame parses one frame from the front of b, returning the
+// record and the total bytes consumed. Errors classify what went wrong
+// so scanners can tell a torn tail (ErrShortFrame) from corruption
+// (ErrBadCRC, ErrBadRecord) — the consumed count on a CRC error is the
+// full declared frame, letting a scanner skip it and resynchronize.
+func decodeFrame(b []byte) (rec Record, n int, err error) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, ErrShortFrame
+	}
+	payloadLen := int(binary.BigEndian.Uint32(b))
+	if payloadLen > maxRecordLen || payloadLen < recordFixedLen {
+		return Record{}, 0, ErrFrameTooLarge
+	}
+	total := frameHeaderLen + payloadLen
+	if len(b) < total {
+		return Record{}, 0, ErrShortFrame
+	}
+	want := binary.BigEndian.Uint32(b[4:])
+	payload := b[frameHeaderLen:total]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return Record{}, total, ErrBadCRC
+	}
+	rec, err = decodePayload(payload)
+	if err != nil {
+		return Record{}, total, err
+	}
+	return rec, total, nil
+}
+
+// decodePayload parses a checksum-verified payload.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < recordFixedLen {
+		return Record{}, ErrBadRecord
+	}
+	rec := Record{
+		Op:                Op(p[0]),
+		Seq:               binary.BigEndian.Uint64(p[1:]),
+		Version:           binary.BigEndian.Uint64(p[9:]),
+		ExpiresAtUnixNano: int64(binary.BigEndian.Uint64(p[17:])),
+	}
+	keyLen := int(binary.BigEndian.Uint32(p[25:]))
+	valueLen := int(binary.BigEndian.Uint32(p[29:]))
+	if keyLen < 0 || valueLen < 0 || keyLen > maxKeyOrValueLen || valueLen > maxKeyOrValueLen ||
+		recordFixedLen+keyLen+valueLen != len(p) {
+		return Record{}, ErrBadRecord
+	}
+	if rec.Op != OpPut && rec.Op != OpDelete {
+		return Record{}, ErrBadRecord
+	}
+	rec.Key = string(p[recordFixedLen : recordFixedLen+keyLen])
+	if valueLen > 0 {
+		rec.Value = append([]byte(nil), p[recordFixedLen+keyLen:]...)
+	}
+	return rec, nil
+}

@@ -1,0 +1,238 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildLog writes n records through a fresh WAL and closes it.
+func buildLog(t *testing.T, dir string, segmentSize int64, n int) {
+	t.Helper()
+	w, err := Open(Options{Dir: dir, SegmentSize: segmentSize})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		mustAppend(t, w, OpPut, fmt.Sprintf("key-%03d", i), "0123456789abcdef", uint64(i+1))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// frameOffsets parses a segment file and returns each frame's offset.
+func frameOffsets(t *testing.T, path string) []int64 {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	off := int64(0)
+	for off < int64(len(b)) {
+		_, n, derr := decodeFrame(b[off:])
+		if derr != nil || n == 0 {
+			t.Fatalf("pre-doctoring scan failed at %d: %v", off, derr)
+		}
+		offs = append(offs, off)
+		off += int64(n)
+	}
+	return offs
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	_, recs, rep := collect(t, dir, Options{})
+	if len(recs) != 0 || rep.RecordsApplied != 0 || rep.SnapshotLoaded || rep.TornTail || rep.SegmentsScanned != 0 {
+		t.Fatalf("empty dir: recs=%d report=%+v", len(recs), rep)
+	}
+	// A present-but-empty segment file is also a clean empty log.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, segName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs2, rep2 := collect(t, dir2, Options{})
+	if len(recs2) != 0 || rep2.TornTail {
+		t.Fatalf("empty segment: recs=%d report=%+v", len(recs2), rep2)
+	}
+}
+
+func TestRecoverTornTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 1<<20, 5)
+	segs := segmentPaths(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	// Simulate a crash mid-append: a partial frame at the tail.
+	partial := appendFrame(nil, &Record{Seq: 6, Op: OpPut, Key: "torn", Value: []byte("half-written")})
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(partial[:len(partial)-7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, recs, rep := collect(t, dir, Options{})
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+	if !rep.TornTail {
+		t.Fatalf("torn tail not reported: %+v", rep)
+	}
+	if _, ok := state["torn"]; ok {
+		t.Fatal("partial record must not replay")
+	}
+
+	// The tail was truncated at Open, so appends resume cleanly and the
+	// next sequence number follows the last durable record.
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := w.Recover(nil, nil); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	mustAppend(t, w, OpPut, "fresh", "v", 6)
+	if got := w.LastSeq(); got != 6 {
+		t.Fatalf("LastSeq = %d, want 6", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, recs2, rep2 := collect(t, dir, Options{})
+	if len(recs2) != 6 || rep2.TornTail {
+		t.Fatalf("after resume: %d records, report %+v", len(recs2), rep2)
+	}
+}
+
+func TestRecoverSkipsCorruptRecordMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 256, 20) // forces several segments
+	segs := segmentPaths(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("%d segments, want >= 2", len(segs))
+	}
+	// Flip a payload byte in the middle record of the FIRST (sealed)
+	// segment: its CRC fails, recovery must skip it and keep going.
+	victim := segs[0]
+	offs := frameOffsets(t, victim)
+	if len(offs) < 3 {
+		t.Fatalf("first segment has %d records, want >= 3", len(offs))
+	}
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := offs[1]
+	b[mid+frameHeaderLen+3] ^= 0x40
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	state, recs, rep := collect(t, dir, Options{SegmentSize: 256})
+	if len(recs) != 19 {
+		t.Fatalf("recovered %d records, want 19 (one skipped)", len(recs))
+	}
+	if len(rep.Skipped) != 1 {
+		t.Fatalf("skip report = %+v, want exactly one span", rep.Skipped)
+	}
+	sk := rep.Skipped[0]
+	if sk.Segment != filepath.Base(victim) || sk.Offset != mid {
+		t.Fatalf("skip span = %+v, want segment %s offset %d", sk, filepath.Base(victim), mid)
+	}
+	if rep.TornTail {
+		t.Fatal("mid-segment corruption is not a torn tail")
+	}
+	// Records after the corrupt one in the same segment still applied.
+	if _, ok := state["key-002"]; !ok {
+		t.Fatal("record after the corrupt span was lost")
+	}
+	// Inspect sees the same damage offline.
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if !info.Corrupt() {
+		t.Fatal("Inspect missed the corruption")
+	}
+}
+
+func TestRecoverSnapshotNewerThanAllSegments(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 1<<20, 5) // records seq 1..5
+	// A snapshot claiming coverage through seq 10 supersedes every
+	// segment record on disk.
+	if err := os.WriteFile(filepath.Join(dir, snapName(10)), []byte("authoritative"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var loaded []byte
+	applied := 0
+	rep, err := w.Recover(
+		func(r io.Reader) error { var e error; loaded, e = io.ReadAll(r); return e },
+		func(Record) error { applied++; return nil },
+	)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !rep.SnapshotLoaded || rep.SnapshotSeq != 10 {
+		t.Fatalf("report = %+v, want snapshot @10", rep)
+	}
+	if string(loaded) != "authoritative" {
+		t.Fatalf("snapshot body = %q", loaded)
+	}
+	if applied != 0 || rep.RecordsApplied != 0 {
+		t.Fatalf("%d records applied, want 0 (all covered)", applied)
+	}
+	// New appends continue past the snapshot's sequence.
+	mustAppend(t, w, OpPut, "k", "v", 1)
+	if got := w.LastSeq(); got != 11 {
+		t.Fatalf("LastSeq = %d, want 11", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRecoverCorruptLengthAbandonsSealedRemainder(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 256, 20)
+	segs := segmentPaths(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("%d segments, want >= 2", len(segs))
+	}
+	// Destroy a sealed segment's length field with an implausible value:
+	// no resynchronization is possible, the segment's remainder is
+	// reported as one skipped span, and later segments still replay.
+	victim := segs[0]
+	offs := frameOffsets(t, victim)
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSegment := len(offs)
+	mid := offs[1]
+	b[mid] = 0xff // length becomes ~4 GiB
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, rep := collect(t, dir, Options{SegmentSize: 256})
+	wantLost := perSegment - 1 // everything in the victim after record 1
+	if len(recs) != 20-wantLost {
+		t.Fatalf("recovered %d records, want %d", len(recs), 20-wantLost)
+	}
+	if len(rep.Skipped) != 1 {
+		t.Fatalf("skip report = %+v", rep.Skipped)
+	}
+}

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Compact bounds the log: it captures the current last sequence S,
+// waits until everything up to S is written and fsynced, writes a store
+// snapshot atomically (temp file, fsync, rename, directory fsync) named
+// for S, seals the active segment, and removes every segment whose
+// records are all <= S plus any older snapshots. write receives the
+// snapshot file and must emit a store state that includes every
+// mutation up to S — handing it kv's Store.SaveTo satisfies that
+// because mutations apply to the store before their WAL append is
+// enqueued. A mutation racing past S during the snapshot is harmless:
+// its record is in a retained segment and replay is idempotent (exact
+// versions, last write per key wins).
+//
+// It returns the number of segment files removed.
+func (w *WAL) Compact(write func(io.Writer) error) (removed int, err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return 0, err
+	}
+	s := w.nextSeq - 1
+	w.mu.Unlock()
+
+	if err := w.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: compact barrier: %w", err)
+	}
+	if err := writeSnapshotFile(filepath.Join(w.opts.Dir, snapName(s)), write); err != nil {
+		return 0, err
+	}
+
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if err := w.sealActiveLocked(); err != nil {
+		return 0, err
+	}
+	keep := w.sealed[:0]
+	for _, m := range w.sealed {
+		if m.lastSeq <= s {
+			if rerr := os.Remove(m.path); rerr != nil {
+				return removed, fmt.Errorf("wal: drop segment: %w", rerr)
+			}
+			removed++
+			continue
+		}
+		keep = append(keep, m)
+	}
+	w.sealed = keep
+	// Drop superseded snapshots.
+	if entries, derr := os.ReadDir(w.opts.Dir); derr == nil {
+		for _, ent := range entries {
+			name := ent.Name()
+			if !strings.HasSuffix(name, snapSuffix) {
+				continue
+			}
+			if seq, perr := seqFromName(name, snapSuffix); perr == nil && seq < s {
+				_ = os.Remove(filepath.Join(w.opts.Dir, name))
+			}
+		}
+	}
+	w.snapSeq, w.hasSnap = s, true
+	return removed, syncDir(w.opts.Dir)
+}
+
+// writeSnapshotFile publishes a snapshot atomically: write to a temp
+// file, fsync it, rename into place, fsync the directory. A crash at
+// any point leaves either the old state or the new — never a truncated
+// snapshot (leftover temp files are removed at Open).
+func writeSnapshotFile(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot temp: %w", err)
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so entry creations, renames, and removals
+// survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync dir: %w", serr)
+	}
+	return cerr
+}

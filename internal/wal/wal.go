@@ -1,0 +1,688 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/daskv/daskv/internal/metrics"
+)
+
+// SyncMode selects when the committer calls fsync.
+type SyncMode int
+
+// Sync modes. See SyncPolicy.
+const (
+	// SyncAlways fsyncs every group-committed batch before acknowledging
+	// its writers: an acknowledged write survives kill -9 and power loss.
+	SyncAlways SyncMode = iota
+	// SyncBatch acknowledges after the OS write and fsyncs at most once
+	// per window: a crash loses at most the last window of acknowledged
+	// writes (kill -9 alone loses nothing — the bytes are in page cache).
+	SyncBatch
+	// SyncNone never fsyncs on the append path (segment seals and Close
+	// still sync); durability rides entirely on the OS writeback.
+	SyncNone
+)
+
+// SyncPolicy is a parsed -wal-sync setting.
+type SyncPolicy struct {
+	Mode SyncMode
+	// Window is the maximum time acknowledged-but-unsynced records wait
+	// for their fsync under SyncBatch.
+	Window time.Duration
+}
+
+// defaultBatchWindow is the SyncBatch window when none is given.
+const defaultBatchWindow = 2 * time.Millisecond
+
+// String renders the policy in ParseSyncPolicy's grammar.
+func (p SyncPolicy) String() string {
+	switch p.Mode {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch:" + p.Window.String()
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("sync(%d)", int(p.Mode))
+	}
+}
+
+// ParseSyncPolicy parses "always", "none", "batch", or "batch:<window>"
+// (e.g. batch:5ms).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch {
+	case s == "" || s == "always":
+		return SyncPolicy{Mode: SyncAlways}, nil
+	case s == "none":
+		return SyncPolicy{Mode: SyncNone}, nil
+	case s == "batch":
+		return SyncPolicy{Mode: SyncBatch, Window: defaultBatchWindow}, nil
+	case strings.HasPrefix(s, "batch:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "batch:"))
+		if err != nil || d <= 0 {
+			return SyncPolicy{}, fmt.Errorf("wal: bad batch window %q", strings.TrimPrefix(s, "batch:"))
+		}
+		return SyncPolicy{Mode: SyncBatch, Window: d}, nil
+	default:
+		return SyncPolicy{}, fmt.Errorf("wal: unknown sync policy %q (want always|batch:<window>|none)", s)
+	}
+}
+
+// File is the write surface the WAL needs from a segment file. It is an
+// interface so fault injection (internal/fault's FileInjector) can tear
+// writes or lie about fsyncs in chaos tests.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory, created if absent. One WAL owns one
+	// directory.
+	Dir string
+	// SegmentSize is the rotation threshold in bytes (default 16 MiB).
+	SegmentSize int64
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// WrapFile, when set, wraps every newly created segment file on the
+	// append path — the fault-injection hook.
+	WrapFile func(File) File
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 16 << 20
+	}
+	if o.Sync.Mode == SyncBatch && o.Sync.Window <= 0 {
+		o.Sync.Window = defaultBatchWindow
+	}
+	return o
+}
+
+// Ack awaits one append's durability point: under SyncAlways the batch
+// fsync, under SyncBatch/SyncNone the OS write. It returns the sticky
+// WAL error if the log has failed.
+type Ack func() error
+
+// segmentMeta describes one sealed (no longer written) segment.
+type segmentMeta struct {
+	path     string
+	firstSeq uint64
+	lastSeq  uint64
+	bytes    int64
+}
+
+// pending is one queued append (or a sync barrier when frame is nil).
+type pending struct {
+	frame []byte
+	seq   uint64
+	sync  bool
+	done  chan error
+}
+
+// WAL is a segmented write-ahead log. All methods are safe for
+// concurrent use. Appends enqueue to a single committer goroutine that
+// batches writes (group commit); see SyncMode for the acknowledgement
+// contract.
+type WAL struct {
+	opts Options
+
+	mu         sync.Mutex
+	nextSeq    uint64
+	queue      []*pending
+	failed     error
+	closed     bool
+	recovered  bool
+	tornAtOpen bool
+
+	// File-side state, owned by the committer; fmu guards it only for
+	// Stats/Compact readers so appenders never wait on disk I/O.
+	fmu      sync.Mutex
+	seg      File
+	segPath  string
+	segStart uint64
+	segLast  uint64
+	segBytes int64
+	sealed   []segmentMeta
+	snapSeq  uint64 // seq covered by the newest snapshot on disk
+	hasSnap  bool
+
+	appended  atomic.Uint64
+	fsyncs    atomic.Uint64
+	hmu       sync.Mutex
+	fsyncHist *metrics.Histogram
+	batchHist *metrics.Histogram
+
+	wake    chan struct{}
+	quit    chan struct{}
+	abandon chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Histogram bounds: fsync latencies from 1µs to 10s (4 sub-buckets per
+// octave, matching the server's op histograms); batch sizes from 1 to
+// 4096 records.
+const (
+	fsyncHistSmallest = time.Microsecond
+	fsyncHistLargest  = 10 * time.Second
+	batchHistLargest  = 4096
+	histPerOctave     = 4
+)
+
+// Open scans dir (creating it if needed), truncates a torn tail off the
+// final segment, and starts the committer. Call Recover before the
+// first Append to replay existing state; appending without recovering
+// is allowed only when the caller does not care about prior contents.
+func Open(opts Options) (*WAL, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	w := &WAL{
+		opts:      opts,
+		nextSeq:   1,
+		fsyncHist: metrics.NewHistogram(fsyncHistSmallest, fsyncHistLargest, histPerOctave),
+		batchHist: metrics.NewHistogram(1, batchHistLargest, histPerOctave),
+		wake:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		abandon:   make(chan struct{}),
+	}
+	if err := w.scanDir(); err != nil {
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.committer()
+	return w, nil
+}
+
+// scanDir inventories segments and snapshots, removes leftover temp
+// files, and fixes nextSeq. The final segment's tail is scanned and a
+// torn last record truncated away so appends resume on a clean
+// boundary.
+func (w *WAL) scanDir() error {
+	entries, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: read dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		path := filepath.Join(w.opts.Dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			_ = os.Remove(path) // crashed mid-snapshot; the rename never happened
+		case strings.HasSuffix(name, segSuffix):
+			first, perr := seqFromName(name, segSuffix)
+			if perr != nil {
+				continue // foreign file; leave it alone
+			}
+			info, ierr := ent.Info()
+			if ierr != nil {
+				return fmt.Errorf("wal: stat %s: %w", name, ierr)
+			}
+			w.sealed = append(w.sealed, segmentMeta{path: path, firstSeq: first, bytes: info.Size()})
+		case strings.HasSuffix(name, snapSuffix):
+			seq, perr := seqFromName(name, snapSuffix)
+			if perr != nil {
+				continue
+			}
+			if !w.hasSnap || seq >= w.snapSeq {
+				w.snapSeq = seq
+				w.hasSnap = true
+			}
+		}
+	}
+	sort.Slice(w.sealed, func(i, j int) bool { return w.sealed[i].firstSeq < w.sealed[j].firstSeq })
+	// Fill lastSeq: for every segment but the final one it is the next
+	// segment's firstSeq - 1; the final one is scanned (and its torn
+	// tail, if any, truncated).
+	for i := range w.sealed {
+		if i+1 < len(w.sealed) {
+			w.sealed[i].lastSeq = w.sealed[i+1].firstSeq - 1
+		}
+	}
+	if n := len(w.sealed); n > 0 {
+		last := &w.sealed[n-1]
+		res, serr := scanSegmentFile(last.path, nil)
+		if serr != nil {
+			return serr
+		}
+		if res.torn {
+			if terr := os.Truncate(last.path, res.goodBytes); terr != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", last.path, terr)
+			}
+			last.bytes = res.goodBytes
+			w.tornAtOpen = true
+		}
+		last.lastSeq = res.lastSeq
+		if last.lastSeq < last.firstSeq { // nothing valid survived
+			last.lastSeq = last.firstSeq - 1
+		}
+		w.nextSeq = last.lastSeq + 1
+	}
+	if w.hasSnap && w.snapSeq >= w.nextSeq {
+		w.nextSeq = w.snapSeq + 1
+	}
+	return nil
+}
+
+const (
+	segSuffix  = ".wal"
+	snapSuffix = ".snap"
+)
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("%020d%s", firstSeq, segSuffix) }
+func snapName(seq uint64) string     { return fmt.Sprintf("%020d%s", seq, snapSuffix) }
+
+// seqFromName parses the 20-digit sequence prefix of a segment or
+// snapshot file name.
+func seqFromName(name, suffix string) (uint64, error) {
+	base := strings.TrimSuffix(name, suffix)
+	if len(base) != 20 {
+		return 0, fmt.Errorf("wal: foreign file name %q", name)
+	}
+	return strconv.ParseUint(base, 10, 64)
+}
+
+// Append logs one mutation, assigning its sequence number, and returns
+// an Ack for its durability point. The error return is non-nil only
+// when the WAL is closed or has failed (the Ack carries batch errors).
+func (w *WAL) Append(op Op, key string, value []byte, version uint64, expiresAtUnixNano int64) (Ack, error) {
+	p := &pending{done: make(chan error, 1)}
+	w.mu.Lock()
+	if err := w.unusableLocked(); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	rec := Record{
+		Seq: w.nextSeq, Op: op, Key: key, Value: value,
+		Version: version, ExpiresAtUnixNano: expiresAtUnixNano,
+	}
+	w.nextSeq++
+	p.seq = rec.Seq
+	p.frame = appendFrame(nil, &rec)
+	w.queue = append(w.queue, p)
+	w.mu.Unlock()
+	w.appended.Add(1)
+	w.kick()
+	return p.wait, nil
+}
+
+// Sync blocks until every record appended before the call is written
+// and fsynced — the barrier compaction and graceful shutdown use.
+func (w *WAL) Sync() error {
+	p := &pending{sync: true, done: make(chan error, 1)}
+	w.mu.Lock()
+	if err := w.unusableLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.queue = append(w.queue, p)
+	w.mu.Unlock()
+	w.kick()
+	return p.wait()
+}
+
+func (w *WAL) unusableLocked() error {
+	if w.closed {
+		return ErrClosed
+	}
+	return w.failed
+}
+
+func (p *pending) wait() error { return <-p.done }
+
+func (w *WAL) kick() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// ErrClosed reports use of a closed WAL.
+var ErrClosed = fmt.Errorf("wal: closed")
+
+// ErrAbandoned reports appends cut off by Abandon (the simulated
+// crash): the record may or may not have reached disk.
+var ErrAbandoned = fmt.Errorf("wal: abandoned (simulated crash)")
+
+// fail latches the first error; every queued and future append reports
+// it. A WAL failure is fail-stop: the in-memory store keeps serving but
+// the server surfaces mutations as errors (see kv.Store.DurabilityErr).
+func (w *WAL) fail(err error) {
+	w.mu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.mu.Unlock()
+}
+
+// takeQueue swaps out the pending queue.
+func (w *WAL) takeQueue() []*pending {
+	w.mu.Lock()
+	q := w.queue
+	w.queue = nil
+	w.mu.Unlock()
+	return q
+}
+
+// committer is the single goroutine that writes and fsyncs batches.
+func (w *WAL) committer() {
+	defer w.wg.Done()
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	dirty := false
+	for {
+		select {
+		case <-w.wake:
+		case <-timerC:
+			timerC = nil
+			if dirty {
+				if err := w.syncActive(); err != nil {
+					w.fail(err)
+				}
+				dirty = false
+			}
+			continue
+		case <-w.quit:
+			w.commitBatch(w.takeQueue(), &dirty, true)
+			if dirty {
+				if err := w.syncActive(); err != nil {
+					w.fail(err)
+				}
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-w.abandon:
+			w.failQueue(ErrAbandoned)
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+		batch := w.takeQueue()
+		if len(batch) == 0 {
+			continue
+		}
+		w.commitBatch(batch, &dirty, false)
+		if dirty && w.opts.Sync.Mode == SyncBatch && timerC == nil {
+			if timer == nil {
+				timer = time.NewTimer(w.opts.Sync.Window)
+			} else {
+				timer.Reset(w.opts.Sync.Window)
+			}
+			timerC = timer.C
+		}
+	}
+}
+
+// commitBatch writes one batch and applies the sync policy. closing
+// forces an fsync regardless of policy (the graceful-shutdown flush).
+func (w *WAL) commitBatch(batch []*pending, dirty *bool, closing bool) {
+	if len(batch) == 0 {
+		return
+	}
+	records := 0
+	barrier := closing
+	for _, p := range batch {
+		if p.sync {
+			barrier = true
+		} else {
+			records++
+		}
+	}
+	err := w.writeFrames(batch)
+	if err != nil {
+		w.fail(err)
+		w.complete(batch, err)
+		return
+	}
+	if records > 0 {
+		*dirty = true
+		w.hmu.Lock()
+		w.batchHist.Observe(time.Duration(records))
+		w.hmu.Unlock()
+	}
+	switch {
+	case w.opts.Sync.Mode == SyncAlways || barrier:
+		if err := w.syncActive(); err != nil {
+			w.fail(err)
+			w.complete(batch, err)
+			return
+		}
+		*dirty = false
+		w.complete(batch, nil)
+	default:
+		// SyncBatch and SyncNone acknowledge after the OS write.
+		w.complete(batch, nil)
+	}
+}
+
+// writeFrames appends every record frame to the active segment,
+// rotating at the size threshold.
+func (w *WAL) writeFrames(batch []*pending) error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	for _, p := range batch {
+		if p.sync {
+			continue
+		}
+		if w.seg != nil && w.segBytes > 0 && w.segBytes+int64(len(p.frame)) > w.opts.SegmentSize {
+			if err := w.sealActiveLocked(); err != nil {
+				return err
+			}
+		}
+		if w.seg == nil {
+			if err := w.openSegmentLocked(p.seq); err != nil {
+				return err
+			}
+		}
+		if _, err := w.seg.Write(p.frame); err != nil {
+			return fmt.Errorf("wal: write segment %s: %w", w.segPath, err)
+		}
+		w.segBytes += int64(len(p.frame))
+		w.segLast = p.seq
+	}
+	return nil
+}
+
+// openSegmentLocked creates the next segment file; fmu must be held.
+func (w *WAL) openSegmentLocked(firstSeq uint64) error {
+	path := filepath.Join(w.opts.Dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var file File = f
+	if w.opts.WrapFile != nil {
+		file = w.opts.WrapFile(file)
+	}
+	w.seg, w.segPath, w.segStart, w.segLast, w.segBytes = file, path, firstSeq, firstSeq-1, 0
+	return syncDir(w.opts.Dir)
+}
+
+// sealActiveLocked fsyncs and closes the active segment, moving it to
+// the sealed list; fmu must be held.
+func (w *WAL) sealActiveLocked() error {
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment %s: %w", w.segPath, err)
+	}
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("wal: close segment %s: %w", w.segPath, err)
+	}
+	w.sealed = append(w.sealed, segmentMeta{
+		path: w.segPath, firstSeq: w.segStart, lastSeq: w.segLast, bytes: w.segBytes,
+	})
+	w.seg = nil
+	w.segPath = ""
+	return nil
+}
+
+// syncActive fsyncs the active segment, recording the latency.
+func (w *WAL) syncActive() error {
+	w.fmu.Lock()
+	seg, path := w.seg, w.segPath
+	w.fmu.Unlock()
+	if seg == nil {
+		return nil
+	}
+	start := time.Now()
+	if err := seg.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", path, err)
+	}
+	elapsed := time.Since(start)
+	w.fsyncs.Add(1)
+	w.hmu.Lock()
+	w.fsyncHist.Observe(elapsed)
+	w.hmu.Unlock()
+	return nil
+}
+
+// complete releases a batch's waiters.
+func (w *WAL) complete(batch []*pending, err error) {
+	for _, p := range batch {
+		p.done <- err
+	}
+}
+
+// failQueue drains and fails everything pending.
+func (w *WAL) failQueue(err error) {
+	w.complete(w.takeQueue(), err)
+}
+
+// Close flushes the queue, fsyncs, and closes the active segment. The
+// WAL is unusable afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.quit)
+	w.wg.Wait()
+	w.failQueue(ErrClosed) // races between close and append lose cleanly
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.seg != nil {
+		err := w.seg.Close()
+		w.seg = nil
+		if err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// Abandon simulates kill -9: the committer stops without flushing,
+// queued appends fail with ErrAbandoned, and nothing is fsynced. Bytes
+// already written survive in the OS page cache exactly as they would a
+// real SIGKILL; unsynced data is lost only to power failure. The chaos
+// suite uses this to crash a server mid-workload in-process.
+func (w *WAL) Abandon() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	if w.failed == nil {
+		w.failed = ErrAbandoned
+	}
+	w.mu.Unlock()
+	close(w.abandon)
+	w.wg.Wait()
+	w.failQueue(ErrAbandoned)
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+}
+
+// LastSeq returns the highest assigned sequence number (0 before any
+// append on a fresh log).
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// Err returns the sticky failure, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// Snapshot is a point-in-time view of the WAL's operational state.
+type Snapshot struct {
+	// Segments counts live segment files (sealed plus active).
+	Segments int
+	// Bytes is the byte total across live segments.
+	Bytes int64
+	// LastSeq is the highest assigned sequence number.
+	LastSeq uint64
+	// SnapshotSeq is the sequence covered by the newest on-disk store
+	// snapshot (0 = none).
+	SnapshotSeq uint64
+	// Appended counts records accepted since Open.
+	Appended uint64
+	// Fsyncs counts fsync calls on the append path since Open.
+	Fsyncs uint64
+	// Policy is the sync policy string.
+	Policy string
+	// FsyncLatency is the append-path fsync latency distribution.
+	FsyncLatency metrics.HistogramSnapshot
+	// BatchRecords is the group-commit batch size distribution (records
+	// per committed write batch; one observation per batch).
+	BatchRecords metrics.HistogramSnapshot
+}
+
+// Stats snapshots the WAL's operational state for /stats and /metrics.
+func (w *WAL) Stats() Snapshot {
+	snap := Snapshot{
+		Appended: w.appended.Load(),
+		Fsyncs:   w.fsyncs.Load(),
+		Policy:   w.opts.Sync.String(),
+		LastSeq:  w.LastSeq(),
+	}
+	w.fmu.Lock()
+	snap.SnapshotSeq = w.snapSeq
+	for _, m := range w.sealed {
+		snap.Bytes += m.bytes
+	}
+	snap.Segments = len(w.sealed)
+	if w.seg != nil {
+		snap.Segments++
+		snap.Bytes += w.segBytes
+	}
+	w.fmu.Unlock()
+	w.hmu.Lock()
+	snap.FsyncLatency = w.fsyncHist.Snapshot()
+	snap.BatchRecords = w.batchHist.Snapshot()
+	w.hmu.Unlock()
+	return snap
+}

@@ -198,6 +198,44 @@ type ServerStats struct {
 	// estimate| per served op: how well the client-side demand model
 	// (the estimator's input) matches reality on this server.
 	DemandError *DurationSummary `json:"demandError,omitempty"`
+	// WAL reports the durability subsystem's state (absent when the
+	// server runs without a write-ahead log).
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats is the write-ahead log's section of the stats document.
+type WALStats struct {
+	// Segments counts live log segment files (sealed plus active).
+	Segments int `json:"segments"`
+	// Bytes is the byte total across live segments.
+	Bytes int64 `json:"bytes"`
+	// LastSeq is the highest log sequence number assigned.
+	LastSeq uint64 `json:"lastSeq"`
+	// SnapshotSeq is the sequence covered by the newest on-disk
+	// snapshot (0 = no snapshot yet).
+	SnapshotSeq uint64 `json:"snapshotSeq,omitempty"`
+	// Appended counts records accepted since the log opened.
+	Appended uint64 `json:"appended"`
+	// Fsyncs counts fsync calls on the append path since open.
+	Fsyncs uint64 `json:"fsyncs"`
+	// Policy is the sync policy string ("always", "batch:2ms", "none").
+	Policy string `json:"policy"`
+	// FsyncLatency is the append-path fsync latency distribution.
+	FsyncLatency *DurationSummary `json:"fsyncLatency,omitempty"`
+	// BatchRecords is the group-commit batch size distribution —
+	// records persisted per committer write; the mean is the fsync
+	// amortization factor.
+	BatchRecords *ValueSummary `json:"batchRecords,omitempty"`
+}
+
+// ValueSummary is DurationSummary's unit-less sibling for
+// distributions that are counts rather than times.
+type ValueSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
 }
 
 // SchedDecisions mirrors sched.DecisionStats in the stats document.
