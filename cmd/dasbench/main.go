@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,8 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
+		liveDur  = flag.Duration("live", 0, "wall-clock duration per live-store policy run (default 6s)")
+		liveJSON = flag.String("live-json", "", "run only the live-store benchmark and write JSON results to this path")
 	)
 	flag.Parse()
 
@@ -50,6 +53,10 @@ func run() error {
 		Requests: *requests,
 		Seeds:    *seeds,
 		Seed:     *seed,
+		Live:     *liveDur,
+	}
+	if *liveJSON != "" {
+		return writeLiveJSON(params, *liveJSON)
 	}
 	var selected []bench.Experiment
 	if *expFlag == "all" {
@@ -92,5 +99,35 @@ func run() error {
 		}
 		fmt.Printf("(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// writeLiveJSON runs the live loopback benchmark and writes the
+// per-policy results as a benchstat-friendly JSON document.
+func writeLiveJSON(params bench.Params, path string) error {
+	start := time.Now()
+	results, err := bench.RunLiveJSON(params)
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Benchmark string             `json:"benchmark"`
+		Note      string             `json:"note"`
+		Results   []bench.LiveResult `json:"results"`
+	}{
+		Benchmark: "live-store multiget RCT",
+		Note:      "4 loopback servers, 24 closed-loop multiget clients; per-server batch frames (wire v3)",
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("(live benchmark completed in %v, wrote %s)\n",
+		time.Since(start).Round(time.Millisecond), path)
 	return nil
 }

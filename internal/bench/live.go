@@ -50,6 +50,45 @@ func runE12(p Params, w io.Writer) error {
 	return nil
 }
 
+// LiveResult is one policy's outcome from the live loopback benchmark,
+// shaped for machine consumption (dasbench -live-json).
+type LiveResult struct {
+	Policy   string  `json:"policy"`
+	Requests uint64  `json:"requests"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// RunLiveJSON runs the E12 live-store benchmark for each policy and
+// returns structured results instead of a rendered table.
+func RunLiveJSON(p Params) ([]LiveResult, error) {
+	p = p.withDefaults()
+	out := make([]LiveResult, 0, 3)
+	for _, pc := range []struct {
+		name     string
+		factory  sched.Factory
+		adaptive bool
+	}{
+		{name: "FCFS", factory: sched.FCFSFactory},
+		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
+		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+	} {
+		sum, n, err := runLiveOnce(pc.factory, pc.adaptive, p.Live)
+		if err != nil {
+			return nil, fmt.Errorf("bench: live %s: %w", pc.name, err)
+		}
+		out = append(out, LiveResult{
+			Policy:   pc.name,
+			Requests: n,
+			MeanMs:   float64(sum.Mean()) / float64(time.Millisecond),
+			P50Ms:    float64(sum.P50()) / float64(time.Millisecond),
+			P99Ms:    float64(sum.P99()) / float64(time.Millisecond),
+		})
+	}
+	return out, nil
+}
+
 // runLiveOnce drives one policy on a fresh loopback cluster.
 func runLiveOnce(factory sched.Factory, adaptive bool, runFor time.Duration) (*metrics.Summary, uint64, error) {
 	const (

@@ -1,0 +1,285 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// interopKeys builds n preloadable key/value pairs.
+func interopKeys(n int) map[string][]byte {
+	pairs := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		pairs[fmt.Sprintf("interop-%03d", i)] = []byte(fmt.Sprintf("value-%03d", i))
+	}
+	return pairs
+}
+
+// TestInteropV2ClientNewServer pins the client to protocol v2 against
+// current servers: every operation must work, and the servers must see
+// only single-op frames (batches degrade on the wire, not semantically).
+func TestInteropV2ClientNewServer(t *testing.T) {
+	servers := make([]*Server, 3)
+	addrs := make(map[sched.ServerID]string, len(servers))
+	for i := range servers {
+		srv, err := NewServer(ServerConfig{ID: sched.ServerID(i), Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatalf("NewServer %d: %v", i, err)
+		}
+		servers[i] = srv
+		addrs[srv.ID()] = srv.Addr()
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+	client, err := NewClient(ClientConfig{
+		Servers:         addrs,
+		ProtocolVersion: wire.Version2,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	ctx := context.Background()
+	pairs := interopKeys(32)
+	if err := client.MSet(ctx, pairs); err != nil {
+		t.Fatalf("MSet over v2: %v", err)
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	got, err := client.MGet(ctx, keys)
+	if err != nil {
+		t.Fatalf("MGet over v2: %v", err)
+	}
+	for k, want := range pairs {
+		if string(got[k]) != string(want) {
+			t.Fatalf("key %q = %q, want %q", k, got[k], want)
+		}
+	}
+	if err := client.Put(ctx, "v2-single", []byte("x")); err != nil {
+		t.Fatalf("Put over v2: %v", err)
+	}
+	if err := client.CompareAndSwap(ctx, "v2-single", []byte("x"), []byte("y")); err != nil {
+		t.Fatalf("CAS over v2: %v", err)
+	}
+	if err := client.Delete(ctx, "v2-single"); err != nil {
+		t.Fatalf("Delete over v2: %v", err)
+	}
+	// The degraded wire carries no batch frames at all.
+	for _, srv := range servers {
+		stats, err := client.Stats(ctx, srv.ID())
+		if err != nil {
+			t.Fatalf("Stats %d: %v", srv.ID(), err)
+		}
+		if stats.Batches != 0 || stats.BatchOps != 0 {
+			t.Fatalf("server %d saw %d batch frames (%d ops) from a v2 client",
+				srv.ID(), stats.Batches, stats.BatchOps)
+		}
+	}
+}
+
+// strictV2Server emulates a pre-batching peer: it decodes with
+// ReadRequest — which rejects batch frames outright — and answers in
+// protocol v2. Shutdown via close().
+type strictV2Server struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	store map[string][]byte
+}
+
+func startStrictV2Server(t *testing.T) *strictV2Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &strictV2Server{ln: ln, store: make(map[string][]byte)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *strictV2Server) close() { _ = s.ln.Close() }
+
+func (s *strictV2Server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := wire.NewReader(conn)
+	w := wire.NewWriter(conn)
+	w.SetVersion(wire.Version2)
+	var req wire.Request
+	for {
+		if err := r.ReadRequest(&req); err != nil {
+			return // batch frame or torn conn: a real old server drops it too
+		}
+		resp := wire.Response{ID: req.ID, Status: wire.StatusOK}
+		s.mu.Lock()
+		switch req.Type {
+		case wire.OpGet:
+			v, ok := s.store[req.Key]
+			if ok {
+				resp.Value = v
+			} else {
+				resp.Status = wire.StatusNotFound
+			}
+		case wire.OpPut:
+			s.store[req.Key] = append([]byte(nil), req.Value...)
+		case wire.OpDelete:
+			delete(s.store, req.Key)
+		default:
+			resp.Status = wire.StatusError
+		}
+		s.mu.Unlock()
+		if err := w.WriteResponse(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// TestInteropPinnedClientStrictV2Server runs a v2-pinned client against
+// a server that predates batch frames: multiget and multiset must work
+// end to end, because the pinned client never emits a batch frame.
+func TestInteropPinnedClientStrictV2Server(t *testing.T) {
+	old := startStrictV2Server(t)
+	client, err := NewClient(ClientConfig{
+		Servers:         map[sched.ServerID]string{0: old.ln.Addr().String()},
+		ProtocolVersion: wire.Version2,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	ctx := context.Background()
+	pairs := interopKeys(16)
+	if err := client.MSet(ctx, pairs); err != nil {
+		t.Fatalf("MSet against strict-v2 server: %v", err)
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	got, err := client.MGet(ctx, keys)
+	if err != nil {
+		t.Fatalf("MGet against strict-v2 server: %v", err)
+	}
+	for k, want := range pairs {
+		if string(got[k]) != string(want) {
+			t.Fatalf("key %q = %q, want %q", k, got[k], want)
+		}
+	}
+}
+
+// TestInteropV3ClientStrictV2ServerFails documents the other corner of
+// the matrix: an unpinned client's batch frame is rejected by a strict
+// v2 peer, surfacing as unavailability rather than silent corruption.
+func TestInteropV3ClientStrictV2ServerFails(t *testing.T) {
+	old := startStrictV2Server(t)
+	client, err := NewClient(ClientConfig{
+		Servers: map[sched.ServerID]string{0: old.ln.Addr().String()},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	ctx := context.Background()
+	// Single-op frames are layout-identical across versions, so
+	// single-key traffic still works...
+	if err := client.Put(ctx, "still-works", []byte("x")); err != nil {
+		t.Fatalf("single-op Put against strict-v2 server: %v", err)
+	}
+	// ...but a multiget wide enough to form a batch frame is refused.
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("batch-%d", i)
+	}
+	if _, err := client.MGet(ctx, keys); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("batched MGet err = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestBatchStatsCounters checks the server accounts batch admissions and
+// coalesced response flushes for a current client.
+func TestBatchStatsCounters(t *testing.T) {
+	srv, err := NewServer(ServerConfig{ID: 0, Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := NewClient(ClientConfig{
+		Servers: map[sched.ServerID]string{0: srv.Addr()},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	ctx := context.Background()
+	pairs := interopKeys(32)
+	if err := client.MSet(ctx, pairs); err != nil {
+		t.Fatalf("MSet: %v", err)
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	if _, err := client.MGet(ctx, keys); err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	stats, err := client.Stats(ctx, 0)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Batches == 0 {
+		t.Fatal("server admitted no batch frames from a v3 client")
+	}
+	if stats.BatchOps < uint64(len(pairs)) {
+		t.Fatalf("batchOps = %d, want >= %d", stats.BatchOps, len(pairs))
+	}
+	if stats.RespFrames == 0 || stats.RespFlushes == 0 {
+		t.Fatalf("response accounting missing: frames=%d flushes=%d",
+			stats.RespFrames, stats.RespFlushes)
+	}
+	if stats.RespFlushes > stats.RespFrames {
+		t.Fatalf("flushes=%d exceed frames=%d", stats.RespFlushes, stats.RespFrames)
+	}
+}
+
+// TestDispatchAllocCeiling pins the client dispatch encode path: with
+// the request slice built and the writer's scratch warmed, sending a
+// per-server group must not allocate at all.
+func TestDispatchAllocCeiling(t *testing.T) {
+	c := &Client{cfg: ClientConfig{}}
+	cc := &clientConn{client: c, w: wire.NewWriter(io.Discard)}
+	reqs := make([]wire.Request, 16)
+	for i := range reqs {
+		reqs[i] = wire.Request{ID: uint64(i), Type: wire.OpGet, Key: fmt.Sprintf("alloc-%02d", i)}
+	}
+	if err := c.writeChunked(cc, reqs); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := c.writeChunked(cc, reqs); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("dispatch encode allocates %.1f per group in steady state, want 0", got)
+	}
+}

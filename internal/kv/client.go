@@ -167,6 +167,51 @@ type ClientConfig struct {
 	// default of 64; negative disables tracing). Each retained trace
 	// costs one OpTrace per operation.
 	TraceDepth int
+	// ProtocolVersion pins the wire protocol the client speaks (0 =
+	// current, wire.Version). Pin wire.Version2 to interoperate with
+	// pre-batching servers: multiget batches then degrade to runs of
+	// single-op v2 frames that still share one flush per server.
+	ProtocolVersion int
+	// MaxBatchOps caps how many operations ride in one batch frame
+	// (default DefaultMaxBatchOps, hard-capped at wire.MaxBatchOps).
+	// Larger per-server groups split into several frames.
+	MaxBatchOps int
+	// WriteFanoutLimit bounds how many per-server write batches MSet
+	// keeps in flight concurrently (default 2× the server count). It is
+	// the replacement for the old goroutine-per-key fan-out: a large
+	// multiset now costs O(servers) goroutines, never O(keys).
+	WriteFanoutLimit int
+}
+
+// DefaultMaxBatchOps is the batch frame width when MaxBatchOps is 0.
+const DefaultMaxBatchOps = 512
+
+// maxBatchBytes soft-bounds one batch frame's payload so multisets of
+// large values split well below the 16 MiB wire frame limit.
+const maxBatchBytes = 4 << 20
+
+// reqOverhead approximates one encoded operation's fixed framing cost,
+// for the byte-aware batch splitting.
+const reqOverhead = 96
+
+// batchLimit returns the effective per-frame operation cap.
+func (cfg ClientConfig) batchLimit() int {
+	n := cfg.MaxBatchOps
+	if n <= 0 {
+		n = DefaultMaxBatchOps
+	}
+	if n > wire.MaxBatchOps {
+		n = wire.MaxBatchOps
+	}
+	return n
+}
+
+// writeLimit returns the effective concurrent write-batch cap.
+func (cfg ClientConfig) writeLimit() int {
+	if cfg.WriteFanoutLimit > 0 {
+		return cfg.WriteFanoutLimit
+	}
+	return 2 * len(cfg.Servers)
 }
 
 // DefaultTraceDepth is the trace ring size when TraceDepth is 0.
@@ -239,6 +284,19 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	switch cfg.ProtocolVersion {
+	case 0:
+		cfg.ProtocolVersion = wire.Version
+	case wire.Version2, wire.Version3:
+	default:
+		return nil, fmt.Errorf("kv: unsupported protocol version %d", cfg.ProtocolVersion)
+	}
+	if cfg.MaxBatchOps < 0 {
+		return nil, fmt.Errorf("kv: negative batch limit %d", cfg.MaxBatchOps)
+	}
+	if cfg.WriteFanoutLimit < 0 {
+		return nil, fmt.Errorf("kv: negative write fan-out limit %d", cfg.WriteFanoutLimit)
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -449,22 +507,151 @@ func (c *Client) CompareAndSwap(ctx context.Context, key string, oldValue, newVa
 	}
 }
 
-// MSet stores many keys in parallel (each replicated per the client's
-// Replicas setting). It fails on the first transport error; on error
-// some writes may have been applied.
+// MSet stores many keys (each replicated per the client's Replicas
+// setting). Writes are grouped by destination server and sent as batch
+// frames — one goroutine and O(1) syscalls per server, never one per
+// key — with at most WriteFanoutLimit batches in flight. It fails on
+// the first error; on error some writes may have been applied.
 func (c *Client) MSet(ctx context.Context, pairs map[string][]byte) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	errs := make(chan error, len(pairs))
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
+	// Group by destination server, replica-aware: each key fans out to
+	// every holder, replicated puts stamped with one last-writer-wins
+	// version so partial fan-outs reconcile under read-repair.
+	groups := make(map[sched.ServerID][]writeOp, len(c.cfg.Servers))
 	for k, v := range pairs {
-		k, v := k, v
-		go func() { errs <- c.Put(ctx, k, v) }()
+		var version uint64
+		if c.cfg.Replicas > 1 {
+			version = uint64(c.vclock.Next())
+		}
+		for _, server := range c.place.For(k) {
+			groups[server] = append(groups[server], writeOp{key: k, value: v, version: version})
+		}
 	}
+	// Split each server's run into frame-sized chunks and drain them
+	// through a bounded worker pool.
+	type chunk struct {
+		server sched.ServerID
+		ops    []writeOp
+	}
+	var chunks []chunk
+	limit := c.cfg.batchLimit()
+	for server, list := range groups {
+		for start := 0; start < len(list); {
+			end, bytes := start, 0
+			for end < len(list) && end-start < limit {
+				sz := len(list[end].key) + len(list[end].value) + reqOverhead
+				if end > start && bytes+sz > maxBatchBytes {
+					break
+				}
+				bytes += sz
+				end++
+			}
+			chunks = append(chunks, chunk{server: server, ops: list[start:end]})
+			start = end
+		}
+	}
+	workers := c.cfg.writeLimit()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	work := make(chan chunk)
+	errs := make(chan error, len(chunks))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for ch := range work {
+				errs <- c.putBatch(ctx, ch.server, ch.ops)
+			}
+		}()
+	}
+	for _, ch := range chunks {
+		work <- ch
+	}
+	close(work)
 	var firstErr error
-	for range pairs {
+	for range chunks {
 		if err := <-errs; err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// writeOp is one pending put of a multiset: a key, its value, and the
+// last-writer-wins version it was stamped with.
+type writeOp struct {
+	key     string
+	value   []byte
+	version uint64
+}
+
+// putBatch sends one server's chunk of multiset writes as a single
+// batch frame and waits out every acknowledgement. It returns the
+// first per-op failure (transport, server error, or deadline shed).
+func (c *Client) putBatch(ctx context.Context, server sched.ServerID, ops []writeOp) error {
+	now := c.now()
+	cc, err := c.conn(server)
+	if err != nil {
+		return err
+	}
+	dl := deadlineBudget(ctx)
+	reqs := make([]wire.Request, len(ops))
+	ids := make([]uint64, len(ops))
+	chs := make([]chan wire.Response, len(ops))
+	// Writes are tagged individually (fanout 1), matching the single-key
+	// path; one reusable op keeps the loop allocation-free.
+	var op sched.Op
+	tagBuf := []*sched.Op{&op}
+	for i, wo := range ops {
+		op = sched.Op{
+			Server: server,
+			Key:    wo.key,
+			Demand: c.cfg.Demand(wire.OpPut, len(wo.key), len(wo.value)),
+		}
+		core.Tag(tagBuf, c.taggingEst(), now)
+		id := c.nextID.Add(1)
+		ids[i] = id
+		chs[i] = cc.register(id)
+		reqs[i] = wire.Request{
+			ID: id, Type: wire.OpPut, Key: wo.key, Value: wo.value,
+			Tags: wireTags(&op), DeadlineNanos: dl, Version: wo.version,
+		}
+	}
+	if werr := cc.writeBatch(reqs); werr != nil {
+		for _, id := range ids {
+			cc.unregister(id)
+		}
+		c.noteServerFailure(server)
+		return fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, server, werr)
+	}
+	var firstErr error
+	for i := range ops {
+		var opErr error
+		select {
+		case resp, ok := <-chs[i]:
+			switch {
+			case !ok:
+				opErr = fmt.Errorf("%w: connection to server %d lost awaiting %q",
+					ErrUnavailable, server, ops[i].key)
+			case resp.Status == wire.StatusError:
+				opErr = fmt.Errorf("kv: server error for key %q", ops[i].key)
+			case resp.Status == wire.StatusDeadlineExceeded:
+				opErr = fmt.Errorf("kv: server %d shed %q past its deadline: %w",
+					server, ops[i].key, context.DeadlineExceeded)
+			}
+			if ok {
+				putRespChan(chs[i])
+				putValueBuf(resp.Value)
+			}
+		case <-ctx.Done():
+			cc.unregister(ids[i])
+			opErr = ctx.Err()
+		}
+		if opErr != nil && firstErr == nil {
+			firstErr = opErr
 		}
 	}
 	return firstErr
@@ -567,6 +754,7 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 	defer cancel()
 	wallStart := time.Now()
 	now := c.now()
+	opsBacking := make([]sched.Op, len(keys))
 	ops := make([]*sched.Op, len(keys))
 	scores := make([]time.Duration, len(keys))
 	for i, k := range keys {
@@ -574,53 +762,28 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 		// Routing the batch sequentially lets the selector's in-flight
 		// accounting spread a wide multiget across replicas instead of
 		// dogpiling the holder that looked best a microsecond ago.
-		ops[i] = &sched.Op{
+		opsBacking[i] = sched.Op{
 			Server: c.routeRead(k, demand, now),
 			Key:    k,
 			Demand: demand,
 		}
-		scores[i] = c.sel.Scores([]sched.ServerID{ops[i].Server}, demand, now)[0].Finish - now
+		ops[i] = &opsBacking[i]
+		scores[i] = c.sel.ScoreOf(ops[i].Server, demand, now).Finish - now
 	}
 	core.Tag(ops, c.taggingEst(), now)
 
-	type keyResult struct {
-		index int
-		value []byte
-		found bool
-		err   error
-		trace OpTrace
+	// Group the fan-out by destination server: one goroutine and one
+	// batch frame per server, instead of one goroutine and one wire
+	// frame per operation. Responses stay per-op, so the server's
+	// scheduler reorders freely within and across batches.
+	groups := make(map[sched.ServerID][]int, len(c.cfg.Servers))
+	for i, op := range ops {
+		groups[op.Server] = append(groups[op.Server], i)
 	}
 	results := make(chan keyResult, len(ops))
-	for i, op := range ops {
-		i, op := i, op
-		go func() {
-			start := c.now()
-			res := keyResult{index: i}
-			var tm wire.Timing
-			var attempts int
-			res.value, res.found, tm, attempts, res.err = c.getOp(ctx, op)
-			end := c.now()
-			res.trace = OpTrace{
-				Index:          i,
-				Key:            op.Key,
-				Server:         op.Server,
-				Replicas:       len(c.place.For(op.Key)),
-				Attempts:       attempts,
-				Start:          start - now,
-				End:            end - now,
-				ExpectedFinish: op.Tags.ExpectedFinish - now,
-				Score:          scores[i],
-				Wait:           time.Duration(tm.WaitNanos),
-				Service:        time.Duration(tm.ServiceNanos),
-				Class:          sched.Class(tm.SchedClass).String(),
-				Bytes:          len(res.value),
-				Found:          res.found,
-			}
-			if res.err != nil {
-				res.trace.Err = res.err.Error()
-			}
-			results <- res
-		}()
+	for server, idxs := range groups {
+		server, idxs := server, idxs
+		go c.mgetBatch(ctx, server, ops, idxs, scores, now, results)
 	}
 	out := make(map[string][]byte, len(keys))
 	var failed map[string]error
@@ -673,31 +836,159 @@ func (c *Client) recordRequest(wallStart time.Time, traces []OpTrace, partial bo
 	})
 }
 
-// getOp resolves one read operation, retrying transport failures with
-// backoff and re-routing to sibling replicas. found distinguishes
-// "value exists" from a definitive not-found; tm is the final
-// attempt's server-side timeline and attempts the dispatch count, for
-// tracing. A read that succeeded only after failing over schedules
-// read-repair for the key: the failed holder may have missed writes
-// while unreachable.
-func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found bool, tm wire.Timing, attempts int, err error) {
-	for attempt := 0; ; attempt++ {
-		value, _, found, tm, err = c.tryGet(ctx, op)
+// keyResult is one resolved multiget operation flowing back to MGet's
+// collector.
+type keyResult struct {
+	index int
+	value []byte
+	found bool
+	err   error
+	trace OpTrace
+}
+
+// emitResult delivers one resolved multiget operation, building its
+// trace entry. A plain method with explicit arguments (no captured
+// closure) so the happy path allocates nothing per group.
+func (c *Client) emitResult(results chan<- keyResult, op *sched.Op, i int, score, start, reqStart time.Duration, value []byte, found bool, tm wire.Timing, attempts int, err error) {
+	res := keyResult{index: i, value: value, found: found, err: err}
+	res.trace = OpTrace{
+		Index:          i,
+		Key:            op.Key,
+		Server:         op.Server,
+		Replicas:       c.cfg.Replicas,
+		Attempts:       attempts,
+		Start:          start - reqStart,
+		End:            c.now() - reqStart,
+		ExpectedFinish: op.Tags.ExpectedFinish - reqStart,
+		Score:          score,
+		Wait:           time.Duration(tm.WaitNanos),
+		Service:        time.Duration(tm.ServiceNanos),
+		Class:          sched.Class(tm.SchedClass).String(),
+		Bytes:          len(value),
+		Found:          found,
+	}
+	if err != nil {
+		res.trace.Err = err.Error()
+	}
+	results <- res
+}
+
+// retryEmit continues one failed read on the retry ladder and emits its
+// final outcome — the goroutine body for ops that leave the batch path.
+func (c *Client) retryEmit(ctx context.Context, op *sched.Op, i int, score, start, reqStart time.Duration, results chan<- keyResult, lastErr error, lastTm wire.Timing) {
+	value, found, tm, attempts, err := c.retryGet(ctx, op, lastErr, lastTm, 1)
+	c.emitResult(results, op, i, score, start, reqStart, value, found, tm, attempts, err)
+}
+
+// retryAllEmit hands every op in a group to its own retry continuation
+// after a whole-batch transport failure — the rare path, so the
+// goroutine-per-op cost returns only under failure. Each op's dispatch
+// accounting is retired here; the retry ladder re-routes from scratch.
+func (c *Client) retryAllEmit(ctx context.Context, ops []*sched.Op, idxs []int, scores []time.Duration, start, reqStart time.Duration, results chan<- keyResult, err error) {
+	for _, i := range idxs {
+		op := ops[i]
+		c.retireRead(op.Server)
+		go c.retryEmit(ctx, op, i, scores[i], start, reqStart, results, err, wire.Timing{})
+	}
+}
+
+// getWaiter pairs one in-flight read's wire ID with its response
+// channel.
+type getWaiter struct {
+	id uint64
+	ch chan wire.Response
+}
+
+// mgetBatch resolves one destination server's share of a multiget: it
+// registers every waiter, sends the whole group as one batch frame
+// (split only past the frame limits), then collects per-op responses.
+// Operations that fail in a retryable way continue individually on the
+// existing re-route-and-backoff path, so batching never weakens the
+// degraded-multiget guarantees.
+func (c *Client) mgetBatch(ctx context.Context, server sched.ServerID, ops []*sched.Op, idxs []int, scores []time.Duration, reqStart time.Duration, results chan<- keyResult) {
+	start := c.now()
+	cc, err := c.conn(server)
+	if err != nil {
+		if !errors.Is(err, ErrClientClosed) {
+			err = fmt.Errorf("%w: %w", ErrUnavailable, err)
+		}
+		c.retryAllEmit(ctx, ops, idxs, scores, start, reqStart, results, err)
+		return
+	}
+	dl := deadlineBudget(ctx)
+	waiters := make([]getWaiter, len(idxs))
+	reqs := make([]wire.Request, len(idxs))
+	for j, i := range idxs {
+		op := ops[i]
+		id := c.nextID.Add(1)
+		waiters[j] = getWaiter{id: id, ch: cc.register(id)}
+		reqs[j] = wire.Request{
+			ID:            id,
+			Type:          wire.OpGet,
+			Key:           op.Key,
+			Tags:          wireTags(op),
+			DeadlineNanos: dl,
+		}
+	}
+	if werr := c.writeChunked(cc, reqs); werr != nil {
+		for _, w := range waiters {
+			cc.unregister(w.id)
+		}
+		c.noteServerFailure(server)
+		c.retryAllEmit(ctx, ops, idxs, scores, start, reqStart, results,
+			fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, server, werr))
+		return
+	}
+	for j, i := range idxs {
+		op := ops[i]
+		value, _, found, tm, err := c.awaitGet(ctx, cc, waiters[j].id, waiters[j].ch, op)
 		c.retireRead(op.Server)
 		if err == nil {
-			if attempt > 0 {
-				c.maybeRepair(op.Key)
+			c.emitResult(results, op, i, scores[i], start, reqStart, value, found, tm, 1, nil)
+			continue
+		}
+		go c.retryEmit(ctx, op, i, scores[i], start, reqStart, results, err, tm)
+	}
+}
+
+// writeChunked sends reqs as one batch frame, splitting only when the
+// group exceeds the per-frame operation or byte limits.
+func (c *Client) writeChunked(cc *clientConn, reqs []wire.Request) error {
+	limit := c.cfg.batchLimit()
+	for start := 0; start < len(reqs); {
+		end, bytes := start, 0
+		for end < len(reqs) && end-start < limit {
+			sz := len(reqs[end].Key) + len(reqs[end].Value) + len(reqs[end].OldValue) + reqOverhead
+			if end > start && bytes+sz > maxBatchBytes {
+				break
 			}
-			return value, found, tm, attempt + 1, nil
+			bytes += sz
+			end++
 		}
-		if ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
-			return nil, false, tm, attempt + 1, err
+		if err := cc.writeBatch(reqs[start:end]); err != nil {
+			return err
 		}
-		if attempt >= c.cfg.ReadRetries || !errors.Is(err, ErrUnavailable) {
-			return nil, false, tm, attempt + 1, err
+		start = end
+	}
+	return nil
+}
+
+// retryGet continues a read whose dispatches so far (attempts of them,
+// the last failing with lastErr) were unsuccessful, re-routing around
+// servers marked down with jittered backoff between attempts — the
+// same degradation ladder the pre-batching per-op path used. A read
+// that succeeds only here schedules read-repair for the key: the
+// failed holder may have missed writes while unreachable.
+func (c *Client) retryGet(ctx context.Context, op *sched.Op, lastErr error, lastTm wire.Timing, attempts int) (value []byte, found bool, tm wire.Timing, n int, err error) {
+	for {
+		if ctx.Err() != nil || errors.Is(lastErr, ErrClientClosed) {
+			return nil, false, lastTm, attempts, lastErr
 		}
-		if serr := c.retrySleep(ctx, attempt); serr != nil {
-			return nil, false, tm, attempt + 1, err
+		if attempts > c.cfg.ReadRetries || !errors.Is(lastErr, ErrUnavailable) {
+			return nil, false, lastTm, attempts, lastErr
+		}
+		if serr := c.retrySleep(ctx, attempts-1); serr != nil {
+			return nil, false, lastTm, attempts, lastErr
 		}
 		// Re-route: the failed server is marked down now, so a
 		// replicated key lands on a healthy holder; re-stamp tags for
@@ -706,6 +997,46 @@ func (c *Client) getOp(ctx context.Context, op *sched.Op) (value []byte, found b
 		rnow := c.now()
 		op.Server = c.routeRead(op.Key, op.Demand, rnow)
 		core.Tag([]*sched.Op{op}, c.taggingEst(), rnow)
+		value, _, found, tm, err = c.tryGet(ctx, op)
+		c.retireRead(op.Server)
+		attempts++
+		if err == nil {
+			c.maybeRepair(op.Key)
+			return value, found, tm, attempts, nil
+		}
+		lastErr, lastTm = err, tm
+	}
+}
+
+// awaitGet waits out one registered read response and maps its status
+// to the read result. Value buffers that are not surfaced to the
+// caller return to the shared pool here.
+func (c *Client) awaitGet(ctx context.Context, cc *clientConn, id uint64, ch chan wire.Response, op *sched.Op) (value []byte, version uint64, found bool, tm wire.Timing, err error) {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, 0, false, tm, fmt.Errorf("%w: connection to server %d lost awaiting %q",
+				ErrUnavailable, op.Server, op.Key)
+		}
+		putRespChan(ch)
+		tm = resp.Timing
+		switch resp.Status {
+		case wire.StatusOK:
+			return resp.Value, resp.Version, true, tm, nil
+		case wire.StatusNotFound:
+			putValueBuf(resp.Value)
+			return nil, 0, false, tm, nil
+		case wire.StatusDeadlineExceeded:
+			putValueBuf(resp.Value)
+			return nil, 0, false, tm, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
+				op.Server, op.Key, context.DeadlineExceeded)
+		default:
+			putValueBuf(resp.Value)
+			return nil, 0, false, tm, fmt.Errorf("kv: server error for key %q", op.Key)
+		}
+	case <-ctx.Done():
+		cc.unregister(id)
+		return nil, 0, false, tm, ctx.Err()
 	}
 }
 
@@ -735,28 +1066,7 @@ func (c *Client) tryGet(ctx context.Context, op *sched.Op) (value []byte, versio
 		c.noteServerFailure(op.Server)
 		return nil, 0, false, tm, fmt.Errorf("%w: send to server %d: %w", ErrUnavailable, op.Server, err)
 	}
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return nil, 0, false, tm, fmt.Errorf("%w: connection to server %d lost awaiting %q",
-				ErrUnavailable, op.Server, op.Key)
-		}
-		tm = resp.Timing
-		switch resp.Status {
-		case wire.StatusOK:
-			return resp.Value, resp.Version, true, tm, nil
-		case wire.StatusNotFound:
-			return nil, 0, false, tm, nil
-		case wire.StatusDeadlineExceeded:
-			return nil, 0, false, tm, fmt.Errorf("kv: server %d shed %q past its deadline: %w",
-				op.Server, op.Key, context.DeadlineExceeded)
-		default:
-			return nil, 0, false, tm, fmt.Errorf("kv: server error for key %q", op.Key)
-		}
-	case <-ctx.Done():
-		cc.unregister(id)
-		return nil, 0, false, tm, ctx.Err()
-	}
+	return c.awaitGet(ctx, cc, id, ch, op)
 }
 
 // getFrom performs one direct versioned read against a specific replica
@@ -909,6 +1219,7 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 		if !ok {
 			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, server)
 		}
+		putRespChan(ch)
 		if resp.Status == wire.StatusDeadlineExceeded {
 			return nil, fmt.Errorf("kv: server %d shed CAS on %q past its deadline: %w",
 				server, key, context.DeadlineExceeded)
@@ -951,6 +1262,7 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 		if !ok {
 			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, op.Server)
 		}
+		putRespChan(ch)
 		switch resp.Status {
 		case wire.StatusError:
 			return nil, fmt.Errorf("kv: server error for key %q", key)
@@ -1067,11 +1379,13 @@ func (c *Client) dial(id sched.ServerID, addr string) (*clientConn, error) {
 		c.noteServerFailure(id)
 		return nil, fmt.Errorf("%w: dial server %d at %s: %w", ErrUnavailable, id, addr, err)
 	}
+	w := wire.NewWriter(conn)
+	w.SetVersion(byte(c.cfg.ProtocolVersion))
 	cc := &clientConn{
 		client:  c,
 		server:  id,
 		conn:    conn,
-		w:       wire.NewWriter(conn),
+		w:       w,
 		pending: make(map[uint64]chan wire.Response),
 	}
 	go cc.readLoop()
@@ -1084,8 +1398,25 @@ func (cc *clientConn) writeRequest(req *wire.Request) error {
 	return cc.w.WriteRequest(req)
 }
 
+// writeBatch sends a run of requests as one batch frame (or, on a
+// v2-pinned connection, as a run of single frames sharing one flush).
+func (cc *clientConn) writeBatch(reqs []wire.Request) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return cc.w.WriteBatch(reqs)
+}
+
+// respChanPool recycles single-response waiter channels. A channel may
+// be returned only after its waiter received a response (the readLoop
+// has unregistered it, so no further send can race a reuse); channels
+// abandoned on timeout or closed by shutdown are never pooled.
+var respChanPool = sync.Pool{New: func() any { return make(chan wire.Response, 1) }}
+
+// putRespChan recycles a waiter channel that has delivered.
+func putRespChan(ch chan wire.Response) { respChanPool.Put(ch) }
+
 func (cc *clientConn) register(id uint64) chan wire.Response {
-	ch := make(chan wire.Response, 1)
+	ch := respChanPool.Get().(chan wire.Response)
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.dead {
@@ -1102,21 +1433,53 @@ func (cc *clientConn) unregister(id uint64) {
 	delete(cc.pending, id)
 }
 
+// valueFree recycles value byte buffers across the data plane: response
+// copies handed from the client readLoop to waiters, server-side store
+// reads, and queued-op payload copies. A buffered channel rather than a
+// sync.Pool because channel transfer of a slice never allocates its
+// header, so the recycle path itself costs zero allocations. Buffers
+// return via putValueBuf only at sites where they are provably dead
+// (write acks, non-OK reads, encoded responses); values surfaced to
+// callers are theirs to keep and never re-enter the pool.
+var valueFree = make(chan []byte, 512)
+
+// maxPooledValue bounds the capacity kept on the freelist so a burst of
+// huge values cannot pin gigabytes (512 × 64KiB = 32MiB worst case).
+const maxPooledValue = 64 << 10
+
+// getValueBuf returns a length-n buffer, reusing pooled capacity.
+func getValueBuf(n int) []byte {
+	select {
+	case b := <-valueFree:
+		if cap(b) >= n {
+			return b[:n]
+		}
+		putValueBuf(b) // too small for this caller; the next may fit
+	default:
+	}
+	return make([]byte, n)
+}
+
+// putValueBuf recycles a dead value buffer; empty and oversized buffers
+// are dropped, as is everything past the freelist's depth.
+func putValueBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledValue {
+		return
+	}
+	select {
+	case valueFree <- b[:0]:
+	default:
+	}
+}
+
 func (cc *clientConn) readLoop() {
 	r := wire.NewReader(cc.conn)
+	defer r.Release()
 	var resp wire.Response
 	for {
 		if err := r.ReadResponse(&resp); err != nil {
 			cc.shutdown(err)
 			return
-		}
-		// The reader's value buffer is reused; hand waiters a copy.
-		value := make([]byte, len(resp.Value))
-		copy(value, resp.Value)
-		delivery := wire.Response{
-			ID: resp.ID, Status: resp.Status, Value: value,
-			Feedback: resp.Feedback, Version: resp.Version,
-			Timing: resp.Timing,
 		}
 		if cc.client.cfg.Adaptive {
 			cc.client.est.Observe(core.Feedback{
@@ -1130,14 +1493,29 @@ func (cc *clientConn) readLoop() {
 				At: cc.client.now(),
 			})
 		}
+		// Look the waiter up before copying: a response nobody awaits
+		// (caller timed out and unregistered) costs no allocation, and
+		// empty values never do.
 		cc.mu.Lock()
 		ch, ok := cc.pending[resp.ID]
 		if ok {
 			delete(cc.pending, resp.ID)
 		}
 		cc.mu.Unlock()
-		if ok {
-			ch <- delivery
+		if !ok {
+			continue
+		}
+		// The reader's value buffer is reused; hand the waiter a copy
+		// from the pool.
+		var value []byte
+		if len(resp.Value) > 0 {
+			value = getValueBuf(len(resp.Value))
+			copy(value, resp.Value)
+		}
+		ch <- wire.Response{
+			ID: resp.ID, Status: resp.Status, Value: value,
+			Feedback: resp.Feedback, Version: resp.Version,
+			Timing: resp.Timing,
 		}
 	}
 }
@@ -1162,6 +1540,9 @@ func (cc *clientConn) shutdown(cause error) {
 	pending := cc.pending
 	cc.pending = make(map[uint64]chan wire.Response)
 	cc.mu.Unlock()
+	cc.wmu.Lock()
+	cc.w.Release()
+	cc.wmu.Unlock()
 	if !errors.Is(cause, ErrClientClosed) {
 		cc.client.noteServerFailure(cc.server)
 	}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/daskv/daskv/internal/sched"
@@ -130,17 +131,157 @@ type pendingOp struct {
 	deadline time.Duration
 }
 
-// serverConn serializes response writes per connection.
-type serverConn struct {
-	conn net.Conn
-	mu   sync.Mutex
-	w    *wire.Writer
+// queuedOp bundles an admitted operation's scheduler entry and its
+// connection payload into one pooled allocation; workers recycle it
+// after the response is handed off. Ops still queued when the server
+// closes are simply dropped to the garbage collector.
+type queuedOp struct {
+	op sched.Op
+	p  pendingOp
 }
 
-func (c *serverConn) writeResponse(r *wire.Response) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.w.WriteResponse(r)
+var queuedOpPool = sync.Pool{New: func() any { return new(queuedOp) }}
+
+// releaseOp recycles a served operation: its payload byte buffers go
+// back to the value pool (the store copied what it keeps) and the
+// combined allocation returns for reuse.
+func releaseOp(qo *queuedOp) {
+	putValueBuf(qo.p.value)
+	putValueBuf(qo.p.oldValue)
+	*qo = queuedOp{}
+	queuedOpPool.Put(qo)
+}
+
+// serverConn is one accepted connection's response side: workers hand
+// finished responses to a per-connection writer goroutine over out;
+// the writer encodes every response it can drain in one pass and
+// flushes once, so a burst of sibling completions costs one syscall
+// instead of one per op.
+type serverConn struct {
+	conn net.Conn
+	out  chan *wire.Response
+	// stop is closed by the read loop when the connection's inbound
+	// side ends; the writer drains what it can and exits.
+	stop chan struct{}
+	// dead is closed by the writer on exit so senders never block on a
+	// connection that will not write again.
+	dead chan struct{}
+	// version is the negotiated protocol version (the version byte of
+	// the client's frames), echoed on every response; 0 until the first
+	// frame decodes.
+	version atomic.Uint32
+	w       *wire.Writer
+}
+
+// respBacklog is the per-connection response channel depth. A full
+// channel applies backpressure to workers exactly where the old
+// per-response mutex serialized them.
+const respBacklog = 256
+
+func newServerConn(conn net.Conn) *serverConn {
+	return &serverConn{
+		conn: conn,
+		out:  make(chan *wire.Response, respBacklog),
+		stop: make(chan struct{}),
+		dead: make(chan struct{}),
+		w:    wire.NewWriter(conn),
+	}
+}
+
+// send hands one response to the connection's writer goroutine. It
+// drops the response if the writer is gone — the client is too, and
+// the op's effect on the store stands either way.
+func (c *serverConn) send(r *wire.Response) {
+	select {
+	case c.out <- r:
+	case <-c.dead:
+	}
+}
+
+// respPool recycles response structs between workers and connection
+// writers so the steady-state serve path stops allocating one per op.
+var respPool = sync.Pool{New: func() any { return new(wire.Response) }}
+
+// maxCoalesce bounds how many responses one flush may carry, so a hot
+// connection cannot grow the write buffer without bound or starve its
+// peer of latency-sensitive early responses.
+const maxCoalesce = 64
+
+// connWriter drains sc.out, encoding responses back-to-back and
+// flushing once per drained burst (the syscall coalescing half of the
+// batch data plane). It exits on write error or when the read loop
+// signals the connection is done.
+func (s *Server) connWriter(sc *serverConn) {
+	defer s.wg.Done()
+	defer close(sc.dead)
+	defer sc.w.Release()
+	flush := func(frames int) bool {
+		if frames == 0 {
+			return true
+		}
+		if err := sc.w.Flush(); err != nil {
+			_ = sc.conn.Close()
+			return false
+		}
+		s.metrics.respFlushes.Inc()
+		s.metrics.respFrames.Add(uint64(frames))
+		return true
+	}
+	for {
+		var resp *wire.Response
+		select {
+		case resp = <-sc.out:
+		case <-sc.stop:
+			// Inbound side is gone; best-effort flush of what's queued.
+			n := 0
+			for {
+				select {
+				case r := <-sc.out:
+					if s.encodeResponse(sc, r) != nil {
+						return
+					}
+					n++
+				default:
+					flush(n)
+					return
+				}
+			}
+		}
+		if s.encodeResponse(sc, resp) != nil {
+			_ = sc.conn.Close()
+			return
+		}
+		n := 1
+	drain:
+		for n < maxCoalesce {
+			select {
+			case r := <-sc.out:
+				if s.encodeResponse(sc, r) != nil {
+					_ = sc.conn.Close()
+					return
+				}
+				n++
+			default:
+				break drain
+			}
+		}
+		if !flush(n) {
+			return
+		}
+	}
+}
+
+// encodeResponse buffers one response at the connection's negotiated
+// protocol version and returns the struct to the pool.
+func (s *Server) encodeResponse(sc *serverConn, r *wire.Response) error {
+	if v := sc.version.Load(); v != 0 {
+		sc.w.SetVersion(byte(v))
+	}
+	err := sc.w.EncodeResponse(r)
+	putValueBuf(r.Value) // always an owned copy; the frame is encoded
+	*r = wire.Response{}
+	respPool.Put(r)
+	return err
 }
 
 // NewServer starts listening and serving on cfg.Addr.
@@ -309,6 +450,10 @@ func (s *Server) statsLocked() wire.ServerStats {
 		ServedByOp:   s.metrics.servedByOp(),
 		Shed:         s.metrics.shed.Value(),
 		Errors:       s.metrics.errors.Value(),
+		Batches:      s.metrics.batches.Value(),
+		BatchOps:     s.metrics.batchOps.Value(),
+		RespFrames:   s.metrics.respFrames.Value(),
+		RespFlushes:  s.metrics.respFlushes.Value(),
 		DemandError:  s.metrics.demandErrorSummary(),
 	}
 	if s.wal != nil {
@@ -497,20 +642,27 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) readLoop(conn net.Conn) {
 	defer s.wg.Done()
+	sc := newServerConn(conn)
+	s.wg.Add(1)
+	go s.connWriter(sc)
+	r := wire.NewReader(conn)
 	defer func() {
+		close(sc.stop) // retire the writer goroutine
+		r.Release()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	sc := &serverConn{conn: conn, w: wire.NewWriter(conn)}
-	r := wire.NewReader(conn)
-	var req wire.Request
+	var reqs []wire.Request
+	var ops []*sched.Op
 	for {
-		if err := r.ReadRequest(&req); err != nil {
+		version, err := r.ReadRequests(&reqs)
+		if err != nil {
 			return // EOF, peer reset, or protocol error: drop the conn
 		}
-		s.enqueue(sc, &req)
+		sc.version.Store(uint32(version))
+		ops = s.enqueueBatch(sc, reqs, ops[:0])
 	}
 }
 
@@ -518,7 +670,9 @@ func (s *Server) readLoop(conn net.Conn) {
 // even for un-costed operations.
 const minDemand = time.Microsecond
 
-func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
+// buildOp converts one decoded request into a queued operation,
+// copying the payload byte fields out of the reader's reused buffers.
+func (s *Server) buildOp(sc *serverConn, req *wire.Request, now time.Duration) *sched.Op {
 	demand := time.Duration(req.Tags.DemandNanos)
 	if s.cfg.Cost != nil {
 		if d := s.cfg.Cost(req.Type, len(req.Key), len(req.Value)); d > demand {
@@ -528,10 +682,18 @@ func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
 	if demand < minDemand {
 		demand = minDemand
 	}
-	value := make([]byte, len(req.Value))
-	copy(value, req.Value)
-	now := s.now()
-	op := &sched.Op{
+	var value []byte
+	if len(req.Value) > 0 {
+		value = getValueBuf(len(req.Value))
+		copy(value, req.Value)
+	}
+	var oldValue []byte
+	if len(req.OldValue) > 0 {
+		oldValue = getValueBuf(len(req.OldValue))
+		copy(oldValue, req.OldValue)
+	}
+	qo := queuedOpPool.Get().(*queuedOp)
+	qo.op = sched.Op{
 		Server: s.cfg.ID,
 		Key:    req.Key,
 		Demand: demand,
@@ -544,25 +706,48 @@ func (s *Server) enqueue(sc *serverConn, req *wire.Request) {
 			ExpectedFinish:   now,
 			RequestFinish:    now + time.Duration(req.Tags.SlackNanos),
 		},
-		Payload: &pendingOp{
-			conn: sc, typ: req.Type, key: req.Key, value: value,
-			id: req.ID, ttl: time.Duration(req.TTLNanos),
-			oldValue: append([]byte(nil), req.OldValue...),
-			deadline: arrivalDeadline(now, req.DeadlineNanos),
-			version:  req.Version,
-		},
+		Payload: qo,
+	}
+	qo.p = pendingOp{
+		conn: sc, typ: req.Type, key: req.Key, value: value,
+		id: req.ID, ttl: time.Duration(req.TTLNanos),
+		oldValue: oldValue,
+		deadline: arrivalDeadline(now, req.DeadlineNanos),
+		version:  req.Version,
+	}
+	return &qo.op
+}
+
+// enqueueBatch admits one frame's operations — a multiget's whole
+// per-server batch — into the scheduling queue under a single lock
+// acquisition, with payload copies built outside the critical section.
+// It returns the reusable op scratch slice.
+func (s *Server) enqueueBatch(sc *serverConn, reqs []wire.Request, ops []*sched.Op) []*sched.Op {
+	if len(reqs) == 0 {
+		return ops
+	}
+	now := s.now()
+	for i := range reqs {
+		ops = append(ops, s.buildOp(sc, &reqs[i], now))
+	}
+	if len(reqs) > 1 {
+		s.metrics.batches.Inc()
+		s.metrics.batchOps.Add(uint64(len(reqs)))
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return ops
 	}
-	s.queue.Push(op, now)
+	for _, op := range ops {
+		s.queue.Push(op, now)
+	}
 	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
+	return ops
 }
 
 // arrivalDeadline anchors a client-supplied remaining-time budget to
@@ -623,16 +808,18 @@ func (s *Server) worker() {
 // and its server-side timeline (queue wait, service time, scheduling
 // class) for client-side straggler attribution.
 func (s *Server) serve(op *sched.Op) {
-	p, ok := op.Payload.(*pendingOp)
+	qo, ok := op.Payload.(*queuedOp)
 	if !ok {
 		return
 	}
+	p := &qo.p
 	began := time.Now()
 	waited := s.now() - op.Enqueued
 	if waited < 0 {
 		waited = 0
 	}
-	resp := wire.Response{ID: p.id, Status: wire.StatusOK}
+	resp := respPool.Get().(*wire.Response)
+	resp.ID, resp.Status = p.id, wire.StatusOK
 	resp.Timing = wire.Timing{
 		WaitNanos:  int64(waited),
 		SchedClass: uint8(op.Class),
@@ -643,15 +830,20 @@ func (s *Server) serve(op *sched.Op) {
 		// goes to requests that can still meet their deadlines.
 		resp.Status = wire.StatusDeadlineExceeded
 		s.metrics.observeShed(p.typ, waited)
-		s.finishResponse(p, &resp)
+		s.finishResponse(p, resp)
+		releaseOp(qo)
 		return
 	}
 	switch p.typ {
 	case wire.OpGet:
-		if v, ver, found := s.store.GetVersioned(p.key); found {
+		// The response value rides a pooled buffer; the connection
+		// writer recycles it after encoding.
+		v, ver, found := s.store.GetVersionedAppend(p.key, getValueBuf(0))
+		if found {
 			resp.Value = v
 			resp.Version = ver
 		} else {
+			putValueBuf(v)
 			resp.Status = wire.StatusNotFound
 		}
 	case wire.OpPut:
@@ -696,12 +888,15 @@ func (s *Server) serve(op *sched.Op) {
 		s.speedEWMA += 0.2 * (observed - s.speedEWMA)
 	}
 	s.mu.Unlock()
-	s.finishResponse(p, &resp)
+	s.finishResponse(p, resp)
+	releaseOp(qo)
 }
 
-// finishResponse stamps piggybacked feedback, counts the op, and writes
-// the response. A write error means the client is gone; the op's effect
-// on the store stands either way.
+// finishResponse stamps piggybacked feedback, counts the op, and hands
+// the response to the connection's writer goroutine (which owns the
+// response from here and recycles it after encoding). A dead
+// connection drops the response; the op's effect on the store stands
+// either way.
 func (s *Server) finishResponse(p *pendingOp, resp *wire.Response) {
 	s.mu.Lock()
 	resp.Feedback = wire.Feedback{
@@ -718,7 +913,7 @@ func (s *Server) finishResponse(p *pendingOp, resp *wire.Response) {
 		}
 	}
 	s.mu.Unlock()
-	_ = p.conn.writeResponse(resp)
+	p.conn.send(resp)
 }
 
 // burn consumes about d of wall time. Sleeping models I/O-bound

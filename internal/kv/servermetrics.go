@@ -30,6 +30,14 @@ const demandErrReservoir = 4096
 type serverMetrics struct {
 	shed   metrics.Counter
 	errors metrics.Counter
+	// Data-plane transport counters: multi-op request frames admitted
+	// (batches) and the ops they carried (batchOps); response frames
+	// written (respFrames) per transport flush (respFlushes). The ratios
+	// are the batching and flush-coalescing factors.
+	batches     metrics.Counter
+	batchOps    metrics.Counter
+	respFrames  metrics.Counter
+	respFlushes metrics.Counter
 
 	mu        sync.Mutex
 	service   map[wire.OpType]*metrics.Histogram

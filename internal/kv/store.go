@@ -201,6 +201,24 @@ func (s *Store) GetVersioned(key string) (value []byte, version uint64, ok bool)
 	return out, e.version, true
 }
 
+// GetVersionedAppend is GetVersioned appending into buf (reusing its
+// capacity) instead of allocating — the server's hot read path pairs it
+// with a recycled buffer. The returned slice is buf's reallocation when
+// capacity grew; on a miss buf comes back unchanged for recycling.
+func (s *Store) GetVersionedAppend(key string, buf []byte) (value []byte, version uint64, ok bool) {
+	now := s.now()
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, exists := sh.m[key]
+	if !exists || e.expired(now) {
+		sh.mu.RUnlock()
+		return buf, 0, false
+	}
+	out := append(buf[:0], e.value...)
+	sh.mu.RUnlock()
+	return out, e.version, true
+}
+
 // PutVersioned stores a copy of value under key iff version is not
 // older than the version currently held — the last-writer-wins rule
 // that makes replicated write fan-out and read-repair idempotent and

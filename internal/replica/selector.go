@@ -234,6 +234,12 @@ func (s *Selector) score(c sched.ServerID, demand, now time.Duration) Score {
 	return sc
 }
 
+// ScoreOf ranks a single candidate without allocating — the hot-path
+// variant of Scores for callers scoring one dispatch target at a time.
+func (s *Selector) ScoreOf(c sched.ServerID, demand, now time.Duration) Score {
+	return s.score(c, demand, now)
+}
+
 // Scores ranks every candidate for introspection (kvctl `replicas`),
 // sorted best-first. The ranking matches what Adaptive would pick; the
 // oblivious policies ignore it when selecting.

@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// batchOf builds n distinguishable get requests.
+func batchOf(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:   uint64(i + 1),
+			Type: OpGet,
+			Key:  "batch-key-" + string(rune('a'+i%26)),
+			Tags: Tags{RemainingNanos: int64(1000 + i), Fanout: uint32(n)},
+		}
+	}
+	return reqs
+}
+
+func TestWriteBatchRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := batchOf(17)
+	if err := w.WriteBatch(want); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	// One frame on the wire: header + payload, nothing after.
+	frameLen := int(uint32(buf.Bytes()[0])<<24 | uint32(buf.Bytes()[1])<<16 |
+		uint32(buf.Bytes()[2])<<8 | uint32(buf.Bytes()[3]))
+	if buf.Len() != 4+frameLen {
+		t.Fatalf("batch of %d produced %d bytes, frame claims %d", len(want), buf.Len(), frameLen)
+	}
+	r := NewReader(&buf)
+	var got []Request
+	version, err := r.ReadRequests(&got)
+	if err != nil {
+		t.Fatalf("ReadRequests: %v", err)
+	}
+	if version != Version3 {
+		t.Fatalf("frame version = %d, want %d", version, Version3)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Key != want[i].Key || got[i].Tags != want[i].Tags {
+			t.Fatalf("op %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteBatchV2Degradation pins the writer to Version2 and checks the
+// batch degrades to a run of single-op v2 frames an old server parses
+// one at a time.
+func TestWriteBatchV2Degradation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetVersion(Version2)
+	want := batchOf(5)
+	if err := w.WriteBatch(want); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	// A strict pre-batching server reads with ReadRequest, which rejects
+	// batch frames outright — every frame here must parse as single-op.
+	r := NewReader(&buf)
+	for i := range want {
+		var got Request
+		if err := r.ReadRequest(&got); err != nil {
+			t.Fatalf("op %d: ReadRequest: %v", i, err)
+		}
+		if got.ID != want[i].ID || got.Key != want[i].Key {
+			t.Fatalf("op %d mismatch: got %+v want %+v", i, got, want[i])
+		}
+	}
+	if _, err := r.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("trailing data after %d frames: err=%v", len(want), err)
+	}
+}
+
+// TestReadRequestsSingleFrame checks the server-side entry point accepts
+// plain single-op frames from both protocol versions and reports the
+// version for response echoing.
+func TestReadRequestsSingleFrame(t *testing.T) {
+	for _, v := range []byte{Version2, Version3} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.SetVersion(v)
+		req := Request{ID: 3, Type: OpPut, Key: "k", Value: []byte("v")}
+		if err := w.WriteRequest(&req); err != nil {
+			t.Fatalf("v%d: WriteRequest: %v", v, err)
+		}
+		var got []Request
+		version, err := NewReader(&buf).ReadRequests(&got)
+		if err != nil {
+			t.Fatalf("v%d: ReadRequests: %v", v, err)
+		}
+		if version != v {
+			t.Fatalf("reported version %d, want %d", version, v)
+		}
+		if len(got) != 1 || got[0].ID != 3 || got[0].Key != "k" {
+			t.Fatalf("v%d: decoded %+v", v, got)
+		}
+	}
+}
+
+// TestReadRequestsReuse checks the decode slice and its element buffers
+// are reused across frames, and that a wide batch followed by a narrow
+// one does not leak stale operations.
+func TestReadRequestsReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBatch(batchOf(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(batchOf(2)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var reqs []Request
+	if _, err := r.ReadRequests(&reqs); err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 8 {
+		t.Fatalf("first frame decoded %d ops, want 8", len(reqs))
+	}
+	first := &reqs[0]
+	if _, err := r.ReadRequests(&reqs); err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("second frame decoded %d ops, want 2", len(reqs))
+	}
+	if &reqs[0] != first {
+		t.Fatal("decode slice was reallocated between frames")
+	}
+}
+
+// TestBatchRejects covers the decoder's batch plausibility gates.
+func TestBatchRejects(t *testing.T) {
+	encode := func(payload []byte) []byte {
+		frame := make([]byte, 4+len(payload))
+		frame[0] = byte(len(payload) >> 24)
+		frame[1] = byte(len(payload) >> 16)
+		frame[2] = byte(len(payload) >> 8)
+		frame[3] = byte(len(payload))
+		copy(frame[4:], payload)
+		return frame
+	}
+	cases := map[string][]byte{
+		// kindBatch on a v2 frame: batches did not exist in v2.
+		"v2 batch":   encode([]byte{Version2, kindBatch, 0, 0, 0, 1}),
+		"zero count": encode([]byte{Version3, kindBatch, 0, 0, 0, 0}),
+		// Count claims more ops than the payload could possibly hold.
+		"implausible count": encode([]byte{Version3, kindBatch, 0, 0, 0, 200}),
+		// Count past the protocol ceiling.
+		"over MaxBatchOps": encode([]byte{Version3, kindBatch, 0xff, 0xff, 0xff, 0xff}),
+		"unknown kind":     encode([]byte{Version3, 9, 0}),
+	}
+	for name, frame := range cases {
+		var reqs []Request
+		if _, err := NewReader(bytes.NewReader(frame)).ReadRequests(&reqs); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("%s: err = %v, want ErrBadMessage", name, err)
+		}
+	}
+}
+
+// TestWriteBatchTooLarge checks the writer refuses batches past the
+// protocol ceiling instead of emitting an undecodable frame.
+func TestWriteBatchTooLarge(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteBatch(make([]Request, MaxBatchOps+1)); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+// TestEncodeAllocCeiling pins the steady-state allocation cost of the
+// hot encode paths: a warmed writer encoding into a bufio'd sink must
+// not allocate at all.
+func TestEncodeAllocCeiling(t *testing.T) {
+	w := NewWriter(io.Discard)
+	reqs := batchOf(16)
+	resp := Response{ID: 1, Status: StatusOK, Value: []byte("pooled-value")}
+	if err := w.WriteBatch(reqs); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := w.WriteBatch(reqs); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("WriteBatch allocates %.1f/op in steady state, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := w.EncodeResponse(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("EncodeResponse allocates %.1f/op in steady state, want 0", got)
+	}
+}
+
+// TestDecodeAllocCeiling pins the steady-state allocation cost of the
+// server's batch decode: with the request slice and its byte buffers
+// warmed, re-decoding the same shape must stay under 2 allocs per op
+// (the per-op cost is the Key string; everything else is reused).
+func TestDecodeAllocCeiling(t *testing.T) {
+	const ops = 16
+	var frame bytes.Buffer
+	if err := NewWriter(&frame).WriteBatch(batchOf(ops)); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	r := NewReader(bytes.NewReader(raw))
+	var reqs []Request
+	if _, err := r.ReadRequests(&reqs); err != nil { // warm slice + buffers
+		t.Fatal(err)
+	}
+	src := bytes.NewReader(raw)
+	if got := testing.AllocsPerRun(100, func() {
+		src.Reset(raw)
+		r2 := NewReader(src)
+		r2.buf = r.buf // steady state: pooled scratch already sized
+		if _, err := r2.ReadRequests(&reqs); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2*ops+2 {
+		t.Errorf("ReadRequests allocates %.1f per %d-op batch, want <= %d", got, ops, 2*ops+2)
+	}
+}

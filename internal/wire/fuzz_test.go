@@ -115,6 +115,61 @@ func FuzzServerDecode(f *testing.F) {
 	})
 }
 
+// FuzzBatchDecode exercises the server's batch decode path the way a
+// broken or hostile client would: a well-formed batch frame put through
+// fuzz-chosen count inflation, truncation, and a bit flip. The decoder
+// must never panic, must bound what it accepts by the frame's actual
+// payload, and every accepted operation must be structurally valid.
+func FuzzBatchDecode(f *testing.F) {
+	seedBatch := func(n int) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{ID: uint64(i), Type: OpGet, Key: "fuzz-key", Tags: Tags{Fanout: uint32(n)}}
+		}
+		if err := w.WriteBatch(reqs); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seedBatch(4), uint32(0), uint16(0), uint8(0))
+	f.Add(seedBatch(4), uint32(1<<30), uint16(0), uint8(0)) // absurd count claim
+	f.Add(seedBatch(8), uint32(0), uint16(40), uint8(0))    // truncated mid-batch
+	f.Add(seedBatch(2), uint32(0), uint16(0), uint8(0x47))  // flipped bit
+	f.Add(seedBatch(MaxBatchOps), uint32(0), uint16(0), uint8(0))
+	f.Fuzz(func(t *testing.T, frame []byte, countOverride uint32, cut uint16, flip uint8) {
+		data := append([]byte(nil), frame...)
+		if countOverride != 0 && len(data) >= 10 && data[5] == kindBatch {
+			binary.BigEndian.PutUint32(data[6:10], countOverride) // lie about the op count
+		}
+		if int(cut) != 0 && int(cut) < len(data) {
+			data = data[:cut]
+		}
+		if len(data) > 0 {
+			data[int(flip)%len(data)] ^= 1 << (flip % 8)
+		}
+		r := NewReader(bytes.NewReader(data))
+		var reqs []Request
+		for i := 0; i < 4; i++ {
+			if _, err := r.ReadRequests(&reqs); err != nil {
+				return // errors are fine; panics and bad accepts are not
+			}
+			if len(reqs) == 0 || len(reqs) > MaxBatchOps {
+				t.Fatalf("decoder accepted implausible batch of %d ops", len(reqs))
+			}
+			for j := range reqs {
+				if reqs[j].Type < OpGet || reqs[j].Type > OpCAS {
+					t.Fatalf("op %d: decoder accepted invalid op type %d", j, reqs[j].Type)
+				}
+				if len(reqs[j].Key)+len(reqs[j].Value)+len(reqs[j].OldValue) > MaxFrameSize {
+					t.Fatalf("op %d: decoded fields exceed the frame bound", j)
+				}
+			}
+		}
+	})
+}
+
 // FuzzRequestRoundTrip checks that whatever the writer emits, the
 // reader returns intact.
 func FuzzRequestRoundTrip(f *testing.F) {

@@ -5,6 +5,17 @@
 // Frame layout: a 4-byte big-endian payload length, then the payload.
 // Payload fields use fixed-width big-endian integers and length-prefixed
 // byte strings; layouts are versioned by the leading protocol byte.
+//
+// Version 3 adds batch request frames: one frame carries every
+// operation of a multiget (or multiset) bound for one server, so the
+// transport pays one syscall per destination instead of one per
+// operation. Responses stay per-op so the server's scheduler can
+// reorder them freely. Negotiation is per connection and zero-RTT: a
+// Reader accepts both v2 and v3 frames (their single-op layouts are
+// identical), and a server echoes whatever version the client's frames
+// carry, so v2 peers keep working unchanged. A v3 client talking to a
+// v2-only server pins its Writer to Version2 — batches then degrade to
+// runs of single-op frames sharing one flush.
 package wire
 
 import (
@@ -14,15 +25,28 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
-// Version is the protocol version byte. Version 2 added per-operation
-// Timing (queue wait, service time, scheduling class) to responses.
-const Version = 2
+// Protocol versions. Version 2 added per-operation Timing (queue wait,
+// service time, scheduling class) to responses; Version 3 added batch
+// request frames. The single-op frame layouts of v2 and v3 are
+// byte-identical apart from the version byte.
+const (
+	Version2 = 2
+	Version3 = 3
+	// Version is the current (preferred) protocol version.
+	Version = Version3
+)
 
 // MaxFrameSize bounds a frame payload (16 MiB) to protect servers from
 // malformed or hostile length prefixes.
 const MaxFrameSize = 16 << 20
+
+// MaxBatchOps bounds the operation count of one batch frame. Clients
+// split larger multigets into several frames; decoders reject frames
+// claiming more.
+const MaxBatchOps = 4096
 
 // Op codes.
 type OpType uint8
@@ -79,12 +103,16 @@ const (
 const (
 	kindRequest  = 1
 	kindResponse = 2
+	// kindBatch (v3+) is a request frame carrying several operations
+	// bound for the same server.
+	kindBatch = 3
 )
 
 // Errors surfaced by the codec.
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 	ErrBadMessage    = errors.New("wire: malformed message")
+	ErrBatchTooLarge = errors.New("wire: batch exceeds operation limit")
 )
 
 // Tags is the scheduling metadata carried by every operation. Times are
@@ -189,6 +217,17 @@ type ServerStats struct {
 	// Shed counts operations dropped past their client deadline
 	// without service (load shedding of doomed work).
 	Shed uint64 `json:"shed,omitempty"`
+	// Batches counts multi-operation request frames admitted; BatchOps
+	// is the total operations they carried. BatchOps/Batches is the
+	// mean admission batch width — how much per-frame and per-lock
+	// overhead the batch data plane is amortizing.
+	Batches  uint64 `json:"batches,omitempty"`
+	BatchOps uint64 `json:"batchOps,omitempty"`
+	// RespFrames counts response frames written and RespFlushes the
+	// transport flushes (syscalls) that carried them;
+	// RespFrames/RespFlushes is the flush coalescing factor.
+	RespFrames  uint64 `json:"respFrames,omitempty"`
+	RespFlushes uint64 `json:"respFlushes,omitempty"`
 	// Errors counts operations answered with StatusError.
 	Errors uint64 `json:"errors,omitempty"`
 	// Decisions summarizes the scheduling policy's decision counters
@@ -257,66 +296,189 @@ type DurationSummary struct {
 	MaxNanos  int64  `json:"maxNanos"`
 }
 
-// Writer encodes frames onto an io.Writer. Not safe for concurrent use.
-type Writer struct {
-	w   *bufio.Writer
-	buf []byte
+// scratchPool recycles encode/decode scratch buffers across Writer and
+// Reader lifetimes, so short-lived connections (redials, tests, chaos
+// churn) stop paying a fresh buffer growth curve each. Buffers are
+// handed back via Release.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
 }
 
-// NewWriter wraps w.
+func getScratch() []byte {
+	return (*scratchPool.Get().(*[]byte))[:0]
+}
+
+func putScratch(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	scratchPool.Put(&b)
+}
+
+// Writer encodes frames onto an io.Writer. Not safe for concurrent use.
+type Writer struct {
+	w       *bufio.Writer
+	buf     []byte
+	hdr     [4]byte // frame length header; a field so it never escapes per frame
+	version byte
+}
+
+// NewWriter wraps w, emitting the current protocol version.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
+	return &Writer{w: bufio.NewWriter(w), version: Version}
+}
+
+// SetVersion pins the protocol version this writer emits. Servers call
+// it to echo the version a client's frames carry; clients pin Version2
+// to interoperate with old servers. Unsupported versions are ignored.
+func (w *Writer) SetVersion(v byte) {
+	if v == Version2 || v == Version3 {
+		w.version = v
+	}
+}
+
+// WireVersion returns the protocol version the writer emits.
+func (w *Writer) WireVersion() byte { return w.version }
+
+// Release returns the writer's scratch buffer to the shared pool. Call
+// it once, after the last Write/Encode; the writer remains usable and
+// will lazily re-acquire scratch if written to again.
+func (w *Writer) Release() {
+	putScratch(w.buf)
+	w.buf = nil
+}
+
+// scratch readies the reusable encode buffer.
+func (w *Writer) scratch() []byte {
+	if w.buf == nil {
+		w.buf = getScratch()
+	}
+	return w.buf[:0]
+}
+
+// appendRequestBody encodes one operation's body (everything after the
+// version and kind bytes) — the layout shared by single-op and batch
+// frames, identical in v2 and v3.
+func appendRequestBody(buf []byte, r *Request) []byte {
+	buf = append(buf, byte(r.Type))
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = appendBytes(buf, []byte(r.Key))
+	buf = appendBytes(buf, r.Value)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Tags.RemainingNanos))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Tags.SlackNanos))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Tags.BottleneckNanos))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Tags.DemandNanos))
+	buf = binary.BigEndian.AppendUint32(buf, r.Tags.Fanout)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.TTLNanos))
+	buf = appendBytes(buf, r.OldValue)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.DeadlineNanos))
+	buf = binary.BigEndian.AppendUint64(buf, r.Version)
+	return buf
 }
 
 // WriteRequest encodes and flushes one request frame.
 func (w *Writer) WriteRequest(r *Request) error {
-	w.buf = w.buf[:0]
-	w.buf = append(w.buf, Version, kindRequest, byte(r.Type))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, r.ID)
-	w.buf = appendBytes(w.buf, []byte(r.Key))
-	w.buf = appendBytes(w.buf, r.Value)
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.RemainingNanos))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.SlackNanos))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.BottleneckNanos))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Tags.DemandNanos))
-	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Tags.Fanout)
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.TTLNanos))
-	w.buf = appendBytes(w.buf, r.OldValue)
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.DeadlineNanos))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, r.Version)
-	return w.flushFrame()
+	if err := w.EncodeRequest(r); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// EncodeRequest buffers one request frame without flushing.
+func (w *Writer) EncodeRequest(r *Request) error {
+	buf := w.scratch()
+	buf = append(buf, w.version, kindRequest)
+	buf = appendRequestBody(buf, r)
+	w.buf = buf
+	return w.writeFrame()
+}
+
+// WriteBatch encodes every request as one v3 batch frame and flushes
+// once. On a writer pinned to Version2 the batch degrades to a run of
+// single-op v2 frames sharing the one flush — old servers parse them
+// unchanged, and the syscall coalescing is preserved.
+func (w *Writer) WriteBatch(reqs []Request) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if len(reqs) == 1 {
+		return w.WriteRequest(&reqs[0])
+	}
+	if len(reqs) > MaxBatchOps {
+		return ErrBatchTooLarge
+	}
+	if w.version < Version3 {
+		for i := range reqs {
+			if err := w.EncodeRequest(&reqs[i]); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}
+	buf := w.scratch()
+	buf = append(buf, w.version, kindBatch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(reqs)))
+	for i := range reqs {
+		buf = appendRequestBody(buf, &reqs[i])
+	}
+	w.buf = buf
+	if err := w.writeFrame(); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // WriteResponse encodes and flushes one response frame.
 func (w *Writer) WriteResponse(r *Response) error {
-	w.buf = w.buf[:0]
-	w.buf = append(w.buf, Version, kindResponse, byte(r.Status))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, r.ID)
-	w.buf = appendBytes(w.buf, r.Value)
-	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.QueueLen)
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Feedback.BacklogNanos))
-	w.buf = binary.BigEndian.AppendUint32(w.buf, r.Feedback.SpeedMilli)
-	w.buf = binary.BigEndian.AppendUint64(w.buf, r.Version)
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Timing.WaitNanos))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(r.Timing.ServiceNanos))
-	w.buf = append(w.buf, r.Timing.SchedClass)
-	return w.flushFrame()
+	if err := w.EncodeResponse(r); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
-func (w *Writer) flushFrame() error {
+// EncodeResponse buffers one response frame without flushing — the
+// server's per-connection writer coalesces many responses into one
+// flush (one syscall) with an explicit Flush after a drain.
+func (w *Writer) EncodeResponse(r *Response) error {
+	buf := w.scratch()
+	buf = append(buf, w.version, kindResponse, byte(r.Status))
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = appendBytes(buf, r.Value)
+	buf = binary.BigEndian.AppendUint32(buf, r.Feedback.QueueLen)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Feedback.BacklogNanos))
+	buf = binary.BigEndian.AppendUint32(buf, r.Feedback.SpeedMilli)
+	buf = binary.BigEndian.AppendUint64(buf, r.Version)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Timing.WaitNanos))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Timing.ServiceNanos))
+	buf = append(buf, r.Timing.SchedClass)
+	w.buf = buf
+	return w.writeFrame()
+}
+
+// Flush pushes buffered frames to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// writeFrame emits the length header and the buffered payload into the
+// underlying buffered writer without flushing.
+func (w *Writer) writeFrame() error {
 	if len(w.buf) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(w.buf)))
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(w.hdr[:], uint32(len(w.buf)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if _, err := w.w.Write(w.buf); err != nil {
 		return fmt.Errorf("wire: write payload: %w", err)
-	}
-	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("wire: flush: %w", err)
 	}
 	return nil
 }
@@ -332,6 +494,14 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
+// Release returns the reader's scratch buffer to the shared pool. Call
+// it once, after the last Read; the reader remains usable and will
+// lazily re-acquire scratch if read from again.
+func (r *Reader) Release() {
+	putScratch(r.buf)
+	r.buf = nil
+}
+
 // next reads one frame payload into the reusable buffer.
 func (r *Reader) next() ([]byte, error) {
 	var hdr [4]byte
@@ -342,7 +512,11 @@ func (r *Reader) next() ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
+	if r.buf == nil {
+		r.buf = getScratch()
+	}
 	if cap(r.buf) < int(n) {
+		putScratch(r.buf)
 		r.buf = make([]byte, n)
 	}
 	buf := r.buf[:n]
@@ -352,18 +526,14 @@ func (r *Reader) next() ([]byte, error) {
 	return buf, nil
 }
 
-// ReadRequest decodes the next frame as a Request.
-func (r *Reader) ReadRequest(req *Request) error {
-	buf, err := r.next()
-	if err != nil {
-		return err
-	}
-	d := decoder{buf: buf}
-	version, kind, op := d.byte(), d.byte(), d.byte()
-	if version != Version || kind != kindRequest {
-		return ErrBadMessage
-	}
-	req.Type = OpType(op)
+// versionOK reports whether v is a protocol version this reader
+// understands (v2 and v3 single-op layouts are identical).
+func versionOK(v byte) bool { return v == Version2 || v == Version3 }
+
+// decodeRequestBody decodes one operation body (leading with its op
+// type byte) into req, reusing req's Value/OldValue backing arrays.
+func decodeRequestBody(d *decoder, req *Request) error {
+	req.Type = OpType(d.byte())
 	if req.Type < OpGet || req.Type > OpCAS {
 		return ErrBadMessage
 	}
@@ -385,6 +555,72 @@ func (r *Reader) ReadRequest(req *Request) error {
 	return nil
 }
 
+// minRequestBody is the encoded size of a request body whose key,
+// value, and old value are all empty — the decoder's plausibility floor
+// for batch operation counts.
+const minRequestBody = 1 + 8 + 4 + 4 + 36 + 8 + 4 + 8 + 8
+
+// ReadRequest decodes the next frame as a single-operation Request
+// (batch frames are rejected; servers use ReadRequests).
+func (r *Reader) ReadRequest(req *Request) error {
+	buf, err := r.next()
+	if err != nil {
+		return err
+	}
+	d := decoder{buf: buf}
+	version, kind := d.byte(), d.byte()
+	if !versionOK(version) || kind != kindRequest {
+		return ErrBadMessage
+	}
+	return decodeRequestBody(&d, req)
+}
+
+// ReadRequests decodes the next frame — a single-op request or a v3
+// batch — into *reqs, reusing its backing array and each element's
+// byte buffers across calls. It returns the frame's protocol version so
+// servers can echo it on responses.
+func (r *Reader) ReadRequests(reqs *[]Request) (version byte, err error) {
+	buf, err := r.next()
+	if err != nil {
+		return 0, err
+	}
+	d := decoder{buf: buf}
+	version = d.byte()
+	kind := d.byte()
+	if !versionOK(version) {
+		return 0, ErrBadMessage
+	}
+	var count int
+	switch kind {
+	case kindRequest:
+		count = 1
+	case kindBatch:
+		if version < Version3 {
+			return 0, ErrBadMessage
+		}
+		n := d.u32()
+		if d.err != nil || n == 0 || n > MaxBatchOps || int(n)*minRequestBody > d.remain() {
+			return 0, ErrBadMessage
+		}
+		count = int(n)
+	default:
+		return 0, ErrBadMessage
+	}
+	batch := (*reqs)[:cap(*reqs)]
+	for len(batch) < count {
+		batch = append(batch, Request{})
+	}
+	batch = batch[:count]
+	*reqs = batch
+	for i := range batch {
+		if err := decodeRequestBody(&d, &batch[i]); err != nil {
+			*reqs = batch[:0]
+			return 0, err
+		}
+	}
+	return version, nil
+}
+
 // ReadResponse decodes the next frame as a Response.
 func (r *Reader) ReadResponse(resp *Response) error {
 	buf, err := r.next()
@@ -393,7 +629,7 @@ func (r *Reader) ReadResponse(resp *Response) error {
 	}
 	d := decoder{buf: buf}
 	version, kind, status := d.byte(), d.byte(), d.byte()
-	if version != Version || kind != kindResponse {
+	if !versionOK(version) || kind != kindResponse {
 		return ErrBadMessage
 	}
 	resp.Status = Status(status)
