@@ -38,6 +38,7 @@ func run() error {
 		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
 		liveDur  = flag.Duration("live", 0, "wall-clock duration per live-store policy run (default 6s)")
 		liveJSON = flag.String("live-json", "", "run only the live-store benchmark and write JSON results to this path")
+		liveGate = flag.Float64("live-gate", 0, "run the live tail-latency gate: fail unless DAS p99 <= this ratio x FCFS p99 (0 disables)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,9 @@ func run() error {
 	}
 	if *liveJSON != "" {
 		return writeLiveJSON(params, *liveJSON)
+	}
+	if *liveGate > 0 {
+		return bench.RunLiveGate(params, os.Stdout, *liveGate, 1)
 	}
 	var selected []bench.Experiment
 	if *expFlag == "all" {

@@ -54,7 +54,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	policy, err := cli.ParsePolicy(*policyName, core.DefaultOptions())
+	policy, err := cli.ParsePolicy(*policyName, core.LiveOptions())
 	if err != nil {
 		return err
 	}

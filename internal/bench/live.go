@@ -38,7 +38,7 @@ func runE12(p Params, w io.Writer) error {
 	}{
 		{name: "FCFS", factory: sched.FCFSFactory},
 		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
-		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+		{name: "DAS", factory: core.Factory(core.LiveOptions()), adaptive: true},
 	} {
 		sum, n, err := runLiveOnce(pc.factory, pc.adaptive, p.Live)
 		if err != nil {
@@ -72,7 +72,7 @@ func RunLiveJSON(p Params) ([]LiveResult, error) {
 	}{
 		{name: "FCFS", factory: sched.FCFSFactory},
 		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
-		{name: "DAS", factory: core.Factory(core.DefaultOptions()), adaptive: true},
+		{name: "DAS", factory: core.Factory(core.LiveOptions()), adaptive: true},
 	} {
 		sum, n, err := runLiveOnce(pc.factory, pc.adaptive, p.Live)
 		if err != nil {
@@ -87,6 +87,39 @@ func RunLiveJSON(p Params) ([]LiveResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// RunLiveGate is the CI regression gate for the live tail: it runs
+// FCFS and DAS (only) on the E21/E22 loopback setup and fails when DAS
+// p99 exceeds maxRatio times FCFS p99. One full retry absorbs CI-host
+// noise — the gate exists to catch order-of-magnitude inversions like
+// E21's 8.5x, not 5% jitter, so a failing first attempt re-measures
+// both policies before condemning the build.
+func RunLiveGate(p Params, w io.Writer, maxRatio float64, retries int) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			fmt.Fprintf(w, "live-gate: retrying (%v)\n", lastErr)
+		}
+		fcfs, nf, err := runLiveOnce(sched.FCFSFactory, false, p.Live)
+		if err != nil {
+			return fmt.Errorf("bench: live-gate FCFS: %w", err)
+		}
+		das, nd, err := runLiveOnce(core.Factory(core.LiveOptions()), true, p.Live)
+		if err != nil {
+			return fmt.Errorf("bench: live-gate DAS: %w", err)
+		}
+		ratio := float64(das.P99()) / float64(fcfs.P99())
+		fmt.Fprintf(w, "live-gate: FCFS p99 %s (%d reqs), DAS p99 %s (%d reqs), ratio %.3f (limit %.2f)\n",
+			ms(fcfs.P99()), nf, ms(das.P99()), nd, ratio, maxRatio)
+		if ratio <= maxRatio {
+			return nil
+		}
+		lastErr = fmt.Errorf("bench: live DAS p99 %s exceeds %.2fx FCFS p99 %s",
+			ms(das.P99()), maxRatio, ms(fcfs.P99()))
+	}
+	return lastErr
 }
 
 // runLiveOnce drives one policy on a fresh loopback cluster.

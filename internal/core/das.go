@@ -35,12 +35,58 @@ type Options struct {
 	// only ops whose requests are very confidently stuck elsewhere,
 	// insulating the SRPT order from slack-estimate noise (default 1).
 	SlackThreshold float64
+	// AgingBound caps any queued operation's wait *relative to its own
+	// request's remaining processing time*: an op that has waited
+	// longer than its tagged slack plus AgingBound × RemainingTime is
+	// served next (earliest deadline first), classified ClassPromoted.
+	// Slack is deferral the request absorbs for free while bottlenecked
+	// on another server, so the starvation clock starts once that
+	// headroom is spent; for a bottleneck op (slack 0) the cap is
+	// exactly AgingBound × RemainingTime. 0 disables the bound.
+	//
+	// This is the anti-starvation control the live tail needs where
+	// MaxDelay cannot help: under sustained load of short requests,
+	// SRPT order and LRPT-last demotion both defer large requests
+	// without limit, and an absolute cutoff either never fires (sized
+	// for the big requests) or collapses DAS to FCFS (sized for the
+	// small ones). A relative bound scales the tolerance with request
+	// size — a 2ms request is rescued after AgingBound×2ms, a 20ms
+	// request after AgingBound×20ms — so short requests keep their
+	// SRPT advantage while no request's wait can exceed AgingBound
+	// times its service requirement.
+	AgingBound float64
 }
 
-// DefaultOptions returns the parameters used throughout the evaluation:
-// slack demotion at Beta=0.1, no continuous aging, no delay bound.
+// DefaultOptions returns the parameters used throughout the simulator
+// evaluation: slack demotion at Beta=0.1, no continuous aging, no
+// delay or aging bound.
 func DefaultOptions() Options {
 	return Options{Alpha: 0, Beta: 0.1, MaxDelay: 0}
+}
+
+// LiveOptions returns the parameters the live data plane runs with:
+// DefaultOptions plus the relative aging bound. The open-loop
+// simulator rarely starves (arrivals pause when the system saturates
+// only probabilistically), but the live store's closed-loop saturation
+// starves demoted and large-RPT operations without a bound — the
+// E21→E22 tail fix (see EXPERIMENTS.md).
+//
+// AgingBound 2 was tuned on the E21 live setup: under closed-loop
+// saturation queue waits exceed every request's processing time, so
+// the bound's EDF order (enqueue + slack + 2x RPT) governs the drain.
+// The slack term is what pulls the tail *below* FCFS rather than
+// merely matching it — ops whose request is bottlenecked on a deeper
+// queue elsewhere spend that headroom waiting while bottleneck ops
+// pass them, tightening request completions at no one's expense — and
+// the 2x RPT term still serves shorter requests first among
+// contemporaries. Larger bounds let the tail regress toward unbounded
+// SRPT starvation (measured: p99 grows monotonically with the bound
+// past ~4); at light load waits never reach the bound and pure DAS
+// order prevails.
+func LiveOptions() Options {
+	o := DefaultOptions()
+	o.AgingBound = 2
+	return o
 }
 
 func (o Options) validate() error {
@@ -56,6 +102,9 @@ func (o Options) validate() error {
 	if o.SlackThreshold < 0 {
 		return fmt.Errorf("das: slackThreshold %v must be non-negative", o.SlackThreshold)
 	}
+	if o.AgingBound < 0 {
+		return fmt.Errorf("das: agingBound %v must be non-negative", o.AgingBound)
+	}
 	return nil
 }
 
@@ -66,8 +115,11 @@ func (o Options) validate() error {
 //	          + Beta  * Slack̄(o)        // LRPT-last within a request
 //	          - Alpha * wait(o,t)       // optional continuous aging
 //
-// with the hard rule that any operation waiting beyond MaxDelay is
-// served next (oldest first) — the starvation bound.
+// with two hard starvation bounds layered on top: any operation waiting
+// beyond the absolute MaxDelay is served next (oldest first), and — when
+// AgingBound is on — any operation whose wait exceeds its tagged slack
+// plus AgingBound times its request's remaining processing time is
+// served next (earliest promotion deadline first).
 //
 // RemainingTime is the request's speed-scaled bottleneck processing time
 // (see Tag) and Slack̄ is the wait-aware deferral headroom capped at
@@ -82,7 +134,9 @@ func (o Options) validate() error {
 // which lets DAS run on an ordinary binary heap with O(log n) operations
 // and no periodic re-sorting — the property that makes it deployable on
 // a busy server hot path. The MaxDelay check costs O(1) per Pop (FIFO
-// head inspection) plus one O(log n) removal when it fires.
+// head inspection) plus one O(log n) removal when it fires; the
+// AgingBound check is one deadline-heap peek plus one removal when it
+// fires.
 type DAS struct {
 	opts Options
 	ops  []*sched.Op
@@ -90,8 +144,17 @@ type DAS struct {
 	seqs []uint64
 	seq  uint64
 
-	fifo     []*sched.Op
+	fifo     []agingEntry
 	fifoHead int
+
+	// aging orders queued ops by their promotion deadline
+	// (Enqueued + Slack + AgingBound × RPT) when the relative bound
+	// is on.
+	// Entries of ops already served through the priority heap are
+	// deleted lazily when they surface. Entries carry the op's push
+	// sequence number so a recycled op struct (the live server pools
+	// them) is never mistaken for the queued incarnation — see holds.
+	aging agingHeap
 
 	backlog time.Duration
 	stats   sched.DecisionStats
@@ -169,9 +232,33 @@ func (q *DAS) demote(op *sched.Op) (fire, near bool) {
 
 // Push implements sched.Policy.
 func (q *DAS) Push(op *sched.Op, now time.Duration) {
+	fire, near := q.demote(op)
+	q.admit(op, now, fire, near)
+}
+
+// PushBatch implements sched.BatchPolicy: one request's per-server
+// batch is admitted under a single LRPT-last decision, evaluated once
+// on the frame's (coherent) tags. All ops share one priority key and
+// consecutive sequence numbers, so the batch stays contiguous in
+// service order instead of being shuffled through the queue by per-op
+// estimate noise. Callers guarantee tag coherence (the live server
+// checks the wire frame before choosing this path).
+func (q *DAS) PushBatch(ops []*sched.Op, now time.Duration) {
+	if len(ops) == 0 {
+		return
+	}
+	fire, near := q.demote(ops[0])
+	for _, op := range ops {
+		q.admit(op, now, fire, near)
+	}
+}
+
+var _ sched.BatchPolicy = (*DAS)(nil)
+
+// admit enqueues one op under an already-made demotion decision.
+func (q *DAS) admit(op *sched.Op, now time.Duration, fire, near bool) {
 	op.Enqueued = now
 	q.backlog += op.Demand
-	fire, near := q.demote(op)
 	q.stats.Pushed++
 	if near {
 		q.stats.NearBoundary++
@@ -186,23 +273,63 @@ func (q *DAS) Push(op *sched.Op, now time.Duration) {
 		op.Class = sched.ClassSRPTFirst
 	}
 	heap.Push((*dasHeap)(q), op)
+	seq := q.seqs[dasHeapIndex(op)]
 	if q.opts.MaxDelay > 0 {
-		q.fifo = append(q.fifo, op)
+		q.fifo = append(q.fifo, agingEntry{op: op, seq: seq})
 	}
+	if q.opts.AgingBound > 0 {
+		heap.Push(&q.aging, agingEntry{op: op, seq: seq, deadline: now + q.agingAllowance(op)})
+	}
+}
+
+// holds reports whether the op of an aging/FIFO entry is still this
+// queue's live incarnation: heap-resident here, at the recorded push
+// sequence. A pointer that fails this check was already served and
+// possibly recycled by the caller's op pool (and may even sit in
+// another server's queue by now), so bound bookkeeping must skip it.
+func (q *DAS) holds(e agingEntry) bool {
+	i := dasHeapIndex(e.op)
+	return i >= 0 && i < len(q.ops) && q.ops[i] == e.op && q.seqs[i] == e.seq
+}
+
+// agingAllowance is how long an op may wait before the relative bound
+// promotes it: the op's tagged slack — deferral the request absorbs
+// for free while bottlenecked on another server — plus AgingBound
+// times its request's remaining processing time, floored at the op's
+// own demand so untagged traffic (zero RemainingTime) still ages at a
+// sane rate. Spending the slack first is what lets DAS beat FCFS's
+// tail under saturation instead of merely matching it: the promotion
+// deadlines order bottleneck ops ahead of contemporaries that can
+// afford to wait, so request completions tighten without any op
+// overstaying its request's horizon.
+func (q *DAS) agingAllowance(op *sched.Op) time.Duration {
+	rpt := op.Tags.RemainingTime
+	if rpt < op.Demand {
+		rpt = op.Demand
+	}
+	return op.Tags.Slack() + time.Duration(q.opts.AgingBound*float64(rpt))
 }
 
 // Pop implements sched.Policy.
 func (q *DAS) Pop(now time.Duration) *sched.Op {
 	if len(q.ops) == 0 {
+		if len(q.aging) > 0 {
+			// Nothing queued: every remaining aging entry is stale.
+			for i := range q.aging {
+				q.aging[i] = agingEntry{}
+			}
+			q.aging = q.aging[:0]
+		}
 		return nil
 	}
 	if old := q.oldest(); old != nil && now-old.Enqueued > q.opts.MaxDelay {
 		q.fifoHead++
-		heap.Remove((*dasHeap)(q), dasHeapIndex(old))
-		q.backlog -= old.Demand
-		q.stats.Promotions++
-		old.Class = sched.ClassPromoted
+		q.promote(old)
 		return old
+	}
+	if op := q.agingExpired(now); op != nil {
+		q.promote(op)
+		return op
 	}
 	op, ok := heap.Pop((*dasHeap)(q)).(*sched.Op)
 	if !ok {
@@ -212,6 +339,38 @@ func (q *DAS) Pop(now time.Duration) *sched.Op {
 	return op
 }
 
+// promote removes op from the priority heap and serves it out of key
+// order under a starvation bound.
+func (q *DAS) promote(op *sched.Op) {
+	heap.Remove((*dasHeap)(q), dasHeapIndex(op))
+	q.backlog -= op.Demand
+	q.stats.Promotions++
+	op.Class = sched.ClassPromoted
+}
+
+// agingExpired returns the queued op with the earliest expired
+// promotion deadline, or nil when the relative bound is off or nothing
+// has aged out. Entries whose ops were already served through the
+// priority heap are dropped lazily here.
+func (q *DAS) agingExpired(now time.Duration) *sched.Op {
+	if q.opts.AgingBound <= 0 {
+		return nil
+	}
+	for len(q.aging) > 0 {
+		top := q.aging[0]
+		if !q.holds(top) {
+			heap.Pop(&q.aging) // served long ago; drop the stale entry
+			continue
+		}
+		if top.deadline >= now {
+			return nil // the earliest deadline has not expired yet
+		}
+		heap.Pop(&q.aging)
+		return top.op
+	}
+	return nil
+}
+
 // oldest returns the longest-waiting queued op, or nil when MaxDelay is
 // disabled or the FIFO is drained.
 func (q *DAS) oldest() *sched.Op {
@@ -219,17 +378,17 @@ func (q *DAS) oldest() *sched.Op {
 		return nil
 	}
 	for q.fifoHead < len(q.fifo) {
-		op := q.fifo[q.fifoHead]
-		if dasHeapIndex(op) >= 0 {
-			return op
+		e := q.fifo[q.fifoHead]
+		if q.holds(e) {
+			return e.op
 		}
 		// Already served through the heap path; drop and compact.
-		q.fifo[q.fifoHead] = nil
+		q.fifo[q.fifoHead] = agingEntry{}
 		q.fifoHead++
 		if q.fifoHead > 64 && q.fifoHead*2 >= len(q.fifo) {
 			n := copy(q.fifo, q.fifo[q.fifoHead:])
 			for i := n; i < len(q.fifo); i++ {
-				q.fifo[i] = nil
+				q.fifo[i] = agingEntry{}
 			}
 			q.fifo = q.fifo[:n]
 			q.fifoHead = 0
@@ -299,4 +458,33 @@ func (h *dasHeap) Pop() any {
 	h.seqs = h.seqs[:n-1]
 	setDASHeapIndex(op, -1)
 	return op
+}
+
+// agingEntry pairs a queued op with the push sequence identifying its
+// incarnation (see holds) and, on the aging heap, its promotion
+// deadline.
+type agingEntry struct {
+	op       *sched.Op
+	seq      uint64
+	deadline time.Duration
+}
+
+// agingHeap is a min-heap on promotion deadline. It does not track
+// positions: ops served through the priority heap leave their entries
+// behind, to be skipped lazily (HeapIndex < 0) when they surface.
+type agingHeap []agingEntry
+
+var _ heap.Interface = (*agingHeap)(nil)
+
+func (h agingHeap) Len() int           { return len(h) }
+func (h agingHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h agingHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *agingHeap) Push(x any)        { *h = append(*h, x.(agingEntry)) }
+func (h *agingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = agingEntry{}
+	*h = old[:n-1]
+	return e
 }

@@ -337,3 +337,132 @@ func TestDASBetaZeroClassifiesSRPT(t *testing.T) {
 		t.Fatalf("decisions = %+v", d)
 	}
 }
+
+// TestDASAgingBoundPromotes asserts the relative bound: an op that
+// waited past AgingBound x its remaining time is served next, out of
+// key order, classified as promoted.
+func TestDASAgingBoundPromotes(t *testing.T) {
+	q := mustDAS(t, Options{Beta: 0.1, AgingBound: 2})
+	big := dasOp(1, 10*time.Millisecond, 0) // allowance = 20ms
+	q.Push(big, 0)
+	q.Push(dasOp(2, time.Millisecond, 0), 19*time.Millisecond)
+	// At 19ms the deadline (20ms) has not expired: SRPT order holds.
+	if got := q.Pop(19 * time.Millisecond); got.Request != 2 {
+		t.Fatalf("pop before deadline = request %d, want 2 (SRPT)", got.Request)
+	}
+	q.Push(dasOp(3, time.Millisecond, 0), 21*time.Millisecond)
+	// Past the deadline the starved op jumps the shorter one.
+	got := q.Pop(21 * time.Millisecond)
+	if got != big {
+		t.Fatalf("pop past deadline = request %d, want the aged op", got.Request)
+	}
+	if got.Class != sched.ClassPromoted {
+		t.Fatalf("class = %v, want promoted", got.Class)
+	}
+	if d := q.Decisions(); d.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", d.Promotions)
+	}
+}
+
+// TestDASAgingDeadlineIsStrict asserts the bound fires only strictly
+// past the deadline, so frozen-time pops keep pure key order.
+func TestDASAgingDeadlineIsStrict(t *testing.T) {
+	q := mustDAS(t, Options{AgingBound: 2})
+	big := dasOp(1, 10*time.Millisecond, 0)
+	q.Push(big, 0)
+	q.Push(dasOp(2, time.Millisecond, 0), 20*time.Millisecond)
+	if got := q.Pop(20 * time.Millisecond); got.Request != 2 {
+		t.Fatalf("pop at exact deadline = request %d, want 2 (bound must not fire)", got.Request)
+	}
+}
+
+// TestDASAgingLazyDeletion asserts stale aging entries (ops already
+// served through the priority heap) are skipped, and an emptied queue
+// discards the leftover entries.
+func TestDASAgingLazyDeletion(t *testing.T) {
+	q := mustDAS(t, Options{AgingBound: 1})
+	a := dasOp(1, time.Millisecond, 0)
+	b := dasOp(2, 2*time.Millisecond, 0)
+	q.Push(a, 0)
+	q.Push(b, 0)
+	if got := q.Pop(0); got != a {
+		t.Fatalf("pop = request %d, want 1", got.Request)
+	}
+	// a's aging entry is now stale; far in the future b must still be
+	// served exactly once, via promotion past its own deadline.
+	got := q.Pop(time.Hour)
+	if got != b {
+		t.Fatalf("pop = %v, want request 2", got)
+	}
+	if q.Pop(time.Hour) != nil {
+		t.Fatal("empty queue must pop nil")
+	}
+	if len(q.aging) != 0 {
+		t.Fatalf("drained queue left %d aging entries", len(q.aging))
+	}
+}
+
+// TestDASAgingFloorsUntaggedAtDemand asserts untagged traffic (zero
+// RemainingTime) ages on its own demand, not a zero allowance.
+func TestDASAgingFloorsUntaggedAtDemand(t *testing.T) {
+	q := mustDAS(t, Options{AgingBound: 4})
+	op := &sched.Op{Request: 1, Demand: time.Millisecond}
+	if got := q.agingAllowance(op); got != 4*time.Millisecond {
+		t.Fatalf("allowance = %v, want 4ms (floored at demand)", got)
+	}
+}
+
+// TestDASPushBatchStaysContiguous asserts a coherently tagged batch is
+// served as one contiguous run in submission order, with other work
+// ordered around it by key.
+func TestDASPushBatchStaysContiguous(t *testing.T) {
+	q := mustDAS(t, DefaultOptions())
+	q.Push(dasOp(1, 5*time.Millisecond, 0), 0)
+	q.Push(dasOp(2, 20*time.Millisecond, 0), 0)
+	batch := []*sched.Op{
+		dasOp(10, 10*time.Millisecond, 0),
+		dasOp(11, 10*time.Millisecond, 0),
+		dasOp(12, 10*time.Millisecond, 0),
+	}
+	q.PushBatch(batch, 0)
+	want := []sched.RequestID{1, 10, 11, 12, 2}
+	for _, w := range want {
+		if got := q.Pop(0).Request; got != w {
+			t.Fatalf("pop = request %d, want %d", got, w)
+		}
+	}
+}
+
+// TestDASPushBatchOneDecision asserts the LRPT-last demotion is
+// evaluated once per batch: every op shares the frame's classification
+// and the batch demotes whole, never op by op.
+func TestDASPushBatchOneDecision(t *testing.T) {
+	q := mustDAS(t, DefaultOptions())
+	// Slack 30ms > remaining 10ms: the frame fires the demotion.
+	batch := []*sched.Op{
+		dasOp(1, 10*time.Millisecond, 30*time.Millisecond),
+		dasOp(2, 10*time.Millisecond, 30*time.Millisecond),
+	}
+	q.PushBatch(batch, 0)
+	for _, op := range batch {
+		if op.Class != sched.ClassLRPTLast {
+			t.Fatalf("request %d class = %v, want lrpt-last", op.Request, op.Class)
+		}
+	}
+	if d := q.Decisions(); d.LRPTDemoted != 2 || d.Pushed != 2 {
+		t.Fatalf("decisions = %+v, want 2 demoted of 2 pushed", d)
+	}
+	// The demoted batch still pops contiguously.
+	if a, b := q.Pop(0), q.Pop(0); a.Request != 1 || b.Request != 2 {
+		t.Fatalf("pop order = %d,%d, want 1,2", a.Request, b.Request)
+	}
+}
+
+// TestDASPushBatchEmpty asserts the degenerate frame is a no-op.
+func TestDASPushBatchEmpty(t *testing.T) {
+	q := mustDAS(t, DefaultOptions())
+	q.PushBatch(nil, 0)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after empty batch", q.Len())
+	}
+}

@@ -58,16 +58,25 @@ type EstimatorConfig struct {
 	// selection routes around the corpse; fresh feedback (Observe)
 	// revives it immediately.
 	ReviveAfter time.Duration
+	// CalibrationGain is the EWMA weight of one service-time
+	// observation in the per-server demand-calibration ratio, in
+	// (0, 1]. The ratio corrects the client's demand model against the
+	// service times servers actually report (ObserveService), so a
+	// model that is wrong by a constant factor — or a server whose
+	// speed feedback misses systematic per-op overhead — converges to
+	// honest tags instead of trusting its misestimate forever.
+	CalibrationGain float64
 }
 
 // DefaultEstimatorConfig returns the parameters used throughout the
 // evaluation.
 func DefaultEstimatorConfig() EstimatorConfig {
 	return EstimatorConfig{
-		Gain:         0.3,
-		StaleAfter:   5 * time.Second,
-		DefaultSpeed: 1.0,
-		ReviveAfter:  2 * time.Second,
+		Gain:            0.3,
+		StaleAfter:      5 * time.Second,
+		DefaultSpeed:    1.0,
+		ReviveAfter:     2 * time.Second,
+		CalibrationGain: 0.2,
 	}
 }
 
@@ -84,6 +93,9 @@ func (c EstimatorConfig) validate() error {
 	if c.ReviveAfter < 0 {
 		return fmt.Errorf("estimator: ReviveAfter %v must be non-negative", c.ReviveAfter)
 	}
+	if c.CalibrationGain < 0 || c.CalibrationGain > 1 {
+		return fmt.Errorf("estimator: CalibrationGain %v outside [0,1]", c.CalibrationGain)
+	}
 	return nil
 }
 
@@ -94,6 +106,11 @@ type serverView struct {
 	known     bool
 	down      bool
 	downSince time.Duration
+	// cal is the demand-calibration ratio: how much larger (or smaller)
+	// this server's reported service times run than the client's raw,
+	// speed-scaled demand predictions. 0 means "never calibrated" and
+	// reads as 1.
+	cal float64
 }
 
 // Estimator maintains per-server load and speed views from piggybacked
@@ -139,6 +156,77 @@ func (e *Estimator) Observe(fb Feedback) {
 	v.known = true
 	// A response is proof of life: revive a down-marked server.
 	v.down = false
+}
+
+// calClamp bounds one calibration observation and the running ratio, so
+// a single wild service report (GC pause, cold cache) cannot swing the
+// demand model by more than this factor in either direction.
+const calClamp = 64.0
+
+// ObserveService folds one server-reported service time into the
+// per-server demand-calibration ratio: predicted is the client's raw
+// demand estimate for the operation, actual the service time the server
+// measured (response Timing). The speed estimate is factored out of the
+// observation so speed corrections (Observe) and demand corrections
+// compose instead of double-counting. Callers must not feed shed or
+// errored responses here — a zero or negative duration on either side
+// is ignored, which also covers v2 peers that report no Timing block.
+func (e *Estimator) ObserveService(server sched.ServerID, predicted, actual time.Duration) {
+	if e.cfg.CalibrationGain <= 0 || predicted <= 0 || actual <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[server]
+	if !ok {
+		v = &serverView{speed: e.cfg.DefaultSpeed}
+		e.views[server] = v
+	}
+	speed := v.speed
+	if !v.known || speed <= 0 {
+		speed = e.cfg.DefaultSpeed
+	}
+	// actual×speed is the demand the service time implies at the
+	// current speed view; obs is its ratio to what the model predicted.
+	obs := float64(actual) * speed / float64(predicted)
+	if obs < 1/calClamp {
+		obs = 1 / calClamp
+	} else if obs > calClamp {
+		obs = calClamp
+	}
+	if v.cal <= 0 {
+		v.cal = obs
+	} else {
+		v.cal += e.cfg.CalibrationGain * (obs - v.cal)
+	}
+	if v.cal < 1/calClamp {
+		v.cal = 1 / calClamp
+	} else if v.cal > calClamp {
+		v.cal = calClamp
+	}
+}
+
+// CalibratedDemand corrects a raw demand estimate by the server's
+// calibration ratio (identity for servers never calibrated or when
+// calibration is disabled).
+func (e *Estimator) CalibratedDemand(server sched.ServerID, demand time.Duration) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.views[server]; ok && v.cal > 0 {
+		return time.Duration(float64(demand) * v.cal)
+	}
+	return demand
+}
+
+// CalibrationRatio returns the server's current demand-calibration
+// ratio (1 when never calibrated), for introspection and tests.
+func (e *Estimator) CalibrationRatio(server sched.ServerID) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.views[server]; ok && v.cal > 0 {
+		return v.cal
+	}
+	return 1
 }
 
 // MarkDown records a server as unreachable at time at (a failed dial, a
@@ -225,6 +313,40 @@ func (e *Estimator) ExpectedWait(server sched.ServerID, now time.Duration) time.
 	return wait
 }
 
+// tagView returns one server's speed, calibration ratio, and expected
+// queueing wait in a single lock acquisition — the tagger's per-group
+// view (semantically Speed + CalibrationRatio + ExpectedWait).
+func (e *Estimator) tagView(server sched.ServerID, now time.Duration) (speed, cal float64, wait time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	speed, cal = e.cfg.DefaultSpeed, 1.0
+	v, ok := e.views[server]
+	if !ok {
+		return speed, cal, 0
+	}
+	if v.known && v.speed > 0 {
+		speed = v.speed
+	}
+	if v.cal > 0 {
+		cal = v.cal
+	}
+	if !v.known {
+		return speed, cal, 0
+	}
+	age := now - v.updatedAt
+	if age < 0 {
+		age = 0
+	}
+	if age > e.cfg.StaleAfter {
+		return speed, cal, 0
+	}
+	wait = time.Duration(float64(v.backlog)/speed) - age
+	if wait < 0 {
+		wait = 0
+	}
+	return speed, cal, wait
+}
+
 // ExpectedFinish estimates the absolute completion instant of an
 // operation with the given demand dispatched to server at time now:
 // now + expected queueing wait + demand scaled by the speed estimate.
@@ -258,6 +380,9 @@ type ServerSnapshot struct {
 	// defaults for servers never heard from).
 	Speed   float64
 	Backlog time.Duration
+	// Calibration is the demand-calibration ratio ObserveService has
+	// converged to (1 when never calibrated).
+	Calibration float64
 	// Age is how stale the backlog snapshot is at the query instant
 	// (negative observation clocks clamp to zero).
 	Age time.Duration
@@ -276,11 +401,15 @@ func (e *Estimator) SnapshotAll(now time.Duration) []ServerSnapshot {
 	out := make([]ServerSnapshot, 0, len(e.views))
 	for id, v := range e.views {
 		s := ServerSnapshot{
-			Server:  id,
-			Speed:   v.speed,
-			Backlog: v.backlog,
-			Known:   v.known,
-			Down:    e.downLocked(id, now),
+			Server:      id,
+			Speed:       v.speed,
+			Backlog:     v.backlog,
+			Calibration: v.cal,
+			Known:       v.known,
+			Down:        e.downLocked(id, now),
+		}
+		if s.Calibration <= 0 {
+			s.Calibration = 1
 		}
 		if !v.known {
 			s.Speed, s.Backlog = e.cfg.DefaultSpeed, 0

@@ -18,6 +18,9 @@ var dasCases = map[string]core.Options{
 	"big-beta":    {Beta: 3},
 	"fcfs-ward":   {Alpha: 1},
 	"threshold-0": {Beta: 0.1, SlackThreshold: 0.5},
+	"live":        core.LiveOptions(),
+	"aging-bound": {Beta: 0.1, AgingBound: 2},
+	"both-bounds": {Beta: 0.1, MaxDelay: 5 * time.Millisecond, AgingBound: 4},
 }
 
 // TestDASInvariants runs the shared policy conformance suite over DAS
@@ -31,12 +34,13 @@ func TestDASInvariants(t *testing.T) {
 // TestDASProperties runs the property suite over the same
 // configurations. DAS is SRPT-first, so the shorter-first monotonicity
 // claim holds for every configuration; configurations with a MaxDelay
-// additionally assert the anti-starvation bound.
+// or AgingBound additionally assert the matching anti-starvation bound.
 func TestDASProperties(t *testing.T) {
 	for name, opts := range dasCases {
 		schedtest.RunProperties(t, name, core.Factory(opts), schedtest.Properties{
 			ShorterFirst: true,
 			MaxDelay:     opts.MaxDelay,
+			AgingBound:   opts.AgingBound,
 		})
 	}
 }

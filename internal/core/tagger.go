@@ -6,31 +6,45 @@ import (
 	"github.com/daskv/daskv/internal/sched"
 )
 
+// tagGroupScan is the fan-out up to which the tagger groups ops by
+// server with a quadratic scan instead of a map. Multigets are almost
+// always narrow, and the scan keeps the hot path allocation-free.
+const tagGroupScan = 16
+
 // Tag stamps the operations of one request with DAS scheduling metadata
-// at dispatch time now. It fills, per operation:
+// at dispatch time now. Operations are grouped by destination server —
+// a server serves its share of the request serially, so the ops of one
+// group are one scheduling unit, not independent work. It fills, per
+// operation:
 //
 //   - Tags.DemandBottleneck — the maximum sibling demand (the static
 //     bottleneck Rein-SBF orders by, shared so baselines reuse tagging);
-//   - Tags.ScaledDemand — the op's demand scaled by the estimated speed
-//     of its server;
-//   - Tags.RemainingTime — the maximum sibling ScaledDemand: the
-//     request's bottleneck processing time adjusted for server speeds.
-//     This is DAS's SRPT-first key. Queueing waits are deliberately left
+//   - Tags.ScaledDemand — the op's demand corrected by the server's
+//     calibration ratio (ObserveService feedback) and scaled by its
+//     estimated speed;
+//   - Tags.RemainingTime — the maximum per-server *group residual*: the
+//     summed ScaledDemand of the request's ops bound for one server.
+//     This is DAS's SRPT-first key, and summing within a group is what
+//     makes it batch-aware — three ops sharing a server take three
+//     service times, not one. Queueing waits are deliberately left
 //     out: wait estimates are noisy, stale by the time an op is served,
 //     and largely shared across co-queued requests, so including them
 //     drowns the request-size signal (verified in simulation — it
 //     pushes DAS toward FCFS behavior);
 //   - Tags.ExpectedFinish / Tags.RequestFinish — absolute completion
-//     estimates *including* expected queueing waits. Their difference,
-//     Tags.Slack, is how long this op can be deferred before it delays
-//     its request: the LRPT-last demotion signal. Waits matter here —
-//     an op whose sibling sits behind a 500ms backlog genuinely has
-//     hundreds of milliseconds of slack.
+//     estimates *including* expected queueing waits. Every op of one
+//     server group shares the group's finish estimate (the server
+//     drains the group together), so their slack — and therefore their
+//     LRPT-last demotion decision — is coherent: a batch frame is
+//     demoted whole or not at all, never shuffled op by op. Waits
+//     matter here — a group whose sibling sits behind a 500ms backlog
+//     genuinely has hundreds of milliseconds of slack.
 //
 // With est == nil (the DAS-static ablation and the Rein baselines) all
-// servers look idle at nominal speed, so RemainingTime degenerates to
-// the static demand bottleneck (exactly Rein-SBF's information) and
-// Slack to the within-request demand gap.
+// servers look idle at nominal speed and calibration 1, so
+// RemainingTime degenerates to the static per-server demand sum
+// (exactly Rein-SBF's information for single-op groups) and Slack to
+// the within-request demand gap.
 func Tag(ops []*sched.Op, est *Estimator, now time.Duration) {
 	if len(ops) == 0 {
 		return
@@ -41,29 +55,89 @@ func Tag(ops []*sched.Op, est *Estimator, now time.Duration) {
 			maxDemand = op.Demand
 		}
 	}
-	var maxScaled time.Duration
+	var maxResidual time.Duration
 	var requestFinish time.Duration
-	for _, op := range ops {
-		scaled := op.Demand
-		var wait time.Duration
-		if est != nil {
-			scaled = time.Duration(float64(op.Demand) / est.Speed(op.Server))
-			wait = est.ExpectedWait(op.Server, now)
+	if len(ops) <= tagGroupScan {
+		// Narrow request: group by quadratic scan, zero allocations.
+		for i, op := range ops {
+			leader := true
+			for j := 0; j < i; j++ {
+				if ops[j].Server == op.Server {
+					leader = false
+					break
+				}
+			}
+			if !leader {
+				continue
+			}
+			speed, cal, wait := serverTagView(est, op.Server, now)
+			var residual time.Duration
+			for j := i; j < len(ops); j++ {
+				if ops[j].Server != op.Server {
+					continue
+				}
+				scaled := time.Duration(float64(ops[j].Demand) * cal / speed)
+				ops[j].Tags.ScaledDemand = scaled
+				residual += scaled
+			}
+			finish := now + wait + residual
+			for j := i; j < len(ops); j++ {
+				if ops[j].Server == op.Server {
+					ops[j].Tags.ExpectedFinish = finish
+				}
+			}
+			if residual > maxResidual {
+				maxResidual = residual
+			}
+			if finish > requestFinish {
+				requestFinish = finish
+			}
 		}
-		op.Tags.ScaledDemand = scaled
-		op.Tags.ExpectedFinish = now + wait + scaled
-		if scaled > maxScaled {
-			maxScaled = scaled
+	} else {
+		// Wide request: two passes over a per-server accumulator map.
+		type group struct {
+			speed, cal float64
+			wait       time.Duration
+			residual   time.Duration
 		}
-		if op.Tags.ExpectedFinish > requestFinish {
-			requestFinish = op.Tags.ExpectedFinish
+		groups := make(map[sched.ServerID]*group, 8)
+		for _, op := range ops {
+			g, ok := groups[op.Server]
+			if !ok {
+				speed, cal, wait := serverTagView(est, op.Server, now)
+				g = &group{speed: speed, cal: cal, wait: wait}
+				groups[op.Server] = g
+			}
+			scaled := time.Duration(float64(op.Demand) * g.cal / g.speed)
+			op.Tags.ScaledDemand = scaled
+			g.residual += scaled
+		}
+		for _, op := range ops {
+			g := groups[op.Server]
+			finish := now + g.wait + g.residual
+			op.Tags.ExpectedFinish = finish
+			if g.residual > maxResidual {
+				maxResidual = g.residual
+			}
+			if finish > requestFinish {
+				requestFinish = finish
+			}
 		}
 	}
 	for _, op := range ops {
 		op.Tags.IssuedAt = now
 		op.Tags.Fanout = len(ops)
 		op.Tags.DemandBottleneck = maxDemand
-		op.Tags.RemainingTime = maxScaled
+		op.Tags.RemainingTime = maxResidual
 		op.Tags.RequestFinish = requestFinish
 	}
+}
+
+// serverTagView resolves the tagger's per-server view: nominal and
+// uncalibrated when est is nil (static tagging).
+func serverTagView(est *Estimator, server sched.ServerID, now time.Duration) (speed, cal float64, wait time.Duration) {
+	if est == nil {
+		return 1, 1, 0
+	}
+	return est.tagView(server, now)
 }

@@ -95,6 +95,114 @@ func TestTagAdaptiveWaitsEnterSlackNotRemaining(t *testing.T) {
 	}
 }
 
+// TestTagSameServerGroupSumsResidual asserts batch-awareness: ops of
+// one request bound for one server are one serial scheduling unit, so
+// the SRPT key is their summed demand, not the max single op.
+func TestTagSameServerGroupSumsResidual(t *testing.T) {
+	ops := []*sched.Op{
+		{Request: 1, Index: 0, Server: 0, Demand: 2 * time.Millisecond},
+		{Request: 1, Index: 1, Server: 0, Demand: 3 * time.Millisecond},
+		{Request: 1, Index: 2, Server: 0, Demand: 4 * time.Millisecond},
+	}
+	now := 50 * time.Millisecond
+	Tag(ops, nil, now)
+	for _, op := range ops {
+		if op.Tags.RemainingTime != 9*time.Millisecond {
+			t.Fatalf("RemainingTime = %v, want 9ms (group residual sum)", op.Tags.RemainingTime)
+		}
+		// The whole group shares the group finish estimate, so slack is
+		// uniform (here zero: the group is its own bottleneck) and a
+		// demotion decision can never split the batch.
+		if op.Tags.ExpectedFinish != now+9*time.Millisecond {
+			t.Fatalf("ExpectedFinish = %v, want now+9ms", op.Tags.ExpectedFinish)
+		}
+		if got := op.Tags.Slack(); got != 0 {
+			t.Fatalf("Slack = %v, want 0 across the whole group", got)
+		}
+		// The static bottleneck stays the max single-op demand —
+		// Rein-SBF's information, untouched by batch grouping.
+		if op.Tags.DemandBottleneck != 4*time.Millisecond {
+			t.Fatalf("DemandBottleneck = %v, want 4ms", op.Tags.DemandBottleneck)
+		}
+	}
+}
+
+// TestTagMixedGroupsCoherentSlack asserts that with two server groups,
+// every member of one group carries identical slack — the property the
+// server's batch admission relies on.
+func TestTagMixedGroupsCoherentSlack(t *testing.T) {
+	ops := []*sched.Op{
+		{Request: 1, Index: 0, Server: 0, Demand: 2 * time.Millisecond},
+		{Request: 1, Index: 1, Server: 0, Demand: 2 * time.Millisecond},
+		{Request: 1, Index: 2, Server: 1, Demand: 10 * time.Millisecond},
+	}
+	Tag(ops, nil, 0)
+	// Server 0's group: 4ms residual; server 1: 10ms → request finish 10ms.
+	if ops[0].Tags.Slack() != ops[1].Tags.Slack() {
+		t.Fatalf("group slack differs: %v vs %v", ops[0].Tags.Slack(), ops[1].Tags.Slack())
+	}
+	if got := ops[0].Tags.Slack(); got != 6*time.Millisecond {
+		t.Fatalf("group slack = %v, want 6ms (10ms bottleneck - 4ms residual)", got)
+	}
+	if ops[0].Tags.RemainingTime != 10*time.Millisecond {
+		t.Fatalf("RemainingTime = %v, want 10ms (max group residual)", ops[0].Tags.RemainingTime)
+	}
+}
+
+// TestTagWideRequestMatchesNarrow asserts the map-based wide path
+// computes the same tags as the quadratic narrow path.
+func TestTagWideRequestMatchesNarrow(t *testing.T) {
+	build := func() []*sched.Op {
+		ops := make([]*sched.Op, tagGroupScan+4)
+		for i := range ops {
+			ops[i] = &sched.Op{
+				Request: 1, Index: i,
+				Server: sched.ServerID(i % 3),
+				Demand: time.Duration(i+1) * time.Millisecond,
+			}
+		}
+		return ops
+	}
+	wide := build()
+	Tag(wide, nil, 0)
+	// Recompute per-server residuals directly.
+	residuals := map[sched.ServerID]time.Duration{}
+	for _, op := range wide {
+		residuals[op.Server] += op.Demand
+	}
+	var maxResidual time.Duration
+	for _, r := range residuals {
+		if r > maxResidual {
+			maxResidual = r
+		}
+	}
+	for _, op := range wide {
+		if op.Tags.RemainingTime != maxResidual {
+			t.Fatalf("RemainingTime = %v, want %v", op.Tags.RemainingTime, maxResidual)
+		}
+		if op.Tags.ExpectedFinish != residuals[op.Server] {
+			t.Fatalf("ExpectedFinish = %v, want group residual %v", op.Tags.ExpectedFinish, residuals[op.Server])
+		}
+	}
+}
+
+// TestTagAppliesCalibration asserts Timing-feedback calibration reaches
+// the tags: a server whose demands measured 3x the prediction tags 3x
+// the scaled demand.
+func TestTagAppliesCalibration(t *testing.T) {
+	est := mustEstimator(t, DefaultEstimatorConfig())
+	est.Observe(Feedback{Server: 0, Speed: 1, At: 0})
+	est.ObserveService(0, time.Millisecond, 3*time.Millisecond)
+	ops := []*sched.Op{{Request: 1, Server: 0, Demand: 2 * time.Millisecond}}
+	Tag(ops, est, 0)
+	if ops[0].Tags.ScaledDemand != 6*time.Millisecond {
+		t.Fatalf("ScaledDemand = %v, want 6ms (2ms x ratio 3)", ops[0].Tags.ScaledDemand)
+	}
+	if ops[0].Tags.RemainingTime != 6*time.Millisecond {
+		t.Fatalf("RemainingTime = %v, want calibrated 6ms", ops[0].Tags.RemainingTime)
+	}
+}
+
 func TestTagSingleOp(t *testing.T) {
 	ops := []*sched.Op{{Request: 9, Server: 2, Demand: time.Millisecond}}
 	Tag(ops, nil, 0)

@@ -403,6 +403,25 @@ func (c *Client) noteServerFailure(id sched.ServerID) {
 	c.est.MarkDown(id, c.now())
 }
 
+// observeService feeds one server-reported service time back into the
+// adaptive demand estimator, closing the calibration loop: the
+// estimator learns the per-server ratio between predicted demand and
+// actual service, so tags converge toward true service times even when
+// the configured demand model is wrong. Only genuinely served
+// operations teach — shed ops (ServiceNanos 0) and server errors carry
+// no service-time signal, and v2 peers that report no Timing block are
+// ignored. NotFound and CASMismatch are real service — full lookups
+// that merely found nothing to change — so they count.
+func (c *Client) observeService(server sched.ServerID, predicted time.Duration, tm wire.Timing, status wire.Status) {
+	if !c.cfg.Adaptive || tm.ServiceNanos <= 0 {
+		return
+	}
+	switch status {
+	case wire.StatusOK, wire.StatusNotFound, wire.StatusCASMismatch:
+		c.est.ObserveService(server, predicted, time.Duration(tm.ServiceNanos))
+	}
+}
+
 // retrySleep waits one jittered exponential-backoff step before retry
 // attempt n (0-based): RetryBackoff * 2^n, scaled uniformly in
 // [0.5, 1.5), honoring context cancellation.
@@ -601,15 +620,17 @@ func (c *Client) putBatch(ctx context.Context, server sched.ServerID, ops []writ
 	reqs := make([]wire.Request, len(ops))
 	ids := make([]uint64, len(ops))
 	chs := make([]chan wire.Response, len(ops))
+	demands := make([]time.Duration, len(ops))
 	// Writes are tagged individually (fanout 1), matching the single-key
 	// path; one reusable op keeps the loop allocation-free.
 	var op sched.Op
 	tagBuf := []*sched.Op{&op}
 	for i, wo := range ops {
+		demands[i] = c.cfg.Demand(wire.OpPut, len(wo.key), len(wo.value))
 		op = sched.Op{
 			Server: server,
 			Key:    wo.key,
-			Demand: c.cfg.Demand(wire.OpPut, len(wo.key), len(wo.value)),
+			Demand: demands[i],
 		}
 		core.Tag(tagBuf, c.taggingEst(), now)
 		id := c.nextID.Add(1)
@@ -643,6 +664,7 @@ func (c *Client) putBatch(ctx context.Context, server sched.ServerID, ops []writ
 					server, ops[i].key, context.DeadlineExceeded)
 			}
 			if ok {
+				c.observeService(server, demands[i], resp.Timing, resp.Status)
 				putRespChan(chs[i])
 				putValueBuf(resp.Value)
 			}
@@ -1020,6 +1042,7 @@ func (c *Client) awaitGet(ctx context.Context, cc *clientConn, id uint64, ch cha
 		}
 		putRespChan(ch)
 		tm = resp.Timing
+		c.observeService(op.Server, op.Demand, tm, resp.Status)
 		switch resp.Status {
 		case wire.StatusOK:
 			return resp.Value, resp.Version, true, tm, nil
@@ -1220,6 +1243,7 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, server)
 		}
 		putRespChan(ch)
+		c.observeService(server, op.Demand, resp.Timing, resp.Status)
 		if resp.Status == wire.StatusDeadlineExceeded {
 			return nil, fmt.Errorf("kv: server %d shed CAS on %q past its deadline: %w",
 				server, key, context.DeadlineExceeded)
@@ -1263,6 +1287,7 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, op.Server)
 		}
 		putRespChan(ch)
+		c.observeService(op.Server, op.Demand, resp.Timing, resp.Status)
 		switch resp.Status {
 		case wire.StatusError:
 			return nil, fmt.Errorf("kv: server error for key %q", key)

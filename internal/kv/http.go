@@ -148,5 +148,7 @@ func writeExposition(w http.ResponseWriter, s *Server) {
 			e.IntSample("kv_sched_decisions_total",
 				[]metrics.Label{server, {Name: "decision", Value: dc.class}}, dc.n)
 		}
+		e.Family("kv_sched_promotions_total", "Operations a starvation bound (MaxDelay or AgingBound) served ahead of priority order.", "counter")
+		e.IntSample("kv_sched_promotions_total", []metrics.Label{server}, d.Promotions)
 	}
 }

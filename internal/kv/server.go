@@ -721,7 +721,11 @@ func (s *Server) buildOp(sc *serverConn, req *wire.Request, now time.Duration) *
 // enqueueBatch admits one frame's operations — a multiget's whole
 // per-server batch — into the scheduling queue under a single lock
 // acquisition, with payload copies built outside the critical section.
-// It returns the reusable op scratch slice.
+// When the queue is batch-capable and the frame's tags are coherent
+// (one RemainingNanos/SlackNanos for the whole frame, which a
+// batch-aware tagger guarantees), the frame is admitted as a single
+// scheduling unit so per-op estimate noise can never shuffle it
+// through the queue. It returns the reusable op scratch slice.
 func (s *Server) enqueueBatch(sc *serverConn, reqs []wire.Request, ops []*sched.Op) []*sched.Op {
 	if len(reqs) == 0 {
 		return ops
@@ -739,8 +743,12 @@ func (s *Server) enqueueBatch(sc *serverConn, reqs []wire.Request, ops []*sched.
 		s.mu.Unlock()
 		return ops
 	}
-	for _, op := range ops {
-		s.queue.Push(op, now)
+	if bq, ok := s.queue.(sched.BatchPolicy); ok && len(reqs) > 1 && wire.CoherentTags(reqs) {
+		bq.PushBatch(ops, now)
+	} else {
+		for _, op := range ops {
+			s.queue.Push(op, now)
+		}
 	}
 	s.mu.Unlock()
 	select {

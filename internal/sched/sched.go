@@ -122,6 +122,20 @@ type Policy interface {
 // randomized policies stay deterministic while differing across servers.
 type Factory func(seed uint64) Policy
 
+// BatchPolicy is implemented by policies that can admit one request's
+// whole per-server batch as a single scheduling unit: every operation
+// of the batch receives one coherent ordering decision instead of N
+// independent ones, so a multiget's frame is never shuffled through
+// the queue by per-op estimate noise. Callers must only use PushBatch
+// for operations that genuinely share their scheduling tags (same
+// RemainingTime, same Slack); incoherent batches go through Push.
+type BatchPolicy interface {
+	Policy
+	// PushBatch admits every op at virtual time now under one ordering
+	// decision, preserving the ops' relative submission order.
+	PushBatch(ops []*Op, now time.Duration)
+}
+
 // Class is a policy's classification of one queued operation — which
 // term of its priority function decided the op's place in line. DAS
 // assigns it on Push (and overrides it when the starvation bound fires
@@ -139,8 +153,9 @@ const (
 	// its request is confidently stuck behind a longer queue elsewhere,
 	// so serving it early would not speed the request up.
 	ClassLRPTLast
-	// ClassPromoted marks an op served out of priority order by the
-	// MaxDelay starvation bound.
+	// ClassPromoted marks an op served out of priority order by a
+	// starvation bound — the absolute MaxDelay cutoff or the relative
+	// AgingBound wait cap.
 	ClassPromoted
 )
 
@@ -178,8 +193,8 @@ type DecisionStats struct {
 	// have flipped. A high ratio of NearBoundary to Pushed means the
 	// slack signal is too noisy for the configured SlackThreshold.
 	NearBoundary uint64
-	// Promotions counts ops the MaxDelay starvation bound served ahead
-	// of their priority order.
+	// Promotions counts ops a starvation bound (MaxDelay or AgingBound)
+	// served ahead of their priority order.
 	Promotions uint64
 }
 

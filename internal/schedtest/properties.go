@@ -20,6 +20,12 @@ type Properties struct {
 	// SRPT-family policies: an operation that is smaller in every size
 	// dimension never gets a worse priority key.
 	ShorterFirst bool
+	// AgingBound, when positive, asserts the relative starvation bound:
+	// no bottleneck operation (zero slack) waits more than AgingBound
+	// times its own remaining processing time (plus one scheduling
+	// step) while higher-priority work keeps arriving; slack-carrying
+	// ops may additionally wait out their slack first.
+	AgingBound float64
 }
 
 // RunProperties drives the factory's queues through the property-based
@@ -37,6 +43,11 @@ func RunProperties(t *testing.T, name string, factory sched.Factory, props Prope
 	if props.MaxDelay > 0 {
 		t.Run(name+"/prop-starvation-bound", func(t *testing.T) {
 			testStarvationBound(t, factory, props.MaxDelay)
+		})
+	}
+	if props.AgingBound > 0 {
+		t.Run(name+"/prop-aging-bound", func(t *testing.T) {
+			testAgingBound(t, factory, props.AgingBound)
 		})
 	}
 }
@@ -217,4 +228,41 @@ func testStarvationBound(t *testing.T, factory sched.Factory, maxDelay time.Dura
 		}
 	}
 	t.Fatalf("op starved past %v despite the MaxDelay bound", maxDelay)
+}
+
+// testAgingBound asserts the relative starvation promise: an op facing
+// an endless stream of higher-priority arrivals is served within
+// AgingBound times its own remaining processing time, plus one
+// scheduling step. The victim is sized so the bound's deadline falls
+// well inside the test horizon while the tiny-op stream would
+// otherwise preempt it forever.
+func testAgingBound(t *testing.T, factory sched.Factory, bound float64) {
+	q := factory(53)
+	const rpt = 10 * time.Millisecond
+	starved := sizedOp(1_000_000, rpt)
+	q.Push(starved, 0)
+	allowance := time.Duration(bound * float64(rpt))
+	step := allowance / 8
+	if step <= 0 {
+		step = 1
+	}
+	now := time.Duration(0)
+	for i := 1; i <= 64; i++ {
+		now += step
+		q.Push(sizedOp(i, time.Microsecond), now)
+		op := q.Pop(now)
+		if op == nil {
+			t.Fatal("nil Pop with work queued")
+		}
+		if op == starved {
+			if wait := now - starved.Enqueued; wait > allowance+step {
+				t.Fatalf("starved op waited %v, bound is %v (+%v step)", wait, allowance, step)
+			}
+			if op.Class != sched.ClassPromoted {
+				t.Fatalf("rescued op classified %v, want %v", op.Class, sched.ClassPromoted)
+			}
+			return
+		}
+	}
+	t.Fatalf("op starved past %v despite the AgingBound bound", allowance)
 }

@@ -231,3 +231,31 @@ func TestDecodeAllocCeiling(t *testing.T) {
 		t.Errorf("ReadRequests allocates %.1f per %d-op batch, want <= %d", got, ops, 2*ops+2)
 	}
 }
+
+func TestCoherentTags(t *testing.T) {
+	coherent := make([]Request, 4)
+	for i := range coherent {
+		coherent[i] = Request{
+			ID: uint64(i), Type: OpGet,
+			Tags: Tags{RemainingNanos: 9000, SlackNanos: 100, DemandNanos: int64(i + 1)},
+		}
+	}
+	if !CoherentTags(coherent) {
+		t.Fatal("frame with one RemainingNanos/SlackNanos must be coherent")
+	}
+	// Per-op demands may differ — only the scheduling decision inputs
+	// must agree.
+	split := append([]Request(nil), coherent...)
+	split[2].Tags.RemainingNanos = 8000
+	if CoherentTags(split) {
+		t.Fatal("frame with differing RemainingNanos must not be coherent")
+	}
+	slackSplit := append([]Request(nil), coherent...)
+	slackSplit[1].Tags.SlackNanos = 0
+	if CoherentTags(slackSplit) {
+		t.Fatal("frame with differing SlackNanos must not be coherent")
+	}
+	if !CoherentTags(nil) || !CoherentTags(coherent[:1]) {
+		t.Fatal("empty and single-op frames are trivially coherent")
+	}
+}

@@ -134,6 +134,23 @@ type Tags struct {
 	Fanout uint32
 }
 
+// CoherentTags reports whether every request of a batch frame carries
+// the same scheduling decision inputs — one RemainingNanos (the
+// SRPT-first key) and one SlackNanos (the LRPT-last key) for the whole
+// frame. A batch-aware tagger (core.Tag grouping ops by server)
+// produces coherent frames by construction; coherence is what lets the
+// server admit the frame as a single scheduling unit instead of N
+// independently ordered operations.
+func CoherentTags(reqs []Request) bool {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Tags.RemainingNanos != reqs[0].Tags.RemainingNanos ||
+			reqs[i].Tags.SlackNanos != reqs[0].Tags.SlackNanos {
+			return false
+		}
+	}
+	return true
+}
+
 // Request is one key-value operation sent to a server.
 type Request struct {
 	ID    uint64
