@@ -29,16 +29,17 @@ func main() {
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
-		servers  = flag.Int("servers", 16, "cluster size")
-		requests = flag.Int("requests", 30000, "requests per simulation run")
-		seeds    = flag.Int("seeds", 3, "independent seeds averaged per data point")
-		seed     = flag.Uint64("seed", 1, "base RNG seed")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
-		liveDur  = flag.Duration("live", 0, "wall-clock duration per live-store policy run (default 6s)")
-		liveJSON = flag.String("live-json", "", "run only the live-store benchmark and write JSON results to this path")
-		liveGate = flag.Float64("live-gate", 0, "run the live tail-latency gate: fail unless DAS p99 <= this ratio x FCFS p99 (0 disables)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E20) or 'all'")
+		servers   = flag.Int("servers", 16, "cluster size")
+		requests  = flag.Int("requests", 30000, "requests per simulation run")
+		seeds     = flag.Int("seeds", 3, "independent seeds averaged per data point")
+		seed      = flag.Uint64("seed", 1, "base RNG seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
+		liveDur   = flag.Duration("live", 0, "wall-clock duration per live-store policy run (default 6s)")
+		liveJSON  = flag.String("live-json", "", "run only the live-store benchmark and write JSON results to this path")
+		liveGate  = flag.Float64("live-gate", 0, "run the live tail-latency gate: fail unless DAS p99 <= this ratio x FCFS p99 (0 disables)")
+		liveSizes = flag.Bool("live-sizes", false, "use the heavy-tailed Pareto value-size mix for -live-gate: compare small-op p99 of DAS with split pools vs FCFS")
 	)
 	flag.Parse()
 
@@ -60,7 +61,13 @@ func run() error {
 		return writeLiveJSON(params, *liveJSON)
 	}
 	if *liveGate > 0 {
+		if *liveSizes {
+			return bench.RunLiveSizedGate(params, os.Stdout, *liveGate, 1)
+		}
 		return bench.RunLiveGate(params, os.Stdout, *liveGate, 1)
+	}
+	if *liveSizes {
+		return fmt.Errorf("-live-sizes requires -live-gate to set a ratio")
 	}
 	var selected []bench.Experiment
 	if *expFlag == "all" {
@@ -114,14 +121,30 @@ func writeLiveJSON(params bench.Params, path string) error {
 	if err != nil {
 		return err
 	}
+	sized, err := bench.RunLiveSizedJSON(params)
+	if err != nil {
+		return err
+	}
+	uniformPools, err := bench.RunLiveUniformPoolsJSON(params)
+	if err != nil {
+		return err
+	}
 	doc := struct {
-		Benchmark string             `json:"benchmark"`
-		Note      string             `json:"note"`
-		Results   []bench.LiveResult `json:"results"`
+		Benchmark        string                  `json:"benchmark"`
+		Note             string                  `json:"note"`
+		Results          []bench.LiveResult      `json:"results"`
+		SizedNote        string                  `json:"sized_note"`
+		SizedResults     []bench.LiveSizedResult `json:"sized_results"`
+		UniformPoolsNote string                  `json:"uniform_pools_note"`
+		UniformPools     []bench.LiveResult      `json:"uniform_pools_results"`
 	}{
-		Benchmark: "live-store multiget RCT",
-		Note:      "4 loopback servers, 24 closed-loop multiget clients; per-server batch frames (wire v3)",
-		Results:   results,
+		Benchmark:        "live-store multiget RCT",
+		Note:             "4 loopback servers, 24 closed-loop multiget clients; per-server batch frames (wire v3)",
+		Results:          results,
+		SizedNote:        "E23: heavy-tailed mix — Zipf(0.9) keys, Pareto value sizes (1KiB..4MiB, a=0.5), single-key gets, per-op-size latency split at 64KiB",
+		SizedResults:     sized,
+		UniformPoolsNote: "uniform-size E22 workload with the size-class split enabled (2 workers/server both sides): the split must cost nothing when every value is small",
+		UniformPools:     uniformPools,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

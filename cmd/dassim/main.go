@@ -41,6 +41,8 @@ func run() error {
 		preset     = flag.String("preset", "", "workload preset ("+strings.Join(workload.PresetNames(), "|")+"); overrides fanout/demand/skew/keys")
 		fanoutSpec = flag.String("fanout", "zipf:20:1.0", "fanout distribution (const:N | unif:LO:HI | zipf:MAX:S | geom:MEAN)")
 		demandSpec = flag.String("demand", "exp:1ms", "demand distribution (exp:M | det:V | unif:LO:HI | bimodal:S:L:P | pareto:LO:HI:A | lognorm:M:SIGMA)")
+		valueSpec  = flag.String("value-size", "", "value-size distribution in bytes (const:N | pareto:LO:HI:A | lognorm:M:SIGMA[:CAP]); empty = size-oblivious")
+		sizeDemand = flag.Bool("size-demand", false, "scale each op's demand by its sampled value size relative to the mean (requires -value-size)")
 		netDelay   = flag.Duration("net", 50*time.Microsecond, "one-way network delay")
 		warmup     = flag.Duration("warmup", time.Second, "measurement warmup")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
@@ -64,6 +66,15 @@ func run() error {
 	demand, err := cli.ParseDemand(*demandSpec)
 	if err != nil {
 		return err
+	}
+	var valueSize dist.ByteSize
+	if *valueSpec != "" {
+		valueSize, err = cli.ParseByteSize(*valueSpec)
+		if err != nil {
+			return err
+		}
+	} else if *sizeDemand {
+		return fmt.Errorf("-size-demand requires -value-size")
 	}
 	if *preset != "" {
 		pcfg, err := workload.Preset(*preset)
@@ -94,6 +105,8 @@ func run() error {
 			Fanout:     fanout,
 			Demand:     demand,
 			RatePerSec: rate,
+			ValueSize:  valueSize,
+			SizeDemand: *sizeDemand,
 		},
 		Requests: *requests,
 		Warmup:   *warmup,

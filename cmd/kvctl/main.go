@@ -35,6 +35,7 @@ import (
 	"github.com/daskv/daskv/internal/metrics"
 	"github.com/daskv/daskv/internal/sched"
 	"github.com/daskv/daskv/internal/wal"
+	"github.com/daskv/daskv/internal/wire"
 )
 
 func main() {
@@ -147,18 +148,42 @@ func run() error {
 		cli.RenderTrace(os.Stdout, traces[0])
 		return renderErr
 	case "stats":
-		fmt.Printf("%-7s %-10s %8s %8s %8s %8s %12s %8s %8s %10s\n",
-			"server", "policy", "served", "shed", "errors", "queue", "backlog", "speed", "keys", "uptime")
+		stats := make([]wire.ServerStats, 0, len(client.Servers()))
+		pooled := false
 		for _, id := range client.Servers() {
 			st, err := client.Stats(ctx, id)
 			if err != nil {
 				return err
 			}
+			pooled = pooled || st.Pools != nil
+			stats = append(stats, st)
+		}
+		fmt.Printf("%-7s %-10s %8s %8s %8s %8s %12s %8s %8s %10s\n",
+			"server", "policy", "served", "shed", "errors", "queue", "backlog", "speed", "keys", "uptime")
+		for _, st := range stats {
 			fmt.Printf("%-7d %-10s %8d %8d %8d %8d %12v %8.2f %8d %10v\n",
 				st.Server, st.Policy, st.Served, st.Shed, st.Errors, st.QueueLen,
 				time.Duration(st.BacklogNanos).Round(time.Microsecond),
 				st.Speed, st.Keys,
 				time.Duration(st.UptimeNanos).Round(time.Second))
+		}
+		if pooled {
+			// Per-pool breakdown for servers running split worker pools:
+			// queue depth and busy workers per size class, the learned (or
+			// fixed) threshold, and the routing/steal counters.
+			fmt.Printf("\n%-7s %11s %11s %9s %11s %9s %12s %12s %8s\n",
+				"server", "threshold", "sm-queue", "sm-busy", "lg-queue", "lg-busy", "sm-routed", "lg-routed", "stolen")
+			for _, st := range stats {
+				ps := st.Pools
+				if ps == nil {
+					continue
+				}
+				fmt.Printf("%-7d %11d %11d %3d/%-5d %11d %3d/%-5d %12d %12d %8d\n",
+					st.Server, ps.ThresholdBytes,
+					ps.SmallQueueLen, ps.SmallBusy, ps.SmallWorkers,
+					ps.LargeQueueLen, ps.LargeBusy, ps.LargeWorkers,
+					ps.SmallRouted, ps.LargeRouted, ps.Stolen)
+			}
 		}
 		return nil
 	case "cas":

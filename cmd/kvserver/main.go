@@ -22,6 +22,7 @@ import (
 	"github.com/daskv/daskv/internal/fault"
 	"github.com/daskv/daskv/internal/kv"
 	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sizeclass"
 	"github.com/daskv/daskv/internal/wal"
 	"github.com/daskv/daskv/internal/wire"
 )
@@ -51,6 +52,10 @@ func run() error {
 		pprofOn     = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -metrics listener")
 		faultSpec   = flag.String("fault", "", "inject a connection fault, MODE[:ARG][:PROB] — e.g. delay:5ms:0.5, corrupt, stall, drop:0.1")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for fault-injection randomness")
+		poolSplit   = flag.Float64("pool-split", 0, "fraction of workers dedicated to small ops (0 = single pool; requires -workers >= 2)")
+		sizeQuant   = flag.Float64("size-quantile", 0, "payload-size quantile the learned small/large threshold tracks (0 = default 0.9)")
+		sizeOverr   = flag.Int64("size-threshold", 0, "fixed small/large threshold in bytes, overriding the learned quantile (0 = learn online)")
+		sizeDecay   = flag.Float64("size-decay", 0, "per-observation decay of the size sketch, closer to 1 = longer memory (0 = default 0.999)")
 	)
 	flag.Parse()
 
@@ -93,12 +98,22 @@ func run() error {
 		SweepInterval:  *sweep,
 		WrapConn:       wrapConn,
 		Replication:    *replication,
+		PoolSplit:      *poolSplit,
+		SizeClass: sizeclass.Config{
+			Quantile: *sizeQuant,
+			Override: *sizeOverr,
+			Decay:    *sizeDecay,
+		},
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("kvserver %d listening on %s (policy=%s workers=%d speed=%.2f)\n",
 		*id, srv.Addr(), policy.Name, *workers, *speed)
+	if *poolSplit > 0 {
+		fmt.Printf("kvserver %d size-class pools enabled (split=%.2f threshold=%s)\n",
+			*id, *poolSplit, thresholdDesc(*sizeOverr, *sizeQuant))
+	}
 	if rep := srv.WALRecovery(); rep != nil {
 		fmt.Printf("kvserver %d wal recovery: %s\n", *id, rep)
 		fmt.Printf("kvserver %d wal on %s (sync=%s segment=%d)\n", *id, *walDir, syncPolicy, *walSegSize)
@@ -132,4 +147,16 @@ func run() error {
 		_ = metricsSrv.Close()
 	}
 	return srv.Close()
+}
+
+// thresholdDesc renders the effective small/large boundary for the
+// startup banner: a fixed byte override, or the quantile being learned.
+func thresholdDesc(override int64, quantile float64) string {
+	if override > 0 {
+		return fmt.Sprintf("%dB fixed", override)
+	}
+	if quantile == 0 {
+		quantile = 0.9
+	}
+	return fmt.Sprintf("p%.0f learned", quantile*100)
 }

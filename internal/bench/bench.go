@@ -86,6 +86,7 @@ func All() []Experiment {
 		{ID: "E18", Title: "Preemption ablation", Run: runE18},
 		{ID: "E19", Title: "Chaos resilience: crash/restart under load (extension)", Run: runE19},
 		{ID: "E20", Title: "Replication: adaptive replica selection and crash masking (extension)", Run: runE20},
+		{ID: "E23", Title: "Heavy-tailed value sizes: size-class worker pools (extension)", Run: runE23},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idOrder(exps[i].ID) < idOrder(exps[j].ID) })
 	return exps

@@ -12,8 +12,8 @@ func tiny() Params { return Params{Servers: 8, Requests: 1500, Seeds: 1, Seed: 1
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 20 {
-		t.Fatalf("len(All) = %d, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("len(All) = %d, want 21", len(exps))
 	}
 	for i, e := range exps {
 		if e.ID == "" || e.Title == "" || e.Run == nil {

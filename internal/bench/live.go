@@ -122,8 +122,17 @@ func RunLiveGate(p Params, w io.Writer, maxRatio float64, retries int) error {
 	return lastErr
 }
 
-// runLiveOnce drives one policy on a fresh loopback cluster.
+// runLiveOnce drives one policy on a fresh loopback cluster with the
+// default single-worker servers.
 func runLiveOnce(factory sched.Factory, adaptive bool, runFor time.Duration) (*metrics.Summary, uint64, error) {
+	return runLiveConfigured(factory, adaptive, 0, 0, runFor)
+}
+
+// runLiveConfigured is runLiveOnce with the server shape exposed:
+// workers per server (0 means the server default) and the size-class
+// pool split fraction (0 disables the split). The uniform-pools check
+// uses it to prove the split costs nothing when every value is small.
+func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSplit float64, runFor time.Duration) (*metrics.Summary, uint64, error) {
 	const (
 		servers   = 4
 		clients   = 24
@@ -139,10 +148,12 @@ func runLiveOnce(factory sched.Factory, adaptive bool, runFor time.Duration) (*m
 	}()
 	for i := 0; i < servers; i++ {
 		srv, err := kv.NewServer(kv.ServerConfig{
-			ID:     sched.ServerID(i),
-			Addr:   "127.0.0.1:0",
-			Policy: factory,
-			Cost:   liveCost,
+			ID:        sched.ServerID(i),
+			Addr:      "127.0.0.1:0",
+			Policy:    factory,
+			Workers:   workers,
+			Cost:      liveCost,
+			PoolSplit: poolSplit,
 		})
 		if err != nil {
 			return nil, 0, err

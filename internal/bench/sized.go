@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sizeclass"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// The heavy-tailed live scenario: values drawn from a bounded Pareto
+// spanning three decades, so ~5% of gets move hundreds of KiB while the
+// rest move a few KiB. Service cost is the bytes an op actually moves
+// (sizedLiveBase per op plus sizedLiveCostPerMiB per MiB), making a
+// 1 MiB get ~100x the work of a small one — the head-of-line blocking
+// regime the size-class worker split exists for.
+const (
+	sizedLiveServers  = 4
+	sizedLiveWorkers  = 2
+	sizedLiveClients  = 24
+	sizedLiveKeyspace = 1600
+
+	sizedLiveLo    = 1 << 10  // 1 KiB
+	sizedLiveHi    = 4 << 20  // 4 MiB
+	sizedLiveAlpha = 0.5      // heavy tail: ~12% of keys above smallMax
+	sizedSmallMax  = 64 << 10 // fixed small/large boundary (and report split)
+	sizedLiveZipfS = 0.9      // Zipfian key skew composed with the size tail
+
+	sizedLiveBase       = 200 * time.Microsecond
+	sizedLiveCostPerMiB = 20 * time.Millisecond
+)
+
+// sizedLiveCost prices an op by the payload it moves; the server
+// applies it to the bytes a get returned or a put wrote.
+func sizedLiveCost(_ wire.OpType, _, valueLen int) time.Duration {
+	return sizedLiveBase + time.Duration(valueLen)*sizedLiveCostPerMiB/(1<<20)
+}
+
+// sizedLiveResult separates request latency by the op's size class, the
+// quantity E23 and the heavy-tailed gate act on: small-op tails are
+// what head-of-line blocking destroys and what the pool split protects.
+type sizedLiveResult struct {
+	small *metrics.Summary
+	large *metrics.Summary
+	all   *metrics.Summary
+	count uint64
+}
+
+// runLiveSizedOnce drives one policy on a fresh loopback cluster under
+// the heavy-tailed value-size mix. poolSplit > 0 runs split worker
+// pools (with the fixed sizedSmallMax admission threshold); 0 runs the
+// plain single-queue pool at identical worker capacity. hints gives the
+// client exact response-size foreknowledge (the SizeHint hook); without
+// it every get is tagged with the static base demand and only the
+// server — which owns the store — can tell mice from elephants.
+func runLiveSizedOnce(factory sched.Factory, adaptive bool, poolSplit float64, hints bool, runFor time.Duration) (sizedLiveResult, error) {
+	var res sizedLiveResult
+	srvs := make([]*kv.Server, 0, sizedLiveServers)
+	addrs := make(map[sched.ServerID]string, sizedLiveServers)
+	defer func() {
+		for _, s := range srvs {
+			_ = s.Close()
+		}
+	}()
+	for i := 0; i < sizedLiveServers; i++ {
+		srv, err := kv.NewServer(kv.ServerConfig{
+			ID:        sched.ServerID(i),
+			Addr:      "127.0.0.1:0",
+			Policy:    factory,
+			Workers:   sizedLiveWorkers,
+			Cost:      sizedLiveCost,
+			PoolSplit: poolSplit,
+			SizeClass: sizeclass.Config{Override: sizedSmallMax},
+		})
+		if err != nil {
+			return res, err
+		}
+		srvs = append(srvs, srv)
+		addrs[srv.ID()] = srv.Addr()
+	}
+
+	// The driver knows every key's value size (it wrote them), so the
+	// client-side size hint is exact — the live analogue of a cache
+	// front that tracks object sizes.
+	sizes := make(map[string]int, sizedLiveKeyspace)
+	keys := make([]string, sizedLiveKeyspace)
+	sizeDist := dist.ParetoBytes{Lo: sizedLiveLo, Hi: sizedLiveHi, Alpha: sizedLiveAlpha}
+	rng := dist.NewRand(7)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%05d", i)
+		sizes[keys[i]] = int(sizeDist.SampleBytes(rng))
+	}
+
+	ccfg := kv.ClientConfig{
+		Servers:  addrs,
+		Adaptive: adaptive,
+		Demand:   kv.DemandModel(sizedLiveCost),
+	}
+	if hints {
+		ccfg.SizeHint = func(_ wire.OpType, key string) int { return sizes[key] }
+	}
+	client, err := kv.NewClient(ccfg)
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = client.Close() }()
+
+	// Preload in multiset chunks so the burn parallelizes across
+	// servers instead of paying ~1s of sequential service cost.
+	ctx := context.Background()
+	const chunk = 200
+	for lo := 0; lo < len(keys); lo += chunk {
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		pairs := make(map[string][]byte, hi-lo)
+		for _, k := range keys[lo:hi] {
+			pairs[k] = make([]byte, sizes[k])
+		}
+		if err := client.MSet(ctx, pairs); err != nil {
+			return res, err
+		}
+	}
+
+	res.small = metrics.NewSummary(0)
+	res.large = metrics.NewSummary(0)
+	res.all = metrics.NewSummary(0)
+	zipf, err := dist.NewZipf(sizedLiveKeyspace, sizedLiveZipfS)
+	if err != nil {
+		return res, err
+	}
+	var mu sync.Mutex
+	deadline := time.Now().Add(runFor)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sizedLiveClients)
+	for c := 0; c < sizedLiveClients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crng := dist.NewRand(uint64(c) + 100)
+			for time.Now().Before(deadline) {
+				k := keys[zipf.Sample(crng)]
+				start := time.Now()
+				if _, err := client.MGet(ctx, []string{k}); err != nil {
+					errCh <- err
+					return
+				}
+				rct := time.Since(start)
+				mu.Lock()
+				if sizes[k] > sizedSmallMax {
+					res.large.Observe(rct)
+				} else {
+					res.small.Observe(rct)
+				}
+				res.all.Observe(rct)
+				res.count++
+				mu.Unlock()
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	for c := 0; c < sizedLiveClients; c++ {
+		if err := <-errCh; err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// sizedPolicyChoice is one E23 configuration: scheduling policy, pool
+// split, and whether the client predicts response sizes.
+type sizedPolicyChoice struct {
+	name      string
+	factory   sched.Factory
+	adaptive  bool
+	poolSplit float64
+	hints     bool
+}
+
+// sizedPolicyChoices is the E23 comparison set, all at identical worker
+// capacity and offered load. Clients do not predict response sizes
+// except in the DAS+hints row, which shows what client-side size
+// foreknowledge alone (exact SizeHint feeding SRPT tags, one shared
+// pool) buys; DAS+pools instead uses the server's own store to
+// classify, protecting small ops without any client cooperation.
+func sizedPolicyChoices() []sizedPolicyChoice {
+	return []sizedPolicyChoice{
+		{name: "FCFS", factory: sched.FCFSFactory},
+		{name: "DAS", factory: core.Factory(core.LiveOptions()), adaptive: true},
+		{name: "DAS+hints", factory: core.Factory(core.LiveOptions()), adaptive: true, hints: true},
+		{name: "DAS+pools", factory: core.Factory(core.LiveOptions()), adaptive: true, poolSplit: 0.5},
+	}
+}
+
+// runE23 measures small-op tail latency under the heavy-tailed value
+// mix: with one shared pool, a burst of multi-megabyte transfers pins
+// every worker and small gets inherit the elephants' service time; the
+// split keeps one worker reserved for mice no matter what the tail is
+// doing. The last line prints the split's small-op p99 gain over
+// single-pool DAS — the number the ISSUE acceptance tracks.
+func runE23(p Params, w io.Writer) error {
+	p = p.withDefaults()
+	header(w, "E23", "Heavy-tailed value sizes: size-class worker pools (extension)",
+		fmt.Sprintf("%d loopback servers x %d workers, %d closed-loop get clients, Zipf(%.1f) keys, Pareto(%dKiB..%dMiB, a=%.1f) values, threshold %dKiB, %v per policy",
+			sizedLiveServers, sizedLiveWorkers, sizedLiveClients, sizedLiveZipfS,
+			sizedLiveLo>>10, sizedLiveHi>>20, sizedLiveAlpha, sizedSmallMax>>10, p.Live))
+	fmt.Fprintf(w, "%-10s %9s %11s %11s %11s %11s\n",
+		"policy", "requests", "sm-p50(ms)", "sm-p99(ms)", "lg-p99(ms)", "all-p99(ms)")
+	var dasSmall, poolsSmall time.Duration
+	for _, pc := range sizedPolicyChoices() {
+		res, err := runLiveSizedOnce(pc.factory, pc.adaptive, pc.poolSplit, pc.hints, p.Live)
+		if err != nil {
+			return fmt.Errorf("bench: sized live %s: %w", pc.name, err)
+		}
+		fmt.Fprintf(w, "%-10s %9d %11s %11s %11s %11s\n",
+			pc.name, res.count, ms(res.small.P50()), ms(res.small.P99()),
+			ms(res.large.P99()), ms(res.all.P99()))
+		switch pc.name {
+		case "DAS":
+			dasSmall = res.small.P99()
+		case "DAS+pools":
+			poolsSmall = res.small.P99()
+		}
+	}
+	fmt.Fprintf(w, "small-op p99, pools on vs off (DAS): %s\n", gain(dasSmall, poolsSmall))
+	return nil
+}
+
+// LiveSizedResult is one policy's outcome from the heavy-tailed live
+// benchmark, shaped for BENCH_live.json.
+type LiveSizedResult struct {
+	Policy     string  `json:"policy"`
+	PoolSplit  float64 `json:"pool_split,omitempty"`
+	Requests   uint64  `json:"requests"`
+	SmallP50Ms float64 `json:"small_p50_ms"`
+	SmallP99Ms float64 `json:"small_p99_ms"`
+	LargeP99Ms float64 `json:"large_p99_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// RunLiveSizedJSON runs the E23 heavy-tailed benchmark for each policy
+// variant and returns structured results.
+func RunLiveSizedJSON(p Params) ([]LiveSizedResult, error) {
+	p = p.withDefaults()
+	out := make([]LiveSizedResult, 0, 4)
+	for _, pc := range sizedPolicyChoices() {
+		res, err := runLiveSizedOnce(pc.factory, pc.adaptive, pc.poolSplit, pc.hints, p.Live)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sized live %s: %w", pc.name, err)
+		}
+		out = append(out, LiveSizedResult{
+			Policy:     pc.name,
+			PoolSplit:  pc.poolSplit,
+			Requests:   res.count,
+			SmallP50Ms: float64(res.small.P50()) / float64(time.Millisecond),
+			SmallP99Ms: float64(res.small.P99()) / float64(time.Millisecond),
+			LargeP99Ms: float64(res.large.P99()) / float64(time.Millisecond),
+			P99Ms:      float64(res.all.P99()) / float64(time.Millisecond),
+		})
+	}
+	return out, nil
+}
+
+// RunLiveSizedGate is the heavy-tailed CI gate: DAS with split pools
+// versus plain FCFS at identical capacity, compared on small-op p99.
+// Under this mix FCFS strands mice behind elephants on every worker, so
+// the split should win outright; the ratio ceiling exists to catch the
+// split regressing into the blocking it is meant to remove. Same retry
+// semantics as RunLiveGate: one re-measure absorbs CI-host noise.
+func RunLiveSizedGate(p Params, w io.Writer, maxRatio float64, retries int) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			fmt.Fprintf(w, "sized-gate: retrying (%v)\n", lastErr)
+		}
+		fcfs, err := runLiveSizedOnce(sched.FCFSFactory, false, 0, false, p.Live)
+		if err != nil {
+			return fmt.Errorf("bench: sized-gate FCFS: %w", err)
+		}
+		das, err := runLiveSizedOnce(core.Factory(core.LiveOptions()), true, 0.5, false, p.Live)
+		if err != nil {
+			return fmt.Errorf("bench: sized-gate DAS+pools: %w", err)
+		}
+		ratio := float64(das.small.P99()) / float64(fcfs.small.P99())
+		fmt.Fprintf(w, "sized-gate: FCFS small p99 %s (%d reqs), DAS+pools small p99 %s (%d reqs), ratio %.3f (limit %.2f)\n",
+			ms(fcfs.small.P99()), fcfs.count, ms(das.small.P99()), das.count, ratio, maxRatio)
+		if ratio <= maxRatio {
+			return nil
+		}
+		lastErr = fmt.Errorf("bench: sized live DAS+pools small-op p99 %s exceeds %.2fx FCFS small-op p99 %s",
+			ms(das.small.P99()), maxRatio, ms(fcfs.small.P99()))
+	}
+	return lastErr
+}
+
+// RunLiveUniformPoolsJSON re-runs the uniform-size E22 live comparison
+// with the size-class split enabled on the DAS servers, both sides at
+// two workers so capacity matches. Every value is the same few bytes,
+// so the learned threshold classifies everything small and the large
+// worker lives entirely on stolen work — the split must cost nothing.
+// This is the committed evidence that enabling pools does not regress
+// the uniform-size E22 gate.
+func RunLiveUniformPoolsJSON(p Params) ([]LiveResult, error) {
+	p = p.withDefaults()
+	out := make([]LiveResult, 0, 2)
+	for _, pc := range []struct {
+		name      string
+		factory   sched.Factory
+		adaptive  bool
+		poolSplit float64
+	}{
+		{name: "FCFS", factory: sched.FCFSFactory},
+		{name: "DAS+pools", factory: core.Factory(core.LiveOptions()), adaptive: true, poolSplit: 0.5},
+	} {
+		sum, n, err := runLiveConfigured(pc.factory, pc.adaptive, 2, pc.poolSplit, p.Live)
+		if err != nil {
+			return nil, fmt.Errorf("bench: uniform-pools %s: %w", pc.name, err)
+		}
+		out = append(out, LiveResult{
+			Policy:   pc.name,
+			Requests: n,
+			MeanMs:   float64(sum.Mean()) / float64(time.Millisecond),
+			P50Ms:    float64(sum.P50()) / float64(time.Millisecond),
+			P99Ms:    float64(sum.P99()) / float64(time.Millisecond),
+		})
+	}
+	return out, nil
+}

@@ -121,6 +121,9 @@ type Estimator struct {
 
 	mu    sync.Mutex
 	views map[sched.ServerID]*serverView
+	// sizes is the per-size-class service-time model fed by the
+	// calibration loop (see sizemodel.go).
+	sizes sizeModel
 }
 
 // NewEstimator returns an estimator with the given configuration.

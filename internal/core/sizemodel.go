@@ -1,0 +1,128 @@
+package core
+
+import (
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// sizeModelSplit separates the two learning cells of the size model.
+// It only needs to land somewhere between "mice" and "elephants" for
+// the slope fit to see two well-separated clusters; 64 KiB matches the
+// size-class classifier's pre-learning default.
+const sizeModelSplit = 64 << 10
+
+// sizeModelGain is the EWMA weight of one observation in a cell.
+const sizeModelGain = 0.1
+
+// sizeModelMinWeight is the effective observation count each cell needs
+// before the model starts predicting. Until then SizedDemand reports
+// not-ready and callers keep their static demand heuristic.
+const sizeModelMinWeight = 8.0
+
+// sizeCell is one size class's running view of observed service.
+type sizeCell struct {
+	timeNanos float64 // EWMA of speed-normalized service time
+	bytes     float64 // EWMA of payload size
+	weight    float64 // decayed observation count, saturating at 1/gain
+}
+
+func (c *sizeCell) observe(bytes, nanos float64) {
+	if c.weight == 0 {
+		c.timeNanos, c.bytes = nanos, bytes
+	} else {
+		c.timeNanos += sizeModelGain * (nanos - c.timeNanos)
+		c.bytes += sizeModelGain * (bytes - c.bytes)
+	}
+	if c.weight < sizeModelMinWeight {
+		c.weight++
+	}
+}
+
+// sizeModel is the estimator's per-size-class service-time model: two
+// EWMA cells (small and large payloads) whose difference quotient gives
+// a per-byte service cost, anchored by the small cell's fixed per-op
+// overhead. Linear in payload size is exactly the store's service shape
+// — a hash lookup plus a value copy — and two cells is the minimum that
+// can fit both the intercept and the slope from live traffic alone.
+type sizeModel struct {
+	cells [2]sizeCell // 0 = small payloads, 1 = large
+}
+
+func (m *sizeModel) observe(sizeBytes int64, nanos float64) {
+	if sizeBytes <= 0 || nanos <= 0 {
+		return
+	}
+	i := 0
+	if sizeBytes > sizeModelSplit {
+		i = 1
+	}
+	m.cells[i].observe(float64(sizeBytes), nanos)
+}
+
+// predict returns the modeled speed-nominal service demand for a
+// payload of the given size, or (0, false) before the model has seen
+// enough traffic.
+func (m *sizeModel) predict(sizeBytes int64) (time.Duration, bool) {
+	if sizeBytes <= 0 {
+		return 0, false
+	}
+	s, l := &m.cells[0], &m.cells[1]
+	switch {
+	case s.weight >= sizeModelMinWeight && l.weight >= sizeModelMinWeight:
+		// Fit time = base + perByte·bytes through the two cell means.
+		perByte := 0.0
+		if db := l.bytes - s.bytes; db > 0 {
+			perByte = (l.timeNanos - s.timeNanos) / db
+			if perByte < 0 {
+				perByte = 0
+			}
+		}
+		base := s.timeNanos - perByte*s.bytes
+		if base < 0 {
+			base = 0
+		}
+		d := time.Duration(base + perByte*float64(sizeBytes))
+		if d < time.Microsecond {
+			d = time.Microsecond
+		}
+		return d, true
+	case s.weight >= sizeModelMinWeight && float64(sizeBytes) <= sizeModelSplit:
+		// Only small traffic seen so far: its mean covers small asks.
+		return time.Duration(s.timeNanos), true
+	case l.weight >= sizeModelMinWeight && sizeBytes > sizeModelSplit:
+		return time.Duration(l.timeNanos), true
+	default:
+		return 0, false
+	}
+}
+
+// ObserveSizedService feeds the size model one completed operation: the
+// payload size that actually moved (value length written or returned)
+// and the service time the server reported. The server's speed estimate
+// is factored out, so observations from fast and slow servers train one
+// coherent speed-nominal model. Degenerate inputs are ignored.
+func (e *Estimator) ObserveSizedService(server sched.ServerID, sizeBytes int64, actual time.Duration) {
+	if sizeBytes <= 0 || actual <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	speed := e.cfg.DefaultSpeed
+	if v, ok := e.views[server]; ok && v.known && v.speed > 0 {
+		speed = v.speed
+	}
+	e.sizes.observe(sizeBytes, float64(actual)*speed)
+}
+
+// SizedDemand predicts the speed-nominal service demand of an operation
+// from its payload size, using the learned per-size-class model. ok is
+// false until the model has seen enough sized traffic; callers then
+// fall back to their static demand heuristic. The per-server
+// calibration ratio is deliberately not applied here — the tagger
+// composes it on top, exactly as it does for heuristic demands.
+func (e *Estimator) SizedDemand(sizeBytes int64) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sizes.predict(sizeBytes)
+}

@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ByteSize samples payload sizes in bytes, e.g. the value written by a
+// put or returned by a get. The heavy-tailed implementations model the
+// value-size skew of production key-value traces: most values are tiny,
+// a small fraction are orders of magnitude larger, and that tail is
+// what a size-aware scheduler exists to contain.
+type ByteSize interface {
+	// SampleBytes draws one size. Implementations return >= 1.
+	SampleBytes(rng *rand.Rand) int64
+	// MeanBytes returns the distribution mean, used for load
+	// calibration and configuration validation.
+	MeanBytes() float64
+	// String describes the distribution for logs and experiment tables.
+	String() string
+}
+
+// ConstBytes always returns N (clamped to at least 1): the fixed-size
+// baseline against which heavy-tailed mixes are compared.
+type ConstBytes struct{ N int64 }
+
+var _ ByteSize = ConstBytes{}
+
+// SampleBytes implements ByteSize.
+func (d ConstBytes) SampleBytes(*rand.Rand) int64 {
+	if d.N < 1 {
+		return 1
+	}
+	return d.N
+}
+
+// MeanBytes implements ByteSize.
+func (d ConstBytes) MeanBytes() float64 {
+	if d.N < 1 {
+		return 1
+	}
+	return float64(d.N)
+}
+
+func (d ConstBytes) String() string { return fmt.Sprintf("const(%dB)", d.N) }
+
+// ParetoBytes is a bounded Pareto on [Lo, Hi] bytes with shape Alpha
+// (smaller Alpha = heavier tail). Alpha around 1.1–1.5 with a wide
+// [Lo, Hi] span reproduces the "mice and elephants" value-size mix of
+// object-store and cache traces.
+type ParetoBytes struct {
+	Lo, Hi int64
+	Alpha  float64
+}
+
+var _ ByteSize = ParetoBytes{}
+
+// SampleBytes implements ByteSize.
+func (d ParetoBytes) SampleBytes(rng *rand.Rand) int64 {
+	lo := d.Lo
+	if lo < 1 {
+		lo = 1
+	}
+	if d.Hi <= lo {
+		return lo
+	}
+	l, h, a := float64(lo), float64(d.Hi), d.Alpha
+	u := rng.Float64()
+	// Inverse CDF of the bounded Pareto (same form as BoundedPareto).
+	num := u*math.Pow(h, a) - u*math.Pow(l, a) - math.Pow(h, a)
+	x := math.Pow(-num/(math.Pow(l, a)*math.Pow(h, a)), -1/a)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return int64(x)
+}
+
+// MeanBytes implements ByteSize.
+func (d ParetoBytes) MeanBytes() float64 {
+	lo := d.Lo
+	if lo < 1 {
+		lo = 1
+	}
+	if d.Hi <= lo {
+		return float64(lo)
+	}
+	l, h, a := float64(lo), float64(d.Hi), d.Alpha
+	if a == 1 {
+		return (h * l / (h - l)) * math.Log(h/l)
+	}
+	return math.Pow(l, a) / (1 - math.Pow(l/h, a)) * (a / (a - 1)) *
+		(1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+func (d ParetoBytes) String() string {
+	return fmt.Sprintf("pareto(%dB,%dB,a=%.2f)", d.Lo, d.Hi, d.Alpha)
+}
+
+// LognormalBytes is parameterized by its mean in bytes and the sigma of
+// the underlying normal; larger Sigma gives a heavier tail at the same
+// mean. Samples are clamped to [1, Cap] (Cap 0 = uncapped) so a rare
+// extreme draw cannot exceed what the transport can frame.
+type LognormalBytes struct {
+	M     float64
+	Sigma float64
+	Cap   int64
+}
+
+var _ ByteSize = LognormalBytes{}
+
+// SampleBytes implements ByteSize.
+func (d LognormalBytes) SampleBytes(rng *rand.Rand) int64 {
+	m := d.M
+	if m < 1 {
+		m = 1
+	}
+	// mean of lognormal = exp(mu + sigma^2/2)  =>  mu = ln(M) - sigma^2/2.
+	mu := math.Log(m) - d.Sigma*d.Sigma/2
+	v := math.Exp(mu + d.Sigma*rng.NormFloat64())
+	n := int64(v)
+	if n < 1 {
+		n = 1
+	}
+	if d.Cap > 0 && n > d.Cap {
+		n = d.Cap
+	}
+	return n
+}
+
+// MeanBytes implements ByteSize.
+func (d LognormalBytes) MeanBytes() float64 {
+	if d.M < 1 {
+		return 1
+	}
+	return d.M
+}
+
+func (d LognormalBytes) String() string {
+	if d.Cap > 0 {
+		return fmt.Sprintf("lognorm(%.0fB,s=%.2f,cap=%dB)", d.M, d.Sigma, d.Cap)
+	}
+	return fmt.Sprintf("lognorm(%.0fB,s=%.2f)", d.M, d.Sigma)
+}

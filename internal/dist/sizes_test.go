@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// checkMeanBytes samples n draws and verifies the empirical mean is
+// within relTol of the declared mean, and that every draw is >= 1.
+func checkMeanBytes(t *testing.T, d ByteSize, n int, relTol float64) {
+	t.Helper()
+	rng := NewRand(42)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := d.SampleBytes(rng)
+		if v < 1 {
+			t.Fatalf("%s: sample %d below 1 byte", d, v)
+		}
+		sum += float64(v)
+	}
+	got := sum / float64(n)
+	want := d.MeanBytes()
+	if math.Abs(got-want)/want > relTol {
+		t.Fatalf("%s: empirical mean %.0fB vs declared %.0fB (tol %.2f)", d, got, want, relTol)
+	}
+}
+
+func TestConstBytes(t *testing.T) {
+	d := ConstBytes{N: 4096}
+	rng := NewRand(1)
+	for i := 0; i < 10; i++ {
+		if got := d.SampleBytes(rng); got != 4096 {
+			t.Fatalf("SampleBytes = %d, want 4096", got)
+		}
+	}
+	checkMeanBytes(t, d, 100, 0)
+	// Degenerate sizes clamp to one byte rather than producing empty values.
+	zero := ConstBytes{}
+	if got := zero.SampleBytes(rng); got != 1 {
+		t.Fatalf("zero-const sample = %d, want 1", got)
+	}
+	if got := zero.MeanBytes(); got != 1 {
+		t.Fatalf("zero-const mean = %v, want 1", got)
+	}
+}
+
+func TestParetoBytesBoundsAndMean(t *testing.T) {
+	d := ParetoBytes{Lo: 1 << 10, Hi: 1 << 20, Alpha: 1.2}
+	rng := NewRand(7)
+	for i := 0; i < 20000; i++ {
+		v := d.SampleBytes(rng)
+		if v < d.Lo || v > d.Hi {
+			t.Fatalf("sample %d outside [%d,%d]", v, d.Lo, d.Hi)
+		}
+	}
+	checkMeanBytes(t, d, 300000, 0.05)
+}
+
+func TestParetoBytesQuantileSanity(t *testing.T) {
+	// Check the sampler against the analytic bounded-Pareto CDF at a few
+	// quantiles — this is what pins the inverse-CDF algebra.
+	d := ParetoBytes{Lo: 1 << 10, Hi: 4 << 20, Alpha: 0.5}
+	const n = 200000
+	rng := NewRand(11)
+	samples := make([]int64, n)
+	for i := range samples {
+		samples[i] = d.SampleBytes(rng)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	l, h, a := float64(d.Lo), float64(d.Hi), d.Alpha
+	quantile := func(p float64) float64 {
+		// Inverse of F(x) = (1 - (l/x)^a) / (1 - (l/h)^a).
+		return l * math.Pow(1-p*(1-math.Pow(l/h, a)), -1/a)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		got := float64(samples[int(p*n)])
+		want := quantile(p)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Fatalf("p%.0f = %.0fB, analytic %.0fB", p*100, got, want)
+		}
+	}
+}
+
+func TestParetoBytesDegenerate(t *testing.T) {
+	rng := NewRand(3)
+	if got := (ParetoBytes{Lo: 0, Hi: 0, Alpha: 1}).SampleBytes(rng); got != 1 {
+		t.Fatalf("degenerate sample = %d, want clamp to 1", got)
+	}
+	if got := (ParetoBytes{Lo: 100, Hi: 50, Alpha: 1}).SampleBytes(rng); got != 100 {
+		t.Fatalf("inverted-bounds sample = %d, want Lo", got)
+	}
+	checkMeanBytes(t, ParetoBytes{Lo: 1 << 10, Hi: 1 << 20, Alpha: 1}, 300000, 0.05)
+}
+
+func TestLognormalBytesMeanAndCap(t *testing.T) {
+	checkMeanBytes(t, LognormalBytes{M: 16 << 10, Sigma: 1.0}, 300000, 0.05)
+	capped := LognormalBytes{M: 16 << 10, Sigma: 2.0, Cap: 64 << 10}
+	rng := NewRand(13)
+	hitCap := false
+	for i := 0; i < 50000; i++ {
+		v := capped.SampleBytes(rng)
+		if v > capped.Cap {
+			t.Fatalf("sample %d above cap %d", v, capped.Cap)
+		}
+		if v == capped.Cap {
+			hitCap = true
+		}
+	}
+	if !hitCap {
+		t.Fatal("sigma=2 lognormal never reached its cap — clamp untested")
+	}
+}
+
+// TestByteSizeDeterministicPerSeed mirrors the workload generator's
+// per-seed reproducibility test: the same seed must yield the identical
+// size stream, and different seeds must diverge.
+func TestByteSizeDeterministicPerSeed(t *testing.T) {
+	for _, d := range []ByteSize{
+		ParetoBytes{Lo: 1 << 10, Hi: 4 << 20, Alpha: 0.5},
+		LognormalBytes{M: 16 << 10, Sigma: 1.5, Cap: 4 << 20},
+	} {
+		draw := func(seed uint64) []int64 {
+			rng := NewRand(seed)
+			out := make([]int64, 200)
+			for i := range out {
+				out[i] = d.SampleBytes(rng)
+			}
+			return out
+		}
+		a, b := draw(77), draw(77)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at draw %d: %d vs %d", d, i, a[i], b[i])
+			}
+		}
+		c := draw(78)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 77 and 78 produced identical streams", d)
+		}
+	}
+}
+
+func TestByteSizeStrings(t *testing.T) {
+	for _, d := range []ByteSize{
+		ConstBytes{N: 100},
+		ParetoBytes{Lo: 1, Hi: 2, Alpha: 1.5},
+		LognormalBytes{M: 100, Sigma: 1},
+		LognormalBytes{M: 100, Sigma: 1, Cap: 200},
+	} {
+		if d.String() == "" {
+			t.Fatal("byte-size distribution must describe itself")
+		}
+	}
+}

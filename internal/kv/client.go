@@ -181,6 +181,14 @@ type ClientConfig struct {
 	// the replacement for the old goroutine-per-key fan-out: a large
 	// multiset now costs O(servers) goroutines, never O(keys).
 	WriteFanoutLimit int
+	// SizeHint predicts a read's payload size in bytes (0 = unknown).
+	// When set, the expected size rides the wire as Tags.SizeHintBytes —
+	// what lets a size-class server keep a large get out of its
+	// small-op pool before the store has looked the key up — and, under
+	// Adaptive tagging, feeds the estimator's learned size model so the
+	// op's demand tag reflects its payload instead of the static Demand
+	// heuristic. Writes need no hint; their value length is the size.
+	SizeHint func(op wire.OpType, key string) int
 }
 
 // DefaultMaxBatchOps is the batch frame width when MaxBatchOps is 0.
@@ -412,14 +420,45 @@ func (c *Client) noteServerFailure(id sched.ServerID) {
 // no service-time signal, and v2 peers that report no Timing block are
 // ignored. NotFound and CASMismatch are real service — full lookups
 // that merely found nothing to change — so they count.
-func (c *Client) observeService(server sched.ServerID, predicted time.Duration, tm wire.Timing, status wire.Status) {
+func (c *Client) observeService(server sched.ServerID, predicted time.Duration, tm wire.Timing, status wire.Status, sizeBytes int64) {
 	if !c.cfg.Adaptive || tm.ServiceNanos <= 0 {
 		return
 	}
 	switch status {
 	case wire.StatusOK, wire.StatusNotFound, wire.StatusCASMismatch:
 		c.est.ObserveService(server, predicted, time.Duration(tm.ServiceNanos))
+		// The payload that actually moved also teaches the size model,
+		// so future size hints map to realistic demands.
+		c.est.ObserveSizedService(server, sizeBytes, time.Duration(tm.ServiceNanos))
 	}
+}
+
+// demandFor estimates one operation's service demand and payload size.
+// A known size (a write's value, or a read with a SizeHint) prefers the
+// estimator's learned per-size-class model once it has seen enough
+// traffic — so a 1 MB get is tagged with the realistically large
+// demand its transfer implies — falling back to the static Demand
+// heuristic before the model is ready or when size is unknown.
+func (c *Client) demandFor(op wire.OpType, key string, valueLen int) (demand time.Duration, sizeBytes int64) {
+	sizeBytes = int64(valueLen)
+	if sizeBytes == 0 && c.cfg.SizeHint != nil {
+		if n := c.cfg.SizeHint(op, key); n > 0 {
+			sizeBytes = int64(n)
+		}
+	}
+	if c.cfg.Adaptive && sizeBytes > 0 {
+		if d, ok := c.est.SizedDemand(sizeBytes); ok {
+			return d, sizeBytes
+		}
+	}
+	// The static model prices a read's expected payload like a write's
+	// actual one — without this a hinted 1 MB get would be tagged as a
+	// tiny op until the learned model warms up, inverting SRPT order
+	// and poisoning the server-speed feedback (demand vs elapsed).
+	if valueLen == 0 && sizeBytes > 0 && sizeBytes <= int64(int(^uint(0)>>1)) {
+		valueLen = int(sizeBytes)
+	}
+	return c.cfg.Demand(op, len(key), valueLen), sizeBytes
 }
 
 // retrySleep waits one jittered exponential-backoff step before retry
@@ -626,12 +665,14 @@ func (c *Client) putBatch(ctx context.Context, server sched.ServerID, ops []writ
 	var op sched.Op
 	tagBuf := []*sched.Op{&op}
 	for i, wo := range ops {
-		demands[i] = c.cfg.Demand(wire.OpPut, len(wo.key), len(wo.value))
+		demand, size := c.demandFor(wire.OpPut, wo.key, len(wo.value))
+		demands[i] = demand
 		op = sched.Op{
 			Server: server,
 			Key:    wo.key,
 			Demand: demands[i],
 		}
+		op.Tags.SizeBytes = size
 		core.Tag(tagBuf, c.taggingEst(), now)
 		id := c.nextID.Add(1)
 		ids[i] = id
@@ -664,7 +705,7 @@ func (c *Client) putBatch(ctx context.Context, server sched.ServerID, ops []writ
 					server, ops[i].key, context.DeadlineExceeded)
 			}
 			if ok {
-				c.observeService(server, demands[i], resp.Timing, resp.Status)
+				c.observeService(server, demands[i], resp.Timing, resp.Status, int64(len(ops[i].value)))
 				putRespChan(chs[i])
 				putValueBuf(resp.Value)
 			}
@@ -780,7 +821,7 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 	ops := make([]*sched.Op, len(keys))
 	scores := make([]time.Duration, len(keys))
 	for i, k := range keys {
-		demand := c.cfg.Demand(wire.OpGet, len(k), 0)
+		demand, size := c.demandFor(wire.OpGet, k, 0)
 		// Routing the batch sequentially lets the selector's in-flight
 		// accounting spread a wide multiget across replicas instead of
 		// dogpiling the holder that looked best a microsecond ago.
@@ -789,6 +830,7 @@ func (c *Client) MGet(ctx context.Context, keys []string) (map[string][]byte, er
 			Key:    k,
 			Demand: demand,
 		}
+		opsBacking[i].Tags.SizeBytes = size
 		ops[i] = &opsBacking[i]
 		scores[i] = c.sel.ScoreOf(ops[i].Server, demand, now).Finish - now
 	}
@@ -1042,7 +1084,7 @@ func (c *Client) awaitGet(ctx context.Context, cc *clientConn, id uint64, ch cha
 		}
 		putRespChan(ch)
 		tm = resp.Timing
-		c.observeService(op.Server, op.Demand, tm, resp.Status)
+		c.observeService(op.Server, op.Demand, tm, resp.Status, int64(len(resp.Value)))
 		switch resp.Status {
 		case wire.StatusOK:
 			return resp.Value, resp.Version, true, tm, nil
@@ -1097,11 +1139,13 @@ func (c *Client) tryGet(ctx context.Context, op *sched.Op) (value []byte, versio
 // holder).
 func (c *Client) getFrom(ctx context.Context, server sched.ServerID, key string) replica.ReadResult {
 	now := c.now()
+	demand, size := c.demandFor(wire.OpGet, key, 0)
 	op := &sched.Op{
 		Server: server,
 		Key:    key,
-		Demand: c.cfg.Demand(wire.OpGet, len(key), 0),
+		Demand: demand,
 	}
+	op.Tags.SizeBytes = size
 	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
 	value, version, found, _, err := c.tryGet(ctx, op)
 	return replica.ReadResult{
@@ -1202,7 +1246,8 @@ func (c *Client) KeyReplicas(key string) []sched.ServerID {
 // adaptive view, best first — the introspection behind kvctl's
 // `replicas` subcommand.
 func (c *Client) ReplicaScores(key string) []replica.Score {
-	return c.sel.Scores(c.place.For(key), c.cfg.Demand(wire.OpGet, len(key), 0), c.now())
+	demand, _ := c.demandFor(wire.OpGet, key, 0)
+	return c.sel.Scores(c.place.For(key), demand, c.now())
 }
 
 // do executes one single-key operation against a specific server with
@@ -1215,11 +1260,13 @@ func (c *Client) do(ctx context.Context, typ wire.OpType, key string, value []by
 func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byte) (*wire.Response, error) {
 	now := c.now()
 	server := c.ring.Lookup(key)
+	demand, size := c.demandFor(wire.OpCAS, key, len(newValue))
 	op := &sched.Op{
 		Server: server,
 		Key:    key,
-		Demand: c.cfg.Demand(wire.OpCAS, len(key), len(newValue)),
+		Demand: demand,
 	}
+	op.Tags.SizeBytes = size
 	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
 	cc, err := c.conn(server)
 	if err != nil {
@@ -1243,7 +1290,7 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, server)
 		}
 		putRespChan(ch)
-		c.observeService(server, op.Demand, resp.Timing, resp.Status)
+		c.observeService(server, op.Demand, resp.Timing, resp.Status, int64(len(newValue)))
 		if resp.Status == wire.StatusDeadlineExceeded {
 			return nil, fmt.Errorf("kv: server %d shed CAS on %q past its deadline: %w",
 				server, key, context.DeadlineExceeded)
@@ -1259,11 +1306,13 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 // operations (version 0 = unversioned).
 func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID, ttl time.Duration, version uint64) (*wire.Response, error) {
 	now := c.now()
+	demand, size := c.demandFor(typ, key, len(value))
 	op := &sched.Op{
 		Server: server,
 		Key:    key,
-		Demand: c.cfg.Demand(typ, len(key), len(value)),
+		Demand: demand,
 	}
+	op.Tags.SizeBytes = size
 	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
 	cc, err := c.conn(op.Server)
 	if err != nil {
@@ -1287,7 +1336,7 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 			return nil, fmt.Errorf("%w: connection to server %d lost", ErrUnavailable, op.Server)
 		}
 		putRespChan(ch)
-		c.observeService(op.Server, op.Demand, resp.Timing, resp.Status)
+		c.observeService(op.Server, op.Demand, resp.Timing, resp.Status, int64(len(value)))
 		switch resp.Status {
 		case wire.StatusError:
 			return nil, fmt.Errorf("kv: server error for key %q", key)
@@ -1328,12 +1377,17 @@ func (c *Client) Servers() []sched.ServerID {
 
 // wireTags converts tagged scheduling metadata to its wire form.
 func wireTags(op *sched.Op) wire.Tags {
+	size := op.Tags.SizeBytes
+	if size < 0 || size > int64(^uint32(0)) {
+		size = 0
+	}
 	return wire.Tags{
 		RemainingNanos:  int64(op.Tags.RemainingTime),
 		SlackNanos:      int64(op.Tags.Slack()),
 		BottleneckNanos: int64(op.Tags.DemandBottleneck),
 		DemandNanos:     int64(op.Demand),
 		Fanout:          uint32(op.Tags.Fanout),
+		SizeHintBytes:   uint32(size),
 	}
 }
 

@@ -25,7 +25,9 @@ type MetricsHandlerConfig struct {
 //	GET /metrics  — Prometheus text exposition: per-op-type service and
 //	                queue-wait latency histograms, operation/shed/error
 //	                counters, scheduler decision counters, the
-//	                demand-estimate error summary, and the queue gauges
+//	                demand-estimate error summary, the queue gauges, and
+//	                (when the worker pool is split by size class) the
+//	                per-pool kv_pool_* gauges and counters
 //
 // Every metric is documented in docs/OBSERVABILITY.md. Mount the
 // handler on a side listener (cmd/kvserver's -metrics flag) so
@@ -132,6 +134,30 @@ func writeExposition(w http.ResponseWriter, s *Server) {
 		e.Histogram("kv_wal_fsync_seconds", []metrics.Label{server}, ws.FsyncLatency)
 		e.Family("kv_wal_batch_records", "Group-commit batch sizes: records persisted per committer write.", "histogram")
 		e.CountHistogram("kv_wal_batch_records", []metrics.Label{server}, ws.BatchRecords)
+	}
+
+	if ps := s.poolStats(); ps != nil {
+		small := []metrics.Label{server, {Name: "pool", Value: "small"}}
+		large := []metrics.Label{server, {Name: "pool", Value: "large"}}
+		e.Family("kv_pool_size_threshold_bytes", "Current small/large payload boundary of the size-class admission classifier.", "gauge")
+		e.IntSample("kv_pool_size_threshold_bytes", []metrics.Label{server}, uint64(ps.ThresholdBytes))
+		e.Family("kv_pool_workers", "Workers dedicated to each size-class pool.", "gauge")
+		e.IntSample("kv_pool_workers", small, uint64(ps.SmallWorkers))
+		e.IntSample("kv_pool_workers", large, uint64(ps.LargeWorkers))
+		e.Family("kv_pool_busy_workers", "Workers of each size-class pool currently executing an operation.", "gauge")
+		e.IntSample("kv_pool_busy_workers", small, uint64(ps.SmallBusy))
+		e.IntSample("kv_pool_busy_workers", large, uint64(ps.LargeBusy))
+		e.Family("kv_pool_queue_length", "Operations waiting in each size-class pool's queue.", "gauge")
+		e.IntSample("kv_pool_queue_length", small, uint64(ps.SmallQueueLen))
+		e.IntSample("kv_pool_queue_length", large, uint64(ps.LargeQueueLen))
+		e.Family("kv_pool_backlog_seconds", "Queued service demand in each size-class pool, in seconds.", "gauge")
+		e.Sample("kv_pool_backlog_seconds", small, time.Duration(ps.SmallBacklogNanos).Seconds())
+		e.Sample("kv_pool_backlog_seconds", large, time.Duration(ps.LargeBacklogNanos).Seconds())
+		e.Family("kv_pool_routed_total", "Operations the size classifier admitted to each pool.", "counter")
+		e.IntSample("kv_pool_routed_total", small, ps.SmallRouted)
+		e.IntSample("kv_pool_routed_total", large, ps.LargeRouted)
+		e.Family("kv_pool_stolen_total", "Small-pool operations served by an idle large-pool worker (work stealing).", "counter")
+		e.IntSample("kv_pool_stolen_total", []metrics.Label{server}, ps.Stolen)
 	}
 
 	if d, ok := s.decisionStats(); ok {

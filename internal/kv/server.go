@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sizeclass"
 	"github.com/daskv/daskv/internal/wal"
 	"github.com/daskv/daskv/internal/wire"
 )
@@ -71,6 +72,16 @@ type ServerConfig struct {
 	// client-side; the server's only replication duty is the versioned
 	// store, which is always on.
 	Replication int
+	// PoolSplit enables the size-class execution split
+	// (internal/sizeclass): the fraction of Workers reserved for the
+	// small-op pool, in (0, 1). Zero disables the split (one undivided
+	// pool, the pre-split behavior). Requires Workers >= 2; the worker
+	// partition is rounded so each pool keeps at least one worker.
+	PoolSplit float64
+	// SizeClass tunes the split's admission classifier (zero value =
+	// the sizeclass defaults: learn the 90th-percentile size threshold
+	// from a decayed sketch of observed payload sizes).
+	SizeClass sizeclass.Config
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -109,6 +120,20 @@ type Server struct {
 	conns     map[net.Conn]bool
 	speedEWMA float64
 	served    uint64
+
+	// split is the size-class pool structure when PoolSplit is enabled
+	// (nil otherwise); queue then points at the same object, so every
+	// whole-queue path (feedback, stats, admission) works unchanged.
+	split        *sizeclass.Queue
+	smallWorkers int
+	largeWorkers int
+	// poolWake replaces wake in split mode: one wake token per pool, so
+	// a small-pool wake is never consumed by a large worker that then
+	// goes back to sleep (and vice versa).
+	poolWake [sizeclass.NumPools]chan struct{}
+	// busy counts each pool's workers currently executing an operation
+	// (the occupancy surfaced on /stats and /metrics).
+	busy [sizeclass.NumPools]atomic.Int32
 
 	wake chan struct{}
 	done chan struct{}
@@ -290,6 +315,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.WALDir != "" && cfg.DataPath != "" {
 		return nil, fmt.Errorf("kv: WALDir and DataPath are mutually exclusive (the log keeps its own snapshots)")
 	}
+	if cfg.PoolSplit < 0 || cfg.PoolSplit >= 1 {
+		return nil, fmt.Errorf("kv: PoolSplit %v outside [0, 1)", cfg.PoolSplit)
+	}
+	if cfg.PoolSplit > 0 && cfg.Workers < 2 {
+		return nil, fmt.Errorf("kv: PoolSplit needs Workers >= 2 (got %d) so each size-class pool keeps a worker", cfg.Workers)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("kv: listen %s: %w", cfg.Addr, err)
@@ -305,6 +336,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		speedEWMA: cfg.SpeedFactor,
 		wake:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
+	}
+	if cfg.PoolSplit > 0 {
+		s.split = sizeclass.New(cfg.Policy, cfg.SizeClass, uint64(cfg.ID))
+		s.queue = s.split
+		s.smallWorkers = int(float64(cfg.Workers)*cfg.PoolSplit + 0.5)
+		if s.smallWorkers < 1 {
+			s.smallWorkers = 1
+		}
+		if s.smallWorkers > cfg.Workers-1 {
+			s.smallWorkers = cfg.Workers - 1
+		}
+		s.largeWorkers = cfg.Workers - s.smallWorkers
+		for p := range s.poolWake {
+			s.poolWake[p] = make(chan struct{}, 1)
+		}
 	}
 	if cfg.DataPath != "" {
 		if err := s.loadSnapshot(); err != nil {
@@ -337,9 +383,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if s.split != nil {
+		for i := 0; i < s.smallWorkers; i++ {
+			s.wg.Add(1)
+			go s.poolWorker(sizeclass.Small)
+		}
+		for i := 0; i < s.largeWorkers; i++ {
+			s.wg.Add(1)
+			go s.poolWorker(sizeclass.Large)
+		}
+	} else {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	if cfg.SweepInterval > 0 {
 		s.wg.Add(1)
@@ -480,7 +537,39 @@ func (s *Server) statsLocked() wire.ServerStats {
 			Promotions:   d.Promotions,
 		}
 	}
+	if s.split != nil {
+		st.Pools = s.poolStatsLocked()
+	}
 	return st
+}
+
+// poolStatsLocked snapshots the size-class split; s.mu must be held.
+func (s *Server) poolStatsLocked() *wire.PoolStats {
+	return &wire.PoolStats{
+		ThresholdBytes:    s.split.Threshold(),
+		SmallWorkers:      s.smallWorkers,
+		LargeWorkers:      s.largeWorkers,
+		SmallQueueLen:     s.split.LenPool(sizeclass.Small),
+		LargeQueueLen:     s.split.LenPool(sizeclass.Large),
+		SmallBacklogNanos: int64(s.split.BacklogPool(sizeclass.Small)),
+		LargeBacklogNanos: int64(s.split.BacklogPool(sizeclass.Large)),
+		SmallBusy:         int(s.busy[sizeclass.Small].Load()),
+		LargeBusy:         int(s.busy[sizeclass.Large].Load()),
+		SmallRouted:       s.split.Routed(sizeclass.Small),
+		LargeRouted:       s.split.Routed(sizeclass.Large),
+		Stolen:            s.split.Stolen(),
+	}
+}
+
+// poolStats returns the size-class split snapshot (nil when the server
+// runs one undivided pool) — the metrics exposition's view.
+func (s *Server) poolStats() *wire.PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.split == nil {
+		return nil
+	}
+	return s.poolStatsLocked()
 }
 
 // decisionStats returns the queue's scheduling decision counters (ok
@@ -692,6 +781,27 @@ func (s *Server) buildOp(sc *serverConn, req *wire.Request, now time.Duration) *
 		oldValue = getValueBuf(len(req.OldValue))
 		copy(oldValue, req.OldValue)
 	}
+	// The op's payload size drives size-class admission: a put's is its
+	// value; a get's is the client's size hint, or — when the pool is
+	// split and no hint came — the stored value's actual length, which
+	// the server alone knows before service. That lookup is what lets
+	// the split protect small ops from clients that cannot predict
+	// response sizes; it also re-floors the demand tag so the pool's
+	// internal ordering sees the transfer the op implies.
+	size := int64(len(req.Value))
+	if size == 0 {
+		size = int64(req.Tags.SizeHintBytes)
+	}
+	if s.split != nil {
+		if size == 0 && req.Type == wire.OpGet {
+			size = int64(s.store.ValueLen(req.Key))
+		}
+		if size > 0 && s.cfg.Cost != nil {
+			if d := s.cfg.Cost(req.Type, len(req.Key), int(size)); d > demand {
+				demand = d
+			}
+		}
+	}
 	qo := queuedOpPool.Get().(*queuedOp)
 	qo.op = sched.Op{
 		Server: s.cfg.ID,
@@ -705,6 +815,7 @@ func (s *Server) buildOp(sc *serverConn, req *wire.Request, now time.Duration) *
 			RemainingTime:    time.Duration(req.Tags.RemainingNanos),
 			ExpectedFinish:   now,
 			RequestFinish:    now + time.Duration(req.Tags.SlackNanos),
+			SizeBytes:        size,
 		},
 		Payload: qo,
 	}
@@ -751,11 +862,28 @@ func (s *Server) enqueueBatch(sc *serverConn, reqs []wire.Request, ops []*sched.
 		}
 	}
 	s.mu.Unlock()
-	select {
-	case s.wake <- struct{}{}:
-	default:
-	}
+	s.wakeWorkers()
 	return ops
+}
+
+// wakeWorkers hands out wake tokens after an enqueue. In split mode
+// both pools are woken: the frame may hold either class, and an idle
+// large pool wants to hear about small work it could steal — a
+// spurious wake costs one queue probe, a missed one strands work.
+func (s *Server) wakeWorkers() {
+	if s.split == nil {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+		return
+	}
+	for p := range s.poolWake {
+		select {
+		case s.poolWake[p] <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // arrivalDeadline anchors a client-supplied remaining-time budget to
@@ -806,6 +934,66 @@ func (s *Server) worker() {
 		if pending {
 			select {
 			case s.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// popNextPool blocks until the pool (or, for a stealing large worker,
+// the small pool) has work, or the server closes.
+func (s *Server) popNextPool(pool sizeclass.Pool) (*sched.Op, error) {
+	steal := pool == sizeclass.Large
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, errServerClosed
+		}
+		op := s.split.PopPool(pool, s.now(), steal)
+		s.mu.Unlock()
+		if op != nil {
+			return op, nil
+		}
+		select {
+		case <-s.poolWake[pool]:
+		case <-s.done:
+			return nil, errServerClosed
+		}
+	}
+}
+
+// poolWorker is one size-class pool's service loop: small workers serve
+// only small-pool ops (the protection the split exists for); large
+// workers serve their own pool first and steal small work when idle so
+// the split never leaves capacity unused that an undivided pool would
+// have spent.
+func (s *Server) poolWorker(pool sizeclass.Pool) {
+	defer s.wg.Done()
+	for {
+		op, err := s.popNextPool(pool)
+		if err != nil {
+			return
+		}
+		s.busy[pool].Add(1)
+		s.serve(op)
+		s.busy[pool].Add(-1)
+		// Chain wakeups, pool-aware: small work re-wakes both pools
+		// (large workers may be the only idle ones), large work only
+		// its own.
+		s.mu.Lock()
+		small := s.split.LenPool(sizeclass.Small) > 0
+		large := s.split.LenPool(sizeclass.Large) > 0
+		s.mu.Unlock()
+		if small {
+			select {
+			case s.poolWake[sizeclass.Small] <- struct{}{}:
+			default:
+			}
+		}
+		if small || large {
+			select {
+			case s.poolWake[sizeclass.Large] <- struct{}{}:
 			default:
 			}
 		}
@@ -881,7 +1069,13 @@ func (s *Server) serve(op *sched.Op) {
 		}
 	}
 	if s.cfg.Cost != nil {
-		s.burn(time.Duration(float64(s.cfg.Cost(p.typ, len(p.key), len(p.value))) / s.cfg.SpeedFactor))
+		// The payload that moved prices the op: a get costs the bytes it
+		// returns, a mutation the bytes it wrote.
+		vlen := len(p.value)
+		if n := len(resp.Value); n > vlen {
+			vlen = n
+		}
+		s.burn(time.Duration(float64(s.cfg.Cost(p.typ, len(p.key), vlen)) / s.cfg.SpeedFactor))
 	}
 	elapsed := time.Since(began)
 	resp.Timing.ServiceNanos = int64(elapsed)
@@ -894,6 +1088,18 @@ func (s *Server) serve(op *sched.Op) {
 	if s.cfg.Cost != nil && elapsed > 0 {
 		observed := float64(op.Demand) / float64(elapsed)
 		s.speedEWMA += 0.2 * (observed - s.speedEWMA)
+	}
+	if s.split != nil {
+		// Ground truth for the admission classifier: the payload that
+		// actually moved, which for a hint-less get is the size the
+		// admission decision could only guess at.
+		size := len(resp.Value)
+		if size == 0 {
+			size = len(p.value)
+		}
+		if size > 0 {
+			s.split.ObserveSize(int64(size))
+		}
 	}
 	s.mu.Unlock()
 	s.finishResponse(p, resp)

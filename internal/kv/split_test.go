@@ -1,0 +1,239 @@
+package kv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sizeclass"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// splitFixture starts one split-pool server (2 workers, one per pool,
+// 64 KiB fixed threshold) and a connected hint-less client.
+func splitFixture(t *testing.T, cost CostModel) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		ID:        5,
+		Addr:      "127.0.0.1:0",
+		Policy:    core.Factory(core.LiveOptions()),
+		Workers:   2,
+		Cost:      cost,
+		PoolSplit: 0.5,
+		SizeClass: sizeclass.Config{Override: 64 << 10},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := NewClient(ClientConfig{Servers: map[sched.ServerID]string{5: srv.Addr()}})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return srv, client
+}
+
+func TestPoolSplitConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		split   float64
+		workers int
+	}{
+		{split: 0.5, workers: 1}, // split needs a worker per pool
+		{split: -0.1, workers: 2},
+		{split: 1.0, workers: 4}, // 1.0 would leave the large pool empty
+	} {
+		_, err := NewServer(ServerConfig{
+			ID:        1,
+			Addr:      "127.0.0.1:0",
+			Policy:    core.Factory(core.LiveOptions()),
+			Workers:   tc.workers,
+			PoolSplit: tc.split,
+		})
+		if err == nil {
+			t.Fatalf("PoolSplit %v with %d workers accepted", tc.split, tc.workers)
+		}
+	}
+}
+
+func TestPoolSplitWorkerPartition(t *testing.T) {
+	// The rounded split must always leave at least one worker per pool.
+	for _, tc := range []struct {
+		split              float64
+		workers            int
+		wantSmall, wantLge int
+	}{
+		{split: 0.5, workers: 2, wantSmall: 1, wantLge: 1},
+		{split: 0.5, workers: 4, wantSmall: 2, wantLge: 2},
+		{split: 0.9, workers: 2, wantSmall: 1, wantLge: 1},
+		{split: 0.9, workers: 4, wantSmall: 3, wantLge: 1},
+		{split: 0.1, workers: 4, wantSmall: 1, wantLge: 3},
+	} {
+		srv, err := NewServer(ServerConfig{
+			ID:        1,
+			Addr:      "127.0.0.1:0",
+			Policy:    core.Factory(core.LiveOptions()),
+			Workers:   tc.workers,
+			PoolSplit: tc.split,
+		})
+		if err != nil {
+			t.Fatalf("split %v/%d: %v", tc.split, tc.workers, err)
+		}
+		if srv.smallWorkers != tc.wantSmall || srv.largeWorkers != tc.wantLge {
+			t.Fatalf("split %v/%d: partition %d/%d, want %d/%d", tc.split, tc.workers,
+				srv.smallWorkers, srv.largeWorkers, tc.wantSmall, tc.wantLge)
+		}
+		_ = srv.Close()
+	}
+}
+
+// TestSplitEndToEndHintless drives a split server through a client that
+// offers no size hints: puts classify by the value they carry, and gets
+// classify by the stored value's length (the server owns the store, so
+// it can tell mice from elephants without client cooperation).
+func TestSplitEndToEndHintless(t *testing.T) {
+	srv, client := splitFixture(t, nil)
+	ctx := context.Background()
+	large := bytes.Repeat([]byte("x"), 256<<10)
+	if err := client.Put(ctx, "elephant", large); err != nil {
+		t.Fatalf("Put large: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := client.Put(ctx, "mouse", []byte("cheese")); err != nil {
+			t.Fatalf("Put small: %v", err)
+		}
+		if got, err := client.Get(ctx, "mouse"); err != nil || string(got) != "cheese" {
+			t.Fatalf("Get small = %q, %v", got, err)
+		}
+	}
+	if got, err := client.Get(ctx, "elephant"); err != nil || !bytes.Equal(got, large) {
+		t.Fatalf("Get large: %d bytes, %v", len(got), err)
+	}
+	ps := srv.poolStats()
+	if ps == nil {
+		t.Fatal("split server reports no pool stats")
+	}
+	if ps.ThresholdBytes != 64<<10 {
+		t.Fatalf("threshold = %d, want the 64KiB override", ps.ThresholdBytes)
+	}
+	if ps.SmallWorkers != 1 || ps.LargeWorkers != 1 {
+		t.Fatalf("worker partition %d/%d, want 1/1", ps.SmallWorkers, ps.LargeWorkers)
+	}
+	if ps.SmallRouted == 0 {
+		t.Fatal("no ops routed small")
+	}
+	// The large put carries its payload and the hint-less large get is
+	// classified from the store — both must land in the large pool.
+	if ps.LargeRouted < 2 {
+		t.Fatalf("large routed = %d, want >= 2 (put + store-classified get)", ps.LargeRouted)
+	}
+}
+
+// TestSplitSmallOpsNotBlockedByLarge is the subsystem's reason to
+// exist, as a liveness check: with the single large worker pinned by a
+// slow op, small gets must still complete promptly through the
+// reserved small worker.
+func TestSplitSmallOpsNotBlockedByLarge(t *testing.T) {
+	cost := func(_ wire.OpType, _, valueLen int) time.Duration {
+		if valueLen >= 64<<10 {
+			return 500 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+	_, client := splitFixture(t, cost)
+	ctx := context.Background()
+	large := bytes.Repeat([]byte("x"), 128<<10)
+	if err := client.Put(ctx, "elephant", large); err != nil {
+		t.Fatalf("Put large: %v", err)
+	}
+	if err := client.Put(ctx, "mouse", []byte("cheese")); err != nil {
+		t.Fatalf("Put small: %v", err)
+	}
+	// Pin the large worker with two elephant gets (one serving, one
+	// queued), then time a small get racing them.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Get(ctx, "elephant"); err != nil {
+				t.Errorf("Get large: %v", err)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the elephants reach the queue
+	start := time.Now()
+	if _, err := client.Get(ctx, "mouse"); err != nil {
+		t.Fatalf("Get small: %v", err)
+	}
+	if rct := time.Since(start); rct > 250*time.Millisecond {
+		t.Fatalf("small get took %v behind a pinned large worker", rct)
+	}
+	wg.Wait()
+}
+
+// TestSplitStatsAndMetricsExposition checks the observability surface:
+// /stats carries the pools section and /metrics carries the kv_pool_*
+// families, lint-clean.
+func TestSplitStatsAndMetricsExposition(t *testing.T) {
+	srv, client := splitFixture(t, nil)
+	ctx := context.Background()
+	if err := client.Put(ctx, "m", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := client.Put(ctx, "big", bytes.Repeat([]byte("x"), 128<<10)); err != nil {
+		t.Fatalf("Put big: %v", err)
+	}
+	h := NewMetricsHandler(srv)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var st wire.ServerStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Pools == nil {
+		t.Fatal("/stats missing the pools section on a split server")
+	}
+	if st.Pools.SmallRouted == 0 || st.Pools.LargeRouted == 0 {
+		t.Fatalf("pools = %+v, want routing on both sides", st.Pools)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`kv_pool_size_threshold_bytes{server="5"} 65536`,
+		`kv_pool_workers{server="5",pool="small"} 1`,
+		`kv_pool_workers{server="5",pool="large"} 1`,
+		`kv_pool_queue_length{server="5",pool="small"}`,
+		`kv_pool_backlog_seconds{server="5",pool="large"}`,
+		`kv_pool_busy_workers{server="5",pool="small"}`,
+		`kv_pool_routed_total{server="5",pool="small"}`,
+		`kv_pool_routed_total{server="5",pool="large"}`,
+		`kv_pool_stolen_total{server="5"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if problems := metrics.LintExposition(strings.NewReader(body)); len(problems) > 0 {
+		t.Fatalf("exposition lint problems: %v", problems)
+	}
+	// An unsplit server must not emit the pool families.
+	plain, plainClient := metricsFixture(t)
+	if err := plainClient.Put(ctx, "m", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	NewMetricsHandler(plain).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "kv_pool_") {
+		t.Fatal("unsplit server emitted kv_pool_* metrics")
+	}
+}

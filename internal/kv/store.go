@@ -173,6 +173,22 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return out, true
 }
 
+// ValueLen returns the stored value's length in bytes without copying
+// it (0 for absent or expired keys). The size-class admission path uses
+// it to classify a hint-less get by the payload it will actually move —
+// one shard read-lock and a map probe, no allocation.
+func (s *Store) ValueLen(key string) int {
+	now := s.now()
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok || e.expired(now) {
+		return 0
+	}
+	return len(e.value)
+}
+
 // Put stores a copy of value under key with no expiry.
 func (s *Store) Put(key string, value []byte) {
 	s.PutTTL(key, value, 0)

@@ -79,6 +79,11 @@ type Tags struct {
 	// across co-queued requests, so folding them in drowns the size
 	// signal; waits influence scheduling through Slack instead.
 	RemainingTime time.Duration
+	// SizeBytes is the operation's payload size in bytes: the value
+	// written for puts, the expected value size for gets (the wire
+	// size hint). Zero means unknown; the size-class admission
+	// classifier (internal/sizeclass) treats unknown as small.
+	SizeBytes int64
 }
 
 // Slack is how long this operation could be delayed without (by current

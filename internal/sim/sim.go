@@ -499,6 +499,9 @@ func (s *simulator) admit(wr workload.Request) {
 			Demand:  spec.Demand,
 			Payload: &opState{req: req},
 		}
+		// Size-annotated workloads carry the payload size into the
+		// scheduler tags, exactly as the live wire's size hint does.
+		ops[i].Tags.SizeBytes = spec.ValueBytes
 	}
 	if s.cfg.Oracle {
 		s.oracleTag(ops, now)

@@ -1,0 +1,248 @@
+package sizeclass_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/schedtest"
+	"github.com/daskv/daskv/internal/sizeclass"
+)
+
+// stamper wraps a split queue and stamps every pushed op's SizeBytes
+// with a deterministic function of its request ID, so the generic
+// schedtest suites (whose ops carry no size) exercise a chosen routing
+// mix. It intentionally does not implement sched.Keyer — neither does
+// the split queue it wraps.
+type stamper struct {
+	*sizeclass.Queue
+	size func(sched.RequestID) int64
+}
+
+func (s stamper) Push(op *sched.Op, now time.Duration) {
+	op.Tags.SizeBytes = s.size(op.Request)
+	s.Queue.Push(op, now)
+}
+
+// splitCases is the invariants matrix for the size-class split: each
+// pool alone (so the inner DAS bounds are asserted through the split),
+// and a mixed stream through the facade.
+var splitCases = map[string]struct {
+	factory sched.Factory
+	props   schedtest.Properties
+}{
+	// Everything classifies small: the facade degenerates to the small
+	// pool, so the inner policy's AgingBound promise must survive the
+	// wrapping.
+	"all-small": {
+		factory: sizeclass.Factory(core.Factory(core.LiveOptions()), sizeclass.Config{Override: 1 << 40}),
+		props:   schedtest.Properties{AgingBound: core.LiveOptions().AgingBound},
+	},
+	// Everything stamps large: the same promise through the large pool.
+	"all-large": {
+		factory: func(seed uint64) sched.Policy {
+			return stamper{
+				Queue: sizeclass.New(core.Factory(core.LiveOptions()), sizeclass.Config{Override: 1}, seed),
+				size:  func(sched.RequestID) int64 { return 2 },
+			}
+		},
+		props: schedtest.Properties{AgingBound: core.LiveOptions().AgingBound},
+	},
+	// A quarter of ops stamp large: conservation and backlog accounting
+	// must hold across the split admission path. (No aging claim here —
+	// the facade prefers small work by design, so a large op facing an
+	// endless small stream waits until a large-pool worker exists.)
+	"mixed": {
+		factory: func(seed uint64) sched.Policy {
+			return stamper{
+				Queue: sizeclass.New(core.Factory(core.LiveOptions()), sizeclass.Config{Override: 64 << 10}, seed),
+				size: func(r sched.RequestID) int64 {
+					if r%4 == 0 {
+						return 1 << 20
+					}
+					return 1 << 10
+				},
+			}
+		},
+	},
+}
+
+func TestSplitInvariants(t *testing.T) {
+	for name, tc := range splitCases {
+		schedtest.RunInvariants(t, name, tc.factory)
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	for name, tc := range splitCases {
+		schedtest.RunProperties(t, name, tc.factory, tc.props)
+	}
+}
+
+// TestStealPreservesAgingBound asserts the promotion invariant across
+// the work-stealing path: a small-pool op facing an endless stream of
+// higher-priority small arrivals must still be served (and marked
+// promoted) within AgingBound times its own remaining time, even when
+// the only consumer is a stealing large-pool worker.
+func TestStealPreservesAgingBound(t *testing.T) {
+	q := sizeclass.New(core.Factory(core.LiveOptions()), sizeclass.Config{Override: 64 << 10}, 53)
+	const rpt = 10 * time.Millisecond
+	starved := classedOp(1_000_000, rpt, 1<<10)
+	q.Push(starved, 0)
+	allowance := time.Duration(core.LiveOptions().AgingBound * float64(rpt))
+	step := allowance / 8
+	now := time.Duration(0)
+	for i := 1; i <= 64; i++ {
+		now += step
+		q.Push(classedOp(i, time.Microsecond, 1<<10), now)
+		op := q.PopPool(sizeclass.Large, now, true)
+		if op == nil {
+			t.Fatal("nil steal with small work queued")
+		}
+		if op == starved {
+			if wait := now - starved.Enqueued; wait > allowance+step {
+				t.Fatalf("starved op waited %v through the steal path, bound is %v (+%v step)", wait, allowance, step)
+			}
+			if op.Class != sched.ClassPromoted {
+				t.Fatalf("rescued op classified %v, want %v", op.Class, sched.ClassPromoted)
+			}
+			if q.Stolen() == 0 {
+				t.Fatal("steal counter did not move")
+			}
+			return
+		}
+	}
+	t.Fatalf("op starved past %v despite the AgingBound through stealing", allowance)
+}
+
+// TestStealConservation drains a mixed stream through the pool-aware
+// surface the server actually uses — a non-stealing small worker and a
+// stealing large worker — and asserts nothing is lost, duplicated, or
+// left in the backlog accounting.
+func TestStealConservation(t *testing.T) {
+	for _, seed := range []uint64{61, 67, 71} {
+		q := sizeclass.New(core.Factory(core.LiveOptions()), sizeclass.Config{Override: 64 << 10}, seed)
+		rng := dist.NewRand(seed)
+		pushed, popped := 0, 0
+		seen := map[sched.RequestID]bool{}
+		now := time.Duration(0)
+		pop := func(p sizeclass.Pool, steal bool) {
+			op := q.PopPool(p, now, steal)
+			if op == nil {
+				return
+			}
+			if seen[op.Request] {
+				t.Fatalf("seed %d: request %d served twice", seed, op.Request)
+			}
+			seen[op.Request] = true
+			popped++
+		}
+		for i := 0; i < 4000; i++ {
+			now += time.Duration(rng.Int64N(int64(time.Millisecond)))
+			switch {
+			case rng.Int64N(2) == 0 || q.Len() == 0:
+				pushed++
+				size := int64(1 << 10)
+				if rng.Int64N(4) == 0 {
+					size = 1 << 20
+				}
+				q.Push(classedOp(pushed, time.Duration(1+rng.Int64N(int64(time.Millisecond))), size), now)
+			case rng.Int64N(2) == 0:
+				pop(sizeclass.Small, false)
+			default:
+				pop(sizeclass.Large, true)
+			}
+		}
+		for q.Len() > 0 {
+			n := popped
+			pop(sizeclass.Small, false)
+			pop(sizeclass.Large, true)
+			if popped == n {
+				t.Fatalf("seed %d: no pool yielded with Len = %d", seed, q.Len())
+			}
+		}
+		if popped != pushed {
+			t.Fatalf("seed %d: popped %d of %d pushed", seed, popped, pushed)
+		}
+		if q.BacklogDemand() != 0 {
+			t.Fatalf("seed %d: drained backlog = %v", seed, q.BacklogDemand())
+		}
+		if q.Routed(sizeclass.Small)+q.Routed(sizeclass.Large) != uint64(pushed) {
+			t.Fatalf("seed %d: routed %d+%d, pushed %d", seed,
+				q.Routed(sizeclass.Small), q.Routed(sizeclass.Large), pushed)
+		}
+	}
+}
+
+// TestConcurrentPoolWorkers is the race-clean version of conservation:
+// dedicated small and large worker goroutines drain the queue under the
+// same external lock discipline the server uses, while a producer keeps
+// pushing a mixed stream. Run with -race this pins down that the split
+// adds no hidden shared state beyond the lock.
+func TestConcurrentPoolWorkers(t *testing.T) {
+	q := sizeclass.New(core.Factory(core.LiveOptions()), sizeclass.Config{Override: 64 << 10}, 79)
+	var mu sync.Mutex // stands in for the server's queue lock
+	const total = 3000
+	var (
+		served   sync.Map
+		popped   int
+		poppedMu sync.Mutex
+	)
+	worker := func(p sizeclass.Pool, steal bool, done <-chan struct{}) {
+		for {
+			mu.Lock()
+			op := q.PopPool(p, 0, steal)
+			mu.Unlock()
+			if op == nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			if _, dup := served.LoadOrStore(op.Request, true); dup {
+				t.Errorf("request %d served twice", op.Request)
+			}
+			poppedMu.Lock()
+			popped++
+			poppedMu.Unlock()
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); worker(sizeclass.Small, false, done) }()
+		go func() { defer wg.Done(); worker(sizeclass.Large, true, done) }()
+	}
+	rng := dist.NewRand(83)
+	for i := 1; i <= total; i++ {
+		size := int64(1 << 10)
+		if rng.Int64N(4) == 0 {
+			size = 1 << 20
+		}
+		mu.Lock()
+		q.Push(classedOp(i, time.Duration(1+rng.Int64N(int64(time.Millisecond))), size), 0)
+		mu.Unlock()
+	}
+	for {
+		poppedMu.Lock()
+		n := popped
+		poppedMu.Unlock()
+		if n == total {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if q.Len() != 0 || q.BacklogDemand() != 0 {
+		t.Fatalf("drained queue: len %d backlog %v", q.Len(), q.BacklogDemand())
+	}
+}

@@ -1,0 +1,184 @@
+package sizeclass
+
+import (
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Queue fronts two independent instances of an inner scheduling policy
+// — one per size class — behind a size-based admission classifier.
+//
+// The server drives it through the pool-aware surface (PopPool, LenPool,
+// BacklogPool), dedicating workers to each pool; work-stealing is the
+// large pool popping small-pool work when its own queue is empty, so a
+// quiet large pool never idles while small work waits. The reverse
+// never happens: small workers refuse large ops by construction, which
+// is the whole point of the split.
+//
+// Queue also implements sched.Policy (and sched.BatchPolicy) so the
+// generic property suites can drive it: the facade Pop drains the small
+// pool first and steals from the large pool only when the small pool is
+// empty — a single consumer sees the small-preference order. It
+// deliberately does not implement sched.Keyer: there is no single
+// priority key across pools.
+type Queue struct {
+	cls   *Classifier
+	pools [NumPools]sched.Policy
+
+	routed [NumPools]uint64
+	stolen uint64
+
+	scratch [NumPools][]*sched.Op
+}
+
+var (
+	_ sched.Policy           = (*Queue)(nil)
+	_ sched.BatchPolicy      = (*Queue)(nil)
+	_ sched.DecisionReporter = (*Queue)(nil)
+)
+
+// New builds a split queue whose pools are independent instances of the
+// inner factory, seeded apart so randomized inner policies diverge.
+func New(inner sched.Factory, cfg Config, seed uint64) *Queue {
+	return &Queue{
+		cls: NewClassifier(cfg),
+		pools: [NumPools]sched.Policy{
+			Small: inner(seed),
+			Large: inner(seed ^ 0x5a17ec1a55b00573),
+		},
+	}
+}
+
+// Factory adapts New to the sched.Factory shape.
+func Factory(inner sched.Factory, cfg Config) sched.Factory {
+	return func(seed uint64) sched.Policy { return New(inner, cfg, seed) }
+}
+
+// Name implements sched.Policy.
+func (q *Queue) Name() string {
+	return "sizeclass(" + q.pools[Small].Name() + ")"
+}
+
+// Classify returns the pool an op of this payload size would be routed
+// to right now (the decision Push will make, without making it).
+func (q *Queue) Classify(sizeBytes int64) Pool { return q.cls.Classify(sizeBytes) }
+
+// ObserveSize feeds one payload size into the classifier's sketch
+// without admitting anything — the server calls it with the size each
+// served op actually moved, so the learned threshold tracks ground
+// truth even when admission could only see a hint (or nothing).
+func (q *Queue) ObserveSize(sizeBytes int64) { q.cls.Observe(sizeBytes) }
+
+// Threshold returns the classifier's current small/large boundary.
+func (q *Queue) Threshold() int64 { return q.cls.Threshold() }
+
+// Push implements sched.Policy: classify, learn, and admit to the
+// matching pool.
+func (q *Queue) Push(op *sched.Op, now time.Duration) {
+	p := q.cls.Classify(op.Tags.SizeBytes)
+	q.cls.Observe(op.Tags.SizeBytes)
+	q.routed[p]++
+	q.pools[p].Push(op, now)
+}
+
+// PushBatch implements sched.BatchPolicy: the batch is split by size
+// class (preserving relative order) and each side is admitted as one
+// unit. A tag-coherent batch stays tag-coherent after splitting, so the
+// inner policies' PushBatch contract holds for both sub-batches.
+func (q *Queue) PushBatch(ops []*sched.Op, now time.Duration) {
+	small := q.scratch[Small][:0]
+	large := q.scratch[Large][:0]
+	for _, op := range ops {
+		p := q.cls.Classify(op.Tags.SizeBytes)
+		q.cls.Observe(op.Tags.SizeBytes)
+		q.routed[p]++
+		if p == Large {
+			large = append(large, op)
+		} else {
+			small = append(small, op)
+		}
+	}
+	q.admit(Small, small, now)
+	q.admit(Large, large, now)
+	q.scratch[Small] = small[:0]
+	q.scratch[Large] = large[:0]
+}
+
+func (q *Queue) admit(p Pool, ops []*sched.Op, now time.Duration) {
+	switch {
+	case len(ops) == 0:
+	case len(ops) == 1:
+		q.pools[p].Push(ops[0], now)
+	default:
+		if bp, ok := q.pools[p].(sched.BatchPolicy); ok {
+			bp.PushBatch(ops, now)
+			return
+		}
+		for _, op := range ops {
+			q.pools[p].Push(op, now)
+		}
+	}
+}
+
+// Pop implements sched.Policy: small-pool work first, large-pool work
+// when none is queued.
+func (q *Queue) Pop(now time.Duration) *sched.Op {
+	if op := q.pools[Small].Pop(now); op != nil {
+		return op
+	}
+	return q.pools[Large].Pop(now)
+}
+
+// PopPool removes the next op of one pool. A large-pool caller with
+// steal set drains small-pool work when its own pool is empty (the
+// work-stealing path); small-pool callers never see large ops.
+func (q *Queue) PopPool(p Pool, now time.Duration, steal bool) *sched.Op {
+	if op := q.pools[p].Pop(now); op != nil {
+		return op
+	}
+	if p == Large && steal {
+		if op := q.pools[Small].Pop(now); op != nil {
+			q.stolen++
+			return op
+		}
+	}
+	return nil
+}
+
+// Len implements sched.Policy.
+func (q *Queue) Len() int {
+	return q.pools[Small].Len() + q.pools[Large].Len()
+}
+
+// LenPool returns one pool's queue depth.
+func (q *Queue) LenPool(p Pool) int { return q.pools[p].Len() }
+
+// BacklogDemand implements sched.Policy.
+func (q *Queue) BacklogDemand() time.Duration {
+	return q.pools[Small].BacklogDemand() + q.pools[Large].BacklogDemand()
+}
+
+// BacklogPool returns one pool's queued service demand.
+func (q *Queue) BacklogPool(p Pool) time.Duration {
+	return q.pools[p].BacklogDemand()
+}
+
+// Routed returns how many ops admission has sent to the pool.
+func (q *Queue) Routed(p Pool) uint64 { return q.routed[p] }
+
+// Stolen returns how many small-pool ops the large pool has drained
+// through the work-stealing path.
+func (q *Queue) Stolen() uint64 { return q.stolen }
+
+// Decisions implements sched.DecisionReporter by summing both pools'
+// counters (pools that report none contribute zero).
+func (q *Queue) Decisions() sched.DecisionStats {
+	var s sched.DecisionStats
+	for _, p := range q.pools {
+		if dr, ok := p.(sched.DecisionReporter); ok {
+			s.Add(dr.Decisions())
+		}
+	}
+	return s
+}

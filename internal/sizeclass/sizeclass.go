@@ -1,0 +1,211 @@
+// Package sizeclass partitions one server's pending work into small-op
+// and large-op pools so that small operations never wait behind a large
+// value transfer occupying a worker — the Minos-style size-aware
+// sharding (Didona & Zwaenepoel, "Size-aware Sharding For Improving
+// Tail Latencies in In-memory Key-value Stores") composed with the
+// multiserver-SRPT observation of Grosof et al. that reserving servers
+// for short jobs bounds their tail almost for free.
+//
+// The split is driven by a size-based admission classifier: the
+// boundary between "small" and "large" is a byte threshold learned
+// online from a streaming quantile sketch of observed payload sizes
+// (with a fixed-threshold override for operators who know their
+// workload). Each pool runs its own instance of the configured
+// scheduling policy (DAS in the live store), so SRPT-first ordering,
+// slack demotion, and the starvation bounds all still hold within a
+// pool; work-stealing lets an idle large pool drain small work so the
+// split never idles capacity that FCFS would have used.
+//
+// Like the policies it wraps, nothing here is safe for concurrent use;
+// the server's queue lock serializes access.
+package sizeclass
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pool names one side of the split.
+type Pool uint8
+
+// The two pools. Small is the protected pool: ops classified small (or
+// of unknown size) go there and are never queued behind large ops.
+const (
+	Small Pool = iota
+	Large
+
+	// NumPools sizes per-pool arrays.
+	NumPools = 2
+)
+
+// String returns the pool's metric-label name.
+func (p Pool) String() string {
+	switch p {
+	case Small:
+		return "small"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("pool(%d)", uint8(p))
+	}
+}
+
+// Config tunes the admission classifier.
+type Config struct {
+	// Quantile is the size quantile the learned threshold tracks: ops
+	// above it are large. Defaults to 0.9 — the classic mice/elephant
+	// split where ~10% of ops (but most bytes) run in the large pool.
+	Quantile float64
+	// Override, when positive, fixes the threshold at this many bytes
+	// and disables learning.
+	Override int64
+	// Decay is the per-observation weight retention of the streaming
+	// sketch (0 < Decay < 1). Defaults to 0.999, i.e. a sliding window
+	// of roughly the last thousand sized ops.
+	Decay float64
+	// MinWeight is the sketch weight required before the learned
+	// threshold replaces Default. Defaults to 64 observations.
+	MinWeight float64
+	// Default is the threshold used until the sketch has seen
+	// MinWeight of sized ops. Defaults to 64 KiB.
+	Default int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Quantile <= 0 || c.Quantile >= 1 {
+		c.Quantile = 0.9
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		c.Decay = 0.999
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = 64
+	}
+	if c.Default <= 0 {
+		c.Default = 64 << 10
+	}
+	return c
+}
+
+// sketchBuckets covers sizes up to 2^39 bytes (512 GiB), far beyond the
+// 16 MiB wire frame limit; anything larger saturates the top bucket.
+const sketchBuckets = 40
+
+// Sketch is a streaming quantile estimate of observed payload sizes:
+// an exponentially decayed histogram over power-of-two byte buckets.
+// Power-of-two resolution is exactly right for a small/large split —
+// the classifier needs "is this op in the top decile by size", not the
+// third significant digit — and it makes the sketch constant-space,
+// allocation-free, and deterministic.
+type Sketch struct {
+	decay  float64
+	w      [sketchBuckets]float64
+	weight float64
+}
+
+// NewSketch returns a sketch with the given per-observation decay.
+func NewSketch(decay float64) *Sketch {
+	if decay <= 0 || decay >= 1 {
+		decay = 0.999
+	}
+	return &Sketch{decay: decay}
+}
+
+// Observe folds one payload size into the sketch.
+func (s *Sketch) Observe(sizeBytes int64) {
+	if sizeBytes < 0 {
+		return
+	}
+	b := bits.Len64(uint64(sizeBytes))
+	if b >= sketchBuckets {
+		b = sketchBuckets - 1
+	}
+	for i := range s.w {
+		s.w[i] *= s.decay
+	}
+	s.weight = s.weight*s.decay + 1
+	s.w[b]++
+}
+
+// Weight returns the decayed observation count.
+func (s *Sketch) Weight() float64 { return s.weight }
+
+// Quantile returns an upper bound on the q-quantile of observed sizes
+// (the smallest bucket boundary with at least a q fraction of the
+// decayed weight at or below it), or 0 if the sketch is empty.
+func (s *Sketch) Quantile(q float64) int64 {
+	if s.weight <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * s.weight
+	var cum float64
+	for i, w := range s.w {
+		cum += w
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			// Bucket i holds sizes in [2^(i-1), 2^i).
+			return 1 << uint(i)
+		}
+	}
+	return 1 << uint(sketchBuckets-1)
+}
+
+// Classifier decides, at admission, which pool an op belongs to.
+type Classifier struct {
+	cfg    Config
+	sketch *Sketch
+}
+
+// NewClassifier builds a classifier; zero-valued cfg fields take their
+// documented defaults.
+func NewClassifier(cfg Config) *Classifier {
+	cfg = cfg.withDefaults()
+	return &Classifier{cfg: cfg, sketch: NewSketch(cfg.Decay)}
+}
+
+// Observe feeds one sized op into the threshold sketch. Unsized ops
+// (sizeBytes <= 0) carry no signal and are skipped.
+func (c *Classifier) Observe(sizeBytes int64) {
+	if sizeBytes <= 0 || c.cfg.Override > 0 {
+		return
+	}
+	c.sketch.Observe(sizeBytes)
+}
+
+// Threshold returns the current small/large boundary in bytes: the
+// fixed override if set, the learned quantile once the sketch has
+// enough weight, and the configured default until then.
+func (c *Classifier) Threshold() int64 {
+	if c.cfg.Override > 0 {
+		return c.cfg.Override
+	}
+	if c.sketch.Weight() < c.cfg.MinWeight {
+		return c.cfg.Default
+	}
+	if t := c.sketch.Quantile(c.cfg.Quantile); t > 0 {
+		return t
+	}
+	return c.cfg.Default
+}
+
+// Classify maps a payload size to its pool. Unknown sizes (<= 0) are
+// small: bare gets of never-seen keys are the latency-critical common
+// case, and misrouting a rare large one costs a single stall that the
+// size hint then prevents from recurring.
+func (c *Classifier) Classify(sizeBytes int64) Pool {
+	if sizeBytes <= 0 {
+		return Small
+	}
+	if sizeBytes > c.Threshold() {
+		return Large
+	}
+	return Small
+}

@@ -1,0 +1,200 @@
+package sizeclass_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/sizeclass"
+)
+
+// classedOp builds an op of the given payload size whose every duration
+// dimension is d, with zero slack.
+func classedOp(id int, d time.Duration, sizeBytes int64) *sched.Op {
+	return &sched.Op{
+		Request: sched.RequestID(id),
+		Demand:  d,
+		Tags: sched.Tags{
+			DemandBottleneck: d,
+			ScaledDemand:     d,
+			RemainingTime:    d,
+			ExpectedFinish:   d,
+			RequestFinish:    d,
+			Fanout:           1,
+			SizeBytes:        sizeBytes,
+		},
+	}
+}
+
+func TestSketchQuantileBuckets(t *testing.T) {
+	s := sizeclass.NewSketch(0.999)
+	if got := s.Quantile(0.9); got != 0 {
+		t.Fatalf("empty sketch quantile = %d, want 0", got)
+	}
+	// 90 mice at 1 KiB, 10 elephants at 1 MiB. The sketch's power-of-two
+	// buckets return the upper bound of the bucket holding the quantile.
+	for i := 0; i < 90; i++ {
+		s.Observe(1 << 10)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(1 << 20)
+	}
+	if got := s.Quantile(0.5); got != 1<<11 {
+		t.Fatalf("median = %d, want %d (upper bound of the 1KiB bucket)", got, 1<<11)
+	}
+	if got := s.Quantile(0.99); got != 1<<21 {
+		t.Fatalf("p99 = %d, want %d (upper bound of the 1MiB bucket)", got, 1<<21)
+	}
+}
+
+func TestSketchDecayForgetsOldRegime(t *testing.T) {
+	// Aggressive decay: after a burst of large sizes, a run of small
+	// ones must pull the learned quantile back down.
+	s := sizeclass.NewSketch(0.5)
+	for i := 0; i < 50; i++ {
+		s.Observe(1 << 20)
+	}
+	for i := 0; i < 50; i++ {
+		s.Observe(1 << 10)
+	}
+	if got := s.Quantile(0.9); got > 1<<11 {
+		t.Fatalf("quantile = %d after regime change, want <= %d", got, 1<<11)
+	}
+}
+
+func TestSketchNegativeSizeIgnored(t *testing.T) {
+	s := sizeclass.NewSketch(0.999)
+	s.Observe(-5)
+	if s.Weight() != 0 {
+		t.Fatalf("negative observation counted: weight %v", s.Weight())
+	}
+}
+
+func TestClassifierDefaultUntilLearned(t *testing.T) {
+	c := sizeclass.NewClassifier(sizeclass.Config{MinWeight: 64})
+	if got := c.Threshold(); got != 64<<10 {
+		t.Fatalf("cold threshold = %d, want default %d", got, 64<<10)
+	}
+	// Below MinWeight the default must hold even with observations.
+	for i := 0; i < 32; i++ {
+		c.Observe(1 << 10)
+	}
+	if got := c.Threshold(); got != 64<<10 {
+		t.Fatalf("underweight threshold = %d, want default %d", got, 64<<10)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(1 << 10)
+	}
+	if got := c.Threshold(); got != 1<<11 {
+		t.Fatalf("learned threshold = %d, want %d", got, 1<<11)
+	}
+}
+
+func TestClassifierOverrideWins(t *testing.T) {
+	c := sizeclass.NewClassifier(sizeclass.Config{Override: 100})
+	for i := 0; i < 1000; i++ {
+		c.Observe(1 << 20)
+	}
+	if got := c.Threshold(); got != 100 {
+		t.Fatalf("override threshold = %d, want 100", got)
+	}
+	for size, want := range map[int64]sizeclass.Pool{
+		-1:  sizeclass.Small, // unknown sizes are small by design
+		0:   sizeclass.Small,
+		100: sizeclass.Small, // boundary is inclusive
+		101: sizeclass.Large,
+	} {
+		if got := c.Classify(size); got != want {
+			t.Fatalf("Classify(%d) = %v, want %v", size, got, want)
+		}
+	}
+}
+
+func TestQueueRoutesByClass(t *testing.T) {
+	q := sizeclass.New(sched.FCFSFactory, sizeclass.Config{Override: 64 << 10}, 1)
+	d := time.Millisecond
+	q.Push(classedOp(1, d, 1<<10), 0)
+	q.Push(classedOp(2, d, 1<<20), 0)
+	q.Push(classedOp(3, d, 2<<10), 0)
+	if got := q.LenPool(sizeclass.Small); got != 2 {
+		t.Fatalf("small len = %d, want 2", got)
+	}
+	if got := q.LenPool(sizeclass.Large); got != 1 {
+		t.Fatalf("large len = %d, want 1", got)
+	}
+	if got := q.Routed(sizeclass.Small); got != 2 {
+		t.Fatalf("small routed = %d, want 2", got)
+	}
+	if got := q.Routed(sizeclass.Large); got != 1 {
+		t.Fatalf("large routed = %d, want 1", got)
+	}
+	if got := q.BacklogPool(sizeclass.Small); got != 2*d {
+		t.Fatalf("small backlog = %v, want %v", got, 2*d)
+	}
+	// The facade Pop prefers small work even when large arrived first.
+	if op := q.Pop(0); op.Request != 1 {
+		t.Fatalf("first pop = %d, want the small op 1", op.Request)
+	}
+}
+
+func TestSmallPoolNeverServesLarge(t *testing.T) {
+	q := sizeclass.New(sched.FCFSFactory, sizeclass.Config{Override: 64 << 10}, 1)
+	q.Push(classedOp(1, time.Millisecond, 1<<20), 0)
+	if op := q.PopPool(sizeclass.Small, 0, false); op != nil {
+		t.Fatalf("small pool served a large op %d", op.Request)
+	}
+	if op := q.PopPool(sizeclass.Large, 0, false); op == nil || op.Request != 1 {
+		t.Fatal("large pool lost its op")
+	}
+}
+
+func TestLargePoolStealsSmallWork(t *testing.T) {
+	q := sizeclass.New(sched.FCFSFactory, sizeclass.Config{Override: 64 << 10}, 1)
+	q.Push(classedOp(1, time.Millisecond, 1<<10), 0)
+	// Without steal the large pool refuses small work...
+	if op := q.PopPool(sizeclass.Large, 0, false); op != nil {
+		t.Fatalf("non-stealing large pop returned %d", op.Request)
+	}
+	// ...with steal it drains it, and the counter records the event.
+	if op := q.PopPool(sizeclass.Large, 0, true); op == nil || op.Request != 1 {
+		t.Fatal("steal failed")
+	}
+	if got := q.Stolen(); got != 1 {
+		t.Fatalf("stolen = %d, want 1", got)
+	}
+	// Stealing only happens when the large pool's own queue is empty.
+	q.Push(classedOp(2, time.Millisecond, 1<<10), 0)
+	q.Push(classedOp(3, time.Millisecond, 1<<20), 0)
+	if op := q.PopPool(sizeclass.Large, 0, true); op.Request != 3 {
+		t.Fatalf("large pool stole with its own work queued (got %d)", op.Request)
+	}
+}
+
+func TestPushBatchSplitsPreservingOrder(t *testing.T) {
+	q := sizeclass.New(sched.FCFSFactory, sizeclass.Config{Override: 64 << 10}, 1)
+	d := time.Millisecond
+	batch := []*sched.Op{
+		classedOp(1, d, 1<<10),
+		classedOp(2, d, 1<<20),
+		classedOp(3, d, 2<<10),
+		classedOp(4, d, 2<<20),
+		classedOp(5, d, 4<<10),
+	}
+	q.PushBatch(batch, 0)
+	if got := q.LenPool(sizeclass.Small); got != 3 {
+		t.Fatalf("small len = %d, want 3", got)
+	}
+	for _, want := range []sched.RequestID{1, 3, 5} {
+		if op := q.PopPool(sizeclass.Small, 0, false); op == nil || op.Request != want {
+			t.Fatalf("small order broken: want %d", want)
+		}
+	}
+	for _, want := range []sched.RequestID{2, 4} {
+		if op := q.PopPool(sizeclass.Large, 0, false); op == nil || op.Request != want {
+			t.Fatalf("large order broken: want %d", want)
+		}
+	}
+	if q.Len() != 0 || q.BacklogDemand() != 0 {
+		t.Fatalf("drained queue: len %d backlog %v", q.Len(), q.BacklogDemand())
+	}
+}

@@ -132,6 +132,12 @@ type Tags struct {
 	DemandNanos int64
 	// Fanout is the request's operation count.
 	Fanout uint32
+	// SizeHintBytes is the op's expected payload size: the value length
+	// for puts, the client's expected value size for gets (0 = unknown).
+	// It is what lets the server's size-class admission classifier keep
+	// a large get out of the small-op pool before the store has even
+	// looked the key up.
+	SizeHintBytes uint32
 }
 
 // CoherentTags reports whether every request of a batch frame carries
@@ -257,6 +263,37 @@ type ServerStats struct {
 	// WAL reports the durability subsystem's state (absent when the
 	// server runs without a write-ahead log).
 	WAL *WALStats `json:"wal,omitempty"`
+	// Pools reports the size-class execution split (absent when the
+	// server runs one undivided worker pool).
+	Pools *PoolStats `json:"pools,omitempty"`
+}
+
+// PoolStats is the size-class split's section of the stats document:
+// per-pool queue depth, backlog, worker occupancy, and the admission
+// classifier's routing decisions.
+type PoolStats struct {
+	// ThresholdBytes is the classifier's current small/large boundary.
+	ThresholdBytes int64 `json:"thresholdBytes"`
+	// SmallWorkers and LargeWorkers are the static worker partition.
+	SmallWorkers int `json:"smallWorkers"`
+	LargeWorkers int `json:"largeWorkers"`
+	// SmallQueueLen/LargeQueueLen are the per-pool queue depths.
+	SmallQueueLen int `json:"smallQueueLen"`
+	LargeQueueLen int `json:"largeQueueLen"`
+	// SmallBacklogNanos/LargeBacklogNanos are the per-pool queued
+	// service demands.
+	SmallBacklogNanos int64 `json:"smallBacklogNanos"`
+	LargeBacklogNanos int64 `json:"largeBacklogNanos"`
+	// SmallBusy/LargeBusy are the workers of each pool currently
+	// executing an operation (occupancy).
+	SmallBusy int `json:"smallBusy"`
+	LargeBusy int `json:"largeBusy"`
+	// SmallRouted/LargeRouted count admission routing decisions; Stolen
+	// counts small-pool ops drained by an idle large pool through the
+	// work-stealing path.
+	SmallRouted uint64 `json:"smallRouted"`
+	LargeRouted uint64 `json:"largeRouted"`
+	Stolen      uint64 `json:"stolen"`
 }
 
 // WALStats is the write-ahead log's section of the stats document.
@@ -390,6 +427,7 @@ func appendRequestBody(buf []byte, r *Request) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Tags.BottleneckNanos))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Tags.DemandNanos))
 	buf = binary.BigEndian.AppendUint32(buf, r.Tags.Fanout)
+	buf = binary.BigEndian.AppendUint32(buf, r.Tags.SizeHintBytes)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.TTLNanos))
 	buf = appendBytes(buf, r.OldValue)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.DeadlineNanos))
@@ -562,6 +600,7 @@ func decodeRequestBody(d *decoder, req *Request) error {
 	req.Tags.BottleneckNanos = int64(d.u64())
 	req.Tags.DemandNanos = int64(d.u64())
 	req.Tags.Fanout = d.u32()
+	req.Tags.SizeHintBytes = d.u32()
 	req.TTLNanos = int64(d.u64())
 	req.OldValue = append(req.OldValue[:0], d.bytes()...)
 	req.DeadlineNanos = int64(d.u64())
@@ -575,7 +614,7 @@ func decodeRequestBody(d *decoder, req *Request) error {
 // minRequestBody is the encoded size of a request body whose key,
 // value, and old value are all empty — the decoder's plausibility floor
 // for batch operation counts.
-const minRequestBody = 1 + 8 + 4 + 4 + 36 + 8 + 4 + 8 + 8
+const minRequestBody = 1 + 8 + 4 + 4 + 40 + 8 + 4 + 8 + 8
 
 // ReadRequest decodes the next frame as a single-operation Request
 // (batch frames are rejected; servers use ReadRequests).

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func TestConfigRejectsOversizeValueMean(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ValueSize = dist.ConstBytes{N: MaxValueMean + 1}
+	if _, err := NewGenerator(cfg, 1); err == nil {
+		t.Fatal("expected validation error for value mean above the batch chunk limit")
+	}
+	// Right at the limit is fine.
+	cfg.ValueSize = dist.ConstBytes{N: MaxValueMean}
+	if _, err := NewGenerator(cfg, 1); err != nil {
+		t.Fatalf("mean at the limit rejected: %v", err)
+	}
+}
+
+func TestConfigRejectsSizeDemandWithoutValueSize(t *testing.T) {
+	cfg := baseConfig()
+	cfg.SizeDemand = true
+	if _, err := NewGenerator(cfg, 1); err == nil {
+		t.Fatal("expected validation error for SizeDemand without ValueSize")
+	}
+}
+
+func TestGeneratorAnnotatesValueBytes(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ValueSize = dist.ConstBytes{N: 2048}
+	g, err := NewGenerator(cfg, 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for _, r := range g.Take(50) {
+		for _, op := range r.Ops {
+			if op.ValueBytes != 2048 {
+				t.Fatalf("ValueBytes = %d, want 2048", op.ValueBytes)
+			}
+		}
+	}
+	// Without a ValueSize distribution the stream stays size-oblivious.
+	g2, err := NewGenerator(baseConfig(), 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for _, r := range g2.Take(10) {
+		for _, op := range r.Ops {
+			if op.ValueBytes != 0 {
+				t.Fatalf("size-oblivious stream produced ValueBytes %d", op.ValueBytes)
+			}
+		}
+	}
+}
+
+func TestSizeDemandScalesWithValueBytes(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Demand = dist.Deterministic{V: time.Millisecond}
+	cfg.ValueSize = dist.ParetoBytes{Lo: 1 << 10, Hi: 1 << 20, Alpha: 1.2}
+	cfg.SizeDemand = true
+	g, err := NewGenerator(cfg, 9)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	mean := cfg.ValueSize.MeanBytes()
+	for _, r := range g.Take(200) {
+		for _, op := range r.Ops {
+			want := time.Duration(float64(time.Millisecond) * float64(op.ValueBytes) / mean)
+			if want < time.Microsecond {
+				want = time.Microsecond
+			}
+			if op.Demand != want {
+				t.Fatalf("demand %v for %dB value, want %v", op.Demand, op.ValueBytes, want)
+			}
+		}
+	}
+}
+
+// TestSizedStreamDeterministicPerSeed extends the generator's per-seed
+// reproducibility guarantee to the size-annotated stream.
+func TestSizedStreamDeterministicPerSeed(t *testing.T) {
+	run := func() []Request {
+		cfg := baseConfig()
+		cfg.ValueSize = dist.LognormalBytes{M: 16 << 10, Sigma: 1.5, Cap: 1 << 20}
+		cfg.SizeDemand = true
+		g, err := NewGenerator(cfg, 77)
+		if err != nil {
+			t.Fatalf("NewGenerator: %v", err)
+		}
+		return g.Take(50)
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				t.Fatal("same seed produced different sized ops")
+			}
+		}
+	}
+}
+
+// TestSizeDemandPreservesOfferedLoad pins the normalization: scaling
+// demand by size/mean must not change the stream's mean demand, so
+// RateForLoad calibration stays valid for sized workloads.
+func TestSizeDemandPreservesOfferedLoad(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Demand = dist.Deterministic{V: time.Millisecond}
+	cfg.ValueSize = dist.ParetoBytes{Lo: 1 << 10, Hi: 1 << 20, Alpha: 1.2}
+	cfg.SizeDemand = true
+	g, err := NewGenerator(cfg, 21)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	var sum float64
+	var n int
+	for _, r := range g.Take(20000) {
+		for _, op := range r.Ops {
+			sum += float64(op.Demand)
+			n++
+		}
+	}
+	got := sum / float64(n)
+	want := float64(time.Millisecond)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("mean sized demand %v, want ~%v", time.Duration(got), time.Millisecond)
+	}
+}

@@ -20,6 +20,11 @@ import (
 type OpSpec struct {
 	Key    string        `json:"key"`
 	Demand time.Duration `json:"demandNanos"`
+	// ValueBytes is the operation's payload size (0 when the workload
+	// has no value-size distribution). It rides through the simulator
+	// as Tags.SizeBytes so size-aware schedulers see the same signal
+	// the live wire carries.
+	ValueBytes int64 `json:"valueBytes,omitempty"`
 }
 
 // Request is one end-user multiget.
@@ -53,11 +58,28 @@ type Config struct {
 	Fanout dist.Discrete
 	// Demand draws each operation's service demand.
 	Demand dist.Duration
+	// ValueSize draws each operation's payload size in bytes (nil =
+	// size-oblivious stream, ValueBytes stays 0). Its mean must stay
+	// under MaxValueMean so generated values survive client batching.
+	ValueSize dist.ByteSize
+	// SizeDemand, when set with ValueSize, scales each sampled demand
+	// by the op's size relative to the distribution mean — so a 10×
+	// value costs ~10× the service time, coupling the demand tail to
+	// the size tail the way a value copy does. Zero keeps demand and
+	// size independent.
+	SizeDemand bool
 	// RatePerSec is the base request arrival rate.
 	RatePerSec float64
 	// Profile modulates the rate over time (nil = constant).
 	Profile dist.LoadProfile
 }
+
+// MaxValueMean is the largest admissible ValueSize mean: the live
+// client chunks multiset batches at 4 MiB (maxBatchBytes in
+// internal/kv/client.go), and a stream whose *average* value exceeds
+// one chunk cannot batch at all — every such config so far has been a
+// misconfigured unit (MB vs KB), so validation rejects it outright.
+const MaxValueMean = 4 << 20
 
 func (c Config) validate() error {
 	if c.Keys <= 0 {
@@ -71,6 +93,16 @@ func (c Config) validate() error {
 	}
 	if c.RatePerSec <= 0 {
 		return fmt.Errorf("workload: rate %v must be positive", c.RatePerSec)
+	}
+	if c.ValueSize != nil {
+		if m := c.ValueSize.MeanBytes(); m > MaxValueMean {
+			return fmt.Errorf(
+				"workload: value-size %v mean %.0f bytes exceeds the %d-byte client batch chunk limit",
+				c.ValueSize, m, int64(MaxValueMean))
+		}
+	}
+	if c.SizeDemand && c.ValueSize == nil {
+		return fmt.Errorf("workload: SizeDemand requires a ValueSize distribution")
 	}
 	return nil
 }
@@ -127,10 +159,22 @@ func (g *Generator) Next() Request {
 			rank = g.probe(rank, seen)
 		}
 		seen[rank] = true
-		ops = append(ops, OpSpec{
+		op := OpSpec{
 			Key:    KeyName(rank),
 			Demand: g.cfg.Demand.Sample(g.rng),
-		})
+		}
+		if g.cfg.ValueSize != nil {
+			op.ValueBytes = g.cfg.ValueSize.SampleBytes(g.rng)
+			if g.cfg.SizeDemand {
+				if m := g.cfg.ValueSize.MeanBytes(); m > 0 {
+					op.Demand = time.Duration(float64(op.Demand) * float64(op.ValueBytes) / m)
+					if op.Demand < time.Microsecond {
+						op.Demand = time.Microsecond
+					}
+				}
+			}
+		}
+		ops = append(ops, op)
 	}
 	r := Request{ID: g.nextID, Arrival: g.lastArr, Ops: ops}
 	g.nextID++
