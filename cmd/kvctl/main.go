@@ -9,6 +9,15 @@
 //	kvctl -servers ...                              trace k1 k2 k3
 //	kvctl -servers ...                              bench -clients 16 -seconds 10
 //
+// Against a gossip-clustered deployment (kvserver -gossip-port), the
+// server list can be discovered from any live member, reads and writes
+// take a -consistency level, and `members` / `ring` inspect the
+// membership table and keyspace ownership:
+//
+//	kvctl -discover 127.0.0.1:7100 members
+//	kvctl -discover 127.0.0.1:7100 ring
+//	kvctl -discover 127.0.0.1:7100 -replicas 2 -consistency quorum get greeting
+//
 // `wal DIR` inspects a server's write-ahead-log directory offline:
 // it lists segments and the newest snapshot, verifies every record
 // checksum, and exits nonzero on corruption beyond a torn tail.
@@ -26,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +44,7 @@ import (
 	"github.com/daskv/daskv/internal/kv"
 	"github.com/daskv/daskv/internal/metrics"
 	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/topology"
 	"github.com/daskv/daskv/internal/wal"
 	"github.com/daskv/daskv/internal/wire"
 )
@@ -59,11 +70,13 @@ func run() error {
 		retries     = flag.Int("retries", 1, "extra attempts for idempotent reads after a transport failure")
 		replicas    = flag.Int("replicas", 1, "how many servers hold each key (writes fan out, reads fail over)")
 		readFrom    = flag.String("read", "", "replica read routing: "+fmt.Sprint(cli.ReadPolicyNames()))
+		consistency = flag.String("consistency", "", "consistency level for get/put/del: one | quorum | all (empty = legacy: reads one replica, writes wait for all)")
+		discover    = flag.String("discover", "", "data-plane address of any cluster member; the server list is discovered from its gossip membership table (overrides -servers and -cluster)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|trace|cas|stats|replicas|repair|fill|watch|bench|wal> [args]")
+		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|trace|cas|stats|members|ring|replicas|repair|fill|watch|bench|wal> [args]")
 	}
 	if args[0] == "wal" {
 		// Offline inspection of a server's log directory: no cluster
@@ -76,25 +89,43 @@ func run() error {
 
 	var servers map[sched.ServerID]string
 	var err error
-	if *clusterFile != "" {
+	switch {
+	case *discover != "":
+		servers, err = discoverServers(*discover, *timeout)
+	case *clusterFile != "":
 		servers, err = cli.LoadCluster(*clusterFile)
-	} else {
+	default:
 		servers, err = cli.ParseServers(*serversFlag)
 	}
 	if err != nil {
 		return err
 	}
+	level, err := wire.ParseConsistency(*consistency)
+	if err != nil {
+		return err
+	}
+
+	// members and ring talk the membership protocol directly — no kv
+	// client wanted (its replica bookkeeping is irrelevant here).
+	switch args[0] {
+	case "members":
+		return membersCmd(servers, *timeout)
+	case "ring":
+		return ringCmd(servers, *replicas, *timeout)
+	}
+
 	readPolicy, err := cli.ParseReadPolicy(*readFrom)
 	if err != nil {
 		return err
 	}
 	client, err := kv.NewClient(kv.ClientConfig{
-		Servers:        servers,
-		Adaptive:       *adaptive,
-		RequestTimeout: *timeout,
-		ReadRetries:    *retries,
-		Replicas:       *replicas,
-		ReadFrom:       readPolicy,
+		Servers:            servers,
+		Adaptive:           *adaptive,
+		RequestTimeout:     *timeout,
+		ReadRetries:        *retries,
+		Replicas:           *replicas,
+		ReadFrom:           readPolicy,
+		DefaultConsistency: level,
 	})
 	if err != nil {
 		return err
@@ -223,6 +254,105 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// discoverServers builds the client's server map from a live member's
+// gossip table: routable (alive or suspect) members that advertise a
+// data-plane address. A static node answers with an empty table; that
+// is an error here — there is nothing to discover.
+func discoverServers(addr string, timeout time.Duration) (map[sched.ServerID]string, error) {
+	doc, err := kv.FetchMembers(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("discover via %s: %w", addr, err)
+	}
+	servers := make(map[sched.ServerID]string)
+	for _, m := range doc.Members {
+		if (m.State == "alive" || m.State == "suspect") && m.DataAddr != "" {
+			servers[sched.ServerID(m.ID)] = m.DataAddr
+		}
+	}
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("discover via %s: no routable members (is the node clustered? lifecycle=%s)", addr, doc.Lifecycle)
+	}
+	return servers, nil
+}
+
+// fetchAnyMembers queries the configured servers in id order and
+// returns the first membership view that answers.
+func fetchAnyMembers(servers map[sched.ServerID]string, timeout time.Duration) (wire.MembersDoc, error) {
+	ids := make([]sched.ServerID, 0, len(servers))
+	for id := range servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var firstErr error
+	for _, id := range ids {
+		doc, err := kv.FetchMembers(servers[id], timeout)
+		if err == nil {
+			return doc, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return wire.MembersDoc{}, fmt.Errorf("no server answered a members request: %w", firstErr)
+}
+
+// membersCmd renders one node's gossip membership table.
+func membersCmd(servers map[sched.ServerID]string, timeout time.Duration) error {
+	doc, err := fetchAnyMembers(servers, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("view from server %d (lifecycle: %s)\n", doc.Self, doc.Lifecycle)
+	if len(doc.Members) == 0 {
+		fmt.Println("no cluster fabric: node runs a static ring")
+		return nil
+	}
+	sort.Slice(doc.Members, func(i, j int) bool { return doc.Members[i].ID < doc.Members[j].ID })
+	fmt.Printf("%-7s %-9s %-6s %12s %-22s %-22s\n",
+		"server", "state", "ready", "incarnation", "gossip", "data")
+	for _, m := range doc.Members {
+		fmt.Printf("%-7d %-9s %-6v %12d %-22s %-22s\n",
+			m.ID, m.State, m.Ready, m.Incarnation, m.GossipAddr, m.DataAddr)
+	}
+	return nil
+}
+
+// ringCmd renders the dynamic ring's ownership as one node sees it:
+// each routable member's keyspace share. The ring is rebuilt locally
+// from the membership table — placement hashing is deterministic across
+// processes, so this is exactly the ring clients route by.
+func ringCmd(servers map[sched.ServerID]string, replicas int, timeout time.Duration) error {
+	doc, err := fetchAnyMembers(servers, timeout)
+	if err != nil {
+		return err
+	}
+	var ids []sched.ServerID
+	for _, m := range doc.Members {
+		if m.State == "alive" || m.State == "suspect" {
+			ids = append(ids, sched.ServerID(m.ID))
+		}
+	}
+	if len(ids) == 0 {
+		// Static node: the configured server list is the ring.
+		for id := range servers {
+			ids = append(ids, id)
+		}
+	}
+	ring, err := topology.NewRing(ids, 0)
+	if err != nil {
+		return err
+	}
+	own := ring.Ownership()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Printf("ring of %d server(s), replication factor %d, ideal share %.1f%%\n",
+		len(ids), replicas, 100.0/float64(len(ids)))
+	fmt.Printf("%-7s %8s\n", "server", "share")
+	for _, id := range ids {
+		fmt.Printf("%-7d %7.1f%%\n", id, own[id]*100)
+	}
+	return nil
 }
 
 // walCmd lists a write-ahead-log directory's segments and snapshot,

@@ -5,6 +5,14 @@
 //
 //	kvserver -id 0 -addr 127.0.0.1:7100 -policy das &
 //	kvserver -id 1 -addr 127.0.0.1:7101 -policy das -speed 0.5 &
+//
+// With -gossip-port the nodes form a gossip cluster: membership is
+// discovered (no static server list), a joiner streams its owned keys
+// from the existing members before serving a complete dataset, and a
+// SIGTERM drains keys to the survivors before departing:
+//
+//	kvserver -id 0 -addr 127.0.0.1:7100 -gossip-port 7946 &
+//	kvserver -id 1 -addr 127.0.0.1:7101 -gossip-port 7947 -join 127.0.0.1:7946 &
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +66,9 @@ func run() error {
 		sizeQuant   = flag.Float64("size-quantile", 0, "payload-size quantile the learned small/large threshold tracks (0 = default 0.9)")
 		sizeOverr   = flag.Int64("size-threshold", 0, "fixed small/large threshold in bytes, overriding the learned quantile (0 = learn online)")
 		sizeDecay   = flag.Float64("size-decay", 0, "per-observation decay of the size sketch, closer to 1 = longer memory (0 = default 0.999)")
+		gossipPort  = flag.Int("gossip-port", 0, "UDP port for gossip membership on the -addr host (0 = no cluster fabric, static ring)")
+		join        = flag.String("join", "", "comma-separated gossip addresses of existing cluster members to join through (requires -gossip-port)")
+		leaveWait   = flag.Duration("leave-timeout", 30*time.Second, "how long a SIGTERM shutdown may spend draining keys to the remaining members")
 	)
 	flag.Parse()
 
@@ -84,6 +97,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var cluster *kv.ClusterConfig
+	if *gossipPort > 0 {
+		host, _, herr := net.SplitHostPort(*addr)
+		if herr != nil {
+			return fmt.Errorf("-gossip-port needs a host:port -addr to bind on: %w", herr)
+		}
+		cluster = &kv.ClusterConfig{
+			GossipBind: net.JoinHostPort(host, strconv.Itoa(*gossipPort)),
+			Seeds:      splitSeeds(*join),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+	} else if *join != "" {
+		return fmt.Errorf("-join requires -gossip-port to enable the cluster fabric")
+	}
 	srv, err := kv.NewServer(kv.ServerConfig{
 		ID:             sched.ServerID(*id),
 		Addr:           *addr,
@@ -104,6 +133,7 @@ func run() error {
 			Override: *sizeOverr,
 			Decay:    *sizeDecay,
 		},
+		Cluster: cluster,
 	})
 	if err != nil {
 		return err
@@ -113,6 +143,13 @@ func run() error {
 	if *poolSplit > 0 {
 		fmt.Printf("kvserver %d size-class pools enabled (split=%.2f threshold=%s)\n",
 			*id, *poolSplit, thresholdDesc(*sizeOverr, *sizeQuant))
+	}
+	if cluster != nil {
+		if *join == "" {
+			fmt.Printf("kvserver %d gossip on %s (bootstrap: no seeds)\n", *id, srv.GossipAddr())
+		} else {
+			fmt.Printf("kvserver %d gossip on %s joining via %s\n", *id, srv.GossipAddr(), *join)
+		}
 	}
 	if rep := srv.WALRecovery(); rep != nil {
 		fmt.Printf("kvserver %d wal recovery: %s\n", *id, rep)
@@ -146,7 +183,26 @@ func run() error {
 	if metricsSrv != nil {
 		_ = metricsSrv.Close()
 	}
+	if cluster != nil {
+		// Graceful exit: drain owned keys to the surviving members and
+		// gossip the departure, so peers rebalance without a suspicion
+		// round. Errors are reported but never block shutdown.
+		if lerr := srv.Leave(*leaveWait); lerr != nil {
+			fmt.Fprintln(os.Stderr, "kvserver: leave:", lerr)
+		}
+	}
 	return srv.Close()
+}
+
+// splitSeeds parses the -join flag: comma-separated, blanks dropped.
+func splitSeeds(s string) []string {
+	var seeds []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			seeds = append(seeds, part)
+		}
+	}
+	return seeds
 }
 
 // thresholdDesc renders the effective small/large boundary for the

@@ -1,0 +1,719 @@
+// Package gossip implements SWIM-style cluster membership: each node
+// probes a peer every interval over UDP (falling back to indirect
+// ping-req probes through witnesses), marks unresponsive peers Suspect,
+// and declares them Dead if the suspicion timeout passes without the
+// peer refuting by re-asserting itself at a higher incarnation number.
+// Every message piggybacks the sender's full member table, so verdicts
+// disseminate epidemically without a separate broadcast channel.
+//
+// The package is the control plane behind the dynamic vnode ring in
+// internal/topology: the Agent's OnChange callback fires with a fresh
+// membership snapshot whenever the routable set changes, and the kv
+// server reconciles the ring from it. Data-plane addresses ride along
+// in each Member's DataAddr field so joiners learn where to stream from.
+package gossip
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// Config configures an Agent. ID, BindAddr and DataAddr are required.
+type Config struct {
+	// ID is this node's identity on the cluster ring.
+	ID sched.ServerID
+	// BindAddr is the UDP address to listen on ("127.0.0.1:7946";
+	// port 0 picks an ephemeral port).
+	BindAddr string
+	// AdvertiseAddr is the gossip address other nodes should dial.
+	// Defaults to the bound address.
+	AdvertiseAddr string
+	// DataAddr is this node's data-plane TCP address, disseminated so
+	// peers (and joining nodes) know where to reach the kv server.
+	DataAddr string
+	// Seeds are gossip addresses of existing members to contact on Join.
+	Seeds []string
+
+	// ProbeInterval is how often the failure detector probes one peer
+	// (default 250ms).
+	ProbeInterval time.Duration
+	// AckTimeout is how long a direct probe waits for an ack before
+	// falling back to indirect probes (default ProbeInterval/3).
+	AckTimeout time.Duration
+	// SuspicionTimeout is how long a Suspect member has to refute before
+	// being declared Dead (default 6x ProbeInterval).
+	SuspicionTimeout time.Duration
+	// DeadRetention is how long Dead/Left entries stay in the table for
+	// dissemination before being purged (default 20x SuspicionTimeout).
+	DeadRetention time.Duration
+	// IndirectProbes is how many witnesses a failed direct probe is
+	// retried through (default 2).
+	IndirectProbes int
+	// Fanout is how many random peers a state change is pushed to
+	// immediately, ahead of the regular probe schedule (default 3).
+	Fanout int
+
+	// OnChange, if set, is called from a single dedicated goroutine with
+	// a full membership snapshot after any accepted state change. The
+	// callback must not call back into the Agent's mutating methods.
+	OnChange func([]Member)
+	// Logf, if set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 250 * time.Millisecond
+	}
+	if out.AckTimeout <= 0 {
+		out.AckTimeout = out.ProbeInterval / 3
+	}
+	if out.SuspicionTimeout <= 0 {
+		out.SuspicionTimeout = 6 * out.ProbeInterval
+	}
+	if out.DeadRetention <= 0 {
+		out.DeadRetention = 20 * out.SuspicionTimeout
+	}
+	if out.IndirectProbes <= 0 {
+		out.IndirectProbes = 2
+	}
+	if out.Fanout <= 0 {
+		out.Fanout = 3
+	}
+	return out
+}
+
+// Stats is a point-in-time counter snapshot for the metrics exposition.
+type Stats struct {
+	// Sent and Received count gossip datagrams.
+	Sent, Received uint64
+	// Refutations counts incarnation bumps made to override a false
+	// suspicion or death verdict about this node.
+	Refutations uint64
+	// Incarnation is this node's current self-asserted epoch.
+	Incarnation uint64
+	// Members tallies the table by state.
+	Members map[State]int
+}
+
+type kind string
+
+const (
+	kindPing    kind = "ping"
+	kindAck     kind = "ack"
+	kindPingReq kind = "ping-req"
+)
+
+// packet is the on-wire gossip message. JSON keeps the control plane
+// debuggable (tcpdump + eyeballs); at a handful of small datagrams per
+// probe interval the encoding cost is irrelevant next to the data plane.
+type packet struct {
+	Kind kind           `json:"kind"`
+	From sched.ServerID `json:"from"`
+	Seq  uint32         `json:"seq"`
+	// TargetID/TargetAddr name the node to probe on behalf of the sender
+	// (ping-req only).
+	TargetID   sched.ServerID `json:"targetId,omitempty"`
+	TargetAddr string         `json:"targetAddr,omitempty"`
+	// Members piggybacks the sender's full table. Clusters this package
+	// targets are small (units to tens of nodes), so the whole table
+	// fits one datagram and full-state gossip converges in O(log n)
+	// rounds without anti-entropy bookkeeping.
+	Members []Member `json:"members,omitempty"`
+}
+
+// Agent is one node's gossip endpoint: a UDP listener, a probe loop and
+// the merged membership table. Create with Start, stop with Close.
+type Agent struct {
+	cfg  Config
+	conn *net.UDPConn
+
+	mu   sync.Mutex
+	tab  *table
+	self Member // mirrored into tab; authoritative copy for incarnation bumps
+	seq  uint32
+	acks map[uint32]func() // seq -> callback run on matching ack
+	left bool
+
+	probeRot []sched.ServerID // shuffled probe order, consumed front-to-back
+
+	sent        atomic.Uint64
+	received    atomic.Uint64
+	refutations atomic.Uint64
+
+	events  chan struct{}
+	stopped chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Start binds the UDP listener and launches the probe, read and event
+// loops. The agent knows only itself until Join (or inbound gossip)
+// populates the table.
+func Start(cfg Config) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BindAddr == "" {
+		return nil, errors.New("gossip: BindAddr required")
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.BindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: resolve bind addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: listen: %w", err)
+	}
+	if cfg.AdvertiseAddr == "" {
+		cfg.AdvertiseAddr = conn.LocalAddr().String()
+	}
+	a := &Agent{
+		cfg:     cfg,
+		conn:    conn,
+		tab:     newTable(),
+		acks:    make(map[uint32]func()),
+		events:  make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+	}
+	a.self = Member{
+		ID:          cfg.ID,
+		Addr:        cfg.AdvertiseAddr,
+		DataAddr:    cfg.DataAddr,
+		Incarnation: 1,
+		State:       StateAlive,
+	}
+	a.tab.apply(a.self, time.Now())
+	a.wg.Add(3)
+	go a.readLoop()
+	go a.probeLoop()
+	go a.eventLoop()
+	return a, nil
+}
+
+// Addr returns the agent's advertised gossip address (useful when bound
+// to an ephemeral port).
+func (a *Agent) Addr() string { return a.cfg.AdvertiseAddr }
+
+// Join contacts the seed addresses; their acks carry the cluster's
+// member table. It returns nil if at least one seed was reachable (or
+// none were configured — a bootstrap node is its own cluster).
+func (a *Agent) Join() error {
+	if len(a.cfg.Seeds) == 0 {
+		return nil
+	}
+	var ok bool
+	for _, s := range a.cfg.Seeds {
+		if a.pingWait(s, 4*a.cfg.AckTimeout) {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("gossip: no seed reachable among %v", a.cfg.Seeds)
+	}
+	return nil
+}
+
+// Leave broadcasts a graceful departure (StateLeft at a bumped
+// incarnation) to every known member, then returns. The caller should
+// Close afterwards; until then the agent keeps answering probes so the
+// goodbye has time to disseminate.
+func (a *Agent) Leave() {
+	a.mu.Lock()
+	a.left = true
+	a.self.Incarnation++
+	a.self.State = StateLeft
+	a.tab.apply(a.self, time.Now())
+	peers := a.tab.snapshot()
+	pkt := a.packetLocked(kindPing)
+	a.mu.Unlock()
+	a.notify()
+	for _, m := range peers {
+		if m.ID == a.cfg.ID {
+			continue
+		}
+		a.send(m.Addr, pkt)
+	}
+}
+
+// Close shuts the agent down: the listener closes and all loops exit.
+func (a *Agent) Close() error {
+	select {
+	case <-a.stopped:
+		return nil
+	default:
+	}
+	close(a.stopped)
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+// Members returns the full table (all states), sorted by ID.
+func (a *Agent) Members() []Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tab.snapshot()
+}
+
+// Routable returns the IDs that belong on the vnode ring right now
+// (alive and suspect members), sorted.
+func (a *Agent) Routable() []sched.ServerID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tab.routable()
+}
+
+// Self returns this node's own current entry.
+func (a *Agent) Self() Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.self
+}
+
+// SetReady flips this node's Ready flag (rebalance complete) and
+// re-announces at a bumped incarnation so the change supersedes every
+// older assertion in flight.
+func (a *Agent) SetReady(ready bool) {
+	a.mu.Lock()
+	if a.self.Ready == ready {
+		a.mu.Unlock()
+		return
+	}
+	a.self.Incarnation++
+	a.self.Ready = ready
+	a.tab.apply(a.self, time.Now())
+	peers := a.pushTargetsLocked()
+	pkt := a.packetLocked(kindPing)
+	a.mu.Unlock()
+	a.notify()
+	for _, addr := range peers {
+		a.send(addr, pkt)
+	}
+}
+
+// Stats returns a counter snapshot for the metrics exposition.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	members := a.tab.countByState()
+	inc := a.self.Incarnation
+	a.mu.Unlock()
+	return Stats{
+		Sent:        a.sent.Load(),
+		Received:    a.received.Load(),
+		Refutations: a.refutations.Load(),
+		Incarnation: inc,
+		Members:     members,
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// notify schedules one OnChange delivery; coalesces bursts.
+func (a *Agent) notify() {
+	select {
+	case a.events <- struct{}{}:
+	default:
+	}
+}
+
+func (a *Agent) eventLoop() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.stopped:
+			return
+		case <-a.events:
+			if a.cfg.OnChange != nil {
+				a.cfg.OnChange(a.Members())
+			}
+		}
+	}
+}
+
+// ---- transport ----
+
+func (a *Agent) send(addr string, pkt packet) {
+	raw, err := json.Marshal(pkt)
+	if err != nil {
+		a.logf("gossip: marshal: %v", err)
+		return
+	}
+	udp, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		a.logf("gossip: resolve %s: %v", addr, err)
+		return
+	}
+	if _, err := a.conn.WriteToUDP(raw, udp); err != nil {
+		select {
+		case <-a.stopped:
+		default:
+			a.logf("gossip: send to %s: %v", addr, err)
+		}
+		return
+	}
+	a.sent.Add(1)
+}
+
+// packetLocked builds an outgoing packet carrying the full table.
+// Callers hold a.mu.
+func (a *Agent) packetLocked(k kind) packet {
+	return packet{Kind: k, From: a.cfg.ID, Members: a.tab.snapshot()}
+}
+
+func (a *Agent) readLoop() {
+	defer a.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, src, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.stopped:
+				return
+			default:
+			}
+			a.logf("gossip: read: %v", err)
+			return
+		}
+		a.received.Add(1)
+		var pkt packet
+		if err := json.Unmarshal(buf[:n], &pkt); err != nil {
+			a.logf("gossip: bad packet from %s: %v", src, err)
+			continue
+		}
+		a.handle(pkt, src)
+	}
+}
+
+func (a *Agent) handle(pkt packet, src *net.UDPAddr) {
+	a.merge(pkt.Members)
+	switch pkt.Kind {
+	case kindPing:
+		a.mu.Lock()
+		reply := a.packetLocked(kindAck)
+		reply.Seq = pkt.Seq
+		a.mu.Unlock()
+		a.send(src.String(), reply)
+	case kindAck:
+		a.mu.Lock()
+		cb := a.acks[pkt.Seq]
+		delete(a.acks, pkt.Seq)
+		a.mu.Unlock()
+		if cb != nil {
+			cb()
+		}
+	case kindPingReq:
+		// Probe the target on the requester's behalf: our own ping with a
+		// fresh seq, whose ack forwards as an ack for the requester's seq.
+		origSeq, requester := pkt.Seq, src.String()
+		a.mu.Lock()
+		a.seq++
+		seq := a.seq
+		probe := a.packetLocked(kindPing)
+		probe.Seq = seq
+		a.acks[seq] = func() {
+			a.mu.Lock()
+			fwd := a.packetLocked(kindAck)
+			fwd.Seq = origSeq
+			a.mu.Unlock()
+			a.send(requester, fwd)
+		}
+		a.mu.Unlock()
+		a.send(pkt.TargetAddr, probe)
+		// Unregister quietly if the target never answers.
+		time.AfterFunc(4*a.cfg.AckTimeout, func() {
+			a.mu.Lock()
+			delete(a.acks, seq)
+			a.mu.Unlock()
+		})
+	}
+}
+
+// pingWait sends a direct ping to addr and waits up to timeout for the
+// matching ack.
+func (a *Agent) pingWait(addr string, timeout time.Duration) bool {
+	done := make(chan struct{})
+	a.mu.Lock()
+	a.seq++
+	seq := a.seq
+	var once sync.Once
+	a.acks[seq] = func() { once.Do(func() { close(done) }) }
+	pkt := a.packetLocked(kindPing)
+	pkt.Seq = seq
+	a.mu.Unlock()
+	a.send(addr, pkt)
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+	case <-a.stopped:
+	}
+	a.mu.Lock()
+	delete(a.acks, seq)
+	a.mu.Unlock()
+	return false
+}
+
+// ---- failure detection ----
+
+func (a *Agent) probeLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.cfg.ProbeInterval)
+	defer ticker.Stop()
+	purgeEvery := 16
+	tick := 0
+	for {
+		select {
+		case <-a.stopped:
+			return
+		case <-ticker.C:
+		}
+		if m, ok := a.nextProbeTarget(); ok {
+			go a.probe(m)
+		}
+		if tick++; tick%purgeEvery == 0 {
+			a.mu.Lock()
+			a.tab.purge(time.Now(), a.cfg.DeadRetention)
+			a.mu.Unlock()
+		}
+	}
+}
+
+// nextProbeTarget walks a shuffled rotation of routable peers so every
+// member is probed within one round-robin pass (SWIM's bounded-time
+// detection property), reshuffling when the rotation is exhausted.
+func (a *Agent) nextProbeTarget() (Member, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if len(a.probeRot) == 0 {
+			ids := a.tab.routable()
+			rot := make([]sched.ServerID, 0, len(ids))
+			for _, id := range ids {
+				if id != a.cfg.ID {
+					rot = append(rot, id)
+				}
+			}
+			rand.Shuffle(len(rot), func(i, j int) { rot[i], rot[j] = rot[j], rot[i] })
+			a.probeRot = rot
+			if len(rot) == 0 {
+				return Member{}, false
+			}
+		}
+		id := a.probeRot[0]
+		a.probeRot = a.probeRot[1:]
+		if e, ok := a.tab.members[id]; ok && e.State.routable() {
+			return e.Member, true
+		}
+	}
+}
+
+func (a *Agent) probe(m Member) {
+	if a.pingWait(m.Addr, a.cfg.AckTimeout) {
+		return
+	}
+	// Direct probe failed; try through witnesses in case the loss was on
+	// our own path to the target.
+	witnesses := a.pickWitnesses(m.ID)
+	if len(witnesses) > 0 {
+		done := make(chan struct{})
+		a.mu.Lock()
+		a.seq++
+		seq := a.seq
+		var once sync.Once
+		a.acks[seq] = func() { once.Do(func() { close(done) }) }
+		req := a.packetLocked(kindPingReq)
+		req.Seq = seq
+		req.TargetID = m.ID
+		req.TargetAddr = m.Addr
+		a.mu.Unlock()
+		for _, w := range witnesses {
+			a.send(w.Addr, req)
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(2 * a.cfg.AckTimeout):
+		case <-a.stopped:
+			return
+		}
+		a.mu.Lock()
+		delete(a.acks, seq)
+		a.mu.Unlock()
+	}
+	a.suspect(m)
+}
+
+func (a *Agent) pickWitnesses(target sched.ServerID) []Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cands := make([]Member, 0, len(a.tab.members))
+	for id, e := range a.tab.members {
+		if id != a.cfg.ID && id != target && e.State.routable() {
+			cands = append(cands, e.Member)
+		}
+	}
+	rand.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > a.cfg.IndirectProbes {
+		cands = cands[:a.cfg.IndirectProbes]
+	}
+	return cands
+}
+
+// suspect marks m Suspect at its current incarnation and starts the
+// refutation clock. If the timeout passes with the member still suspect
+// at that incarnation, it is declared Dead.
+func (a *Agent) suspect(m Member) {
+	a.mu.Lock()
+	e, ok := a.tab.members[m.ID]
+	if !ok || !e.State.routable() {
+		a.mu.Unlock()
+		return
+	}
+	u := e.Member
+	u.State = StateSuspect
+	accepted, _ := a.tab.apply(u, time.Now())
+	var peers []string
+	var pkt packet
+	if accepted {
+		a.logf("gossip: suspecting %d (incarnation %d)", u.ID, u.Incarnation)
+		a.scheduleDeathLocked(u.ID, u.Incarnation)
+		peers = a.pushTargetsLocked()
+		pkt = a.packetLocked(kindPing)
+	}
+	a.mu.Unlock()
+	if accepted {
+		a.notify()
+		for _, addr := range peers {
+			a.send(addr, pkt)
+		}
+	}
+}
+
+// scheduleDeathLocked arms the suspicion timer for id at incarnation
+// inc. Callers hold a.mu.
+func (a *Agent) scheduleDeathLocked(id sched.ServerID, inc uint64) {
+	time.AfterFunc(a.cfg.SuspicionTimeout, func() {
+		select {
+		case <-a.stopped:
+			return
+		default:
+		}
+		a.mu.Lock()
+		e, ok := a.tab.members[id]
+		if !ok || e.State != StateSuspect || e.Incarnation != inc {
+			a.mu.Unlock()
+			return
+		}
+		u := e.Member
+		u.State = StateDead
+		a.tab.apply(u, time.Now())
+		a.logf("gossip: declaring %d dead (incarnation %d)", id, inc)
+		peers := a.pushTargetsLocked()
+		pkt := a.packetLocked(kindPing)
+		a.mu.Unlock()
+		a.notify()
+		for _, addr := range peers {
+			a.send(addr, pkt)
+		}
+	})
+}
+
+// pushTargetsLocked picks up to Fanout random routable peers for an
+// immediate push of a fresh state change. Callers hold a.mu.
+func (a *Agent) pushTargetsLocked() []string {
+	cands := make([]string, 0, len(a.tab.members))
+	for id, e := range a.tab.members {
+		if id != a.cfg.ID && e.State.routable() {
+			cands = append(cands, e.Addr)
+		}
+	}
+	rand.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > a.cfg.Fanout {
+		cands = cands[:a.cfg.Fanout]
+	}
+	return cands
+}
+
+// ---- merge ----
+
+// merge folds received member updates into the table, refuting any
+// claim about this node that is not our own live assertion.
+func (a *Agent) merge(updates []Member) {
+	if len(updates) == 0 {
+		return
+	}
+	now := time.Now()
+	changed := false
+	var pushPeers []string
+	var pushPkt packet
+	a.mu.Lock()
+	for _, u := range updates {
+		if u.State < StateAlive || u.State > StateLeft {
+			continue
+		}
+		if u.ID == a.cfg.ID {
+			if a.refuteLocked(u, now) {
+				changed = true
+			}
+			continue
+		}
+		accepted, prev := a.tab.apply(u, now)
+		if !accepted {
+			continue
+		}
+		if u.State == StateSuspect {
+			a.scheduleDeathLocked(u.ID, u.Incarnation)
+		}
+		if prev != u.State {
+			changed = true
+			if prev == 0 {
+				a.logf("gossip: learned member %d at %s (%s)", u.ID, u.Addr, u.State)
+			}
+		}
+	}
+	if changed {
+		pushPeers = a.pushTargetsLocked()
+		pushPkt = a.packetLocked(kindPing)
+	}
+	a.mu.Unlock()
+	if changed {
+		a.notify()
+		for _, addr := range pushPeers {
+			a.send(addr, pushPkt)
+		}
+	}
+}
+
+// refuteLocked handles an update naming this node. Anything that
+// supersedes or contradicts our live self-assertion is overridden by
+// bumping our incarnation past it and re-announcing Alive — the SWIM
+// refutation that lets a falsely-suspected node clear its name. Returns
+// whether the self entry changed. Callers hold a.mu.
+func (a *Agent) refuteLocked(u Member, now time.Time) bool {
+	if a.left {
+		// We are deliberately leaving; let the Left verdict stand.
+		return false
+	}
+	harmless := u.Incarnation < a.self.Incarnation ||
+		(u.Incarnation == a.self.Incarnation && u.State == StateAlive)
+	if harmless {
+		return false
+	}
+	a.self.Incarnation = u.Incarnation + 1
+	a.self.State = StateAlive
+	a.tab.apply(a.self, now)
+	a.refutations.Add(1)
+	a.logf("gossip: refuting %s verdict about self; incarnation now %d", u.State, a.self.Incarnation)
+	return true
+}

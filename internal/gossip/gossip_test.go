@@ -1,0 +1,181 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func testConfig(id sched.ServerID, seeds []string) Config {
+	return Config{
+		ID:               id,
+		BindAddr:         "127.0.0.1:0",
+		DataAddr:         fmt.Sprintf("127.0.0.1:%d", 9000+int(id)),
+		Seeds:            seeds,
+		ProbeInterval:    25 * time.Millisecond,
+		SuspicionTimeout: 200 * time.Millisecond,
+	}
+}
+
+func startAgent(t *testing.T, id sched.ServerID, seeds []string) *Agent {
+	t.Helper()
+	a, err := Start(testConfig(id, seeds))
+	if err != nil {
+		t.Fatalf("start agent %d: %v", id, err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	if err := a.Join(); err != nil {
+		t.Fatalf("join agent %d: %v", id, err)
+	}
+	return a
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func stateOf(a *Agent, id sched.ServerID) (State, bool) {
+	for _, m := range a.Members() {
+		if m.ID == id {
+			return m.State, true
+		}
+	}
+	return 0, false
+}
+
+func allSee(agents []*Agent, id sched.ServerID, want State) bool {
+	for _, a := range agents {
+		st, ok := stateOf(a, id)
+		if !ok || st != want {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClusterConvergesAndDetectsDeath is the live SWIM test: three
+// agents bootstrap off one seed, a fourth joins, one is killed without a
+// goodbye, and every survivor must move it Alive -> Suspect -> Dead
+// within the suspicion timeout (plus probe slack).
+func TestClusterConvergesAndDetectsDeath(t *testing.T) {
+	a0 := startAgent(t, 0, nil)
+	seed := []string{a0.Addr()}
+	a1 := startAgent(t, 1, seed)
+	a2 := startAgent(t, 2, seed)
+	agents := []*Agent{a0, a1, a2}
+
+	waitFor(t, 2*time.Second, "3-node convergence", func() bool {
+		for _, a := range agents {
+			if len(a.Routable()) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Late joiner discovers everyone through one seed's piggyback.
+	a3 := startAgent(t, 3, seed)
+	agents = append(agents, a3)
+	waitFor(t, 2*time.Second, "4-node convergence", func() bool {
+		for _, a := range agents {
+			if len(a.Routable()) != 4 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Kill a3 without a goodbye: survivors must converge on Dead.
+	_ = a3.Close()
+	survivors := agents[:3]
+	waitFor(t, 3*time.Second, "death detection of killed node", func() bool {
+		return allSee(survivors, 3, StateDead)
+	})
+	for _, a := range survivors {
+		for _, id := range a.Routable() {
+			if id == 3 {
+				t.Fatalf("dead node still routable on agent %d", a.cfg.ID)
+			}
+		}
+	}
+}
+
+// TestGracefulLeave checks a deliberate departure disseminates as Left,
+// not Dead — no suspicion round involved.
+func TestGracefulLeave(t *testing.T) {
+	a0 := startAgent(t, 0, nil)
+	a1 := startAgent(t, 1, []string{a0.Addr()})
+	a2 := startAgent(t, 2, []string{a0.Addr()})
+	waitFor(t, 2*time.Second, "3-node convergence", func() bool {
+		return len(a0.Routable()) == 3 && len(a1.Routable()) == 3 && len(a2.Routable()) == 3
+	})
+	a2.Leave()
+	waitFor(t, 2*time.Second, "left dissemination", func() bool {
+		return allSee([]*Agent{a0, a1}, 2, StateLeft)
+	})
+	_ = a2.Close()
+}
+
+// TestReadyFlagDisseminates checks the rebalance-completion flag rides
+// the normal dissemination path with an incarnation bump.
+func TestReadyFlagDisseminates(t *testing.T) {
+	a0 := startAgent(t, 0, nil)
+	a1 := startAgent(t, 1, []string{a0.Addr()})
+	waitFor(t, 2*time.Second, "2-node convergence", func() bool {
+		return len(a0.Routable()) == 2 && len(a1.Routable()) == 2
+	})
+	before := a1.Self().Incarnation
+	a1.SetReady(true)
+	if a1.Self().Incarnation <= before {
+		t.Fatal("SetReady did not bump incarnation")
+	}
+	waitFor(t, 2*time.Second, "ready dissemination", func() bool {
+		for _, m := range a0.Members() {
+			if m.ID == 1 {
+				return m.Ready
+			}
+		}
+		return false
+	})
+}
+
+// TestRefutationClearsFalseSuspicion injects a forged suspicion about a
+// live node directly into a peer's table and checks the subject clears
+// its name: the accused bumps its incarnation and every table returns to
+// Alive instead of progressing to Dead.
+func TestRefutationClearsFalseSuspicion(t *testing.T) {
+	a0 := startAgent(t, 0, nil)
+	a1 := startAgent(t, 1, []string{a0.Addr()})
+	waitFor(t, 2*time.Second, "2-node convergence", func() bool {
+		return len(a0.Routable()) == 2 && len(a1.Routable()) == 2
+	})
+	inc := a1.Self().Incarnation
+	// Forge: a0 hears that a1 is suspect at its current incarnation.
+	a0.merge([]Member{{ID: 1, Addr: a1.Addr(), Incarnation: inc, State: StateSuspect}})
+	// a1 must hear of the accusation via gossip, refute it, and a0 must
+	// accept the higher-incarnation Alive before the suspicion timeout
+	// could have declared a1 dead.
+	waitFor(t, 2*time.Second, "refutation", func() bool {
+		st, ok := stateOf(a0, 1)
+		return ok && st == StateAlive && a1.Self().Incarnation > inc
+	})
+	if got := a1.Stats().Refutations; got == 0 {
+		t.Fatal("refutation counter did not increment")
+	}
+	// And the refuted node must never be declared dead afterwards.
+	time.Sleep(300 * time.Millisecond)
+	if st, _ := stateOf(a0, 1); st != StateAlive {
+		t.Fatalf("falsely-suspected node ended %s, want alive", st)
+	}
+}

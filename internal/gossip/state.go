@@ -1,0 +1,203 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+// State is a member's liveness as this node believes it.
+type State uint8
+
+// Member liveness states. The zero value is deliberately invalid so an
+// uninitialized Member is never mistaken for a live one.
+const (
+	// StateAlive: the member answers probes (directly or through an
+	// indirect ping-req witness).
+	StateAlive State = iota + 1
+	// StateSuspect: a probe round failed; the member has until the
+	// suspicion timeout to refute with a higher incarnation before it is
+	// declared dead.
+	StateSuspect
+	// StateDead: the suspicion timeout expired without refutation. Dead
+	// members leave the ring and are purged from the table after a
+	// retention window (kept that long so the verdict disseminates).
+	StateDead
+	// StateLeft: the member announced a graceful departure. Like dead
+	// for routing, but intentional — operators read it differently and
+	// no suspicion machinery was involved.
+	StateLeft
+)
+
+// String returns the state's operator-facing name.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// routable reports whether a member in this state belongs on the vnode
+// ring. Suspects stay routable: most suspicions are transient (a lost
+// datagram), and evicting on suspicion would churn the ring on every
+// network hiccup.
+func (s State) routable() bool { return s == StateAlive || s == StateSuspect }
+
+// Member is one node's entry in the membership table.
+type Member struct {
+	// ID is the member's identity on the cluster ring.
+	ID sched.ServerID `json:"id"`
+	// Addr is the member's gossip UDP address.
+	Addr string `json:"addr"`
+	// DataAddr is the member's data-plane TCP address (the one kv
+	// clients dial).
+	DataAddr string `json:"dataAddr"`
+	// Incarnation is the member's self-asserted liveness epoch. Only the
+	// member itself increments it — the refutation mechanism that lets a
+	// falsely-suspected node override the accusation.
+	Incarnation uint64 `json:"incarnation"`
+	// State is the liveness verdict this update asserts.
+	State State `json:"state"`
+	// Ready reports the member has finished streaming its owned ranges
+	// and serves a complete dataset (the Pending/Streaming -> Ready
+	// transition of a join).
+	Ready bool `json:"ready"`
+}
+
+// supersedes reports whether update u should replace current c under
+// SWIM's precedence rules:
+//
+//   - a higher incarnation always wins — it is a fresher self-assertion
+//     by the member (this is how refutation beats suspicion);
+//   - at equal incarnation the stronger verdict wins: dead and left
+//     override suspect, suspect overrides alive. Alive never overrides
+//     anything at equal incarnation — only the member itself can
+//     re-assert liveness, and it does so by incrementing.
+//
+// The rule is deliberately symmetric and deterministic: every node
+// applying the same update stream converges on the same table.
+func (u Member) supersedes(c Member) bool {
+	if u.Incarnation != c.Incarnation {
+		return u.Incarnation > c.Incarnation
+	}
+	return statePrecedence(u.State) > statePrecedence(c.State)
+}
+
+// statePrecedence orders verdicts at equal incarnation: the more
+// damning claim wins, because only the subject can refute (by
+// incrementing its incarnation).
+func statePrecedence(s State) int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateSuspect:
+		return 1
+	case StateDead:
+		return 2
+	case StateLeft:
+		// Left outranks dead: a deliberate goodbye is a statement by the
+		// member itself, which no third-party death verdict at the same
+		// incarnation should overwrite.
+		return 3
+	default:
+		return -1
+	}
+}
+
+// memberEntry is the table's record for one member: the latest accepted
+// update plus local bookkeeping the update itself does not carry.
+type memberEntry struct {
+	Member
+	// changedAt is when this node last accepted a state change for the
+	// member (drives suspicion timeouts and dead-entry purging).
+	changedAt time.Time
+}
+
+// table is the membership map plus merge logic. It is not safe for
+// concurrent use; the Agent serializes access under its mutex. The merge
+// functions are pure with respect to the clock they are handed, which is
+// what makes the conflict-resolution rules table-testable.
+type table struct {
+	members map[sched.ServerID]*memberEntry
+}
+
+func newTable() *table {
+	return &table{members: make(map[sched.ServerID]*memberEntry)}
+}
+
+// apply merges one received update into the table, returning whether the
+// update was accepted (superseded what was held) and the entry's
+// previous state (StateDead-zero-value semantics: prev == 0 means the
+// member was unknown).
+func (t *table) apply(u Member, now time.Time) (accepted bool, prev State) {
+	cur, ok := t.members[u.ID]
+	if !ok {
+		t.members[u.ID] = &memberEntry{Member: u, changedAt: now}
+		return true, 0
+	}
+	if !u.supersedes(cur.Member) {
+		return false, cur.State
+	}
+	prev = cur.State
+	cur.Member = u
+	cur.changedAt = now
+	return true, prev
+}
+
+// snapshot returns the table's members sorted by ID.
+func (t *table) snapshot() []Member {
+	out := make([]Member, 0, len(t.members))
+	for _, e := range t.members {
+		out = append(out, e.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// routable returns the IDs of members currently on the ring (alive or
+// suspect), sorted.
+func (t *table) routable() []sched.ServerID {
+	out := make([]sched.ServerID, 0, len(t.members))
+	for id, e := range t.members {
+		if e.State.routable() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// countByState tallies the table for the kv_gossip_members gauge.
+func (t *table) countByState() map[State]int {
+	out := make(map[State]int, 4)
+	for _, e := range t.members {
+		out[e.State]++
+	}
+	return out
+}
+
+// purge drops dead and left entries older than retain, returning how
+// many were removed. Retention exists so the verdict keeps
+// disseminating for a while; the incarnation rules make a purged
+// member's stale alive updates harmless anyway (a genuinely returning
+// node re-joins with a fresh, higher incarnation).
+func (t *table) purge(now time.Time, retain time.Duration) int {
+	n := 0
+	for id, e := range t.members {
+		if (e.State == StateDead || e.State == StateLeft) && now.Sub(e.changedAt) > retain {
+			delete(t.members, id)
+			n++
+		}
+	}
+	return n
+}

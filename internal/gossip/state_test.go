@@ -1,0 +1,140 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func mem(id sched.ServerID, inc uint64, st State) Member {
+	return Member{ID: id, Addr: "127.0.0.1:0", Incarnation: inc, State: st}
+}
+
+// TestSupersedes pins the SWIM conflict-resolution rules: incarnation
+// dominates, and at equal incarnation the stronger verdict wins with
+// alive never overriding anything.
+func TestSupersedes(t *testing.T) {
+	cases := []struct {
+		name     string
+		update   Member
+		current  Member
+		accepted bool
+	}{
+		{"higher incarnation alive beats suspect", mem(1, 3, StateAlive), mem(1, 2, StateSuspect), true},
+		{"higher incarnation alive beats dead", mem(1, 5, StateAlive), mem(1, 4, StateDead), true},
+		{"lower incarnation suspect loses to alive", mem(1, 1, StateSuspect), mem(1, 2, StateAlive), false},
+		{"lower incarnation dead loses to alive", mem(1, 1, StateDead), mem(1, 2, StateAlive), false},
+		{"equal incarnation suspect beats alive", mem(1, 2, StateSuspect), mem(1, 2, StateAlive), true},
+		{"equal incarnation dead beats alive", mem(1, 2, StateDead), mem(1, 2, StateAlive), true},
+		{"equal incarnation dead beats suspect", mem(1, 2, StateDead), mem(1, 2, StateSuspect), true},
+		{"equal incarnation left beats dead", mem(1, 2, StateLeft), mem(1, 2, StateDead), true},
+		{"equal incarnation alive never beats alive", mem(1, 2, StateAlive), mem(1, 2, StateAlive), false},
+		{"equal incarnation alive never beats suspect", mem(1, 2, StateAlive), mem(1, 2, StateSuspect), false},
+		{"equal incarnation suspect idempotent", mem(1, 2, StateSuspect), mem(1, 2, StateSuspect), false},
+		{"higher incarnation suspect beats dead", mem(1, 3, StateSuspect), mem(1, 2, StateDead), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.update.supersedes(tc.current); got != tc.accepted {
+				t.Fatalf("supersedes(%v over %v) = %v, want %v",
+					tc.update.State, tc.current.State, got, tc.accepted)
+			}
+		})
+	}
+}
+
+// TestTableApplyConvergence feeds the same updates to two tables in
+// different orders and checks they converge on the same verdicts — the
+// determinism the epidemic dissemination relies on.
+func TestTableApplyConvergence(t *testing.T) {
+	updates := []Member{
+		mem(1, 1, StateAlive),
+		mem(1, 1, StateSuspect),
+		mem(1, 2, StateAlive), // refutation
+		mem(2, 1, StateAlive),
+		mem(2, 1, StateDead),
+		mem(3, 4, StateLeft),
+		mem(3, 3, StateAlive), // stale, must lose in both orders
+	}
+	now := time.Now()
+	forward, backward := newTable(), newTable()
+	for _, u := range updates {
+		forward.apply(u, now)
+	}
+	for i := len(updates) - 1; i >= 0; i-- {
+		backward.apply(updates[i], now)
+	}
+	f, b := forward.snapshot(), backward.snapshot()
+	if len(f) != len(b) {
+		t.Fatalf("tables diverged in size: %d vs %d", len(f), len(b))
+	}
+	for i := range f {
+		if f[i] != b[i] {
+			t.Fatalf("tables diverged at %d: %+v vs %+v", i, f[i], b[i])
+		}
+	}
+	want := map[sched.ServerID]State{1: StateAlive, 2: StateDead, 3: StateLeft}
+	for _, m := range f {
+		if m.State != want[m.ID] {
+			t.Errorf("member %d converged to %s, want %s", m.ID, m.State, want[m.ID])
+		}
+	}
+}
+
+// TestSuspicionRefutation walks the refutation cycle on one table:
+// suspect at incarnation N is cleared by alive at N+1, and a re-suspicion
+// must carry the new incarnation to take effect.
+func TestSuspicionRefutation(t *testing.T) {
+	tab := newTable()
+	now := time.Now()
+	tab.apply(mem(7, 1, StateAlive), now)
+	if ok, _ := tab.apply(mem(7, 1, StateSuspect), now); !ok {
+		t.Fatal("suspicion at current incarnation rejected")
+	}
+	// The refutation: the subject bumps its incarnation and re-asserts.
+	if ok, _ := tab.apply(mem(7, 2, StateAlive), now); !ok {
+		t.Fatal("refutation at higher incarnation rejected")
+	}
+	// A replayed stale suspicion must now bounce off.
+	if ok, _ := tab.apply(mem(7, 1, StateSuspect), now); ok {
+		t.Fatal("stale suspicion accepted after refutation")
+	}
+	if got := tab.members[7].State; got != StateAlive {
+		t.Fatalf("member state = %s after refutation, want alive", got)
+	}
+	// Fresh suspicion at the new incarnation works again.
+	if ok, _ := tab.apply(mem(7, 2, StateSuspect), now); !ok {
+		t.Fatal("fresh suspicion at refuted incarnation rejected")
+	}
+}
+
+func TestRoutableExcludesDeadAndLeft(t *testing.T) {
+	tab := newTable()
+	now := time.Now()
+	tab.apply(mem(1, 1, StateAlive), now)
+	tab.apply(mem(2, 1, StateSuspect), now)
+	tab.apply(mem(3, 1, StateDead), now)
+	tab.apply(mem(4, 1, StateLeft), now)
+	got := tab.routable()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("routable = %v, want [1 2] (alive + suspect)", got)
+	}
+}
+
+func TestPurgeRetainsFreshVerdicts(t *testing.T) {
+	tab := newTable()
+	base := time.Now()
+	tab.apply(mem(1, 1, StateDead), base)
+	tab.apply(mem(2, 1, StateLeft), base)
+	tab.apply(mem(3, 1, StateAlive), base)
+	if n := tab.purge(base.Add(time.Second), 10*time.Second); n != 0 {
+		t.Fatalf("purged %d fresh entries", n)
+	}
+	if n := tab.purge(base.Add(time.Minute), 10*time.Second); n != 2 {
+		t.Fatalf("purged %d old dead/left entries, want 2", n)
+	}
+	if _, ok := tab.members[3]; !ok {
+		t.Fatal("purge removed an alive member")
+	}
+}

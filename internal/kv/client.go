@@ -133,6 +133,12 @@ type ClientConfig struct {
 	Replicas int
 	// ReadFrom picks the serving replica for reads (default primary).
 	ReadFrom ReadPolicy
+	// DefaultConsistency is the level applied when an operation is
+	// issued without an explicit one (Get/Put/Delete, or a *Level call
+	// passing wire.ConsistencyDefault). Zero keeps the legacy
+	// pre-cluster semantics: writes fan out to every holder and wait
+	// for all, reads consult one selector-chosen holder.
+	DefaultConsistency wire.Consistency
 	// NoReadRepair disables the automatic read-repair issued after a
 	// read had to fail over to a sibling replica. Explicit Repair calls
 	// still work.
@@ -296,9 +302,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	switch cfg.ProtocolVersion {
 	case 0:
 		cfg.ProtocolVersion = wire.Version
-	case wire.Version2, wire.Version3:
+	case wire.Version2, wire.Version3, wire.Version4:
 	default:
 		return nil, fmt.Errorf("kv: unsupported protocol version %d", cfg.ProtocolVersion)
+	}
+	if cfg.DefaultConsistency > wire.ConsistencyAll {
+		return nil, fmt.Errorf("kv: unknown consistency level %d", cfg.DefaultConsistency)
 	}
 	if cfg.MaxBatchOps < 0 {
 		return nil, fmt.Errorf("kv: negative batch limit %d", cfg.MaxBatchOps)
@@ -508,8 +517,14 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// Get fetches one key.
+// Get fetches one key at the client's default consistency level.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	return c.GetLevel(ctx, key, wire.ConsistencyDefault)
+}
+
+// get is the single-holder read path: one selector-chosen replica via
+// the multiget machinery (retries, failover, tracing included).
+func (c *Client) get(ctx context.Context, key string) ([]byte, error) {
 	res, err := c.MGet(ctx, []string{key})
 	if err != nil {
 		return nil, err
@@ -527,13 +542,9 @@ func (c *Client) Put(ctx context.Context, key string, value []byte) error {
 }
 
 // PutTTL stores one key on every replica, expiring after ttl (0 =
-// never).
+// never), at the client's default consistency level.
 func (c *Client) PutTTL(ctx context.Context, key string, value []byte, ttl time.Duration) error {
-	if ttl < 0 {
-		return fmt.Errorf("kv: negative ttl %v", ttl)
-	}
-	_, err := c.fanoutWrite(ctx, wire.OpPut, key, value, ttl)
-	return err
+	return c.PutTTLLevel(ctx, key, value, ttl, wire.ConsistencyDefault)
 }
 
 // ErrCASMismatch reports a CompareAndSwap whose expected value did not
@@ -720,24 +731,18 @@ func (c *Client) putBatch(ctx context.Context, server sched.ServerID, ops []writ
 	return firstErr
 }
 
-// Delete removes one key from every replica. Deleting a key absent from
-// all replicas returns ErrNotFound.
+// Delete removes one key from every replica at the client's default
+// consistency level. Deleting a key absent from all consulted replicas
+// returns ErrNotFound.
 func (c *Client) Delete(ctx context.Context, key string) error {
-	found, err := c.fanoutWrite(ctx, wire.OpDelete, key, nil, 0)
-	if err != nil {
-		return err
-	}
-	if !found {
-		return ErrNotFound
-	}
-	return nil
+	return c.DeleteLevel(ctx, key, wire.ConsistencyDefault)
 }
 
 // fanoutWrite sends a write to every replica holder and waits for all.
 // Replicated puts are stamped with one last-writer-wins version from
 // the client's clock, so partial fan-outs reconcile deterministically
 // under read-repair. It reports whether any replica answered StatusOK.
-func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, value []byte, ttl time.Duration) (bool, error) {
+func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, value []byte, ttl time.Duration, level wire.Consistency) (bool, error) {
 	ctx, cancel := c.opCtx(ctx)
 	defer cancel()
 	var version uint64
@@ -746,7 +751,7 @@ func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, v
 	}
 	replicas := c.place.For(key)
 	if len(replicas) == 1 {
-		resp, err := c.doTTL(ctx, typ, key, value, replicas[0], ttl, version)
+		resp, err := c.doTTL(ctx, typ, key, value, replicas[0], ttl, version, level)
 		if err != nil {
 			return false, err
 		}
@@ -760,7 +765,7 @@ func (c *Client) fanoutWrite(ctx context.Context, typ wire.OpType, key string, v
 	for _, server := range replicas {
 		server := server
 		go func() {
-			resp, err := c.doTTL(ctx, typ, key, value, server, ttl, version)
+			resp, err := c.doTTL(ctx, typ, key, value, server, ttl, version, level)
 			if err != nil {
 				results <- outcome{err: err}
 				return
@@ -1061,7 +1066,7 @@ func (c *Client) retryGet(ctx context.Context, op *sched.Op, lastErr error, last
 		rnow := c.now()
 		op.Server = c.routeRead(op.Key, op.Demand, rnow)
 		core.Tag([]*sched.Op{op}, c.taggingEst(), rnow)
-		value, _, found, tm, err = c.tryGet(ctx, op)
+		value, _, found, tm, err = c.tryGet(ctx, op, wire.ConsistencyDefault)
 		c.retireRead(op.Server)
 		attempts++
 		if err == nil {
@@ -1109,7 +1114,7 @@ func (c *Client) awaitGet(ctx context.Context, cc *clientConn, id uint64, ch cha
 // owns the selector's in-flight accounting for op.Server. tm carries
 // the server-reported timeline whenever a response arrived (including
 // not-found and shed responses).
-func (c *Client) tryGet(ctx context.Context, op *sched.Op) (value []byte, version uint64, found bool, tm wire.Timing, err error) {
+func (c *Client) tryGet(ctx context.Context, op *sched.Op, level wire.Consistency) (value []byte, version uint64, found bool, tm wire.Timing, err error) {
 	cc, err := c.conn(op.Server)
 	if err != nil {
 		if errors.Is(err, ErrClientClosed) {
@@ -1125,6 +1130,7 @@ func (c *Client) tryGet(ctx context.Context, op *sched.Op) (value []byte, versio
 		Key:           op.Key,
 		Tags:          wireTags(op),
 		DeadlineNanos: deadlineBudget(ctx),
+		Consistency:   level,
 	}
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)
@@ -1137,7 +1143,7 @@ func (c *Client) tryGet(ctx context.Context, op *sched.Op) (value []byte, versio
 // getFrom performs one direct versioned read against a specific replica
 // holder, bypassing selection (used by read-repair to audit every
 // holder).
-func (c *Client) getFrom(ctx context.Context, server sched.ServerID, key string) replica.ReadResult {
+func (c *Client) getFrom(ctx context.Context, server sched.ServerID, key string, level wire.Consistency) replica.ReadResult {
 	now := c.now()
 	demand, size := c.demandFor(wire.OpGet, key, 0)
 	op := &sched.Op{
@@ -1147,7 +1153,7 @@ func (c *Client) getFrom(ctx context.Context, server sched.ServerID, key string)
 	}
 	op.Tags.SizeBytes = size
 	core.Tag([]*sched.Op{op}, c.taggingEst(), now)
-	value, version, found, _, err := c.tryGet(ctx, op)
+	value, version, found, _, err := c.tryGet(ctx, op, level)
 	return replica.ReadResult{
 		Server: server, Value: value, Version: replica.Version(version),
 		Found: found, Err: err,
@@ -1179,7 +1185,7 @@ func (c *Client) Repair(ctx context.Context, key string) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			reads[i] = c.getFrom(ctx, server, key)
+			reads[i] = c.getFrom(ctx, server, key, wire.ConsistencyDefault)
 		}()
 	}
 	wg.Wait()
@@ -1192,7 +1198,7 @@ func (c *Client) Repair(ctx context.Context, key string) (int, error) {
 	}
 	fixed := 0
 	for _, rep := range replica.Repairs(reads) {
-		resp, err := c.doTTL(ctx, wire.OpPut, key, rep.Value, rep.Server, 0, uint64(rep.Version))
+		resp, err := c.doTTL(ctx, wire.OpPut, key, rep.Value, rep.Server, 0, uint64(rep.Version), wire.ConsistencyDefault)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("kv: repair %q: write server %d: %w", key, rep.Server, err)
@@ -1253,7 +1259,7 @@ func (c *Client) ReplicaScores(key string) []replica.Score {
 // do executes one single-key operation against a specific server with
 // fresh tags.
 func (c *Client) do(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID) (*wire.Response, error) {
-	return c.doTTL(ctx, typ, key, value, server, 0, 0)
+	return c.doTTL(ctx, typ, key, value, server, 0, 0, wire.ConsistencyDefault)
 }
 
 // doCAS sends one compare-and-swap to the key's primary.
@@ -1304,7 +1310,7 @@ func (c *Client) doCAS(ctx context.Context, key string, oldValue, newValue []byt
 
 // doTTL is do with an expiry and a last-writer-wins version tag for PUT
 // operations (version 0 = unversioned).
-func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID, ttl time.Duration, version uint64) (*wire.Response, error) {
+func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value []byte, server sched.ServerID, ttl time.Duration, version uint64, level wire.Consistency) (*wire.Response, error) {
 	now := c.now()
 	demand, size := c.demandFor(typ, key, len(value))
 	op := &sched.Op{
@@ -1323,7 +1329,7 @@ func (c *Client) doTTL(ctx context.Context, typ wire.OpType, key string, value [
 	req := wire.Request{
 		ID: id, Type: typ, Key: key, Value: value, Tags: wireTags(op),
 		TTLNanos: int64(ttl), DeadlineNanos: deadlineBudget(ctx),
-		Version: version,
+		Version: version, Consistency: level,
 	}
 	if err := cc.writeRequest(&req); err != nil {
 		cc.unregister(id)

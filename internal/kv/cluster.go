@@ -1,0 +1,707 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/daskv/daskv/internal/gossip"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/topology"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+// This file is the server half of the cluster fabric: a SWIM gossip
+// agent (internal/gossip) drives a dynamic vnode ring
+// (topology.Dynamic), joiners stream their owned key ranges from
+// established peers over the ordinary data plane (OpHandoff, the WAL
+// snapshot record format applied idempotently under last-writer-wins),
+// and leavers push their keys to the holders the reduced ring elects.
+// The node lifecycle is Pending -> Streaming -> Ready; reads are served
+// the whole time — a joiner merely answers NotFound for keys it has
+// not pulled yet, which quorum reads paper over until the stream
+// completes.
+
+// ClusterConfig enables the gossip-driven cluster fabric on a server.
+type ClusterConfig struct {
+	// GossipBind is the UDP listen address for the membership protocol,
+	// e.g. "127.0.0.1:7946" (required).
+	GossipBind string
+	// GossipAdvertise is the address peers should gossip with (defaults
+	// to the bound address).
+	GossipAdvertise string
+	// Seeds are existing members' gossip addresses. Empty bootstraps a
+	// new cluster: the node is immediately Ready.
+	Seeds []string
+	// AdvertiseDataAddr is the data-plane (TCP) address peers should
+	// dial for handoff streams (defaults to the server's bound address).
+	AdvertiseDataAddr string
+	// ProbeInterval and SuspicionTimeout tune failure detection (see
+	// gossip.Config; defaults 250ms and 6x the probe interval).
+	ProbeInterval    time.Duration
+	SuspicionTimeout time.Duration
+	// RebalanceChunk caps records per handoff pull (default 512).
+	RebalanceChunk int
+	// Logf, if set, receives cluster diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Lifecycle is a node's position in the join state machine.
+type Lifecycle int32
+
+// Lifecycle states, in order.
+const (
+	// LifecycleStatic: no cluster fabric configured; the node serves a
+	// fixed, client-side ring.
+	LifecycleStatic Lifecycle = iota
+	// LifecyclePending: gossiping but not yet streaming owned ranges.
+	LifecyclePending
+	// LifecycleStreaming: pulling owned ranges from established peers.
+	LifecycleStreaming
+	// LifecycleReady: fully caught up and advertising readiness.
+	LifecycleReady
+	// LifecycleLeft: gracefully departed; keys drained to new holders.
+	LifecycleLeft
+)
+
+func (l Lifecycle) String() string {
+	switch l {
+	case LifecycleStatic:
+		return "static"
+	case LifecyclePending:
+		return "pending"
+	case LifecycleStreaming:
+		return "streaming"
+	case LifecycleReady:
+		return "ready"
+	case LifecycleLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("lifecycle(%d)", int32(l))
+	}
+}
+
+// defaultRebalanceChunk is records per handoff pull when unset.
+const defaultRebalanceChunk = 512
+
+// cluster is a server's runtime cluster state: the gossip agent, the
+// dynamic ring it reconciles, and the rebalance machinery's counters.
+type cluster struct {
+	srv   *Server
+	cfg   ClusterConfig
+	agent *gossip.Agent
+	dyn   *topology.Dynamic
+	state atomic.Int32
+
+	// Rebalance counters, exported on /metrics as kv_rebalance_*.
+	rebalanceKeys    atomic.Uint64 // records applied from handoff pulls
+	rebalanceStreams atomic.Uint64 // handoff pull round-trips
+	rebalanceErrors  atomic.Uint64 // failed peer pulls / drain pushes
+	pushedKeys       atomic.Uint64 // records pushed while leaving
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// startCluster wires the fabric onto a constructed server: it starts
+// the gossip agent, reconciles the ring on membership changes, and
+// launches the join sequence. Called from NewServer after the data
+// plane is accepting (peers stream through it).
+func (s *Server) startCluster() error {
+	cc := *s.cfg.Cluster
+	if cc.GossipBind == "" {
+		return fmt.Errorf("kv: cluster config needs GossipBind")
+	}
+	if cc.AdvertiseDataAddr == "" {
+		cc.AdvertiseDataAddr = s.Addr()
+	}
+	if cc.RebalanceChunk <= 0 {
+		cc.RebalanceChunk = defaultRebalanceChunk
+	}
+	dyn, err := topology.NewDynamic([]sched.ServerID{s.cfg.ID}, 0)
+	if err != nil {
+		return fmt.Errorf("kv: cluster ring: %w", err)
+	}
+	c := &cluster{srv: s, cfg: cc, dyn: dyn, done: make(chan struct{})}
+	c.state.Store(int32(LifecyclePending))
+	agent, err := gossip.Start(gossip.Config{
+		ID:               s.cfg.ID,
+		BindAddr:         cc.GossipBind,
+		AdvertiseAddr:    cc.GossipAdvertise,
+		DataAddr:         cc.AdvertiseDataAddr,
+		Seeds:            cc.Seeds,
+		ProbeInterval:    cc.ProbeInterval,
+		SuspicionTimeout: cc.SuspicionTimeout,
+		OnChange:         c.onMembership,
+		Logf:             cc.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	c.agent = agent
+	s.cluster = c
+	c.wg.Add(1)
+	go c.bootstrap()
+	return nil
+}
+
+func (c *cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *cluster) lifecycle() Lifecycle { return Lifecycle(c.state.Load()) }
+
+func (c *cluster) setState(l Lifecycle) { c.state.Store(int32(l)) }
+
+// onMembership reconciles the vnode ring from a gossip snapshot: alive
+// and suspect members are routable (suspicion is usually transient;
+// dropping a suspect from the ring would move keys twice on a lost
+// packet), dead and left members are removed — the bounded key
+// movement the vnode ring exists for.
+func (c *cluster) onMembership(members []gossip.Member) {
+	ids := make([]sched.ServerID, 0, len(members))
+	for _, m := range members {
+		if m.State == gossip.StateAlive || m.State == gossip.StateSuspect {
+			ids = append(ids, m.ID)
+		}
+	}
+	changed, err := c.dyn.SetMembers(ids)
+	if err != nil {
+		c.logf("kv: cluster %d: ring reconcile: %v", c.srv.cfg.ID, err)
+		return
+	}
+	if changed {
+		c.logf("kv: cluster %d: ring now %v", c.srv.cfg.ID, ids)
+	}
+}
+
+// bootstrap runs the join sequence: gossip in via the seeds, then — for
+// a joiner — stream every owned range from established peers before
+// advertising Ready. A seedless start is a cluster bootstrap and is
+// Ready immediately.
+func (c *cluster) bootstrap() {
+	defer c.wg.Done()
+	if err := c.agent.Join(); err != nil {
+		c.logf("kv: cluster %d: join: %v", c.srv.cfg.ID, err)
+	}
+	if len(c.cfg.Seeds) == 0 {
+		c.setState(LifecycleReady)
+		c.agent.SetReady(true)
+		return
+	}
+	c.setState(LifecycleStreaming)
+	c.pullAll()
+	if c.closed() {
+		return
+	}
+	c.setState(LifecycleReady)
+	c.agent.SetReady(true)
+}
+
+func (c *cluster) closed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// pullAll streams this node's owned ranges from every routable peer.
+// Every peer is consulted — ownership under the new ring is scattered
+// across all of them — and a failed peer is logged and counted, not
+// fatal: read-repair and quorum reads cover stragglers.
+func (c *cluster) pullAll() {
+	for _, m := range c.agent.Members() {
+		if m.ID == c.srv.cfg.ID || m.DataAddr == "" {
+			continue
+		}
+		if m.State != gossip.StateAlive && m.State != gossip.StateSuspect {
+			continue
+		}
+		if c.closed() {
+			return
+		}
+		if err := c.pullFrom(m); err != nil {
+			c.rebalanceErrors.Add(1)
+			c.logf("kv: cluster %d: pull from %d (%s): %v", c.srv.cfg.ID, m.ID, m.DataAddr, err)
+		}
+	}
+}
+
+// pullFrom drains one peer: every responder shard, chunk by chunk,
+// cursored so an interrupted stream resumes where it stopped (applies
+// are idempotent under last-writer-wins, so overlap is harmless).
+func (c *cluster) pullFrom(m gossip.Member) error {
+	pc, err := dialPeer(m.DataAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer pc.close()
+	if err := c.waitVisible(pc); err != nil {
+		return err
+	}
+	for shard := 0; shard < c.srv.store.ShardCount(); shard++ {
+		after := ""
+		for {
+			if c.closed() {
+				return nil
+			}
+			body, err := json.Marshal(wire.HandoffRequest{Shard: shard, After: after, For: int(c.srv.cfg.ID)})
+			if err != nil {
+				return err
+			}
+			resp, err := pc.do(&wire.Request{Type: wire.OpHandoff, Key: "handoff", Value: body})
+			if err != nil {
+				return fmt.Errorf("handoff shard %d: %w", shard, err)
+			}
+			if resp.Status != wire.StatusOK {
+				return fmt.Errorf("handoff shard %d: status %d", shard, resp.Status)
+			}
+			hdr, applied, err := c.applyChunk(resp.Value)
+			if err != nil {
+				return fmt.Errorf("handoff shard %d: %w", shard, err)
+			}
+			c.rebalanceStreams.Add(1)
+			c.rebalanceKeys.Add(uint64(applied))
+			if !hdr.More {
+				break
+			}
+			after = hdr.Next
+		}
+	}
+	return nil
+}
+
+// waitVisible blocks until the peer's gossip table lists this node as
+// routable: the responder filters handoff streams by its own ring, so
+// pulling before it has heard of us would stream nothing.
+func (c *cluster) waitVisible(pc *peerConn) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		doc, err := pc.members()
+		if err != nil {
+			return err
+		}
+		for _, m := range doc.Members {
+			if m.ID == int(c.srv.cfg.ID) && (m.State == "alive" || m.State == "suspect") {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("peer never saw this node in its membership table")
+		}
+		select {
+		case <-c.done:
+			return errServerClosed
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// applyChunk decodes one handoff response — header line, then Count
+// snapshot records — and applies each record if newer.
+func (c *cluster) applyChunk(data []byte) (wire.HandoffHeader, int, error) {
+	var hdr wire.HandoffHeader
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return hdr, 0, fmt.Errorf("malformed handoff chunk: no header line")
+	}
+	if err := json.Unmarshal(data[:i], &hdr); err != nil {
+		return hdr, 0, fmt.Errorf("handoff header: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data[i+1:]))
+	applied := 0
+	for n := 0; n < hdr.Count; n++ {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			return hdr, applied, fmt.Errorf("handoff record %d/%d: %w", n+1, hdr.Count, err)
+		}
+		m := Mutation{Key: rec.Key, Value: rec.Value, Version: rec.Version}
+		if rec.ExpiresAtUnixNano != 0 {
+			m.ExpiresAt = time.Unix(0, rec.ExpiresAtUnixNano)
+		}
+		if c.srv.store.ApplyIfNewer(m) {
+			applied++
+		}
+	}
+	return hdr, applied, nil
+}
+
+// Leave gracefully exits the cluster: owned keys are pushed to the
+// holders the ring-without-this-node elects, then the departure is
+// gossiped as Left (no suspicion round, no false-failure alarm). The
+// server keeps serving throughout; call Close afterwards. timeout
+// bounds the drain (0 = a 30s default). Leave on a static server is a
+// no-op.
+func (s *Server) Leave(timeout time.Duration) error {
+	c := s.cluster
+	if c == nil {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	err := c.drain(time.Now().Add(timeout))
+	c.agent.Leave()
+	c.setState(LifecycleLeft)
+	return err
+}
+
+// drain pushes every key this node holds under the current ring to the
+// servers that gain it under the reduced ring. Only the delta is
+// pushed — holders that already replicate the key have it. Pushes are
+// versioned puts, so a slow or duplicate drain can never clobber newer
+// client writes.
+func (c *cluster) drain(deadline time.Time) error {
+	self := c.srv.cfg.ID
+	addrs := make(map[sched.ServerID]string)
+	var survivors []sched.ServerID
+	for _, m := range c.agent.Members() {
+		if m.ID == self || m.DataAddr == "" {
+			continue
+		}
+		if m.State != gossip.StateAlive && m.State != gossip.StateSuspect {
+			continue
+		}
+		survivors = append(survivors, m.ID)
+		addrs[m.ID] = m.DataAddr
+	}
+	if len(survivors) == 0 {
+		return nil // last node out: nowhere to drain to
+	}
+	reduced, err := topology.NewRing(survivors, 0)
+	if err != nil {
+		return fmt.Errorf("kv: drain ring: %w", err)
+	}
+	cur := c.dyn.Snapshot()
+	rf := c.srv.cfg.Replication
+	conns := make(map[sched.ServerID]*peerConn)
+	defer func() {
+		for _, pc := range conns {
+			pc.close()
+		}
+	}()
+	var firstErr error
+	ownsKey := func(key string) bool {
+		for _, id := range cur.LookupN(key, rf) {
+			if id == self {
+				return true
+			}
+		}
+		return false
+	}
+	for shard := 0; shard < c.srv.store.ShardCount(); shard++ {
+		after := ""
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("kv: drain timed out with shard %d/%d pending", shard, c.srv.store.ShardCount())
+			}
+			data, next, more, count := c.srv.store.HandoffChunk(shard, after, c.cfg.RebalanceChunk, ownsKey)
+			if count > 0 {
+				if err := c.pushChunk(data, cur, reduced, conns, addrs); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if !more {
+				break
+			}
+			after = next
+		}
+	}
+	return firstErr
+}
+
+// pushChunk replays one drained chunk's records onto the servers that
+// gain them under the reduced ring.
+func (c *cluster) pushChunk(data []byte, cur, reduced *topology.Ring, conns map[sched.ServerID]*peerConn, addrs map[sched.ServerID]string) error {
+	self := c.srv.cfg.ID
+	rf := c.srv.cfg.Replication
+	now := time.Now()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var firstErr error
+	for {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("kv: drain decode: %w", err)
+		}
+		var ttl time.Duration
+		if rec.ExpiresAtUnixNano != 0 {
+			ttl = time.Unix(0, rec.ExpiresAtUnixNano).Sub(now)
+			if ttl <= 0 {
+				continue // expired mid-drain; nothing to move
+			}
+		}
+		oldHolders := cur.LookupN(rec.Key, rf)
+		for _, target := range reduced.LookupN(rec.Key, rf) {
+			if target == self || containsServer(oldHolders, target) {
+				continue
+			}
+			pc := conns[target]
+			if pc == nil {
+				var err error
+				pc, err = dialPeer(addrs[target], 5*time.Second)
+				if err != nil {
+					c.rebalanceErrors.Add(1)
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				conns[target] = pc
+			}
+			resp, err := pc.do(&wire.Request{
+				Type: wire.OpPut, Key: rec.Key, Value: rec.Value,
+				Version: rec.Version, TTLNanos: int64(ttl),
+			})
+			if err != nil {
+				pc.close()
+				delete(conns, target)
+				c.rebalanceErrors.Add(1)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("kv: drain push %q to %d: %w", rec.Key, target, err)
+				}
+				continue
+			}
+			if resp.Status == wire.StatusOK {
+				c.pushedKeys.Add(1)
+			}
+		}
+	}
+	return firstErr
+}
+
+func containsServer(list []sched.ServerID, id sched.ServerID) bool {
+	for _, s := range list {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// shutdown stops the fabric: the puller exits, the gossip socket
+// closes (no goodbye — Leave is the graceful path and must run
+// before). Idempotent.
+func (c *cluster) shutdown() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		_ = c.agent.Close()
+		c.wg.Wait()
+	})
+}
+
+// ---- server-side op handling ----
+
+// MembersDoc builds the membership document OpMembers serves: the
+// node's lifecycle and its current gossip table (empty when static).
+func (s *Server) MembersDoc() wire.MembersDoc {
+	doc := wire.MembersDoc{Self: int(s.cfg.ID), Lifecycle: LifecycleStatic.String()}
+	c := s.cluster
+	if c == nil {
+		return doc
+	}
+	doc.Lifecycle = c.lifecycle().String()
+	for _, m := range c.agent.Members() {
+		doc.Members = append(doc.Members, wire.MemberInfo{
+			ID:          int(m.ID),
+			GossipAddr:  m.Addr,
+			DataAddr:    m.DataAddr,
+			State:       m.State.String(),
+			Incarnation: m.Incarnation,
+			Ready:       m.Ready,
+		})
+	}
+	return doc
+}
+
+// serveMembers fills an OpMembers response.
+func (s *Server) serveMembers(resp *wire.Response) {
+	b, err := json.Marshal(s.MembersDoc())
+	if err != nil {
+		resp.Status = wire.StatusError
+		return
+	}
+	v := getValueBuf(len(b))
+	copy(v, b)
+	resp.Value = v
+}
+
+// serveHandoff fills an OpHandoff response: one chunk of the requested
+// shard, filtered to keys the requester holds under this node's
+// current ring. Ring lookups run against an immutable snapshot, so a
+// concurrent membership change flips the filter between chunks, never
+// inside one.
+func (s *Server) serveHandoff(p *pendingOp, resp *wire.Response) {
+	c := s.cluster
+	if c == nil {
+		resp.Status = wire.StatusError
+		return
+	}
+	var hr wire.HandoffRequest
+	if err := json.Unmarshal(p.value, &hr); err != nil {
+		resp.Status = wire.StatusError
+		return
+	}
+	requester := sched.ServerID(hr.For)
+	ring := c.dyn.Snapshot()
+	rf := s.cfg.Replication
+	include := func(key string) bool {
+		return containsServer(ring.LookupN(key, rf), requester)
+	}
+	data, next, more, count := s.store.HandoffChunk(hr.Shard, hr.After, c.cfg.RebalanceChunk, include)
+	hdr, err := json.Marshal(wire.HandoffHeader{More: more, Next: next, Count: count})
+	if err != nil {
+		resp.Status = wire.StatusError
+		return
+	}
+	v := getValueBuf(len(hdr) + 1 + len(data))
+	n := copy(v, hdr)
+	v[n] = '\n'
+	copy(v[n+1:], data)
+	resp.Value = v
+}
+
+// ClusterStats is the fabric's observability snapshot, nil-guarded by
+// the caller (Server.ClusterStats returns nil when static).
+type ClusterStats struct {
+	Lifecycle        Lifecycle
+	Members          map[gossip.State]int
+	Incarnation      uint64
+	MessagesSent     uint64
+	MessagesReceived uint64
+	Refutations      uint64
+	RebalanceKeys    uint64
+	RebalanceStreams uint64
+	RebalanceErrors  uint64
+	PushedKeys       uint64
+}
+
+// ClusterStats snapshots the cluster fabric's counters (nil when the
+// server runs without one).
+func (s *Server) ClusterStats() *ClusterStats {
+	c := s.cluster
+	if c == nil {
+		return nil
+	}
+	gs := c.agent.Stats()
+	return &ClusterStats{
+		Lifecycle:        c.lifecycle(),
+		Members:          gs.Members,
+		Incarnation:      gs.Incarnation,
+		MessagesSent:     gs.Sent,
+		MessagesReceived: gs.Received,
+		Refutations:      gs.Refutations,
+		RebalanceKeys:    c.rebalanceKeys.Load(),
+		RebalanceStreams: c.rebalanceStreams.Load(),
+		RebalanceErrors:  c.rebalanceErrors.Load(),
+		PushedKeys:       c.pushedKeys.Load(),
+	}
+}
+
+// GossipAddr returns the gossip agent's advertised address ("" when
+// static) — what other nodes pass as a seed.
+func (s *Server) GossipAddr() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.agent.Addr()
+}
+
+// RingOwnership returns the dynamic ring's per-server keyspace arc
+// fractions (nil when static) — the introspection behind kvctl ring.
+func (s *Server) RingOwnership() map[sched.ServerID]float64 {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.dyn.Snapshot().Ownership()
+}
+
+// ---- synchronous peer connection (handoff / drain traffic) ----
+
+// peerConn is a minimal synchronous wire client for server-to-server
+// traffic: one request in flight at a time, no tagging, no pooling. A
+// fancy client is wasted here — handoff is a bulk background stream
+// whose cost is the payload, not the round-trips.
+type peerConn struct {
+	conn net.Conn
+	w    *wire.Writer
+	r    *wire.Reader
+	next uint64
+}
+
+func dialPeer(addr string, timeout time.Duration) (*peerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("kv: dial peer %s: %w", addr, err)
+	}
+	return &peerConn{conn: conn, w: wire.NewWriter(conn), r: wire.NewReader(conn)}, nil
+}
+
+// do sends one request and waits for its response. The returned
+// response's Value aliases the reader's reused buffer: consume it
+// before the next call.
+func (pc *peerConn) do(req *wire.Request) (wire.Response, error) {
+	pc.next++
+	req.ID = pc.next
+	var resp wire.Response
+	_ = pc.conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := pc.w.WriteRequest(req); err != nil {
+		return resp, err
+	}
+	for {
+		if err := pc.r.ReadResponse(&resp); err != nil {
+			return resp, err
+		}
+		if resp.ID == req.ID {
+			return resp, nil
+		}
+	}
+}
+
+// FetchMembers dials a server's data-plane address and fetches its
+// membership document — the discovery primitive kvctl's members/ring
+// subcommands and -discover flag build on. Works against static nodes
+// too (they answer with an empty table and lifecycle "static").
+func FetchMembers(addr string, timeout time.Duration) (wire.MembersDoc, error) {
+	pc, err := dialPeer(addr, timeout)
+	if err != nil {
+		return wire.MembersDoc{}, err
+	}
+	defer pc.close()
+	return pc.members()
+}
+
+// members fetches the peer's membership document.
+func (pc *peerConn) members() (wire.MembersDoc, error) {
+	var doc wire.MembersDoc
+	resp, err := pc.do(&wire.Request{Type: wire.OpMembers})
+	if err != nil {
+		return doc, err
+	}
+	if resp.Status != wire.StatusOK {
+		return doc, fmt.Errorf("members request: status %d", resp.Status)
+	}
+	if err := json.Unmarshal(resp.Value, &doc); err != nil {
+		return doc, fmt.Errorf("members decode: %w", err)
+	}
+	return doc, nil
+}
+
+func (pc *peerConn) close() {
+	pc.w.Release()
+	pc.r.Release()
+	_ = pc.conn.Close()
+}

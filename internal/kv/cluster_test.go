@@ -1,0 +1,461 @@
+package kv
+
+// Cluster fabric integration tests: tunable consistency round-trips,
+// gossip-driven joins that stream owned ranges, live joins under load
+// with no failed QUORUM reads (the acceptance bar), and a node killed
+// mid-rebalance — the ring must converge and no acknowledged QUORUM
+// write may be lost.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/topology"
+	"github.com/daskv/daskv/internal/wire"
+)
+
+func TestConsistencyNeed(t *testing.T) {
+	cases := []struct {
+		level    wire.Consistency
+		replicas int
+		want     int
+	}{
+		{wire.ConsistencyDefault, 3, 1},
+		{wire.ConsistencyOne, 1, 1},
+		{wire.ConsistencyOne, 5, 1},
+		{wire.ConsistencyQuorum, 1, 1},
+		{wire.ConsistencyQuorum, 2, 2},
+		{wire.ConsistencyQuorum, 3, 2},
+		{wire.ConsistencyQuorum, 4, 3},
+		{wire.ConsistencyQuorum, 5, 3},
+		{wire.ConsistencyAll, 1, 1},
+		{wire.ConsistencyAll, 3, 3},
+		{wire.ConsistencyAll, 0, 1}, // degenerate: clamp to one replica
+	}
+	for _, c := range cases {
+		if got := Need(c.level, c.replicas); got != c.want {
+			t.Errorf("Need(%v, %d) = %d, want %d", c.level, c.replicas, got, c.want)
+		}
+	}
+}
+
+// TestConsistencyLevelsRoundTrip drives put/get/delete through every
+// explicit level on a 3-way replicated static deployment: each level
+// must read its own writes when all replicas are healthy.
+func TestConsistencyLevelsRoundTrip(t *testing.T) {
+	_, client := startReplicatedCluster(t, 3, 3, nil, ClientConfig{})
+	ctx := context.Background()
+	for _, level := range []wire.Consistency{wire.ConsistencyOne, wire.ConsistencyQuorum, wire.ConsistencyAll} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			key := "level-" + level.String()
+			want := []byte("value@" + level.String())
+			if err := client.PutLevel(ctx, key, want, level); err != nil {
+				t.Fatalf("PutLevel(%v): %v", level, err)
+			}
+			got, err := client.GetLevel(ctx, key, level)
+			if err != nil {
+				t.Fatalf("GetLevel(%v): %v", level, err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("GetLevel(%v) = %q, want %q", level, got, want)
+			}
+			if err := client.DeleteLevel(ctx, key, level); err != nil {
+				t.Fatalf("DeleteLevel(%v): %v", level, err)
+			}
+			if _, err := client.GetLevel(ctx, key, level); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("GetLevel(%v) after delete: err = %v, want ErrNotFound", level, err)
+			}
+		})
+	}
+}
+
+// TestQuorumSurvivesReplicaCrash is the consistency contract under
+// failure: a QUORUM write followed by a holder crash must still answer
+// QUORUM reads (2 of 3 holders remain), while ALL reads must fail —
+// they demand the dead holder.
+func TestQuorumSurvivesReplicaCrash(t *testing.T) {
+	servers, client := startReplicatedCluster(t, 3, 3, nil, ClientConfig{
+		RequestTimeout: 2 * time.Second,
+	})
+	ctx := context.Background()
+	if err := client.PutLevel(ctx, "survivor", []byte("acked"), wire.ConsistencyQuorum); err != nil {
+		t.Fatalf("PutLevel: %v", err)
+	}
+	servers[2].Crash()
+	got, err := client.GetLevel(ctx, "survivor", wire.ConsistencyQuorum)
+	if err != nil {
+		t.Fatalf("QUORUM read after crash: %v", err)
+	}
+	if string(got) != "acked" {
+		t.Fatalf("QUORUM read = %q, want %q", got, "acked")
+	}
+	if _, err := client.GetLevel(ctx, "survivor", wire.ConsistencyAll); err == nil {
+		t.Fatalf("ALL read succeeded with a dead holder; want failure")
+	}
+}
+
+// ---- gossip fabric helpers ----
+
+// fabricTiming: fast enough that joins and suspicion verdicts land in
+// test time, slow enough that loaded CI machines do not false-suspect.
+const (
+	fabricProbe     = 40 * time.Millisecond
+	fabricSuspicion = 400 * time.Millisecond
+)
+
+// startFabricNode boots one clustered server with test-speed gossip.
+func startFabricNode(t *testing.T, id int, replication int, seeds []string) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		ID:          sched.ServerID(id),
+		Addr:        "127.0.0.1:0",
+		Replication: replication,
+		Cluster: &ClusterConfig{
+			GossipBind:       "127.0.0.1:0",
+			Seeds:            seeds,
+			ProbeInterval:    fabricProbe,
+			SuspicionTimeout: fabricSuspicion,
+			RebalanceChunk:   32,
+			Logf:             t.Logf,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer %d: %v", id, err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// aliveCount counts routable members in a node's membership view.
+func aliveCount(s *Server) int {
+	n := 0
+	for _, m := range s.MembersDoc().Members {
+		if m.State == "alive" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestClusterJoinStreamsOwnedKeys is the rebalance tentpole: keys
+// loaded on a single-node cluster must appear on a joiner — exactly the
+// ones the two-node ring assigns it — before it reports Ready, and the
+// key movement must stay near the ideal 1/N (bounded, not a full
+// reshuffle).
+func TestClusterJoinStreamsOwnedKeys(t *testing.T) {
+	seed := startFabricNode(t, 0, 1, nil)
+	waitUntil(t, 5*time.Second, "seed ready", func() bool {
+		cs := seed.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+
+	client, err := NewClient(ClientConfig{
+		Servers: map[sched.ServerID]string{0: seed.Addr()},
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	ctx := context.Background()
+	const keys = 400
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("reb-%04d", i)
+		if err := client.Put(ctx, k, []byte("v"+k)); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+	}
+
+	joiner := startFabricNode(t, 1, 1, []string{seed.GossipAddr()})
+	waitUntil(t, 10*time.Second, "joiner ready", func() bool {
+		cs := joiner.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	waitUntil(t, 5*time.Second, "membership convergence", func() bool {
+		return aliveCount(seed) == 2 && aliveCount(joiner) == 2
+	})
+
+	// The joiner must hold exactly its share of the two-node ring: every
+	// owned key streamed over, and the movement bounded — well under a
+	// full reshuffle, within 2x the ideal 1/N.
+	ring, err := topology.NewRing([]sched.ServerID{0, 1}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	owned, missing := 0, 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("reb-%04d", i)
+		if ring.Lookup(k) != 1 {
+			continue
+		}
+		owned++
+		if _, ok := joiner.Store().Get(k); !ok {
+			missing++
+		}
+	}
+	if owned == 0 {
+		t.Fatalf("ring assigned the joiner no keys out of %d — ring broken", keys)
+	}
+	if missing > 0 {
+		t.Fatalf("joiner missing %d of %d owned keys after Ready", missing, owned)
+	}
+	cs := joiner.ClusterStats()
+	if cs.RebalanceKeys == 0 || cs.RebalanceStreams == 0 {
+		t.Fatalf("rebalance counters empty: %+v", cs)
+	}
+	moved := float64(cs.RebalanceKeys) / float64(keys)
+	if ideal := 0.5; moved > 2*ideal {
+		t.Fatalf("join moved %.0f%% of keys; want <= %.0f%% (2x ideal 1/N)", moved*100, 2*ideal*100)
+	}
+}
+
+// TestClusterJoinUnderLoadNoFailedQuorumReads is the acceptance
+// scenario: a 4th node joins a loaded 3-node cluster while a client
+// hammers QUORUM reads and writes — not one may fail, since the join
+// only copies keys (established holders keep serving throughout).
+func TestClusterJoinUnderLoadNoFailedQuorumReads(t *testing.T) {
+	n0 := startFabricNode(t, 0, 3, nil)
+	waitUntil(t, 5*time.Second, "seed ready", func() bool {
+		cs := n0.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	seeds := []string{n0.GossipAddr()}
+	n1 := startFabricNode(t, 1, 3, seeds)
+	n2 := startFabricNode(t, 2, 3, seeds)
+	for _, s := range []*Server{n1, n2} {
+		s := s
+		waitUntil(t, 10*time.Second, "node ready", func() bool {
+			cs := s.ClusterStats()
+			return cs != nil && cs.Lifecycle == LifecycleReady
+		})
+	}
+
+	client, err := NewClient(ClientConfig{
+		Servers:        map[sched.ServerID]string{0: n0.Addr(), 1: n1.Addr(), 2: n2.Addr()},
+		Replicas:       3,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	ctx := context.Background()
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("load-%03d", i)
+		if err := client.PutLevel(ctx, k, []byte("v0"), wire.ConsistencyQuorum); err != nil {
+			t.Fatalf("preload %s: %v", k, err)
+		}
+	}
+
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := fmt.Sprintf("load-%03d", i%keys)
+			if i%5 == 0 {
+				if err := client.PutLevel(ctx, k, []byte(fmt.Sprintf("v%d", i)), wire.ConsistencyQuorum); err != nil {
+					failures.Add(1)
+					t.Logf("QUORUM write %s: %v", k, err)
+				}
+			} else {
+				if _, err := client.GetLevel(ctx, k, wire.ConsistencyQuorum); err != nil {
+					failures.Add(1)
+					t.Logf("QUORUM read %s: %v", k, err)
+				}
+			}
+			i++
+		}
+	}()
+
+	joiner := startFabricNode(t, 3, 3, seeds)
+	waitUntil(t, 15*time.Second, "joiner ready under load", func() bool {
+		cs := joiner.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	waitUntil(t, 5*time.Second, "4-node convergence", func() bool {
+		return aliveCount(n0) == 4 && aliveCount(n1) == 4 && aliveCount(n2) == 4 && aliveCount(joiner) == 4
+	})
+	close(stop)
+	<-loadDone
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d QUORUM operations failed during the join; want 0", n)
+	}
+}
+
+// TestClusterKillMidRebalanceConverges kills an established node while
+// a joiner is mid-stream: the joiner must still reach Ready (a failed
+// source is an error counter, not a join abort), every survivor's
+// membership must converge on the death within the suspicion timeout,
+// and every acknowledged QUORUM write must still answer QUORUM reads —
+// two of its three holders survive.
+func TestClusterKillMidRebalanceConverges(t *testing.T) {
+	n0 := startFabricNode(t, 0, 3, nil)
+	waitUntil(t, 5*time.Second, "seed ready", func() bool {
+		cs := n0.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	seeds := []string{n0.GossipAddr()}
+	n1 := startFabricNode(t, 1, 3, seeds)
+	n2 := startFabricNode(t, 2, 3, seeds)
+	for _, s := range []*Server{n1, n2} {
+		s := s
+		waitUntil(t, 10*time.Second, "node ready", func() bool {
+			cs := s.ClusterStats()
+			return cs != nil && cs.Lifecycle == LifecycleReady
+		})
+	}
+
+	client, err := NewClient(ClientConfig{
+		Servers:        map[sched.ServerID]string{0: n0.Addr(), 1: n1.Addr(), 2: n2.Addr()},
+		Replicas:       3,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	ctx := context.Background()
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("durable-%04d", i)
+		if err := client.PutLevel(ctx, k, []byte("acked-"+k), wire.ConsistencyQuorum); err != nil {
+			t.Fatalf("QUORUM preload %s: %v", k, err)
+		}
+	}
+
+	joiner := startFabricNode(t, 3, 3, seeds)
+	// Kill an established node while the joiner is (most likely) still
+	// streaming. The exact interleaving does not matter for the
+	// invariants under test; streaming just maximizes the chaos.
+	time.Sleep(fabricProbe)
+	n2.Crash()
+
+	waitUntil(t, 15*time.Second, "joiner ready despite dead source", func() bool {
+		cs := joiner.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	// Every survivor's view must converge: node 2 no longer alive, the
+	// three survivors all routable.
+	waitUntil(t, 4*fabricSuspicion, "survivors converge on the death", func() bool {
+		for _, s := range []*Server{n0, n1, joiner} {
+			alive := make(map[int]bool)
+			for _, m := range s.MembersDoc().Members {
+				if m.State == "alive" {
+					alive[m.ID] = true
+				}
+			}
+			if alive[2] || !alive[0] || !alive[1] || !alive[3] {
+				return false
+			}
+		}
+		return true
+	})
+
+	// No acknowledged QUORUM write may be lost: every key still answers
+	// a QUORUM read through its two surviving holders.
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("durable-%04d", i)
+		v, err := client.GetLevel(ctx, k, wire.ConsistencyQuorum)
+		if err != nil {
+			t.Fatalf("QUORUM read %s after kill: %v", k, err)
+		}
+		if string(v) != "acked-"+k {
+			t.Fatalf("QUORUM read %s = %q, want %q", k, v, "acked-"+k)
+		}
+	}
+}
+
+// TestClusterLeaveDrainsKeys exercises the graceful exit: a leaver must
+// push keys to holders the reduced ring elects and gossip Left — the
+// survivors converge without a suspicion round.
+func TestClusterLeaveDrainsKeys(t *testing.T) {
+	n0 := startFabricNode(t, 0, 1, nil)
+	waitUntil(t, 5*time.Second, "seed ready", func() bool {
+		cs := n0.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	n1 := startFabricNode(t, 1, 1, []string{n0.GossipAddr()})
+	waitUntil(t, 10*time.Second, "joiner ready", func() bool {
+		cs := n1.ClusterStats()
+		return cs != nil && cs.Lifecycle == LifecycleReady
+	})
+	waitUntil(t, 5*time.Second, "membership convergence", func() bool {
+		return aliveCount(n0) == 2 && aliveCount(n1) == 2
+	})
+
+	client, err := NewClient(ClientConfig{
+		Servers:  map[sched.ServerID]string{0: n0.Addr(), 1: n1.Addr()},
+		Replicas: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer func() { _ = client.Close() }()
+	ctx := context.Background()
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("drain-%04d", i)
+		if err := client.Put(ctx, k, []byte("v"+k)); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+	}
+
+	if err := n1.Leave(10 * time.Second); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if cs := n1.ClusterStats(); cs.Lifecycle != LifecycleLeft {
+		t.Fatalf("leaver lifecycle = %v, want left", cs.Lifecycle)
+	}
+	// Every key the leaver held at R=1 must now live on the survivor.
+	missing := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("drain-%04d", i)
+		if _, ok := n0.Store().Get(k); !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d of %d keys missing on the survivor after leave", missing, keys)
+	}
+	if cs := n1.ClusterStats(); cs.PushedKeys == 0 {
+		t.Fatalf("leave pushed no keys: %+v", cs)
+	}
+	// The survivor must see the departure as Left (graceful), not Dead.
+	waitUntil(t, 4*fabricSuspicion, "survivor sees the leave", func() bool {
+		for _, m := range n0.MembersDoc().Members {
+			if m.ID == 1 {
+				return m.State == "left"
+			}
+		}
+		return true // already purged from the table: equally converged
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/daskv/daskv/internal/gossip"
 	"github.com/daskv/daskv/internal/metrics"
 )
 
@@ -176,5 +177,32 @@ func writeExposition(w http.ResponseWriter, s *Server) {
 		}
 		e.Family("kv_sched_promotions_total", "Operations a starvation bound (MaxDelay or AgingBound) served ahead of priority order.", "counter")
 		e.IntSample("kv_sched_promotions_total", []metrics.Label{server}, d.Promotions)
+	}
+
+	if cs := s.ClusterStats(); cs != nil {
+		e.Family("kv_gossip_members", "Members in this node's gossip table, by liveness state.", "gauge")
+		for _, state := range []gossip.State{gossip.StateAlive, gossip.StateSuspect, gossip.StateDead, gossip.StateLeft} {
+			e.IntSample("kv_gossip_members",
+				[]metrics.Label{server, {Name: "state", Value: state.String()}}, uint64(cs.Members[state]))
+		}
+		e.Family("kv_gossip_messages_total", "Gossip datagrams exchanged, by direction.", "counter")
+		e.IntSample("kv_gossip_messages_total",
+			[]metrics.Label{server, {Name: "dir", Value: "sent"}}, cs.MessagesSent)
+		e.IntSample("kv_gossip_messages_total",
+			[]metrics.Label{server, {Name: "dir", Value: "received"}}, cs.MessagesReceived)
+		e.Family("kv_gossip_refutations_total", "Incarnation bumps issued to refute false suspicions of this node.", "counter")
+		e.IntSample("kv_gossip_refutations_total", []metrics.Label{server}, cs.Refutations)
+		e.Family("kv_gossip_incarnation", "This node's current self-asserted incarnation number.", "gauge")
+		e.IntSample("kv_gossip_incarnation", []metrics.Label{server}, cs.Incarnation)
+		e.Family("kv_rebalance_state", "Join lifecycle: 1 pending, 2 streaming, 3 ready, 4 left.", "gauge")
+		e.IntSample("kv_rebalance_state", []metrics.Label{server}, uint64(cs.Lifecycle))
+		e.Family("kv_rebalance_keys_total", "Records applied from join handoff streams.", "counter")
+		e.IntSample("kv_rebalance_keys_total", []metrics.Label{server}, cs.RebalanceKeys)
+		e.Family("kv_rebalance_streams_total", "Handoff chunk round-trips completed while joining.", "counter")
+		e.IntSample("kv_rebalance_streams_total", []metrics.Label{server}, cs.RebalanceStreams)
+		e.Family("kv_rebalance_errors_total", "Failed handoff pulls and drain pushes.", "counter")
+		e.IntSample("kv_rebalance_errors_total", []metrics.Label{server}, cs.RebalanceErrors)
+		e.Family("kv_rebalance_pushed_keys_total", "Records pushed to new holders during a graceful leave.", "counter")
+		e.IntSample("kv_rebalance_pushed_keys_total", []metrics.Label{server}, cs.PushedKeys)
 	}
 }

@@ -82,6 +82,11 @@ type ServerConfig struct {
 	// the sizeclass defaults: learn the 90th-percentile size threshold
 	// from a decayed sketch of observed payload sizes).
 	SizeClass sizeclass.Config
+	// Cluster, when set, enables the gossip-driven cluster fabric:
+	// SWIM membership, a dynamic vnode ring, and join/leave key
+	// rebalancing (see ClusterConfig). Nil runs the node standalone
+	// with a static client-side ring — the pre-fabric behavior.
+	Cluster *ClusterConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -113,6 +118,10 @@ type Server struct {
 	metrics     *serverMetrics
 	wal         *wal.WAL
 	walRecovery *wal.RecoveryReport
+	// cluster is the gossip fabric runtime (nil when cfg.Cluster is):
+	// set once in NewServer before the server is published, read-only
+	// after.
+	cluster *cluster
 
 	mu        sync.Mutex
 	queue     sched.Policy
@@ -402,6 +411,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.wg.Add(1)
 		go s.janitor()
 	}
+	if cfg.Cluster != nil {
+		// The fabric starts last: joiners stream through the data plane,
+		// so the accept loop must already be live.
+		if err := s.startCluster(); err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -585,7 +602,13 @@ func (s *Server) decisionStats() (sched.DecisionStats, bool) {
 }
 
 // Close stops accepting, disconnects clients, and waits for workers.
+// On a clustered node Close stops the gossip agent without announcing a
+// departure — peers detect the silence via suspicion, exactly like a
+// failure. The graceful path is Leave then Close.
 func (s *Server) Close() error {
+	if s.cluster != nil {
+		s.cluster.shutdown()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -630,6 +653,11 @@ func (s *Server) Close() error {
 // runs. It exists so crash-recovery tests can exercise the real
 // recovery path in-process; production shutdown is Close.
 func (s *Server) Crash() {
+	if s.cluster != nil {
+		// No Leave, no goodbye: peers must discover the death through
+		// the failure detector, the scenario the chaos tests exercise.
+		s.cluster.shutdown()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -1057,6 +1085,10 @@ func (s *Server) serve(op *sched.Op) {
 		}
 	case wire.OpStats:
 		// Filled below under the stats lock.
+	case wire.OpMembers:
+		s.serveMembers(resp)
+	case wire.OpHandoff:
+		s.serveHandoff(p, resp)
 	default:
 		resp.Status = wire.StatusError
 	}

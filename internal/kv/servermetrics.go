@@ -114,7 +114,7 @@ func (m *serverMetrics) snapshot() []opMetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]opMetricsSnapshot, 0, len(m.wait))
-	for op := wire.OpGet; op <= wire.OpCAS; op++ {
+	for op := wire.OpGet; op <= wire.OpHandoff; op++ {
 		if m.service[op] == nil && m.wait[op] == nil {
 			continue
 		}

@@ -11,10 +11,12 @@ package kv
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/maphash"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -406,6 +408,89 @@ func (s *Store) SaveTo(w io.Writer) error {
 		return fmt.Errorf("kv: snapshot flush: %w", err)
 	}
 	return nil
+}
+
+// ApplyIfNewer applies one streamed handoff record under the
+// last-writer-wins rule: the record lands only if the key is absent,
+// expired, or stored at a version <= the record's (<=, unlike
+// PutVersioned's <, so re-pulling an interrupted stream is idempotent
+// without redundant log writes for records already applied). Deletes
+// and already-expired records are dropped — handoff streams only live
+// state, and a concurrent client delete must not be resurrected by a
+// version-0 record. Applied records flow through the mutation hook, so
+// transferred keys are as durable as written ones.
+func (s *Store) ApplyIfNewer(m Mutation) bool {
+	if m.Delete {
+		return false
+	}
+	now := s.now()
+	if !m.ExpiresAt.IsZero() && !now.Before(m.ExpiresAt) {
+		return false
+	}
+	v := make([]byte, len(m.Value))
+	copy(v, m.Value)
+	sh := s.shard(m.Key)
+	sh.mu.Lock()
+	e, exists := sh.m[m.Key]
+	if exists && !e.expired(now) && m.Version <= e.version {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[m.Key] = entry{value: v, version: m.Version, expiresAt: m.ExpiresAt}
+	ack := s.notify(Mutation{Key: m.Key, Value: v, Version: m.Version, ExpiresAt: m.ExpiresAt})
+	sh.mu.Unlock()
+	s.awaitDurable(ack)
+	return true
+}
+
+// ShardCount is the store's fixed shard count, exported for the
+// rebalancer's shard-at-a-time handoff cursors. Shard membership is
+// seeded per process, so a shard index is only meaningful to the store
+// that produced it — handoff requests therefore address the
+// *responder's* shards, never the requester's.
+func (s *Store) ShardCount() int { return storeShards }
+
+// HandoffChunk encodes up to limit live records of one shard — key >
+// after, include(key) true — as snapshot JSON lines in ascending key
+// order. It returns the encoded chunk, the cursor for the next pull,
+// and whether more matching records remain. Values are copied into the
+// chunk under the shard read-lock, so the stream is per-shard
+// consistent without blocking writers for the whole transfer.
+func (s *Store) HandoffChunk(shard int, after string, limit int, include func(string) bool) (data []byte, next string, more bool, count int) {
+	if shard < 0 || shard >= storeShards || limit <= 0 {
+		return nil, "", false, 0
+	}
+	now := s.now()
+	sh := &s.shards[shard]
+	sh.mu.RLock()
+	keys := make([]string, 0, len(sh.m))
+	for k, e := range sh.m {
+		if k > after && !e.expired(now) && include(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) > limit {
+		keys, more = keys[:limit], true
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, k := range keys {
+		e := sh.m[k]
+		rec := snapshotRecord{Key: k, Value: e.value, Version: e.version}
+		if !e.expiresAt.IsZero() {
+			rec.ExpiresAtUnixNano = e.expiresAt.UnixNano()
+		}
+		if err := enc.Encode(rec); err != nil {
+			sh.mu.RUnlock()
+			return nil, "", false, 0
+		}
+	}
+	sh.mu.RUnlock()
+	if len(keys) > 0 {
+		next = keys[len(keys)-1]
+	}
+	return buf.Bytes(), next, more, len(keys)
 }
 
 // LoadFrom replays a snapshot into the store (existing keys are

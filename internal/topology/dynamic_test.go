@@ -1,0 +1,178 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/daskv/daskv/internal/sched"
+)
+
+func TestDynamicSnapshotImmutable(t *testing.T) {
+	d, err := NewDynamic([]sched.ServerID{0, 1, 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Snapshot()
+	owner := before.Lookup("some-key")
+	d.Add(9)
+	if got := before.Lookup("some-key"); got != owner {
+		t.Fatalf("held snapshot changed its answer after Add: %d -> %d", owner, got)
+	}
+	if before.Size() != 3 {
+		t.Fatalf("held snapshot grew: size %d", before.Size())
+	}
+	if d.Snapshot().Size() != 4 {
+		t.Fatalf("new snapshot missing joined server")
+	}
+}
+
+func TestDynamicRemoveLastRefused(t *testing.T) {
+	d, err := NewDynamic([]sched.ServerID{7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove(7); err == nil {
+		t.Fatal("removing the last server succeeded; lookups would have no owner")
+	}
+	if d.Snapshot().Size() != 1 {
+		t.Fatal("refused removal still changed the snapshot")
+	}
+}
+
+func TestDynamicSetMembers(t *testing.T) {
+	d, err := NewDynamic([]sched.ServerID{0, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := d.SetMembers([]sched.ServerID{0, 1})
+	if err != nil || changed {
+		t.Fatalf("identical membership reported changed=%v err=%v", changed, err)
+	}
+	changed, err = d.SetMembers([]sched.ServerID{0, 2, 3})
+	if err != nil || !changed {
+		t.Fatalf("new membership reported changed=%v err=%v", changed, err)
+	}
+	got := d.Snapshot().Servers()
+	want := []sched.ServerID{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+	if _, err := d.SetMembers(nil); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+}
+
+// TestDynamicLookupNDedupUnderChurn is the PR 2 vnode-dedup regression
+// re-asserted under concurrent membership change: while one goroutine
+// joins and removes servers through the copy-on-write publisher, readers
+// must never observe a successor set containing the same physical server
+// twice, nor one longer than the snapshot's membership. Run with -race.
+func TestDynamicLookupNDedupUnderChurn(t *testing.T) {
+	d, err := NewDynamic([]sched.ServerID{0, 1, 2, 3}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			id := sched.ServerID(4 + i%4)
+			d.Add(id)
+			_ = d.Remove(id)
+		}
+		close(done)
+	}()
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ring := d.Snapshot()
+				key := fmt.Sprintf("churn-%d-%d", r, i)
+				i++
+				n := ring.Size()
+				got := ring.LookupN(key, n)
+				if len(got) != n {
+					t.Errorf("LookupN(%q, %d) returned %d servers on a %d-member snapshot",
+						key, n, len(got), n)
+					return
+				}
+				seen := make(map[sched.ServerID]bool, len(got))
+				for _, s := range got {
+					if seen[s] {
+						t.Errorf("LookupN(%q) repeated server %d: %v", key, s, got)
+						return
+					}
+					seen[s] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMovedFractionBounded checks the rebalancing acceptance bound: one
+// join into an N-node ring must move at most 2x the ideal 1/(N+1)
+// fraction of the keyspace, and a leave the symmetric bound.
+func TestMovedFractionBounded(t *testing.T) {
+	for _, n := range []int{3, 4, 8} {
+		servers := make([]sched.ServerID, n)
+		for i := range servers {
+			servers[i] = sched.ServerID(i)
+		}
+		before, err := NewRing(servers, DefaultVnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := before.Clone()
+		if err := after.AddServer(sched.ServerID(n)); err != nil {
+			t.Fatal(err)
+		}
+		moved := MovedFraction(before, after, 8192)
+		ideal := 1.0 / float64(n+1)
+		if moved > 2*ideal {
+			t.Errorf("join onto %d nodes moved %.3f of keys, bound 2/(n+1) = %.3f", n, moved, 2*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("join onto %d nodes moved nothing; the new server owns no keys", n)
+		}
+	}
+}
+
+func TestOwnershipSumsToOne(t *testing.T) {
+	r, err := NewRing([]sched.ServerID{0, 1, 2, 3, 4}, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := r.Ownership()
+	if len(own) != 5 {
+		t.Fatalf("ownership covers %d servers, want 5", len(own))
+	}
+	sum := 0.0
+	for s, f := range own {
+		if f <= 0 {
+			t.Errorf("server %d owns %.4f of the ring", s, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership fractions sum to %.12f, want 1", sum)
+	}
+}

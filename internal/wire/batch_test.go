@@ -40,8 +40,8 @@ func TestWriteBatchRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadRequests: %v", err)
 	}
-	if version != Version3 {
-		t.Fatalf("frame version = %d, want %d", version, Version3)
+	if version != Version {
+		t.Fatalf("frame version = %d, want %d", version, Version)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("decoded %d ops, want %d", len(got), len(want))
@@ -85,7 +85,7 @@ func TestWriteBatchV2Degradation(t *testing.T) {
 // plain single-op frames from both protocol versions and reports the
 // version for response echoing.
 func TestReadRequestsSingleFrame(t *testing.T) {
-	for _, v := range []byte{Version2, Version3} {
+	for _, v := range []byte{Version2, Version3, Version4} {
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
 		w.SetVersion(v)

@@ -11,11 +11,16 @@
 // transport pays one syscall per destination instead of one per
 // operation. Responses stay per-op so the server's scheduler can
 // reorder them freely. Negotiation is per connection and zero-RTT: a
-// Reader accepts both v2 and v3 frames (their single-op layouts are
-// identical), and a server echoes whatever version the client's frames
-// carry, so v2 peers keep working unchanged. A v3 client talking to a
-// v2-only server pins its Writer to Version2 — batches then degrade to
-// runs of single-op frames sharing one flush.
+// Reader accepts v2, v3 and v4 frames, and a server echoes whatever
+// version the client's frames carry, so old peers keep working
+// unchanged. A newer client talking to an old server pins its Writer to
+// the old version — batches then degrade to runs of single-op frames
+// sharing one flush.
+//
+// Version 4 adds cluster-fabric fields: a per-operation consistency
+// level byte (ONE/QUORUM/ALL, trailing the request body so v2/v3
+// decoders are unaffected) and the OpMembers/OpHandoff operations that
+// carry gossip membership documents and join-time range streaming.
 package wire
 
 import (
@@ -30,13 +35,16 @@ import (
 
 // Protocol versions. Version 2 added per-operation Timing (queue wait,
 // service time, scheduling class) to responses; Version 3 added batch
-// request frames. The single-op frame layouts of v2 and v3 are
-// byte-identical apart from the version byte.
+// request frames; Version 4 added the trailing consistency-level byte
+// and the membership/handoff operations. The single-op frame layouts of
+// v2 and v3 are byte-identical apart from the version byte; v4 appends
+// exactly one byte to the request body and leaves responses unchanged.
 const (
 	Version2 = 2
 	Version3 = 3
+	Version4 = 4
 	// Version is the current (preferred) protocol version.
-	Version = Version3
+	Version = Version4
 )
 
 // MaxFrameSize bounds a frame payload (16 MiB) to protect servers from
@@ -61,6 +69,16 @@ const (
 	OpDelete
 	OpStats
 	OpCAS
+	// OpMembers (v4) ignores the key and returns a JSON MembersDoc in
+	// the response value — the gossip control plane's view of the
+	// cluster, served from the data plane so clients and kvctl need no
+	// UDP access.
+	OpMembers
+	// OpHandoff (v4) streams one chunk of a shard's owned range during
+	// join-time rebalancing: the request value carries a JSON
+	// HandoffRequest cursor, the response value a HandoffHeader line
+	// followed by store snapshot records (the WAL snapshot format).
+	OpHandoff
 )
 
 // String returns the op's metric-label name ("get", "put", ...).
@@ -76,8 +94,69 @@ func (t OpType) String() string {
 		return "stats"
 	case OpCAS:
 		return "cas"
+	case OpMembers:
+		return "members"
+	case OpHandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(t))
+	}
+}
+
+// Consistency is a per-request replica-coordination level. Placement is
+// client-side, so the level primarily steers the client's fan-out (how
+// many of a key's R holders must answer); it is carried on the wire so
+// servers can account per-level traffic and so operators can read a
+// request's intent off a capture.
+type Consistency uint8
+
+// Consistency levels. The zero value defers to the configured default,
+// which keeps v2/v3 frames (that cannot carry the byte) meaning "the
+// pre-cluster behavior".
+const (
+	// ConsistencyDefault defers to the client's (or discovered server's)
+	// configured default level.
+	ConsistencyDefault Consistency = iota
+	// ConsistencyOne acks after 1 replica responds: fastest, weakest.
+	ConsistencyOne
+	// ConsistencyQuorum acks after floor(R/2)+1 replicas respond:
+	// read-your-writes when R(read) + W(write) > N holders.
+	ConsistencyQuorum
+	// ConsistencyAll acks after every holder responds: strongest,
+	// unavailable under any single holder failure.
+	ConsistencyAll
+)
+
+// String returns the level's flag-value name ("one", "quorum", "all").
+func (c Consistency) String() string {
+	switch c {
+	case ConsistencyDefault:
+		return "default"
+	case ConsistencyOne:
+		return "one"
+	case ConsistencyQuorum:
+		return "quorum"
+	case ConsistencyAll:
+		return "all"
+	default:
+		return fmt.Sprintf("consistency(%d)", uint8(c))
+	}
+}
+
+// ParseConsistency maps a flag value ("one", "quorum", "all", or "" /
+// "default") to its level.
+func ParseConsistency(s string) (Consistency, error) {
+	switch s {
+	case "", "default":
+		return ConsistencyDefault, nil
+	case "one", "ONE":
+		return ConsistencyOne, nil
+	case "quorum", "QUORUM":
+		return ConsistencyQuorum, nil
+	case "all", "ALL":
+		return ConsistencyAll, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown consistency level %q (want one, quorum, or all)", s)
 	}
 }
 
@@ -180,6 +259,9 @@ type Request struct {
 	// older than the version it holds, making write fan-out and
 	// read-repair idempotent and convergent.
 	Version uint64
+	// Consistency is the operation's replica-coordination level (v4+;
+	// zero on older frames, meaning the configured default).
+	Consistency Consistency
 }
 
 // Feedback is the server-state snapshot piggybacked on every response.
@@ -266,6 +348,61 @@ type ServerStats struct {
 	// Pools reports the size-class execution split (absent when the
 	// server runs one undivided worker pool).
 	Pools *PoolStats `json:"pools,omitempty"`
+}
+
+// MembersDoc is the JSON document returned for OpMembers requests: the
+// answering node's gossip view of the cluster plus its own rebalance
+// lifecycle state.
+type MembersDoc struct {
+	// Self is the answering server's ID.
+	Self int `json:"self"`
+	// Lifecycle is the answering node's join lifecycle: "static" (no
+	// gossip configured), "pending", "streaming", or "ready".
+	Lifecycle string `json:"lifecycle"`
+	// Members is the gossip table, sorted by ID. Empty when the node
+	// runs statically configured (no gossip).
+	Members []MemberInfo `json:"members,omitempty"`
+}
+
+// MemberInfo is one member row of a MembersDoc.
+type MemberInfo struct {
+	ID int `json:"id"`
+	// GossipAddr is the member's UDP gossip endpoint, DataAddr its kv
+	// TCP endpoint.
+	GossipAddr string `json:"gossipAddr"`
+	DataAddr   string `json:"dataAddr"`
+	// State is the liveness verdict ("alive", "suspect", "dead", "left").
+	State string `json:"state"`
+	// Incarnation is the member's self-asserted epoch.
+	Incarnation uint64 `json:"incarnation"`
+	// Ready reports the member finished streaming its owned ranges.
+	Ready bool `json:"ready"`
+}
+
+// HandoffRequest is the JSON request value of an OpHandoff operation: a
+// cursor over one store shard, filtered to keys the requesting server
+// owns under the answering server's current ring.
+type HandoffRequest struct {
+	// Shard is the store shard index being drained.
+	Shard int `json:"shard"`
+	// After resumes the scan strictly after this key ("" = shard start).
+	After string `json:"after,omitempty"`
+	// For is the requesting server's ID; the responder includes only
+	// keys that server holds (primary or replica) under its ring.
+	For int `json:"for"`
+}
+
+// HandoffHeader is the first JSON line of an OpHandoff response value;
+// store snapshot records (one JSON object per line, the WAL snapshot
+// format) follow it.
+type HandoffHeader struct {
+	// More reports the shard scan is not finished; resume with
+	// After=Next.
+	More bool `json:"more"`
+	// Next is the resume cursor when More is set.
+	Next string `json:"next,omitempty"`
+	// Count is the number of records following the header.
+	Count int `json:"count"`
 }
 
 // PoolStats is the size-class split's section of the stats document:
@@ -390,7 +527,7 @@ func NewWriter(w io.Writer) *Writer {
 // it to echo the version a client's frames carry; clients pin Version2
 // to interoperate with old servers. Unsupported versions are ignored.
 func (w *Writer) SetVersion(v byte) {
-	if v == Version2 || v == Version3 {
+	if v == Version2 || v == Version3 || v == Version4 {
 		w.version = v
 	}
 }
@@ -416,8 +553,9 @@ func (w *Writer) scratch() []byte {
 
 // appendRequestBody encodes one operation's body (everything after the
 // version and kind bytes) — the layout shared by single-op and batch
-// frames, identical in v2 and v3.
-func appendRequestBody(buf []byte, r *Request) []byte {
+// frames, identical in v2 and v3; v4 appends the trailing consistency
+// byte.
+func appendRequestBody(buf []byte, r *Request, version byte) []byte {
 	buf = append(buf, byte(r.Type))
 	buf = binary.BigEndian.AppendUint64(buf, r.ID)
 	buf = appendBytes(buf, []byte(r.Key))
@@ -432,6 +570,9 @@ func appendRequestBody(buf []byte, r *Request) []byte {
 	buf = appendBytes(buf, r.OldValue)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.DeadlineNanos))
 	buf = binary.BigEndian.AppendUint64(buf, r.Version)
+	if version >= Version4 {
+		buf = append(buf, byte(r.Consistency))
+	}
 	return buf
 }
 
@@ -447,7 +588,7 @@ func (w *Writer) WriteRequest(r *Request) error {
 func (w *Writer) EncodeRequest(r *Request) error {
 	buf := w.scratch()
 	buf = append(buf, w.version, kindRequest)
-	buf = appendRequestBody(buf, r)
+	buf = appendRequestBody(buf, r, w.version)
 	w.buf = buf
 	return w.writeFrame()
 }
@@ -478,7 +619,7 @@ func (w *Writer) WriteBatch(reqs []Request) error {
 	buf = append(buf, w.version, kindBatch)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(reqs)))
 	for i := range reqs {
-		buf = appendRequestBody(buf, &reqs[i])
+		buf = appendRequestBody(buf, &reqs[i], w.version)
 	}
 	w.buf = buf
 	if err := w.writeFrame(); err != nil {
@@ -582,14 +723,19 @@ func (r *Reader) next() ([]byte, error) {
 }
 
 // versionOK reports whether v is a protocol version this reader
-// understands (v2 and v3 single-op layouts are identical).
-func versionOK(v byte) bool { return v == Version2 || v == Version3 }
+// understands (v2 and v3 single-op layouts are identical; v4 appends a
+// consistency byte to requests).
+func versionOK(v byte) bool { return v == Version2 || v == Version3 || v == Version4 }
 
 // decodeRequestBody decodes one operation body (leading with its op
 // type byte) into req, reusing req's Value/OldValue backing arrays.
-func decodeRequestBody(d *decoder, req *Request) error {
+func decodeRequestBody(d *decoder, req *Request, version byte) error {
 	req.Type = OpType(d.byte())
-	if req.Type < OpGet || req.Type > OpCAS {
+	maxOp := OpCAS
+	if version >= Version4 {
+		maxOp = OpHandoff
+	}
+	if req.Type < OpGet || req.Type > maxOp {
 		return ErrBadMessage
 	}
 	req.ID = d.u64()
@@ -605,16 +751,34 @@ func decodeRequestBody(d *decoder, req *Request) error {
 	req.OldValue = append(req.OldValue[:0], d.bytes()...)
 	req.DeadlineNanos = int64(d.u64())
 	req.Version = d.u64()
+	if version >= Version4 {
+		req.Consistency = Consistency(d.byte())
+		if req.Consistency > ConsistencyAll {
+			return ErrBadMessage
+		}
+	} else {
+		req.Consistency = ConsistencyDefault
+	}
 	if d.err != nil {
 		return ErrBadMessage
 	}
 	return nil
 }
 
-// minRequestBody is the encoded size of a request body whose key,
+// minRequestBody is the encoded size of a v2/v3 request body whose key,
 // value, and old value are all empty — the decoder's plausibility floor
-// for batch operation counts.
+// for batch operation counts. v4 bodies carry one more byte
+// (consistency).
 const minRequestBody = 1 + 8 + 4 + 4 + 40 + 8 + 4 + 8 + 8
+
+// minBodyFor returns the plausibility floor for one request body at the
+// given protocol version.
+func minBodyFor(version byte) int {
+	if version >= Version4 {
+		return minRequestBody + 1
+	}
+	return minRequestBody
+}
 
 // ReadRequest decodes the next frame as a single-operation Request
 // (batch frames are rejected; servers use ReadRequests).
@@ -628,7 +792,7 @@ func (r *Reader) ReadRequest(req *Request) error {
 	if !versionOK(version) || kind != kindRequest {
 		return ErrBadMessage
 	}
-	return decodeRequestBody(&d, req)
+	return decodeRequestBody(&d, req, version)
 }
 
 // ReadRequests decodes the next frame — a single-op request or a v3
@@ -655,7 +819,7 @@ func (r *Reader) ReadRequests(reqs *[]Request) (version byte, err error) {
 			return 0, ErrBadMessage
 		}
 		n := d.u32()
-		if d.err != nil || n == 0 || n > MaxBatchOps || int(n)*minRequestBody > d.remain() {
+		if d.err != nil || n == 0 || n > MaxBatchOps || int(n)*minBodyFor(version) > d.remain() {
 			return 0, ErrBadMessage
 		}
 		count = int(n)
@@ -669,7 +833,7 @@ func (r *Reader) ReadRequests(reqs *[]Request) (version byte, err error) {
 	batch = batch[:count]
 	*reqs = batch
 	for i := range batch {
-		if err := decodeRequestBody(&d, &batch[i]); err != nil {
+		if err := decodeRequestBody(&d, &batch[i], version); err != nil {
 			*reqs = batch[:0]
 			return 0, err
 		}
