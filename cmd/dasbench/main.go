@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/daskv/daskv/internal/bench"
+	"github.com/daskv/daskv/internal/cli"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func run() error {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		outDir    = flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
 		liveDur   = flag.Duration("live", 0, "wall-clock duration per live-store policy run (default 6s)")
+		liveRate  = flag.String("live-rate", "", "pace live clients to this total offered rate in req/s (k/M suffixes); empty = pure closed loop")
 		liveJSON  = flag.String("live-json", "", "run only the live-store benchmark and write JSON results to this path")
 		liveGate  = flag.Float64("live-gate", 0, "run the live tail-latency gate: fail unless DAS p99 <= this ratio x FCFS p99 (0 disables)")
 		liveSizes = flag.Bool("live-sizes", false, "use the heavy-tailed Pareto value-size mix for -live-gate: compare small-op p99 of DAS with split pools vs FCFS")
@@ -56,6 +58,13 @@ func run() error {
 		Seeds:    *seeds,
 		Seed:     *seed,
 		Live:     *liveDur,
+	}
+	if *liveRate != "" {
+		rate, err := cli.ParseRate(*liveRate)
+		if err != nil {
+			return fmt.Errorf("-live-rate: %w", err)
+		}
+		params.LiveRate = rate
 	}
 	if *liveJSON != "" {
 		return writeLiveJSON(params, *liveJSON)

@@ -1,0 +1,162 @@
+// Command dasload is the open-loop load harness: it drives one
+// scenario of the evaluation matrix at a fixed offered rate per sweep
+// point, measuring intended-start-to-completion latency so coordinated
+// omission is counted, and emits throughput-vs-latency frontier curves
+// per scheduling policy.
+//
+// Usage:
+//
+//	dasload -list-scenarios
+//	dasload -scenario base -policies all -rates 2k,4k,8k,12k
+//	dasload -scenario ci -policies das,fcfs -rates 1k,2k -duration 2s \
+//	        -json BENCH_frontier.json -gate 800
+//
+// See docs/BENCHMARKING.md for the methodology.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/daskv/daskv/internal/cli"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/load"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dasload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario  = flag.String("scenario", "base", "scenario matrix cell to drive (see -list-scenarios)")
+		list      = flag.Bool("list-scenarios", false, "list the scenario matrix and exit")
+		policies  = flag.String("policies", "all", "comma-separated policies: das, fcfs, rein-sbf, das+pools, or 'all'")
+		arrival   = flag.String("arrival", "poisson", "arrival process: poisson | fixed | onoff:ONMEAN:OFFMEAN")
+		rates     = flag.String("rates", "2k,4k,8k,12k,16k", "offered request rates to sweep, ascending (k/M suffixes)")
+		duration  = flag.Duration("duration", 5*time.Second, "measured window per sweep point")
+		warmup    = flag.Duration("warmup", 0, "schedule prefix excluded from stats (default duration/5)")
+		workers   = flag.Int("workers", 64, "open-loop executor pool size")
+		conns     = flag.Int("conns", 8, "kv client pool width (connections per server = conns)")
+		queue     = flag.Int("queue", 128, "per-worker pending-request queue depth")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		p99Budget = flag.Duration("p99-budget", 5*time.Millisecond, "p99 latency budget defining sustainability")
+		errBudget = flag.Float64("error-budget", 0.01, "max (errors+drops)/sent for a sustainable point")
+		lateness  = flag.Duration("lateness-budget", 50*time.Millisecond, "max harness dispatch-lateness p99 for a sustainable point")
+		keepGoing = flag.Bool("keep-going", false, "run every rate even after the first unsustainable point")
+		seed      = flag.Uint64("seed", 1, "RNG seed shared by every point and policy")
+		jsonOut   = flag.String("json", "", "write the frontier document to this path")
+		gate      = flag.Float64("gate", 0, "fail unless every policy sustains at least this many req/s within budget (0 disables)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range load.Matrix() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Note)
+		}
+		return nil
+	}
+
+	sc, ok := load.ByName(*scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (use -list-scenarios)", *scenario)
+	}
+	pols, err := load.ParsePolicies(*policies)
+	if err != nil {
+		return err
+	}
+	rateList, err := cli.ParseRates(*rates)
+	if err != nil {
+		return err
+	}
+	arrFactory, err := cli.ParseArrival(*arrival)
+	if err != nil {
+		return err
+	}
+
+	cfg := load.SweepConfig{
+		Rates:            rateList,
+		Arrival:          func(rate float64) (dist.Arrival, error) { return arrFactory(rate) },
+		Duration:         *duration,
+		Warmup:           *warmup,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		Timeout:          *timeout,
+		Clients:          *conns,
+		P99Budget:        *p99Budget,
+		MaxErrorFraction: *errBudget,
+		MaxLatenessP99:   *lateness,
+		KeepGoing:        *keepGoing,
+		Seed:             *seed,
+		Log:              os.Stdout,
+	}
+
+	start := time.Now()
+	frontiers := make([]load.Frontier, 0, len(pols))
+	for _, pol := range pols {
+		f, err := load.RunSweep(sc, pol, cfg)
+		if err != nil {
+			return fmt.Errorf("sweep %s/%s: %w", sc.Name, pol.Name, err)
+		}
+		frontiers = append(frontiers, f)
+	}
+
+	fmt.Printf("\nscenario %s (%s), arrival %s, p99 budget %v\n", sc.Name, sc.Note, *arrival, *p99Budget)
+	for _, f := range frontiers {
+		fmt.Printf("  %-10s sustains %8.0f req/s within budget (%d points)\n",
+			f.Policy, f.SustainableRPS, len(f.Points))
+	}
+	fmt.Printf("(swept in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		doc := struct {
+			Benchmark   string          `json:"benchmark"`
+			Scenario    string          `json:"scenario"`
+			Note        string          `json:"note"`
+			Arrival     string          `json:"arrival"`
+			DurationS   float64         `json:"duration_s"`
+			Workers     int             `json:"workers"`
+			Conns       int             `json:"conns"`
+			P99BudgetMs float64         `json:"p99_budget_ms"`
+			Seed        uint64          `json:"seed"`
+			Frontiers   []load.Frontier `json:"frontiers"`
+		}{
+			Benchmark:   "open-loop multiget latency-vs-throughput frontier",
+			Scenario:    sc.Name,
+			Note:        sc.Note,
+			Arrival:     *arrival,
+			DurationS:   duration.Seconds(),
+			Workers:     *workers,
+			Conns:       *conns,
+			P99BudgetMs: float64(*p99Budget) / float64(time.Millisecond),
+			Seed:        *seed,
+			Frontiers:   frontiers,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *jsonOut, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	if *gate > 0 {
+		for _, f := range frontiers {
+			if f.SustainableRPS < *gate {
+				return fmt.Errorf("gate: policy %s sustains %.0f req/s, below the %.0f req/s floor",
+					f.Policy, f.SustainableRPS, *gate)
+			}
+		}
+		fmt.Printf("gate ok: every policy sustains >= %.0f req/s\n", *gate)
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ func run() error {
 	var (
 		policyName = flag.String("policy", "das", "scheduling policy: "+fmt.Sprint(cli.PolicyNames()))
 		load       = flag.Float64("load", 0.7, "offered load (utilization of the nominal cluster)")
+		rateSpec   = flag.String("rate", "", "absolute offered rate in req/s (k/M suffixes); overrides -load")
 		servers    = flag.Int("servers", 16, "cluster size")
 		workers    = flag.Int("workers", 1, "worker threads per server")
 		requests   = flag.Int("requests", 30000, "requests to simulate")
@@ -88,6 +89,19 @@ func run() error {
 	rate, err := workload.RateForLoad(*load, *servers, 1.0, fanout.Mean(), demand.Mean())
 	if err != nil {
 		return err
+	}
+	if *rateSpec != "" {
+		abs, err := cli.ParseRate(*rateSpec)
+		if err != nil {
+			return fmt.Errorf("-rate: %w", err)
+		}
+		rate = abs
+		// Recompute the implied utilization so the summary stays honest.
+		nominal, err := workload.RateForLoad(1.0, *servers, 1.0, fanout.Mean(), demand.Mean())
+		if err != nil {
+			return err
+		}
+		*load = rate / nominal
 	}
 	// Cap warmup at a fifth of the expected run so fast workloads still
 	// record measurements.

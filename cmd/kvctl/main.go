@@ -198,6 +198,17 @@ func run() error {
 				st.Speed, st.Keys,
 				time.Duration(st.UptimeNanos).Round(time.Second))
 		}
+		// Connection-scaling view: live/lifetime connections, the
+		// goroutines serving them, and in-flight depth (total and the
+		// busiest single connection) — the server-side readout for
+		// diagnosing harness-driven saturation.
+		fmt.Printf("\n%-7s %7s %9s %11s %11s %10s %14s\n",
+			"server", "conns", "accepted", "conn-gors", "goroutines", "inflight", "conn-max-infl")
+		for _, st := range stats {
+			fmt.Printf("%-7d %7d %9d %11d %11d %10d %14d\n",
+				st.Server, st.OpenConns, st.ConnsTotal, st.ConnGoroutines,
+				st.Goroutines, st.InFlight, st.ConnInFlightMax)
+		}
 		if pooled {
 			// Per-pool breakdown for servers running split worker pools:
 			// queue depth and busy workers per size class, the learned (or

@@ -32,6 +32,11 @@ type Params struct {
 	// Live is the wall-clock duration of each live-store (E12) run
 	// (default 6s).
 	Live time.Duration
+	// LiveRate, when positive, paces the live clients to this total
+	// offered rate (req/s) on a fixed per-client schedule instead of the
+	// pure closed loop; latency is still charged from each request's
+	// intended slot, so falling behind the schedule shows in the tail.
+	LiveRate float64
 }
 
 func (p Params) withDefaults() Params {
@@ -296,6 +301,11 @@ func header(w io.Writer, id, title, note string) {
 
 func ms(d time.Duration) string {
 	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}
+
+// us renders a duration in microseconds, the natural unit for send lag.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.0fus", float64(d)/float64(time.Microsecond))
 }
 
 // gain formats the relative reduction of b versus a ("x% better").

@@ -111,11 +111,38 @@ func TestRunLiveOnceSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live cluster smoke test skipped in -short")
 	}
-	sum, n, err := runLiveOnce(corePolicies()[2].factory, true, 1500*time.Millisecond)
+	r, err := runLiveOnce(corePolicies()[2].factory, true, Params{Live: 1500 * time.Millisecond})
 	if err != nil {
 		t.Fatalf("runLiveOnce: %v", err)
 	}
-	if n == 0 || sum.Count() == 0 {
+	if r.count == 0 || r.rct.Count() == 0 {
 		t.Fatal("live run completed no requests")
+	}
+	if r.sendLag.Count() != r.rct.Count() {
+		t.Fatalf("send lag recorded %d samples, rct %d", r.sendLag.Count(), r.rct.Count())
+	}
+	// Closed loop with no pacing: the gap between becoming free and
+	// sending is harness overhead only, far below the ~ms op demands.
+	if r.sendLag.P50() > time.Millisecond {
+		t.Fatalf("closed-loop send lag p50 %v, want harness-overhead scale", r.sendLag.P50())
+	}
+}
+
+func TestRunLivePacedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster smoke test skipped in -short")
+	}
+	// Pace well below capacity: the schedule must be kept (tiny lag) and
+	// the request count must track the offered rate, not the closed-loop
+	// maximum.
+	r, err := runLiveOnce(corePolicies()[0].factory, false, Params{Live: 1500 * time.Millisecond, LiveRate: 200})
+	if err != nil {
+		t.Fatalf("runLiveOnce paced: %v", err)
+	}
+	if r.count == 0 {
+		t.Fatal("paced run completed no requests")
+	}
+	if r.count > 600 {
+		t.Fatalf("paced run sent %d requests in 1.5s at 200/s offered — pacing not applied", r.count)
 	}
 }

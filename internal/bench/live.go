@@ -30,7 +30,7 @@ func runE12(p Params, w io.Writer) error {
 	p = p.withDefaults()
 	header(w, "E12", "Live-store validation (beyond the paper)",
 		fmt.Sprintf("4 loopback servers, 1 worker each, 24 closed-loop multiget clients, %v per policy", p.Live))
-	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s\n", "policy", "requests", "mean(ms)", "p50(ms)", "p99(ms)")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %12s\n", "policy", "requests", "mean(ms)", "p50(ms)", "p99(ms)", "sendlag-p99")
 	for _, pc := range []struct {
 		name     string
 		factory  sched.Factory
@@ -40,12 +40,12 @@ func runE12(p Params, w io.Writer) error {
 		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
 		{name: "DAS", factory: core.Factory(core.LiveOptions()), adaptive: true},
 	} {
-		sum, n, err := runLiveOnce(pc.factory, pc.adaptive, p.Live)
+		r, err := runLiveOnce(pc.factory, pc.adaptive, p)
 		if err != nil {
 			return fmt.Errorf("bench: live %s: %w", pc.name, err)
 		}
-		fmt.Fprintf(w, "%-10s %10d %10s %10s %10s\n",
-			pc.name, n, ms(sum.Mean()), ms(sum.P50()), ms(sum.P99()))
+		fmt.Fprintf(w, "%-10s %10d %10s %10s %10s %12s\n",
+			pc.name, r.count, ms(r.rct.Mean()), ms(r.rct.P50()), ms(r.rct.P99()), us(r.sendLag.P99()))
 	}
 	return nil
 }
@@ -58,6 +58,29 @@ type LiveResult struct {
 	MeanMs   float64 `json:"mean_ms"`
 	P50Ms    float64 `json:"p50_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+	// Send lag is actual-send minus intended-start per request: in the
+	// closed loop the intended start is the instant the client became
+	// free (so lag is pure harness overhead); in a paced run it is the
+	// request's schedule slot (so lag is how far the loop fell behind).
+	// Reporting it makes these numbers comparable with the open-loop
+	// frontier in BENCH_frontier.json, where the same gap is the
+	// lateness readout.
+	SendLagMeanUs float64 `json:"send_lag_mean_us"`
+	SendLagP99Us  float64 `json:"send_lag_p99_us"`
+	SendLagMaxUs  float64 `json:"send_lag_max_us"`
+}
+
+func liveResult(name string, r liveRun) LiveResult {
+	return LiveResult{
+		Policy:        name,
+		Requests:      r.count,
+		MeanMs:        float64(r.rct.Mean()) / float64(time.Millisecond),
+		P50Ms:         float64(r.rct.P50()) / float64(time.Millisecond),
+		P99Ms:         float64(r.rct.P99()) / float64(time.Millisecond),
+		SendLagMeanUs: float64(r.sendLag.Mean()) / float64(time.Microsecond),
+		SendLagP99Us:  float64(r.sendLag.P99()) / float64(time.Microsecond),
+		SendLagMaxUs:  float64(r.sendLag.Max()) / float64(time.Microsecond),
+	}
 }
 
 // RunLiveJSON runs the E12 live-store benchmark for each policy and
@@ -74,17 +97,11 @@ func RunLiveJSON(p Params) ([]LiveResult, error) {
 		{name: "Rein-SBF", factory: sched.ReinSBFFactory},
 		{name: "DAS", factory: core.Factory(core.LiveOptions()), adaptive: true},
 	} {
-		sum, n, err := runLiveOnce(pc.factory, pc.adaptive, p.Live)
+		r, err := runLiveOnce(pc.factory, pc.adaptive, p)
 		if err != nil {
 			return nil, fmt.Errorf("bench: live %s: %w", pc.name, err)
 		}
-		out = append(out, LiveResult{
-			Policy:   pc.name,
-			Requests: n,
-			MeanMs:   float64(sum.Mean()) / float64(time.Millisecond),
-			P50Ms:    float64(sum.P50()) / float64(time.Millisecond),
-			P99Ms:    float64(sum.P99()) / float64(time.Millisecond),
-		})
+		out = append(out, liveResult(pc.name, r))
 	}
 	return out, nil
 }
@@ -102,37 +119,50 @@ func RunLiveGate(p Params, w io.Writer, maxRatio float64, retries int) error {
 		if attempt > 0 {
 			fmt.Fprintf(w, "live-gate: retrying (%v)\n", lastErr)
 		}
-		fcfs, nf, err := runLiveOnce(sched.FCFSFactory, false, p.Live)
+		fcfs, err := runLiveOnce(sched.FCFSFactory, false, p)
 		if err != nil {
 			return fmt.Errorf("bench: live-gate FCFS: %w", err)
 		}
-		das, nd, err := runLiveOnce(core.Factory(core.LiveOptions()), true, p.Live)
+		das, err := runLiveOnce(core.Factory(core.LiveOptions()), true, p)
 		if err != nil {
 			return fmt.Errorf("bench: live-gate DAS: %w", err)
 		}
-		ratio := float64(das.P99()) / float64(fcfs.P99())
-		fmt.Fprintf(w, "live-gate: FCFS p99 %s (%d reqs), DAS p99 %s (%d reqs), ratio %.3f (limit %.2f)\n",
-			ms(fcfs.P99()), nf, ms(das.P99()), nd, ratio, maxRatio)
+		ratio := float64(das.rct.P99()) / float64(fcfs.rct.P99())
+		fmt.Fprintf(w, "live-gate: FCFS p99 %s (%d reqs, sendlag p99 %s), DAS p99 %s (%d reqs, sendlag p99 %s), ratio %.3f (limit %.2f)\n",
+			ms(fcfs.rct.P99()), fcfs.count, us(fcfs.sendLag.P99()),
+			ms(das.rct.P99()), das.count, us(das.sendLag.P99()), ratio, maxRatio)
 		if ratio <= maxRatio {
 			return nil
 		}
 		lastErr = fmt.Errorf("bench: live DAS p99 %s exceeds %.2fx FCFS p99 %s",
-			ms(das.P99()), maxRatio, ms(fcfs.P99()))
+			ms(das.rct.P99()), maxRatio, ms(fcfs.rct.P99()))
 	}
 	return lastErr
 }
 
+// liveRun is one live run's measurements: rct is charged from each
+// request's intended start (the instant the client became free, or its
+// pace slot), sendLag is actual-send minus intended start — the
+// closed-loop bias, recorded instead of silently absorbed.
+type liveRun struct {
+	rct     *metrics.Summary
+	sendLag *metrics.Summary
+	count   uint64
+}
+
 // runLiveOnce drives one policy on a fresh loopback cluster with the
 // default single-worker servers.
-func runLiveOnce(factory sched.Factory, adaptive bool, runFor time.Duration) (*metrics.Summary, uint64, error) {
-	return runLiveConfigured(factory, adaptive, 0, 0, runFor)
+func runLiveOnce(factory sched.Factory, adaptive bool, p Params) (liveRun, error) {
+	return runLiveConfigured(factory, adaptive, 0, 0, p.Live, p.LiveRate)
 }
 
 // runLiveConfigured is runLiveOnce with the server shape exposed:
 // workers per server (0 means the server default) and the size-class
 // pool split fraction (0 disables the split). The uniform-pools check
 // uses it to prove the split costs nothing when every value is small.
-func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSplit float64, runFor time.Duration) (*metrics.Summary, uint64, error) {
+// rate > 0 paces the clients to that total offered rate on fixed
+// per-client schedules; 0 is the pure closed loop.
+func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSplit float64, runFor time.Duration, rate float64) (liveRun, error) {
 	const (
 		servers   = 4
 		clients   = 24
@@ -156,7 +186,7 @@ func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSp
 			PoolSplit: poolSplit,
 		})
 		if err != nil {
-			return nil, 0, err
+			return liveRun{}, err
 		}
 		srvs = append(srvs, srv)
 		addrs[srv.ID()] = srv.Addr()
@@ -167,7 +197,7 @@ func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSp
 		Demand:   kv.DemandModel(liveCost),
 	})
 	if err != nil {
-		return nil, 0, err
+		return liveRun{}, err
 	}
 	defer func() { _ = client.Close() }()
 
@@ -179,14 +209,21 @@ func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSp
 		pad := rng.IntN(11)
 		keys[i] = fmt.Sprintf("key-%04d-%s", i, "xxxxxxxxxxx"[:pad])
 		if err := client.Put(ctx, keys[i], []byte("value")); err != nil {
-			return nil, 0, err
+			return liveRun{}, err
 		}
 	}
 
-	sum := metrics.NewSummary(0)
+	// pace is each client's schedule interval when the run is rate-paced
+	// (clients fixed slots apart); zero keeps the pure closed loop.
+	var pace time.Duration
+	if rate > 0 {
+		pace = time.Duration(float64(clients) / rate * float64(time.Second))
+	}
+
+	run := liveRun{rct: metrics.NewSummary(0), sendLag: metrics.NewSummary(0)}
 	var mu sync.Mutex
-	var count uint64
-	deadline := time.Now().Add(runFor)
+	begin := time.Now()
+	deadline := begin.Add(runFor)
 	var wg sync.WaitGroup
 	errCh := make(chan error, clients)
 	for c := 0; c < clients; c++ {
@@ -195,22 +232,45 @@ func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSp
 		go func() {
 			defer wg.Done()
 			crng := dist.NewRand(uint64(c) + 100)
+			// slot is this client's next scheduled send in paced mode; the
+			// grid never slips, so falling behind surfaces as send lag.
+			slot := begin.Add(pace * time.Duration(c) / time.Duration(clients))
+			free := time.Now()
 			for time.Now().Before(deadline) {
+				// intended is when this request should have been sent: the
+				// instant the client became free (closed loop), or its
+				// schedule slot (paced). RCT is charged from it, and the
+				// gap to the actual send is recorded rather than hidden.
+				intended := free
+				if pace > 0 {
+					intended = slot
+					slot = slot.Add(pace)
+					if wait := time.Until(intended); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
 				k := 1 + crng.IntN(maxFanout)
 				batch := make([]string, k)
 				for i := range batch {
 					batch[i] = keys[crng.IntN(keyspace)]
 				}
-				start := time.Now()
+				sendAt := time.Now()
 				if _, err := client.MGet(ctx, batch); err != nil {
 					errCh <- err
 					return
 				}
-				rct := time.Since(start)
+				done := time.Now()
+				rct := done.Sub(intended)
+				lag := sendAt.Sub(intended)
+				if lag < 0 {
+					lag = 0
+				}
 				mu.Lock()
-				sum.Observe(rct)
-				count++
+				run.rct.Observe(rct)
+				run.sendLag.Observe(lag)
+				run.count++
 				mu.Unlock()
+				free = done
 			}
 			errCh <- nil
 		}()
@@ -218,8 +278,8 @@ func runLiveConfigured(factory sched.Factory, adaptive bool, workers int, poolSp
 	wg.Wait()
 	for c := 0; c < clients; c++ {
 		if err := <-errCh; err != nil {
-			return nil, 0, err
+			return liveRun{}, err
 		}
 	}
-	return sum, count, nil
+	return run, nil
 }

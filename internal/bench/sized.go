@@ -324,17 +324,11 @@ func RunLiveUniformPoolsJSON(p Params) ([]LiveResult, error) {
 		{name: "FCFS", factory: sched.FCFSFactory},
 		{name: "DAS+pools", factory: core.Factory(core.LiveOptions()), adaptive: true, poolSplit: 0.5},
 	} {
-		sum, n, err := runLiveConfigured(pc.factory, pc.adaptive, 2, pc.poolSplit, p.Live)
+		r, err := runLiveConfigured(pc.factory, pc.adaptive, 2, pc.poolSplit, p.Live, p.LiveRate)
 		if err != nil {
 			return nil, fmt.Errorf("bench: uniform-pools %s: %w", pc.name, err)
 		}
-		out = append(out, LiveResult{
-			Policy:   pc.name,
-			Requests: n,
-			MeanMs:   float64(sum.Mean()) / float64(time.Millisecond),
-			P50Ms:    float64(sum.P50()) / float64(time.Millisecond),
-			P99Ms:    float64(sum.P99()) / float64(time.Millisecond),
-		})
+		out = append(out, liveResult(pc.name, r))
 	}
 	return out, nil
 }

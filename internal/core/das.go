@@ -144,6 +144,16 @@ type DAS struct {
 	seqs []uint64
 	seq  uint64
 
+	// live maps each heap-resident op to its push sequence, allocated
+	// only when a starvation bound keeps lazy aging/FIFO entries. It
+	// exists so holds can validate an entry without dereferencing its
+	// op pointer: a stale entry's op may already be recycled by the
+	// caller's op pool and concurrently reinitialized by its next
+	// owner — possibly another server's queue, outside this queue's
+	// lock — so touching the pointed-to memory would be a data race.
+	// Map lookup hashes the pointer value itself, never the pointee.
+	live map[*sched.Op]uint64
+
 	fifo     []agingEntry
 	fifoHead int
 
@@ -167,7 +177,11 @@ func New(opts Options) (*DAS, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	return &DAS{opts: opts}, nil
+	q := &DAS{opts: opts}
+	if opts.MaxDelay > 0 || opts.AgingBound > 0 {
+		q.live = make(map[*sched.Op]uint64)
+	}
+	return q, nil
 }
 
 // Factory builds per-server DAS queues with the given options; invalid
@@ -274,6 +288,9 @@ func (q *DAS) admit(op *sched.Op, now time.Duration, fire, near bool) {
 	}
 	heap.Push((*dasHeap)(q), op)
 	seq := q.seqs[dasHeapIndex(op)]
+	if q.live != nil {
+		q.live[op] = seq
+	}
 	if q.opts.MaxDelay > 0 {
 		q.fifo = append(q.fifo, agingEntry{op: op, seq: seq})
 	}
@@ -286,10 +303,12 @@ func (q *DAS) admit(op *sched.Op, now time.Duration, fire, near bool) {
 // queue's live incarnation: heap-resident here, at the recorded push
 // sequence. A pointer that fails this check was already served and
 // possibly recycled by the caller's op pool (and may even sit in
-// another server's queue by now), so bound bookkeeping must skip it.
+// another server's queue by now, being reinitialized concurrently) —
+// which is exactly why the check consults the queue-side live map
+// instead of dereferencing e.op; see the live field.
 func (q *DAS) holds(e agingEntry) bool {
-	i := dasHeapIndex(e.op)
-	return i >= 0 && i < len(q.ops) && q.ops[i] == e.op && q.seqs[i] == e.seq
+	seq, ok := q.live[e.op]
+	return ok && seq == e.seq
 }
 
 // agingAllowance is how long an op may wait before the relative bound
@@ -335,6 +354,7 @@ func (q *DAS) Pop(now time.Duration) *sched.Op {
 	if !ok {
 		return nil
 	}
+	delete(q.live, op)
 	q.backlog -= op.Demand
 	return op
 }
@@ -343,6 +363,7 @@ func (q *DAS) Pop(now time.Duration) *sched.Op {
 // order under a starvation bound.
 func (q *DAS) promote(op *sched.Op) {
 	heap.Remove((*dasHeap)(q), dasHeapIndex(op))
+	delete(q.live, op)
 	q.backlog -= op.Demand
 	q.stats.Promotions++
 	op.Class = sched.ClassPromoted

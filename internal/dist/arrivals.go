@@ -137,6 +137,10 @@ func NewPoisson(rate float64, profile LoadProfile) (*Poisson, error) {
 	return &Poisson{Rate: rate, Profile: profile}, nil
 }
 
+func (p *Poisson) String() string {
+	return fmt.Sprintf("poisson(%.1f/s, %v)", p.Rate, p.Profile)
+}
+
 // Next returns the first arrival instant strictly after t.
 func (p *Poisson) Next(t time.Duration, rng *rand.Rand) time.Duration {
 	peak := p.Rate * p.Profile.Peak()

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Arrival generates the instants of an arrival process. Implementations
+// must be pure functions of (previous instant, rng) — never of anything
+// downstream like response latency — which is what makes a load
+// generator built on them open-loop: the send schedule is fixed by the
+// process and the seed alone.
+type Arrival interface {
+	// Next returns the first arrival instant strictly after t.
+	Next(t time.Duration, rng *rand.Rand) time.Duration
+	String() string
+}
+
+var (
+	_ Arrival = (*Poisson)(nil)
+	_ Arrival = (*FixedRate)(nil)
+	_ Arrival = (*OnOff)(nil)
+)
+
+// FixedRate emits perfectly periodic arrivals at Rate per second — the
+// zero-variance baseline that isolates queueing noise from arrival
+// noise.
+type FixedRate struct {
+	Rate float64
+}
+
+// NewFixedRate validates the rate.
+func NewFixedRate(rate float64) (*FixedRate, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("fixedrate: rate %v must be positive and finite", rate)
+	}
+	return &FixedRate{Rate: rate}, nil
+}
+
+// Next implements Arrival.
+func (p *FixedRate) Next(t time.Duration, _ *rand.Rand) time.Duration {
+	return t + time.Duration(float64(time.Second)/p.Rate)
+}
+
+func (p *FixedRate) String() string { return fmt.Sprintf("fixed(%.1f/s)", p.Rate) }
+
+// OnOff is a two-state Markov-modulated Poisson process (an MMPP-2 with
+// a silent off state): exponentially distributed on-periods with mean
+// OnMean during which arrivals are Poisson at RateOn, alternating with
+// exponentially distributed off-periods with mean OffMean carrying no
+// arrivals. The long-run mean rate is RateOn * OnMean / (OnMean +
+// OffMean); use NewOnOff to solve RateOn from a target mean. The state
+// trajectory is itself sampled from the rng, so two generators with the
+// same seed see the same bursts.
+type OnOff struct {
+	RateOn  float64
+	OnMean  time.Duration
+	OffMean time.Duration
+
+	// Sampled state trajectory, advanced lazily as Next consumes it:
+	// the current on-period is [onStart, onEnd).
+	onStart, onEnd time.Duration
+	started        bool
+}
+
+// NewOnOff builds a bursty process whose long-run mean rate is
+// meanRate: the on-state rate is scaled up by the inverse duty cycle.
+func NewOnOff(meanRate float64, onMean, offMean time.Duration) (*OnOff, error) {
+	if meanRate <= 0 || math.IsNaN(meanRate) || math.IsInf(meanRate, 0) {
+		return nil, fmt.Errorf("onoff: mean rate %v must be positive and finite", meanRate)
+	}
+	if onMean <= 0 || offMean < 0 {
+		return nil, fmt.Errorf("onoff: on mean %v must be positive and off mean %v non-negative", onMean, offMean)
+	}
+	duty := float64(onMean) / float64(onMean+offMean)
+	return &OnOff{
+		RateOn:  meanRate / duty,
+		OnMean:  onMean,
+		OffMean: offMean,
+	}, nil
+}
+
+// Next implements Arrival: candidate exponential gaps at RateOn are
+// folded over the sampled on-periods, skipping the silent gaps.
+func (p *OnOff) Next(t time.Duration, rng *rand.Rand) time.Duration {
+	if !p.started {
+		p.started = true
+		p.onStart = 0
+		p.onEnd = expDur(rng, p.OnMean)
+	}
+	// Fast-forward the state trajectory to cover t.
+	for t >= p.onEnd {
+		p.advance(rng)
+	}
+	if t < p.onStart {
+		t = p.onStart
+	}
+	for {
+		gap := time.Duration(rng.ExpFloat64() / p.RateOn * float64(time.Second))
+		if gap <= 0 {
+			gap = 1
+		}
+		t += gap
+		if t < p.onEnd {
+			return t
+		}
+		// The gap ran past the end of the on-period: the unspent part
+		// resumes at the start of the next one (memorylessness of the
+		// exponential makes discarding vs. carrying equivalent; carrying
+		// keeps the mean rate exact for short on-periods too).
+		spill := t - p.onEnd
+		p.advance(rng)
+		t = p.onStart + spill
+		for t >= p.onEnd {
+			spill = t - p.onEnd
+			p.advance(rng)
+			t = p.onStart + spill
+		}
+		return t
+	}
+}
+
+// advance samples the next on-period after the current one.
+func (p *OnOff) advance(rng *rand.Rand) {
+	p.onStart = p.onEnd + expDur(rng, p.OffMean)
+	p.onEnd = p.onStart + expDur(rng, p.OnMean)
+}
+
+// expDur samples an exponential duration with the given mean (0 mean
+// collapses to 0 — a degenerate always-on process).
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+func (p *OnOff) String() string {
+	return fmt.Sprintf("onoff(%.1f/s on, on=%v, off=%v)", p.RateOn, p.OnMean, p.OffMean)
+}

@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// collectGaps runs an arrival process for n events from t=0 and returns
+// the interarrival gaps in seconds.
+func collectGaps(t *testing.T, p Arrival, seed uint64, n int) []float64 {
+	t.Helper()
+	rng := NewRand(seed)
+	gaps := make([]float64, 0, n)
+	var tm time.Duration
+	for i := 0; i < n; i++ {
+		next := p.Next(tm, rng)
+		if next <= tm {
+			t.Fatalf("arrival %d did not advance: %v -> %v", i, tm, next)
+		}
+		gaps = append(gaps, (next - tm).Seconds())
+		tm = next
+	}
+	return gaps
+}
+
+func meanCV(gaps []float64) (mean, cv float64) {
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var varSum float64
+	for _, g := range gaps {
+		varSum += (g - mean) * (g - mean)
+	}
+	sd := math.Sqrt(varSum / float64(len(gaps)))
+	return mean, sd / mean
+}
+
+// Poisson interarrivals at rate lambda are exponential: mean 1/lambda
+// and coefficient of variation 1.
+func TestPoissonInterarrivalMeanAndCV(t *testing.T) {
+	p, err := NewPoisson(2000, nil)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	mean, cv := meanCV(collectGaps(t, p, 41, 200000))
+	if math.Abs(mean-1.0/2000)/(1.0/2000) > 0.02 {
+		t.Fatalf("mean gap %.6fs, want ~%.6fs", mean, 1.0/2000)
+	}
+	if math.Abs(cv-1) > 0.03 {
+		t.Fatalf("interarrival CV %.3f, want ~1 (exponential)", cv)
+	}
+}
+
+func TestFixedRateIsDeterministic(t *testing.T) {
+	p, err := NewFixedRate(500)
+	if err != nil {
+		t.Fatalf("NewFixedRate: %v", err)
+	}
+	gaps := collectGaps(t, p, 1, 1000)
+	mean, cv := meanCV(gaps)
+	if math.Abs(mean-1.0/500)/(1.0/500) > 1e-9 {
+		t.Fatalf("mean gap %.9fs, want exactly %.9fs", mean, 1.0/500)
+	}
+	if cv > 1e-9 {
+		t.Fatalf("fixed-rate CV %.9f, want 0", cv)
+	}
+}
+
+func TestNewFixedRateErrors(t *testing.T) {
+	for _, r := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		if _, err := NewFixedRate(r); err == nil {
+			t.Fatalf("rate %v should error", r)
+		}
+	}
+}
+
+// The on-off process must hit its target long-run mean rate while
+// showing burstier-than-Poisson interarrivals (CV > 1), and its
+// arrivals must respect the duty cycle: with on and off means equal,
+// roughly half of wall time carries all the arrivals at ~2x the mean
+// rate.
+func TestOnOffMeanRateAndBurstiness(t *testing.T) {
+	const meanRate = 1000.0
+	p, err := NewOnOff(meanRate, 50*time.Millisecond, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	if math.Abs(p.RateOn-2*meanRate) > 1e-6 {
+		t.Fatalf("on-state rate %.1f, want %.1f (duty 0.5)", p.RateOn, 2*meanRate)
+	}
+	gaps := collectGaps(t, p, 43, 200000)
+	mean, cv := meanCV(gaps)
+	rate := 1 / mean
+	if math.Abs(rate-meanRate)/meanRate > 0.05 {
+		t.Fatalf("empirical mean rate %.1f/s, want ~%.0f", rate, meanRate)
+	}
+	if cv <= 1.1 {
+		t.Fatalf("interarrival CV %.3f, want > 1.1 (bursty)", cv)
+	}
+}
+
+// With a vanishing off-period the process degenerates to plain Poisson:
+// CV ~= 1 at the mean rate.
+func TestOnOffDegeneratesToPoisson(t *testing.T) {
+	p, err := NewOnOff(1000, 100*time.Millisecond, 0)
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	mean, cv := meanCV(collectGaps(t, p, 47, 100000))
+	if math.Abs(1/mean-1000)/1000 > 0.03 {
+		t.Fatalf("empirical rate %.1f/s, want ~1000", 1/mean)
+	}
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("CV %.3f, want ~1", cv)
+	}
+}
+
+// Duty cycle: the fraction of arrivals landing inside dense regions
+// must track OnMean/(OnMean+OffMean). We measure it as the fraction of
+// gaps that are "short" (under 4x the on-state mean gap): in the on
+// state essentially every gap is short, across an off-period the gap is
+// dominated by the silent time.
+func TestOnOffDutyCycle(t *testing.T) {
+	p, err := NewOnOff(2000, 40*time.Millisecond, 120*time.Millisecond) // duty 0.25 -> on rate 8000/s
+	if err != nil {
+		t.Fatalf("NewOnOff: %v", err)
+	}
+	gaps := collectGaps(t, p, 53, 100000)
+	onGap := 1.0 / p.RateOn
+	short := 0
+	var shortTime, total float64
+	for _, g := range gaps {
+		total += g
+		if g < 4*onGap {
+			short++
+			shortTime += g
+		}
+	}
+	// Nearly all arrivals are in-burst...
+	if frac := float64(short) / float64(len(gaps)); frac < 0.95 {
+		t.Fatalf("in-burst arrival fraction %.3f, want > 0.95", frac)
+	}
+	// ...but they cover only ~the duty cycle of wall time.
+	duty := shortTime / total
+	if duty < 0.18 || duty > 0.32 {
+		t.Fatalf("busy-time fraction %.3f, want ~0.25", duty)
+	}
+}
+
+func TestNewOnOffErrors(t *testing.T) {
+	if _, err := NewOnOff(0, time.Second, time.Second); err == nil {
+		t.Fatal("zero mean rate should error")
+	}
+	if _, err := NewOnOff(100, 0, time.Second); err == nil {
+		t.Fatal("zero on-mean should error")
+	}
+	if _, err := NewOnOff(100, time.Second, -time.Second); err == nil {
+		t.Fatal("negative off-mean should error")
+	}
+}
+
+// Two processes with the same seed must produce the identical schedule:
+// determinism is what lets a sweep compare policies on the same
+// arrival sequence.
+func TestArrivalDeterminism(t *testing.T) {
+	build := func() []Arrival {
+		p, _ := NewPoisson(500, nil)
+		f, _ := NewFixedRate(500)
+		o, _ := NewOnOff(500, 20*time.Millisecond, 20*time.Millisecond)
+		return []Arrival{p, f, o}
+	}
+	a, b := build(), build()
+	for i := range a {
+		ra, rb := NewRand(99), NewRand(99)
+		var ta, tb time.Duration
+		for j := 0; j < 5000; j++ {
+			ta = a[i].Next(ta, ra)
+			tb = b[i].Next(tb, rb)
+			if ta != tb {
+				t.Fatalf("%v: schedules diverge at %d: %v vs %v", a[i], j, ta, tb)
+			}
+		}
+	}
+}

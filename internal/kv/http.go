@@ -90,6 +90,19 @@ func writeExposition(w http.ResponseWriter, s *Server) {
 	e.Family("kv_op_errors_total", "Operations answered with a server error status.", "counter")
 	e.IntSample("kv_op_errors_total", []metrics.Label{server}, st.Errors)
 
+	e.Family("kv_open_connections", "Live client connections.", "gauge")
+	e.IntSample("kv_open_connections", []metrics.Label{server}, uint64(st.OpenConns))
+	e.Family("kv_connections_total", "Connections accepted since start.", "counter")
+	e.IntSample("kv_connections_total", []metrics.Label{server}, st.ConnsTotal)
+	e.Family("kv_conn_goroutines", "Goroutines servicing client connections (one reader plus one writer each).", "gauge")
+	e.IntSample("kv_conn_goroutines", []metrics.Label{server}, uint64(st.ConnGoroutines))
+	e.Family("kv_process_goroutines", "Goroutines in the whole process at scrape time.", "gauge")
+	e.IntSample("kv_process_goroutines", []metrics.Label{server}, uint64(st.Goroutines))
+	e.Family("kv_inflight_ops", "Operations admitted to the queue but not yet answered.", "gauge")
+	e.IntSample("kv_inflight_ops", []metrics.Label{server}, uint64(max(st.InFlight, 0)))
+	e.Family("kv_conn_inflight_ops_max", "Largest single connection's in-flight operation count.", "gauge")
+	e.IntSample("kv_conn_inflight_ops_max", []metrics.Label{server}, uint64(max(st.ConnInFlightMax, 0)))
+
 	e.Family("kv_queue_length", "Operations waiting in the scheduling queue.", "gauge")
 	e.IntSample("kv_queue_length", []metrics.Label{server}, uint64(st.QueueLen))
 	e.Family("kv_backlog_seconds", "Queued service demand in seconds.", "gauge")

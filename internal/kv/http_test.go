@@ -56,6 +56,27 @@ func TestMetricsStatsJSON(t *testing.T) {
 	if st.Server != 3 || st.Served == 0 || st.Keys != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.OpenConns != 1 || st.ConnsTotal != 1 || st.ConnGoroutines != 2 {
+		t.Fatalf("connection gauges = %d open, %d total, %d goroutines; want 1/1/2",
+			st.OpenConns, st.ConnsTotal, st.ConnGoroutines)
+	}
+	if st.Goroutines <= 0 {
+		t.Fatalf("process goroutines = %d", st.Goroutines)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight = %d with nothing outstanding", st.InFlight)
+	}
+
+	// Over the wire, the stats op itself is in flight while the document
+	// is built, so the in-flight gauge must read at least 1.
+	wireSt, err := client.Stats(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if wireSt.InFlight < 1 || wireSt.ConnInFlightMax < 1 {
+		t.Fatalf("wire stats in-flight = %d (conn max %d), want >= 1 — the stats op itself",
+			wireSt.InFlight, wireSt.ConnInFlightMax)
+	}
 }
 
 func TestMetricsPrometheusFormat(t *testing.T) {
@@ -93,6 +114,12 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		`kv_deadline_shed_total{server="3"} 0`,
 		`kv_op_errors_total{server="3"} 0`,
 		`decision="srpt-first"`,
+		`kv_open_connections{server="3"} 1`,
+		`kv_connections_total{server="3"} 1`,
+		`kv_conn_goroutines{server="3"} 2`,
+		"kv_process_goroutines",
+		`kv_inflight_ops{server="3"} 0`,
+		`kv_conn_inflight_ops_max{server="3"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/daskv/daskv/internal/metrics"
 	"github.com/daskv/daskv/internal/sched"
 	"github.com/daskv/daskv/internal/sizeclass"
 	"github.com/daskv/daskv/internal/wal"
@@ -123,12 +125,23 @@ type Server struct {
 	// after.
 	cluster *cluster
 
-	mu        sync.Mutex
-	queue     sched.Policy
-	closed    bool
-	conns     map[net.Conn]bool
+	mu     sync.Mutex
+	queue  sched.Policy
+	closed bool
+	conns  map[net.Conn]bool
+	// scs registers each connection's serverConn so stats can report
+	// per-connection in-flight depth; keyed separately from conns
+	// because the serverConn is born in the read loop, after accept.
+	scs       map[*serverConn]struct{}
 	speedEWMA float64
 	served    uint64
+
+	// connsTotal counts accepted connections over the server's life;
+	// inflight is ops admitted to the queue but not yet answered. Both
+	// feed the stats/metrics saturation readout the load harness uses
+	// to tell server overload from connection-scaling limits.
+	connsTotal metrics.Counter
+	inflight   atomic.Int64
 
 	// split is the size-class pool structure when PoolSplit is enabled
 	// (nil otherwise); queue then points at the same object, so every
@@ -178,7 +191,10 @@ var queuedOpPool = sync.Pool{New: func() any { return new(queuedOp) }}
 
 // releaseOp recycles a served operation: its payload byte buffers go
 // back to the value pool (the store copied what it keeps) and the
-// combined allocation returns for reuse.
+// combined allocation returns for reuse. Recycling may overwrite the
+// op while a DAS queue's lazy aging/FIFO entry still holds the old
+// pointer — that is safe because such entries are validated against
+// the queue's live map, never by reading the op (see core.DAS).
 func releaseOp(qo *queuedOp) {
 	putValueBuf(qo.p.value)
 	putValueBuf(qo.p.oldValue)
@@ -204,7 +220,10 @@ type serverConn struct {
 	// the client's frames), echoed on every response; 0 until the first
 	// frame decodes.
 	version atomic.Uint32
-	w       *wire.Writer
+	// inflight is this connection's admitted-but-unanswered op count,
+	// the per-connection saturation gauge the stats document surfaces.
+	inflight atomic.Int64
+	w        *wire.Writer
 }
 
 // respBacklog is the per-connection response channel depth. A full
@@ -342,6 +361,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		metrics:   newServerMetrics(),
 		queue:     cfg.Policy(uint64(cfg.ID)),
 		conns:     make(map[net.Conn]bool),
+		scs:       make(map[*serverConn]struct{}),
 		speedEWMA: cfg.SpeedFactor,
 		wake:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
@@ -529,6 +549,17 @@ func (s *Server) statsLocked() wire.ServerStats {
 		RespFrames:   s.metrics.respFrames.Value(),
 		RespFlushes:  s.metrics.respFlushes.Value(),
 		DemandError:  s.metrics.demandErrorSummary(),
+		OpenConns:    len(s.conns),
+		ConnsTotal:   s.connsTotal.Value(),
+		// One reader plus one writer goroutine per open connection.
+		ConnGoroutines: 2 * len(s.conns),
+		Goroutines:     runtime.NumGoroutine(),
+		InFlight:       s.inflight.Load(),
+	}
+	for sc := range s.scs {
+		if n := sc.inflight.Load(); n > st.ConnInFlightMax {
+			st.ConnInFlightMax = n
+		}
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -752,6 +783,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
+		s.connsTotal.Inc()
 		s.wg.Add(1)
 		go s.readLoop(conn)
 	}
@@ -760,6 +792,9 @@ func (s *Server) acceptLoop() {
 func (s *Server) readLoop(conn net.Conn) {
 	defer s.wg.Done()
 	sc := newServerConn(conn)
+	s.mu.Lock()
+	s.scs[sc] = struct{}{}
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.connWriter(sc)
 	r := wire.NewReader(conn)
@@ -768,6 +803,7 @@ func (s *Server) readLoop(conn net.Conn) {
 		r.Release()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		delete(s.scs, sc)
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
@@ -890,6 +926,8 @@ func (s *Server) enqueueBatch(sc *serverConn, reqs []wire.Request, ops []*sched.
 		}
 	}
 	s.mu.Unlock()
+	s.inflight.Add(int64(len(reqs)))
+	sc.inflight.Add(int64(len(reqs)))
 	s.wakeWorkers()
 	return ops
 }
@@ -1159,6 +1197,8 @@ func (s *Server) finishResponse(p *pendingOp, resp *wire.Response) {
 		}
 	}
 	s.mu.Unlock()
+	s.inflight.Add(-1)
+	p.conn.inflight.Add(-1)
 	p.conn.send(resp)
 }
 

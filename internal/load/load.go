@@ -1,0 +1,371 @@
+// Package load is the open-loop load harness: it schedules multiget
+// send times from an arrival process *independently of response
+// arrival*, fires them across a pool of concurrent executors, and
+// records intended-start-to-completion latency so coordinated omission
+// is measured instead of hidden.
+//
+// The contrast with a closed-loop driver (internal/bench's live runs,
+// kvctl bench) is the whole point: a closed loop sends the next request
+// only after the previous response, so a server stall stops the
+// question from being asked and the stall never shows in the numbers.
+// Here the schedule is fixed up front by (arrival process, seed); when
+// the system falls behind, requests queue at the harness, and the time
+// they spend queued is charged to their latency. See
+// docs/BENCHMARKING.md for the methodology.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/metrics"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// Target executes one multiget against the system under test. worker
+// identifies the executor slot (0..Workers-1) so pooled targets can pin
+// each slot to one connection. Implementations must be safe for
+// concurrent use by distinct workers.
+type Target interface {
+	MultiGet(ctx context.Context, worker int, keys []string) error
+}
+
+// TargetFunc adapts a function to Target.
+type TargetFunc func(ctx context.Context, worker int, keys []string) error
+
+// MultiGet implements Target.
+func (f TargetFunc) MultiGet(ctx context.Context, worker int, keys []string) error {
+	return f(ctx, worker, keys)
+}
+
+// Config describes one open-loop run at a fixed offered load.
+type Config struct {
+	// Target is the system under test.
+	Target Target
+	// Arrival schedules request send instants (required). Build it at
+	// the offered rate — the harness never rescales it.
+	Arrival dist.Arrival
+	// Rate is the offered request rate the Arrival was built for,
+	// recorded in results.
+	Rate float64
+	// Duration is the measured window; the schedule stops at
+	// Warmup+Duration and in-flight requests are drained.
+	Duration time.Duration
+	// Warmup is the schedule prefix excluded from statistics.
+	Warmup time.Duration
+	// Workers is the executor pool size (default 64): the maximum
+	// number of requests in service at the harness at once. More
+	// workers stress server-side connection scaling; too few make the
+	// harness itself the bottleneck (which the lateness readout
+	// exposes).
+	Workers int
+	// QueueDepth is each worker's pending-request buffer (default 128).
+	// When a worker's queue is full the request is counted as dropped —
+	// the harness never blocks the schedule on a slow responder.
+	QueueDepth int
+	// Keys is the keyspace size; requests draw keys
+	// workload.KeyName-style from [0, Keys).
+	Keys int
+	// KeySkew is the Zipf exponent of key popularity (0 = uniform).
+	KeySkew float64
+	// Fanout draws the number of distinct keys per multiget.
+	Fanout dist.Discrete
+	// Timeout bounds each request (default 10s); a timed-out request
+	// counts as an error.
+	Timeout time.Duration
+	// Seed fixes the schedule and key sequence.
+	Seed uint64
+	// MaxTracked bounds the latency histograms (default 30s).
+	MaxTracked time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxTracked <= 0 {
+		c.MaxTracked = 30 * time.Second
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Target == nil {
+		return fmt.Errorf("load: target required")
+	}
+	if c.Arrival == nil {
+		return fmt.Errorf("load: arrival process required")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("load: duration %v must be positive", c.Duration)
+	}
+	if c.Keys <= 0 {
+		return fmt.Errorf("load: keyspace size %d must be positive", c.Keys)
+	}
+	if c.Fanout == nil {
+		return fmt.Errorf("load: fanout distribution required")
+	}
+	return nil
+}
+
+// LatencyStats is the HDR-style readout of one latency distribution.
+type LatencyStats struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	// Max is the exact largest observation (not bucket-rounded).
+	Max time.Duration
+}
+
+func statsFrom(h *metrics.Histogram) LatencyStats {
+	return LatencyStats{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// OfferedRPS is the configured offered rate.
+	OfferedRPS float64
+	// AchievedRPS is completed measured requests over the measured
+	// window — at overload it caps at the system's capacity while
+	// latency diverges.
+	AchievedRPS float64
+	// Sent counts requests handed to workers in the measured window;
+	// Completed the subset that returned success; Errors failures
+	// (including timeouts); Dropped requests abandoned because their
+	// worker's queue was full (sustained overload).
+	Sent, Completed, Errors, Dropped uint64
+	// Latency is intended-send to completion — the open-loop response
+	// time including any wait in the harness queue.
+	Latency LatencyStats
+	// Lateness is actual-send minus intended-send: how far behind
+	// schedule the harness dispatched. A growing lateness tail means
+	// the measured latency is dominated by harness queueing, i.e. the
+	// system (or the worker pool) is saturated — exactly the signal a
+	// closed-loop driver erases.
+	Lateness LatencyStats
+	// ScheduledTotal counts all scheduled sends including warmup.
+	ScheduledTotal uint64
+	// Elapsed is the wall-clock run time including warmup and drain.
+	Elapsed time.Duration
+}
+
+// item is one scheduled request: the intended send offset and the keys,
+// both fixed by the planner before dispatch.
+type item struct {
+	intended time.Duration
+	keys     []string
+}
+
+// Plan materializes the first n scheduled requests of cfg: their
+// intended send offsets and key sets. It consumes no wall clock and
+// touches no Target — the same code path the runner's planner uses,
+// exposed so tests can prove the schedule is a pure function of the
+// config (open-loop property: send times cannot depend on response
+// latency, because they exist before any request is sent).
+func Plan(cfg Config, n int) ([]time.Duration, [][]string, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	p, err := newPlanner(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	times := make([]time.Duration, 0, n)
+	keys := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		it, ok := p.next(1 << 62)
+		if !ok {
+			break
+		}
+		times = append(times, it.intended)
+		keys = append(keys, it.keys)
+	}
+	return times, keys, nil
+}
+
+// planner generates the deterministic request schedule: arrival
+// instants from the arrival process, key sets from the Zipf/fanout
+// distributions — one rng drives both, so a seed pins the whole
+// schedule. It reads nothing from the data path.
+type planner struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *dist.Zipf
+	last time.Duration
+}
+
+func newPlanner(cfg Config) (*planner, error) {
+	z, err := dist.NewZipf(cfg.Keys, cfg.KeySkew)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	return &planner{
+		cfg:  cfg,
+		rng:  dist.NewRand(cfg.Seed),
+		zipf: z,
+	}, nil
+}
+
+// next returns the next scheduled request, or ok=false once the
+// schedule passes horizon.
+func (p *planner) next(horizon time.Duration) (item, bool) {
+	t := p.cfg.Arrival.Next(p.last, p.rng)
+	if t > horizon {
+		return item{}, false
+	}
+	p.last = t
+	k := p.cfg.Fanout.Sample(p.rng)
+	if k < 1 {
+		k = 1
+	}
+	if k > p.cfg.Keys {
+		k = p.cfg.Keys
+	}
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = workload.KeyName(p.zipf.Sample(p.rng))
+	}
+	return item{intended: t, keys: keys}, true
+}
+
+// Run drives one open-loop load run: the planner goroutine walks the
+// schedule in real time, dispatching each request to its worker's
+// queue at (or as soon as possible after) its intended instant; workers
+// execute against the target and record intended-start-based latency.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	p, err := newPlanner(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type workerState struct {
+		ch       chan item
+		latency  *metrics.Histogram
+		lateness *metrics.Histogram
+		sent     uint64
+		complete uint64
+		errors   uint64
+	}
+	workers := make([]*workerState, cfg.Workers)
+	newHist := func() *metrics.Histogram {
+		return metrics.NewHistogram(10*time.Microsecond, cfg.MaxTracked, 16)
+	}
+	for i := range workers {
+		workers[i] = &workerState{
+			ch:       make(chan item, cfg.QueueDepth),
+			latency:  newHist(),
+			lateness: newHist(),
+		}
+	}
+
+	horizon := cfg.Warmup + cfg.Duration
+	start := time.Now()
+	since := func() time.Duration { return time.Since(start) }
+
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(worker int, w *workerState) {
+			defer wg.Done()
+			for it := range w.ch {
+				sendAt := since()
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+				err := cfg.Target.MultiGet(ctx, worker, it.keys)
+				cancel()
+				done := since()
+				if it.intended < cfg.Warmup {
+					continue
+				}
+				w.sent++
+				lat := done - it.intended
+				late := sendAt - it.intended
+				if late < 0 {
+					late = 0
+				}
+				if err != nil {
+					w.errors++
+				} else {
+					w.complete++
+					w.latency.Observe(lat)
+				}
+				w.lateness.Observe(late)
+			}
+		}(i, w)
+	}
+
+	// The planner/dispatcher: sleep until each intended instant, then
+	// hand the request to its worker without ever blocking on one — a
+	// full worker queue drops the request on the floor and counts it.
+	var scheduled, droppedWarm, droppedMeasured uint64
+	next := 0
+	for {
+		it, ok := p.next(horizon)
+		if !ok {
+			break
+		}
+		scheduled++
+		if ahead := it.intended - since(); ahead > 0 {
+			time.Sleep(ahead)
+		}
+		w := workers[next]
+		next = (next + 1) % cfg.Workers
+		select {
+		case w.ch <- it:
+		default:
+			if it.intended < cfg.Warmup {
+				droppedWarm++
+			} else {
+				droppedMeasured++
+			}
+		}
+	}
+	for _, w := range workers {
+		close(w.ch)
+	}
+	wg.Wait()
+
+	latency, lateness := newHist(), newHist()
+	res := Result{
+		OfferedRPS:     cfg.Rate,
+		Dropped:        droppedMeasured,
+		ScheduledTotal: scheduled,
+		Elapsed:        since(),
+	}
+	for _, w := range workers {
+		latency.Merge(w.latency)
+		lateness.Merge(w.lateness)
+		res.Sent += w.sent
+		res.Completed += w.complete
+		res.Errors += w.errors
+	}
+	res.Latency = statsFrom(latency)
+	res.Lateness = statsFrom(lateness)
+	res.AchievedRPS = float64(res.Completed) / cfg.Duration.Seconds()
+	return res, nil
+}

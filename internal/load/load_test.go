@@ -1,0 +1,284 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+func testConfig(t *testing.T, target Target, rate float64, d time.Duration) Config {
+	t.Helper()
+	arr, err := dist.NewPoisson(rate, nil)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	return Config{
+		Target:   target,
+		Arrival:  arr,
+		Rate:     rate,
+		Duration: d,
+		Keys:     500,
+		KeySkew:  0.6,
+		Fanout:   dist.UniformInt{Lo: 1, Hi: 3},
+		Seed:     11,
+	}
+}
+
+// recordingTarget notes every request's keys in dispatch order per
+// worker and serves each after a fixed delay.
+type recordingTarget struct {
+	delay time.Duration
+	mu    sync.Mutex
+	seen  map[int][][]string
+}
+
+func newRecordingTarget(delay time.Duration) *recordingTarget {
+	return &recordingTarget{delay: delay, seen: make(map[int][][]string)}
+}
+
+func (r *recordingTarget) MultiGet(_ context.Context, worker int, keys []string) error {
+	r.mu.Lock()
+	r.seen[worker] = append(r.seen[worker], keys)
+	r.mu.Unlock()
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	return nil
+}
+
+// The open-loop property: the send schedule — instants and key sets —
+// is a pure function of the config, never of response latency. A fast
+// and a 30x-slower target must see the identical request sequence, and
+// both must match the offline Plan of the same config.
+func TestScheduleIndependentOfResponseLatency(t *testing.T) {
+	const rate, d = 400.0, 400 * time.Millisecond
+	fast := newRecordingTarget(0)
+	slow := newRecordingTarget(3 * time.Millisecond)
+
+	cfgFast := testConfig(t, fast, rate, d)
+	resFast, err := Run(cfgFast)
+	if err != nil {
+		t.Fatalf("Run(fast): %v", err)
+	}
+	cfgSlow := testConfig(t, slow, rate, d)
+	cfgSlow.Workers = cfgFast.withDefaults().Workers
+	resSlow, err := Run(cfgSlow)
+	if err != nil {
+		t.Fatalf("Run(slow): %v", err)
+	}
+
+	if resFast.ScheduledTotal != resSlow.ScheduledTotal {
+		t.Fatalf("scheduled counts diverge: fast %d, slow %d — schedule depended on latency",
+			resFast.ScheduledTotal, resSlow.ScheduledTotal)
+	}
+	if resFast.Dropped != 0 || resSlow.Dropped != 0 {
+		t.Fatalf("unexpected drops (fast %d, slow %d) at this load", resFast.Dropped, resSlow.Dropped)
+	}
+	for w, seqFast := range fast.seen {
+		seqSlow := slow.seen[w]
+		if len(seqFast) != len(seqSlow) {
+			t.Fatalf("worker %d request counts diverge: %d vs %d", w, len(seqFast), len(seqSlow))
+		}
+		for i := range seqFast {
+			if len(seqFast[i]) != len(seqSlow[i]) {
+				t.Fatalf("worker %d request %d fanout diverges", w, i)
+			}
+			for j := range seqFast[i] {
+				if seqFast[i][j] != seqSlow[i][j] {
+					t.Fatalf("worker %d request %d key %d diverges: %q vs %q",
+						w, i, j, seqFast[i][j], seqSlow[i][j])
+				}
+			}
+		}
+	}
+
+	// And the live runs match the offline plan.
+	times, keys, err := Plan(testConfig(t, fast, rate, d), int(resFast.ScheduledTotal))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if uint64(len(times)) != resFast.ScheduledTotal {
+		t.Fatalf("plan has %d requests, runs scheduled %d", len(times), resFast.ScheduledTotal)
+	}
+	workers := cfgFast.withDefaults().Workers
+	perWorker := make(map[int][][]string)
+	for i, k := range keys {
+		w := i % workers
+		perWorker[w] = append(perWorker[w], k)
+	}
+	for w, seq := range fast.seen {
+		for i := range seq {
+			if len(perWorker[w]) <= i {
+				t.Fatalf("worker %d served more than planned", w)
+			}
+			for j := range seq[i] {
+				if seq[i][j] != perWorker[w][i][j] {
+					t.Fatalf("worker %d request %d differs from plan", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := testConfig(t, TargetFunc(func(context.Context, int, []string) error { return nil }), 1000, time.Second)
+	t1, k1, err := Plan(cfg, 500)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	t2, k2, _ := Plan(cfg, 500)
+	if len(t1) != 500 || len(t2) != 500 {
+		t.Fatalf("plan lengths %d/%d, want 500", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("send time %d diverges: %v vs %v", i, t1[i], t2[i])
+		}
+		if len(k1[i]) != len(k2[i]) {
+			t.Fatalf("fanout %d diverges", i)
+		}
+	}
+	cfg.Seed = 99
+	t3, _, _ := Plan(cfg, 500)
+	same := 0
+	for i := range t1 {
+		if t1[i] == t3[i] {
+			same++
+		}
+	}
+	if same == len(t1) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+// Overload must be measured, not hidden: a single worker at 4x its
+// capacity accumulates a backlog, and because latency is charged from
+// the intended send instant, the tail grows far past the per-request
+// service time — the coordinated-omission signal a closed loop erases.
+func TestOverloadChargedToLatency(t *testing.T) {
+	const service = 5 * time.Millisecond
+	target := TargetFunc(func(_ context.Context, _ int, _ []string) error {
+		time.Sleep(service)
+		return nil
+	})
+	arr, _ := dist.NewFixedRate(800) // 4x one worker's ~200/s capacity
+	cfg := Config{
+		Target:     target,
+		Arrival:    arr,
+		Rate:       800,
+		Duration:   400 * time.Millisecond,
+		Workers:    1,
+		QueueDepth: 4096,
+		Keys:       100,
+		Fanout:     dist.ConstInt{N: 1},
+		Seed:       5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Latency.Max < 10*service {
+		t.Fatalf("overload latency max %v, want >> service %v (backlog not charged)", res.Latency.Max, service)
+	}
+	if res.Lateness.P99 < 2*service {
+		t.Fatalf("lateness p99 %v under overload, want queueing visible", res.Lateness.P99)
+	}
+	if res.Latency.P999 < res.Latency.P50 {
+		t.Fatalf("p999 %v < p50 %v", res.Latency.P999, res.Latency.P50)
+	}
+}
+
+func TestRunSmokeFastTarget(t *testing.T) {
+	target := TargetFunc(func(context.Context, int, []string) error { return nil })
+	cfg := testConfig(t, target, 2000, 300*time.Millisecond)
+	cfg.Warmup = 50 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Sent == 0 || res.Completed != res.Sent {
+		t.Fatalf("sent %d completed %d", res.Sent, res.Completed)
+	}
+	if res.Errors != 0 || res.Dropped != 0 {
+		t.Fatalf("errors %d dropped %d on an instant target", res.Errors, res.Dropped)
+	}
+	if res.AchievedRPS < 0.5*res.OfferedRPS {
+		t.Fatalf("achieved %.0f of offered %.0f on an instant target", res.AchievedRPS, res.OfferedRPS)
+	}
+	if res.Latency.Count != res.Completed {
+		t.Fatalf("latency count %d != completed %d", res.Latency.Count, res.Completed)
+	}
+}
+
+// A full worker queue sheds the request rather than blocking the
+// schedule: drops are counted, the schedule length is unchanged.
+func TestFullQueueDropsNotBlocks(t *testing.T) {
+	block := make(chan struct{})
+	target := TargetFunc(func(context.Context, int, []string) error {
+		<-block
+		return nil
+	})
+	arr, _ := dist.NewFixedRate(500)
+	cfg := Config{
+		Target:     target,
+		Arrival:    arr,
+		Rate:       500,
+		Duration:   200 * time.Millisecond,
+		Workers:    1,
+		QueueDepth: 1,
+		Timeout:    time.Second,
+		Keys:       10,
+		Fanout:     dist.ConstInt{N: 1},
+		Seed:       3,
+	}
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		res, err = Run(cfg)
+		close(done)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(block)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run blocked on a stuck target")
+	}
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("no drops despite a stuck worker (scheduled %d)", res.ScheduledTotal)
+	}
+	if res.ScheduledTotal < 80 {
+		t.Fatalf("schedule stalled: only %d scheduled", res.ScheduledTotal)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	arr, _ := dist.NewFixedRate(10)
+	base := Config{
+		Target:   TargetFunc(func(context.Context, int, []string) error { return nil }),
+		Arrival:  arr,
+		Duration: time.Second,
+		Keys:     10,
+		Fanout:   dist.ConstInt{N: 1},
+	}
+	for name, mut := range map[string]func(*Config){
+		"no target":   func(c *Config) { c.Target = nil },
+		"no arrival":  func(c *Config) { c.Arrival = nil },
+		"no duration": func(c *Config) { c.Duration = 0 },
+		"no keys":     func(c *Config) { c.Keys = 0 },
+		"no fanout":   func(c *Config) { c.Fanout = nil },
+	} {
+		c := base
+		mut(&c)
+		if _, err := Run(c); err == nil {
+			t.Fatalf("%s: Run should error", name)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/daskv/daskv/internal/core"
+	"github.com/daskv/daskv/internal/dist"
+	"github.com/daskv/daskv/internal/fault"
+	"github.com/daskv/daskv/internal/kv"
+	"github.com/daskv/daskv/internal/sched"
+	"github.com/daskv/daskv/internal/wal"
+	"github.com/daskv/daskv/internal/wire"
+	"github.com/daskv/daskv/internal/workload"
+)
+
+// PolicySpec names one scheduling configuration a frontier is drawn
+// for. PoolSplit > 0 additionally splits each server's workers into
+// size-class pools (the DAS+pools configuration from E23).
+type PolicySpec struct {
+	Name      string
+	Factory   sched.Factory
+	Adaptive  bool
+	PoolSplit float64
+}
+
+// ParsePolicies parses a comma-separated policy list: das, fcfs,
+// rein-sbf, das+pools — or "all" for the frontier trio the committed
+// BENCH_frontier.json tracks (das, fcfs, das+pools).
+func ParsePolicies(spec string) ([]PolicySpec, error) {
+	if spec == "all" {
+		spec = "das,fcfs,das+pools"
+	}
+	var out []PolicySpec
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "das":
+			out = append(out, PolicySpec{Name: "das", Factory: core.Factory(core.LiveOptions()), Adaptive: true})
+		case "das+pools":
+			out = append(out, PolicySpec{Name: "das+pools", Factory: core.Factory(core.LiveOptions()), Adaptive: true, PoolSplit: 0.5})
+		case "fcfs":
+			out = append(out, PolicySpec{Name: "fcfs", Factory: sched.FCFSFactory})
+		case "rein-sbf":
+			out = append(out, PolicySpec{Name: "rein-sbf", Factory: sched.ReinSBFFactory})
+		default:
+			return nil, fmt.Errorf("load: unknown policy %q (das | fcfs | rein-sbf | das+pools | all)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("load: empty policy list")
+	}
+	return out, nil
+}
+
+// FaultPhase injects a fault window into a run: Spec (internal/fault
+// grammar, e.g. "delay:2ms:0.5") is armed Start after the run begins
+// and healed at Stop.
+type FaultPhase struct {
+	Spec  string
+	Start time.Duration
+	Stop  time.Duration
+}
+
+// Scenario is one cell of the evaluation matrix: a cluster shape, a
+// keyspace and access pattern, a value-size distribution, a
+// replication/consistency level, a WAL sync policy, and an optional
+// fault schedule. Together the named scenarios exercise every
+// subsystem under the one open-loop harness.
+type Scenario struct {
+	Name string
+	Note string
+	// Cluster shape.
+	Servers int
+	Workers int
+	// Access pattern.
+	Keys    int
+	KeySkew float64
+	Fanout  dist.Discrete
+	// ValueSize draws each key's preloaded payload (nil = 16 B). The
+	// server's cost model prices an op by the bytes it moves, so a
+	// heavy-tailed size distribution is a heavy-tailed service
+	// distribution.
+	ValueSize dist.ByteSize
+	// CostBase is the per-op service floor; CostPerByte prices each
+	// payload byte (0 = size-independent service).
+	CostBase    time.Duration
+	CostPerByte time.Duration
+	// Replication / consistency.
+	Replication int
+	Consistency wire.Consistency
+	// WALSync enables durability when non-empty: "always",
+	// "batch[:window]", or "none" (log without fsync).
+	WALSync string
+	// Fault optionally schedules a fault window.
+	Fault *FaultPhase
+}
+
+// CostModel is the server-side service pricing this scenario implies.
+func (sc Scenario) CostModel() kv.CostModel {
+	base, perByte := sc.CostBase, sc.CostPerByte
+	return func(_ wire.OpType, _, valueLen int) time.Duration {
+		return base + time.Duration(valueLen)*perByte
+	}
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Servers <= 0 {
+		sc.Servers = 4
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = 2
+	}
+	if sc.Keys <= 0 {
+		sc.Keys = 4000
+	}
+	if sc.Fanout == nil {
+		sc.Fanout = dist.UniformInt{Lo: 1, Hi: 4}
+	}
+	if sc.CostBase <= 0 {
+		sc.CostBase = 200 * time.Microsecond
+	}
+	if sc.Replication <= 0 {
+		sc.Replication = 1
+	}
+	return sc
+}
+
+// Matrix is the named scenario set: each row turns one knob of the
+// system — fan-out, skew, value sizes, replication/consistency, WAL
+// sync, faults — against the shared base shape.
+func Matrix() []Scenario {
+	return []Scenario{
+		{
+			Name:    "base",
+			Note:    "uniform 16B values, fanout U(1,4), light Zipf — the frontier reference cell",
+			KeySkew: 0.6,
+		},
+		{
+			Name:    "fanout-wide",
+			Note:    "fanout U(8,16): straggler-dominated RCT, the regime DAS targets",
+			Fanout:  dist.UniformInt{Lo: 8, Hi: 16},
+			KeySkew: 0.6,
+		},
+		{
+			Name:    "zipf-hot",
+			Note:    "Zipf 1.1 over a small keyspace: contention on a handful of hot keys",
+			Keys:    2000,
+			KeySkew: 1.1,
+		},
+		{
+			Name:        "heavytail",
+			Note:        "Pareto 256B..256KiB values priced per byte: elephants vs mice (size-class pool territory)",
+			KeySkew:     0.9,
+			ValueSize:   dist.ParetoBytes{Lo: 256, Hi: 256 << 10, Alpha: 0.7},
+			CostBase:    100 * time.Microsecond,
+			CostPerByte: 2 * time.Nanosecond,
+		},
+		{
+			Name:        "replicated-quorum",
+			Note:        "R=3 with QUORUM reads/writes over the LWW replica layer",
+			Replication: 3,
+			Consistency: wire.ConsistencyQuorum,
+			KeySkew:     0.6,
+		},
+		{
+			Name:    "durable-batch",
+			Note:    "group-commit WAL (batch:2ms) on the write-behind of the preload plus read traffic",
+			WALSync: "batch:2ms",
+			KeySkew: 0.6,
+		},
+		{
+			Name:    "faulty",
+			Note:    "delay:2ms on half of all I/O for the middle of the run — frontier under degraded transport",
+			KeySkew: 0.6,
+			Fault:   &FaultPhase{Spec: "delay:2ms:0.5", Start: 2 * time.Second, Stop: 4 * time.Second},
+		},
+		{
+			Name:     "ci",
+			Note:     "base shape shrunk for the CI frontier-smoke gate: 1k keys, low cost floor",
+			Keys:     1000,
+			KeySkew:  0.6,
+			CostBase: 100 * time.Microsecond,
+		},
+	}
+}
+
+// ByName finds a scenario in the matrix.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range Matrix() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names lists the matrix scenario names.
+func Names() []string {
+	out := make([]string, 0, len(Matrix()))
+	for _, sc := range Matrix() {
+		out = append(out, sc.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cluster is one booted loopback system under test: servers with the
+// scenario's cost model and durability/fault wiring, plus a pool of
+// clients the load workers fan over.
+type Cluster struct {
+	Scenario Scenario
+	Policy   PolicySpec
+	Servers  []*kv.Server
+	Clients  []*kv.Client
+	injector *fault.Injector
+	walRoot  string
+}
+
+// Boot builds the scenario's loopback cluster for one policy and
+// preloads the keyspace. clients is the connection-pool width the
+// Target fans over (each kv.Client holds one TCP connection per
+// server).
+func (sc Scenario) Boot(pol PolicySpec, clients int, seed uint64) (*Cluster, error) {
+	sc = sc.withDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	c := &Cluster{Scenario: sc, Policy: pol}
+	if sc.Fault != nil {
+		c.injector = fault.NewInjector(seed)
+	}
+	var walRoot string
+	if sc.WALSync != "" {
+		dir, err := os.MkdirTemp("", "dasload-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("load: wal dir: %w", err)
+		}
+		walRoot = dir
+		c.walRoot = dir
+	}
+	addrs := make(map[sched.ServerID]string, sc.Servers)
+	for i := 0; i < sc.Servers; i++ {
+		cfg := kv.ServerConfig{
+			ID:          sched.ServerID(i),
+			Addr:        "127.0.0.1:0",
+			Policy:      pol.Factory,
+			Workers:     sc.Workers,
+			Cost:        sc.CostModel(),
+			PoolSplit:   pol.PoolSplit,
+			Replication: sc.Replication,
+		}
+		if c.injector != nil {
+			cfg.WrapConn = c.injector.Conn
+		}
+		if walRoot != "" {
+			sync, err := wal.ParseSyncPolicy(sc.WALSync)
+			if err != nil {
+				c.close()
+				return nil, fmt.Errorf("load: scenario %s: %w", sc.Name, err)
+			}
+			cfg.WALDir = fmt.Sprintf("%s/srv-%d", walRoot, i)
+			cfg.WALSync = sync
+		}
+		srv, err := kv.NewServer(cfg)
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("load: boot server %d: %w", i, err)
+		}
+		c.Servers = append(c.Servers, srv)
+		addrs[srv.ID()] = srv.Addr()
+	}
+	demand := sc.CostModel()
+	for i := 0; i < clients; i++ {
+		cl, err := kv.NewClient(kv.ClientConfig{
+			Servers:            addrs,
+			Adaptive:           pol.Adaptive,
+			Demand:             kv.DemandModel(demand),
+			Replicas:           sc.Replication,
+			DefaultConsistency: sc.Consistency,
+			Seed:               seed + uint64(i)*7919,
+			// The harness records failures itself; retries would couple
+			// one request's latency to another's schedule slot.
+			TraceDepth: -1,
+		})
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("load: client %d: %w", i, err)
+		}
+		c.Clients = append(c.Clients, cl)
+	}
+	if err := c.preload(seed); err != nil {
+		c.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// preload fills the keyspace with values drawn from the scenario's
+// size distribution so read traffic has real bytes to move.
+func (c *Cluster) preload(seed uint64) error {
+	sc := c.Scenario
+	rng := dist.NewRand(seed ^ 0x9e3779b97f4a7c15)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl := c.Clients[0]
+	const chunk = 256
+	pairs := make(map[string][]byte, chunk)
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		if err := cl.MSet(ctx, pairs); err != nil {
+			return fmt.Errorf("load: preload: %w", err)
+		}
+		pairs = make(map[string][]byte, chunk)
+		return nil
+	}
+	for k := 0; k < sc.Keys; k++ {
+		n := int64(16)
+		if sc.ValueSize != nil {
+			n = sc.ValueSize.SampleBytes(rng)
+		}
+		v := make([]byte, n)
+		for i := 0; i < len(v); i += 997 {
+			v[i] = byte(rng.IntN(256))
+		}
+		pairs[workload.KeyName(k)] = v
+		if len(pairs) >= chunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// Target returns the load target fanning requests over the client
+// pool; worker w always uses client w mod len, so a worker maps to a
+// stable set of connections.
+func (c *Cluster) Target() Target {
+	clients := c.Clients
+	return TargetFunc(func(ctx context.Context, worker int, keys []string) error {
+		_, err := clients[worker%len(clients)].MGet(ctx, keys)
+		return err
+	})
+}
+
+// StartFaults arms the scenario's fault phase relative to now and
+// returns a stop function that heals and cancels the timers. No-op
+// without a fault phase.
+func (c *Cluster) StartFaults() (stop func()) {
+	if c.injector == nil || c.Scenario.Fault == nil {
+		return func() {}
+	}
+	ph := c.Scenario.Fault
+	spec, err := fault.ParseSpec(ph.Spec)
+	if err != nil {
+		// Scenario validation catches this in tests; at runtime a bad
+		// spec degrades to a fault-free run.
+		return func() {}
+	}
+	arm := time.AfterFunc(ph.Start, func() { spec.Apply(c.injector) })
+	heal := time.AfterFunc(ph.Stop, c.injector.Heal)
+	return func() {
+		arm.Stop()
+		heal.Stop()
+		c.injector.Heal()
+	}
+}
+
+// Close tears the cluster down and removes any WAL scratch space.
+func (c *Cluster) Close() error {
+	c.close()
+	return nil
+}
+
+func (c *Cluster) close() {
+	for _, cl := range c.Clients {
+		_ = cl.Close()
+	}
+	for _, s := range c.Servers {
+		_ = s.Close()
+	}
+	if c.walRoot != "" {
+		_ = os.RemoveAll(c.walRoot)
+	}
+}

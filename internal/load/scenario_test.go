@@ -1,0 +1,155 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/fault"
+	"github.com/daskv/daskv/internal/wal"
+)
+
+func TestMatrixIsValid(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, sc := range Matrix() {
+		if sc.Name == "" {
+			t.Fatal("unnamed scenario in matrix")
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Fault != nil {
+			if _, err := fault.ParseSpec(sc.Fault.Spec); err != nil {
+				t.Fatalf("scenario %s: bad fault spec %q: %v", sc.Name, sc.Fault.Spec, err)
+			}
+			if sc.Fault.Stop <= sc.Fault.Start {
+				t.Fatalf("scenario %s: fault window %v..%v is empty", sc.Name, sc.Fault.Start, sc.Fault.Stop)
+			}
+		}
+		if sc.WALSync != "" {
+			if _, err := wal.ParseSyncPolicy(sc.WALSync); err != nil {
+				t.Fatalf("scenario %s: bad wal sync %q: %v", sc.Name, sc.WALSync, err)
+			}
+		}
+		got, ok := ByName(sc.Name)
+		if !ok || got.Name != sc.Name {
+			t.Fatalf("ByName(%q) failed", sc.Name)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("ByName invented a scenario")
+	}
+	if len(Names()) != len(seen) {
+		t.Fatalf("Names() has %d entries, matrix %d", len(Names()), len(seen))
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	pols, err := ParsePolicies("all")
+	if err != nil {
+		t.Fatalf("ParsePolicies(all): %v", err)
+	}
+	if len(pols) != 3 || pols[0].Name != "das" || pols[1].Name != "fcfs" || pols[2].Name != "das+pools" {
+		t.Fatalf("all = %+v", pols)
+	}
+	if pols[2].PoolSplit <= 0 {
+		t.Fatal("das+pools has no pool split")
+	}
+	if !pols[0].Adaptive || pols[1].Adaptive {
+		t.Fatal("adaptive flags wrong")
+	}
+	if _, err := ParsePolicies("das,lifo"); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	if _, err := ParsePolicies(""); err == nil {
+		t.Fatal("empty list should error")
+	}
+}
+
+// Boot the CI scenario for real and push a short open-loop burst
+// through it end to end.
+func TestBootAndRunCIScenario(t *testing.T) {
+	sc, ok := ByName("ci")
+	if !ok {
+		t.Fatal("no ci scenario")
+	}
+	pols, err := ParsePolicies("das")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := sc.withDefaults().Boot(pols[0], 4, 42)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	defer cluster.Close()
+
+	// The preload really wrote: a direct multiget returns values.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	vals, err := cluster.Clients[0].MGet(ctx, []string{"k0000000", "k0000001"})
+	if err != nil {
+		t.Fatalf("MGet after preload: %v", err)
+	}
+	if len(vals) != 2 || len(vals["k0000000"]) == 0 {
+		t.Fatalf("preloaded values missing: %q", vals)
+	}
+
+	cfg := testConfig(t, cluster.Target(), 300, 300*time.Millisecond)
+	cfg.Keys = 1000
+	cfg.Workers = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("no completions against live cluster: %+v", res)
+	}
+	if res.Errors > res.Sent/10 {
+		t.Fatalf("error rate too high: %d/%d", res.Errors, res.Sent)
+	}
+	if res.Latency.P50 <= 0 {
+		t.Fatalf("no latency recorded: %+v", res.Latency)
+	}
+}
+
+func TestRunSweepFindsFrontierEdge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real clusters")
+	}
+	sc, _ := ByName("ci")
+	pols, err := ParsePolicies("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second rate far beyond a 2-worker x 4-server cluster with a 100µs
+	// cost floor (~80k ops/s theoretical, far less with fanout), so the
+	// sweep must mark it unsustainable and stop there.
+	f, err := RunSweep(sc, pols[0], SweepConfig{
+		Rates:     []float64{200, 2_000_000},
+		Duration:  400 * time.Millisecond,
+		Warmup:    100 * time.Millisecond,
+		Workers:   16,
+		Clients:   4,
+		P99Budget: 500 * time.Millisecond,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("got %d points, want 2: %+v", len(f.Points), f)
+	}
+	if !f.Points[0].Sustainable {
+		t.Fatalf("200 req/s should be sustainable: %+v", f.Points[0])
+	}
+	if f.Points[1].Sustainable {
+		t.Fatalf("2M req/s should saturate: %+v", f.Points[1])
+	}
+	if f.SustainableRPS <= 0 {
+		t.Fatalf("no sustainable rps recorded: %+v", f)
+	}
+	if f.Policy != "fcfs" {
+		t.Fatalf("policy %q", f.Policy)
+	}
+}

@@ -1,0 +1,203 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/daskv/daskv/internal/dist"
+)
+
+// ArrivalFactory builds an arrival process at a given mean rate; sweep
+// points rebuild the process per offered-rate step.
+type ArrivalFactory func(rate float64) (dist.Arrival, error)
+
+// SweepConfig drives a latency-vs-throughput frontier: one open-loop
+// run per offered rate, each on a freshly booted cluster so no queue
+// residue leaks between points.
+type SweepConfig struct {
+	// Rates are the offered request rates to step through, ascending.
+	Rates []float64
+	// Arrival builds the process per rate (Poisson when nil).
+	Arrival ArrivalFactory
+	// Duration/Warmup/Workers/QueueDepth/Timeout as in Config.
+	Duration   time.Duration
+	Warmup     time.Duration
+	Workers    int
+	QueueDepth int
+	Timeout    time.Duration
+	// Clients is the kv connection-pool width per point (default 8).
+	Clients int
+	// P99Budget is the saturation criterion: a point whose p99 exceeds
+	// it is unsustainable (default 5ms).
+	P99Budget time.Duration
+	// MaxErrorFraction bounds (errors+drops)/sent for a sustainable
+	// point (default 0.01).
+	MaxErrorFraction float64
+	// MaxLatenessP99 bounds the harness dispatch lateness for a point
+	// to count — above it the harness, not the server, was the
+	// bottleneck and the point is reported but not trusted as
+	// sustainable (default 50ms).
+	MaxLatenessP99 time.Duration
+	// KeepGoing runs every rate even after an unsustainable point
+	// (default: stop after the first, the frontier edge is found).
+	KeepGoing bool
+	// Seed pins schedules; every point and policy reuses it so curves
+	// are compared on identical arrival sequences.
+	Seed uint64
+	// Log, when set, receives one progress line per point.
+	Log io.Writer
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Arrival == nil {
+		c.Arrival = func(rate float64) (dist.Arrival, error) { return dist.NewPoisson(rate, nil) }
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Duration / 5
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.P99Budget <= 0 {
+		c.P99Budget = 5 * time.Millisecond
+	}
+	if c.MaxErrorFraction <= 0 {
+		c.MaxErrorFraction = 0.01
+	}
+	if c.MaxLatenessP99 <= 0 {
+		c.MaxLatenessP99 = 50 * time.Millisecond
+	}
+	return c
+}
+
+// FrontierPoint is one (offered rate, latency) sample of a frontier
+// curve, JSON-shaped for the committed BENCH_frontier.json.
+type FrontierPoint struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Sent        uint64  `json:"sent"`
+	Completed   uint64  `json:"completed"`
+	Errors      uint64  `json:"errors"`
+	Dropped     uint64  `json:"dropped"`
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	// LatenessP99Ms is the harness dispatch-lateness tail: how far
+	// behind its own schedule the generator sent (coordinated-omission
+	// accounting, not server latency).
+	LatenessP99Ms float64 `json:"lateness_p99_ms"`
+	// Sustainable marks the point inside every budget (p99, errors,
+	// lateness).
+	Sustainable bool `json:"sustainable"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func pointFrom(r Result, sustainable bool) FrontierPoint {
+	return FrontierPoint{
+		OfferedRPS:    r.OfferedRPS,
+		AchievedRPS:   r.AchievedRPS,
+		Sent:          r.Sent,
+		Completed:     r.Completed,
+		Errors:        r.Errors,
+		Dropped:       r.Dropped,
+		MeanMs:        ms(r.Latency.Mean),
+		P50Ms:         ms(r.Latency.P50),
+		P90Ms:         ms(r.Latency.P90),
+		P99Ms:         ms(r.Latency.P99),
+		P999Ms:        ms(r.Latency.P999),
+		MaxMs:         ms(r.Latency.Max),
+		LatenessP99Ms: ms(r.Lateness.P99),
+		Sustainable:   sustainable,
+	}
+}
+
+// Frontier is one policy's latency-vs-throughput curve.
+type Frontier struct {
+	Policy string `json:"policy"`
+	// SustainableRPS is the highest achieved throughput among
+	// sustainable points — "max throughput at p99 < budget", the number
+	// the CI gate thresholds.
+	SustainableRPS float64         `json:"sustainable_rps"`
+	Points         []FrontierPoint `json:"points"`
+}
+
+// sustainable applies the sweep's budgets to one run.
+func (c SweepConfig) sustainable(r Result) bool {
+	if r.Sent == 0 {
+		return false
+	}
+	bad := float64(r.Errors+r.Dropped) / float64(r.Sent+r.Dropped)
+	return r.Latency.P99 <= c.P99Budget &&
+		bad <= c.MaxErrorFraction &&
+		r.Lateness.P99 <= c.MaxLatenessP99
+}
+
+// RunSweep draws one policy's frontier over a scenario: for each
+// offered rate it boots a fresh cluster, runs the open-loop harness,
+// and applies the sustainability budgets. It stops stepping after the
+// first unsustainable point unless KeepGoing is set.
+func RunSweep(sc Scenario, pol PolicySpec, cfg SweepConfig) (Frontier, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Rates) == 0 {
+		return Frontier{}, fmt.Errorf("load: sweep needs at least one rate")
+	}
+	sc = sc.withDefaults()
+	f := Frontier{Policy: pol.Name}
+	for _, rate := range cfg.Rates {
+		arr, err := cfg.Arrival(rate)
+		if err != nil {
+			return f, fmt.Errorf("load: arrival at %.0f/s: %w", rate, err)
+		}
+		cluster, err := sc.Boot(pol, cfg.Clients, cfg.Seed)
+		if err != nil {
+			return f, err
+		}
+		stopFaults := cluster.StartFaults()
+		res, err := Run(Config{
+			Target:     cluster.Target(),
+			Arrival:    arr,
+			Rate:       rate,
+			Duration:   cfg.Duration,
+			Warmup:     cfg.Warmup,
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			Timeout:    cfg.Timeout,
+			Keys:       sc.Keys,
+			KeySkew:    sc.KeySkew,
+			Fanout:     sc.Fanout,
+			Seed:       cfg.Seed,
+		})
+		stopFaults()
+		cerr := cluster.Close()
+		if err != nil {
+			return f, err
+		}
+		if cerr != nil {
+			return f, cerr
+		}
+		ok := cfg.sustainable(res)
+		if ok && res.AchievedRPS > f.SustainableRPS {
+			f.SustainableRPS = res.AchievedRPS
+		}
+		f.Points = append(f.Points, pointFrom(res, ok))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log,
+				"%-10s %8.0f req/s offered: %8.0f achieved, p50 %6.2fms p99 %7.2fms p999 %7.2fms lateness-p99 %6.2fms errs %d drops %d %s\n",
+				pol.Name, rate, res.AchievedRPS, ms(res.Latency.P50), ms(res.Latency.P99),
+				ms(res.Latency.P999), ms(res.Lateness.P99), res.Errors, res.Dropped,
+				map[bool]string{true: "ok", false: "SATURATED"}[ok])
+		}
+		if !ok && !cfg.KeepGoing {
+			break
+		}
+	}
+	return f, nil
+}

@@ -14,6 +14,7 @@ type Histogram struct {
 	buckets    []uint64
 	count      uint64
 	sum        time.Duration
+	max        time.Duration
 	overflow   uint64
 	maxTracked time.Duration
 }
@@ -59,10 +60,42 @@ func (h *Histogram) Observe(v time.Duration) {
 	}
 	h.count++
 	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
 	if v > h.maxTracked {
 		h.overflow++
 	}
 	h.buckets[h.index(v)]++
+}
+
+// Max returns the exact largest observation (0 when empty) — unlike
+// quantiles it is not subject to bucket rounding, so tail readouts
+// (p999/max) can distinguish "one 2s straggler" from "a 2s bucket".
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Merge folds other into h. Both histograms must share a bucket layout
+// (same smallest bound and per-octave subdivision — i.e. built by the
+// same NewHistogram call site); Merge panics otherwise, since silently
+// misfiling another layout's buckets would corrupt every quantile. It
+// is the aggregation step for sharded histograms: concurrent writers
+// each own one, a reader merges into a scratch copy.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.smallest != other.smallest || h.growth != other.growth || len(h.buckets) != len(other.buckets) {
+		panic("metrics: Merge of histograms with different bucket layouts")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.overflow += other.overflow
+	if other.max > h.max {
+		h.max = other.max
+	}
 }
 
 // Count returns the number of observations.

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramExactMax(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	if h.Max() != 0 {
+		t.Fatalf("empty Max = %v, want 0", h.Max())
+	}
+	h.Observe(3 * time.Millisecond)
+	h.Observe(1537 * time.Microsecond)
+	h.Observe(200 * time.Microsecond)
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("Max = %v, want exactly 3ms", h.Max())
+	}
+	// Exact even past the tracked range (the bucket clamps, max does not).
+	h.Observe(7 * time.Second)
+	if h.Max() != 7*time.Second {
+		t.Fatalf("Max = %v, want exactly 7s", h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	mk := func() *Histogram { return NewHistogram(time.Microsecond, time.Second, 16) }
+	a, b, whole := mk(), mk(), mk()
+	samples := []time.Duration{
+		50 * time.Microsecond, 400 * time.Microsecond, 3 * time.Millisecond,
+		9 * time.Millisecond, 120 * time.Millisecond, 800 * time.Millisecond,
+		2 * time.Second, // overflow
+	}
+	for i, v := range samples {
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		whole.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	if a.Mean() != whole.Mean() {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if a.Max() != whole.Max() {
+		t.Fatalf("merged max %v, want %v", a.Max(), whole.Max())
+	}
+	if a.Overflow() != whole.Overflow() {
+		t.Fatalf("merged overflow %d, want %d", a.Overflow(), whole.Overflow())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged q%.3f = %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram(time.Microsecond, time.Second, 16)
+	h.Observe(time.Millisecond)
+	h.Merge(nil)
+	h.Merge(NewHistogram(time.Microsecond, time.Second, 16))
+	if h.Count() != 1 {
+		t.Fatalf("count %d after no-op merges, want 1", h.Count())
+	}
+}
+
+func TestHistogramMergeLayoutMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different layouts should panic")
+		}
+	}()
+	a := NewHistogram(time.Microsecond, time.Second, 16)
+	b := NewHistogram(time.Microsecond, time.Second, 4)
+	b.Observe(time.Millisecond)
+	a.Merge(b)
+}

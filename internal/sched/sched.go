@@ -102,6 +102,10 @@ func (t Tags) Slack() time.Duration {
 // policies outside this package (DAS in internal/core) implement
 // O(log n) removal of arbitrary elements. The owning policy maintains
 // these values while the op is queued; other code must not touch them.
+// Callers that retain op pointers past service (the live server pools
+// and recycles ops) must never read a recycled op's fields — DAS's
+// lazy aging bookkeeping validates such pointers against a queue-side
+// live map for exactly this reason.
 func (o *Op) HeapIndex() int { return o.heapIndex }
 
 // SetHeapIndex records the op's heap position; see HeapIndex.

@@ -335,6 +335,21 @@ type ServerStats struct {
 	RespFlushes uint64 `json:"respFlushes,omitempty"`
 	// Errors counts operations answered with StatusError.
 	Errors uint64 `json:"errors,omitempty"`
+	// Connection-scaling gauges: OpenConns is the live connection
+	// count, ConnsTotal the accepted-connection total over the
+	// server's life, ConnGoroutines the goroutines servicing those
+	// connections (one reader + one writer each), and Goroutines the
+	// whole process's goroutine count at snapshot time.
+	OpenConns      int    `json:"openConns,omitempty"`
+	ConnsTotal     uint64 `json:"connsTotal,omitempty"`
+	ConnGoroutines int    `json:"connGoroutines,omitempty"`
+	Goroutines     int    `json:"goroutines,omitempty"`
+	// InFlight is operations admitted to the queue but not yet
+	// answered; ConnInFlightMax is the largest single connection's
+	// share — together they say whether saturation is spread across
+	// the pool or concentrated on a few connections.
+	InFlight        int64 `json:"inFlight,omitempty"`
+	ConnInFlightMax int64 `json:"connInFlightMax,omitempty"`
 	// Decisions summarizes the scheduling policy's decision counters
 	// (absent when the policy does not report them; only DAS does).
 	Decisions *SchedDecisions `json:"decisions,omitempty"`
