@@ -24,6 +24,7 @@ import (
 	"github.com/daskv/daskv/internal/cli"
 	"github.com/daskv/daskv/internal/dist"
 	"github.com/daskv/daskv/internal/load"
+	"github.com/daskv/daskv/internal/wal"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "RNG seed shared by every point and policy")
 		jsonOut   = flag.String("json", "", "write the frontier document to this path")
 		gate      = flag.Float64("gate", 0, "fail unless every policy sustains at least this many req/s within budget (0 disables)")
+		walSync   = flag.String("wal-sync", "", "override the scenario's WAL sync policy (always | batch[:w] | coalesce[:w] | none) for A/B disk-economics runs")
 	)
 	flag.Parse()
 
@@ -66,6 +68,12 @@ func run() error {
 	sc, ok := load.ByName(*scenario)
 	if !ok {
 		return fmt.Errorf("unknown scenario %q (use -list-scenarios)", *scenario)
+	}
+	if *walSync != "" {
+		if _, err := wal.ParseSyncPolicy(*walSync); err != nil {
+			return err
+		}
+		sc.WALSync = *walSync
 	}
 	pols, err := load.ParsePolicies(*policies)
 	if err != nil {

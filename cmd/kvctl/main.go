@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -76,7 +77,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|mget|trace|cas|stats|members|ring|replicas|repair|fill|watch|bench|wal> [args]")
+		return fmt.Errorf("usage: kvctl -servers ... <get|put|del|incr|mget|trace|cas|stats|members|ring|replicas|repair|fill|watch|bench|wal> [args]")
 	}
 	if args[0] == "wal" {
 		// Offline inspection of a server's log directory: no cluster
@@ -241,6 +242,24 @@ func run() error {
 		}
 		fmt.Println("swapped")
 		return nil
+	case "incr":
+		if len(args) != 2 && len(args) != 3 {
+			return fmt.Errorf("usage: kvctl incr KEY [DELTA] (default delta 1)")
+		}
+		delta := int64(1)
+		if len(args) == 3 {
+			d, perr := strconv.ParseInt(args[2], 10, 64)
+			if perr != nil {
+				return fmt.Errorf("incr delta %q: %w", args[2], perr)
+			}
+			delta = d
+		}
+		total, err := client.Incr(ctx, args[1], delta)
+		if err != nil {
+			return err
+		}
+		fmt.Println(total)
+		return nil
 	case "replicas":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: kvctl replicas KEY")
@@ -380,17 +399,21 @@ func walCmd(dir string) error {
 	} else {
 		fmt.Println("snapshot: none")
 	}
-	fmt.Printf("%-24s %12s %12s %8s %10s %8s %6s\n",
-		"segment", "first-seq", "last-seq", "records", "bytes", "skipped", "torn")
-	var records, skipped int
+	fmt.Printf("%-24s %12s %12s %8s %10s %9s %8s %8s %6s\n",
+		"segment", "first-seq", "last-seq", "records", "bytes", "coalesced", "folded", "skipped", "torn")
+	var records, skipped, coalesced int
+	var folded uint64
 	for _, seg := range info.Segments {
-		fmt.Printf("%-24s %12d %12d %8d %10d %8d %6v\n",
-			seg.Name, seg.FirstSeq, seg.LastSeq, seg.Records, seg.Bytes, seg.Skipped, seg.Torn)
+		fmt.Printf("%-24s %12d %12d %8d %10d %9d %8d %8d %6v\n",
+			seg.Name, seg.FirstSeq, seg.LastSeq, seg.Records, seg.Bytes,
+			seg.Coalesced, seg.FoldedOps, seg.Skipped, seg.Torn)
 		records += seg.Records
 		skipped += seg.Skipped
+		coalesced += seg.Coalesced
+		folded += seg.FoldedOps
 	}
-	fmt.Printf("%d segment(s), %d record(s) verified, %d span(s) unreadable\n",
-		len(info.Segments), records, skipped)
+	fmt.Printf("%d segment(s), %d record(s) verified (%d coalesced, standing for %d op(s)), %d span(s) unreadable\n",
+		len(info.Segments), records, coalesced, folded, skipped)
 	if info.Corrupt() {
 		return fmt.Errorf("wal directory %s has corrupt records beyond a torn tail", dir)
 	}

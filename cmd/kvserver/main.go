@@ -54,7 +54,7 @@ func run() error {
 		speed       = flag.Float64("speed", 1.0, "speed factor (0.5 = half-speed server)")
 		dataPath    = flag.String("data", "", "snapshot file: loaded at startup, written on shutdown")
 		walDir      = flag.String("wal", "", "write-ahead-log directory: mutations are durable before acknowledgement, crash recovery replays at startup (mutually exclusive with -data)")
-		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always | batch[:<window>] | none")
+		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always | batch[:<window>] | coalesce[:<window>] | none (coalesce folds a window's mutations to one record per distinct key; writes ack at window close)")
 		walSegSize  = flag.Int64("wal-segment-size", 16<<20, "WAL segment size in bytes before rotation")
 		sweep       = flag.Duration("sweep", 30*time.Second, "how often expired keys are reclaimed (0 = default, negative = never)")
 		replication = flag.Int("replication", 1, "replication factor the cluster runs with (informational; placement is client-side)")

@@ -2,12 +2,14 @@ package kv
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -574,6 +576,44 @@ func (c *Client) CompareAndSwap(ctx context.Context, key string, oldValue, newVa
 	default:
 		return fmt.Errorf("kv: CAS on %q failed", key)
 	}
+}
+
+// Incr atomically adds delta to the integer counter stored under key
+// (absent = 0, stored as ASCII decimal, so Get interoperates) and
+// returns the new total. Like CAS it is a read-modify-write, so it is
+// restricted to single-replica configurations, and it needs protocol
+// v4 on the wire. On servers running the `coalesce` WAL sync policy a
+// hot counter's increments fold into one log record per commit window,
+// so disk bytes track distinct keys rather than increments.
+func (c *Client) Incr(ctx context.Context, key string, delta int64) (int64, error) {
+	return c.IncrTTL(ctx, key, delta, 0)
+}
+
+// IncrTTL is Incr with an expiry restamp (0 = keep forever), the
+// shape rate-limit windows want.
+func (c *Client) IncrTTL(ctx context.Context, key string, delta int64, ttl time.Duration) (int64, error) {
+	if c.cfg.Replicas > 1 {
+		return 0, fmt.Errorf("kv: Incr requires a single-replica configuration (have %d)", c.cfg.Replicas)
+	}
+	if c.cfg.ProtocolVersion < wire.Version4 {
+		return 0, fmt.Errorf("kv: Incr requires protocol v4 (client pinned to v%d)", c.cfg.ProtocolVersion)
+	}
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(delta))
+	resp, err := c.doTTL(ctx, wire.OpIncr, key, buf[:], c.ring.Lookup(key), ttl, 0, wire.ConsistencyDefault)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != wire.StatusOK {
+		return 0, fmt.Errorf("kv: incr on %q failed (status %d)", key, resp.Status)
+	}
+	total, perr := strconv.ParseInt(string(resp.Value), 10, 64)
+	if perr != nil {
+		return 0, fmt.Errorf("kv: incr on %q returned non-integer total %q", key, resp.Value)
+	}
+	return total, nil
 }
 
 // MSet stores many keys (each replicated per the client's Replicas

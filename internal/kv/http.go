@@ -148,6 +148,14 @@ func writeExposition(w http.ResponseWriter, s *Server) {
 		e.Histogram("kv_wal_fsync_seconds", []metrics.Label{server}, ws.FsyncLatency)
 		e.Family("kv_wal_batch_records", "Group-commit batch sizes: records persisted per committer write.", "histogram")
 		e.CountHistogram("kv_wal_batch_records", []metrics.Label{server}, ws.BatchRecords)
+		e.Family("kv_wal_coalesced_ops_total", "Mutations folded into per-key accumulators by the coalesce sync policy.", "counter")
+		e.IntSample("kv_wal_coalesced_ops_total", []metrics.Label{server}, ws.CoalescedOps)
+		e.Family("kv_wal_coalesced_records_total", "Records the coalesce policy flushed — one per distinct key per commit window.", "counter")
+		e.IntSample("kv_wal_coalesced_records_total", []metrics.Label{server}, ws.CoalescedRecords)
+		e.Family("kv_wal_coalesce_windows_total", "Commit windows the coalesce policy has closed.", "counter")
+		e.IntSample("kv_wal_coalesce_windows_total", []metrics.Label{server}, ws.CoalesceWindows)
+		e.Family("kv_wal_coalesce_window_keys", "Distinct keys flushed per coalesce commit window.", "histogram")
+		e.CountHistogram("kv_wal_coalesce_window_keys", []metrics.Label{server}, ws.WindowKeys)
 	}
 
 	if ps := s.poolStats(); ps != nil {

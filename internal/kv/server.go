@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -460,11 +462,14 @@ func (s *Server) janitor() {
 // mutationFromRecord converts a logged record back into the store
 // mutation it captured.
 func mutationFromRecord(rec wal.Record) Mutation {
+	// A coalesced merge record carries the absolute resulting state
+	// (final value, exact version), so replay treats it like the put —
+	// or, when the window ended on a delete, the delete — it folds to.
 	m := Mutation{
 		Key:     rec.Key,
 		Value:   rec.Value,
 		Version: rec.Version,
-		Delete:  rec.Op == wal.OpDelete,
+		Delete:  rec.Op == wal.OpDelete || (rec.Op == wal.OpMerge && rec.Tombstone),
 	}
 	if rec.ExpiresAtUnixNano != 0 {
 		m.ExpiresAt = time.Unix(0, rec.ExpiresAtUnixNano)
@@ -478,15 +483,24 @@ func mutationFromRecord(rec wal.Record) Mutation {
 // and returns the group-commit ack the store waits on before the
 // client sees success.
 func (s *Server) logMutation(m Mutation) func() error {
-	op := wal.OpPut
-	if m.Delete {
-		op = wal.OpDelete
+	rec := wal.Record{Key: m.Key, Value: m.Value, Version: m.Version}
+	switch {
+	case m.Delete:
+		rec.Op = wal.OpDelete
+		rec.Value = nil
+	case m.Merge:
+		// Merges log as delta records so a coalescing window can fold a
+		// hot counter's increments into one frame; the absolute state
+		// (Value/Version) still rides along, keeping replay idempotent.
+		rec.Op = wal.OpMerge
+		rec.Delta = m.Delta
+	default:
+		rec.Op = wal.OpPut
 	}
-	var exp int64
 	if !m.ExpiresAt.IsZero() {
-		exp = m.ExpiresAt.UnixNano()
+		rec.ExpiresAtUnixNano = m.ExpiresAt.UnixNano()
 	}
-	ack, err := s.wal.Append(op, m.Key, m.Value, m.Version, exp)
+	ack, err := s.wal.AppendRecord(rec)
 	if err != nil {
 		return func() error { return err }
 	}
@@ -573,6 +587,12 @@ func (s *Server) statsLocked() wire.ServerStats {
 			Policy:       ws.Policy,
 			FsyncLatency: durationSummary(ws.FsyncLatency),
 			BatchRecords: valueSummary(ws.BatchRecords),
+		}
+		if ws.CoalesceWindows > 0 {
+			st.WAL.CoalescedOps = ws.CoalescedOps
+			st.WAL.CoalescedRecords = ws.CoalescedRecords
+			st.WAL.CoalesceWindows = ws.CoalesceWindows
+			st.WAL.WindowKeys = valueSummary(ws.WindowKeys)
 		}
 	}
 	if dr, ok := s.queue.(sched.DecisionReporter); ok {
@@ -1121,6 +1141,22 @@ func (s *Server) serve(op *sched.Op) {
 		if !s.store.CompareAndSwap(p.key, p.oldValue, p.value) {
 			resp.Status = wire.StatusCASMismatch
 		}
+	case wire.OpIncr:
+		// The request value is the signed delta as 8 big-endian bytes;
+		// the response value is the resulting total in ASCII decimal,
+		// the representation a GET of the same key returns.
+		if len(p.value) != 8 {
+			resp.Status = wire.StatusError
+			break
+		}
+		delta := int64(binary.BigEndian.Uint64(p.value))
+		total, ver, merr := s.store.Merge(p.key, delta, p.ttl)
+		if merr != nil {
+			resp.Status = wire.StatusError
+			break
+		}
+		resp.Value = strconv.AppendInt(getValueBuf(0), total, 10)
+		resp.Version = ver
 	case wire.OpStats:
 		// Filled below under the stats lock.
 	case wire.OpMembers:

@@ -114,7 +114,7 @@ func (m *serverMetrics) snapshot() []opMetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]opMetricsSnapshot, 0, len(m.wait))
-	for op := wire.OpGet; op <= wire.OpHandoff; op++ {
+	for op := wire.OpGet; op <= wire.OpIncr; op++ {
 		if m.service[op] == nil && m.wait[op] == nil {
 			continue
 		}
@@ -172,7 +172,7 @@ func (m *serverMetrics) summarizeDemandErr(fn func(*metrics.Summary)) {
 
 // isMutation reports whether an op type writes the store.
 func isMutation(t wire.OpType) bool {
-	return t == wire.OpPut || t == wire.OpDelete || t == wire.OpCAS
+	return t == wire.OpPut || t == wire.OpDelete || t == wire.OpCAS || t == wire.OpIncr
 }
 
 // durationSummary compresses a latency histogram snapshot into the

@@ -17,6 +17,7 @@ import (
 	"hash/maphash"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,12 @@ type Mutation struct {
 	Version   uint64
 	ExpiresAt time.Time // zero = no TTL
 	Delete    bool
+	// Merge marks a read-modify-write increment: Value/Version still
+	// carry the absolute resulting state (so replay stays idempotent),
+	// and Delta the signed amount this op added. The durability layer
+	// uses the pair to fold increments in a coalescing window.
+	Merge bool
+	Delta int64
 }
 
 // MutationHook observes every applied mutation. It runs while the key's
@@ -272,6 +279,45 @@ func (s *Store) PutVersioned(key string, value []byte, ttl time.Duration, versio
 	sh.mu.Unlock()
 	s.awaitDurable(ack)
 	return true, version
+}
+
+// Merge atomically adds delta to the integer stored under key,
+// treating an absent (or expired) key as zero. The stored
+// representation is ASCII decimal — the same bytes a GET returns — so
+// counters interoperate with plain puts. A live value that does not
+// parse as a signed 64-bit integer fails the op without mutating. The
+// new total and version are returned; ttl (0 = keep alive forever)
+// restamps the entry's expiry like a put would.
+func (s *Store) Merge(key string, delta int64, ttl time.Duration) (total int64, version uint64, err error) {
+	now := s.now()
+	var exp time.Time
+	if ttl > 0 {
+		exp = now.Add(ttl)
+	}
+	sh := s.shard(key)
+	sh.mu.Lock()
+	e, exists := sh.m[key]
+	live := exists && !e.expired(now)
+	if live {
+		total, err = strconv.ParseInt(string(e.value), 10, 64)
+		if err != nil {
+			sh.mu.Unlock()
+			return 0, 0, fmt.Errorf("kv: merge %q: existing value is not an integer", key)
+		}
+		version = e.version + 1
+	} else {
+		version = 1
+		if exists {
+			version = e.version + 1 // don't reuse a dead entry's tag
+		}
+	}
+	total += delta
+	v := strconv.AppendInt(nil, total, 10)
+	sh.m[key] = entry{value: v, version: version, expiresAt: exp}
+	ack := s.notify(Mutation{Key: key, Value: v, Version: version, ExpiresAt: exp, Merge: true, Delta: delta})
+	sh.mu.Unlock()
+	s.awaitDurable(ack)
+	return total, version, nil
 }
 
 // CompareAndSwap atomically replaces key's value with newValue iff the

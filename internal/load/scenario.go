@@ -93,8 +93,14 @@ type Scenario struct {
 	Replication int
 	Consistency wire.Consistency
 	// WALSync enables durability when non-empty: "always",
-	// "batch[:window]", or "none" (log without fsync).
+	// "batch[:window]", "coalesce[:window]", or "none" (log without
+	// fsync).
 	WALSync string
+	// Increments switches the workload from multigets to atomic
+	// increments: each drawn key becomes one Incr(+1), the pure
+	// hot-counter shape the coalescing WAL policy targets. The keyspace
+	// is not preloaded (absent counters count from zero).
+	Increments bool
 	// Fault optionally schedules a fault window.
 	Fault *FaultPhase
 }
@@ -171,6 +177,20 @@ func Matrix() []Scenario {
 			Note:    "group-commit WAL (batch:2ms) on the write-behind of the preload plus read traffic",
 			WALSync: "batch:2ms",
 			KeySkew: 0.6,
+		},
+		{
+			Name:       "counter-hot",
+			Note:       "Zipf 1.1 pure increments on 512 counters under coalesce:2ms — disk bytes track distinct keys, not ops",
+			Keys:       512,
+			KeySkew:    1.1,
+			Fanout:     dist.UniformInt{Lo: 1, Hi: 1},
+			WALSync:    "coalesce:2ms",
+			Increments: true,
+			// Writes ack at window close, so each op parks a worker for
+			// up to the 2ms window; deeper worker pools let more ops
+			// share each commit window instead of capping throughput at
+			// workers/window.
+			Workers: 16,
 		},
 		{
 			Name:    "faulty",
@@ -303,6 +323,9 @@ func (sc Scenario) Boot(pol PolicySpec, clients int, seed uint64) (*Cluster, err
 // size distribution so read traffic has real bytes to move.
 func (c *Cluster) preload(seed uint64) error {
 	sc := c.Scenario
+	if sc.Increments {
+		return nil // counters start from zero; random bytes would poison Incr
+	}
 	rng := dist.NewRand(seed ^ 0x9e3779b97f4a7c15)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -343,6 +366,17 @@ func (c *Cluster) preload(seed uint64) error {
 // stable set of connections.
 func (c *Cluster) Target() Target {
 	clients := c.Clients
+	if c.Scenario.Increments {
+		return TargetFunc(func(ctx context.Context, worker int, keys []string) error {
+			cl := clients[worker%len(clients)]
+			for _, k := range keys {
+				if _, err := cl.Incr(ctx, k, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
 	return TargetFunc(func(ctx context.Context, worker int, keys []string) error {
 		_, err := clients[worker%len(clients)].MGet(ctx, keys)
 		return err
@@ -370,6 +404,30 @@ func (c *Cluster) StartFaults() (stop func()) {
 		heal.Stop()
 		c.injector.Heal()
 	}
+}
+
+// WALStats aggregates the durability counters across the cluster's
+// servers — the disk economics of the point just run. Nil when the
+// scenario runs without a WAL.
+func (c *Cluster) WALStats() *wire.WALStats {
+	var agg *wire.WALStats
+	for _, s := range c.Servers {
+		ws := s.StatsSnapshot().WAL
+		if ws == nil {
+			continue
+		}
+		if agg == nil {
+			agg = &wire.WALStats{Policy: ws.Policy}
+		}
+		agg.Segments += ws.Segments
+		agg.Bytes += ws.Bytes
+		agg.Appended += ws.Appended
+		agg.Fsyncs += ws.Fsyncs
+		agg.CoalescedOps += ws.CoalescedOps
+		agg.CoalescedRecords += ws.CoalescedRecords
+		agg.CoalesceWindows += ws.CoalesceWindows
+	}
+	return agg
 }
 
 // Close tears the cluster down and removes any WAL scratch space.

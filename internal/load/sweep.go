@@ -96,6 +96,27 @@ type FrontierPoint struct {
 	// Sustainable marks the point inside every budget (p99, errors,
 	// lateness).
 	Sustainable bool `json:"sustainable"`
+	// WAL carries the cluster-aggregate disk economics of the point on
+	// durable scenarios (absent otherwise). Under coalesce the headline
+	// is DiskBytesPerOp alongside CoalescedRecords/CoalescedOps — disk
+	// work tracking distinct keys rather than operations.
+	WAL *WALPoint `json:"wal,omitempty"`
+}
+
+// WALPoint is the per-point durability summary of a frontier sample.
+type WALPoint struct {
+	Policy           string  `json:"policy"`
+	Bytes            int64   `json:"bytes"`
+	Records          uint64  `json:"records"`
+	Fsyncs           uint64  `json:"fsyncs"`
+	CoalescedOps     uint64  `json:"coalesced_ops,omitempty"`
+	CoalescedRecords uint64  `json:"coalesced_records,omitempty"`
+	CoalesceWindows  uint64  `json:"coalesce_windows,omitempty"`
+	DiskBytesPerOp   float64 `json:"disk_bytes_per_op,omitempty"`
+	// FoldRatio is coalesced_records/coalesced_ops — the fraction of
+	// mutations that survived folding to reach the disk (1.0 = no
+	// coalescing benefit, lower is better).
+	FoldRatio float64 `json:"fold_ratio,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -176,6 +197,7 @@ func RunSweep(sc Scenario, pol PolicySpec, cfg SweepConfig) (Frontier, error) {
 			Seed:       cfg.Seed,
 		})
 		stopFaults()
+		ws := cluster.WALStats()
 		cerr := cluster.Close()
 		if err != nil {
 			return f, err
@@ -187,7 +209,28 @@ func RunSweep(sc Scenario, pol PolicySpec, cfg SweepConfig) (Frontier, error) {
 		if ok && res.AchievedRPS > f.SustainableRPS {
 			f.SustainableRPS = res.AchievedRPS
 		}
-		f.Points = append(f.Points, pointFrom(res, ok))
+		pt := pointFrom(res, ok)
+		if ws != nil {
+			wp := &WALPoint{
+				Policy: ws.Policy, Bytes: ws.Bytes, Records: ws.Appended,
+				Fsyncs:           ws.Fsyncs,
+				CoalescedOps:     ws.CoalescedOps,
+				CoalescedRecords: ws.CoalescedRecords,
+				CoalesceWindows:  ws.CoalesceWindows,
+			}
+			// Per-op ratios over the mutations the log actually saw
+			// (appended covers preload too; on increment scenarios it is
+			// the op count itself).
+			if ws.Appended > 0 {
+				wp.DiskBytesPerOp = float64(ws.Bytes) / float64(ws.Appended)
+			}
+			if ws.CoalescedOps > 0 {
+				wp.FoldRatio = float64(ws.CoalescedRecords) / float64(ws.CoalescedOps)
+				wp.DiskBytesPerOp = float64(ws.Bytes) / float64(ws.CoalescedOps)
+			}
+			pt.WAL = wp
+		}
+		f.Points = append(f.Points, pt)
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log,
 				"%-10s %8.0f req/s offered: %8.0f achieved, p50 %6.2fms p99 %7.2fms p999 %7.2fms lateness-p99 %6.2fms errs %d drops %d %s\n",

@@ -1,0 +1,513 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/daskv/daskv/internal/fault"
+)
+
+// coalesceOpts is the fast-window coalesce configuration the tests use:
+// short enough that window flushes happen promptly, long enough that a
+// burst of appends lands in one window.
+func coalesceOpts(dir string, window time.Duration) Options {
+	return Options{Dir: dir, Sync: SyncPolicy{Mode: SyncCoalesce, Window: window}}
+}
+
+// appendMerge logs a merge mutation carrying its resulting state and
+// returns the ack.
+func appendMerge(t *testing.T, w *WAL, key string, total int64, version uint64, delta int64) Ack {
+	t.Helper()
+	ack, err := w.AppendRecord(Record{
+		Op: OpMerge, Key: key, Value: []byte(strconv.FormatInt(total, 10)),
+		Version: version, Delta: delta,
+	})
+	if err != nil {
+		t.Fatalf("AppendRecord(merge %q): %v", key, err)
+	}
+	return ack
+}
+
+func TestMergeRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Seq: 9, Op: OpMerge, Key: "ctr", Value: []byte("42"), Version: 7, Delta: 17, Folded: 5},
+		{Seq: 10, Op: OpMerge, Key: "gone", Version: 8, Delta: -3, Folded: 2, Tombstone: true},
+		{Seq: 11, Op: OpMerge, Key: "neg", Value: []byte("-5"), Version: 1, Delta: -5, Folded: 1},
+	}
+	for _, want := range recs {
+		frame := appendFrame(nil, &want)
+		got, n, err := decodeFrame(frame)
+		if err != nil || n != len(frame) {
+			t.Fatalf("decodeFrame(%+v): n=%d err=%v", want, n, err)
+		}
+		if got.Seq != want.Seq || got.Op != want.Op || got.Key != want.Key ||
+			string(got.Value) != string(want.Value) || got.Version != want.Version ||
+			got.Delta != want.Delta || got.Folded != want.Folded || got.Tombstone != want.Tombstone {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		// Canonical: re-encoding an accepted record is byte-identical.
+		if string(appendFrame(nil, &got)) != string(frame) {
+			t.Fatalf("re-encode of %+v is not canonical", want)
+		}
+	}
+	// Unknown flag bits must be rejected, not silently dropped.
+	bad := appendFrame(nil, &recs[0])
+	bad[len(bad)-1] |= 0x80
+	fixCRC(bad)
+	if _, _, err := decodeFrame(bad); err == nil {
+		t.Fatal("frame with unknown flag bits decoded")
+	}
+}
+
+// fixCRC recomputes a frame's checksum after test doctoring.
+func fixCRC(frame []byte) {
+	crc := crc32.Checksum(frame[frameHeaderLen:], castagnoli)
+	binary.BigEndian.PutUint32(frame[4:], crc)
+}
+
+func TestCoalesceFoldsWindowToDistinctKeys(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, time.Hour)) // window never fires on its own
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// 100 ops over 3 keys in one window: 40 puts on "hot", 50 merges on
+	// "ctr" summing 1..50, then a put+delete on "tmp".
+	var acks []Ack
+	for i := 0; i < 40; i++ {
+		ack, aerr := w.Append(OpPut, "hot", []byte(fmt.Sprintf("v%02d", i)), uint64(i+1), 0)
+		if aerr != nil {
+			t.Fatalf("Append: %v", aerr)
+		}
+		acks = append(acks, ack)
+	}
+	total := int64(0)
+	for i := 1; i <= 50; i++ {
+		total += int64(i)
+		acks = append(acks, appendMerge(t, w, "ctr", total, uint64(i), int64(i)))
+	}
+	ack, aerr := w.Append(OpPut, "tmp", []byte("x"), 1, 0)
+	if aerr != nil {
+		t.Fatalf("Append: %v", aerr)
+	}
+	acks = append(acks, ack)
+	ack, aerr = w.Append(OpDelete, "tmp", nil, 0, 0)
+	if aerr != nil {
+		t.Fatalf("Append: %v", aerr)
+	}
+	acks = append(acks, ack)
+
+	// Nothing acked yet: the window is open. Sync forces the flush.
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	for i, a := range acks {
+		if err := a(); err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if st.CoalescedOps != 92 || st.CoalescedRecords != 3 || st.CoalesceWindows != 1 {
+		t.Fatalf("stats = ops:%d recs:%d windows:%d, want 92/3/1",
+			st.CoalescedOps, st.CoalescedRecords, st.CoalesceWindows)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	state, recs, _ := collect(t, dir, Options{})
+	if len(recs) != 3 {
+		t.Fatalf("flushed %d records, want 3 (distinct keys)", len(recs))
+	}
+	hot := state["hot"]
+	if hot.Op != OpMerge || string(hot.Value) != "v39" || hot.Version != 40 ||
+		hot.Folded != 40 || hot.Delta != 0 {
+		t.Fatalf("hot = %+v", hot)
+	}
+	ctr := state["ctr"]
+	if ctr.Op != OpMerge || string(ctr.Value) != "1275" || ctr.Version != 50 ||
+		ctr.Folded != 50 || ctr.Delta != 1275 {
+		t.Fatalf("ctr = %+v", ctr)
+	}
+	if _, ok := state["tmp"]; ok {
+		t.Fatal("tmp survived its coalesced delete")
+	}
+	// Sequence order on disk stays monotonic.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("records out of order: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+func TestCoalesceWindowTimerFlushes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, 2*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = w.Close() }()
+	ack, err := w.Append(OpPut, "k", []byte("v"), 1, 0)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ack() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ack: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("window timer never flushed")
+	}
+	if st := w.Stats(); st.CoalesceWindows == 0 || st.Fsyncs == 0 {
+		t.Fatalf("stats after timer flush = %+v", st)
+	}
+}
+
+func TestCoalesceSingleMutationStaysPlain(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, time.Hour))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ack, err := w.Append(OpPut, "solo", []byte("v"), 3, 0)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil { // Close flushes the open window
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ack(); err != nil {
+		t.Fatalf("ack after close flush: %v", err)
+	}
+	_, recs, _ := collect(t, dir, Options{})
+	if len(recs) != 1 || recs[0].Op != OpPut || recs[0].Version != 3 {
+		t.Fatalf("recs = %+v, want one plain put", recs)
+	}
+}
+
+// TestCoalesceAbandonLosesOnlyUnackedWindow is the SIGKILL-mid-window
+// edge: appends whose window never flushed fail with ErrAbandoned and
+// are absent after recovery, while every acked window survives exactly.
+func TestCoalesceAbandonLosesOnlyUnackedWindow(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, time.Hour))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Window 1: 10 merges on ctr, flushed by a barrier and acked.
+	total := int64(0)
+	var acks []Ack
+	for i := 1; i <= 10; i++ {
+		total += 2
+		acks = append(acks, appendMerge(t, w, "ctr", total, uint64(i), 2))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	for _, a := range acks {
+		if err := a(); err != nil {
+			t.Fatalf("acked window failed: %v", err)
+		}
+	}
+	// Window 2: 5 more merges, never flushed — the crash window.
+	var lost []Ack
+	for i := 11; i <= 15; i++ {
+		total += 2
+		lost = append(lost, appendMerge(t, w, "ctr", total, uint64(i), 2))
+	}
+	w.Abandon() // simulated kill -9
+	for _, a := range lost {
+		if err := a(); err != ErrAbandoned {
+			t.Fatalf("unflushed append err = %v, want ErrAbandoned", err)
+		}
+	}
+
+	state, recs, rep := collect(t, dir, Options{})
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1 coalesced record", len(recs))
+	}
+	ctr := state["ctr"]
+	if string(ctr.Value) != "20" || ctr.Version != 10 || ctr.Folded != 10 || ctr.Delta != 20 {
+		t.Fatalf("recovered ctr = %+v, want the acked window's exact state", ctr)
+	}
+	if rep.TornTail {
+		t.Fatalf("clean abandon reported torn: %+v", rep)
+	}
+}
+
+// TestCoalesceTornTailTruncatesLastWindow tears the last bytes off a
+// flushed coalesced record: recovery must truncate it away and keep the
+// prefix, exactly as for plain records.
+func TestCoalesceTornTailTruncatesLastWindow(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, time.Hour))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Two windows, each closed by a Sync barrier: first folds key "a",
+	// second folds key "b".
+	acka := appendMerge(t, w, "a", 5, 1, 5)
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := acka(); err != nil {
+		t.Fatalf("ack a: %v", err)
+	}
+	ackb1 := appendMerge(t, w, "b", 3, 1, 3)
+	ackb2 := appendMerge(t, w, "b", 7, 2, 4)
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := ackb1(); err != nil {
+		t.Fatalf("ack b1: %v", err)
+	}
+	if err := ackb2(); err != nil {
+		t.Fatalf("ack b2: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := segmentPaths(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	// Tear the final (coalesced) record: drop its last 5 bytes, which
+	// land inside the merge trailer.
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	state, recs, rep := collect(t, dir, Options{})
+	if !rep.TornTail {
+		t.Fatalf("torn coalesced record not reported: %+v", rep)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+	a := state["a"]
+	if string(a.Value) != "5" || a.Version != 1 {
+		t.Fatalf("a = %+v", a)
+	}
+	if _, ok := state["b"]; ok {
+		t.Fatal("torn record for b must not replay")
+	}
+}
+
+// TestCoalesceReplaySkipsSnapshotOlderWindows proves replay idempotence
+// when a snapshot is newer than the last flushed window: the covered
+// coalesced records are skipped entirely.
+func TestCoalesceReplaySkipsSnapshotCoveredWindows(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, time.Hour))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ack := appendMerge(t, w, "ctr", 10, 1, 10)
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := ack(); err != nil {
+		t.Fatalf("ack: %v", err)
+	}
+	// Compact: the snapshot now covers the flushed window; its segment
+	// is removed, and replay applies nothing.
+	if _, err := w.Compact(func(f io.Writer) error {
+		_, werr := f.Write([]byte("snapshot-state"))
+		return werr
+	}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w2, err := Open(coalesceOpts(dir, time.Hour))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	applied := 0
+	var snap []byte
+	rep, err := w2.Recover(
+		func(r io.Reader) error { var e error; snap, e = io.ReadAll(r); return e },
+		func(Record) error { applied++; return nil },
+	)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if applied != 0 || rep.RecordsApplied != 0 || !rep.SnapshotLoaded || string(snap) != "snapshot-state" {
+		t.Fatalf("replay after compact: applied=%d snap=%q report=%+v", applied, snap, rep)
+	}
+	// New appends continue past the snapshot sequence.
+	ack2 := appendMerge(t, w2, "ctr", 15, 2, 5)
+	if err := w2.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := ack2(); err != nil {
+		t.Fatalf("ack2: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.SnapshotSeq == 0 || len(info.Segments) == 0 {
+		t.Fatalf("Inspect = %+v", info)
+	}
+}
+
+// TestCoalesceFailStop: a torn write during a window flush latches the
+// sticky error; the window's writers and all later appends see it.
+func TestCoalesceFailStop(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewFileInjector()
+	w, err := Open(Options{
+		Dir:      dir,
+		Sync:     SyncPolicy{Mode: SyncCoalesce, Window: time.Millisecond},
+		WrapFile: func(f File) File { return inj.Wrap(f) },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = w.Close() }()
+	inj.TearNextWrite(5)
+	ack, err := w.Append(OpPut, "k", []byte("0123456789"), 1, 0)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := ack(); err == nil {
+		t.Fatal("torn flush acked cleanly")
+	}
+	if w.Err() == nil {
+		t.Fatal("sticky error not latched")
+	}
+	if _, err := w.Append(OpPut, "k2", []byte("v"), 2, 0); err == nil {
+		t.Fatal("append after failure accepted")
+	}
+}
+
+// TestCoalesceConcurrentAppenders hammers the coalescer from many
+// goroutines (run with -race): every ack must resolve, and the replayed
+// final state must match the last version each key saw.
+func TestCoalesceConcurrentAppenders(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, 500*time.Microsecond))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const (
+		goroutines = 8
+		perG       = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", g%4) // contended: 2 goroutines per key
+			for i := 1; i <= perG; i++ {
+				ack, aerr := w.Append(OpPut, key, []byte(fmt.Sprintf("g%d-i%d", g, i)), uint64(g*perG+i), 0)
+				if aerr != nil {
+					errs <- aerr
+					return
+				}
+				if i%50 == 0 { // occasionally wait out a window
+					if aerr := ack(); aerr != nil {
+						errs <- aerr
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("appender: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	state, recs, _ := collect(t, dir, Options{})
+	if len(state) != 4 {
+		t.Fatalf("replayed %d keys, want 4", len(state))
+	}
+	total := uint64(0)
+	for _, r := range recs {
+		if r.Op == OpMerge {
+			total += uint64(r.Folded)
+		} else {
+			total++
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("folded totals account for %d ops, want %d", total, goroutines*perG)
+	}
+	if len(recs) >= goroutines*perG/2 {
+		t.Fatalf("%d records for %d ops: coalescing is not folding", len(recs), goroutines*perG)
+	}
+}
+
+// TestInspectReportsCoalescedRecords: satellite round-trip — Inspect
+// must classify the coalesced kind and total its folded ops.
+func TestInspectReportsCoalescedRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(coalesceOpts(dir, time.Hour))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// One window holding a plain put plus 6 merges over 2 keys: three
+	// records flush, two of them coalesced.
+	var acks []Ack
+	ackPlain, err := w.Append(OpPut, "plain", []byte("v"), 1, 0)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	acks = append(acks, ackPlain)
+	for i := 1; i <= 3; i++ {
+		acks = append(acks, appendMerge(t, w, "c1", int64(i), uint64(i), 1))
+		acks = append(acks, appendMerge(t, w, "c2", int64(2*i), uint64(i), 2))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	for _, a := range acks {
+		if err := a(); err != nil {
+			t.Fatalf("ack: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	info, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if len(info.Segments) != 1 {
+		t.Fatalf("%d segments, want 1", len(info.Segments))
+	}
+	seg := info.Segments[0]
+	if seg.Records != 3 || seg.Coalesced != 2 || seg.FoldedOps != 7 {
+		t.Fatalf("segment = %+v, want records=3 coalesced=2 foldedOps=7", seg)
+	}
+	if info.Corrupt() {
+		t.Fatal("clean log reported corrupt")
+	}
+}

@@ -14,6 +14,8 @@ func FuzzRecordDecode(f *testing.F) {
 	f.Add(appendFrame(nil, &Record{Seq: 1, Op: OpPut, Key: "k", Value: []byte("v"), Version: 7}))
 	f.Add(appendFrame(nil, &Record{Seq: 42, Op: OpDelete, Key: "gone", ExpiresAtUnixNano: 123456789}))
 	f.Add(appendFrame(nil, &Record{Seq: 3, Op: OpPut, Key: "", Value: nil}))
+	f.Add(appendFrame(nil, &Record{Seq: 8, Op: OpMerge, Key: "ctr", Value: []byte("1275"), Version: 50, Delta: 1275, Folded: 50}))
+	f.Add(appendFrame(nil, &Record{Seq: 12, Op: OpMerge, Key: "dead", Version: 3, Delta: -9, Folded: 4, Tombstone: true}))
 	long := appendFrame(nil, &Record{Seq: 9, Op: OpPut, Key: "kk", Value: bytes.Repeat([]byte("x"), 300)})
 	f.Add(long)
 	f.Add(long[:len(long)-3]) // torn tail

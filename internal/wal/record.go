@@ -26,10 +26,14 @@ import (
 type Op uint8
 
 // Record operations. OpPut carries a value (and optional expiry);
-// OpDelete is a tombstone.
+// OpDelete is a tombstone; OpMerge is the coalesced/delta kind: it
+// still carries the absolute resulting state (value, exact version) so
+// replay never needs a baseline, plus the summed delta and the number
+// of mutations folded into it for inspection tooling.
 const (
 	OpPut    Op = 1
 	OpDelete Op = 2
+	OpMerge  Op = 3
 )
 
 // String names the op for reports and tooling.
@@ -39,6 +43,8 @@ func (o Op) String() string {
 		return "put"
 	case OpDelete:
 		return "delete"
+	case OpMerge:
+		return "merge"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -56,6 +62,16 @@ type Record struct {
 	Value             []byte
 	Version           uint64
 	ExpiresAtUnixNano int64
+
+	// Merge-record fields, meaningful only when Op == OpMerge. The
+	// record's Value/Version still hold the absolute resulting state —
+	// these fields are the coalescing metadata: Delta is the sum of
+	// merge deltas folded in since the last overwrite, Folded counts the
+	// mutations this record stands for (>= 1), and Tombstone marks a
+	// coalesced run whose final state is a delete.
+	Delta     int64
+	Folded    uint32
+	Tombstone bool
 }
 
 // Frame layout:
@@ -64,16 +80,24 @@ type Record struct {
 //	crc     uint32   CRC32C (Castagnoli) over the payload
 //	payload          op(1) seq(8) version(8) expiresAt(8)
 //	                 keyLen(4) valueLen(4) key valueBytes
+//	                 [delta(8) folded(4) flags(1)]   — OpMerge only
 //
 // All integers are big-endian, matching the wire codec's idiom. The
 // length field is outside the checksum, so a corrupt length is caught
 // by the frame failing to parse (or its CRC failing), not trusted
 // blindly: scanners bound it by maxRecordLen and the bytes remaining.
+// OpMerge records append a fixed trailer after the value: the summed
+// delta, the folded-mutation count, and a flags byte (bit 0 =
+// tombstone; all other bits must be zero so every accepted frame has
+// exactly one encoding).
 const (
 	frameHeaderLen   = 8
 	recordFixedLen   = 1 + 8 + 8 + 8 + 4 + 4
+	mergeTrailerLen  = 8 + 4 + 1
 	maxRecordLen     = 1 << 28 // 256 MiB sanity bound on one record
-	maxKeyOrValueLen = maxRecordLen - recordFixedLen
+	maxKeyOrValueLen = maxRecordLen - recordFixedLen - mergeTrailerLen
+
+	mergeFlagTombstone = 1 << 0
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -96,6 +120,9 @@ var (
 // appendFrame encodes r as one checksummed frame onto dst.
 func appendFrame(dst []byte, r *Record) []byte {
 	payloadLen := recordFixedLen + len(r.Key) + len(r.Value)
+	if r.Op == OpMerge {
+		payloadLen += mergeTrailerLen
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
 	crcAt := len(dst)
 	dst = binary.BigEndian.AppendUint32(dst, 0) // CRC placeholder
@@ -108,6 +135,15 @@ func appendFrame(dst []byte, r *Record) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Value)))
 	dst = append(dst, r.Key...)
 	dst = append(dst, r.Value...)
+	if r.Op == OpMerge {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(r.Delta))
+		dst = binary.BigEndian.AppendUint32(dst, r.Folded)
+		var flags byte
+		if r.Tombstone {
+			flags |= mergeFlagTombstone
+		}
+		dst = append(dst, flags)
+	}
 	crc := crc32.Checksum(dst[payloadAt:], castagnoli)
 	binary.BigEndian.PutUint32(dst[crcAt:], crc)
 	return dst
@@ -155,16 +191,31 @@ func decodePayload(p []byte) (Record, error) {
 	}
 	keyLen := int(binary.BigEndian.Uint32(p[25:]))
 	valueLen := int(binary.BigEndian.Uint32(p[29:]))
-	if keyLen < 0 || valueLen < 0 || keyLen > maxKeyOrValueLen || valueLen > maxKeyOrValueLen ||
-		recordFixedLen+keyLen+valueLen != len(p) {
+	trailerLen := 0
+	switch rec.Op {
+	case OpPut, OpDelete:
+	case OpMerge:
+		trailerLen = mergeTrailerLen
+	default:
 		return Record{}, ErrBadRecord
 	}
-	if rec.Op != OpPut && rec.Op != OpDelete {
+	if keyLen < 0 || valueLen < 0 || keyLen > maxKeyOrValueLen || valueLen > maxKeyOrValueLen ||
+		recordFixedLen+keyLen+valueLen+trailerLen != len(p) {
 		return Record{}, ErrBadRecord
 	}
 	rec.Key = string(p[recordFixedLen : recordFixedLen+keyLen])
 	if valueLen > 0 {
-		rec.Value = append([]byte(nil), p[recordFixedLen+keyLen:]...)
+		rec.Value = append([]byte(nil), p[recordFixedLen+keyLen:recordFixedLen+keyLen+valueLen]...)
+	}
+	if rec.Op == OpMerge {
+		tr := p[len(p)-mergeTrailerLen:]
+		rec.Delta = int64(binary.BigEndian.Uint64(tr))
+		rec.Folded = binary.BigEndian.Uint32(tr[8:])
+		flags := tr[12]
+		if flags&^byte(mergeFlagTombstone) != 0 {
+			return Record{}, ErrBadRecord // unknown flag bits: reject, keep encoding canonical
+		}
+		rec.Tombstone = flags&mergeFlagTombstone != 0
 	}
 	return rec, nil
 }

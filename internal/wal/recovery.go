@@ -199,6 +199,12 @@ type SegmentInfo struct {
 	LastSeq  uint64
 	Records  int
 	Bytes    int64
+	// Coalesced counts OpMerge records (the coalesced/delta kind), and
+	// FoldedOps the mutations they stand for — plain records count one
+	// each, so FoldedOps >= Records and the surplus is the disk work the
+	// coalescing windows saved.
+	Coalesced int
+	FoldedOps uint64
 	// Skipped counts unreadable spans (checksum or framing failures).
 	Skipped int
 	// SkippedBytes totals the unreadable span lengths.
@@ -267,13 +273,23 @@ func Inspect(dir string) (*DirInfo, error) {
 	sort.Strings(segs)
 	for _, name := range segs {
 		first, _ := seqFromName(name, segSuffix)
-		res, serr := scanSegmentFile(filepath.Join(dir, name), nil)
+		coalesced, folded := 0, uint64(0)
+		res, serr := scanSegmentFile(filepath.Join(dir, name), func(rec Record) error {
+			if rec.Op == OpMerge {
+				coalesced++
+				folded += uint64(rec.Folded)
+			} else {
+				folded++
+			}
+			return nil
+		})
 		if serr != nil {
 			return nil, serr
 		}
 		si := SegmentInfo{
 			Name: name, FirstSeq: first, LastSeq: res.lastSeq,
 			Records: res.records, Bytes: res.size,
+			Coalesced: coalesced, FoldedOps: folded,
 			Skipped: len(res.skips), Torn: res.torn,
 		}
 		for _, s := range res.skips {

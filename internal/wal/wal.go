@@ -29,13 +29,23 @@ const (
 	// SyncNone never fsyncs on the append path (segment seals and Close
 	// still sync); durability rides entirely on the OS writeback.
 	SyncNone
+	// SyncCoalesce folds the mutations of each commit window into a
+	// per-key accumulator and flushes one record per distinct key —
+	// last-write-wins for puts/deletes, summed deltas for merges — so
+	// disk bytes scale with distinct keys touched, not operations.
+	// Writes acknowledge only after their window's flush is fsynced
+	// (SyncAlways-grade durability at window granularity): an
+	// acknowledged write survives kill -9 and power loss, an
+	// unacknowledged one may be lost with its window.
+	SyncCoalesce
 )
 
 // SyncPolicy is a parsed -wal-sync setting.
 type SyncPolicy struct {
 	Mode SyncMode
 	// Window is the maximum time acknowledged-but-unsynced records wait
-	// for their fsync under SyncBatch.
+	// for their fsync under SyncBatch, and the commit-window length
+	// mutations accumulate for under SyncCoalesce.
 	Window time.Duration
 }
 
@@ -51,13 +61,15 @@ func (p SyncPolicy) String() string {
 		return "batch:" + p.Window.String()
 	case SyncNone:
 		return "none"
+	case SyncCoalesce:
+		return "coalesce:" + p.Window.String()
 	default:
 		return fmt.Sprintf("sync(%d)", int(p.Mode))
 	}
 }
 
-// ParseSyncPolicy parses "always", "none", "batch", or "batch:<window>"
-// (e.g. batch:5ms).
+// ParseSyncPolicy parses "always", "none", "batch", "batch:<window>",
+// "coalesce", or "coalesce:<window>" (e.g. batch:5ms, coalesce:2ms).
 func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	switch {
 	case s == "" || s == "always":
@@ -72,8 +84,16 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 			return SyncPolicy{}, fmt.Errorf("wal: bad batch window %q", strings.TrimPrefix(s, "batch:"))
 		}
 		return SyncPolicy{Mode: SyncBatch, Window: d}, nil
+	case s == "coalesce":
+		return SyncPolicy{Mode: SyncCoalesce, Window: defaultBatchWindow}, nil
+	case strings.HasPrefix(s, "coalesce:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "coalesce:"))
+		if err != nil || d <= 0 {
+			return SyncPolicy{}, fmt.Errorf("wal: bad coalesce window %q", strings.TrimPrefix(s, "coalesce:"))
+		}
+		return SyncPolicy{Mode: SyncCoalesce, Window: d}, nil
 	default:
-		return SyncPolicy{}, fmt.Errorf("wal: unknown sync policy %q (want always|batch:<window>|none)", s)
+		return SyncPolicy{}, fmt.Errorf("wal: unknown sync policy %q (want always|batch:<window>|coalesce:<window>|none)", s)
 	}
 }
 
@@ -104,15 +124,16 @@ func (o Options) withDefaults() Options {
 	if o.SegmentSize <= 0 {
 		o.SegmentSize = 16 << 20
 	}
-	if o.Sync.Mode == SyncBatch && o.Sync.Window <= 0 {
+	if (o.Sync.Mode == SyncBatch || o.Sync.Mode == SyncCoalesce) && o.Sync.Window <= 0 {
 		o.Sync.Window = defaultBatchWindow
 	}
 	return o
 }
 
 // Ack awaits one append's durability point: under SyncAlways the batch
-// fsync, under SyncBatch/SyncNone the OS write. It returns the sticky
-// WAL error if the log has failed.
+// fsync, under SyncCoalesce the commit window's flush fsync, under
+// SyncBatch/SyncNone the OS write. It returns the sticky WAL error if
+// the log has failed.
 type Ack func() error
 
 // segmentMeta describes one sealed (no longer written) segment.
@@ -123,9 +144,13 @@ type segmentMeta struct {
 	bytes    int64
 }
 
-// pending is one queued append (or a sync barrier when frame is nil).
+// pending is one queued append (or a sync barrier when sync is set).
+// Under framing policies the record is encoded at Append time; under
+// SyncCoalesce the record itself rides along instead and is framed by
+// the committer when its commit window flushes.
 type pending struct {
 	frame []byte
+	rec   Record
 	seq   uint64
 	sync  bool
 	done  chan error
@@ -158,11 +183,15 @@ type WAL struct {
 	snapSeq  uint64 // seq covered by the newest snapshot on disk
 	hasSnap  bool
 
-	appended  atomic.Uint64
-	fsyncs    atomic.Uint64
-	hmu       sync.Mutex
-	fsyncHist *metrics.Histogram
-	batchHist *metrics.Histogram
+	appended         atomic.Uint64
+	fsyncs           atomic.Uint64
+	coalescedOps     atomic.Uint64
+	coalescedRecords atomic.Uint64
+	coalesceWindows  atomic.Uint64
+	hmu              sync.Mutex
+	fsyncHist        *metrics.Histogram
+	batchHist        *metrics.Histogram
+	windowKeysHist   *metrics.Histogram
 
 	wake    chan struct{}
 	quit    chan struct{}
@@ -193,13 +222,14 @@ func Open(opts Options) (*WAL, error) {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	w := &WAL{
-		opts:      opts,
-		nextSeq:   1,
-		fsyncHist: metrics.NewHistogram(fsyncHistSmallest, fsyncHistLargest, histPerOctave),
-		batchHist: metrics.NewHistogram(1, batchHistLargest, histPerOctave),
-		wake:      make(chan struct{}, 1),
-		quit:      make(chan struct{}),
-		abandon:   make(chan struct{}),
+		opts:           opts,
+		nextSeq:        1,
+		fsyncHist:      metrics.NewHistogram(fsyncHistSmallest, fsyncHistLargest, histPerOctave),
+		batchHist:      metrics.NewHistogram(1, batchHistLargest, histPerOctave),
+		windowKeysHist: metrics.NewHistogram(1, batchHistLargest, histPerOctave),
+		wake:           make(chan struct{}, 1),
+		quit:           make(chan struct{}),
+		abandon:        make(chan struct{}),
 	}
 	if err := w.scanDir(); err != nil {
 		return nil, err
@@ -301,19 +331,39 @@ func seqFromName(name, suffix string) (uint64, error) {
 // an Ack for its durability point. The error return is non-nil only
 // when the WAL is closed or has failed (the Ack carries batch errors).
 func (w *WAL) Append(op Op, key string, value []byte, version uint64, expiresAtUnixNano int64) (Ack, error) {
+	return w.AppendRecord(Record{
+		Op: op, Key: key, Value: value,
+		Version: version, ExpiresAtUnixNano: expiresAtUnixNano,
+	})
+}
+
+// AppendRecord is Append for a fully populated record — the entry point
+// merge mutations use, carrying their Delta alongside the resulting
+// state. rec.Seq is assigned by the WAL; a caller-set value is ignored.
+func (w *WAL) AppendRecord(rec Record) (Ack, error) {
 	p := &pending{done: make(chan error, 1)}
 	w.mu.Lock()
 	if err := w.unusableLocked(); err != nil {
 		w.mu.Unlock()
 		return nil, err
 	}
-	rec := Record{
-		Seq: w.nextSeq, Op: op, Key: key, Value: value,
-		Version: version, ExpiresAtUnixNano: expiresAtUnixNano,
-	}
+	rec.Seq = w.nextSeq
 	w.nextSeq++
 	p.seq = rec.Seq
-	p.frame = appendFrame(nil, &rec)
+	if rec.Folded == 0 {
+		rec.Folded = 1
+	}
+	if w.opts.Sync.Mode == SyncCoalesce {
+		// The record is held until its commit window flushes, so it must
+		// not alias the caller's value buffer (framing policies copy into
+		// the frame right here instead).
+		if len(rec.Value) > 0 {
+			rec.Value = append([]byte(nil), rec.Value...)
+		}
+		p.rec = rec
+	} else {
+		p.frame = appendFrame(nil, &rec)
+	}
 	w.queue = append(w.queue, p)
 	w.mu.Unlock()
 	w.appended.Add(1)
@@ -382,6 +432,10 @@ func (w *WAL) takeQueue() []*pending {
 // committer is the single goroutine that writes and fsyncs batches.
 func (w *WAL) committer() {
 	defer w.wg.Done()
+	if w.opts.Sync.Mode == SyncCoalesce {
+		w.coalescer()
+		return
+	}
 	var timer *time.Timer
 	var timerC <-chan time.Time
 	dirty := false
@@ -429,6 +483,156 @@ func (w *WAL) committer() {
 			timerC = timer.C
 		}
 	}
+}
+
+// accum is one key's slot in the coalescer's per-window accumulator:
+// the latest resulting state (last-write-wins), the number of mutations
+// folded in, and the running merge-delta sum since the last overwrite.
+type accum struct {
+	rec    Record
+	folded uint32
+	delta  int64
+}
+
+func (a *accum) fold(r Record) {
+	if r.Op == OpMerge {
+		a.delta += r.Delta
+	} else {
+		a.delta = 0 // an overwrite resets the delta provenance
+	}
+	a.folded++
+	a.rec = r
+}
+
+// flushRecord renders the accumulator slot as the one record its window
+// persists. A slot holding a single plain mutation emits the classic
+// record byte-for-byte; anything coalesced (or any merge) emits the
+// OpMerge kind carrying the absolute resulting state plus the folded
+// count and delta sum for inspection tooling.
+func (a *accum) flushRecord() Record {
+	if a.folded == 1 && a.rec.Op != OpMerge {
+		return a.rec
+	}
+	out := a.rec
+	out.Op = OpMerge
+	out.Delta = a.delta
+	out.Folded = a.folded
+	out.Tombstone = a.rec.Op == OpDelete
+	if out.Tombstone {
+		out.Value = nil
+	}
+	return out
+}
+
+// coalescer is the committer variant for SyncCoalesce: appends fold
+// into a per-key accumulator, and once per window (or at a Sync
+// barrier, or on shutdown) the accumulator flushes one frame per
+// distinct key, fsyncs, and only then acknowledges the window's
+// writers. Disk bytes per window scale with distinct keys touched.
+func (w *WAL) coalescer() {
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	acc := make(map[string]*accum)
+	var waiters []*pending
+
+	drain := func() (barrier bool) {
+		for _, p := range w.takeQueue() {
+			if !p.sync {
+				a := acc[p.rec.Key]
+				if a == nil {
+					a = &accum{}
+					acc[p.rec.Key] = a
+				}
+				a.fold(p.rec)
+			} else {
+				barrier = true
+			}
+			waiters = append(waiters, p)
+		}
+		return barrier
+	}
+	flush := func() {
+		err := w.flushWindow(acc, waiters)
+		if err != nil {
+			w.fail(err)
+		}
+		w.complete(waiters, err)
+		clear(acc)
+		waiters = nil
+	}
+
+	for {
+		select {
+		case <-w.wake:
+			if drain() {
+				// A Sync barrier cannot wait out the window: compaction and
+				// graceful shutdown depend on it flushing immediately.
+				flush()
+				if timerC != nil && !timer.Stop() {
+					<-timer.C // consume the stale fire so Reset starts clean
+				}
+				timerC = nil
+				continue
+			}
+			if len(waiters) > 0 && timerC == nil {
+				if timer == nil {
+					timer = time.NewTimer(w.opts.Sync.Window)
+				} else {
+					timer.Reset(w.opts.Sync.Window)
+				}
+				timerC = timer.C
+			}
+		case <-timerC:
+			timerC = nil
+			flush()
+		case <-w.quit:
+			drain()
+			flush()
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-w.abandon:
+			// Simulated kill -9: the open window dies unacknowledged.
+			w.complete(waiters, ErrAbandoned)
+			w.failQueue(ErrAbandoned)
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+	}
+}
+
+// flushWindow persists one commit window: one frame per accumulator
+// key, ordered by sequence number so on-disk order stays monotonic,
+// then a single fsync. An empty accumulator (pure barrier) still
+// fsyncs the active segment so Sync keeps its contract.
+func (w *WAL) flushWindow(acc map[string]*accum, waiters []*pending) error {
+	if len(acc) == 0 && len(waiters) == 0 {
+		return nil
+	}
+	if len(acc) > 0 {
+		flushed := make([]*pending, 0, len(acc))
+		ops := uint64(0)
+		for _, a := range acc {
+			rec := a.flushRecord()
+			flushed = append(flushed, &pending{frame: appendFrame(nil, &rec), seq: rec.Seq})
+			ops += uint64(a.folded)
+		}
+		sort.Slice(flushed, func(i, j int) bool { return flushed[i].seq < flushed[j].seq })
+		if err := w.writeFrames(flushed); err != nil {
+			return err
+		}
+		w.coalescedOps.Add(ops)
+		w.coalescedRecords.Add(uint64(len(flushed)))
+		w.coalesceWindows.Add(1)
+		w.hmu.Lock()
+		w.batchHist.Observe(time.Duration(len(flushed)))
+		w.windowKeysHist.Observe(time.Duration(len(flushed)))
+		w.hmu.Unlock()
+	}
+	return w.syncActive()
 }
 
 // commitBatch writes one batch and applies the sync policy. closing
@@ -659,15 +863,27 @@ type Snapshot struct {
 	// BatchRecords is the group-commit batch size distribution (records
 	// per committed write batch; one observation per batch).
 	BatchRecords metrics.HistogramSnapshot
+	// CoalescedOps counts mutations folded into coalesced commit
+	// windows (SyncCoalesce only); CoalescedRecords counts the records
+	// those windows actually flushed — their ratio is the dedup factor.
+	CoalescedOps     uint64
+	CoalescedRecords uint64
+	// CoalesceWindows counts commit-window flushes.
+	CoalesceWindows uint64
+	// WindowKeys is the distinct-keys-per-flushed-window distribution.
+	WindowKeys metrics.HistogramSnapshot
 }
 
 // Stats snapshots the WAL's operational state for /stats and /metrics.
 func (w *WAL) Stats() Snapshot {
 	snap := Snapshot{
-		Appended: w.appended.Load(),
-		Fsyncs:   w.fsyncs.Load(),
-		Policy:   w.opts.Sync.String(),
-		LastSeq:  w.LastSeq(),
+		Appended:         w.appended.Load(),
+		Fsyncs:           w.fsyncs.Load(),
+		CoalescedOps:     w.coalescedOps.Load(),
+		CoalescedRecords: w.coalescedRecords.Load(),
+		CoalesceWindows:  w.coalesceWindows.Load(),
+		Policy:           w.opts.Sync.String(),
+		LastSeq:          w.LastSeq(),
 	}
 	w.fmu.Lock()
 	snap.SnapshotSeq = w.snapSeq
@@ -683,6 +899,7 @@ func (w *WAL) Stats() Snapshot {
 	w.hmu.Lock()
 	snap.FsyncLatency = w.fsyncHist.Snapshot()
 	snap.BatchRecords = w.batchHist.Snapshot()
+	snap.WindowKeys = w.windowKeysHist.Snapshot()
 	w.hmu.Unlock()
 	return snap
 }

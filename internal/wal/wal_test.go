@@ -26,7 +26,7 @@ func collect(t *testing.T, dir string, opts Options) (map[string]Record, []Recor
 	var recs []Record
 	rep, err := w.Recover(nil, func(r Record) error {
 		recs = append(recs, r)
-		if r.Op == OpDelete {
+		if r.Op == OpDelete || (r.Op == OpMerge && r.Tombstone) {
 			delete(state, r.Key)
 		} else {
 			state[r.Key] = r
@@ -283,6 +283,10 @@ func TestParseSyncPolicy(t *testing.T) {
 		{"batch:5ms", SyncPolicy{Mode: SyncBatch, Window: 5 * time.Millisecond}, true},
 		{"batch:-1ms", SyncPolicy{}, false},
 		{"batch:", SyncPolicy{}, false},
+		{"coalesce", SyncPolicy{Mode: SyncCoalesce, Window: defaultBatchWindow}, true},
+		{"coalesce:5ms", SyncPolicy{Mode: SyncCoalesce, Window: 5 * time.Millisecond}, true},
+		{"coalesce:-1ms", SyncPolicy{}, false},
+		{"coalesce:", SyncPolicy{}, false},
 		{"fsync", SyncPolicy{}, false},
 	}
 	for _, c := range cases {
@@ -294,7 +298,7 @@ func TestParseSyncPolicy(t *testing.T) {
 			t.Fatalf("ParseSyncPolicy(%q) = %+v, want %+v", c.in, got, c.want)
 		}
 	}
-	for _, s := range []string{"always", "none", "batch:5ms"} {
+	for _, s := range []string{"always", "none", "batch:5ms", "coalesce:5ms"} {
 		p, _ := ParseSyncPolicy(s)
 		if p.String() != s {
 			t.Fatalf("String round trip %q -> %q", s, p.String())

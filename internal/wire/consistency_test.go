@@ -67,11 +67,11 @@ func TestConsistencyRoundTrip(t *testing.T) {
 	}
 }
 
-// TestV4OpsRejectedOnOldFrames checks the membership/handoff ops are
-// valid only on v4 frames: an old-version frame claiming them is
+// TestV4OpsRejectedOnOldFrames checks the membership/handoff/incr ops
+// are valid only on v4 frames: an old-version frame claiming them is
 // malformed, not silently misparsed.
 func TestV4OpsRejectedOnOldFrames(t *testing.T) {
-	for _, op := range []OpType{OpMembers, OpHandoff} {
+	for _, op := range []OpType{OpMembers, OpHandoff, OpIncr} {
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
 		if err := w.WriteRequest(&Request{ID: 1, Type: op, Key: "k"}); err != nil {

@@ -79,6 +79,13 @@ const (
 	// HandoffRequest cursor, the response value a HandoffHeader line
 	// followed by store snapshot records (the WAL snapshot format).
 	OpHandoff
+	// OpIncr (v4) atomically adds a signed delta to an integer-valued
+	// key: the request value carries the delta as 8 big-endian
+	// two's-complement bytes, the response value the resulting total in
+	// ASCII decimal (the same representation GET returns), with the new
+	// version. An absent key counts from zero; a non-integer value fails
+	// the op without mutating.
+	OpIncr
 )
 
 // String returns the op's metric-label name ("get", "put", ...).
@@ -98,6 +105,8 @@ func (t OpType) String() string {
 		return "members"
 	case OpHandoff:
 		return "handoff"
+	case OpIncr:
+		return "incr"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(t))
 	}
@@ -471,6 +480,17 @@ type WALStats struct {
 	// records persisted per committer write; the mean is the fsync
 	// amortization factor.
 	BatchRecords *ValueSummary `json:"batchRecords,omitempty"`
+	// CoalescedOps / CoalescedRecords / CoalesceWindows describe the
+	// coalesce sync policy's work: mutations folded into per-key
+	// accumulators, records those accumulators flushed to disk, and
+	// commit windows closed. Ops/Records is the write amplification
+	// saved; all zero under the other policies.
+	CoalescedOps     uint64 `json:"coalescedOps,omitempty"`
+	CoalescedRecords uint64 `json:"coalescedRecords,omitempty"`
+	CoalesceWindows  uint64 `json:"coalesceWindows,omitempty"`
+	// WindowKeys is the distinct-keys-per-window distribution under
+	// coalesce — the I in the bytes-scale-with-I claim.
+	WindowKeys *ValueSummary `json:"windowKeys,omitempty"`
 }
 
 // ValueSummary is DurationSummary's unit-less sibling for
@@ -748,7 +768,7 @@ func decodeRequestBody(d *decoder, req *Request, version byte) error {
 	req.Type = OpType(d.byte())
 	maxOp := OpCAS
 	if version >= Version4 {
-		maxOp = OpHandoff
+		maxOp = OpIncr
 	}
 	if req.Type < OpGet || req.Type > maxOp {
 		return ErrBadMessage
